@@ -1,0 +1,22 @@
+//! Concrete mobile α-BD adversary strategies.
+//!
+//! The benchmark harness runs every protocol against every compatible
+//! strategy here. Strategies divide along the paper's axes:
+//!
+//! * **Edge plans** (non-adaptive, [`bdclique_netsim::EdgePlan`]):
+//!   [`plans::NoFaults`], [`plans::RandomMatchings`],
+//!   [`plans::RotatingMatching`] (the α = 1/n matching that defeats
+//!   tree-based aggregation — Section 3 of the paper),
+//!   [`plans::RotatingStar`], [`plans::FixedEdges`].
+//! * **Corruptors** (payload rewriting on planned edges):
+//!   [`corruptors::PayloadCorruptor`] with a [`Payload`] policy.
+//! * **Adaptive strategies** ([`bdclique_netsim::AdaptiveStrategy`]):
+//!   [`adaptive::GreedyLoad`] (corrupt the busiest edges),
+//!   [`adaptive::TargetNode`] (concentrate the budget on one victim),
+//!   [`adaptive::RushingRandom`] (random edges chosen among busy ones).
+
+pub mod adaptive;
+pub mod corruptors;
+pub mod plans;
+
+pub use corruptors::Payload;

@@ -1,0 +1,325 @@
+//! Non-adaptive edge plans: the per-round fault sets `F_i`, fixed before the
+//! protocol runs (a function of the round index and topology only).
+
+use bdclique_netsim::{EdgePlan, EdgeSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The fault-free plan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl EdgePlan for NoFaults {
+    fn edges(&mut self, _round: u64, n: usize, _budget: usize) -> EdgeSet {
+        EdgeSet::new(n)
+    }
+}
+
+/// Each round: the union of `budget` random perfect matchings — a maximal
+/// random fault set saturating the degree budget at (almost) every node.
+#[derive(Debug, Clone)]
+pub struct RandomMatchings {
+    seed: u64,
+}
+
+impl RandomMatchings {
+    /// Creates the plan; the per-round sets are derived from `seed` and the
+    /// round index only (non-adaptivity by construction).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl EdgePlan for RandomMatchings {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ round.wrapping_mul(0x9e37_79b9));
+        for _ in 0..budget {
+            let mut nodes: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                nodes.swap(i, rng.gen_range(0..=i));
+            }
+            for pair in nodes.chunks(2) {
+                if let [a, b] = pair {
+                    // The union of matchings can repeat an edge; the degree
+                    // bound still holds because each matching adds ≤ 1 per
+                    // node.
+                    es.insert(*a, *b);
+                }
+            }
+        }
+        debug_assert!(es.max_degree() <= budget);
+        es
+    }
+}
+
+/// One perfect matching per round, rotating through the round-robin
+/// tournament schedule so that over `n-1` rounds every edge is hit exactly
+/// once.
+///
+/// This is the α = 1/n adversary of the paper's Section 3: with faulty
+/// degree just **one**, it places a fault inside *every* spanning tree of
+/// the clique simultaneously, which is why the tree-based aggregation of
+/// Fischer–Parter PODC 2023 (and any replication-over-relays baseline)
+/// breaks while the bounded-degree compilers survive.
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingMatching {
+    /// Offset added to the round index (varies the schedule phase).
+    pub phase: u64,
+}
+
+impl RotatingMatching {
+    /// Creates the plan with phase 0.
+    pub fn new() -> Self {
+        Self { phase: 0 }
+    }
+}
+
+impl Default for RotatingMatching {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EdgePlan for RotatingMatching {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        if budget == 0 || n < 2 {
+            return es;
+        }
+        // Circle method with a dummy node when n is odd: nodes 0..m-2 sit on
+        // a rotating circle, node m-1 is fixed (the dummy for odd n).
+        let m = if n.is_multiple_of(2) { n } else { n + 1 };
+        let cycle = m - 1;
+        let r = ((round + self.phase) % cycle as u64) as usize;
+        let at = |pos: usize| (pos + r) % cycle; // node at circle position
+        // Fixed node pairs with circle position 0.
+        if m - 1 < n {
+            es.insert(m - 1, at(0));
+        }
+        // Fold the circle: position j pairs with position cycle - j.
+        for j in 1..=(cycle - 1) / 2 {
+            let (a, b) = (at(j), at(cycle - j));
+            if a < n && b < n {
+                es.insert(a, b);
+            }
+        }
+        debug_assert!(es.max_degree() <= 1);
+        es
+    }
+}
+
+/// Saturates the budget around a single victim node (rotating the spokes
+/// each round), modeling a degree-concentrated attack.
+#[derive(Debug, Clone, Copy)]
+pub struct RotatingStar {
+    /// The node whose incident edges are attacked.
+    pub victim: usize,
+}
+
+impl EdgePlan for RotatingStar {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        for i in 0..budget.min(n - 1) {
+            let other = (self.victim + 1 + (round as usize + i) % (n - 1)) % n;
+            if other != self.victim {
+                es.insert(self.victim, other);
+            }
+        }
+        es
+    }
+}
+
+/// Hunts one message pair through the deterministic relay-replication
+/// baseline, with faulty degree **one**.
+///
+/// The baseline's copy `i` of `m_{u,v}` crosses `u → (u+v+1+i) mod n → v` in
+/// rounds `2i` and `2i+1`. Since the baseline is deterministic, the paper's
+/// observation that *non-adaptive and adaptive adversaries coincide for
+/// deterministic algorithms* applies: this plan corrupts exactly one hop of
+/// every copy, killing the pair for **any** replication factor while never
+/// touching more than one edge per node per round — the sharpest form of
+/// the "mobile matching beats replication" separation (Section 3).
+#[derive(Debug, Clone, Copy)]
+pub struct RelayPathHunter {
+    /// Source of the hunted message.
+    pub src: usize,
+    /// Target of the hunted message.
+    pub dst: usize,
+}
+
+impl EdgePlan for RelayPathHunter {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        if budget == 0 || self.src == self.dst {
+            return es;
+        }
+        // Corrupt exactly ONE hop of each copy (poisoning both hops of the
+        // same copy with an involution like a bit-flip would cancel out).
+        let i = (round / 2) as usize;
+        let relay = (self.src + self.dst + 1 + i) % n;
+        if round.is_multiple_of(2) && relay != self.src {
+            es.insert(self.src, relay);
+        }
+        debug_assert!(es.max_degree() <= 1);
+        es
+    }
+}
+
+/// Wraps any plan, activating it only on rounds `r` with
+/// `r % period ∈ phases` — for striking specific phases of a round-structured
+/// protocol while staying dormant otherwise.
+#[derive(Debug, Clone)]
+pub struct RoundSelective<P> {
+    inner: P,
+    period: u64,
+    phases: Vec<u64>,
+}
+
+impl<P: EdgePlan> RoundSelective<P> {
+    /// Creates the wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn new(inner: P, period: u64, phases: Vec<u64>) -> Self {
+        assert!(period > 0, "period must be positive");
+        Self {
+            inner,
+            period,
+            phases,
+        }
+    }
+}
+
+impl<P: EdgePlan> EdgePlan for RoundSelective<P> {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        if self.phases.contains(&(round % self.period)) {
+            self.inner.edges(round, n, budget)
+        } else {
+            EdgeSet::new(n)
+        }
+    }
+}
+
+/// Cycles through an explicit list of edge sets (for targeted tests).
+#[derive(Debug, Clone)]
+pub struct FixedEdges {
+    sets: Vec<Vec<(usize, usize)>>,
+}
+
+impl FixedEdges {
+    /// Creates the plan from per-round edge lists (cycled).
+    pub fn new(sets: Vec<Vec<(usize, usize)>>) -> Self {
+        Self { sets }
+    }
+}
+
+impl EdgePlan for FixedEdges {
+    fn edges(&mut self, round: u64, n: usize, _budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        if self.sets.is_empty() {
+            return es;
+        }
+        let idx = (round % self.sets.len() as u64) as usize;
+        for &(u, v) in &self.sets[idx] {
+            es.insert(u, v);
+        }
+        es
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_matchings_respect_budget() {
+        let mut plan = RandomMatchings::new(7);
+        for n in [8usize, 9, 16] {
+            for budget in [1usize, 2, 4] {
+                for round in 0..8 {
+                    let es = plan.edges(round, n, budget);
+                    assert!(es.max_degree() <= budget, "n={n} budget={budget}");
+                    assert!(!es.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_matchings_move_between_rounds() {
+        let mut plan = RandomMatchings::new(7);
+        let a = plan.edges(0, 16, 2);
+        let b = plan.edges(1, 16, 2);
+        assert_ne!(
+            a.iter().collect::<std::collections::BTreeSet<_>>(),
+            b.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+
+    #[test]
+    fn rotating_matching_is_perfect_for_even_n() {
+        let mut plan = RotatingMatching::new();
+        for round in 0..7 {
+            let es = plan.edges(round, 8, 1);
+            assert_eq!(es.len(), 4, "round {round}");
+            assert_eq!(es.max_degree(), 1);
+        }
+    }
+
+    #[test]
+    fn rotating_matching_covers_all_edges_over_n_minus_1_rounds() {
+        let mut plan = RotatingMatching::new();
+        let n = 8;
+        let mut seen = std::collections::BTreeSet::new();
+        for round in 0..(n - 1) as u64 {
+            for e in plan.edges(round, n, 1).iter() {
+                seen.insert(e);
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2, "tournament covers the clique");
+    }
+
+    #[test]
+    fn rotating_matching_odd_n() {
+        let mut plan = RotatingMatching::new();
+        let es = plan.edges(3, 9, 1);
+        assert_eq!(es.max_degree(), 1);
+        assert_eq!(es.len(), 4); // one node sits out
+    }
+
+    #[test]
+    fn star_concentrates_on_victim() {
+        let mut plan = RotatingStar { victim: 3 };
+        let es = plan.edges(5, 16, 4);
+        assert_eq!(es.degree(3), 4);
+        assert_eq!(es.len(), 4);
+    }
+
+    #[test]
+    fn relay_path_hunter_is_degree_one() {
+        let mut plan = RelayPathHunter { src: 2, dst: 9 };
+        for round in 0..12 {
+            let es = plan.edges(round, 16, 1);
+            assert!(es.max_degree() <= 1, "round {round}");
+        }
+    }
+
+    #[test]
+    fn round_selective_gates_the_inner_plan() {
+        let mut plan = RoundSelective::new(RotatingMatching::new(), 3, vec![0]);
+        assert!(!plan.edges(0, 8, 1).is_empty());
+        assert!(plan.edges(1, 8, 1).is_empty());
+        assert!(plan.edges(2, 8, 1).is_empty());
+        assert!(!plan.edges(3, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn fixed_edges_cycle() {
+        let mut plan = FixedEdges::new(vec![vec![(0, 1)], vec![(2, 3)]]);
+        assert!(plan.edges(0, 4, 1).contains(0, 1));
+        assert!(plan.edges(1, 4, 1).contains(2, 3));
+        assert!(plan.edges(2, 4, 1).contains(0, 1));
+    }
+}

@@ -1,0 +1,77 @@
+//! Criterion benchmarks for the resilient super-message router
+//! (Theorem 4.1): both engines, with and without faults.
+
+use bdclique_bits::BitVec;
+use bdclique_core::routing::{route, RouterConfig, RoutingInstance, RoutingMode, SuperMessage};
+use bdclique_bench::AdversarySpec;
+use bdclique_netsim::{Adversary, Network};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn instance(n: usize, payload_bits: usize, k: usize) -> RoutingInstance {
+    RoutingInstance {
+        n,
+        payload_bits,
+        messages: (0..n)
+            .flat_map(|u| {
+                (0..k).map(move |j| SuperMessage {
+                    src: u,
+                    slot: j,
+                    payload: BitVec::from_fn(payload_bits, |i| (i * 3 + u + j) % 5 < 2),
+                    targets: vec![(u + 11 * j + 1) % n],
+                })
+            })
+            .collect(),
+    }
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    g.bench_function("unit/n64/k2/clean", |b| {
+        let inst = instance(64, 64, 2);
+        let cfg = RouterConfig {
+            mode: RoutingMode::Unit,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut net = Network::new(64, 18, 0.0, Adversary::none());
+            route(&mut net, &inst, &cfg).unwrap()
+        })
+    });
+    g.bench_function("unit/n64/k2/attacked", |b| {
+        let inst = instance(64, 64, 2);
+        let cfg = RouterConfig {
+            mode: RoutingMode::Unit,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut net = Network::new(64, 18, 0.04, AdversarySpec::GreedyFlip.build(9));
+            route(&mut net, &inst, &cfg).unwrap()
+        })
+    });
+    g.bench_function("coverfree/n256/k2/clean", |b| {
+        let inst = instance(256, 64, 2);
+        let cfg = RouterConfig {
+            mode: RoutingMode::CoverFree,
+            ..Default::default()
+        };
+        b.iter(|| {
+            let mut net = Network::new(256, 18, 0.0, Adversary::none());
+            route(&mut net, &inst, &cfg).unwrap()
+        })
+    });
+    g.bench_function("broadcast/n64", |b| {
+        let payload = BitVec::from_fn(128, |i| i % 7 == 0);
+        b.iter(|| {
+            let mut net = Network::new(64, 18, 0.02, AdversarySpec::GreedyFlip.build(10));
+            bdclique_core::broadcast::broadcast(&mut net, 0, &payload, &RouterConfig::default())
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

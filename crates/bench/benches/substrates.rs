@@ -1,0 +1,149 @@
+//! Criterion benchmarks for the substrate crates: codes, LDCs, sketches,
+//! cover-free families (the `A.*` ablation counterparts in wall time).
+
+use bdclique_bits::BitVec;
+use bdclique_codes::{
+    ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode,
+};
+use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
+use bdclique_hash::SharedRandomness;
+use bdclique_sketch::{RecoverySketch, SketchShape};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::time::Duration;
+
+fn bench_codes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codes");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+
+    let rs = ReedSolomon::new(8, 64, 32).unwrap();
+    let msg: Vec<u16> = (0..32).map(|i| (i * 7) % 256).collect();
+    let cw = rs.encode(&msg).unwrap();
+    g.bench_function("rs[64,32]/encode", |b| b.iter(|| rs.encode(&msg).unwrap()));
+    g.bench_function("rs[64,32]/decode-clean", |b| {
+        b.iter(|| rs.decode(&cw, &[false; 64]).unwrap())
+    });
+    let mut noisy = cw.clone();
+    for i in (0..64).step_by(5).take(12) {
+        noisy[i] ^= 0x3c;
+    }
+    g.bench_function("rs[64,32]/decode-12-errors", |b| {
+        b.iter(|| rs.decode(&noisy, &[false; 64]).unwrap())
+    });
+
+    let concat = ConcatenatedCode::new(32, 16).unwrap();
+    let cmsg: Vec<u16> = (0..concat.message_len()).map(|i| (i % 2) as u16).collect();
+    let ccw = concat.encode(&cmsg).unwrap();
+    g.bench_function("concat[512b]/decode-clean", |b| {
+        b.iter(|| concat.decode(&ccw, &vec![false; ccw.len()]).unwrap())
+    });
+
+    let rep = RepetitionCode::new(8, 8, 5).unwrap();
+    let rmsg: Vec<u16> = (0..8).collect();
+    let rcw = rep.encode(&rmsg).unwrap();
+    g.bench_function("repetition-x5/decode", |b| {
+        b.iter(|| rep.decode(&rcw, &vec![false; rcw.len()]).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_ldc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ldc");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let ldc = RmLdc::new(4, 5, 3).unwrap();
+    let msg: Vec<u16> = (0..ldc.message_len()).map(|i| (i % 16) as u16).collect();
+    let cw = ldc.encode(&msg).unwrap();
+    let shared = SharedRandomness::from_bits(&BitVec::from_fn(64, |i| i % 3 == 0));
+    g.bench_function("rm-gf16-d5/encode", |b| b.iter(|| ldc.encode(&msg).unwrap()));
+    g.bench_function("rm-gf16-d5/local-decode", |b| {
+        b.iter(|| {
+            let qs = ldc.decode_indices(7, &shared);
+            let answers: Vec<u16> = qs.iter().map(|&p| cw[p]).collect();
+            ldc.local_decode(7, &answers, &shared).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketch");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let shape = SketchShape::for_capacity(8, 32);
+    let mut rng = ChaCha8Rng::seed_from_u64(1);
+    let shared = SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng));
+    g.bench_function("capacity8/add-256", |b| {
+        b.iter(|| {
+            let mut sk = RecoverySketch::new(shape, &shared);
+            for k in 0..256u64 {
+                sk.add(k, 1).unwrap();
+            }
+            sk
+        })
+    });
+    let mut sk = RecoverySketch::new(shape, &shared);
+    for k in 0..6u64 {
+        sk.add(k * 1000 + 17, 1).unwrap();
+    }
+    g.bench_function("capacity8/recover-6-items", |b| {
+        b.iter(|| sk.recover().unwrap())
+    });
+    g.bench_function("capacity8/wire-roundtrip", |b| {
+        b.iter(|| {
+            let bits = sk.to_bits().unwrap();
+            RecoverySketch::from_bits(shape, &bits, &shared).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_coverfree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coverfree");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 256usize;
+    let params = CoverFreeParams {
+        n,
+        m: 2 * n,
+        r: 1,
+        set_size: 16,
+    };
+    let h: Vec<Vec<u32>> = (0..n).map(|u| vec![2 * u as u32, 2 * u as u32 + 1]).collect();
+    g.bench_function("build-verified/n256/m512", |b| {
+        b.iter(|| CoverFreeFamily::build(params, &h, 0.8, 1, 16).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_random_check(c: &mut Criterion) {
+    // Keep one tiny deterministic bench exercising rng-heavy paths so perf
+    // regressions in hashing show up.
+    let mut g = c.benchmark_group("hashing");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let shared = SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng));
+    g.bench_function("derive-1k-samples", |b| {
+        b.iter(|| shared.uniform_samples("bench", 1000, 1 << 20))
+    });
+    let mut check = 0u64;
+    g.bench_function("kwise-eval-1k", |b| {
+        let fam = bdclique_hash::KWiseHashFamily::new(7, 1 << 20);
+        let h = fam.sample(&mut rng);
+        b.iter(|| {
+            for x in 0..1000u64 {
+                check = check.wrapping_add(h.hash(x));
+            }
+            check
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codes,
+    bench_ldc,
+    bench_sketch,
+    bench_coverfree,
+    bench_random_check
+);
+criterion_main!(benches);

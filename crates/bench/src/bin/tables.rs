@@ -1,0 +1,65 @@
+//! Regenerates Table 1 and every figure-shaped experiment of the paper.
+//!
+//! ```sh
+//! cargo run --release -p bdclique-bench --bin tables            # everything
+//! cargo run --release -p bdclique-bench --bin tables -- t1r3   # one experiment
+//! ```
+//!
+//! Experiment ids (see `DESIGN.md` §2): `t1r1 t1r2 t1r3 t1r4 route matching
+//! frontier compiler codes ldc sketch cfree querypath`.
+
+use bdclique_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
+    let trials = std::env::var("BDC_TRIALS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5usize);
+
+    println!("bdclique experiment suite (trials per config: {trials})");
+    println!("paper: Fischer-Parter, PODC 2025 (arXiv:2505.05735)");
+
+    if want("t1r1") {
+        println!("{}", exp::table1_row1(trials).render());
+    }
+    if want("t1r2") {
+        println!("{}", exp::table1_row2(trials.min(3)).render());
+    }
+    if want("t1r3") {
+        println!("{}", exp::table1_row3(trials).render());
+    }
+    if want("t1r4") {
+        println!("{}", exp::table1_row4(trials).render());
+    }
+    if want("route") {
+        for t in exp::routing_threshold() {
+            println!("{}", t.render());
+        }
+    }
+    if want("matching") {
+        println!("{}", exp::matching_separation(trials).render());
+    }
+    if want("frontier") {
+        println!("{}", exp::frontier(trials.min(3)).render());
+    }
+    if want("compiler") {
+        println!("{}", exp::compiler_overhead().render());
+    }
+    if want("codes") {
+        println!("{}", exp::ablation_codes(trials * 8).render());
+    }
+    if want("ldc") {
+        println!("{}", exp::ablation_ldc(trials * 4).render());
+    }
+    if want("sketch") {
+        println!("{}", exp::ablation_sketch(trials * 20).render());
+    }
+    if want("cfree") {
+        println!("{}", exp::ablation_coverfree().render());
+    }
+    if want("querypath") {
+        println!("{}", exp::ablation_querypath(trials.min(3)).render());
+    }
+}

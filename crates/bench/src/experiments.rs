@@ -1,0 +1,646 @@
+//! The experiment suite: one function per experiment id of `DESIGN.md`.
+//!
+//! Every function returns rendered tables; the `tables` binary dispatches on
+//! experiment ids and `EXPERIMENTS.md` records reference output.
+
+use crate::{aggregate, AdversarySpec, Table};
+use bdclique_bits::BitVec;
+use bdclique_codes::{
+    ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode,
+};
+use bdclique_core::cc::{MaxTwoPhase, SumAll, Transpose};
+use bdclique_core::compiler::{compile, run_fault_free};
+use bdclique_core::protocols::{
+    AdaptiveAllToAll, AdaptiveTakeOne, AllToAllProtocol, DetHypercube, DetSqrt, NaiveExchange,
+    NonAdaptiveAllToAll, RelayReplication,
+};
+use bdclique_core::routing::{route, RouterConfig, RoutingInstance, RoutingMode, SuperMessage};
+use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
+use bdclique_hash::SharedRandomness;
+use bdclique_netsim::{Adversary, Network};
+use bdclique_sketch::{RecoverySketch, SketchShape};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+const BANDWIDTH: usize = 18;
+
+fn fmt_f(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+fn fmt_rate(perfect: usize, trials: usize) -> String {
+    format!("{perfect}/{trials}")
+}
+
+/// `T1.R1` — Table 1, row 1 (Theorem 1.2): non-adaptive randomized
+/// compiler, constant α, `O(1)` rounds.
+pub fn table1_row1(trials: usize) -> Table {
+    let mut t = Table::new(
+        "T1.R1  Thm 1.2: non-adaptive randomized, alpha = 1/16, O(1) rounds",
+        &["n", "budget/node", "adversary", "rounds", "perfect", "errors"],
+    );
+    for n in [16usize, 32, 64] {
+        let alpha = 1.0 / 16.0;
+        // R = Θ(log n) copies (Theorem 1.2's B = Θ(log n) bandwidth): the
+        // per-message failure probability is ~C(R, R/2)·α^{R/2}.
+        let copies = match n {
+            16 => 7,
+            32 => 9,
+            _ => 13,
+        };
+        let proto = NonAdaptiveAllToAll {
+            copies,
+            ..Default::default()
+        };
+        for spec in [AdversarySpec::RandomMatchingsFlip, AdversarySpec::RotatingMatchingFlip] {
+            let agg = aggregate(&proto, n, 2, BANDWIDTH, alpha, spec, trials);
+            t.row(vec![
+                n.to_string(),
+                ((alpha * n as f64) as usize).to_string(),
+                spec.name().into(),
+                fmt_f(agg.mean_rounds),
+                fmt_rate(agg.perfect, agg.trials),
+                agg.total_errors.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// `T1.R2` — Table 1, row 2 (Theorem 1.3): adaptive randomized compilers.
+pub fn table1_row2(trials: usize) -> Table {
+    let mut t = Table::new(
+        "T1.R2  Thm 1.3: adaptive randomized (LDC + sketches)",
+        &["variant", "n", "budget", "adversary", "rounds", "perfect", "errors"],
+    );
+    let configs: Vec<(&str, usize, Box<dyn AllToAllProtocol>)> = vec![
+        (
+            "take1 (O(q))",
+            16,
+            Box::new(AdaptiveTakeOne {
+                line_capacity: 1,
+                lines: 5,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take1 (O(q))",
+            64,
+            Box::new(AdaptiveTakeOne {
+                lines: 5,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 direct",
+            16,
+            Box::new(AdaptiveAllToAll {
+                query_via_ldc: false,
+                line_capacity: 1,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 direct",
+            64,
+            Box::new(AdaptiveAllToAll {
+                query_via_ldc: false,
+                p_size: 8,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 LDC",
+            16,
+            Box::new(AdaptiveAllToAll {
+                line_capacity: 1,
+                ..Default::default()
+            }),
+        ),
+    ];
+    for (variant, n, proto) in &configs {
+        let alpha = 1.5 / *n as f64; // budget 1
+        for spec in [AdversarySpec::GreedyFlip, AdversarySpec::RushingRandom] {
+            let agg = aggregate(proto.as_ref(), *n, 1, BANDWIDTH, alpha, spec, trials);
+            t.row(vec![
+                variant.to_string(),
+                n.to_string(),
+                ((alpha * *n as f64) as usize).to_string(),
+                spec.name().into(),
+                fmt_f(agg.mean_rounds),
+                fmt_rate(agg.perfect, agg.trials),
+                agg.total_errors.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// `T1.R3` — Table 1, row 3 (Theorem 1.4): deterministic, constant α,
+/// `O(log n)` rounds.
+pub fn table1_row3(trials: usize) -> Table {
+    let mut t = Table::new(
+        "T1.R3  Thm 1.4: deterministic hypercube, alpha = 1/16, O(log n) rounds",
+        &["n", "budget", "rounds", "rounds/log2(n)", "perfect", "errors"],
+    );
+    for n in [8usize, 16, 32, 64, 128] {
+        let alpha = 1.0 / 16.0;
+        let proto = DetHypercube::default();
+        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        let log2n = (n as f64).log2();
+        t.row(vec![
+            n.to_string(),
+            ((alpha * n as f64) as usize).to_string(),
+            fmt_f(agg.mean_rounds),
+            fmt_f(agg.mean_rounds / log2n),
+            fmt_rate(agg.perfect, agg.trials),
+            agg.total_errors.to_string(),
+        ]);
+    }
+    t
+}
+
+/// `T1.R4` — Table 1, row 4 (Theorem 1.5): deterministic, α = Θ(1/√n),
+/// `O(1)` rounds, Θ(n^1.5) total corruptions.
+pub fn table1_row4(trials: usize) -> Table {
+    let mut t = Table::new(
+        "T1.R4  Thm 1.5: deterministic sqrt-segments, alpha = 0.5/sqrt(n), O(1) rounds",
+        &["n", "budget", "rounds", "perfect", "errors", "corrupted/trial"],
+    );
+    for n in [16usize, 64, 144, 256] {
+        let alpha = 0.5 / (n as f64).sqrt();
+        let proto = DetSqrt::default();
+        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        t.row(vec![
+            n.to_string(),
+            ((alpha * n as f64) as usize).to_string(),
+            fmt_f(agg.mean_rounds),
+            fmt_rate(agg.perfect, agg.trials),
+            agg.total_errors.to_string(),
+            fmt_f(agg.mean_corrupted),
+        ]);
+    }
+    t
+}
+
+/// `F.ROUTE` — the routing lemma (Theorem 1.1/4.1): decode margin threshold
+/// and engine comparison.
+pub fn routing_threshold() -> Vec<Table> {
+    let mut margin = Table::new(
+        "F.ROUTE(a)  unit-engine margin sweep, n = 64, k = 2, lambda = 64 bits",
+        &["budget", "alpha", "feasible", "rounds", "decode-failures", "payload-errors"],
+    );
+    let n = 64usize;
+    for budget in [0usize, 1, 2, 4, 8, 12, 14, 16] {
+        let alpha = (budget as f64 + 0.2) / n as f64;
+        let instance = routing_instance(n, 64, 2);
+        let mut net = Network::new(
+            n,
+            BANDWIDTH,
+            alpha.min(0.99),
+            AdversarySpec::GreedyFlip.build(5),
+        );
+        let cfg = RouterConfig {
+            mode: RoutingMode::Unit,
+            ..Default::default()
+        };
+        match route(&mut net, &instance, &cfg) {
+            Ok(out) => {
+                let errors = count_routing_errors(&instance, &out.delivered);
+                margin.row(vec![
+                    budget.to_string(),
+                    format!("{alpha:.3}"),
+                    "yes".into(),
+                    out.report.rounds.to_string(),
+                    out.report.decode_failures.to_string(),
+                    errors.to_string(),
+                ]);
+            }
+            Err(_) => margin.row(vec![
+                budget.to_string(),
+                format!("{alpha:.3}"),
+                "no".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+
+    let mut engines = Table::new(
+        "F.ROUTE(b)  engine comparison, n = 256, lambda = 64 bits, fault-free",
+        &["k", "engine", "feasible", "rounds", "stages"],
+    );
+    let n = 256usize;
+    for k in [1usize, 2, 4] {
+        let instance = routing_instance(n, 64, k);
+        for (mode, name) in [(RoutingMode::CoverFree, "cover-free"), (RoutingMode::Unit, "unit")] {
+            let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+            let cfg = RouterConfig {
+                mode,
+                ..Default::default()
+            };
+            match route(&mut net, &instance, &cfg) {
+                Ok(out) => engines.row(vec![
+                    k.to_string(),
+                    name.into(),
+                    "yes".into(),
+                    out.report.rounds.to_string(),
+                    out.report.stages.to_string(),
+                ]),
+                Err(_) => engines.row(vec![
+                    k.to_string(),
+                    name.into(),
+                    "no".into(),
+                    "-".into(),
+                    "-".into(),
+                ]),
+            }
+        }
+    }
+    vec![margin, engines]
+}
+
+fn routing_instance(n: usize, payload_bits: usize, k: usize) -> RoutingInstance {
+    RoutingInstance {
+        n,
+        payload_bits,
+        messages: (0..n)
+            .flat_map(|u| {
+                (0..k).map(move |j| SuperMessage {
+                    src: u,
+                    slot: j,
+                    payload: BitVec::from_fn(payload_bits, |i| (i + u + j) % 3 == 0),
+                    targets: vec![(u + j * 7 + 1) % n],
+                })
+            })
+            .collect(),
+    }
+}
+
+fn count_routing_errors(
+    instance: &RoutingInstance,
+    delivered: &[std::collections::HashMap<(usize, usize), BitVec>],
+) -> usize {
+    let mut errors = 0;
+    for msg in &instance.messages {
+        for &t in &msg.targets {
+            match delivered[t].get(&(msg.src, msg.slot)) {
+                Some(p) if *p == msg.payload => {}
+                _ => errors += 1,
+            }
+        }
+    }
+    errors
+}
+
+/// `F.MATCH` — the mobile-matching separation (Section 3): degree-1 mobile
+/// faults defeat replication but not the compilers.
+pub fn matching_separation(trials: usize) -> Table {
+    let mut t = Table::new(
+        "F.MATCH  mobile matching (alpha = 1/n) vs replication baselines, n = 64",
+        &["protocol", "adversary", "perfect", "errors"],
+    );
+    let n = 64usize;
+    let protocols: Vec<Box<dyn AllToAllProtocol>> = vec![
+        Box::new(NaiveExchange),
+        Box::new(RelayReplication { copies: 3 }),
+        Box::new(RelayReplication { copies: 9 }),
+        Box::new(DetHypercube::default()),
+        Box::new(DetSqrt::default()),
+    ];
+    for proto in &protocols {
+        for spec in [
+            AdversarySpec::RotatingMatchingFlip,
+            AdversarySpec::RelayHunter(3, 11),
+        ] {
+            let agg = aggregate(proto.as_ref(), n, 1, BANDWIDTH, 1.0 / 8.0, spec, trials);
+            t.row(vec![
+                proto.name().into(),
+                spec.name().into(),
+                fmt_rate(agg.perfect, agg.trials),
+                agg.total_errors.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// `F.FREE` — the headline frontier: maximum per-round faulty degree each
+/// protocol tolerates with zero errors, and the rounds it pays.
+pub fn frontier(trials: usize) -> Table {
+    let mut t = Table::new(
+        "F.FREE  fault-tolerance frontier, n = 64 (adaptive greedy flip)",
+        &["protocol", "max budget", "max alpha", "rounds at max", "corrupt-slots/trial"],
+    );
+    let n = 64usize;
+    let protocols: Vec<(Box<dyn AllToAllProtocol>, AdversarySpec, usize)> = vec![
+        (Box::new(NaiveExchange), AdversarySpec::GreedyFlip, 8),
+        (
+            Box::new(RelayReplication { copies: 3 }),
+            AdversarySpec::GreedyFlip,
+            8,
+        ),
+        (
+            Box::new(NonAdaptiveAllToAll {
+                copies: 7,
+                ..Default::default()
+            }),
+            // The non-adaptive protocol is scored against its own model.
+            AdversarySpec::RandomMatchingsFlip,
+            8,
+        ),
+        (Box::new(DetHypercube::default()), AdversarySpec::GreedyFlip, 8),
+        (Box::new(DetSqrt::default()), AdversarySpec::GreedyFlip, 8),
+        (
+            Box::new(AdaptiveTakeOne {
+                lines: 5,
+                ..Default::default()
+            }),
+            AdversarySpec::GreedyFlip,
+            4,
+        ),
+    ];
+    for (proto, spec, max_budget) in &protocols {
+        let mut best: Option<(usize, f64, f64, f64)> = None;
+        for budget in 0..=*max_budget {
+            let alpha = (budget as f64 + 0.2) / n as f64;
+            let agg = aggregate(proto.as_ref(), n, 1, BANDWIDTH, alpha, *spec, trials);
+            if agg.infeasible == 0 && agg.perfect == agg.trials {
+                best = Some((budget, alpha, agg.mean_rounds, agg.mean_corrupted));
+            }
+        }
+        match best {
+            Some((budget, alpha, rounds, corrupted)) => t.row(vec![
+                proto.name().into(),
+                budget.to_string(),
+                format!("{alpha:.3}"),
+                fmt_f(rounds),
+                fmt_f(corrupted),
+            ]),
+            None => t.row(vec![
+                proto.name().into(),
+                "none".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t
+}
+
+/// `F.COMPILE` — compiled Congested Clique algorithms under attack.
+pub fn compiler_overhead() -> Table {
+    let mut t = Table::new(
+        "F.COMPILE  round-by-round compilation under adaptive attack, n = 16",
+        &["algorithm", "cc-rounds", "compiled-rounds", "overhead", "outputs"],
+    );
+    let n = 16usize;
+    let alpha = 0.07;
+    let sum = SumAll {
+        inputs: (0..n as u64).map(|i| i * 13 + 7).collect(),
+        width: 8,
+    };
+    let max = MaxTwoPhase {
+        inputs: (0..n as u64).map(|i| (i * 37) % 101).collect(),
+        width: 8,
+    };
+    let transpose = Transpose {
+        rows: (0..n)
+            .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
+            .collect(),
+        width: 8,
+    };
+    let proto = DetHypercube::default();
+
+    macro_rules! run_algo {
+        ($algo:expr) => {{
+            let reference = run_fault_free(&$algo, n);
+            let mut net = Network::new(n, BANDWIDTH, alpha, AdversarySpec::GreedyFlip.build(3));
+            match compile(&mut net, &$algo, &proto) {
+                Ok(run) => {
+                    let cc_rounds =
+                        bdclique_core::compiler::CliqueAlgorithm::round_count(&$algo);
+                    t.row(vec![
+                        bdclique_core::compiler::CliqueAlgorithm::name(&$algo).into(),
+                        cc_rounds.to_string(),
+                        run.rounds.to_string(),
+                        fmt_f(run.rounds as f64 / cc_rounds as f64),
+                        if run.outputs == reference {
+                            "MATCH".into()
+                        } else {
+                            "MISMATCH".into()
+                        },
+                    ]);
+                }
+                Err(e) => t.row(vec![
+                    bdclique_core::compiler::CliqueAlgorithm::name(&$algo).into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("error: {e}"),
+                ]),
+            }
+        }};
+    }
+    run_algo!(sum);
+    run_algo!(max);
+    run_algo!(transpose);
+    t
+}
+
+/// `A.CODE` — ECC ablation: decode success vs corruption fraction.
+pub fn ablation_codes(trials: usize) -> Table {
+    let mut t = Table::new(
+        "A.CODE  decode success vs random symbol corruption (fraction of codeword)",
+        &["code", "rate", "5%", "10%", "20%", "30%", "40%"],
+    );
+    let rep = RepetitionCode::new(8, 3, 5).unwrap();
+    let rs = ReedSolomon::new(8, 16, 8).unwrap();
+    let concat = ConcatenatedCode::new(16, 8).unwrap();
+    let codes: Vec<(&str, &dyn SymbolCode)> = vec![
+        ("repetition x5", &rep),
+        ("RS[16,8] GF(256)", &rs),
+        ("concat RS+Hamming", &concat),
+    ];
+    let fractions = [0.05, 0.10, 0.20, 0.30, 0.40];
+    for (name, code) in codes {
+        let mut cells = vec![name.to_string(), format!("{:.2}", code.rate())];
+        for &f in &fractions {
+            let mut ok = 0;
+            let mut rng = ChaCha8Rng::seed_from_u64(777);
+            for _ in 0..trials {
+                let msg: Vec<u16> = (0..code.message_len())
+                    .map(|_| rng.gen_range(0..1u32 << code.symbol_bits()) as u16)
+                    .collect();
+                let mut cw = code.encode(&msg).unwrap();
+                let corrupt = ((cw.len() as f64) * f).round() as usize;
+                let mut idx: Vec<usize> = (0..cw.len()).collect();
+                for i in (1..idx.len()).rev() {
+                    idx.swap(i, rng.gen_range(0..=i));
+                }
+                for &p in idx.iter().take(corrupt) {
+                    cw[p] ^= 1 + rng.gen_range(0..(1u32 << code.symbol_bits()) - 1) as u16;
+                }
+                if code.decode(&cw, &vec![false; cw.len()]) == Ok(msg) {
+                    ok += 1;
+                }
+            }
+            cells.push(fmt_rate(ok, trials));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// `A.LDC` — Reed–Muller LDC ablation: line amplification vs corruption.
+pub fn ablation_ldc(trials: usize) -> Table {
+    let mut t = Table::new(
+        "A.LDC  RM-LDC local-decode success vs corruption, GF(16), d = 5",
+        &["lines", "q (queries)", "5%", "10%", "15%", "20%"],
+    );
+    for lines in [1usize, 3, 5, 7] {
+        let ldc = RmLdc::new(4, 5, lines).unwrap();
+        let mut cells = vec![lines.to_string(), ldc.query_count().to_string()];
+        for &f in &[0.05, 0.10, 0.15, 0.20] {
+            let mut ok = 0;
+            let mut total = 0;
+            let mut rng = ChaCha8Rng::seed_from_u64(888);
+            for trial in 0..trials {
+                let msg: Vec<u16> = (0..ldc.message_len())
+                    .map(|_| rng.gen_range(0..16))
+                    .collect();
+                let mut cw = ldc.encode(&msg).unwrap();
+                let corrupt = ((cw.len() as f64) * f).round() as usize;
+                for _ in 0..corrupt {
+                    let p = rng.gen_range(0..cw.len());
+                    cw[p] = rng.gen_range(0..16);
+                }
+                let shared = SharedRandomness::from_bits(&BitVec::from_fn(64, |i| {
+                    (i as u64 + trial as u64).is_multiple_of(3)
+                }));
+                for i in (0..ldc.message_len()).step_by(5) {
+                    total += 1;
+                    let qs = ldc.decode_indices(i, &shared);
+                    let answers: Vec<u16> = qs.iter().map(|&p| cw[p]).collect();
+                    if ldc.local_decode(i, &answers, &shared) == Ok(msg[i]) {
+                        ok += 1;
+                    }
+                }
+            }
+            cells.push(format!("{:.0}%", 100.0 * ok as f64 / total as f64));
+        }
+        t.row(cells);
+    }
+    t
+}
+
+/// `A.SKETCH` — sparse-recovery ablation: success vs load.
+pub fn ablation_sketch(trials: usize) -> Table {
+    let mut t = Table::new(
+        "A.SKETCH  recovery success vs number of residual items (capacity 4 shape)",
+        &["items", "cells", "recovered"],
+    );
+    let shape = SketchShape::for_capacity(4, 32);
+    for items in [1usize, 2, 4, 8, 12, 16, 24] {
+        let mut ok = 0;
+        for trial in 0..trials {
+            let mut rng = ChaCha8Rng::seed_from_u64(trial as u64);
+            let shared = SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng));
+            let mut sk = RecoverySketch::new(shape, &shared);
+            let mut expect = Vec::new();
+            for _ in 0..items {
+                let key = rng.gen_range(0..1u64 << 32);
+                sk.add(key, 1).unwrap();
+                expect.push((key, 1i64));
+            }
+            expect.sort_unstable();
+            expect.dedup_by(|a, b| {
+                if a.0 == b.0 {
+                    b.1 += a.1;
+                    true
+                } else {
+                    false
+                }
+            });
+            if sk.recover() == Some(expect) {
+                ok += 1;
+            }
+        }
+        t.row(vec![
+            items.to_string(),
+            (shape.rows * shape.cols).to_string(),
+            fmt_rate(ok, trials),
+        ]);
+    }
+    t
+}
+
+/// `A.CFREE` — cover-free family ablation: measured worst cover fraction vs
+/// group size.
+pub fn ablation_coverfree() -> Table {
+    let mut t = Table::new(
+        "A.CFREE  measured worst cover fraction vs group size, n = 256, k = 2",
+        &["group", "set size L", "worst fraction", "erasure bound f", "margin left (L-2e-f), e=2"],
+    );
+    let n = 256usize;
+    for group in [4usize, 8, 16, 32] {
+        let l = n / group;
+        let params = CoverFreeParams {
+            n,
+            m: 2 * n,
+            r: 1,
+            set_size: l,
+        };
+        let h: Vec<Vec<u32>> = (0..n)
+            .map(|u| vec![2 * u as u32, 2 * u as u32 + 1])
+            .collect();
+        match CoverFreeFamily::build(params, &h, 1.0, 1, 8) {
+            Ok(fam) => {
+                let f = (2.0 * fam.worst_cover_fraction() * l as f64).ceil() as i64;
+                let margin = l as i64 - 2 * 5 - f; // e_allow = 2·2+1
+                t.row(vec![
+                    group.to_string(),
+                    l.to_string(),
+                    format!("{:.3}", fam.worst_cover_fraction()),
+                    f.to_string(),
+                    margin.to_string(),
+                ]);
+            }
+            Err(e) => t.row(vec![
+                group.to_string(),
+                l.to_string(),
+                format!("error: {e}"),
+                "-".into(),
+                "-".into(),
+            ]),
+        }
+    }
+    t
+}
+
+/// `A.QUERYPATH` — Take II ablation: LDC fetch vs direct sketch pull.
+pub fn ablation_querypath(trials: usize) -> Table {
+    let mut t = Table::new(
+        "A.QUERYPATH  Take II sketch fetch: LDC storage vs direct pull, n = 16, budget 1",
+        &["path", "rounds", "perfect", "errors"],
+    );
+    let n = 16usize;
+    let alpha = 0.07;
+    for (name, via_ldc) in [("LDC (paper)", true), ("direct pull", false)] {
+        let proto = AdaptiveAllToAll {
+            query_via_ldc: via_ldc,
+            line_capacity: 1,
+            ..Default::default()
+        };
+        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        t.row(vec![
+            name.into(),
+            fmt_f(agg.mean_rounds),
+            fmt_rate(agg.perfect, agg.trials),
+            agg.total_errors.to_string(),
+        ]);
+    }
+    t
+}

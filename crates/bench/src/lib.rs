@@ -1,0 +1,276 @@
+//! Shared experiment harness for the `tables` binary and the Criterion
+//! benches: protocol/adversary factories, trial execution, and plain-text
+//! table rendering.
+//!
+//! `DESIGN.md` maps every experiment id (`T1.R1` … `A.SKETCH`) to the
+//! functions in [`crate::experiments`]; `EXPERIMENTS.md` records the
+//! measured outcomes against the paper's claims.
+
+pub mod experiments;
+
+use bdclique_adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
+use bdclique_adversary::corruptors::PayloadCorruptor;
+use bdclique_adversary::plans::{RandomMatchings, RelayPathHunter, RotatingMatching};
+use bdclique_adversary::Payload;
+use bdclique_core::protocols::AllToAllProtocol;
+use bdclique_core::{AllToAllInstance, CoreError};
+use bdclique_netsim::{Adversary, Network};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which adversary to attach to a trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversarySpec {
+    /// Fault-free.
+    None,
+    /// Non-adaptive: `⌊αn⌋` random matchings per round, planned up front,
+    /// flipping every controlled frame.
+    RandomMatchingsFlip,
+    /// Non-adaptive: the rotating tournament matching (α = 1/n class).
+    RotatingMatchingFlip,
+    /// Non-adaptive: the degree-1 relay-path hunter for pair (src, dst).
+    RelayHunter(usize, usize),
+    /// Adaptive: greedily corrupt the busiest edges (rushing).
+    GreedyFlip,
+    /// Adaptive: concentrate the budget on one victim.
+    TargetNodeFlip(usize),
+    /// Adaptive: random busy edges, rushing, random payloads.
+    RushingRandom,
+}
+
+impl AdversarySpec {
+    /// Short name for table rows.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarySpec::None => "none",
+            AdversarySpec::RandomMatchingsFlip => "nbd-matchings",
+            AdversarySpec::RotatingMatchingFlip => "nbd-rotating",
+            AdversarySpec::RelayHunter(..) => "nbd-hunter",
+            AdversarySpec::GreedyFlip => "abd-greedy",
+            AdversarySpec::TargetNodeFlip(_) => "abd-victim",
+            AdversarySpec::RushingRandom => "abd-rushing",
+        }
+    }
+
+    /// Builds the adversary (deterministic in `seed`).
+    pub fn build(&self, seed: u64) -> Adversary {
+        match *self {
+            AdversarySpec::None => Adversary::none(),
+            AdversarySpec::RandomMatchingsFlip => Adversary::non_adaptive(
+                RandomMatchings::new(seed),
+                PayloadCorruptor::new(Payload::Flip, seed),
+            ),
+            AdversarySpec::RotatingMatchingFlip => Adversary::non_adaptive(
+                RotatingMatching::new(),
+                PayloadCorruptor::new(Payload::Flip, seed),
+            ),
+            AdversarySpec::RelayHunter(src, dst) => Adversary::non_adaptive(
+                RelayPathHunter { src, dst },
+                PayloadCorruptor::new(Payload::Flip, seed),
+            ),
+            AdversarySpec::GreedyFlip => {
+                Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed))
+            }
+            AdversarySpec::TargetNodeFlip(victim) => {
+                Adversary::adaptive(TargetNode::new(victim, Payload::Flip, seed))
+            }
+            AdversarySpec::RushingRandom => {
+                Adversary::adaptive(RushingRandom::new(Payload::Random, seed))
+            }
+        }
+    }
+}
+
+/// Outcome of one protocol execution.
+#[derive(Debug, Clone)]
+pub struct Trial {
+    /// Wrong or missing messages (out of `n²`).
+    pub errors: usize,
+    /// Network rounds consumed.
+    pub rounds: u64,
+    /// Honest bits queued.
+    pub bits_sent: u64,
+    /// Corrupted (edge, round) slots used by the adversary.
+    pub edges_corrupted: u64,
+}
+
+/// Runs one trial of `proto` on a fresh network.
+///
+/// # Errors
+///
+/// Propagates protocol parameter errors ([`CoreError`]).
+pub fn run_trial(
+    proto: &dyn AllToAllProtocol,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    seed: u64,
+) -> Result<Trial, CoreError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
+    let inst = AllToAllInstance::random(n, b, &mut rng);
+    let mut net = Network::new(n, bandwidth, alpha, spec.build(seed));
+    let out = proto.run(&mut net, &inst)?;
+    Ok(Trial {
+        errors: inst.count_errors(&out),
+        rounds: net.rounds(),
+        bits_sent: net.stats().bits_sent,
+        edges_corrupted: net.stats().edges_corrupted,
+    })
+}
+
+/// Aggregates several trials of the same configuration.
+#[derive(Debug, Clone, Default)]
+pub struct Aggregate {
+    /// Number of trials.
+    pub trials: usize,
+    /// Trials with zero errors.
+    pub perfect: usize,
+    /// Total errors across trials.
+    pub total_errors: usize,
+    /// Mean rounds.
+    pub mean_rounds: f64,
+    /// Mean corrupted edge-slots per trial.
+    pub mean_corrupted: f64,
+    /// Infeasible-parameter failures.
+    pub infeasible: usize,
+}
+
+/// Runs `trials` seeded trials and aggregates.
+pub fn aggregate(
+    proto: &dyn AllToAllProtocol,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    trials: usize,
+) -> Aggregate {
+    let mut agg = Aggregate {
+        trials,
+        ..Default::default()
+    };
+    let mut rounds_sum = 0u64;
+    let mut corrupted_sum = 0u64;
+    let mut completed = 0usize;
+    for t in 0..trials {
+        match run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64) {
+            Ok(trial) => {
+                completed += 1;
+                if trial.errors == 0 {
+                    agg.perfect += 1;
+                }
+                agg.total_errors += trial.errors;
+                rounds_sum += trial.rounds;
+                corrupted_sum += trial.edges_corrupted;
+            }
+            Err(CoreError::Infeasible { .. }) => agg.infeasible += 1,
+            Err(_) => {}
+        }
+    }
+    if completed > 0 {
+        agg.mean_rounds = rounds_sum as f64 / completed as f64;
+        agg.mean_corrupted = corrupted_sum as f64 / completed as f64;
+    }
+    agg
+}
+
+/// A plain-text table printer for experiment output.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a titled table with column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_core::protocols::NaiveExchange;
+
+    #[test]
+    fn trial_runs_fault_free() {
+        let t = run_trial(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 1).unwrap();
+        assert_eq!(t.errors, 0);
+        assert_eq!(t.rounds, 1);
+    }
+
+    #[test]
+    fn aggregate_counts_perfect_trials() {
+        let agg = aggregate(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 3);
+        assert_eq!(agg.perfect, 3);
+        assert_eq!(agg.total_errors, 0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long-header"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    fn adversary_specs_build() {
+        for spec in [
+            AdversarySpec::None,
+            AdversarySpec::RandomMatchingsFlip,
+            AdversarySpec::RotatingMatchingFlip,
+            AdversarySpec::RelayHunter(0, 1),
+            AdversarySpec::GreedyFlip,
+            AdversarySpec::TargetNodeFlip(2),
+            AdversarySpec::RushingRandom,
+        ] {
+            let _ = spec.build(7);
+            assert!(!spec.name().is_empty());
+        }
+    }
+}

@@ -1,0 +1,526 @@
+//! The [`BitVec`] implementation: 64-bit blocks, LSB-first within a block.
+
+use std::fmt;
+
+/// A growable, compact vector of bits.
+///
+/// Bits are stored LSB-first inside `u64` blocks. Equality, hashing and
+/// ordering consider only the logical `len` bits; trailing block padding is
+/// kept zeroed as an internal invariant.
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_bits::BitVec;
+///
+/// let a = BitVec::from_bools(&[true, false, true]);
+/// let b = BitVec::from_fn(3, |i| i % 2 == 0);
+/// assert_eq!(a, b);
+/// assert_eq!(a.count_ones(), 2);
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BitVec {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitVec {
+    /// Creates an empty bit vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bit vector of `len` zero bits.
+    pub fn zeros(len: usize) -> Self {
+        Self {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates a bit vector from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut v = Self::zeros(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a bit vector of `len` bits where bit `i` is `f(i)`.
+    pub fn from_fn(len: usize, mut f: impl FnMut(usize) -> bool) -> Self {
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if f(i) {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Creates a bit vector of `len` bits from little-endian bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` has fewer than `len.div_ceil(8)` bytes.
+    pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
+        assert!(bytes.len() >= len.div_ceil(8), "not enough bytes for len");
+        let mut v = Self::zeros(len);
+        for i in 0..len {
+            if bytes[i / 8] >> (i % 8) & 1 == 1 {
+                v.set(i, true);
+            }
+        }
+        v
+    }
+
+    /// Serializes to little-endian bytes (`len.div_ceil(8)` of them).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len.div_ceil(8)];
+        for i in 0..self.len {
+            if self.get(i) {
+                out[i / 8] |= 1 << (i % 8);
+            }
+        }
+        out
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Returns bit `i`, or `None` if out of range.
+    pub fn try_get(&self, i: usize) -> Option<bool> {
+        (i < self.len).then(|| self.get(i))
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.blocks[i / 64] |= mask;
+        } else {
+            self.blocks[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.blocks[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// Appends one bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.blocks.push(0);
+        }
+        self.len += 1;
+        if value {
+            self.set(self.len - 1, true);
+        }
+    }
+
+    /// Appends the low `width` bits of `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or if `value` does not fit in `width` bits.
+    pub fn push_uint(&mut self, width: u32, value: u64) {
+        assert!(width <= 64, "width {width} > 64");
+        if width < 64 {
+            assert!(value < 1u64 << width, "value {value} does not fit width {width}");
+        }
+        for b in 0..width {
+            self.push(value >> b & 1 == 1);
+        }
+    }
+
+    /// Reads `width` bits starting at `pos` as an LSB-first integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or the range is out of bounds.
+    pub fn read_uint(&self, pos: usize, width: u32) -> u64 {
+        assert!(width <= 64, "width {width} > 64");
+        assert!(pos + width as usize <= self.len, "read out of range");
+        let mut out = 0u64;
+        for b in 0..width as usize {
+            if self.get(pos + b) {
+                out |= 1 << b;
+            }
+        }
+        out
+    }
+
+    /// Overwrites `width` bits starting at `pos` with `value`, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`, `value` does not fit, or the range is out of
+    /// bounds.
+    pub fn write_uint(&mut self, pos: usize, width: u32, value: u64) {
+        assert!(width <= 64, "width {width} > 64");
+        if width < 64 {
+            assert!(value < 1u64 << width, "value {value} does not fit width {width}");
+        }
+        assert!(pos + width as usize <= self.len, "write out of range");
+        for b in 0..width as usize {
+            self.set(pos + b, value >> b & 1 == 1);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another vector of the same length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hamming(&self, other: &Self) -> usize {
+        assert_eq!(self.len, other.len, "hamming distance needs equal lengths");
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// XORs `other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn xor_assign(&mut self, other: &Self) {
+        assert_eq!(self.len, other.len, "xor needs equal lengths");
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a ^= b;
+        }
+    }
+
+    /// Appends all bits of `other`.
+    pub fn extend_bits(&mut self, other: &Self) {
+        for i in 0..other.len {
+            self.push(other.get(i));
+        }
+    }
+
+    /// Concatenates a sequence of bit vectors.
+    pub fn concat<'a>(parts: impl IntoIterator<Item = &'a Self>) -> Self {
+        let mut out = Self::new();
+        for p in parts {
+            out.extend_bits(p);
+        }
+        out
+    }
+
+    /// Returns the sub-vector `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end > len`.
+    pub fn slice(&self, start: usize, end: usize) -> Self {
+        assert!(start <= end && end <= self.len, "slice out of range");
+        Self::from_fn(end - start, |i| self.get(start + i))
+    }
+
+    /// Splits into `ceil(len / chunk)` chunks of `chunk` bits; the last chunk
+    /// is zero-padded to exactly `chunk` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    pub fn chunks_padded(&self, chunk: usize) -> Vec<Self> {
+        assert!(chunk > 0, "chunk size must be positive");
+        let count = self.len.div_ceil(chunk).max(1);
+        (0..count)
+            .map(|c| {
+                Self::from_fn(chunk, |i| {
+                    let idx = c * chunk + i;
+                    idx < self.len && self.get(idx)
+                })
+            })
+            .collect()
+    }
+
+    /// Zero-pads (or leaves unchanged) so the vector has at least `len` bits.
+    pub fn pad_to(&mut self, len: usize) {
+        while self.len < len {
+            self.push(false);
+        }
+    }
+
+    /// Truncates to at most `len` bits.
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len {
+            return;
+        }
+        *self = self.slice(0, len);
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Packs the bits into symbols of `sym_bits` bits each (LSB first), zero
+    /// padding the tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym_bits == 0` or `sym_bits > 16`.
+    pub fn to_symbols(&self, sym_bits: u32) -> Vec<u16> {
+        assert!(sym_bits > 0 && sym_bits <= 16, "symbol width must be 1..=16");
+        let count = self.len.div_ceil(sym_bits as usize);
+        (0..count)
+            .map(|s| {
+                let mut v = 0u16;
+                for b in 0..sym_bits as usize {
+                    let idx = s * sym_bits as usize + b;
+                    if idx < self.len && self.get(idx) {
+                        v |= 1 << b;
+                    }
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Inverse of [`Self::to_symbols`]: unpacks symbols back into `len` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym_bits` is out of range or there are not enough symbols.
+    pub fn from_symbols(symbols: &[u16], sym_bits: u32, len: usize) -> Self {
+        assert!(sym_bits > 0 && sym_bits <= 16, "symbol width must be 1..=16");
+        assert!(
+            symbols.len() * sym_bits as usize >= len,
+            "not enough symbols for {len} bits"
+        );
+        Self::from_fn(len, |i| {
+            let s = i / sym_bits as usize;
+            let b = i % sym_bits as usize;
+            symbols[s] >> b & 1 == 1
+        })
+    }
+}
+
+impl fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVec[{}; ", self.len)?;
+        let shown = self.len.min(64);
+        for i in 0..shown {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        if self.len > shown {
+            write!(f, "…")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for BitVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for BitVec {
+    fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut v = Self::new();
+        for b in iter {
+            v.push(b);
+        }
+        v
+    }
+}
+
+impl Extend<bool> for BitVec {
+    fn extend<I: IntoIterator<Item = bool>>(&mut self, iter: I) {
+        for b in iter {
+            self.push(b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_set_roundtrip() {
+        let mut v = BitVec::new();
+        for i in 0..200 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 200);
+        for i in 0..200 {
+            assert_eq!(v.get(i), i % 3 == 0, "bit {i}");
+        }
+        v.set(100, true);
+        assert!(v.get(100));
+        v.set(100, false);
+        assert!(!v.get(100));
+    }
+
+    #[test]
+    fn uint_pack_roundtrip() {
+        let mut v = BitVec::new();
+        v.push_uint(13, 0x1abc);
+        v.push_uint(3, 5);
+        v.push_uint(64, u64::MAX);
+        assert_eq!(v.read_uint(0, 13), 0x1abc);
+        assert_eq!(v.read_uint(13, 3), 5);
+        assert_eq!(v.read_uint(16, 64), u64::MAX);
+        v.write_uint(13, 3, 2);
+        assert_eq!(v.read_uint(13, 3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn push_uint_rejects_oversized_value() {
+        let mut v = BitVec::new();
+        v.push_uint(3, 8);
+    }
+
+    #[test]
+    fn hamming_and_xor() {
+        let a = BitVec::from_bools(&[true, true, false, false]);
+        let b = BitVec::from_bools(&[true, false, true, false]);
+        assert_eq!(a.hamming(&b), 2);
+        let mut c = a.clone();
+        c.xor_assign(&b);
+        assert_eq!(c, BitVec::from_bools(&[false, true, true, false]));
+        assert_eq!(c.count_ones(), 2);
+    }
+
+    #[test]
+    fn slice_and_concat() {
+        let v = BitVec::from_fn(100, |i| i % 7 == 0);
+        let s = v.slice(10, 30);
+        assert_eq!(s.len(), 20);
+        for i in 0..20 {
+            assert_eq!(s.get(i), (i + 10) % 7 == 0);
+        }
+        let joined = BitVec::concat([&v.slice(0, 10), &v.slice(10, 100)]);
+        assert_eq!(joined, v);
+    }
+
+    #[test]
+    fn chunks_padded_covers_all_bits() {
+        let v = BitVec::from_fn(21, |i| i % 2 == 0);
+        let chunks = v.chunks_padded(8);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 8));
+        let mut rejoined = BitVec::concat(chunks.iter());
+        rejoined.truncate(21);
+        assert_eq!(rejoined, v);
+    }
+
+    #[test]
+    fn empty_chunks_padded_yields_one_zero_chunk() {
+        let v = BitVec::new();
+        let chunks = v.chunks_padded(4);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], BitVec::zeros(4));
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = BitVec::from_fn(19, |i| i % 5 < 2);
+        let bytes = v.to_bytes();
+        assert_eq!(bytes.len(), 3);
+        assert_eq!(BitVec::from_bytes(&bytes, 19), v);
+    }
+
+    #[test]
+    fn symbols_roundtrip() {
+        let v = BitVec::from_fn(37, |i| (i * i) % 3 == 1);
+        for sym_bits in [1u32, 3, 8, 13, 16] {
+            let syms = v.to_symbols(sym_bits);
+            assert_eq!(syms.len(), 37usize.div_ceil(sym_bits as usize));
+            let back = BitVec::from_symbols(&syms, sym_bits, 37);
+            assert_eq!(back, v, "sym_bits {sym_bits}");
+        }
+    }
+
+    #[test]
+    fn equality_ignores_block_padding() {
+        let mut a = BitVec::zeros(5);
+        let b = BitVec::from_bools(&[false; 5]);
+        a.set(3, true);
+        a.set(3, false);
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let v = BitVec::from_bools(&[true, false, true]);
+        assert_eq!(v.to_string(), "101");
+        assert!(format!("{v:?}").contains("101"));
+        assert!(!format!("{:?}", BitVec::new()).is_empty());
+    }
+
+    #[test]
+    fn pad_and_truncate() {
+        let mut v = BitVec::from_bools(&[true, true]);
+        v.pad_to(5);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.count_ones(), 2);
+        v.truncate(1);
+        assert_eq!(v, BitVec::from_bools(&[true]));
+        v.truncate(10);
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let v: BitVec = (0..10).map(|i| i % 2 == 0).collect();
+        assert_eq!(v.len(), 10);
+        let mut w = BitVec::new();
+        w.extend((0..10).map(|i| i % 2 == 0));
+        assert_eq!(v, w);
+    }
+}

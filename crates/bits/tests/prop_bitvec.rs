@@ -1,0 +1,74 @@
+//! Property-based tests for the `BitVec` wire format.
+
+use bdclique_bits::BitVec;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bools_roundtrip(bools in prop::collection::vec(any::<bool>(), 0..512)) {
+        let v = BitVec::from_bools(&bools);
+        prop_assert_eq!(v.len(), bools.len());
+        let back: Vec<bool> = v.iter().collect();
+        prop_assert_eq!(back, bools);
+    }
+
+    #[test]
+    fn bytes_roundtrip(bools in prop::collection::vec(any::<bool>(), 0..512)) {
+        let v = BitVec::from_bools(&bools);
+        let bytes = v.to_bytes();
+        prop_assert_eq!(BitVec::from_bytes(&bytes, v.len()), v);
+    }
+
+    #[test]
+    fn symbols_roundtrip(
+        bools in prop::collection::vec(any::<bool>(), 0..256),
+        sym_bits in 1u32..=16,
+    ) {
+        let v = BitVec::from_bools(&bools);
+        let syms = v.to_symbols(sym_bits);
+        prop_assert_eq!(BitVec::from_symbols(&syms, sym_bits, v.len()), v);
+    }
+
+    #[test]
+    fn hamming_is_metric(
+        a in prop::collection::vec(any::<bool>(), 64),
+        b in prop::collection::vec(any::<bool>(), 64),
+        c in prop::collection::vec(any::<bool>(), 64),
+    ) {
+        let (a, b, c) = (BitVec::from_bools(&a), BitVec::from_bools(&b), BitVec::from_bools(&c));
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+    }
+
+    #[test]
+    fn xor_distance_equals_ones(
+        a in prop::collection::vec(any::<bool>(), 128),
+        b in prop::collection::vec(any::<bool>(), 128),
+    ) {
+        let a = BitVec::from_bools(&a);
+        let b = BitVec::from_bools(&b);
+        let mut x = a.clone();
+        x.xor_assign(&b);
+        prop_assert_eq!(x.count_ones(), a.hamming(&b));
+    }
+
+    #[test]
+    fn slice_concat_identity(
+        bools in prop::collection::vec(any::<bool>(), 1..256),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let v = BitVec::from_bools(&bools);
+        let cut = cut.index(v.len() + 1);
+        let joined = BitVec::concat([&v.slice(0, cut), &v.slice(cut, v.len())]);
+        prop_assert_eq!(joined, v);
+    }
+
+    #[test]
+    fn uint_roundtrip(width in 1u32..=64, raw in any::<u64>()) {
+        let value = if width == 64 { raw } else { raw & ((1u64 << width) - 1) };
+        let mut v = BitVec::new();
+        v.push_uint(width, value);
+        prop_assert_eq!(v.read_uint(0, width), value);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by all codes in this crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by encoding/decoding operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodeError {
+    /// The received word is too corrupted to decode within the code's
+    /// guaranteed radius.
+    TooManyErrors {
+        /// Human-readable context (which stage failed).
+        context: &'static str,
+    },
+    /// An input slice had the wrong length.
+    LengthMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A symbol value does not fit the code's alphabet.
+    SymbolOutOfRange {
+        /// The offending value.
+        value: u16,
+        /// The alphabet size.
+        alphabet: u32,
+    },
+    /// Local decoding could not reach a majority among its query groups.
+    NoMajority,
+}
+
+impl fmt::Display for CodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodeError::TooManyErrors { context } => {
+                write!(f, "too many errors to decode ({context})")
+            }
+            CodeError::LengthMismatch { expected, actual } => {
+                write!(f, "length mismatch: expected {expected}, got {actual}")
+            }
+            CodeError::SymbolOutOfRange { value, alphabet } => {
+                write!(f, "symbol {value} outside alphabet of size {alphabet}")
+            }
+            CodeError::NoMajority => write!(f, "local decoding reached no majority"),
+        }
+    }
+}
+
+impl Error for CodeError {}

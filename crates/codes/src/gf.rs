@@ -1,0 +1,348 @@
+//! Arithmetic in the binary extension fields GF(2^m), 1 ≤ m ≤ 16.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// Primitive polynomials for GF(2^m), m = 1..=16, written with the leading
+/// term included (e.g. `0x11d = x^8 + x^4 + x^3 + x^2 + 1`).
+const PRIMITIVE_POLYS: [u32; 16] = [
+    0x3,     // m=1:  x + 1
+    0x7,     // m=2:  x^2 + x + 1
+    0xb,     // m=3:  x^3 + x + 1
+    0x13,    // m=4:  x^4 + x + 1
+    0x25,    // m=5:  x^5 + x^2 + 1
+    0x43,    // m=6:  x^6 + x + 1
+    0x89,    // m=7:  x^7 + x^3 + 1
+    0x11d,   // m=8:  x^8 + x^4 + x^3 + x^2 + 1
+    0x211,   // m=9:  x^9 + x^4 + 1
+    0x409,   // m=10: x^10 + x^3 + 1
+    0x805,   // m=11: x^11 + x^2 + 1
+    0x1053,  // m=12: x^12 + x^6 + x^4 + x + 1
+    0x201b,  // m=13: x^13 + x^4 + x^3 + x + 1
+    0x402b,  // m=14: x^14 + x^5 + x^3 + x + 1
+    0x8003,  // m=15: x^15 + x + 1
+    0x1100b, // m=16: x^16 + x^12 + x^3 + x + 1
+];
+
+#[derive(Debug)]
+struct GfInner {
+    m: u32,
+    size: u32,
+    exp: Vec<u16>, // exp[i] = alpha^i, length 2*(size-1) to avoid mod
+    log: Vec<u16>, // log[x] for x != 0
+}
+
+/// The finite field GF(2^m) with precomputed log/exp tables.
+///
+/// Cloning is cheap (the tables are shared behind an [`Arc`]).
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_codes::Gf;
+///
+/// let gf = Gf::new(8);
+/// let a = 0x57;
+/// let b = 0x83;
+/// let p = gf.mul(a, b);
+/// assert_eq!(gf.div(p, b).unwrap(), a);
+/// ```
+#[derive(Clone)]
+pub struct Gf {
+    inner: Arc<GfInner>,
+}
+
+impl fmt::Debug for Gf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Gf(2^{})", self.inner.m)
+    }
+}
+
+impl PartialEq for Gf {
+    fn eq(&self, other: &Self) -> bool {
+        self.inner.m == other.inner.m
+    }
+}
+
+impl Eq for Gf {}
+
+impl Gf {
+    /// Builds GF(2^m).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= m <= 16`.
+    pub fn new(m: u32) -> Self {
+        assert!((1..=16).contains(&m), "GF(2^m) supported for m in 1..=16");
+        let size = 1u32 << m;
+        let poly = PRIMITIVE_POLYS[(m - 1) as usize];
+        let order = size - 1;
+        let mut exp = vec![0u16; (2 * order) as usize + 2];
+        let mut log = vec![0u16; size as usize];
+        let mut x = 1u32;
+        for i in 0..order {
+            exp[i as usize] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & size != 0 {
+                x ^= poly;
+            }
+        }
+        for i in order..(2 * order + 2) {
+            exp[i as usize] = exp[(i - order) as usize];
+        }
+        Self {
+            inner: Arc::new(GfInner { m, size, exp, log }),
+        }
+    }
+
+    /// Field extension degree `m`.
+    pub fn m(&self) -> u32 {
+        self.inner.m
+    }
+
+    /// Field size `2^m`.
+    pub fn size(&self) -> u32 {
+        self.inner.size
+    }
+
+    /// Multiplicative group order `2^m - 1`.
+    pub fn order(&self) -> u32 {
+        self.inner.size - 1
+    }
+
+    /// Checks that `x` is a field element.
+    #[inline]
+    fn check(&self, x: u16) {
+        debug_assert!(
+            (x as u32) < self.inner.size,
+            "element {x} outside GF(2^{})",
+            self.inner.m
+        );
+    }
+
+    /// Addition (XOR in characteristic 2).
+    #[inline]
+    pub fn add(&self, a: u16, b: u16) -> u16 {
+        self.check(a);
+        self.check(b);
+        a ^ b
+    }
+
+    /// Subtraction (identical to addition in characteristic 2).
+    #[inline]
+    pub fn sub(&self, a: u16, b: u16) -> u16 {
+        self.add(a, b)
+    }
+
+    /// Multiplication via log/exp tables.
+    #[inline]
+    pub fn mul(&self, a: u16, b: u16) -> u16 {
+        self.check(a);
+        self.check(b);
+        if a == 0 || b == 0 {
+            return 0;
+        }
+        let inner = &self.inner;
+        let idx = inner.log[a as usize] as usize + inner.log[b as usize] as usize;
+        inner.exp[idx]
+    }
+
+    /// Multiplicative inverse; `None` for zero.
+    #[inline]
+    pub fn inv(&self, a: u16) -> Option<u16> {
+        self.check(a);
+        if a == 0 {
+            return None;
+        }
+        let inner = &self.inner;
+        Some(inner.exp[(inner.size - 1) as usize - inner.log[a as usize] as usize])
+    }
+
+    /// Division; `None` when dividing by zero.
+    #[inline]
+    pub fn div(&self, a: u16, b: u16) -> Option<u16> {
+        Some(self.mul(a, self.inv(b)?))
+    }
+
+    /// `alpha^i` for the fixed primitive element alpha.
+    #[inline]
+    pub fn alpha_pow(&self, i: u32) -> u16 {
+        self.inner.exp[(i % self.order()) as usize]
+    }
+
+    /// Discrete log base alpha; `None` for zero.
+    pub fn log(&self, a: u16) -> Option<u16> {
+        self.check(a);
+        if a == 0 {
+            None
+        } else {
+            Some(self.inner.log[a as usize])
+        }
+    }
+
+    /// `a^e` for a field element `a`.
+    pub fn pow(&self, a: u16, e: u32) -> u16 {
+        self.check(a);
+        if a == 0 {
+            return if e == 0 { 1 } else { 0 };
+        }
+        let l = self.inner.log[a as usize] as u64 * e as u64;
+        self.inner.exp[(l % self.order() as u64) as usize]
+    }
+
+    /// Evaluates a polynomial (coefficients low-degree first) at `x`.
+    pub fn poly_eval(&self, coeffs: &[u16], x: u16) -> u16 {
+        let mut acc = 0u16;
+        for &c in coeffs.iter().rev() {
+            acc = self.add(self.mul(acc, x), c);
+        }
+        acc
+    }
+
+    /// Multiplies two polynomials (coefficients low-degree first).
+    pub fn poly_mul(&self, a: &[u16], b: &[u16]) -> Vec<u16> {
+        if a.is_empty() || b.is_empty() {
+            return vec![];
+        }
+        let mut out = vec![0u16; a.len() + b.len() - 1];
+        for (i, &ai) in a.iter().enumerate() {
+            if ai == 0 {
+                continue;
+            }
+            for (j, &bj) in b.iter().enumerate() {
+                out[i + j] ^= self.mul(ai, bj);
+            }
+        }
+        out
+    }
+
+    /// Formal derivative of a polynomial (characteristic 2: odd-degree terms
+    /// survive).
+    pub fn poly_derivative(&self, a: &[u16]) -> Vec<u16> {
+        if a.len() <= 1 {
+            return vec![0];
+        }
+        let mut out = vec![0u16; a.len() - 1];
+        for (i, item) in out.iter_mut().enumerate() {
+            // coefficient of x^i in derivative = (i+1) * a[i+1]; in char 2
+            // this is a[i+1] when i is even, 0 when odd.
+            *item = if i % 2 == 0 { a[i + 1] } else { 0 };
+        }
+        out
+    }
+
+    /// Divides polynomial `num` by `den`, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is the zero polynomial.
+    pub fn poly_divmod(&self, num: &[u16], den: &[u16]) -> (Vec<u16>, Vec<u16>) {
+        let dd = den
+            .iter()
+            .rposition(|&c| c != 0)
+            .expect("division by zero polynomial");
+        let mut rem: Vec<u16> = num.to_vec();
+        let nd = rem.iter().rposition(|&c| c != 0).unwrap_or(0);
+        if nd < dd {
+            return (vec![0], rem);
+        }
+        let mut quot = vec![0u16; nd - dd + 1];
+        let lead_inv = self.inv(den[dd]).expect("nonzero leading coefficient");
+        for i in (dd..=nd).rev() {
+            if rem[i] == 0 {
+                continue;
+            }
+            let q = self.mul(rem[i], lead_inv);
+            quot[i - dd] = q;
+            for (j, &dc) in den.iter().enumerate().take(dd + 1) {
+                rem[i - dd + j] ^= self.mul(q, dc);
+            }
+        }
+        rem.truncate(dd.max(1));
+        (quot, rem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_consistent_for_all_supported_m() {
+        for m in 1..=16u32 {
+            let gf = Gf::new(m);
+            // alpha generates the multiplicative group: alpha^(order) == 1
+            // and all powers below are distinct (checked via log roundtrip).
+            assert_eq!(gf.alpha_pow(gf.order()), 1, "m={m}");
+            for i in 0..gf.order().min(1000) {
+                let x = gf.alpha_pow(i);
+                assert_eq!(gf.log(x), Some(i as u16), "m={m}, i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn gf256_known_products() {
+        let gf = Gf::new(8);
+        // Known AES-adjacent products under poly 0x11d.
+        assert_eq!(gf.mul(0, 123), 0);
+        assert_eq!(gf.mul(1, 123), 123);
+        assert_eq!(gf.mul(2, 0x80), 0x1d); // x * x^7 = x^8 = 0x1d mod 0x11d
+    }
+
+    #[test]
+    fn inverses() {
+        let gf = Gf::new(8);
+        assert_eq!(gf.inv(0), None);
+        for a in 1..=255u16 {
+            let inv = gf.inv(a).unwrap();
+            assert_eq!(gf.mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = Gf::new(5);
+        for a in 0..32u16 {
+            let mut acc = 1u16;
+            for e in 0..10u32 {
+                assert_eq!(gf.pow(a, e), acc, "a={a}, e={e}");
+                acc = gf.mul(acc, a);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 3), 0);
+    }
+
+    #[test]
+    fn poly_eval_horner() {
+        let gf = Gf::new(4);
+        // p(x) = 3 + 5x + 7x^2
+        let p = [3u16, 5, 7];
+        for x in 0..16u16 {
+            let direct = gf.add(gf.add(3, gf.mul(5, x)), gf.mul(7, gf.mul(x, x)));
+            assert_eq!(gf.poly_eval(&p, x), direct);
+        }
+    }
+
+    #[test]
+    fn poly_mul_then_divmod_roundtrip() {
+        let gf = Gf::new(8);
+        let a = [1u16, 2, 3, 4];
+        let b = [5u16, 6, 7];
+        let prod = gf.poly_mul(&a, &b);
+        let (q, r) = gf.poly_divmod(&prod, &b);
+        assert_eq!(q, a.to_vec());
+        assert!(r.iter().all(|&c| c == 0), "remainder {r:?}");
+    }
+
+    #[test]
+    fn poly_derivative_char2() {
+        let gf = Gf::new(4);
+        // d/dx (a + bx + cx^2 + dx^3) = b + dx^2 in characteristic 2.
+        let d = gf.poly_derivative(&[9, 8, 7, 6]);
+        assert_eq!(d, vec![8, 0, 6]);
+        assert_eq!(gf.poly_derivative(&[5]), vec![0]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The extended Hamming `[8,4,4]` binary code, used as the inner code of the
+//! Justesen-style concatenation.
+
+use crate::error::CodeError;
+use crate::traits::SymbolCode;
+
+/// Generator rows of the extended Hamming `[8,4,4]` code, `G = [I | A]`.
+const GEN: [u8; 4] = [
+    0b1110_0001, // bit i of row r set => codeword bit i (LSB-first: data bits 0..4, parity 4..8)
+    0b1101_0010,
+    0b1011_0100,
+    0b0111_1000,
+];
+
+/// The extended Hamming `[8,4,4]` code with maximum-likelihood decoding.
+///
+/// Sixteen codewords; ML decoding over non-erased positions corrects any
+/// single bit error and flags ambiguous words. Used per-nibble by
+/// [`crate::ConcatenatedCode`].
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_codes::{HammingCode, SymbolCode};
+///
+/// let code = HammingCode::new();
+/// let mut cw = code.encode(&[1, 0, 1, 1]).unwrap();
+/// cw[2] ^= 1; // single bit error
+/// assert_eq!(code.decode(&cw, &[false; 8]).unwrap(), vec![1, 0, 1, 1]);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HammingCode {
+    codebook: [u8; 16],
+}
+
+impl HammingCode {
+    /// Builds the code (precomputes the 16-entry codebook).
+    pub fn new() -> Self {
+        let mut codebook = [0u8; 16];
+        for (msg, slot) in codebook.iter_mut().enumerate() {
+            let mut cw = 0u8;
+            for (r, &row) in GEN.iter().enumerate() {
+                if msg >> r & 1 == 1 {
+                    cw ^= row;
+                }
+            }
+            *slot = cw;
+        }
+        Self { codebook }
+    }
+
+    /// Encodes a 4-bit nibble into an 8-bit codeword (both LSB-first).
+    pub fn encode_nibble(&self, nibble: u8) -> u8 {
+        self.codebook[(nibble & 0xf) as usize]
+    }
+
+    /// ML-decodes an 8-bit word with an erasure mask (`1` bits of `mask` are
+    /// ignored). Returns `(nibble, ambiguous)` where `ambiguous` is true
+    /// when two codewords tie at minimum distance.
+    pub fn decode_nibble(&self, word: u8, erasure_mask: u8) -> (u8, bool) {
+        let care = !erasure_mask;
+        let mut best = 0u8;
+        let mut best_dist = u32::MAX;
+        let mut ambiguous = false;
+        for (msg, &cw) in self.codebook.iter().enumerate() {
+            let dist = ((word ^ cw) & care).count_ones();
+            match dist.cmp(&best_dist) {
+                std::cmp::Ordering::Less => {
+                    best = msg as u8;
+                    best_dist = dist;
+                    ambiguous = false;
+                }
+                std::cmp::Ordering::Equal => ambiguous = true,
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        (best, ambiguous)
+    }
+}
+
+impl SymbolCode for HammingCode {
+    fn message_len(&self) -> usize {
+        4
+    }
+
+    fn codeword_len(&self) -> usize {
+        8
+    }
+
+    fn symbol_bits(&self) -> u32 {
+        1
+    }
+
+    fn distance(&self) -> usize {
+        4
+    }
+
+    fn encode(&self, msg: &[u16]) -> Result<Vec<u16>, CodeError> {
+        if msg.len() != 4 {
+            return Err(CodeError::LengthMismatch {
+                expected: 4,
+                actual: msg.len(),
+            });
+        }
+        let mut nibble = 0u8;
+        for (i, &b) in msg.iter().enumerate() {
+            if b > 1 {
+                return Err(CodeError::SymbolOutOfRange {
+                    value: b,
+                    alphabet: 2,
+                });
+            }
+            nibble |= (b as u8) << i;
+        }
+        let cw = self.encode_nibble(nibble);
+        Ok((0..8).map(|i| u16::from(cw >> i & 1)).collect())
+    }
+
+    fn decode(&self, received: &[u16], erasures: &[bool]) -> Result<Vec<u16>, CodeError> {
+        if received.len() != 8 || erasures.len() != 8 {
+            return Err(CodeError::LengthMismatch {
+                expected: 8,
+                actual: received.len().min(erasures.len()),
+            });
+        }
+        let mut word = 0u8;
+        let mut mask = 0u8;
+        for i in 0..8 {
+            if received[i] > 1 {
+                return Err(CodeError::SymbolOutOfRange {
+                    value: received[i],
+                    alphabet: 2,
+                });
+            }
+            word |= (received[i] as u8) << i;
+            if erasures[i] {
+                mask |= 1 << i;
+            }
+        }
+        let (nibble, ambiguous) = self.decode_nibble(word, mask);
+        if ambiguous {
+            return Err(CodeError::TooManyErrors {
+                context: "ambiguous inner ML decode",
+            });
+        }
+        Ok((0..4).map(|i| u16::from(nibble >> i & 1)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_codewords_have_weight_geq_4() {
+        let code = HammingCode::new();
+        for msg in 1..16u8 {
+            let cw = code.encode_nibble(msg);
+            assert!(cw.count_ones() >= 4, "msg {msg} -> weight {}", cw.count_ones());
+        }
+    }
+
+    #[test]
+    fn minimum_distance_is_4() {
+        let code = HammingCode::new();
+        let mut min = u32::MAX;
+        for a in 0..16u8 {
+            for b in (a + 1)..16 {
+                let d = (code.encode_nibble(a) ^ code.encode_nibble(b)).count_ones();
+                min = min.min(d);
+            }
+        }
+        assert_eq!(min, 4);
+    }
+
+    #[test]
+    fn corrects_every_single_bit_error() {
+        let code = HammingCode::new();
+        for msg in 0..16u8 {
+            let cw = code.encode_nibble(msg);
+            for bit in 0..8 {
+                let (dec, amb) = code.decode_nibble(cw ^ (1 << bit), 0);
+                assert!(!amb, "msg {msg} bit {bit}");
+                assert_eq!(dec, msg, "msg {msg} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn double_errors_are_flagged_ambiguous() {
+        let code = HammingCode::new();
+        let mut flagged = 0;
+        let mut total = 0;
+        for msg in 0..16u8 {
+            let cw = code.encode_nibble(msg);
+            for b1 in 0..8 {
+                for b2 in (b1 + 1)..8 {
+                    let (_, amb) = code.decode_nibble(cw ^ (1 << b1) ^ (1 << b2), 0);
+                    total += 1;
+                    if amb {
+                        flagged += 1;
+                    }
+                }
+            }
+        }
+        // With distance 4, every weight-2 error lands equidistant between
+        // codewords: all must be flagged.
+        assert_eq!(flagged, total);
+    }
+
+    #[test]
+    fn erasures_plus_error_within_budget() {
+        let code = HammingCode::new();
+        // 1 error + 1 erasure: 2e + f = 3 < 4, always decodable.
+        for msg in 0..16u8 {
+            let cw = code.encode_nibble(msg);
+            for err in 0..8 {
+                for era in 0..8 {
+                    if era == err {
+                        continue;
+                    }
+                    let word = cw ^ (1 << err) ^ (1 << era); // erased bit garbage
+                    let (dec, amb) = code.decode_nibble(word, 1 << era);
+                    assert!(!amb && dec == msg, "msg {msg} err {err} era {era}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_code_roundtrip() {
+        let code = HammingCode::new();
+        let msg = vec![1u16, 1, 0, 1];
+        let cw = code.encode(&msg).unwrap();
+        assert_eq!(cw.len(), 8);
+        assert_eq!(code.decode(&cw, &[false; 8]).unwrap(), msg);
+        assert_eq!(code.distance(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Repetition code: the trivial baseline for the `A.CODE` ablation.
+
+use crate::error::CodeError;
+use crate::traits::SymbolCode;
+
+/// An `r`-fold repetition code over `symbol_bits`-bit symbols.
+///
+/// Each message symbol is repeated `r` times consecutively; decoding takes a
+/// plurality vote over non-erased copies. Rate `1/r`, distance `r` — the
+/// baseline every structured code should beat in the benchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_codes::{RepetitionCode, SymbolCode};
+///
+/// let code = RepetitionCode::new(8, 2, 3).unwrap();
+/// let mut cw = code.encode(&[7, 9]).unwrap();
+/// cw[0] = 99; // one corrupted copy of symbol 0
+/// assert_eq!(code.decode(&cw, &[false; 6]).unwrap(), vec![7, 9]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RepetitionCode {
+    symbol_bits: u32,
+    message_len: usize,
+    r: usize,
+}
+
+impl RepetitionCode {
+    /// Builds an `r`-fold repetition code for `message_len` symbols of
+    /// `symbol_bits` bits.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `r == 0`, `message_len == 0`, or symbol widths outside
+    /// `1..=16`.
+    pub fn new(symbol_bits: u32, message_len: usize, r: usize) -> Result<Self, CodeError> {
+        if r == 0 || message_len == 0 {
+            return Err(CodeError::LengthMismatch {
+                expected: 1,
+                actual: 0,
+            });
+        }
+        if symbol_bits == 0 || symbol_bits > 16 {
+            return Err(CodeError::SymbolOutOfRange {
+                value: symbol_bits as u16,
+                alphabet: 16,
+            });
+        }
+        Ok(Self {
+            symbol_bits,
+            message_len,
+            r,
+        })
+    }
+
+    /// The repetition factor.
+    pub fn repetitions(&self) -> usize {
+        self.r
+    }
+}
+
+impl SymbolCode for RepetitionCode {
+    fn message_len(&self) -> usize {
+        self.message_len
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.message_len * self.r
+    }
+
+    fn symbol_bits(&self) -> u32 {
+        self.symbol_bits
+    }
+
+    fn distance(&self) -> usize {
+        self.r
+    }
+
+    fn encode(&self, msg: &[u16]) -> Result<Vec<u16>, CodeError> {
+        if msg.len() != self.message_len {
+            return Err(CodeError::LengthMismatch {
+                expected: self.message_len,
+                actual: msg.len(),
+            });
+        }
+        let alphabet = 1u32 << self.symbol_bits;
+        let mut out = Vec::with_capacity(self.codeword_len());
+        for &s in msg {
+            if s as u32 >= alphabet {
+                return Err(CodeError::SymbolOutOfRange { value: s, alphabet });
+            }
+            out.extend(std::iter::repeat_n(s, self.r));
+        }
+        Ok(out)
+    }
+
+    fn decode(&self, received: &[u16], erasures: &[bool]) -> Result<Vec<u16>, CodeError> {
+        if received.len() != self.codeword_len() || erasures.len() != self.codeword_len() {
+            return Err(CodeError::LengthMismatch {
+                expected: self.codeword_len(),
+                actual: received.len().min(erasures.len()),
+            });
+        }
+        let mut out = Vec::with_capacity(self.message_len);
+        for sym in 0..self.message_len {
+            let base = sym * self.r;
+            let mut votes: Vec<(u16, usize)> = Vec::new();
+            for copy in 0..self.r {
+                if erasures[base + copy] {
+                    continue;
+                }
+                let v = received[base + copy];
+                match votes.iter_mut().find(|(val, _)| *val == v) {
+                    Some((_, count)) => *count += 1,
+                    None => votes.push((v, 1)),
+                }
+            }
+            votes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            match votes.as_slice() {
+                [] => {
+                    return Err(CodeError::TooManyErrors {
+                        context: "all copies of a repetition symbol erased",
+                    })
+                }
+                [(v, _)] => out.push(*v),
+                [(v1, c1), (_, c2), ..] => {
+                    if c1 == c2 {
+                        return Err(CodeError::TooManyErrors {
+                            context: "repetition plurality tie",
+                        });
+                    }
+                    out.push(*v1);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_clean() {
+        let code = RepetitionCode::new(4, 3, 5).unwrap();
+        let msg = vec![1, 2, 3];
+        let cw = code.encode(&msg).unwrap();
+        assert_eq!(cw.len(), 15);
+        assert_eq!(code.decode(&cw, &[false; 15]).unwrap(), msg);
+    }
+
+    #[test]
+    fn majority_beats_minority_corruption() {
+        let code = RepetitionCode::new(8, 1, 5).unwrap();
+        let mut cw = code.encode(&[42]).unwrap();
+        cw[0] = 1;
+        cw[1] = 2; // two distinct corruptions lose to three honest copies
+        assert_eq!(code.decode(&cw, &[false; 5]).unwrap(), vec![42]);
+    }
+
+    #[test]
+    fn tie_is_an_error() {
+        let code = RepetitionCode::new(8, 1, 4).unwrap();
+        let mut cw = code.encode(&[42]).unwrap();
+        cw[0] = 7;
+        cw[1] = 7; // 2 vs 2 tie
+        assert!(matches!(
+            code.decode(&cw, &[false; 4]),
+            Err(CodeError::TooManyErrors { .. })
+        ));
+    }
+
+    #[test]
+    fn erasures_do_not_vote() {
+        let code = RepetitionCode::new(8, 1, 3).unwrap();
+        let mut cw = code.encode(&[9]).unwrap();
+        cw[0] = 1;
+        cw[1] = 1; // two bad copies…
+        let mut eras = vec![false; 3];
+        eras[0] = true;
+        eras[1] = true; // …but both erased
+        assert_eq!(code.decode(&cw, &eras).unwrap(), vec![9]);
+    }
+
+    #[test]
+    fn all_erased_fails() {
+        let code = RepetitionCode::new(8, 1, 2).unwrap();
+        let cw = code.encode(&[3]).unwrap();
+        assert!(code.decode(&cw, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_construction() {
+        assert!(RepetitionCode::new(8, 0, 3).is_err());
+        assert!(RepetitionCode::new(8, 3, 0).is_err());
+        assert!(RepetitionCode::new(0, 3, 3).is_err());
+        assert!(RepetitionCode::new(17, 3, 3).is_err());
+    }
+}

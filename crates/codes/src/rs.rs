@@ -1,0 +1,482 @@
+//! Systematic Reed–Solomon codes with errors-and-erasures decoding.
+//!
+//! The resilient super-message routing scheme (Theorem 4.1) encodes every
+//! super-message with a constant-rate, constant-distance code and scatters
+//! one codeword symbol per node. Positions suppressed by the
+//! `InLoad`/`OutLoad` = 1 filters are *known* to the receiver and are treated
+//! as erasures, which doubles their correction efficiency: the decoder
+//! corrects any pattern of `e` errors and `f` erasures with `2e + f < n-k+1`.
+
+use crate::error::CodeError;
+use crate::gf::Gf;
+use crate::traits::SymbolCode;
+
+/// A systematic Reed–Solomon code `[n, k]` over GF(2^m).
+///
+/// The codeword layout is *message first*: symbols `0..k` are the message,
+/// symbols `k..n` are parity. Decoding is Berlekamp–Massey with the
+/// Forney-style erasure initialization, correcting `e` errors plus `f`
+/// erasures whenever `2e + f ≤ n - k`.
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_codes::{ReedSolomon, SymbolCode};
+///
+/// let rs = ReedSolomon::new(8, 16, 8).unwrap();
+/// let msg: Vec<u16> = (0..8).collect();
+/// let mut cw = rs.encode(&msg).unwrap();
+/// cw[0] ^= 0xff; // error
+/// cw[5] ^= 0x0f; // error
+/// let erasures = vec![false; 16];
+/// assert_eq!(rs.decode(&cw, &erasures).unwrap(), msg);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReedSolomon {
+    gf: Gf,
+    n: usize,
+    k: usize,
+    /// Generator polynomial, low degree first, degree n-k.
+    generator: Vec<u16>,
+}
+
+impl ReedSolomon {
+    /// Builds an `[n, k]` Reed–Solomon code over GF(2^m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CodeError::LengthMismatch`] when `k == 0`, `k >= n`, or
+    /// `n > 2^m - 1` (the maximum Reed–Solomon length for the field).
+    pub fn new(m: u32, n: usize, k: usize) -> Result<Self, CodeError> {
+        let gf = Gf::new(m);
+        if k == 0 || k >= n || n > gf.order() as usize {
+            return Err(CodeError::LengthMismatch {
+                expected: gf.order() as usize,
+                actual: n,
+            });
+        }
+        // g(x) = prod_{j=1}^{n-k} (x - alpha^j)
+        let mut generator = vec![1u16];
+        for j in 1..=(n - k) as u32 {
+            generator = gf.poly_mul(&generator, &[gf.alpha_pow(j), 1]);
+        }
+        Ok(Self { gf, n, k, generator })
+    }
+
+    /// The underlying field.
+    pub fn field(&self) -> &Gf {
+        &self.gf
+    }
+
+    /// Number of parity symbols `n - k` (= design distance − 1).
+    pub fn parity_len(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Maximum number of correctable errors with no erasures.
+    pub fn error_capacity(&self) -> usize {
+        (self.n - self.k) / 2
+    }
+
+    fn syndromes(&self, word: &[u16]) -> Vec<u16> {
+        // S_j = word(alpha^j) for j = 1..=n-k; stored 0-indexed.
+        (1..=(self.n - self.k) as u32)
+            .map(|j| self.gf.poly_eval(word, self.gf.alpha_pow(j)))
+            .collect()
+    }
+
+    /// Decodes and also reports which positions were corrected.
+    ///
+    /// Returns `(message, corrected_positions)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SymbolCode::decode`].
+    pub fn decode_detailed(
+        &self,
+        received: &[u16],
+        erasures: &[bool],
+    ) -> Result<(Vec<u16>, Vec<usize>), CodeError> {
+        if received.len() != self.n {
+            return Err(CodeError::LengthMismatch {
+                expected: self.n,
+                actual: received.len(),
+            });
+        }
+        if erasures.len() != self.n {
+            return Err(CodeError::LengthMismatch {
+                expected: self.n,
+                actual: erasures.len(),
+            });
+        }
+        for &s in received {
+            if s as u32 >= self.gf.size() {
+                return Err(CodeError::SymbolOutOfRange {
+                    value: s,
+                    alphabet: self.gf.size(),
+                });
+            }
+        }
+        let gf = &self.gf;
+        let two_t = self.n - self.k;
+
+        // Convert the public (message-first) layout into coefficient order:
+        // the codeword polynomial has parity in coefficients 0..two_t and
+        // the message in coefficients two_t..n. Position i then has locator
+        // X_i = alpha^i.
+        let to_coeff = |pub_pos: usize| {
+            if pub_pos < self.k {
+                pub_pos + two_t
+            } else {
+                pub_pos - self.k
+            }
+        };
+        let to_public = |coeff_pos: usize| {
+            if coeff_pos < two_t {
+                coeff_pos + self.k
+            } else {
+                coeff_pos - two_t
+            }
+        };
+        let mut word = vec![0u16; self.n];
+        let mut eras_coeff = vec![false; self.n];
+        for (pub_pos, &sym) in received.iter().enumerate() {
+            word[to_coeff(pub_pos)] = sym;
+            eras_coeff[to_coeff(pub_pos)] = erasures[pub_pos];
+        }
+        let erased: Vec<usize> = (0..self.n).filter(|&i| eras_coeff[i]).collect();
+        let f = erased.len();
+        if f > two_t {
+            return Err(CodeError::TooManyErrors {
+                context: "more erasures than parity symbols",
+            });
+        }
+        for &i in &erased {
+            word[i] = 0;
+        }
+
+        let synd = self.syndromes(&word);
+        if synd.iter().all(|&s| s == 0) {
+            // Already a codeword (erasure corrections are all zero).
+            return Ok((word[two_t..].to_vec(), vec![]));
+        }
+
+        // Erasure locator Gamma(x) = prod (1 - X_i x); char 2 => (1 + X_i x).
+        let mut lambda = vec![0u16; two_t + 2];
+        lambda[0] = 1;
+        let mut deg_lambda = 0usize;
+        for &pos in &erased {
+            let x_i = gf.alpha_pow(pos as u32);
+            // lambda *= (1 + X_i x)
+            for d in (0..=deg_lambda).rev() {
+                let add = gf.mul(lambda[d], x_i);
+                lambda[d + 1] ^= add;
+            }
+            deg_lambda += 1;
+        }
+
+        // Berlekamp–Massey with erasure initialization.
+        let mut b = lambda.clone();
+        let mut el = f;
+        for r in (f + 1)..=two_t {
+            // discrepancy = sum_i lambda[i] * S_{r-i} (S is 1-indexed).
+            let mut discr = 0u16;
+            for i in 0..=deg_lambda.min(r - 1) {
+                discr ^= gf.mul(lambda[i], synd[r - 1 - i]);
+            }
+            if discr == 0 {
+                // b *= x
+                b.rotate_right(1);
+                b[0] = 0;
+            } else {
+                // T = lambda - discr * x * b
+                let mut t = lambda.clone();
+                for i in 0..b.len() - 1 {
+                    t[i + 1] ^= gf.mul(discr, b[i]);
+                }
+                if 2 * el < r + f {
+                    el = r + f - el;
+                    let dinv = gf.inv(discr).expect("nonzero discrepancy");
+                    b = lambda.iter().map(|&c| gf.mul(c, dinv)).collect();
+                    lambda = t;
+                } else {
+                    lambda = t;
+                    b.rotate_right(1);
+                    b[0] = 0;
+                }
+                deg_lambda = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+            }
+        }
+
+        let nu = deg_lambda;
+        if nu > two_t {
+            return Err(CodeError::TooManyErrors {
+                context: "locator degree exceeds parity budget",
+            });
+        }
+
+        // Chien search: roots of lambda among {X_i^{-1}} for i in 0..n.
+        let mut positions = Vec::with_capacity(nu);
+        for i in 0..self.n {
+            let x_inv = gf
+                .inv(gf.alpha_pow(i as u32))
+                .expect("alpha powers are nonzero");
+            if gf.poly_eval(&lambda[..=nu], x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != nu {
+            return Err(CodeError::TooManyErrors {
+                context: "locator roots do not match degree",
+            });
+        }
+
+        // Omega(x) = S(x) * lambda(x) mod x^{2t}, with S(x) = sum S_j x^{j-1}.
+        let mut omega = vec![0u16; two_t];
+        for (i, &li) in lambda.iter().enumerate().take(nu + 1) {
+            if li == 0 {
+                continue;
+            }
+            for j in 0..two_t {
+                if i + j < two_t {
+                    omega[i + j] ^= gf.mul(li, synd[j]);
+                }
+            }
+        }
+        let lambda_deriv = gf.poly_derivative(&lambda[..=nu]);
+
+        // Forney: e_i = Omega(X_i^{-1}) / lambda'(X_i^{-1}).
+        let mut corrected = Vec::new();
+        for &pos in &positions {
+            let x_inv = gf.inv(gf.alpha_pow(pos as u32)).expect("nonzero");
+            let num = gf.poly_eval(&omega, x_inv);
+            let den = gf.poly_eval(&lambda_deriv, x_inv);
+            let Some(e) = gf.div(num, den) else {
+                return Err(CodeError::TooManyErrors {
+                    context: "Forney denominator vanished",
+                });
+            };
+            if e != 0 {
+                word[pos] ^= e;
+                corrected.push(pos);
+            }
+        }
+
+        // Verify: the corrected word must be a codeword and the number of
+        // non-erasure corrections must be within capacity.
+        if self.syndromes(&word).iter().any(|&s| s != 0) {
+            return Err(CodeError::TooManyErrors {
+                context: "post-correction syndromes nonzero",
+            });
+        }
+        let genuine_errors = corrected.iter().filter(|p| !eras_coeff[**p]).count();
+        if 2 * genuine_errors + f > two_t {
+            return Err(CodeError::TooManyErrors {
+                context: "corrections exceed 2e+f budget",
+            });
+        }
+        let corrected_public = corrected.into_iter().map(to_public).collect();
+        Ok((word[two_t..].to_vec(), corrected_public))
+    }
+}
+
+impl SymbolCode for ReedSolomon {
+    fn message_len(&self) -> usize {
+        self.k
+    }
+
+    fn codeword_len(&self) -> usize {
+        self.n
+    }
+
+    fn symbol_bits(&self) -> u32 {
+        self.gf.m()
+    }
+
+    fn distance(&self) -> usize {
+        self.n - self.k + 1
+    }
+
+    fn encode(&self, msg: &[u16]) -> Result<Vec<u16>, CodeError> {
+        if msg.len() != self.k {
+            return Err(CodeError::LengthMismatch {
+                expected: self.k,
+                actual: msg.len(),
+            });
+        }
+        for &s in msg {
+            if s as u32 >= self.gf.size() {
+                return Err(CodeError::SymbolOutOfRange {
+                    value: s,
+                    alphabet: self.gf.size(),
+                });
+            }
+        }
+        // Codeword polynomial layout: low coefficients 0..n-k are parity,
+        // coefficients n-k..n are the message (systematic). The public
+        // vector layout is message-first, so we assemble and then rotate.
+        let two_t = self.n - self.k;
+        // m(x) * x^{n-k}
+        let mut shifted = vec![0u16; self.n];
+        shifted[two_t..].copy_from_slice(msg);
+        let (_, rem) = self.gf.poly_divmod(&shifted, &self.generator);
+        let mut word = shifted;
+        for (i, &r) in rem.iter().enumerate() {
+            word[i] ^= r;
+        }
+        // word is now a codeword with parity in coefficients 0..two_t and
+        // message in coefficients two_t..n. Present message-first.
+        let mut out = Vec::with_capacity(self.n);
+        out.extend_from_slice(&word[two_t..]);
+        out.extend_from_slice(&word[..two_t]);
+        Ok(out)
+    }
+
+    fn decode(&self, received: &[u16], erasures: &[bool]) -> Result<Vec<u16>, CodeError> {
+        self.decode_detailed(received, erasures).map(|(msg, _)| msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn roundtrip_case(m: u32, n: usize, k: usize, errors: &[usize], erasures: &[usize]) {
+        let rs = ReedSolomon::new(m, n, k).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64((m as u64) << 32 | (n as u64) << 16 | k as u64);
+        let msg: Vec<u16> = (0..k).map(|_| rng.gen_range(0..rs.field().size()) as u16).collect();
+        let cw = rs.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        let mut eras = vec![false; n];
+        for &p in errors {
+            let mut delta = 0;
+            while delta == 0 {
+                delta = rng.gen_range(1..rs.field().size()) as u16;
+            }
+            recv[p] ^= delta;
+        }
+        for &p in erasures {
+            eras[p] = true;
+            recv[p] = rng.gen_range(0..rs.field().size()) as u16; // garbage
+        }
+        let decoded = rs
+            .decode(&recv, &eras)
+            .unwrap_or_else(|e| panic!("decode failed for e={errors:?}, f={erasures:?}: {e}"));
+        assert_eq!(decoded, msg, "e={errors:?}, f={erasures:?}");
+    }
+
+    #[test]
+    fn encode_is_systematic() {
+        let rs = ReedSolomon::new(8, 12, 5).unwrap();
+        let msg = vec![10, 20, 30, 40, 50];
+        let cw = rs.encode(&msg).unwrap();
+        assert_eq!(&cw[..5], msg.as_slice());
+        assert_eq!(cw.len(), 12);
+    }
+
+    #[test]
+    fn clean_word_decodes() {
+        roundtrip_case(8, 20, 10, &[], &[]);
+    }
+
+    #[test]
+    fn corrects_up_to_capacity_errors() {
+        // [16, 8]: t = 4.
+        roundtrip_case(8, 16, 8, &[0], &[]);
+        roundtrip_case(8, 16, 8, &[0, 15], &[]);
+        roundtrip_case(8, 16, 8, &[1, 7, 9], &[]);
+        roundtrip_case(8, 16, 8, &[0, 3, 8, 12], &[]);
+    }
+
+    #[test]
+    fn corrects_erasures_only() {
+        // [16, 8]: up to 8 erasures.
+        roundtrip_case(8, 16, 8, &[], &[0, 1, 2, 3, 4, 5, 6, 7]);
+        roundtrip_case(8, 16, 8, &[], &[9]);
+    }
+
+    #[test]
+    fn corrects_mixed_errors_and_erasures() {
+        // 2e + f <= 8.
+        roundtrip_case(8, 16, 8, &[0], &[5, 6, 7, 8, 9, 10]); // 2+6=8
+        roundtrip_case(8, 16, 8, &[2, 11], &[4, 5, 6, 7]); // 4+4=8
+        roundtrip_case(8, 16, 8, &[1, 6, 13], &[0, 15]); // 6+2=8
+    }
+
+    #[test]
+    fn exhaustive_small_code_budget_sweep() {
+        // RS[15, 5] over GF(16): 2e + f <= 10.
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for e in 0..=5usize {
+            for f in 0..=(10 - 2 * e) {
+                for _ in 0..20 {
+                    let mut positions: Vec<usize> = (0..15).collect();
+                    for i in (1..positions.len()).rev() {
+                        positions.swap(i, rng.gen_range(0..=i));
+                    }
+                    let errs: Vec<usize> = positions[..e].to_vec();
+                    let ers: Vec<usize> = positions[e..e + f].to_vec();
+                    roundtrip_case(4, 15, 5, &errs, &ers);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn beyond_capacity_is_detected_or_wrong_but_flagged() {
+        let rs = ReedSolomon::new(8, 16, 8).unwrap();
+        let msg: Vec<u16> = (0..8).collect();
+        let cw = rs.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        for p in 0..6 {
+            recv[p] ^= 0x33; // 6 errors > t = 4
+        }
+        let eras = vec![false; 16];
+        match rs.decode(&recv, &eras) {
+            // Either an explicit failure…
+            Err(CodeError::TooManyErrors { .. }) => {}
+            // …or a miscorrection to a *valid* codeword (unavoidable for any
+            // bounded-distance decoder); it must differ from the original.
+            Ok(m) => assert_ne!(m, msg),
+            Err(other) => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(ReedSolomon::new(4, 16, 4).is_err()); // n > 2^4 - 1
+        assert!(ReedSolomon::new(8, 10, 10).is_err()); // k == n
+        assert!(ReedSolomon::new(8, 10, 0).is_err());
+    }
+
+    #[test]
+    fn decode_detailed_reports_positions() {
+        let rs = ReedSolomon::new(8, 16, 8).unwrap();
+        let msg: Vec<u16> = (10..18).collect();
+        let cw = rs.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        recv[3] ^= 1;
+        recv[12] ^= 7;
+        let (m, pos) = rs.decode_detailed(&recv, &[false; 16]).unwrap();
+        assert_eq!(m, msg);
+        let mut pos = pos;
+        pos.sort_unstable();
+        assert_eq!(pos, vec![3, 12]);
+    }
+
+    #[test]
+    fn large_field_large_block() {
+        // [255, 191] over GF(256): t = 32.
+        let rs = ReedSolomon::new(8, 255, 191).unwrap();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let msg: Vec<u16> = (0..191).map(|_| rng.gen_range(0..256)).collect();
+        let cw = rs.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        for p in (0..255).step_by(8).take(32) {
+            recv[p] ^= 0x5a;
+        }
+        assert_eq!(rs.decode(&recv, &vec![false; 255]).unwrap(), msg);
+    }
+}

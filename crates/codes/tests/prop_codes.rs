@@ -1,0 +1,111 @@
+//! Property-based tests: decode∘corrupt∘encode identities within radius.
+
+use bdclique_codes::{
+    BitCode, ConcatenatedCode, HammingCode, ReedSolomon, RepetitionCode, SymbolCode,
+};
+use bdclique_bits::BitVec;
+use proptest::prelude::*;
+
+/// Strategy: a message of `k` symbols over an alphabet of size `2^bits`.
+fn msg_strategy(k: usize, bits: u32) -> impl Strategy<Value = Vec<u16>> {
+    prop::collection::vec(0u16..(1 << bits), k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rs_corrects_any_pattern_within_2e_plus_f(
+        msg in msg_strategy(8, 8),
+        // positions 0..16 with roles: 0 = clean, 1 = error, 2 = erasure
+        roles in prop::collection::vec(0u8..3, 16),
+        garbage in prop::collection::vec(1u16..256, 16),
+    ) {
+        let rs = ReedSolomon::new(8, 16, 8).unwrap();
+        let cw = rs.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        let mut eras = vec![false; 16];
+        let mut e = 0usize;
+        let mut f = 0usize;
+        for i in 0..16 {
+            match roles[i] {
+                1 if 2 * (e + 1) + f <= 8 => {
+                    recv[i] ^= garbage[i];
+                    e += 1;
+                }
+                2 if 2 * e + (f + 1) <= 8 => {
+                    recv[i] = garbage[i] & 0xff;
+                    eras[i] = true;
+                    f += 1;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(rs.decode(&recv, &eras).unwrap(), msg);
+    }
+
+    #[test]
+    fn rs_bitcode_roundtrip(bools in prop::collection::vec(any::<bool>(), 1..64)) {
+        let rs = ReedSolomon::new(8, 16, 8).unwrap();
+        let bits = BitVec::from_bools(&bools);
+        let cw = rs.encode_bits(&bits).unwrap();
+        let out = rs.decode_bits(&cw, &[false; 16], bits.len()).unwrap();
+        prop_assert_eq!(out, bits);
+    }
+
+    #[test]
+    fn hamming_corrects_one_error_any_message(
+        msg in msg_strategy(4, 1),
+        errpos in 0usize..8,
+    ) {
+        let code = HammingCode::new();
+        let mut cw = code.encode(&msg).unwrap();
+        cw[errpos] ^= 1;
+        prop_assert_eq!(code.decode(&cw, &[false; 8]).unwrap(), msg);
+    }
+
+    #[test]
+    fn repetition_majority_holds(
+        msg in msg_strategy(4, 8),
+        bad in prop::collection::vec((0usize..4, 0usize..2, 1u16..256), 0..4),
+    ) {
+        // r = 5; corrupt at most 2 copies of each symbol.
+        let code = RepetitionCode::new(8, 4, 5).unwrap();
+        let mut cw = code.encode(&msg).unwrap();
+        for (sym, copy, delta) in bad {
+            cw[sym * 5 + copy] ^= delta;
+        }
+        prop_assert_eq!(code.decode(&cw, &[false; 20]).unwrap(), msg);
+    }
+
+    #[test]
+    fn concatenated_roundtrip_with_sparse_noise(
+        bools in prop::collection::vec(any::<bool>(), 64),
+        noise in prop::collection::vec(0usize..256, 0..6),
+    ) {
+        // [16,8] outer: 6 scattered bit errors hit ≤ 6 inner blocks; at most
+        // 3 outer symbols can be corrupted (needs ≥2 hits per nibble), within
+        // the outer capacity of 4.
+        let code = ConcatenatedCode::new(16, 8).unwrap();
+        let msg: Vec<u16> = bools.iter().map(|&b| u16::from(b)).collect();
+        let cw = code.encode(&msg).unwrap();
+        let mut recv = cw.clone();
+        for p in noise {
+            recv[p] ^= 1;
+        }
+        prop_assert_eq!(code.decode(&recv, &vec![false; recv.len()]).unwrap(), msg);
+    }
+
+    #[test]
+    fn rs_distance_between_codewords(
+        m1 in msg_strategy(5, 4),
+        m2 in msg_strategy(5, 4),
+    ) {
+        prop_assume!(m1 != m2);
+        let rs = ReedSolomon::new(4, 15, 5).unwrap();
+        let c1 = rs.encode(&m1).unwrap();
+        let c2 = rs.encode(&m2).unwrap();
+        let dist = c1.iter().zip(&c2).filter(|(a, b)| a != b).count();
+        prop_assert!(dist >= rs.distance(), "distance {} < {}", dist, rs.distance());
+    }
+}

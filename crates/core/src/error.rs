@@ -1,0 +1,47 @@
+//! Error type for the compiler crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by routing and protocol execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The requested parameters cannot satisfy the decode-margin
+    /// inequalities (the implementation's analogue of Lemma 4.5): e.g. α is
+    /// too large for the code distance, or the cover-free family cannot be
+    /// built.
+    Infeasible {
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// Malformed protocol input (wrong sizes, out-of-range ids).
+    InvalidInput {
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    pub(crate) fn infeasible(reason: impl Into<String>) -> Self {
+        CoreError::Infeasible {
+            reason: reason.into(),
+        }
+    }
+
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        CoreError::InvalidInput {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Infeasible { reason } => write!(f, "infeasible parameters: {reason}"),
+            CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+        }
+    }
+}
+
+impl Error for CoreError {}

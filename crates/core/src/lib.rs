@@ -1,0 +1,25 @@
+//! The Fischer–Parter PODC 2025 compilers: resilient all-to-all
+//! communication in the Congested Clique against mobile bounded-degree
+//! Byzantine edge adversaries.
+//!
+//! This crate implements the paper's primary contributions on top of the
+//! workspace substrates:
+//!
+//! * [`routing`] — the resilient super-message routing scheme
+//!   (Theorem 4.1 / 1.1), with both the cover-free parallel engine of
+//!   Section 4.2 and a scheduled unit-instance engine;
+//! * [`broadcast::broadcast`] — Corollary 4.8;
+//! * [`protocols`] — the four `AllToAllComm` protocols of Table 1
+//!   (Theorems 1.2–1.5), plus baselines.
+
+pub mod broadcast;
+pub mod cc;
+pub mod compiler;
+mod error;
+mod problem;
+pub mod protocols;
+pub mod reduction;
+pub mod routing;
+
+pub use error::CoreError;
+pub use problem::{AllToAllInstance, AllToAllOutput};

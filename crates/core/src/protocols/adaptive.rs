@@ -1,0 +1,760 @@
+//! Theorem 1.3 / 5.5: randomized `AllToAllComm` against the **adaptive**
+//! (rushing) α-BD adversary, via locally decodable codes and sparse recovery
+//! sketches.
+//!
+//! Two variants, following the paper's Section 3 exposition:
+//!
+//! * [`AdaptiveTakeOne`] ("Take I", `O(q)` rounds): every node LDC-encodes
+//!   its whole outgoing row `M(u, V)`, scatters one codeword symbol per
+//!   node, and every receiver locally decodes its own positions from `q`
+//!   non-adaptive queries fetched through the resilient router.
+//! * [`AdaptiveAllToAll`] ("Take II", Theorem 1.3): the full pipeline —
+//!   direct exchange, random partition `P` (Lemma 5.6), per-(group, node)
+//!   sparse recovery sketches (Lemma 2.4), LDC-encoded distributed sketch
+//!   storage, non-adaptive query fetch, and local correction. The
+//!   `query_via_ldc` switch replaces the LDC fetch with a direct resilient
+//!   sketch pull — the ablation that quantifies when the LDC machinery pays
+//!   (it requires `αn ≫ 1/α`; see `EXPERIMENTS.md`).
+//!
+//! **Ordering matters**: codewords are scattered *before* the decoding
+//! randomness `R3` is generated and broadcast, so the rushing adversary
+//! commits its corruption of the distributed storage without knowing which
+//! positions will be queried — exactly the paper's Step II/III order.
+
+use super::AllToAllProtocol;
+use crate::broadcast::broadcast;
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use bdclique_bits::{bits_for, BitVec};
+use bdclique_codes::{Ldc, RmLdc};
+use bdclique_hash::{KWiseHashFamily, SharedRandomness};
+use bdclique_netsim::Network;
+use bdclique_sketch::{RecoverySketch, SketchShape};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Per-node fetched query answers: `(chunk, position) → holder-indexed
+/// symbol bundle`.
+type QueryAnswers = HashMap<(usize, usize), BitVec>;
+
+/// LDC geometry shared by both variants.
+struct LdcPlan {
+    ldc: RmLdc,
+    /// Symbol width in bits (= field extension degree).
+    mf: u32,
+    /// Payload bits per codeword.
+    cap_bits: usize,
+}
+
+impl LdcPlan {
+    /// Picks the largest bivariate RM code whose plane fits in `n` nodes and
+    /// whose lines keep at least `line_capacity` error slots.
+    fn for_network(n: usize, lines: usize, line_capacity: usize) -> Result<Self, CoreError> {
+        let mf = (bits_for(n) / 2).min(8);
+        if mf < 2 {
+            return Err(CoreError::infeasible(format!(
+                "n = {n} too small for a bivariate RM plane (need n ≥ 16)"
+            )));
+        }
+        let q = 1usize << mf;
+        debug_assert!(q * q <= n.next_power_of_two().max(q * q));
+        if q * q > n {
+            return Err(CoreError::infeasible(format!(
+                "RM plane q² = {} exceeds n = {n}",
+                q * q
+            )));
+        }
+        let d = q
+            .checked_sub(1 + 2 * line_capacity)
+            .filter(|&d| d >= 1)
+            .ok_or_else(|| {
+                CoreError::infeasible(format!(
+                    "field size {q} cannot offer line capacity {line_capacity}"
+                ))
+            })?;
+        let ldc = RmLdc::new(mf, d, lines)
+            .map_err(|e| CoreError::infeasible(format!("RM LDC: {e}")))?;
+        let cap_bits = ldc.message_len() * mf as usize;
+        Ok(Self { ldc, mf, cap_bits })
+    }
+
+    /// Bit position → (chunk, symbol index, bit within symbol).
+    fn locate(&self, bit: usize) -> (usize, usize, usize) {
+        let chunk = bit / self.cap_bits;
+        let inner = bit % self.cap_bits;
+        (chunk, inner / self.mf as usize, inner % self.mf as usize)
+    }
+}
+
+/// Scatters per-holder chunked LDC codewords: one symbol per node per chunk,
+/// `lanes` chunks per round. Returns `symbols[receiver][holder][chunk]`.
+///
+/// Holders with fewer chunks than `chunks` pad with zero codewords.
+fn scatter_codewords(
+    net: &mut Network,
+    plan: &LdcPlan,
+    payloads: &[BitVec], // per holder, padded to chunks * cap_bits
+    chunks: usize,
+) -> Result<Vec<Vec<Vec<u16>>>, CoreError> {
+    let n = net.n();
+    let mf = plan.mf;
+    let lanes = (net.bandwidth() / mf as usize).max(1);
+    let positions = plan.ldc.codeword_len(); // q² ≤ n
+    let mut symbols = vec![vec![vec![0u16; chunks]; n]; n];
+
+    // Pre-encode all codewords.
+    let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(n);
+    for payload in payloads {
+        let mut per_chunk = Vec::with_capacity(chunks);
+        for c in 0..chunks {
+            let chunk_bits = payload.slice(c * plan.cap_bits, (c + 1) * plan.cap_bits);
+            let msg = chunk_bits.to_symbols(mf);
+            let cw = plan
+                .ldc
+                .encode(&msg)
+                .map_err(|e| CoreError::invalid(format!("LDC encode: {e}")))?;
+            per_chunk.push(cw);
+        }
+        codewords.push(per_chunk);
+    }
+
+    let chunk_ids: Vec<usize> = (0..chunks).collect();
+    for pack in chunk_ids.chunks(lanes) {
+        let mut traffic = net.traffic();
+        for h in 0..n {
+            for r in 0..positions.min(n) {
+                if r == h {
+                    continue;
+                }
+                let mut frame = BitVec::zeros(pack.len() * mf as usize);
+                for (lane, &c) in pack.iter().enumerate() {
+                    frame.write_uint(lane * mf as usize, mf, codewords[h][c][r] as u64);
+                }
+                traffic.send(h, r, frame);
+            }
+            // Own position held locally.
+            if h < positions {
+                for &c in pack {
+                    symbols[h][h][c] = codewords[h][c][h];
+                }
+            }
+        }
+        let delivery = net.exchange(traffic);
+        for r in 0..positions.min(n) {
+            for h in 0..n {
+                if r == h {
+                    continue;
+                }
+                if let Some(frame) = delivery.received(r, h) {
+                    for (lane, &c) in pack.iter().enumerate() {
+                        if frame.len() >= (lane + 1) * mf as usize {
+                            symbols[r][h][c] =
+                                frame.read_uint(lane * mf as usize, mf) as u16;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+/// Fetches queried symbols through the resilient router.
+///
+/// `wanted[v]` = set of `(chunk, position)` pairs node `v` must learn for
+/// **all** holders. Returns `answers[v]` mapping `(chunk, position)` to the
+/// `n·mf`-bit holder-indexed symbol bundle.
+fn fetch_queries(
+    net: &mut Network,
+    plan: &LdcPlan,
+    symbols: &[Vec<Vec<u16>>],
+    wanted: &[Vec<(usize, usize)>],
+    chunks: usize,
+    router: &RouterConfig,
+) -> Result<Vec<QueryAnswers>, CoreError> {
+    let n = net.n();
+    let mf = plan.mf as usize;
+    // targets_of[(position r, chunk c)] -> target nodes.
+    let mut targets_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (v, pairs) in wanted.iter().enumerate() {
+        for &(c, r) in pairs {
+            targets_of.entry((r, c)).or_default().push(v);
+        }
+    }
+    let mut messages = Vec::with_capacity(targets_of.len());
+    for ((r, c), mut targets) in targets_of {
+        targets.sort_unstable();
+        targets.dedup();
+        let mut payload = BitVec::zeros(n * mf);
+        for h in 0..n {
+            payload.write_uint(h * mf, plan.mf, symbols[r][h][c] as u64);
+        }
+        messages.push(SuperMessage {
+            src: r,
+            slot: c,
+            payload,
+            targets,
+        });
+    }
+    let instance = RoutingInstance {
+        n,
+        payload_bits: n * mf,
+        messages,
+    };
+    let routed = route(net, &instance, router)?;
+    let _ = chunks;
+    let mut answers: Vec<QueryAnswers> = vec![HashMap::new(); n];
+    for (v, pairs) in wanted.iter().enumerate() {
+        for &(c, r) in pairs {
+            if let Some(p) = routed.delivered[v].get(&(r, c)) {
+                answers[v].insert((c, r), p.clone());
+            }
+        }
+    }
+    Ok(answers)
+}
+
+/// Locally decodes one symbol: gathers the per-line answers for `z` from the
+/// fetched bundles (selecting holder `h`'s lane) and runs `LDCDecode`.
+fn local_decode_symbol(
+    plan: &LdcPlan,
+    shared: &SharedRandomness,
+    answers: &QueryAnswers,
+    chunk: usize,
+    z: usize,
+    holder: usize,
+) -> Option<u16> {
+    let mf = plan.mf as usize;
+    let qs = plan.ldc.decode_indices(z, shared);
+    let vals: Vec<u16> = qs
+        .iter()
+        .map(|&r| {
+            answers
+                .get(&(chunk, r))
+                .filter(|p| p.len() >= (holder + 1) * mf)
+                .map_or(0, |p| p.read_uint(holder * mf, plan.mf) as u16)
+        })
+        .collect();
+    plan.ldc.local_decode(z, &vals, shared).ok()
+}
+
+// ---------------------------------------------------------------------------
+// Take I
+// ---------------------------------------------------------------------------
+
+/// "Take I" (Section 3): LDC over the raw outgoing rows, `O(q)` rounds.
+#[derive(Debug, Clone)]
+pub struct AdaptiveTakeOne {
+    /// Router configuration for the query fetch.
+    pub router: RouterConfig,
+    /// LDC amplification lines.
+    pub lines: usize,
+    /// Guaranteed per-line adversarial error capacity.
+    pub line_capacity: usize,
+    /// Seed for node `v1`'s randomness.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveTakeOne {
+    fn default() -> Self {
+        Self {
+            router: RouterConfig::default(),
+            lines: 3,
+            line_capacity: 2,
+            seed: 0x5eed_2,
+        }
+    }
+}
+
+impl AllToAllProtocol for AdaptiveTakeOne {
+    fn name(&self) -> &'static str {
+        "adaptive-take1"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let b = inst.b();
+        let plan = LdcPlan::for_network(n, self.lines, self.line_capacity)?;
+        if net.bandwidth() < plan.mf as usize {
+            return Err(CoreError::infeasible("bandwidth below LDC symbol width"));
+        }
+        let row_bits = n * b;
+        let chunks = row_bits.div_ceil(plan.cap_bits).max(1);
+
+        // ---- Scatter codewords of every row (before R3 exists). ----
+        let payloads: Vec<BitVec> = (0..n)
+            .map(|u| {
+                let mut p = inst.outgoing_concat(u);
+                p.pad_to(chunks * plan.cap_bits);
+                p
+            })
+            .collect();
+        let symbols = scatter_codewords(net, &plan, &payloads, chunks)?;
+
+        // ---- Broadcast R3 (now the adversary may see it). ----
+        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let r3_bits = SharedRandomness::generate(&mut v1_rng);
+        net.publish("adaptive1/R3", r3_bits.clone());
+        let r3_received = broadcast(net, 0, &r3_bits, &self.router)?;
+
+        // ---- Query sets: v needs bits [v·b, (v+1)·b) of every row. ----
+        let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+        let mut zs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (chunk, z)
+        for v in 0..n {
+            let shared = SharedRandomness::from_bits(&r3_received[v]);
+            let mut pairs = Vec::new();
+            for t in 0..b {
+                let (c, z, _) = plan.locate(v * b + t);
+                if !pairs.contains(&(c, z)) {
+                    pairs.push((c, z));
+                }
+            }
+            for &(c, z) in &pairs {
+                for r in plan.ldc.decode_indices(z, &shared) {
+                    if !wanted[v].contains(&(c, r)) {
+                        wanted[v].push((c, r));
+                    }
+                }
+            }
+            zs[v] = pairs;
+        }
+        let answers = fetch_queries(net, &plan, &symbols, &wanted, chunks, &self.router)?;
+
+        // ---- Local decoding. ----
+        let mut out = AllToAllOutput::empty(n);
+        for v in 0..n {
+            let shared = SharedRandomness::from_bits(&r3_received[v]);
+            // Decode each needed symbol once per holder.
+            let mut decoded: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
+            for u in 0..n {
+                if u == v {
+                    out.set(v, u, inst.message(u, u).clone());
+                    continue;
+                }
+                let mut bits = BitVec::zeros(b);
+                let mut ok = true;
+                for t in 0..b {
+                    let (c, z, inner) = plan.locate(v * b + t);
+                    let sym = *decoded.entry((u, c, z)).or_insert_with(|| {
+                        local_decode_symbol(&plan, &shared, &answers[v], c, z, u)
+                    });
+                    match sym {
+                        Some(s) => bits.set(t, s >> inner & 1 == 1),
+                        None => ok = false,
+                    }
+                }
+                if ok {
+                    out.set(v, u, bits);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Take II
+// ---------------------------------------------------------------------------
+
+/// The full adaptive compiler (Theorem 1.3, "Take II").
+#[derive(Debug, Clone)]
+pub struct AdaptiveAllToAll {
+    /// Router configuration for all routed waves.
+    pub router: RouterConfig,
+    /// `1/α` — the size of each random part `P_j` (must divide `n`).
+    pub p_size: usize,
+    /// Sparse-recovery capacity per `(P_j, v)` sketch (Lemma 5.6 gives
+    /// `O(log n)` w.h.p.; the default suits workspace scale).
+    pub sketch_capacity: usize,
+    /// LDC amplification lines.
+    pub lines: usize,
+    /// Guaranteed per-line adversarial error capacity.
+    pub line_capacity: usize,
+    /// `true` = fetch sketches through the LDC storage (the paper);
+    /// `false` = pull sketches directly through the router (ablation).
+    pub query_via_ldc: bool,
+    /// Seed for node `v1`'s randomness.
+    pub seed: u64,
+}
+
+impl Default for AdaptiveAllToAll {
+    fn default() -> Self {
+        Self {
+            router: RouterConfig::default(),
+            p_size: 4,
+            sketch_capacity: 4,
+            lines: 3,
+            line_capacity: 2,
+            query_via_ldc: true,
+            seed: 0x5eed_3,
+        }
+    }
+}
+
+impl AdaptiveAllToAll {
+    fn sketch_key(n: usize, b: usize, u: usize, v: usize, m: &BitVec) -> u64 {
+        let id = (u * n + v) as u64;
+        (id << b) | m.read_uint(0, b as u32)
+    }
+
+    fn key_bits(n: usize, b: usize) -> u32 {
+        2 * bits_for(n) + b as u32
+    }
+
+    /// The random partition `P` of Lemma 5.6: order nodes by a Θ(log n)-wise
+    /// independent hash (ties by id), cut into `n / p_size` consecutive
+    /// parts, sort each part ascending.
+    fn partition(shared: &SharedRandomness, n: usize, p_size: usize) -> Vec<Vec<usize>> {
+        let family = KWiseHashFamily::new(16, (4 * n) as u64);
+        let f = family.sample(&mut shared.rng("partition"));
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&u| (f.hash(u as u64), u));
+        order
+            .chunks(p_size)
+            .map(|part| {
+                let mut part: Vec<usize> = part.to_vec();
+                part.sort_unstable();
+                part
+            })
+            .collect()
+    }
+}
+
+impl AllToAllProtocol for AdaptiveAllToAll {
+    fn name(&self) -> &'static str {
+        "adaptive-take2"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let b = inst.b();
+        if b > 16 {
+            return Err(CoreError::invalid("sketch keys support B ≤ 16 bits"));
+        }
+        let p_size = self.p_size;
+        if p_size < 2 || !n.is_multiple_of(p_size) {
+            return Err(CoreError::invalid(format!(
+                "p_size {p_size} must divide n = {n} (and be ≥ 2)"
+            )));
+        }
+        let w = n / p_size; // |S_i| = αn; also the number of P-groups
+        let s_count = p_size; // number of S segments
+        let p_count = w;
+
+        // ---- Step I: direct exchange. ----
+        let received = super::NaiveExchange.run(net, inst)?;
+
+        // ---- Broadcast R1 (partition) and R2 (sketch hashes). ----
+        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let r1_bits = SharedRandomness::generate(&mut v1_rng);
+        let r2_bits = SharedRandomness::generate(&mut v1_rng);
+        net.publish("adaptive2/R1", r1_bits.clone());
+        net.publish("adaptive2/R2", r2_bits.clone());
+        let r1_received = broadcast(net, 0, &r1_bits, &self.router)?;
+        let r2_received = broadcast(net, 0, &r2_bits, &self.router)?;
+
+        // All honest nodes derive the same partition within the routing
+        // margin; the reference copy drives the shared schedule.
+        let shared1 = SharedRandomness::from_bits(&r1_received[0]);
+        let parts = Self::partition(&shared1, n, p_size);
+        debug_assert_eq!(parts.len(), p_count);
+        let mut group_of = vec![0usize; n]; // P-group of each node
+        let mut index_in_group = vec![0usize; n];
+        for (j, part) in parts.iter().enumerate() {
+            for (i, &u) in part.iter().enumerate() {
+                group_of[u] = j;
+                index_in_group[u] = i;
+            }
+        }
+        let seg_of = |v: usize| v / w; // S-segment index of v
+        let seg = |i: usize| (i * w)..((i + 1) * w);
+
+        // ---- Step II(a): wave A — P_j[i] learns M(P_j, S_i). ----
+        let wave_a = RoutingInstance {
+            n,
+            payload_bits: w * b,
+            messages: (0..n)
+                .flat_map(|v| {
+                    (0..s_count).map(move |i| (v, i))
+                })
+                .map(|(v, i)| SuperMessage {
+                    src: v,
+                    slot: i,
+                    payload: BitVec::concat(seg(i).map(|x| inst.message(v, x))),
+                    targets: vec![parts[group_of[v]][i]],
+                })
+                .collect(),
+        };
+        let routed_a = route(net, &wave_a, &self.router)?;
+
+        // ---- Step II(b): build sketches Sk(P_j, {x}) at P_j[i]. ----
+        let key_bits = Self::key_bits(n, b);
+        let shape = SketchShape::for_capacity(self.sketch_capacity, key_bits);
+        let t = shape.bit_len();
+        // pieces[h] = Sk(P_j, S_i) for the (j, i) with h = P_j[i].
+        let mut pieces: Vec<BitVec> = vec![BitVec::new(); n];
+        for part in parts.iter() {
+            for (i, &h) in part.iter().enumerate() {
+                let shared2 = SharedRandomness::from_bits(&r2_received[h]);
+                let mut piece = BitVec::new();
+                for (off, x) in seg(i).enumerate() {
+                    let mut sk = RecoverySketch::new(shape, &shared2);
+                    for &u in part {
+                        let Some(pay) = routed_a.delivered[h].get(&(u, i)) else {
+                            continue;
+                        };
+                        if pay.len() < (off + 1) * b {
+                            continue;
+                        }
+                        let m = pay.slice(off * b, (off + 1) * b);
+                        let key = Self::sketch_key(n, b, u, x, &m);
+                        sk.add(key, 1)
+                            .map_err(|e| CoreError::invalid(format!("sketch add: {e}")))?;
+                    }
+                    piece.extend_bits(
+                        &sk.to_bits()
+                            .map_err(|e| CoreError::invalid(format!("sketch wire: {e}")))?,
+                    );
+                }
+                debug_assert_eq!(piece.len(), w * t);
+                pieces[h] = piece;
+            }
+        }
+
+        // ---- Step III: every v learns Sk(P_j, {v}) for all j. ----
+        // sketch_bits[v][j] = the t bits of Sk(P_j, {v}).
+        let mut sketch_bits: Vec<Vec<Option<BitVec>>> = vec![vec![None; p_count]; n];
+        if self.query_via_ldc {
+            let plan = LdcPlan::for_network(n, self.lines, self.line_capacity)?;
+            let chunks = (w * t).div_ceil(plan.cap_bits).max(1);
+            let padded: Vec<BitVec> = pieces
+                .iter()
+                .map(|p| {
+                    let mut p = p.clone();
+                    p.pad_to(chunks * plan.cap_bits);
+                    p
+                })
+                .collect();
+            let symbols = scatter_codewords(net, &plan, &padded, chunks)?;
+
+            // R3 after the scatter (rushing adversary ordering).
+            let r3_bits = SharedRandomness::generate(&mut v1_rng);
+            net.publish("adaptive2/R3", r3_bits.clone());
+            let r3_received = broadcast(net, 0, &r3_bits, &self.router)?;
+
+            // Positions of v's sketch inside any piece (Eq. (7)): bits
+            // [pos_v·t, (pos_v+1)·t) — identical across j.
+            let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+            let mut z_pairs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+            for v in 0..n {
+                let shared3 = SharedRandomness::from_bits(&r3_received[v]);
+                let pos_v = v - seg_of(v) * w;
+                let mut pairs = Vec::new();
+                for bit in pos_v * t..(pos_v + 1) * t {
+                    let (c, z, _) = plan.locate(bit);
+                    if !pairs.contains(&(c, z)) {
+                        pairs.push((c, z));
+                    }
+                }
+                let mut need = Vec::new();
+                for &(c, z) in &pairs {
+                    for r in plan.ldc.decode_indices(z, &shared3) {
+                        if !need.contains(&(c, r)) {
+                            need.push((c, r));
+                        }
+                    }
+                }
+                wanted[v] = need;
+                z_pairs[v] = pairs;
+            }
+            let answers = fetch_queries(net, &plan, &symbols, &wanted, chunks, &self.router)?;
+
+            for v in 0..n {
+                let shared3 = SharedRandomness::from_bits(&r3_received[v]);
+                let pos_v = v - seg_of(v) * w;
+                for j in 0..p_count {
+                    let holder = parts[j][seg_of(v)];
+                    // Decode the t bits of Sk(P_j, {v}).
+                    let mut bits = BitVec::zeros(t);
+                    let mut ok = true;
+                    let mut cache: HashMap<(usize, usize), Option<u16>> = HashMap::new();
+                    for (offset, bit) in (pos_v * t..(pos_v + 1) * t).enumerate() {
+                        let (c, z, inner) = plan.locate(bit);
+                        let sym = *cache.entry((c, z)).or_insert_with(|| {
+                            local_decode_symbol(&plan, &shared3, &answers[v], c, z, holder)
+                        });
+                        match sym {
+                            Some(s) => bits.set(offset, s >> inner & 1 == 1),
+                            None => {
+                                ok = false;
+                                break;
+                            }
+                        }
+                    }
+                    if ok {
+                        sketch_bits[v][j] = Some(bits);
+                    }
+                }
+            }
+        } else {
+            // Ablation: direct resilient sketch pull (k = αn messages per
+            // node — outside the paper's LDC regime but feasible when
+            // αn ≈ 1/α).
+            let pull = RoutingInstance {
+                n,
+                payload_bits: t,
+                messages: (0..p_count)
+                    .flat_map(|j| {
+                        (0..s_count).map(move |i| (j, i))
+                    })
+                    .flat_map(|(j, i)| {
+                        let h = parts[j][i];
+                        seg(i)
+                            .enumerate()
+                            .map(|(off, x)| SuperMessage {
+                                src: h,
+                                slot: j * w + off,
+                                payload: pieces[h].slice(off * t, (off + 1) * t),
+                                targets: vec![x],
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect(),
+            };
+            let routed = route(net, &pull, &self.router)?;
+            for v in 0..n {
+                for j in 0..p_count {
+                    let h = parts[j][seg_of(v)];
+                    let off = v - seg_of(v) * w;
+                    sketch_bits[v][j] = routed.delivered[v].get(&(h, j * w + off)).cloned();
+                }
+            }
+        }
+
+        // ---- Step IV: local correction (Lemma 2.4 / Lemma B.1). ----
+        let mut out = AllToAllOutput::empty(n);
+        for v in 0..n {
+            // Start from the directly received messages.
+            let mut current: Vec<BitVec> = (0..n)
+                .map(|u| {
+                    received
+                        .received(v, u)
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(b))
+                })
+                .collect();
+            let shared2 = SharedRandomness::from_bits(&r2_received[v]);
+            for j in 0..p_count {
+                let Some(bits) = &sketch_bits[v][j] else {
+                    continue;
+                };
+                let Ok(mut sk) = RecoverySketch::from_bits(shape, bits, &shared2) else {
+                    continue;
+                };
+                for &u in &parts[j] {
+                    let key = Self::sketch_key(n, b, u, v, &current[u]);
+                    if sk.add(key, -1).is_err() {
+                        continue;
+                    }
+                }
+                let Some(items) = sk.recover() else {
+                    continue;
+                };
+                for (key, freq) in items {
+                    if freq != 1 {
+                        continue; // -1 entries are the corrupted receptions
+                    }
+                    let id = key >> b;
+                    let u = (id / n as u64) as usize;
+                    let tgt = (id % n as u64) as usize;
+                    if tgt != v || u >= n || !parts[j].contains(&u) {
+                        continue;
+                    }
+                    let mut m = BitVec::zeros(b);
+                    if b > 0 {
+                        m.write_uint(0, b as u32, key & ((1u64 << b) - 1));
+                    }
+                    current[u] = m;
+                }
+            }
+            for u in 0..n {
+                out.set(
+                    v,
+                    u,
+                    if u == v {
+                        inst.message(u, u).clone()
+                    } else {
+                        current[u].clone()
+                    },
+                );
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::Adversary;
+    use rand::SeedableRng;
+
+    #[test]
+    fn take1_perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = AllToAllInstance::random(16, 1, &mut rng);
+        let mut net = Network::new(16, 9, 0.0, Adversary::none());
+        let proto = AdaptiveTakeOne {
+            line_capacity: 1, // GF(4) plane at n = 16
+            ..Default::default()
+        };
+        let out = proto.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn take2_direct_pull_perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = AllToAllInstance::random(16, 1, &mut rng);
+        let mut net = Network::new(16, 9, 0.0, Adversary::none());
+        let proto = AdaptiveAllToAll {
+            query_via_ldc: false,
+            ..Default::default()
+        };
+        let out = proto.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn take2_ldc_perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = AllToAllInstance::random(16, 1, &mut rng);
+        let mut net = Network::new(16, 9, 0.0, Adversary::none());
+        let proto = AdaptiveAllToAll {
+            line_capacity: 1, // GF(4) plane at n = 16
+            ..Default::default()
+        };
+        let out = proto.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn take2_rejects_bad_p_size() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let inst = AllToAllInstance::random(16, 1, &mut rng);
+        let mut net = Network::new(16, 9, 0.0, Adversary::none());
+        let proto = AdaptiveAllToAll {
+            p_size: 3,
+            ..Default::default()
+        };
+        assert!(proto.run(&mut net, &inst).is_err());
+    }
+}

@@ -1,0 +1,239 @@
+//! Theorem 1.4 / 6.1: deterministic `O(log n)`-round `AllToAllComm` for
+//! constant α, via the hypercube exchange pattern.
+
+use super::AllToAllProtocol;
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use bdclique_bits::BitVec;
+use bdclique_netsim::Network;
+
+/// The hypercube protocol (Figure 2 of the paper).
+///
+/// With `n = 2^ℓ` and ids read MSB-first, iteration `i ∈ 1..=ℓ` matches
+/// every node `u` with `u' = Flip(u, i)` (ids equal except bit `i`). Each
+/// node splits its current message set `M_i(u)` — sorted by target, then
+/// source — into halves `M⁻ / M⁺` and routes them so that the partner with
+/// bit `i = 0` collects both `M⁻` sets and the partner with bit `i = 1` both
+/// `M⁺` sets. Lemma 6.2's invariant `M_i(u) = M(S(u,i), P(u,i))` lets every
+/// receiver reconstruct all message identities *implicitly* (no id bits on
+/// the wire); each iteration is one `k = 2` super-message routing instance
+/// of `n·B/2`-bit messages (Lemma 6.3).
+#[derive(Debug, Clone, Default)]
+pub struct DetHypercube {
+    /// Router configuration for every iteration.
+    pub router: RouterConfig,
+}
+
+impl DetHypercube {
+    /// Creates the protocol with a router configuration.
+    pub fn new(router: RouterConfig) -> Self {
+        Self { router }
+    }
+}
+
+/// `S(u, i)`: ids agreeing with `u` on bit positions `i..=ℓ` (MSB-first),
+/// i.e. on the low `ℓ - i + 1` bits. Ascending.
+fn s_set(u: usize, i: usize, ell: usize) -> Vec<usize> {
+    let low_bits = (ell + 1) - i;
+    let mask = (1usize << low_bits) - 1;
+    let fixed = u & mask;
+    (0..1usize << (ell - low_bits))
+        .map(|hi| (hi << low_bits) | fixed)
+        .collect()
+}
+
+/// `P(u, i)`: ids agreeing with `u` on bit positions `1..i` (MSB-first),
+/// i.e. on the high `i - 1` bits. Ascending.
+fn p_set(u: usize, i: usize, ell: usize) -> Vec<usize> {
+    let low_bits = ell - (i - 1);
+    let hi = u >> low_bits;
+    (0..1usize << low_bits).map(|lo| (hi << low_bits) | lo).collect()
+}
+
+/// The (target, source) id list of `M_i(u)` in ascending (target, source)
+/// order — the implicit wire format of an iteration-`i` message set.
+fn message_ids(u: usize, i: usize, ell: usize) -> Vec<(usize, usize)> {
+    let sources = s_set(u, i, ell);
+    let targets = p_set(u, i, ell);
+    let mut ids = Vec::with_capacity(sources.len() * targets.len());
+    for &t in &targets {
+        for &s in &sources {
+            ids.push((t, s));
+        }
+    }
+    ids
+}
+
+impl AllToAllProtocol for DetHypercube {
+    fn name(&self) -> &'static str {
+        "det-hypercube"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        if !n.is_power_of_two() || n < 2 {
+            return Err(CoreError::invalid(format!(
+                "DetHypercube requires n to be a power of two, got {n}"
+            )));
+        }
+        let ell = n.trailing_zeros() as usize;
+        let b = inst.b();
+
+        // state[u]: payloads of M_i(u), aligned with message_ids(u, i, ell).
+        let mut state: Vec<Vec<BitVec>> = (0..n)
+            .map(|u| {
+                message_ids(u, 1, ell)
+                    .into_iter()
+                    .map(|(t, s)| {
+                        debug_assert_eq!(s, u);
+                        inst.message(u, t).clone()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        for i in 1..=ell {
+            let bit_shift = ell - i; // MSB-first bit i == LSB bit ell - i
+            let half = n / 2; // |M_i(u)| = n, halves of n/2 messages
+            let instance = RoutingInstance {
+                n,
+                payload_bits: half * b,
+                messages: (0..n)
+                    .flat_map(|u| {
+                        // Slot 0 = lower-target half (goes to partner with
+                        // bit i = 0), slot 1 = upper half.
+                        let lower = BitVec::concat(state[u][..half].iter());
+                        let upper = BitVec::concat(state[u][half..].iter());
+                        let t0 = u & !(1 << bit_shift);
+                        let t1 = u | (1 << bit_shift);
+                        [
+                            SuperMessage {
+                                src: u,
+                                slot: 0,
+                                payload: lower,
+                                targets: vec![t0],
+                            },
+                            SuperMessage {
+                                src: u,
+                                slot: 1,
+                                payload: upper,
+                                targets: vec![t1],
+                            },
+                        ]
+                    })
+                    .collect(),
+            };
+            let routed = route(net, &instance, &self.router)?;
+
+            // Rebuild M_{i+1}(v) from the two received halves.
+            let mut next: Vec<Vec<BitVec>> = Vec::with_capacity(n);
+            for v in 0..n {
+                let my_bit = (v >> bit_shift) & 1;
+                let partner = v ^ (1 << bit_shift);
+                let expected_ids = message_ids(v, i + 1, ell);
+                let mut collected: std::collections::HashMap<(usize, usize), BitVec> =
+                    std::collections::HashMap::with_capacity(expected_ids.len());
+                for sender in [v, partner] {
+                    let payload = routed.delivered[v]
+                        .get(&(sender, my_bit))
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(half * b));
+                    // The sender's half ids: sender's iteration-i ids,
+                    // lower or upper half by my_bit.
+                    let sender_ids = message_ids(sender, i, ell);
+                    let half_ids = if my_bit == 0 {
+                        &sender_ids[..half]
+                    } else {
+                        &sender_ids[half..]
+                    };
+                    for (idx, &(t, s)) in half_ids.iter().enumerate() {
+                        collected.insert((t, s), payload.slice(idx * b, (idx + 1) * b));
+                    }
+                }
+                next.push(
+                    expected_ids
+                        .iter()
+                        .map(|id| {
+                            collected
+                                .remove(id)
+                                .unwrap_or_else(|| BitVec::zeros(b))
+                        })
+                        .collect(),
+                );
+            }
+            state = next;
+        }
+
+        // M_{ℓ+1}(v) = M(V, {v}), sorted by (target = v, source ascending).
+        let mut output = AllToAllOutput::empty(n);
+        for v in 0..n {
+            let ids = message_ids(v, ell + 1, ell);
+            debug_assert!(ids.iter().all(|&(t, _)| t == v));
+            for (idx, &(_, s)) in ids.iter().enumerate() {
+                output.set(v, s, state[v][idx].clone());
+            }
+        }
+        Ok(output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::Adversary;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn set_algebra_matches_lemma() {
+        // n = 8, ell = 3.
+        assert_eq!(s_set(0b101, 1, 3), vec![0b101]); // S(u,1) = {u}
+        assert_eq!(p_set(0b101, 1, 3).len(), 8); // P(u,1) = V
+        assert_eq!(s_set(0b101, 4, 3).len(), 8); // S(u, ell+1) = V
+        assert_eq!(p_set(0b101, 4, 3), vec![0b101]); // P(u, ell+1) = {u}
+        // Sizes: |S| = 2^{i-1}, |P| = 2^{ell-i+1}.
+        for i in 1..=4usize {
+            assert_eq!(s_set(5, i, 3).len(), 1 << (i - 1));
+            assert_eq!(p_set(5, i, 3).len(), 1 << (4 - i));
+        }
+    }
+
+    #[test]
+    fn message_ids_are_sorted_by_target_then_source() {
+        let ids = message_ids(3, 2, 3);
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+        assert_eq!(ids.len(), 8);
+    }
+
+    #[test]
+    fn perfect_without_faults_n8() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = AllToAllInstance::random(8, 2, &mut rng);
+        let mut net = Network::new(8, 9, 0.0, Adversary::none());
+        let out = DetHypercube::default().run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn perfect_without_faults_n32() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = AllToAllInstance::random(32, 1, &mut rng);
+        let mut net = Network::new(32, 9, 0.0, Adversary::none());
+        let out = DetHypercube::default().run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let inst = AllToAllInstance::random(6, 1, &mut rng);
+        let mut net = Network::new(6, 9, 0.0, Adversary::none());
+        assert!(DetHypercube::default().run(&mut net, &inst).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! The `AllToAllComm` protocols of Table 1, plus baselines.
+//!
+//! | Protocol | Paper result | Adversary | Rounds | α regime |
+//! |---|---|---|---|---|
+//! | [`NaiveExchange`] | — (baseline) | none | 1 | 0 |
+//! | [`RelayReplication`] | — (static-FT baseline) | static | `O(R)` | breaks under mobile matchings |
+//! | [`NonAdaptiveAllToAll`] | Thm 1.2 | α-NBD | `O(1)` | `Θ(1)` |
+//! | [`AdaptiveTakeOne`] | §3 "Take I" | α-ABD | `O(q)` | `Θ̃(1/q)` |
+//! | [`AdaptiveAllToAll`] | Thm 1.3 "Take II" | α-ABD | `O(1)`* | `Θ̃(1/(q·t·b))` |
+//! | [`DetHypercube`] | Thm 1.4 | α-ABD | `O(log n)` | `Θ(1)` |
+//! | [`DetSqrt`] | Thm 1.5 | α-ABD | `O(1)` | `Θ(1/√n)` |
+//!
+//! (*) asymptotically; see `EXPERIMENTS.md` for the measured constants.
+
+mod adaptive;
+mod det_logn;
+mod det_sqrt;
+mod naive;
+mod nonadaptive;
+mod relay;
+
+pub use adaptive::{AdaptiveAllToAll, AdaptiveTakeOne};
+pub use det_logn::DetHypercube;
+pub use det_sqrt::DetSqrt;
+pub use naive::NaiveExchange;
+pub use nonadaptive::NonAdaptiveAllToAll;
+pub use relay::RelayReplication;
+
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use bdclique_netsim::Network;
+
+/// A solution to the `AllToAllComm` problem.
+pub trait AllToAllProtocol {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Runs the protocol. Node locality discipline: the implementation may
+    /// read `inst.message(u, v)` only while computing node `u`'s sends, and
+    /// must route everything else through `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] on malformed inputs or infeasible parameters for the
+    /// network's α.
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError>;
+}
+
+/// Outcome of running a protocol against an instance on a network.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Wrong or missing messages out of `n²`.
+    pub errors: usize,
+    /// Network rounds consumed.
+    pub rounds: u64,
+    /// Total bits put on the wire by honest nodes.
+    pub bits_sent: u64,
+    /// Corrupted (edge, round) slots the adversary used.
+    pub edges_corrupted: u64,
+}
+
+/// Runs `protocol` and scores the result against the instance.
+///
+/// # Errors
+///
+/// Propagates protocol errors.
+pub fn run_and_score(
+    protocol: &dyn AllToAllProtocol,
+    net: &mut Network,
+    inst: &AllToAllInstance,
+) -> Result<Outcome, CoreError> {
+    let rounds_before = net.rounds();
+    let bits_before = net.stats().bits_sent;
+    let corrupted_before = net.stats().edges_corrupted;
+    let output = protocol.run(net, inst)?;
+    Ok(Outcome {
+        protocol: protocol.name(),
+        errors: inst.count_errors(&output),
+        rounds: net.rounds() - rounds_before,
+        bits_sent: net.stats().bits_sent - bits_before,
+        edges_corrupted: net.stats().edges_corrupted - corrupted_before,
+    })
+}

@@ -1,0 +1,96 @@
+//! The unprotected direct exchange: one round, zero resilience.
+
+use super::AllToAllProtocol;
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use bdclique_netsim::Network;
+
+/// Direct exchange: `u` sends `m_{u,v}` straight to `v`. The fault-free
+/// optimum (and the first step of the adaptive compilers); every corrupted
+/// edge is a corrupted message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NaiveExchange;
+
+impl AllToAllProtocol for NaiveExchange {
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let b = inst.b();
+        let slices = b.div_ceil(net.bandwidth()).max(1);
+        let per = b.div_ceil(slices);
+        let mut out = AllToAllOutput::empty(n);
+        let mut partial: Vec<Vec<bdclique_bits::BitVec>> =
+            vec![vec![bdclique_bits::BitVec::new(); n]; n];
+        for s in 0..slices {
+            let lo = s * per;
+            let hi = ((s + 1) * per).min(b);
+            let mut traffic = net.traffic();
+            for u in 0..n {
+                for v in 0..n {
+                    if u != v && hi > lo {
+                        traffic.send(u, v, inst.message(u, v).slice(lo, hi));
+                    }
+                }
+            }
+            let delivery = net.exchange(traffic);
+            for v in 0..n {
+                for u in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let mut piece = delivery
+                        .received(v, u)
+                        .cloned()
+                        .unwrap_or_else(|| bdclique_bits::BitVec::zeros(hi - lo));
+                    piece.pad_to(hi - lo);
+                    piece.truncate(hi - lo);
+                    partial[v][u].extend_bits(&piece);
+                }
+            }
+        }
+        for v in 0..n {
+            for u in 0..n {
+                if u == v {
+                    out.set(v, u, inst.message(u, u).clone());
+                } else {
+                    out.set(v, u, partial[v][u].clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::Adversary;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = AllToAllInstance::random(8, 4, &mut rng);
+        let mut net = Network::new(8, 8, 0.0, Adversary::none());
+        let out = NaiveExchange.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn wide_messages_use_multiple_rounds() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = AllToAllInstance::random(4, 10, &mut rng);
+        let mut net = Network::new(4, 4, 0.0, Adversary::none());
+        let out = NaiveExchange.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+        assert_eq!(net.rounds(), 3);
+    }
+}

@@ -1,0 +1,234 @@
+//! Theorem 1.2 / 5.1: randomized `O(1)`-round `AllToAllComm` against a
+//! **non-adaptive** α-BD adversary with constant α, bandwidth `B = Θ(log n)`.
+//!
+//! The paper's construction, at symbol granularity: node `v1` samples `R`
+//! secret shifts and broadcasts them resiliently; copy `i` of `m_{u,v}`
+//! travels to the random relay `p_i(v) = v + h_i` (one round — for fixed
+//! `i`, `p_i` is a permutation, so each edge carries exactly one copy);
+//! relays then forward their `n`-message bundles to the true targets through
+//! the resilient super-message router; receivers take a per-message majority
+//! over the `R` copies.
+//!
+//! Because the adversary committed its edge sets before the shifts existed,
+//! each copy is corrupted with probability ≤ α, independently across `i` —
+//! the paper's Lemma 5.4 — and a Chernoff bound drives the per-message
+//! failure below any polynomial. Publishing the shifts to an *adaptive*
+//! adversary (which this protocol is *not* designed for) lets experiments
+//! demonstrate the separation the paper draws between the two settings.
+
+use super::AllToAllProtocol;
+use crate::broadcast::broadcast;
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use bdclique_bits::BitVec;
+use bdclique_netsim::Network;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// The non-adaptive compiler (Theorem 1.2).
+#[derive(Debug, Clone)]
+pub struct NonAdaptiveAllToAll {
+    /// Number of independent random copies `R` (odd; `Θ(log n)` for the
+    /// w.h.p. guarantee).
+    pub copies: usize,
+    /// Router configuration for the relay-to-target wave.
+    pub router: RouterConfig,
+    /// Seed for node `v1`'s local randomness (injectable for
+    /// reproducibility; *not* visible to non-adaptive adversaries).
+    pub seed: u64,
+}
+
+impl Default for NonAdaptiveAllToAll {
+    fn default() -> Self {
+        Self {
+            copies: 5,
+            router: RouterConfig::default(),
+            seed: 0x5eed_1,
+        }
+    }
+}
+
+impl AllToAllProtocol for NonAdaptiveAllToAll {
+    fn name(&self) -> &'static str {
+        "nonadaptive-r"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let b = inst.b();
+        let r = self.copies;
+        if r == 0 || r.is_multiple_of(2) {
+            return Err(CoreError::invalid("copies must be odd and positive"));
+        }
+
+        // ---- Node v1 samples shifts and broadcasts them (Cor. 4.8). ----
+        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let shifts: Vec<usize> = (0..r).map(|_| v1_rng.gen_range(1..n)).collect();
+        let mut shift_bits = BitVec::new();
+        for &h in &shifts {
+            shift_bits.push_uint(16, h as u64);
+        }
+        // Model the rushing adaptive adversary's knowledge: a *non-adaptive*
+        // adversary never sees this (the simulator hides `publish` from it).
+        net.publish("nonadaptive/shifts", shift_bits.clone());
+        let received_shifts = broadcast(net, 0, &shift_bits, &self.router)?;
+        // Every node decodes its own copy; within the validated margin they
+        // all equal `shifts`. Honest nodes use their local decoding.
+        let decode_shifts = |bits: &BitVec| -> Vec<usize> {
+            (0..r).map(|i| bits.read_uint(i * 16, 16) as usize % n).collect()
+        };
+
+        // ---- Copy waves: copy i of m_{u,v} goes to relay (v + h_i) % n. ----
+        let per_round = (net.bandwidth() / b).max(1).min(r);
+        let mut copy_store: Vec<Vec<Vec<Option<BitVec>>>> =
+            vec![vec![vec![None; n]; r]; n]; // [relay][copy][src]
+        let mut copy_group_start = 0usize;
+        while copy_group_start < r {
+            let group: Vec<usize> =
+                (copy_group_start..r.min(copy_group_start + per_round)).collect();
+            let mut traffic = net.traffic();
+            for u in 0..n {
+                let my_shifts = decode_shifts(&received_shifts[u]);
+                for w in 0..n {
+                    let mut frame = BitVec::zeros(group.len() * b);
+                    let mut any = false;
+                    for (pos, &i) in group.iter().enumerate() {
+                        let v = (w + n - my_shifts[i]) % n;
+                        if v == u {
+                            continue; // own message, kept locally
+                        }
+                        let msg = inst.message(u, v);
+                        for t in 0..b {
+                            frame.set(pos * b + t, msg.get(t));
+                        }
+                        any = true;
+                    }
+                    if w != u && any {
+                        traffic.send(u, w, frame);
+                    } else if w == u {
+                        // Relay is the sender itself: store locally.
+                        for &i in &group {
+                            let v = (u + n - my_shifts[i]) % n;
+                            if v != u {
+                                copy_store[u][i][u] = Some(inst.message(u, v).clone());
+                            }
+                        }
+                    }
+                }
+            }
+            let delivery = net.exchange(traffic);
+            for w in 0..n {
+                for u in 0..n {
+                    if u == w {
+                        continue;
+                    }
+                    if let Some(frame) = delivery.received(w, u) {
+                        for (pos, &i) in group.iter().enumerate() {
+                            if frame.len() >= (pos + 1) * b {
+                                copy_store[w][i][u] =
+                                    Some(frame.slice(pos * b, (pos + 1) * b));
+                            }
+                        }
+                    }
+                }
+            }
+            copy_group_start += group.len();
+        }
+
+        // ---- Relay wave: relay w routes bundle i to v = (w - h_i) % n. ----
+        let bundle_bits = n * b;
+        let instance = RoutingInstance {
+            n,
+            payload_bits: bundle_bits,
+            messages: (0..n)
+                .flat_map(|w| {
+                    let my_shifts = decode_shifts(&received_shifts[w]);
+                    (0..r)
+                        .map(|i| {
+                            let v = (w + n - my_shifts[i]) % n;
+                            let mut payload = BitVec::zeros(bundle_bits);
+                            for u in 0..n {
+                                if let Some(m) = &copy_store[w][i][u] {
+                                    for t in 0..b.min(m.len()) {
+                                        payload.set(u * b + t, m.get(t));
+                                    }
+                                }
+                            }
+                            SuperMessage {
+                                src: w,
+                                slot: i,
+                                payload,
+                                targets: vec![v],
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect(),
+        };
+        let routed = route(net, &instance, &self.router)?;
+
+        // ---- Majority vote per message. ----
+        let mut out = AllToAllOutput::empty(n);
+        for v in 0..n {
+            let my_shifts = decode_shifts(&received_shifts[v]);
+            for u in 0..n {
+                if u == v {
+                    out.set(v, u, inst.message(u, u).clone());
+                    continue;
+                }
+                let mut tally: Vec<(BitVec, usize)> = Vec::new();
+                for (i, &h) in my_shifts.iter().enumerate() {
+                    let w = (v + h) % n;
+                    let Some(bundle) = routed.delivered[v].get(&(w, i)) else {
+                        continue;
+                    };
+                    if bundle.len() < (u + 1) * b {
+                        continue;
+                    }
+                    let copy = bundle.slice(u * b, (u + 1) * b);
+                    match tally.iter_mut().find(|(x, _)| *x == copy) {
+                        Some((_, c)) => *c += 1,
+                        None => tally.push((copy, 1)),
+                    }
+                }
+                tally.sort_by_key(|t| std::cmp::Reverse(t.1));
+                if let Some((winner, _)) = tally.first() {
+                    out.set(v, u, winner.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::Adversary;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = AllToAllInstance::random(16, 2, &mut rng);
+        let mut net = Network::new(16, 10, 0.0, Adversary::none());
+        let out = NonAdaptiveAllToAll::default().run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn rejects_even_copy_count() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = AllToAllInstance::random(8, 1, &mut rng);
+        let mut net = Network::new(8, 10, 0.0, Adversary::none());
+        let proto = NonAdaptiveAllToAll {
+            copies: 4,
+            ..Default::default()
+        };
+        assert!(proto.run(&mut net, &inst).is_err());
+    }
+}

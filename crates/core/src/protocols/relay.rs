@@ -1,0 +1,174 @@
+//! The static-fault-tolerance baseline: replication over relay paths with
+//! majority voting.
+//!
+//! This embodies the classical approach the paper's introduction contrasts
+//! with: route each message over `R` disjoint two-hop relay paths and take a
+//! majority. Against a *static* adversary controlling fewer than `⌈R/2⌉`
+//! well-placed edges per pair this is perfect — but a *mobile* adversary of
+//! faulty degree **one** (the rotating matching, α = 1/n) can poison a
+//! different relay hop every round and defeat any replication factor on
+//! targeted pairs. Experiment `F.MATCH` measures exactly this.
+
+use super::AllToAllProtocol;
+use crate::error::CoreError;
+use crate::problem::{AllToAllInstance, AllToAllOutput};
+use bdclique_bits::BitVec;
+use bdclique_netsim::Network;
+
+/// Replication over `R` two-hop relay paths, with per-message majority.
+///
+/// Copy `i` of `m_{u,v}` travels `u → c_i(u,v) → v` with
+/// `c_i(u,v) = (u + v + h_i) mod n` for distinct shifts `h_i`; for fixed `i`
+/// the relay map is a bijection in each coordinate, so every copy wave costs
+/// exactly two rounds of full-mesh traffic.
+#[derive(Debug, Clone, Copy)]
+pub struct RelayReplication {
+    /// Number of relay copies (odd; majority threshold `⌈R/2⌉`).
+    pub copies: usize,
+}
+
+impl Default for RelayReplication {
+    fn default() -> Self {
+        Self { copies: 3 }
+    }
+}
+
+impl AllToAllProtocol for RelayReplication {
+    fn name(&self) -> &'static str {
+        "relay-replication"
+    }
+
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        if self.copies == 0 || self.copies >= n {
+            return Err(CoreError::invalid("copies must be in 1..n"));
+        }
+        let b = inst.b();
+        if b > net.bandwidth() {
+            return Err(CoreError::invalid("message wider than bandwidth"));
+        }
+        let mut votes: Vec<Vec<Vec<BitVec>>> = vec![vec![Vec::new(); n]; n];
+
+        for i in 0..self.copies {
+            let h = 1 + i; // distinct deterministic shifts
+            let relay = |u: usize, v: usize| (u + v + h) % n;
+
+            // Hop 1: u -> c_i(u, v).
+            let mut traffic = net.traffic();
+            let mut local: Vec<Option<(usize, BitVec)>> = vec![None; n]; // relay == u
+            for u in 0..n {
+                for v in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let c = relay(u, v);
+                    if c == u {
+                        local[u] = Some((v, inst.message(u, v).clone()));
+                    } else {
+                        traffic.send(u, c, inst.message(u, v).clone());
+                    }
+                }
+            }
+            let d1 = net.exchange(traffic);
+
+            // Hop 2: c -> v. Relay w received the copy from u destined to
+            // v where w = (u + v + h) mod n; for each sender u the target is
+            // v = (w - u - h) mod n.
+            let mut traffic = net.traffic();
+            for w in 0..n {
+                for u in 0..n {
+                    let (payload, v) = if u == w {
+                        match &local[w] {
+                            Some((v, m)) => (Some(m.clone()), *v),
+                            None => continue,
+                        }
+                    } else {
+                        let v = (w + 2 * n - u - h) % n;
+                        (d1.received(w, u).cloned(), v)
+                    };
+                    if v == u || v >= n {
+                        continue;
+                    }
+                    if let Some(m) = payload {
+                        if v == w {
+                            votes[v][u].push(m);
+                        } else {
+                            traffic.send(w, v, m);
+                        }
+                    }
+                }
+            }
+            let d2 = net.exchange(traffic);
+            for v in 0..n {
+                for u in 0..n {
+                    if u == v {
+                        continue;
+                    }
+                    let w = relay(u, v);
+                    if w == v {
+                        continue; // already recorded locally
+                    }
+                    if let Some(m) = d2.received(v, w) {
+                        votes[v][u].push(m.clone());
+                    }
+                }
+            }
+        }
+
+        // Majority per message.
+        let mut out = AllToAllOutput::empty(n);
+        for v in 0..n {
+            for u in 0..n {
+                if u == v {
+                    out.set(v, u, inst.message(u, u).clone());
+                    continue;
+                }
+                let mut tally: Vec<(BitVec, usize)> = Vec::new();
+                for m in &votes[v][u] {
+                    let mut normalized = m.clone();
+                    normalized.pad_to(b);
+                    normalized.truncate(b);
+                    match tally.iter_mut().find(|(x, _)| *x == normalized) {
+                        Some((_, c)) => *c += 1,
+                        None => tally.push((normalized, 1)),
+                    }
+                }
+                tally.sort_by_key(|t| std::cmp::Reverse(t.1));
+                if let Some((winner, _)) = tally.first() {
+                    out.set(v, u, winner.clone());
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::Adversary;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn perfect_without_faults() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let inst = AllToAllInstance::random(10, 3, &mut rng);
+        let mut net = Network::new(10, 8, 0.0, Adversary::none());
+        let out = RelayReplication { copies: 3 }.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+        assert_eq!(net.rounds(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_copies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let inst = AllToAllInstance::random(4, 2, &mut rng);
+        let mut net = Network::new(4, 8, 0.0, Adversary::none());
+        assert!(RelayReplication { copies: 0 }.run(&mut net, &inst).is_err());
+        assert!(RelayReplication { copies: 4 }.run(&mut net, &inst).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! The subnetwork reduction of Lemma 2.8: solving `AllToAllComm` on
+//! `n'`-subcliques (`n/2 ≤ n' ≤ n`) covers the `n`-clique at the cost of
+//! halving α.
+//!
+//! The paper uses this to justify divisibility assumptions (n a power of
+//! two, √n an integer, …). The protocols in this crate instead validate
+//! their shape requirements directly, but the combinatorial core of the
+//! lemma — a family of ten `n'`-subsets covering every node pair — is
+//! implemented and tested here, both for fidelity and for downstream users
+//! who want to run the protocols on awkward `n`.
+
+use crate::error::CoreError;
+
+/// Builds the paper's pair-covering family: ten subsets `V_1..V_10 ⊆ [n]`
+/// of size exactly `n'` such that every pair `{u, v}` is contained in at
+/// least one subset.
+///
+/// Construction (Lemma 2.8's proof): split `[n]` into five consecutive
+/// blocks `S_1..S_5`; for each of the `C(5,2) = 10` block pairs `(j, k)`
+/// take `S_j ∪ S_k` padded with arbitrary outside nodes up to `n'`.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] unless `n/2 ≤ n' ≤ n` and `n ≥ 5` (five
+/// non-empty blocks need five nodes).
+pub fn pair_cover(n: usize, n_prime: usize) -> Result<Vec<Vec<usize>>, CoreError> {
+    if n < 5 {
+        return Err(CoreError::invalid("pair cover needs n >= 5"));
+    }
+    if n_prime > n || 2 * n_prime < n {
+        return Err(CoreError::invalid(format!(
+            "need n/2 <= n' <= n, got n = {n}, n' = {n_prime}"
+        )));
+    }
+    // Five consecutive blocks of size ⌊n/5⌋ (last takes the remainder).
+    let base = n / 5;
+    let blocks: Vec<Vec<usize>> = (0..5)
+        .map(|j| {
+            let start = j * base;
+            let end = if j == 4 { n } else { (j + 1) * base };
+            (start..end).collect()
+        })
+        .collect();
+    // Any two blocks together hold ≤ 2(⌈n/5⌉ + 4) ≤ n' for n ≥ 5 after the
+    // validation above; check anyway so pathological splits fail loudly.
+    for j in 0..5 {
+        for k in (j + 1)..5 {
+            if blocks[j].len() + blocks[k].len() > n_prime {
+                return Err(CoreError::invalid(format!(
+                    "blocks {j},{k} exceed n' = {n_prime}; choose larger n'"
+                )));
+            }
+        }
+    }
+    let mut cover = Vec::with_capacity(10);
+    for j in 0..5 {
+        for k in (j + 1)..5 {
+            let mut set: Vec<usize> = blocks[j].iter().chain(blocks[k].iter()).copied().collect();
+            // Pad with nodes outside S_j ∪ S_k.
+            let mut in_set = vec![false; n];
+            for &x in &set {
+                in_set[x] = true;
+            }
+            let mut filler = (0..n).filter(|&x| !in_set[x]);
+            while set.len() < n_prime {
+                set.push(filler.next().expect("enough outside nodes"));
+            }
+            set.sort_unstable();
+            cover.push(set);
+        }
+    }
+    Ok(cover)
+}
+
+/// Checks that a family covers every pair of `[n]` (the lemma's guarantee);
+/// exposed for tests and for validating custom covers.
+pub fn covers_all_pairs(n: usize, family: &[Vec<usize>]) -> bool {
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let hit = family
+                .iter()
+                .any(|set| set.binary_search(&u).is_ok() && set.binary_search(&v).is_ok());
+            if !hit {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_sets_of_exact_size() {
+        let cover = pair_cover(20, 12).unwrap();
+        assert_eq!(cover.len(), 10);
+        assert!(cover.iter().all(|s| s.len() == 12));
+    }
+
+    #[test]
+    fn covers_every_pair_various_shapes() {
+        for (n, n_prime) in [(20, 12), (23, 16), (40, 20), (17, 10), (100, 64)] {
+            let cover = pair_cover(n, n_prime).unwrap_or_else(|e| {
+                panic!("cover({n}, {n_prime}) failed: {e}");
+            });
+            assert!(
+                covers_all_pairs(n, &cover),
+                "cover({n}, {n_prime}) misses a pair"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_n_prime() {
+        assert!(pair_cover(20, 21).is_err());
+        assert!(pair_cover(20, 9).is_err());
+        assert!(pair_cover(4, 4).is_err());
+    }
+
+    #[test]
+    fn detects_non_covering_family() {
+        // {0..9} and {10..19} miss the pair (0, 10).
+        let fam = vec![(0..10).collect::<Vec<_>>(), (10..20).collect()];
+        assert!(!covers_all_pairs(20, &fam));
+    }
+
+    #[test]
+    fn sets_are_sorted_subsets_of_range() {
+        let cover = pair_cover(23, 16).unwrap();
+        for set in &cover {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+            assert!(set.iter().all(|&x| x < 23));
+        }
+    }
+}

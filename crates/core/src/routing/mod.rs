@@ -1,0 +1,229 @@
+//! Resilient super-message routing (Theorem 4.1 / Theorem 1.1).
+//!
+//! An instance consists of super-messages, each identified by `(src, slot)`
+//! with a payload of at most `payload_bits` bits and a target list known to
+//! all nodes. Two execution engines implement the same contract:
+//!
+//! * [`unit`](self::unit) — the *scheduled unit-instance* engine: messages are greedily
+//!   colored into stages so that each stage has per-node source- and
+//!   target-multiplicity 1, and every stage scatters one Reed–Solomon
+//!   codeword symbol per relay node. Maximal decode margin
+//!   (`2·⌊αn⌋` errors against a radius of `(L-k)/2`), round cost
+//!   `O(stages · chunks)`.
+//! * [`coverfree`] — the paper's Section 4.2 engine: all `k` messages per
+//!   node route *simultaneously* through a `(k-1, δ)`-cover-free family of
+//!   receiver sets with the `InLoad`/`OutLoad` = 1 filters; overlap
+//!   positions become *known erasures* (our erasure-aware refinement of
+//!   Lemma 4.6). Round cost `O(chunks)` — constant in `k` — at the price of
+//!   a tighter decode margin.
+//!
+//! [`route`] picks the engine per [`RouterConfig::mode`]; `Auto` uses the
+//! cover-free engine whenever its margin validates and falls back to unit
+//! scheduling otherwise, which mirrors how the paper trades the two (its
+//! constants make the cover-free margin positive only asymptotically; see
+//! `DESIGN.md`, substitution 4).
+
+pub mod coverfree;
+pub mod unit;
+
+use crate::error::CoreError;
+use bdclique_bits::BitVec;
+use bdclique_netsim::Network;
+use std::collections::HashMap;
+
+/// One super-message: `slot` disambiguates multiple messages from the same
+/// source (the paper's index `j`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SuperMessage {
+    /// Source node.
+    pub src: usize,
+    /// Source-local slot `j`.
+    pub slot: usize,
+    /// Payload (at most the instance's `payload_bits`).
+    pub payload: BitVec,
+    /// Target nodes (may include `src`; duplicates ignored).
+    pub targets: Vec<usize>,
+}
+
+/// A routing instance: the global knowledge shared by all nodes (message
+/// identities, payload sizes, and target lists — but of course not payload
+/// *contents*, which only sources hold).
+#[derive(Debug, Clone)]
+pub struct RoutingInstance {
+    /// Clique size.
+    pub n: usize,
+    /// Upper bound λ on payload bits (all payloads padded to this on the
+    /// wire).
+    pub payload_bits: usize,
+    /// The super-messages.
+    pub messages: Vec<SuperMessage>,
+}
+
+impl RoutingInstance {
+    /// Validates shape invariants.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] with a diagnosis.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let mut seen = std::collections::HashSet::new();
+        for m in &self.messages {
+            if m.src >= self.n {
+                return Err(CoreError::invalid(format!("src {} out of range", m.src)));
+            }
+            if m.payload.len() > self.payload_bits {
+                return Err(CoreError::invalid(format!(
+                    "payload of ({}, {}) has {} bits > λ = {}",
+                    m.src,
+                    m.slot,
+                    m.payload.len(),
+                    self.payload_bits
+                )));
+            }
+            if m.targets.is_empty() {
+                return Err(CoreError::invalid(format!(
+                    "message ({}, {}) has no targets",
+                    m.src, m.slot
+                )));
+            }
+            if m.targets.iter().any(|&t| t >= self.n) {
+                return Err(CoreError::invalid("target out of range".to_string()));
+            }
+            if !seen.insert((m.src, m.slot)) {
+                return Err(CoreError::invalid(format!(
+                    "duplicate message id ({}, {})",
+                    m.src, m.slot
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maximum number of messages per source node.
+    pub fn max_source_multiplicity(&self) -> usize {
+        let mut counts = vec![0usize; self.n];
+        for m in &self.messages {
+            counts[m.src] += 1;
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum number of messages targeting any single node.
+    pub fn max_target_multiplicity(&self) -> usize {
+        let mut counts = vec![0usize; self.n];
+        for m in &self.messages {
+            let mut uniq: Vec<usize> = m.targets.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            for t in uniq {
+                counts[t] += 1;
+            }
+        }
+        counts.into_iter().max().unwrap_or(0)
+    }
+}
+
+/// Which engine to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingMode {
+    /// Cover-free when its margin validates, otherwise unit scheduling.
+    #[default]
+    Auto,
+    /// Force the scheduled unit-instance engine.
+    Unit,
+    /// Force the cover-free engine (error if infeasible).
+    CoverFree,
+}
+
+/// Router tuning knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouterConfig {
+    /// Engine selection.
+    pub mode: RoutingMode,
+    /// Bits per Reed–Solomon symbol (field GF(2^m)); the wire slot is one
+    /// bit wider (a validity flag).
+    pub symbol_bits: u32,
+    /// Extra error-correction slack added on top of the `2·⌊αn⌋` worst-case
+    /// adversarial symbol corruptions.
+    pub extra_error_slack: usize,
+    /// Cover-free engine: ground-group size (elements per group); the
+    /// receiver-set size is `n / group_size`. `None` picks
+    /// `max(4, 2·k)` where `k` is the instance's multiplicity.
+    pub cf_group_size: Option<usize>,
+    /// Cover-free engine: maximum acceptable verified cover fraction δ.
+    pub cf_delta: f64,
+    /// Cover-free engine: seed-retry budget for the verified construction.
+    pub cf_seed_tries: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            mode: RoutingMode::Auto,
+            symbol_bits: 8,
+            extra_error_slack: 1,
+            cf_group_size: None,
+            cf_delta: 0.5,
+            cf_seed_tries: 64,
+        }
+    }
+}
+
+/// Which engine actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineUsed {
+    /// Scheduled unit instances.
+    Unit,
+    /// Cover-free parallel routing.
+    CoverFree,
+}
+
+/// Execution report for a routing call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoutingReport {
+    /// Engine that ran.
+    pub engine: EngineUsed,
+    /// Network rounds consumed.
+    pub rounds: u64,
+    /// Unit engine: number of stages scheduled (1 for cover-free).
+    pub stages: usize,
+    /// Payload chunks per message.
+    pub chunks: usize,
+    /// Codeword decodes that failed (0 when the adversary is within the
+    /// validated margin).
+    pub decode_failures: usize,
+}
+
+/// Routing results: `delivered[v]` maps `(src, slot)` to the payload `v`
+/// decoded.
+#[derive(Debug, Clone)]
+pub struct RoutingOutput {
+    /// Per-node delivered payloads.
+    pub delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    /// Execution report.
+    pub report: RoutingReport,
+}
+
+/// Routes an instance over the network with the configured engine.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] for malformed instances and
+/// [`CoreError::Infeasible`] when no engine's decode margin validates for
+/// the network's α.
+pub fn route(
+    net: &mut Network,
+    instance: &RoutingInstance,
+    cfg: &RouterConfig,
+) -> Result<RoutingOutput, CoreError> {
+    instance.validate()?;
+    match cfg.mode {
+        RoutingMode::Unit => unit::route_unit(net, instance, cfg),
+        RoutingMode::CoverFree => coverfree::route_coverfree(net, instance, cfg),
+        RoutingMode::Auto => match coverfree::route_coverfree(net, instance, cfg) {
+            Ok(out) => Ok(out),
+            Err(CoreError::Infeasible { .. }) => unit::route_unit(net, instance, cfg),
+            Err(e) => Err(e),
+        },
+    }
+}

@@ -1,0 +1,431 @@
+//! The scheduled unit-instance routing engine.
+//!
+//! Messages are greedily colored into *stages* such that within a stage
+//! every node is the source of at most one active message and the target of
+//! at most one active message (multi-target messages deliver to all their
+//! targets in one stage). Each stage runs the two-round scatter/gather of
+//! the paper's Section 3 warm-up observation: the source spreads one
+//! Reed–Solomon symbol per relay node, then relays forward to the targets.
+//! Per codeword the adversary corrupts at most `⌊αn⌋` symbols in each of the
+//! two rounds, against a decoding radius of `(L - k)/2` chosen as
+//! `2⌊αn⌋ + slack`; suppressed frames are decoded as erasures.
+//!
+//! When the network bandwidth exceeds one wire slot (`symbol_bits + 1`),
+//! multiple stages and payload chunks run in parallel inside a single round
+//! pair — the `B`-fold speedup of Lemma 2.9 / Theorem 4.1.
+
+use super::{EngineUsed, RouterConfig, RoutingInstance, RoutingOutput, RoutingReport};
+use crate::error::CoreError;
+use bdclique_bits::BitVec;
+use bdclique_codes::{BitCode, ReedSolomon};
+use bdclique_netsim::Network;
+use std::collections::HashMap;
+
+/// Greedy stage coloring: same-source or shared-target messages never share
+/// a stage. Returns `stage_of[msg_idx]`.
+pub(crate) fn schedule_stages(instance: &RoutingInstance) -> Vec<usize> {
+    let mut stage_of = vec![usize::MAX; instance.messages.len()];
+    // Per-stage occupancy: sources and targets.
+    let mut stage_sources: Vec<Vec<bool>> = Vec::new();
+    let mut stage_targets: Vec<Vec<bool>> = Vec::new();
+    for (idx, m) in instance.messages.iter().enumerate() {
+        let mut stage = 0usize;
+        loop {
+            if stage == stage_sources.len() {
+                stage_sources.push(vec![false; instance.n]);
+                stage_targets.push(vec![false; instance.n]);
+            }
+            let src_free = !stage_sources[stage][m.src];
+            let tgts_free = m.targets.iter().all(|&t| !stage_targets[stage][t]);
+            if src_free && tgts_free {
+                stage_sources[stage][m.src] = true;
+                for &t in &m.targets {
+                    stage_targets[stage][t] = true;
+                }
+                stage_of[idx] = stage;
+                break;
+            }
+            stage += 1;
+        }
+    }
+    stage_of
+}
+
+struct UnitParams {
+    /// Relay count = codeword length.
+    l: usize,
+    /// RS message symbols per codeword.
+    k_rs: usize,
+    /// The code.
+    code: ReedSolomon,
+    /// Payload bits per chunk.
+    cap_bits: usize,
+    /// Chunks per message.
+    chunks: usize,
+    /// Wire slot width: symbol + validity bit.
+    slot: usize,
+    /// Parallel lanes per round pair.
+    lanes: usize,
+}
+
+fn derive_params(
+    net: &Network,
+    instance: &RoutingInstance,
+    cfg: &RouterConfig,
+) -> Result<UnitParams, CoreError> {
+    let m = cfg.symbol_bits;
+    if !(2..=8).contains(&m) {
+        return Err(CoreError::invalid("symbol_bits must be in 2..=8"));
+    }
+    let slot = m as usize + 1;
+    if net.bandwidth() < slot {
+        return Err(CoreError::infeasible(format!(
+            "bandwidth {} < wire slot {} (symbol + validity bit)",
+            net.bandwidth(),
+            slot
+        )));
+    }
+    let l = instance.n.min((1usize << m) - 1);
+    let e_allow = 2 * net.fault_budget() + cfg.extra_error_slack;
+    if l <= 2 * e_allow {
+        return Err(CoreError::infeasible(format!(
+            "relay count {l} cannot absorb 2·({e_allow}) adversarial symbols"
+        )));
+    }
+    let k_rs = l - 2 * e_allow;
+    let code = ReedSolomon::new(m, l, k_rs)
+        .map_err(|e| CoreError::infeasible(format!("RS construction: {e}")))?;
+    let cap_bits = k_rs * m as usize;
+    let chunks = instance.payload_bits.div_ceil(cap_bits).max(1);
+    let lanes = (net.bandwidth() / slot).max(1);
+    Ok(UnitParams {
+        l,
+        k_rs,
+        code,
+        cap_bits,
+        chunks,
+        slot,
+        lanes,
+    })
+}
+
+/// Runs the unit engine. See the module docs.
+pub fn route_unit(
+    net: &mut Network,
+    instance: &RoutingInstance,
+    cfg: &RouterConfig,
+) -> Result<RoutingOutput, CoreError> {
+    let n = instance.n;
+    if n != net.n() {
+        return Err(CoreError::invalid("instance size != network size"));
+    }
+    let params = derive_params(net, instance, cfg)?;
+    let stage_of = schedule_stages(instance);
+    let num_stages = stage_of.iter().map(|&s| s + 1).max().unwrap_or(0);
+
+    let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
+    let mut decode_failures = 0usize;
+    let rounds_before = net.rounds();
+
+    // Local deliveries (target == src) never touch the network.
+    for msg in &instance.messages {
+        if msg.targets.contains(&msg.src) {
+            delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());
+        }
+    }
+
+    // Precompute padded payloads and per-chunk codewords.
+    let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(instance.messages.len());
+    for msg in &instance.messages {
+        let mut padded = msg.payload.clone();
+        padded.pad_to(params.chunks * params.cap_bits);
+        let mut per_chunk = Vec::with_capacity(params.chunks);
+        for c in 0..params.chunks {
+            let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
+            let cw = params
+                .code
+                .encode_bits(&chunk)
+                .map_err(|e| CoreError::invalid(format!("encode: {e}")))?;
+            per_chunk.push(cw);
+        }
+        codewords.push(per_chunk);
+    }
+
+    // Work units: (stage, chunk) pairs, executed `lanes` at a time.
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for s in 0..num_stages {
+        for c in 0..params.chunks {
+            work.push((s, c));
+        }
+    }
+    // Accumulated decoded chunks: per (target, msg_idx) -> Vec<Option<BitVec>>.
+    let mut chunk_store: HashMap<(usize, usize), Vec<Option<BitVec>>> = HashMap::new();
+
+    // Messages grouped by stage for quick lookup.
+    let mut stage_msgs: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+    for (idx, &s) in stage_of.iter().enumerate() {
+        stage_msgs[s].push(idx);
+    }
+
+    for pack in work.chunks(params.lanes) {
+        // ---- Round A: scatter codeword symbols to relays. ----
+        let mut traffic = net.traffic();
+        // Symbols a source keeps for itself (it is its own relay), keyed
+        // (lane, msg).
+        let mut src_local: HashMap<(usize, usize), u16> = HashMap::new();
+        let mut frames_a: HashMap<(usize, usize), BitVec> = HashMap::new();
+        for (lane, &(stage, chunk)) in pack.iter().enumerate() {
+            for &mi in &stage_msgs[stage] {
+                let msg = &instance.messages[mi];
+                let cw = &codewords[mi][chunk];
+                for (sym_idx, &sym) in cw.iter().enumerate().take(params.l) {
+                    let w = sym_idx;
+                    if w == msg.src {
+                        src_local.insert((lane, mi), sym);
+                        continue;
+                    }
+                    let frame = frames_a
+                        .entry((msg.src, w))
+                        .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
+                    frame.set(lane * params.slot, true); // validity
+                    frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
+                }
+            }
+        }
+        for ((from, to), frame) in frames_a {
+            traffic.send(from, to, frame);
+        }
+        let delivery_a = net.exchange(traffic);
+
+        // ---- Relay bookkeeping: relay_val[(lane, msg, w)] = Option<symbol>.
+        // A relay holds one symbol per active message in the stage (sources
+        // are distinct within a stage, so the round-A frame identifies the
+        // message).
+        let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
+        for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+            for &mi in &stage_msgs[stage] {
+                let msg = &instance.messages[mi];
+                for w in 0..params.l {
+                    let val = if w == msg.src {
+                        src_local.get(&(lane, mi)).copied()
+                    } else {
+                        match delivery_a.received(w, msg.src) {
+                            Some(f)
+                                if f.len() >= (lane + 1) * params.slot
+                                    && f.get(lane * params.slot) =>
+                            {
+                                Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
+                            }
+                            _ => None,
+                        }
+                    };
+                    relay_val.insert((lane, mi, w), val);
+                }
+            }
+        }
+
+        // ---- Round B: relays forward to targets. ----
+        let mut traffic = net.traffic();
+        let mut frames_b: HashMap<(usize, usize), BitVec> = HashMap::new();
+        for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+            for &mi in &stage_msgs[stage] {
+                let msg = &instance.messages[mi];
+                for &x in &msg.targets {
+                    if x == msg.src {
+                        continue; // delivered locally already
+                    }
+                    for w in 0..params.l {
+                        if w == x {
+                            continue; // target reads its own relay value
+                        }
+                        let val = relay_val.get(&(lane, mi, w)).copied().flatten();
+                        let frame = frames_b
+                            .entry((w, x))
+                            .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
+                        if let Some(sym) = val {
+                            frame.set(lane * params.slot, true);
+                            frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
+                        }
+                    }
+                }
+            }
+        }
+        for ((from, to), frame) in frames_b {
+            traffic.send(from, to, frame);
+        }
+        let delivery_b = net.exchange(traffic);
+
+        // ---- Decode at targets. ----
+        for (lane, &(stage, chunk)) in pack.iter().enumerate() {
+            for &mi in &stage_msgs[stage] {
+                let msg = &instance.messages[mi];
+                for &x in &msg.targets {
+                    if x == msg.src {
+                        continue;
+                    }
+                    let mut received = vec![0u16; params.l];
+                    let mut erasures = vec![false; params.l];
+                    for w in 0..params.l {
+                        let val = if w == x {
+                            relay_val.get(&(lane, mi, w)).copied().flatten()
+                        } else {
+                            match delivery_b.received(x, w) {
+                                Some(f)
+                                    if f.len() >= (lane + 1) * params.slot
+                                        && f.get(lane * params.slot) =>
+                                {
+                                    Some(
+                                        f.read_uint(lane * params.slot + 1, cfg.symbol_bits)
+                                            as u16,
+                                    )
+                                }
+                                _ => None,
+                            }
+                        };
+                        match val {
+                            Some(sym) => received[w] = sym,
+                            None => erasures[w] = true,
+                        }
+                    }
+                    let slot_entry = chunk_store
+                        .entry((x, mi))
+                        .or_insert_with(|| vec![None; params.chunks]);
+                    match params.code.decode_bits(&received, &erasures, params.cap_bits) {
+                        Ok(bits) => slot_entry[chunk] = Some(bits),
+                        Err(_) => {
+                            decode_failures += 1;
+                            slot_entry[chunk] = Some(BitVec::zeros(params.cap_bits));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Assemble chunked payloads.
+    for ((x, mi), chunks) in chunk_store {
+        let msg = &instance.messages[mi];
+        let mut full = BitVec::new();
+        for c in chunks {
+            full.extend_bits(&c.unwrap_or_else(|| BitVec::zeros(params.cap_bits)));
+        }
+        full.truncate(msg.payload.len());
+        delivered[x].insert((msg.src, msg.slot), full);
+    }
+
+    let _ = params.k_rs;
+    Ok(RoutingOutput {
+        delivered,
+        report: RoutingReport {
+            engine: EngineUsed::Unit,
+            rounds: net.rounds() - rounds_before,
+            stages: num_stages,
+            chunks: params.chunks,
+            decode_failures,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::SuperMessage;
+    use bdclique_netsim::Adversary;
+
+    fn instance(n: usize, payload_bits: usize, msgs: Vec<(usize, usize, Vec<usize>)>) -> RoutingInstance {
+        let messages = msgs
+            .into_iter()
+            .map(|(src, slot, targets)| SuperMessage {
+                src,
+                slot,
+                payload: BitVec::from_fn(payload_bits, |i| (i + src + slot) % 3 == 0),
+                targets,
+            })
+            .collect();
+        RoutingInstance {
+            n,
+            payload_bits,
+            messages,
+        }
+    }
+
+    #[test]
+    fn stage_coloring_respects_conflicts() {
+        let inst = instance(
+            8,
+            4,
+            vec![
+                (0, 0, vec![1]),
+                (0, 1, vec![2]), // same src as first => different stage
+                (3, 0, vec![1]), // shares target 1 with first => different stage
+                (4, 0, vec![5]), // independent => can share stage 0
+            ],
+        );
+        let stages = schedule_stages(&inst);
+        assert_ne!(stages[0], stages[1]);
+        assert_ne!(stages[0], stages[2]);
+        assert_eq!(stages[0], stages[3]);
+    }
+
+    #[test]
+    fn fault_free_roundtrip_single_message() {
+        let mut net = Network::new(8, 9, 0.0, Adversary::none());
+        let inst = instance(8, 12, vec![(2, 0, vec![5, 6])]);
+        let out = route_unit(&mut net, &inst, &RouterConfig::default()).unwrap();
+        assert_eq!(
+            out.delivered[5].get(&(2, 0)),
+            Some(&inst.messages[0].payload)
+        );
+        assert_eq!(
+            out.delivered[6].get(&(2, 0)),
+            Some(&inst.messages[0].payload)
+        );
+        assert_eq!(out.report.decode_failures, 0);
+        assert_eq!(out.report.rounds, 2); // one stage, one chunk
+    }
+
+    #[test]
+    fn multi_chunk_payload() {
+        let mut net = Network::new(8, 9, 0.0, Adversary::none());
+        // capacity per chunk: (7 - 2) symbols * 8 bits = 40 bits (slack 1).
+        let inst = instance(8, 100, vec![(0, 0, vec![7])]);
+        let out = route_unit(&mut net, &inst, &RouterConfig::default()).unwrap();
+        assert_eq!(out.delivered[7].get(&(0, 0)), Some(&inst.messages[0].payload));
+        assert!(out.report.chunks >= 2);
+    }
+
+    #[test]
+    fn self_target_is_local_and_free() {
+        let mut net = Network::new(8, 9, 0.0, Adversary::none());
+        let inst = instance(8, 8, vec![(3, 0, vec![3])]);
+        let out = route_unit(&mut net, &inst, &RouterConfig::default()).unwrap();
+        assert_eq!(out.delivered[3].get(&(3, 0)), Some(&inst.messages[0].payload));
+        assert_eq!(out.report.rounds, 2); // stage still runs (no other msgs needed it, but schedule exists)
+    }
+
+    #[test]
+    fn bandwidth_lanes_reduce_rounds() {
+        // Two independent messages, bandwidth for 2 lanes: 1 round pair.
+        let mut wide = Network::new(8, 18, 0.0, Adversary::none());
+        let inst = instance(
+            8,
+            8,
+            vec![(0, 0, vec![1]), (0, 1, vec![2])], // same src: 2 stages
+        );
+        let out = route_unit(&mut wide, &inst, &RouterConfig::default()).unwrap();
+        assert_eq!(out.report.rounds, 2, "two stages share one round pair");
+        assert_eq!(out.delivered[1].get(&(0, 0)), Some(&inst.messages[0].payload));
+        assert_eq!(out.delivered[2].get(&(0, 1)), Some(&inst.messages[1].payload));
+    }
+
+    #[test]
+    fn infeasible_alpha_is_reported() {
+        // n = 8, alpha = 0.45: budget 3, e_allow = 7, needs L > 14 > 8.
+        let mut net = Network::new(8, 9, 0.45, Adversary::none());
+        let inst = instance(8, 8, vec![(0, 0, vec![1])]);
+        assert!(matches!(
+            route_unit(&mut net, &inst, &RouterConfig::default()),
+            Err(CoreError::Infeasible { .. })
+        ));
+    }
+}

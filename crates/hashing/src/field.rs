@@ -1,0 +1,142 @@
+//! Arithmetic modulo the Mersenne prime `p = 2^61 - 1`.
+
+/// The Mersenne prime `2^61 - 1` used as the hash field modulus.
+pub const MERSENNE_61: u64 = (1u64 << 61) - 1;
+
+/// Arithmetic in the prime field `F_p` with `p = 2^61 - 1`.
+///
+/// A zero-sized helper namespace; all methods are associated functions so
+/// call sites read `MersenneField::mul(a, b)`.
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_hash::MersenneField;
+///
+/// let a = MersenneField::reduce(u64::MAX as u128);
+/// let inv = MersenneField::inv(a).unwrap();
+/// assert_eq!(MersenneField::mul(a, inv), 1);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MersenneField;
+
+impl MersenneField {
+    /// The field modulus.
+    pub const P: u64 = MERSENNE_61;
+
+    /// Reduces an arbitrary 128-bit value into `[0, p)`.
+    #[inline]
+    pub fn reduce(x: u128) -> u64 {
+        // 2^61 ≡ 1 (mod p): fold the high bits down twice.
+        let p = Self::P as u128;
+        let folded = (x & p) + (x >> 61);
+        let folded = (folded & p) + (folded >> 61);
+        let mut r = folded as u64;
+        if r >= Self::P {
+            r -= Self::P;
+        }
+        r
+    }
+
+    /// Field addition.
+    #[inline]
+    pub fn add(a: u64, b: u64) -> u64 {
+        debug_assert!(a < Self::P && b < Self::P);
+        let mut s = a + b;
+        if s >= Self::P {
+            s -= Self::P;
+        }
+        s
+    }
+
+    /// Field subtraction.
+    #[inline]
+    pub fn sub(a: u64, b: u64) -> u64 {
+        debug_assert!(a < Self::P && b < Self::P);
+        if a >= b {
+            a - b
+        } else {
+            a + Self::P - b
+        }
+    }
+
+    /// Field multiplication.
+    #[inline]
+    pub fn mul(a: u64, b: u64) -> u64 {
+        debug_assert!(a < Self::P && b < Self::P);
+        Self::reduce(a as u128 * b as u128)
+    }
+
+    /// Field exponentiation by squaring.
+    pub fn pow(mut base: u64, mut exp: u64) -> u64 {
+        let mut acc = 1u64;
+        base %= Self::P;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = Self::mul(acc, base);
+            }
+            base = Self::mul(base, base);
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Multiplicative inverse via Fermat's little theorem.
+    ///
+    /// Returns `None` for zero, which has no inverse.
+    pub fn inv(a: u64) -> Option<u64> {
+        if a.is_multiple_of(Self::P) {
+            None
+        } else {
+            Some(Self::pow(a, Self::P - 2))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduce_handles_extremes() {
+        assert_eq!(MersenneField::reduce(0), 0);
+        assert_eq!(MersenneField::reduce(MersenneField::P as u128), 0);
+        assert_eq!(MersenneField::reduce(MersenneField::P as u128 + 5), 5);
+        assert_eq!(
+            MersenneField::reduce(u128::MAX),
+            MersenneField::reduce(MersenneField::reduce(u128::MAX) as u128)
+        );
+    }
+
+    #[test]
+    fn add_sub_inverse() {
+        let a = 123_456_789_012_345;
+        let b = MersenneField::P - 17;
+        let s = MersenneField::add(a, b);
+        assert_eq!(MersenneField::sub(s, b), a);
+        assert_eq!(MersenneField::sub(s, a), b);
+    }
+
+    #[test]
+    fn mul_matches_u128_reference() {
+        let pairs = [
+            (3u64, 5u64),
+            (MersenneField::P - 1, MersenneField::P - 1),
+            (1 << 60, (1 << 60) + 12345),
+        ];
+        for (a, b) in pairs {
+            let expect = ((a as u128 * b as u128) % MersenneField::P as u128) as u64;
+            assert_eq!(MersenneField::mul(a, b), expect);
+        }
+    }
+
+    #[test]
+    fn pow_and_inv() {
+        assert_eq!(MersenneField::pow(2, 61), MersenneField::reduce(1u128 << 61));
+        for a in [1u64, 2, 7, MersenneField::P - 2] {
+            let inv = MersenneField::inv(a).unwrap();
+            assert_eq!(MersenneField::mul(a, inv), 1, "a = {a}");
+        }
+        assert_eq!(MersenneField::inv(0), None);
+    }
+}

@@ -1,0 +1,161 @@
+//! Shared randomness carried on the wire as bit strings.
+//!
+//! In the paper, node `v1` samples random strings `R1, R2, R3` and broadcasts
+//! them; every node then *locally and identically* derives hash functions,
+//! partitions, and LDC query sets from the received string. This module
+//! provides that derivation: a [`SharedRandomness`] wraps a seed string and
+//! hands out deterministic, label-separated RNG streams.
+
+use bdclique_bits::BitVec;
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic expansion of a broadcast seed string into derived RNGs.
+///
+/// Two nodes holding equal seed strings derive byte-identical randomness for
+/// equal labels, which is exactly the property the compilers need after
+/// broadcasting `R1`/`R2`/`R3`. Labels separate independent uses (partition,
+/// sketch hashes, LDC queries) so protocols cannot accidentally correlate
+/// them.
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_bits::BitVec;
+/// use bdclique_hash::SharedRandomness;
+/// use rand::RngCore;
+///
+/// let seed = BitVec::from_fn(128, |i| i % 3 == 0);
+/// let a = SharedRandomness::from_bits(&seed).rng("partition").next_u64();
+/// let b = SharedRandomness::from_bits(&seed).rng("partition").next_u64();
+/// let c = SharedRandomness::from_bits(&seed).rng("sketch").next_u64();
+/// assert_eq!(a, b);
+/// assert_ne!(a, c);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SharedRandomness {
+    seed: [u8; 32],
+}
+
+impl SharedRandomness {
+    /// Number of bits a fresh seed string carries on the wire.
+    pub const SEED_BITS: usize = 256;
+
+    /// Samples a fresh seed string of [`Self::SEED_BITS`] bits — what node
+    /// `v1` does before broadcasting.
+    pub fn generate(rng: &mut impl Rng) -> BitVec {
+        BitVec::from_fn(Self::SEED_BITS, |_| rng.gen())
+    }
+
+    /// Builds shared randomness from a received seed string.
+    ///
+    /// Strings shorter than 32 bytes are zero-extended; longer ones are
+    /// folded in by XOR so that the entire string matters.
+    pub fn from_bits(bits: &BitVec) -> Self {
+        let mut seed = [0u8; 32];
+        for (i, byte) in bits.to_bytes().into_iter().enumerate() {
+            seed[i % 32] ^= byte;
+        }
+        // Mix in the length so prefixes of each other differ.
+        let len = bits.len() as u64;
+        for (i, b) in len.to_le_bytes().into_iter().enumerate() {
+            seed[24 + i] ^= b;
+        }
+        Self { seed }
+    }
+
+    /// Returns a deterministic RNG stream for the given label.
+    pub fn rng(&self, label: &str) -> ChaCha8Rng {
+        let mut seed = self.seed;
+        // Fold the label into the seed with a simple FNV-style mix; labels in
+        // this workspace are short static strings, not attacker controlled.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        for (i, b) in h.to_le_bytes().into_iter().enumerate() {
+            seed[i] ^= b;
+        }
+        ChaCha8Rng::from_seed(seed)
+    }
+
+    /// Derives `count` uniform samples in `[0, range)` for the given label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range == 0`.
+    pub fn uniform_samples(&self, label: &str, count: usize, range: u64) -> Vec<u64> {
+        assert!(range > 0, "range must be positive");
+        let mut rng = self.rng(label);
+        (0..count).map(|_| rng.gen_range(0..range)).collect()
+    }
+
+    /// Derives a fixed-length bit string for the given label (e.g. an LDC
+    /// decoding random string).
+    pub fn bit_string(&self, label: &str, len: usize) -> BitVec {
+        let mut rng = self.rng(label);
+        BitVec::from_fn(len, |_| rng.next_u32() & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seed_bits(tag: u64) -> BitVec {
+        let mut rng = ChaCha8Rng::seed_from_u64(tag);
+        SharedRandomness::generate(&mut rng)
+    }
+
+    #[test]
+    fn same_seed_same_streams() {
+        let bits = seed_bits(3);
+        let a = SharedRandomness::from_bits(&bits);
+        let b = SharedRandomness::from_bits(&bits);
+        assert_eq!(
+            a.uniform_samples("x", 16, 100),
+            b.uniform_samples("x", 16, 100)
+        );
+        assert_eq!(a.bit_string("y", 77), b.bit_string("y", 77));
+    }
+
+    #[test]
+    fn labels_separate_streams() {
+        let sr = SharedRandomness::from_bits(&seed_bits(4));
+        assert_ne!(
+            sr.uniform_samples("a", 16, 1 << 30),
+            sr.uniform_samples("b", 16, 1 << 30)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SharedRandomness::from_bits(&seed_bits(1));
+        let b = SharedRandomness::from_bits(&seed_bits(2));
+        assert_ne!(
+            a.uniform_samples("x", 16, 1 << 30),
+            b.uniform_samples("x", 16, 1 << 30)
+        );
+    }
+
+    #[test]
+    fn length_is_mixed_in() {
+        let mut short = BitVec::zeros(64);
+        short.set(0, true);
+        let mut long = BitVec::zeros(128);
+        long.set(0, true);
+        let a = SharedRandomness::from_bits(&short);
+        let b = SharedRandomness::from_bits(&long);
+        assert_ne!(a.bit_string("z", 64), b.bit_string("z", 64));
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let sr = SharedRandomness::from_bits(&seed_bits(9));
+        for s in sr.uniform_samples("r", 1000, 17) {
+            assert!(s < 17);
+        }
+    }
+}

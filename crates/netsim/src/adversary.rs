@@ -1,0 +1,417 @@
+//! The mobile α-BD adversary framework: edge sets, budgets, and the
+//! non-adaptive / adaptive strategy interfaces.
+
+use crate::history::History;
+use crate::traffic::Traffic;
+use bdclique_bits::BitVec;
+use std::collections::HashSet;
+
+/// A set of undirected clique edges with per-node degree tracking.
+///
+/// This is the per-round fault set `F_i`; the simulator rejects any set
+/// whose degree exceeds the adversary's budget `⌊αn⌋`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EdgeSet {
+    edges: HashSet<(usize, usize)>,
+    degrees: Vec<usize>,
+}
+
+impl EdgeSet {
+    /// An empty edge set over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            edges: HashSet::new(),
+            degrees: vec![0; n],
+        }
+    }
+
+    fn norm(u: usize, v: usize) -> (usize, usize) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Inserts the undirected edge `{u, v}`. Returns `false` if already
+    /// present.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops or out-of-range endpoints.
+    pub fn insert(&mut self, u: usize, v: usize) -> bool {
+        assert_ne!(u, v, "no self-loops");
+        assert!(u < self.degrees.len() && v < self.degrees.len(), "node out of range");
+        let inserted = self.edges.insert(Self::norm(u, v));
+        if inserted {
+            self.degrees[u] += 1;
+            self.degrees[v] += 1;
+        }
+        inserted
+    }
+
+    /// Whether `{u, v}` is in the set.
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&Self::norm(u, v))
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The faulty degree `deg(F)` — the maximum number of set edges incident
+    /// to any single node (the quantity the α-BD model bounds).
+    pub fn max_degree(&self) -> usize {
+        self.degrees.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Degree of one node.
+    pub fn degree(&self, u: usize) -> usize {
+        self.degrees[u]
+    }
+
+    /// Iterates over the (normalized) edges.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+}
+
+/// What an adversary may observe when acting.
+///
+/// Non-adaptive corruptors see the current round's intended traffic (the
+/// rushing refinement); adaptive strategies additionally see everything the
+/// protocol [`crate::Network::publish`]ed (internal randomness) and the
+/// round history digest.
+#[derive(Debug)]
+pub struct AdversaryView<'a> {
+    /// Current round index (0-based).
+    pub round: u64,
+    /// The messages the nodes intend to send this round.
+    pub intended: &'a Traffic,
+    /// Bit strings published by the protocol (e.g. broadcast randomness) —
+    /// visible to *adaptive* adversaries only; empty for non-adaptive ones.
+    pub published: &'a [(String, BitVec)],
+    /// The recorded transcript of prior rounds (footnote 4's knowledge) —
+    /// adaptive adversaries only; empty for non-adaptive ones.
+    pub history: &'a History,
+}
+
+/// Round-indexed choice of fault edges for a **non-adaptive** adversary.
+///
+/// The signature is the enforcement: the plan sees only the round index and
+/// the topology, never traffic or randomness.
+pub trait EdgePlan {
+    /// The fault set for round `round`; must have `max_degree() ≤ budget`.
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet;
+}
+
+impl<F: FnMut(u64, usize, usize) -> EdgeSet> EdgePlan for F {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        self(round, n, budget)
+    }
+}
+
+/// Content corruption for a **non-adaptive** adversary: restricted to the
+/// planned edge set, but free to choose payloads based on intended traffic.
+pub trait Corruptor {
+    /// Rewrites frames crossing the controlled edges via `scope`.
+    fn corrupt(&mut self, view: &AdversaryView<'_>, edges: &EdgeSet, scope: &mut CorruptionScope<'_>);
+}
+
+/// Mutation handle restricted to a fixed edge set.
+#[derive(Debug)]
+pub struct CorruptionScope<'a> {
+    pub(crate) traffic: &'a mut Traffic,
+    pub(crate) allowed: &'a EdgeSet,
+    pub(crate) frames_touched: u64,
+}
+
+impl CorruptionScope<'_> {
+    /// Replaces (or suppresses, with `None`) the frame on `from → to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `{from, to}` is not a controlled edge or the replacement
+    /// exceeds the bandwidth.
+    pub fn set(&mut self, from: usize, to: usize, bits: Option<BitVec>) {
+        assert!(
+            self.allowed.contains(from, to),
+            "edge {{{from},{to}}} is not controlled this round"
+        );
+        if let Some(b) = &bits {
+            assert!(
+                b.len() <= self.traffic.bandwidth(),
+                "corrupted frame exceeds bandwidth"
+            );
+        }
+        *self.traffic.frame_mut_slot(from, to) = bits;
+        self.frames_touched += 1;
+    }
+
+    /// The frame currently queued on `from → to` (post any prior rewrites).
+    pub fn current(&self, from: usize, to: usize) -> Option<&BitVec> {
+        self.traffic.frame(from, to)
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.traffic.n()
+    }
+}
+
+/// An **adaptive** adversary: chooses edges and contents together, with the
+/// degree budget enforced transactionally by [`AdaptiveScope`].
+pub trait AdaptiveStrategy {
+    /// Acts on the current round.
+    fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>);
+}
+
+/// Mutation handle that *acquires* edges on first touch, refusing any
+/// acquisition that would push some node's faulty degree past the budget.
+#[derive(Debug)]
+pub struct AdaptiveScope<'a> {
+    pub(crate) traffic: &'a mut Traffic,
+    pub(crate) edges: EdgeSet,
+    pub(crate) budget: usize,
+    pub(crate) frames_touched: u64,
+}
+
+impl AdaptiveScope<'_> {
+    /// Tries to corrupt the frame on `from → to` (acquiring the edge if not
+    /// yet controlled). Returns `false` — without modifying anything — when
+    /// acquiring the edge would exceed the degree budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement exceeds the bandwidth.
+    pub fn try_corrupt(&mut self, from: usize, to: usize, bits: Option<BitVec>) -> bool {
+        if !self.try_acquire(from, to) {
+            return false;
+        }
+        if let Some(b) = &bits {
+            assert!(
+                b.len() <= self.traffic.bandwidth(),
+                "corrupted frame exceeds bandwidth"
+            );
+        }
+        *self.traffic.frame_mut_slot(from, to) = bits;
+        self.frames_touched += 1;
+        true
+    }
+
+    /// Tries to take control of edge `{from, to}` without touching traffic.
+    pub fn try_acquire(&mut self, from: usize, to: usize) -> bool {
+        if self.edges.contains(from, to) {
+            return true;
+        }
+        if self.edges.degree(from) + 1 > self.budget || self.edges.degree(to) + 1 > self.budget {
+            return false;
+        }
+        self.edges.insert(from, to);
+        true
+    }
+
+    /// How many more fault edges may touch `node` this round.
+    pub fn remaining_degree(&self, node: usize) -> usize {
+        self.budget.saturating_sub(self.edges.degree(node))
+    }
+
+    /// The per-round degree budget `⌊αn⌋`.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The frame currently queued on `from → to`.
+    pub fn current(&self, from: usize, to: usize) -> Option<&BitVec> {
+        self.traffic.frame(from, to)
+    }
+
+    /// Network size.
+    pub fn n(&self) -> usize {
+        self.traffic.n()
+    }
+}
+
+enum Kind {
+    None,
+    NonAdaptive {
+        plan: Box<dyn EdgePlan>,
+        corruptor: Box<dyn Corruptor>,
+    },
+    Adaptive(Box<dyn AdaptiveStrategy>),
+}
+
+impl std::fmt::Debug for Kind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Kind::None => write!(f, "None"),
+            Kind::NonAdaptive { .. } => write!(f, "NonAdaptive"),
+            Kind::Adaptive(_) => write!(f, "Adaptive"),
+        }
+    }
+}
+
+/// The adversary attached to a [`crate::Network`].
+#[derive(Debug)]
+pub struct Adversary {
+    kind: Kind,
+}
+
+impl Adversary {
+    /// The fault-free setting.
+    pub fn none() -> Self {
+        Self { kind: Kind::None }
+    }
+
+    /// An α-NBD adversary: `plan` fixes the per-round edge sets up front,
+    /// `corruptor` rewrites contents on those edges (rushing).
+    pub fn non_adaptive(plan: impl EdgePlan + 'static, corruptor: impl Corruptor + 'static) -> Self {
+        Self {
+            kind: Kind::NonAdaptive {
+                plan: Box::new(plan),
+                corruptor: Box::new(corruptor),
+            },
+        }
+    }
+
+    /// An α-ABD adversary.
+    pub fn adaptive(strategy: impl AdaptiveStrategy + 'static) -> Self {
+        Self {
+            kind: Kind::Adaptive(Box::new(strategy)),
+        }
+    }
+
+    /// Whether this adversary is adaptive (sees published randomness).
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self.kind, Kind::Adaptive(_))
+    }
+
+    /// Runs one round of corruption; returns `(edge set used, frames touched)`.
+    pub(crate) fn act(
+        &mut self,
+        round: u64,
+        traffic: &mut Traffic,
+        published: &[(String, BitVec)],
+        history: &History,
+        budget: usize,
+    ) -> Result<(EdgeSet, u64), crate::network::NetworkError> {
+        let n = traffic.n();
+        let empty_history = History::default();
+        match &mut self.kind {
+            Kind::None => Ok((EdgeSet::new(n), 0)),
+            Kind::NonAdaptive { plan, corruptor } => {
+                let edges = plan.edges(round, n, budget);
+                if edges.max_degree() > budget {
+                    return Err(crate::network::NetworkError::BudgetExceeded {
+                        round,
+                        degree: edges.max_degree(),
+                        budget,
+                    });
+                }
+                let intended = traffic.clone();
+                let view = AdversaryView {
+                    round,
+                    intended: &intended,
+                    published: &[], // non-adaptive adversaries never see randomness
+                    history: &empty_history,
+                };
+                let mut scope = CorruptionScope {
+                    traffic,
+                    allowed: &edges,
+                    frames_touched: 0,
+                };
+                corruptor.corrupt(&view, &edges, &mut scope);
+                let touched = scope.frames_touched;
+                Ok((edges, touched))
+            }
+            Kind::Adaptive(strategy) => {
+                let intended = traffic.clone();
+                let view = AdversaryView {
+                    round,
+                    intended: &intended,
+                    published,
+                    history,
+                };
+                let mut scope = AdaptiveScope {
+                    traffic,
+                    edges: EdgeSet::new(n),
+                    budget,
+                    frames_touched: 0,
+                };
+                strategy.corrupt(&view, &mut scope);
+                let touched = scope.frames_touched;
+                let edges = scope.edges;
+                debug_assert!(edges.max_degree() <= budget);
+                Ok((edges, touched))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_set_degree_tracking() {
+        let mut es = EdgeSet::new(5);
+        assert!(es.insert(0, 1));
+        assert!(es.insert(1, 2));
+        assert!(!es.insert(2, 1)); // duplicate, normalized
+        assert_eq!(es.len(), 2);
+        assert_eq!(es.degree(1), 2);
+        assert_eq!(es.max_degree(), 2);
+        assert!(es.contains(1, 0));
+        assert!(!es.contains(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn edge_set_rejects_self_loop() {
+        EdgeSet::new(3).insert(2, 2);
+    }
+
+    #[test]
+    fn adaptive_scope_enforces_budget() {
+        let mut traffic = Traffic::new(4, 4);
+        traffic.send(0, 1, BitVec::from_bools(&[true]));
+        let mut scope = AdaptiveScope {
+            traffic: &mut traffic,
+            edges: EdgeSet::new(4),
+            budget: 1,
+            frames_touched: 0,
+        };
+        assert!(scope.try_corrupt(0, 1, None));
+        // Node 0 is at budget: a second edge at node 0 must be refused.
+        assert!(!scope.try_corrupt(0, 2, None));
+        // Re-touching the same edge is fine.
+        assert!(scope.try_corrupt(1, 0, Some(BitVec::from_bools(&[false]))));
+        assert_eq!(scope.remaining_degree(0), 0);
+        assert_eq!(scope.remaining_degree(3), 1);
+    }
+
+    #[test]
+    fn corruption_scope_restricted_to_allowed_edges() {
+        let mut traffic = Traffic::new(4, 4);
+        traffic.send(2, 3, BitVec::from_bools(&[true, true]));
+        let mut allowed = EdgeSet::new(4);
+        allowed.insert(2, 3);
+        let mut scope = CorruptionScope {
+            traffic: &mut traffic,
+            allowed: &allowed,
+            frames_touched: 0,
+        };
+        scope.set(3, 2, Some(BitVec::from_bools(&[false])));
+        assert_eq!(scope.current(3, 2), Some(&BitVec::from_bools(&[false])));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            scope.set(0, 1, None);
+        }));
+        assert!(result.is_err(), "uncontrolled edge must be rejected");
+    }
+}

@@ -1,0 +1,128 @@
+//! Round history: what the adaptive adversary is allowed to remember.
+//!
+//! The paper's rushing adaptive adversary (footnote 4) may condition on
+//! "all the messages sent throughout the network in rounds 1..i−1". Full
+//! transcripts of long protocol runs are large, so recording is tiered:
+//! digests (per-round corruption sets and volumes) are always available to
+//! adaptive strategies, and full intended-traffic transcripts can be turned
+//! on per network.
+
+use crate::traffic::Traffic;
+
+/// How much the network records per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HistoryMode {
+    /// Record per-round digests only (corrupted edges, traffic volume).
+    #[default]
+    Digest,
+    /// Record digests plus the full intended traffic of every round —
+    /// the literal model of footnote 4; memory grows with rounds·n².
+    Full,
+    /// Record nothing.
+    None,
+}
+
+/// One recorded round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Round index.
+    pub round: u64,
+    /// The corruption set `F_i` the adversary used (normalized pairs).
+    pub corrupted: Vec<(usize, usize)>,
+    /// Honest frames queued that round.
+    pub frames: u64,
+    /// Honest bits queued that round.
+    pub bits: u64,
+    /// Full intended traffic (only in [`HistoryMode::Full`]).
+    pub intended: Option<Traffic>,
+}
+
+/// The recorded history of a network run.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    mode: HistoryMode,
+    records: Vec<RoundRecord>,
+}
+
+impl History {
+    pub(crate) fn new(mode: HistoryMode) -> Self {
+        Self {
+            mode,
+            records: Vec::new(),
+        }
+    }
+
+    pub(crate) fn push(
+        &mut self,
+        round: u64,
+        corrupted: Vec<(usize, usize)>,
+        frames: u64,
+        bits: u64,
+        intended: &Traffic,
+    ) {
+        match self.mode {
+            HistoryMode::None => {}
+            HistoryMode::Digest => self.records.push(RoundRecord {
+                round,
+                corrupted,
+                frames,
+                bits,
+                intended: None,
+            }),
+            HistoryMode::Full => self.records.push(RoundRecord {
+                round,
+                corrupted,
+                frames,
+                bits,
+                intended: Some(intended.clone()),
+            }),
+        }
+    }
+
+    /// The recorded rounds, oldest first.
+    pub fn records(&self) -> &[RoundRecord] {
+        &self.records
+    }
+
+    /// The recording mode.
+    pub fn mode(&self) -> HistoryMode {
+        self.mode
+    }
+
+    /// Total corrupted (edge, round) slots recorded.
+    pub fn total_corrupted(&self) -> usize {
+        self.records.iter().map(|r| r.corrupted.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_mode_skips_traffic() {
+        let mut h = History::new(HistoryMode::Digest);
+        let t = Traffic::new(3, 4);
+        h.push(0, vec![(0, 1)], 2, 5, &t);
+        assert_eq!(h.records().len(), 1);
+        assert!(h.records()[0].intended.is_none());
+        assert_eq!(h.total_corrupted(), 1);
+    }
+
+    #[test]
+    fn full_mode_keeps_traffic() {
+        let mut h = History::new(HistoryMode::Full);
+        let t = Traffic::new(3, 4);
+        h.push(0, vec![], 0, 0, &t);
+        assert!(h.records()[0].intended.is_some());
+    }
+
+    #[test]
+    fn none_mode_records_nothing() {
+        let mut h = History::new(HistoryMode::None);
+        let t = Traffic::new(3, 4);
+        h.push(0, vec![(1, 2)], 1, 1, &t);
+        assert!(h.records().is_empty());
+        assert_eq!(h.total_corrupted(), 0);
+    }
+}

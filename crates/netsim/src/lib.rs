@@ -1,0 +1,49 @@
+//! Synchronous B-Congested-Clique simulator with mobile bounded-degree
+//! Byzantine edge adversaries (the model of Section 2 of the paper).
+//!
+//! # Model
+//!
+//! * `n` fully connected nodes with ids `0..n` (KT1: everyone knows all ids).
+//! * Communication proceeds in synchronous rounds; in each round every
+//!   ordered pair `(u, v)` may carry up to `B` bits ([`Traffic`]).
+//! * A mobile **α-BD adversary** controls a per-round edge set `F_i` with
+//!   `deg(F_i) ≤ ⌊αn⌋` and may replace the messages crossing controlled
+//!   edges (both directions) arbitrarily. The simulator *enforces* the
+//!   degree constraint: a strategy that oversteps its budget is rejected.
+//! * **Non-adaptive** ([`Adversary::non_adaptive`]): the edge sets are a
+//!   function of the round index only — chosen before any traffic flows —
+//!   while corrupted *contents* may depend on the current intended traffic
+//!   (the "rushing" refinement of the paper's footnote 3).
+//! * **Adaptive** ([`Adversary::adaptive`]): both the edge set and the
+//!   contents may depend on everything — the full history, the current
+//!   round's intended messages, and any randomness the protocol has
+//!   published (footnote 4's rushing adaptive adversary).
+//!
+//! # Examples
+//!
+//! ```
+//! use bdclique_netsim::{Adversary, Network, Traffic};
+//! use bdclique_bits::BitVec;
+//!
+//! let mut net = Network::new(4, 8, 0.0, Adversary::none());
+//! let mut traffic = net.traffic();
+//! traffic.send(0, 1, BitVec::from_bools(&[true, false, true]));
+//! let delivery = net.exchange(traffic);
+//! assert_eq!(delivery.received(1, 0), Some(&BitVec::from_bools(&[true, false, true])));
+//! assert_eq!(net.rounds(), 1);
+//! ```
+
+mod adversary;
+mod history;
+mod network;
+mod stats;
+mod traffic;
+
+pub use adversary::{
+    Adversary, AdversaryView, AdaptiveScope, AdaptiveStrategy, Corruptor, CorruptionScope,
+    EdgePlan, EdgeSet,
+};
+pub use history::{History, HistoryMode, RoundRecord};
+pub use network::{Network, NetworkError};
+pub use stats::NetStats;
+pub use traffic::{Delivery, Traffic};

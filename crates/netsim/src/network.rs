@@ -1,0 +1,317 @@
+//! The synchronous network driver.
+
+use crate::adversary::Adversary;
+use crate::history::{History, HistoryMode};
+use crate::stats::NetStats;
+use crate::traffic::{Delivery, Traffic};
+use bdclique_bits::BitVec;
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// A non-adaptive plan produced an edge set above the degree budget —
+    /// the simulated model forbids this, so the run is invalid.
+    BudgetExceeded {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Offending faulty degree.
+        degree: usize,
+        /// Allowed budget `⌊αn⌋`.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetworkError::BudgetExceeded {
+                round,
+                degree,
+                budget,
+            } => write!(
+                f,
+                "adversary exceeded degree budget in round {round}: {degree} > {budget}"
+            ),
+        }
+    }
+}
+
+impl Error for NetworkError {}
+
+/// A synchronous B-Congested-Clique with an attached mobile α-BD adversary.
+///
+/// Protocols drive the network by building a [`Traffic`] matrix and calling
+/// [`Network::exchange`]; the adversary acts between queueing and delivery.
+#[derive(Debug)]
+pub struct Network {
+    n: usize,
+    bandwidth: usize,
+    alpha: f64,
+    adversary: Adversary,
+    round: u64,
+    stats: NetStats,
+    published: Vec<(String, BitVec)>,
+    history: History,
+}
+
+impl Network {
+    /// Creates a network of `n` nodes with `bandwidth` bits per ordered pair
+    /// per round and fault fraction `alpha` (degree budget `⌊αn⌋`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`, `bandwidth == 0`, or `alpha ∉ [0, 1)`.
+    pub fn new(n: usize, bandwidth: usize, alpha: f64, adversary: Adversary) -> Self {
+        assert!(n >= 2, "a clique needs at least two nodes");
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        Self {
+            n,
+            bandwidth,
+            alpha,
+            adversary,
+            round: 0,
+            stats: NetStats::default(),
+            published: Vec::new(),
+            history: History::new(HistoryMode::Digest),
+        }
+    }
+
+    /// Switches the history recording mode (call before the first round).
+    pub fn set_history_mode(&mut self, mode: HistoryMode) {
+        self.history = History::new(mode);
+    }
+
+    /// The recorded transcript so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bandwidth `B` in bits.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    /// The fault fraction α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Per-round faulty-degree budget `⌊αn⌋`.
+    pub fn fault_budget(&self) -> usize {
+        (self.alpha * self.n as f64).floor() as usize
+    }
+
+    /// Rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.round
+    }
+
+    /// Accounting snapshot.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// A fresh empty traffic matrix for this network's shape.
+    pub fn traffic(&self) -> Traffic {
+        Traffic::new(self.n, self.bandwidth)
+    }
+
+    /// Publishes protocol-internal randomness to *adaptive* adversaries
+    /// (modeling the rushing adaptive adversary's knowledge of node states;
+    /// non-adaptive adversaries never see it).
+    pub fn publish(&mut self, label: impl Into<String>, bits: BitVec) {
+        self.published.push((label.into(), bits));
+    }
+
+    /// Executes one synchronous round: queue → corrupt → deliver.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a *non-adaptive* plan violates its degree budget (an
+    /// invalid experiment, not a recoverable condition) or when the traffic
+    /// shape does not match the network.
+    pub fn exchange(&mut self, traffic: Traffic) -> Delivery {
+        self.try_exchange(traffic).expect("adversary violated model constraints")
+    }
+
+    /// Non-panicking variant of [`Network::exchange`].
+    ///
+    /// # Errors
+    ///
+    /// [`NetworkError::BudgetExceeded`] when a non-adaptive plan oversteps.
+    pub fn try_exchange(&mut self, mut traffic: Traffic) -> Result<Delivery, NetworkError> {
+        assert_eq!(traffic.n(), self.n, "traffic shape mismatch");
+        assert_eq!(traffic.bandwidth(), self.bandwidth, "bandwidth mismatch");
+        self.stats.bits_sent += traffic.total_bits();
+        self.stats.frames_sent += traffic.frame_count();
+
+        let budget = self.fault_budget();
+        let frames_before = traffic.frame_count();
+        let bits_before = traffic.total_bits();
+        let intended_snapshot = traffic.clone();
+        let (edges, frames_touched) = self.adversary.act(
+            self.round,
+            &mut traffic,
+            &self.published,
+            &self.history,
+            budget,
+        )?;
+        self.stats.edges_corrupted += edges.len() as u64;
+        self.stats.frames_corrupted += frames_touched;
+        self.stats.peak_fault_degree = self.stats.peak_fault_degree.max(edges.max_degree());
+        let mut corrupted: Vec<(usize, usize)> = edges.iter().collect();
+        corrupted.sort_unstable();
+        self.history.push(
+            self.round,
+            corrupted,
+            frames_before,
+            bits_before,
+            &intended_snapshot,
+        );
+
+        self.round += 1;
+        self.stats.rounds = self.round;
+        Ok(traffic.into_delivery())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{AdversaryView, CorruptionScope, EdgeSet};
+
+    struct FlipEverything;
+
+    impl crate::adversary::Corruptor for FlipEverything {
+        fn corrupt(
+            &mut self,
+            view: &AdversaryView<'_>,
+            edges: &EdgeSet,
+            scope: &mut CorruptionScope<'_>,
+        ) {
+            for (u, v) in edges.iter().collect::<Vec<_>>() {
+                for (a, b) in [(u, v), (v, u)] {
+                    if let Some(frame) = view.intended.frame(a, b) {
+                        let mut flipped = frame.clone();
+                        for i in 0..flipped.len() {
+                            flipped.flip(i);
+                        }
+                        scope.set(a, b, Some(flipped));
+                    }
+                }
+            }
+        }
+    }
+
+    fn single_edge_plan(u: usize, v: usize) -> impl crate::adversary::EdgePlan {
+        move |_round: u64, n: usize, _budget: usize| {
+            let mut es = EdgeSet::new(n);
+            es.insert(u, v);
+            es
+        }
+    }
+
+    #[test]
+    fn fault_free_delivery() {
+        let mut net = Network::new(3, 4, 0.0, Adversary::none());
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true, false]));
+        t.send(2, 0, BitVec::from_bools(&[true]));
+        let d = net.exchange(t);
+        assert_eq!(d.received(1, 0), Some(&BitVec::from_bools(&[true, false])));
+        assert_eq!(d.received(0, 2), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(net.stats().bits_sent, 3);
+        assert_eq!(net.stats().frames_sent, 2);
+        assert_eq!(net.stats().edges_corrupted, 0);
+    }
+
+    #[test]
+    fn nonadaptive_adversary_flips_controlled_edge_both_directions() {
+        let adv = Adversary::non_adaptive(single_edge_plan(0, 1), FlipEverything);
+        let mut net = Network::new(4, 4, 0.5, adv);
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true, true]));
+        t.send(1, 0, BitVec::from_bools(&[false]));
+        t.send(0, 2, BitVec::from_bools(&[true]));
+        let d = net.exchange(t);
+        assert_eq!(d.received(1, 0), Some(&BitVec::from_bools(&[false, false])));
+        assert_eq!(d.received(0, 1), Some(&BitVec::from_bools(&[true])));
+        // Uncontrolled edge is untouched.
+        assert_eq!(d.received(2, 0), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(net.stats().edges_corrupted, 1);
+        assert_eq!(net.stats().frames_corrupted, 2);
+        assert_eq!(net.stats().peak_fault_degree, 1);
+    }
+
+    #[test]
+    fn budget_violation_is_an_error() {
+        // Plan claims a star of degree 3 with budget 1 (alpha = 0.25, n = 4).
+        let plan = |_round: u64, n: usize, _budget: usize| {
+            let mut es = EdgeSet::new(n);
+            es.insert(0, 1);
+            es.insert(0, 2);
+            es.insert(0, 3);
+            es
+        };
+        struct Noop;
+        impl crate::adversary::Corruptor for Noop {
+            fn corrupt(&mut self, _: &AdversaryView<'_>, _: &EdgeSet, _: &mut CorruptionScope<'_>) {}
+        }
+        let mut net = Network::new(4, 2, 0.25, Adversary::non_adaptive(plan, Noop));
+        let t = net.traffic();
+        assert_eq!(
+            net.try_exchange(t),
+            Err(NetworkError::BudgetExceeded {
+                round: 0,
+                degree: 3,
+                budget: 1
+            })
+        );
+    }
+
+    #[test]
+    fn adaptive_adversary_sees_published_randomness() {
+        struct EchoChecker {
+            saw: std::rc::Rc<std::cell::RefCell<usize>>,
+        }
+        impl crate::adversary::AdaptiveStrategy for EchoChecker {
+            fn corrupt(
+                &mut self,
+                view: &AdversaryView<'_>,
+                _scope: &mut crate::adversary::AdaptiveScope<'_>,
+            ) {
+                *self.saw.borrow_mut() = view.published.len();
+            }
+        }
+        let saw = std::rc::Rc::new(std::cell::RefCell::new(0));
+        let mut net = Network::new(
+            3,
+            2,
+            0.3,
+            Adversary::adaptive(EchoChecker { saw: saw.clone() }),
+        );
+        net.publish("R1", BitVec::from_bools(&[true]));
+        let t = net.traffic();
+        net.exchange(t);
+        assert_eq!(*saw.borrow(), 1);
+    }
+
+    #[test]
+    fn round_counter_advances() {
+        let mut net = Network::new(2, 1, 0.0, Adversary::none());
+        for i in 0..5 {
+            assert_eq!(net.rounds(), i);
+            let t = net.traffic();
+            net.exchange(t);
+        }
+        assert_eq!(net.rounds(), 5);
+    }
+}

@@ -1,0 +1,45 @@
+//! Round and bit accounting — the quantities the benchmark harness reports.
+
+/// Cumulative statistics of a [`crate::Network`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Communication rounds executed.
+    pub rounds: u64,
+    /// Total payload bits queued by honest nodes.
+    pub bits_sent: u64,
+    /// Total non-empty frames queued by honest nodes.
+    pub frames_sent: u64,
+    /// Total (edge, round) corruption slots used by the adversary.
+    pub edges_corrupted: u64,
+    /// Total frames rewritten or suppressed by the adversary.
+    pub frames_corrupted: u64,
+    /// Maximum faulty degree the adversary actually used in any round.
+    pub peak_fault_degree: usize,
+}
+
+impl NetStats {
+    /// Average corrupted edges per round.
+    pub fn corrupted_edges_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.edges_corrupted as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages() {
+        let s = NetStats {
+            rounds: 4,
+            edges_corrupted: 10,
+            ..Default::default()
+        };
+        assert!((s.corrupted_edges_per_round() - 2.5).abs() < 1e-12);
+        assert_eq!(NetStats::default().corrupted_edges_per_round(), 0.0);
+    }
+}

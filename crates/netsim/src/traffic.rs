@@ -1,0 +1,167 @@
+//! Per-round message matrices: what nodes intend to send, and what arrives.
+
+use bdclique_bits::BitVec;
+
+/// The messages all nodes intend to send in one round.
+///
+/// A dense `n × n` matrix of optional frames; a frame is at most
+/// `bandwidth` bits. Self-loops are not part of the clique and are rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traffic {
+    n: usize,
+    bandwidth: usize,
+    frames: Vec<Option<BitVec>>,
+}
+
+impl Traffic {
+    /// Creates an empty round of traffic for `n` nodes and a bandwidth of
+    /// `bandwidth` bits per ordered pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `bandwidth == 0`.
+    pub fn new(n: usize, bandwidth: usize) -> Self {
+        assert!(n >= 2, "a clique needs at least two nodes");
+        assert!(bandwidth > 0, "bandwidth must be positive");
+        Self {
+            n,
+            bandwidth,
+            frames: vec![None; n * n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Bandwidth in bits per ordered pair per round.
+    pub fn bandwidth(&self) -> usize {
+        self.bandwidth
+    }
+
+    #[inline]
+    fn idx(&self, from: usize, to: usize) -> usize {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        assert_ne!(from, to, "no self-loops in the clique");
+        from * self.n + to
+    }
+
+    /// Queues `bits` on the edge `from → to`, replacing any previous frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range ids, self-loops, or frames longer than the
+    /// bandwidth.
+    pub fn send(&mut self, from: usize, to: usize, bits: BitVec) {
+        assert!(
+            bits.len() <= self.bandwidth,
+            "frame of {} bits exceeds bandwidth {}",
+            bits.len(),
+            self.bandwidth
+        );
+        let i = self.idx(from, to);
+        self.frames[i] = Some(bits);
+    }
+
+    /// Removes the frame on `from → to`, if any.
+    pub fn clear(&mut self, from: usize, to: usize) {
+        let i = self.idx(from, to);
+        self.frames[i] = None;
+    }
+
+    /// The frame queued on `from → to`.
+    pub fn frame(&self, from: usize, to: usize) -> Option<&BitVec> {
+        self.frames[self.idx(from, to)].as_ref()
+    }
+
+    pub(crate) fn frame_mut_slot(&mut self, from: usize, to: usize) -> &mut Option<BitVec> {
+        let i = self.idx(from, to);
+        &mut self.frames[i]
+    }
+
+    /// Total bits queued this round.
+    pub fn total_bits(&self) -> u64 {
+        self.frames
+            .iter()
+            .flatten()
+            .map(|f| f.len() as u64)
+            .sum()
+    }
+
+    /// Number of non-empty frames queued this round.
+    pub fn frame_count(&self) -> u64 {
+        self.frames.iter().flatten().count() as u64
+    }
+
+    pub(crate) fn into_delivery(self) -> Delivery {
+        Delivery {
+            n: self.n,
+            frames: self.frames,
+        }
+    }
+}
+
+/// The messages actually delivered in one round (after adversarial
+/// corruption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery {
+    n: usize,
+    frames: Vec<Option<BitVec>>,
+}
+
+impl Delivery {
+    /// The frame node `to` received from node `from`, or `None` when the
+    /// sender sent nothing (or the adversary suppressed the frame).
+    pub fn received(&self, to: usize, from: usize) -> Option<&BitVec> {
+        assert!(from < self.n && to < self.n, "node id out of range");
+        assert_ne!(from, to, "no self-loops in the clique");
+        self.frames[from * self.n + to].as_ref()
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_frame() {
+        let mut t = Traffic::new(3, 4);
+        t.send(0, 2, BitVec::from_bools(&[true]));
+        assert_eq!(t.frame(0, 2), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(t.frame(2, 0), None);
+        assert_eq!(t.frame_count(), 1);
+        assert_eq!(t.total_bits(), 1);
+        t.clear(0, 2);
+        assert_eq!(t.frame(0, 2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds bandwidth")]
+    fn bandwidth_is_enforced() {
+        let mut t = Traffic::new(3, 2);
+        t.send(0, 1, BitVec::from_bools(&[true, true, false]));
+    }
+
+    #[test]
+    #[should_panic(expected = "no self-loops")]
+    fn self_loops_rejected() {
+        let mut t = Traffic::new(3, 2);
+        t.send(1, 1, BitVec::from_bools(&[true]));
+    }
+
+    #[test]
+    fn delivery_view_matches_traffic() {
+        let mut t = Traffic::new(4, 8);
+        t.send(1, 3, BitVec::from_bools(&[false, true]));
+        let d = t.into_delivery();
+        assert_eq!(d.received(3, 1), Some(&BitVec::from_bools(&[false, true])));
+        assert_eq!(d.received(1, 3), None);
+        assert_eq!(d.n(), 4);
+    }
+}

@@ -1,0 +1,137 @@
+//! A single sketch cell: `(count, key_sum, check_sum)`.
+
+use bdclique_hash::{KWiseHash, MersenneField};
+
+/// One cell of a [`crate::RecoverySketch`].
+///
+/// The cell is a linear function of the inserted multiset:
+/// `count = Σ f_i`, `key_sum = Σ f_i · key_i` (exact integer arithmetic),
+/// `check_sum = Σ f_i · h(key_i) mod p` for the sketch's checksum hash `h`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Cell {
+    /// Net frequency of all keys hashed into this cell.
+    pub count: i64,
+    /// Frequency-weighted key sum.
+    pub key_sum: i128,
+    /// Frequency-weighted checksum over F_p, `p = 2^61 - 1`.
+    pub check_sum: u64,
+}
+
+impl Cell {
+    /// Adds `freq` copies of `key` (hash value precomputed by the caller).
+    pub fn add(&mut self, key: u64, freq: i64, key_hash: u64) {
+        self.count += freq;
+        self.key_sum += key as i128 * freq as i128;
+        self.check_sum = MersenneField::add(self.check_sum, scale(key_hash, freq));
+    }
+
+    /// Merges another cell (linearity).
+    pub fn merge(&mut self, other: &Cell) {
+        self.count += other.count;
+        self.key_sum += other.key_sum;
+        self.check_sum = MersenneField::add(self.check_sum, other.check_sum);
+    }
+
+    /// Whether the cell is all-zero.
+    pub fn is_zero(&self) -> bool {
+        self.count == 0 && self.key_sum == 0 && self.check_sum == 0
+    }
+
+    /// If this cell holds exactly one distinct key, returns `(key, count)`.
+    ///
+    /// A *pure* cell satisfies `key_sum = count · key` for a valid key and
+    /// `check_sum = count · h(key)`; the checksum makes a false positive
+    /// exponentially unlikely.
+    pub fn decode_pure(&self, key_bits: u32, check: &KWiseHash) -> Option<(u64, i64)> {
+        if self.count == 0 {
+            return None;
+        }
+        let count = self.count as i128;
+        if self.key_sum % count != 0 {
+            return None;
+        }
+        let key = self.key_sum / count;
+        if key < 0 || (key_bits < 64 && key >= (1i128 << key_bits)) {
+            return None;
+        }
+        let key = key as u64;
+        let expect = scale(check.eval_field(key), self.count);
+        (expect == self.check_sum).then_some((key, self.count))
+    }
+}
+
+/// `freq · x mod p` with signed `freq`.
+fn scale(x: u64, freq: i64) -> u64 {
+    let m = MersenneField::mul(x, freq.unsigned_abs() % MersenneField::P);
+    if freq >= 0 {
+        m
+    } else {
+        MersenneField::sub(0, m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_hash() -> KWiseHash {
+        KWiseHash::from_coeffs(vec![12345, 678, 91011, 1213, 1415], 1 << 20)
+    }
+
+    #[test]
+    fn add_then_remove_is_zero() {
+        let h = check_hash();
+        let mut c = Cell::default();
+        c.add(42, 3, h.eval_field(42));
+        c.add(42, -3, h.eval_field(42));
+        assert!(c.is_zero());
+    }
+
+    #[test]
+    fn pure_cell_decodes() {
+        let h = check_hash();
+        let mut c = Cell::default();
+        c.add(99, 2, h.eval_field(99));
+        assert_eq!(c.decode_pure(20, &h), Some((99, 2)));
+    }
+
+    #[test]
+    fn pure_cell_with_negative_count_decodes() {
+        let h = check_hash();
+        let mut c = Cell::default();
+        c.add(7, -1, h.eval_field(7));
+        assert_eq!(c.decode_pure(20, &h), Some((7, -1)));
+    }
+
+    #[test]
+    fn mixed_cell_is_not_pure() {
+        let h = check_hash();
+        let mut c = Cell::default();
+        c.add(1, 1, h.eval_field(1));
+        c.add(100, 1, h.eval_field(100));
+        // key_sum/count = 101/2 — not integral, or checksum mismatch.
+        assert_eq!(c.decode_pure(20, &h), None);
+    }
+
+    #[test]
+    fn checksum_catches_collision_like_sums() {
+        let h = check_hash();
+        let mut c = Cell::default();
+        // keys 10 and 30 with freq 1 each: key_sum/count = 20, a valid key,
+        // but the checksum exposes the lie.
+        c.add(10, 1, h.eval_field(10));
+        c.add(30, 1, h.eval_field(30));
+        assert_eq!(c.decode_pure(20, &h), None);
+    }
+
+    #[test]
+    fn merge_is_cellwise_addition() {
+        let h = check_hash();
+        let mut a = Cell::default();
+        a.add(5, 1, h.eval_field(5));
+        let mut b = Cell::default();
+        b.add(5, 2, h.eval_field(5));
+        a.merge(&b);
+        assert_eq!(a.decode_pure(20, &h), Some((5, 3)));
+    }
+}

@@ -1,0 +1,28 @@
+//! k-sparse recovery sketches (Lemma 2.3 / Lemma 2.4 of the paper).
+//!
+//! A sketch is a succinct linear summary of a multiset of `(key, frequency)`
+//! pairs supporting:
+//!
+//! * [`RecoverySketch::add`] — change a key's frequency by any signed amount,
+//! * [`RecoverySketch::merge`] — cell-wise combination of two sketches built
+//!   with the same shared randomness (linearity),
+//! * [`RecoverySketch::recover`] — list every key with non-zero net
+//!   frequency, provided there are at most ~`capacity` of them.
+//!
+//! The construction is the standard peeling structure (an invertible lookup
+//! table à la Cormode–Firmani, the paper's reference \[21\]): `rows` hash rows
+//! of `cols` cells, each cell carrying `(count, key_sum, check_sum)` where
+//! `check_sum` is keyed by a polynomial hash over the Mersenne-61 field.
+//! The compilers use it exactly as Lemma 2.4 prescribes: add every intended
+//! message with frequency `+1`, subtract every received message with
+//! frequency `-1`, and recover — what remains is the set of corrupted
+//! messages together with their corrections.
+//!
+//! Serialization is *fixed width* ([`SketchShape::bit_len`]); the adaptive
+//! compiler relies on every sketch occupying exactly `t` bits (its Eq. (7)).
+
+mod cell;
+mod sketch;
+
+pub use cell::Cell;
+pub use sketch::{RecoverySketch, SketchError, SketchShape};

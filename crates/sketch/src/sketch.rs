@@ -1,0 +1,481 @@
+//! The peeling-based k-sparse recovery sketch.
+
+use crate::cell::Cell;
+use bdclique_bits::BitVec;
+use bdclique_hash::{KWiseHash, KWiseHashFamily, MersenneField, SharedRandomness};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by sketch (de)serialization and insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SketchError {
+    /// A serialized sketch had the wrong bit length for its shape.
+    WireLength {
+        /// Expected bit count.
+        expected: usize,
+        /// Actual bit count.
+        actual: usize,
+    },
+    /// A key does not fit the configured key width.
+    KeyOutOfRange {
+        /// The offending key.
+        key: u64,
+        /// The key width in bits.
+        key_bits: u32,
+    },
+    /// A cell field exceeded its fixed serialization width (the protocols
+    /// bound frequencies, so this indicates misuse).
+    FieldOverflow,
+}
+
+impl fmt::Display for SketchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SketchError::WireLength { expected, actual } => {
+                write!(f, "serialized sketch length {actual} != expected {expected}")
+            }
+            SketchError::KeyOutOfRange { key, key_bits } => {
+                write!(f, "key {key} does not fit in {key_bits} bits")
+            }
+            SketchError::FieldOverflow => write!(f, "cell field exceeds serialization width"),
+        }
+    }
+}
+
+impl Error for SketchError {}
+
+/// The shape (and therefore exact wire size) of a sketch.
+///
+/// All sketches exchanged by a protocol share one shape so that every sketch
+/// serializes to exactly [`SketchShape::bit_len`] bits — the fixed `t` of
+/// the paper's Step II (Eq. (7)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SketchShape {
+    /// Number of hash rows (independent hash functions).
+    pub rows: usize,
+    /// Cells per row.
+    pub cols: usize,
+    /// Width of keys in bits (≤ 63).
+    pub key_bits: u32,
+    /// Width of the serialized `count` field in bits (two's complement).
+    pub count_bits: u32,
+}
+
+impl SketchShape {
+    /// A shape sized to recover around `capacity` distinct keys with high
+    /// probability: 4 rows of `max(2·capacity, 6)` cells. Four rows keep the
+    /// all-rows collision probability of a residual pair at `(1/cols)^4`
+    /// (the paper's `O(k log² |U|)` sizing buys the same `1/poly` failure
+    /// bound), and the load factor stays far below the peeling threshold.
+    pub fn for_capacity(capacity: usize, key_bits: u32) -> Self {
+        Self {
+            rows: 4,
+            cols: (2 * capacity).max(6),
+            key_bits,
+            count_bits: 16,
+        }
+    }
+
+    /// Bits per serialized cell.
+    pub fn cell_bits(&self) -> usize {
+        // count (two's complement) + key_sum (two's complement, wide enough
+        // for count_bits worth of key multiples) + checksum field element.
+        self.count_bits as usize + self.key_sum_bits() as usize + 61
+    }
+
+    /// Total serialized size in bits — the fixed `t`.
+    pub fn bit_len(&self) -> usize {
+        self.rows * self.cols * self.cell_bits()
+    }
+
+    fn key_sum_bits(&self) -> u32 {
+        // Capped at 64: sufficient for the bounded keys/frequencies the
+        // protocols use; overflow is caught at serialization time.
+        (self.key_bits + self.count_bits + 1).min(64)
+    }
+}
+
+/// A k-sparse recovery sketch (Lemma 2.3).
+///
+/// # Examples
+///
+/// ```
+/// use bdclique_sketch::{RecoverySketch, SketchShape};
+/// use bdclique_hash::SharedRandomness;
+/// use bdclique_bits::BitVec;
+///
+/// let shared = SharedRandomness::from_bits(&BitVec::zeros(64));
+/// let shape = SketchShape::for_capacity(4, 20);
+/// let mut sk = RecoverySketch::new(shape, &shared);
+/// sk.add(17, 1).unwrap();
+/// sk.add(99, -2).unwrap();
+/// let got = sk.recover().unwrap();
+/// assert_eq!(got, vec![(17, 1), (99, -2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RecoverySketch {
+    shape: SketchShape,
+    cells: Vec<Cell>,
+    row_hashes: Vec<KWiseHash>,
+    check_hash: KWiseHash,
+}
+
+impl RecoverySketch {
+    /// Degree of the polynomial hashes (independence parameter); 7-wise
+    /// independence is ample for the cell-placement concentration bounds at
+    /// workspace scale.
+    const HASH_INDEPENDENCE: usize = 7;
+
+    /// Creates an empty sketch whose hash functions are derived from the
+    /// broadcast randomness (the paper's `R2`).
+    pub fn new(shape: SketchShape, shared: &SharedRandomness) -> Self {
+        let row_family = KWiseHashFamily::new(Self::HASH_INDEPENDENCE, shape.cols as u64);
+        let row_hashes = (0..shape.rows)
+            .map(|r| row_family.sample(&mut shared.rng(&format!("sketch/row/{r}"))))
+            .collect();
+        let check_family = KWiseHashFamily::new(Self::HASH_INDEPENDENCE, MersenneField::P);
+        let check_hash = check_family.sample(&mut shared.rng("sketch/check"));
+        Self {
+            shape,
+            cells: vec![Cell::default(); shape.rows * shape.cols],
+            row_hashes,
+            check_hash,
+        }
+    }
+
+    /// The sketch's shape.
+    pub fn shape(&self) -> SketchShape {
+        self.shape
+    }
+
+    /// Whether no key has been touched (all cells zero).
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(Cell::is_zero)
+    }
+
+    /// Changes `key`'s frequency by `freq` (the paper's `Add`).
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::KeyOutOfRange`] when the key exceeds the shape's key
+    /// width.
+    pub fn add(&mut self, key: u64, freq: i64) -> Result<(), SketchError> {
+        if self.shape.key_bits < 64 && key >= 1u64 << self.shape.key_bits {
+            return Err(SketchError::KeyOutOfRange {
+                key,
+                key_bits: self.shape.key_bits,
+            });
+        }
+        if freq == 0 {
+            return Ok(());
+        }
+        let key_hash = self.check_hash.eval_field(key);
+        for (r, h) in self.row_hashes.iter().enumerate() {
+            let col = h.hash(key) as usize;
+            self.cells[r * self.shape.cols + col].add(key, freq, key_hash);
+        }
+        Ok(())
+    }
+
+    /// Merges another sketch built with the same shape and randomness.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ (hash agreement cannot be checked and is
+    /// the caller's responsibility, as in the paper where all nodes share
+    /// `R2`).
+    pub fn merge(&mut self, other: &RecoverySketch) {
+        assert_eq!(self.shape, other.shape, "sketch shapes must match");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.merge(b);
+        }
+    }
+
+    /// Recovers every key with non-zero net frequency (the paper's
+    /// `Recover`), sorted by key. Returns `None` when the sketch is
+    /// overloaded (more distinct keys than the peeling process can resolve).
+    pub fn recover(&self) -> Option<Vec<(u64, i64)>> {
+        let mut work = self.clone();
+        let mut out: Vec<(u64, i64)> = Vec::new();
+        loop {
+            let mut progressed = false;
+            for idx in 0..work.cells.len() {
+                let Some((key, count)) = work.cells[idx]
+                    .decode_pure(work.shape.key_bits, &work.check_hash)
+                else {
+                    continue;
+                };
+                // Remove the key entirely and record it.
+                work.add(key, -count).ok()?;
+                out.push((key, count));
+                progressed = true;
+            }
+            if work.cells.iter().all(Cell::is_zero) {
+                // Keys extracted in multiple passes may repeat if a key was
+                // re-added; fold duplicates.
+                out.sort_unstable();
+                let mut folded: Vec<(u64, i64)> = Vec::with_capacity(out.len());
+                for (k, c) in out {
+                    match folded.last_mut() {
+                        Some((lk, lc)) if *lk == k => *lc += c,
+                        _ => folded.push((k, c)),
+                    }
+                }
+                folded.retain(|&(_, c)| c != 0);
+                return Some(folded);
+            }
+            if !progressed {
+                return None;
+            }
+        }
+    }
+
+    /// Serializes to exactly [`SketchShape::bit_len`] bits.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::FieldOverflow`] if a count or key-sum exceeds the
+    /// fixed widths (protocol misuse: frequencies are bounded by design).
+    pub fn to_bits(&self) -> Result<BitVec, SketchError> {
+        let mut bits = BitVec::new();
+        let cb = self.shape.count_bits;
+        let kb = self.shape.key_sum_bits();
+        for cell in &self.cells {
+            bits.push_uint(cb, encode_signed(cell.count, cb).ok_or(SketchError::FieldOverflow)?);
+            bits.push_uint(
+                kb,
+                encode_signed_i128(cell.key_sum, kb).ok_or(SketchError::FieldOverflow)?,
+            );
+            bits.push_uint(61, cell.check_sum);
+        }
+        debug_assert_eq!(bits.len(), self.shape.bit_len());
+        Ok(bits)
+    }
+
+    /// Deserializes a sketch; the receiver must supply the same shape and
+    /// shared randomness used by the sender.
+    ///
+    /// # Errors
+    ///
+    /// [`SketchError::WireLength`] on a length mismatch.
+    pub fn from_bits(
+        shape: SketchShape,
+        bits: &BitVec,
+        shared: &SharedRandomness,
+    ) -> Result<Self, SketchError> {
+        if bits.len() != shape.bit_len() {
+            return Err(SketchError::WireLength {
+                expected: shape.bit_len(),
+                actual: bits.len(),
+            });
+        }
+        let mut sketch = Self::new(shape, shared);
+        let cb = shape.count_bits;
+        let kb = shape.key_sum_bits();
+        let mut pos = 0usize;
+        for cell in sketch.cells.iter_mut() {
+            let count = decode_signed(bits.read_uint(pos, cb), cb);
+            pos += cb as usize;
+            let key_sum = decode_signed(bits.read_uint(pos, kb), kb) as i128;
+            pos += kb as usize;
+            let check_sum = bits.read_uint(pos, 61);
+            pos += 61;
+            *cell = Cell {
+                count,
+                key_sum,
+                check_sum,
+            };
+        }
+        Ok(sketch)
+    }
+}
+
+fn encode_signed(v: i64, width: u32) -> Option<u64> {
+    let half = 1i64 << (width - 1);
+    if v < -half || v >= half {
+        return None;
+    }
+    Some((v as u64) & ((1u64 << width) - 1))
+}
+
+fn encode_signed_i128(v: i128, width: u32) -> Option<u64> {
+    let half = 1i128 << (width - 1);
+    if v < -half || v >= half {
+        return None;
+    }
+    Some((v as u64) & if width == 64 { u64::MAX } else { (1u64 << width) - 1 })
+}
+
+fn decode_signed(raw: u64, width: u32) -> i64 {
+    let sign = 1u64 << (width - 1);
+    if raw & sign != 0 {
+        (raw | !(sign | (sign - 1))) as i64
+    } else {
+        raw as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn shared(tag: u64) -> SharedRandomness {
+        let mut rng = ChaCha8Rng::seed_from_u64(tag);
+        SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng))
+    }
+
+    #[test]
+    fn empty_recovers_empty() {
+        let sk = RecoverySketch::new(SketchShape::for_capacity(4, 20), &shared(1));
+        assert!(sk.is_empty());
+        assert_eq!(sk.recover(), Some(vec![]));
+    }
+
+    #[test]
+    fn recovers_within_capacity() {
+        let sh = shared(2);
+        let mut sk = RecoverySketch::new(SketchShape::for_capacity(8, 20), &sh);
+        let items: Vec<(u64, i64)> = (0..8).map(|i| (1000 + i as u64, (i as i64) - 4)).collect();
+        for &(k, f) in &items {
+            if f != 0 {
+                sk.add(k, f).unwrap();
+            }
+        }
+        let expect: Vec<(u64, i64)> = items.into_iter().filter(|&(_, f)| f != 0).collect();
+        assert_eq!(sk.recover(), Some(expect));
+    }
+
+    #[test]
+    fn add_then_cancel_leaves_nothing() {
+        let sh = shared(3);
+        let mut sk = RecoverySketch::new(SketchShape::for_capacity(4, 20), &sh);
+        for k in 0..100u64 {
+            sk.add(k, 1).unwrap();
+        }
+        for k in 0..100u64 {
+            sk.add(k, -1).unwrap();
+        }
+        assert!(sk.is_empty());
+        assert_eq!(sk.recover(), Some(vec![]));
+    }
+
+    #[test]
+    fn lemma_2_4_usage_pattern() {
+        // Insert n "intended" messages, remove n "received" messages of
+        // which a few were corrupted; recover the symmetric difference.
+        let sh = shared(4);
+        let shape = SketchShape::for_capacity(8, 32);
+        let mut sk = RecoverySketch::new(shape, &sh);
+        let n = 200u64;
+        for u in 0..n {
+            let key = (u << 8) | (u & 1); // id ∘ message-bit
+            sk.add(key, 1).unwrap();
+        }
+        // Received: three messages flipped.
+        for u in 0..n {
+            let bit = if [7, 99, 150].contains(&u) { (u & 1) ^ 1 } else { u & 1 };
+            sk.add((u << 8) | bit, -1).unwrap();
+        }
+        let got = sk.recover().expect("within capacity");
+        // 3 corrupted + 3 corrections = 6 entries.
+        assert_eq!(got.len(), 6);
+        for &(key, freq) in &got {
+            let u = key >> 8;
+            assert!([7, 99, 150].contains(&u));
+            // original has freq +1, corruption has freq -1
+            assert_eq!(freq, if key & 1 == u & 1 { 1 } else { -1 });
+        }
+    }
+
+    #[test]
+    fn overload_returns_none_or_correct() {
+        let sh = shared(5);
+        let mut sk = RecoverySketch::new(SketchShape::for_capacity(2, 20), &sh);
+        for k in 0..64u64 {
+            sk.add(k, 1).unwrap();
+        }
+        // 64 keys into capacity-2 sketch: recovery must not hallucinate.
+        match sk.recover() {
+            None => {}
+            Some(items) => {
+                assert_eq!(items.len(), 64);
+                assert!(items.iter().all(|&(k, f)| k < 64 && f == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn merge_equals_sequential_adds() {
+        let sh = shared(6);
+        let shape = SketchShape::for_capacity(6, 20);
+        let mut a = RecoverySketch::new(shape, &sh);
+        let mut b = RecoverySketch::new(shape, &sh);
+        a.add(1, 2).unwrap();
+        a.add(2, -1).unwrap();
+        b.add(2, 1).unwrap();
+        b.add(3, 5).unwrap();
+        a.merge(&b);
+        assert_eq!(a.recover(), Some(vec![(1, 2), (3, 5)]));
+    }
+
+    #[test]
+    fn serialization_roundtrip_fixed_width() {
+        let sh = shared(7);
+        let shape = SketchShape::for_capacity(5, 24);
+        let mut sk = RecoverySketch::new(shape, &sh);
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        for _ in 0..5 {
+            sk.add(rng.gen_range(0..1 << 24), rng.gen_range(-3..=3)).unwrap();
+        }
+        let bits = sk.to_bits().unwrap();
+        assert_eq!(bits.len(), shape.bit_len());
+        let back = RecoverySketch::from_bits(shape, &bits, &sh).unwrap();
+        assert_eq!(back.recover(), sk.recover());
+    }
+
+    #[test]
+    fn wire_length_is_checked() {
+        let sh = shared(9);
+        let shape = SketchShape::for_capacity(3, 20);
+        let bits = BitVec::zeros(shape.bit_len() + 1);
+        assert!(matches!(
+            RecoverySketch::from_bits(shape, &bits, &sh),
+            Err(SketchError::WireLength { .. })
+        ));
+    }
+
+    #[test]
+    fn key_range_is_checked() {
+        let sh = shared(10);
+        let mut sk = RecoverySketch::new(SketchShape::for_capacity(3, 8), &sh);
+        assert!(matches!(
+            sk.add(256, 1),
+            Err(SketchError::KeyOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn different_randomness_different_layout() {
+        let shape = SketchShape::for_capacity(4, 20);
+        let mut a = RecoverySketch::new(shape, &shared(11));
+        let mut b = RecoverySketch::new(shape, &shared(12));
+        a.add(77, 1).unwrap();
+        b.add(77, 1).unwrap();
+        assert_ne!(a.to_bits().unwrap(), b.to_bits().unwrap());
+    }
+
+    #[test]
+    fn signed_encoding_roundtrip() {
+        for width in [8u32, 16, 32] {
+            for v in [-5i64, -1, 0, 1, 100].iter().copied() {
+                if let Some(enc) = encode_signed(v, width) {
+                    assert_eq!(decode_signed(enc, width), v, "v={v} width={width}");
+                }
+            }
+        }
+        assert_eq!(encode_signed(i64::MAX, 16), None);
+        assert_eq!(encode_signed(-40000, 16), None);
+    }
+}

@@ -1,0 +1,92 @@
+//! The paper's motivating separation (experiment `F.MATCH`): a mobile
+//! matching adversary — faulty degree **one**, i.e. α = 1/n — defeats
+//! replication-style baselines no matter how many copies they use, while
+//! the bounded-degree compilers shrug it off.
+//!
+//! ```sh
+//! cargo run --release --example mobile_vs_static
+//! ```
+
+use bdclique::adversary::corruptors::PayloadCorruptor;
+use bdclique::adversary::plans::{FixedEdges, RelayPathHunter, RotatingMatching};
+use bdclique::adversary::Payload;
+use bdclique::core::protocols::{
+    AllToAllProtocol, DetHypercube, NaiveExchange, RelayReplication,
+};
+use bdclique::core::AllToAllInstance;
+use bdclique::netsim::{Adversary, Network};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn errors(proto: &dyn AllToAllProtocol, n: usize, mobile: bool, seed: u64) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inst = AllToAllInstance::random(n, 1, &mut rng);
+    let adversary = if mobile {
+        Adversary::non_adaptive(
+            RotatingMatching::new(),
+            PayloadCorruptor::new(Payload::Flip, seed),
+        )
+    } else {
+        // Static: the same single edge, every round.
+        Adversary::non_adaptive(
+            FixedEdges::new(vec![vec![(0, 1)]]),
+            PayloadCorruptor::new(Payload::Flip, seed),
+        )
+    };
+    let mut net = Network::new(n, 9, 1.0 / 8.0, adversary);
+    match proto.run(&mut net, &inst) {
+        Ok(out) => inst.count_errors(&out),
+        Err(_) => n * n,
+    }
+}
+
+fn hunter_errors(proto: &dyn AllToAllProtocol, n: usize, seed: u64) -> usize {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inst = AllToAllInstance::random(n, 1, &mut rng);
+    let adversary = Adversary::non_adaptive(
+        RelayPathHunter { src: 3, dst: 11 },
+        PayloadCorruptor::new(Payload::Flip, seed),
+    );
+    let mut net = Network::new(n, 9, 1.0 / 8.0, adversary);
+    match proto.run(&mut net, &inst) {
+        Ok(out) => inst.count_errors(&out),
+        Err(_) => n * n,
+    }
+}
+
+fn main() {
+    let n = 32;
+    println!("n = {n}; adversary corrupts ONE edge per node per round (α = 1/n)\n");
+    println!(
+        "{:<18} {:>14} {:>14} {:>14}",
+        "protocol", "static errors", "mobile errors", "hunter errors"
+    );
+    let protocols: Vec<Box<dyn AllToAllProtocol>> = vec![
+        Box::new(NaiveExchange),
+        Box::new(RelayReplication { copies: 3 }),
+        Box::new(RelayReplication { copies: 5 }),
+        Box::new(RelayReplication { copies: 9 }),
+        Box::new(DetHypercube::default()),
+    ];
+    for (i, proto) in protocols.iter().enumerate() {
+        let static_errs: usize = (0..3).map(|s| errors(proto.as_ref(), n, false, s)).sum();
+        let mobile_errs: usize = (0..3).map(|s| errors(proto.as_ref(), n, true, 100 + s)).sum();
+        let hunter_errs: usize = (0..3).map(|s| hunter_errors(proto.as_ref(), n, 200 + s)).sum();
+        let _ = i;
+        println!(
+            "{:<18} {:>14} {:>14} {:>14}",
+            proto.name(),
+            static_errs,
+            mobile_errs,
+            hunter_errs
+        );
+    }
+    println!(
+        "\nReplication can outvote a static fault but not a mobile one: the\n\
+         blind matching hits copies by chance, and the degree-1 path hunter\n\
+         kills its target pair deterministically for ANY copy count.\n\
+         The hypercube compiler (Thm 1.4) spreads every message across a\n\
+         codeword per round and loses nothing — 'almost linearly more\n\
+         faults, for free'."
+    );
+}

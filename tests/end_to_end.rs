@@ -1,0 +1,108 @@
+//! Workspace-level integration tests: cross-crate wiring through the
+//! `bdclique` facade, compilers end to end under attack, and the full
+//! substrate stack (codes → sketches → routing → protocols).
+
+use bdclique::adversary::adaptive::GreedyLoad;
+use bdclique::adversary::corruptors::PayloadCorruptor;
+use bdclique::adversary::plans::RotatingMatching;
+use bdclique::adversary::Payload;
+use bdclique::core::broadcast::broadcast;
+use bdclique::core::cc::{SumAll, Transpose};
+use bdclique::core::compiler::{compile, run_fault_free};
+use bdclique::core::protocols::{
+    AllToAllProtocol, DetHypercube, DetSqrt, NonAdaptiveAllToAll,
+};
+use bdclique::core::routing::RouterConfig;
+use bdclique::core::AllToAllInstance;
+use bdclique::bits::BitVec;
+use bdclique::netsim::{Adversary, Network};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+#[test]
+fn facade_quickstart_path() {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let inst = AllToAllInstance::random(16, 2, &mut rng);
+    let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, 1));
+    let mut net = Network::new(16, 9, 0.07, adversary);
+    let out = DetSqrt::default().run(&mut net, &inst).unwrap();
+    assert_eq!(inst.count_errors(&out), 0);
+}
+
+#[test]
+fn broadcast_under_matching_attack() {
+    let adversary = Adversary::non_adaptive(
+        RotatingMatching::new(),
+        PayloadCorruptor::new(Payload::Flip, 3),
+    );
+    let mut net = Network::new(32, 9, 1.0 / 16.0, adversary);
+    let payload = BitVec::from_fn(100, |i| i % 3 == 1);
+    let out = broadcast(&mut net, 5, &payload, &RouterConfig::default()).unwrap();
+    for (v, got) in out.iter().enumerate() {
+        assert_eq!(*got, payload, "node {v}");
+    }
+}
+
+#[test]
+fn compiled_transpose_under_attack_matches_reference() {
+    let n = 16usize;
+    let algo = Transpose {
+        rows: (0..n)
+            .map(|u| (0..n).map(|v| ((u * 31 + v * 7) % 251) as u64).collect())
+            .collect(),
+        width: 8,
+    };
+    let reference = run_fault_free(&algo, n);
+    let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, 9));
+    let mut net = Network::new(n, 18, 0.07, adversary);
+    let run = compile(&mut net, &algo, &DetHypercube::default()).unwrap();
+    assert_eq!(run.outputs, reference);
+}
+
+#[test]
+fn compiled_sum_with_randomized_protocol() {
+    let n = 16usize;
+    let algo = SumAll {
+        inputs: (0..n as u64).map(|i| i * i + 1).collect(),
+        width: 12,
+    };
+    let reference = run_fault_free(&algo, n);
+    let adversary = Adversary::non_adaptive(
+        RotatingMatching::new(),
+        PayloadCorruptor::new(Payload::Flip, 4),
+    );
+    let mut net = Network::new(n, 24, 1.0 / 16.0, adversary);
+    let proto = NonAdaptiveAllToAll {
+        copies: 7,
+        ..Default::default()
+    };
+    let run = compile(&mut net, &algo, &proto).unwrap();
+    assert_eq!(run.outputs, reference);
+}
+
+#[test]
+fn repeated_runs_are_deterministic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let inst = AllToAllInstance::random(16, 1, &mut rng);
+    let run = |seed: u64| {
+        let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed));
+        let mut net = Network::new(16, 9, 0.07, adversary);
+        let out = DetHypercube::default().run(&mut net, &inst).unwrap();
+        (inst.count_errors(&out), net.rounds(), net.stats().edges_corrupted)
+    };
+    assert_eq!(run(5), run(5), "same seeds, same run");
+}
+
+#[test]
+fn stats_account_all_protocol_traffic() {
+    let mut rng = ChaCha8Rng::seed_from_u64(30);
+    let inst = AllToAllInstance::random(16, 1, &mut rng);
+    let mut net = Network::new(16, 9, 0.0, Adversary::none());
+    DetSqrt::default().run(&mut net, &inst).unwrap();
+    let stats = *net.stats();
+    assert!(stats.rounds > 0);
+    assert!(stats.bits_sent > 0);
+    assert!(stats.frames_sent > 0);
+    assert_eq!(stats.edges_corrupted, 0);
+    assert_eq!(stats.peak_fault_degree, 0);
+}

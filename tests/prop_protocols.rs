@@ -1,0 +1,91 @@
+//! Property-based end-to-end tests: the deterministic protocols must
+//! deliver **every** message for arbitrary instances and arbitrary in-budget
+//! adversary seeds — their guarantees are worst-case, not probabilistic.
+
+use bdclique::adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
+use bdclique::adversary::corruptors::PayloadCorruptor;
+use bdclique::adversary::plans::RandomMatchings;
+use bdclique::adversary::Payload;
+use bdclique::core::protocols::{AllToAllProtocol, DetHypercube, DetSqrt};
+use bdclique::core::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use bdclique::core::AllToAllInstance;
+use bdclique::bits::BitVec;
+use bdclique::netsim::{Adversary, Network};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn adversary_from(case: u8, seed: u64) -> Adversary {
+    match case % 4 {
+        0 => Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed)),
+        1 => Adversary::adaptive(RushingRandom::new(Payload::Random, seed)),
+        2 => Adversary::adaptive(TargetNode::new((seed % 16) as usize, Payload::Zero, seed)),
+        _ => Adversary::non_adaptive(
+            RandomMatchings::new(seed),
+            PayloadCorruptor::new(Payload::Flip, seed),
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn det_sqrt_never_errs_within_budget(seed in 0u64..1000, case in 0u8..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = AllToAllInstance::random(16, 2, &mut rng);
+        let mut net = Network::new(16, 9, 0.07, adversary_from(case, seed));
+        let out = DetSqrt::default().run(&mut net, &inst).unwrap();
+        prop_assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn det_hypercube_never_errs_within_budget(seed in 0u64..1000, case in 0u8..4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let inst = AllToAllInstance::random(16, 2, &mut rng);
+        let mut net = Network::new(16, 9, 0.07, adversary_from(case, seed));
+        let out = DetHypercube::default().run(&mut net, &inst).unwrap();
+        prop_assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn unit_routing_delivers_any_instance(
+        seed in 0u64..1000,
+        payload_bits in 1usize..80,
+        k in 1usize..3,
+    ) {
+        let n = 16usize;
+        let instance = RoutingInstance {
+            n,
+            payload_bits,
+            messages: (0..n)
+                .flat_map(|u| {
+                    (0..k).map(move |j| SuperMessage {
+                        src: u,
+                        slot: j,
+                        payload: BitVec::from_fn(payload_bits, |i| {
+                            (i as u64 ^ seed ^ (u + j) as u64).is_multiple_of(3)
+                        }),
+                        targets: vec![(u + j + 1 + (seed as usize % n)) % n],
+                    })
+                })
+                .collect(),
+        };
+        let mut net = Network::new(
+            n,
+            9,
+            0.07,
+            Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed)),
+        );
+        let out = route(&mut net, &instance, &RouterConfig::default()).unwrap();
+        prop_assert_eq!(out.report.decode_failures, 0);
+        for msg in &instance.messages {
+            for &t in &msg.targets {
+                prop_assert_eq!(
+                    out.delivered[t].get(&(msg.src, msg.slot)),
+                    Some(&msg.payload)
+                );
+            }
+        }
+    }
+}
