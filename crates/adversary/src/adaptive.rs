@@ -27,14 +27,14 @@ impl GreedyLoad {
 }
 
 impl AdaptiveStrategy for GreedyLoad {
-    fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
+    fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
         let n = scope.n();
         // Score undirected edges by total bits both ways.
         let mut scored: Vec<(usize, usize, usize)> = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                let load = view.intended.frame(u, v).map_or(0, |f| f.len())
-                    + view.intended.frame(v, u).map_or(0, |f| f.len());
+                let load = scope.intended(u, v).map_or(0, |f| f.len())
+                    + scope.intended(v, u).map_or(0, |f| f.len());
                 if load > 0 {
                     scored.push((load, u, v));
                 }
@@ -46,8 +46,8 @@ impl AdaptiveStrategy for GreedyLoad {
                 continue;
             }
             for (a, b) in [(u, v), (v, u)] {
-                if view.intended.frame(a, b).is_some() {
-                    let new = self.payload.apply(view.intended.frame(a, b), &mut self.rng);
+                if scope.intended(a, b).is_some() {
+                    let new = self.payload.apply(scope.intended(a, b), &mut self.rng);
                     scope.try_corrupt(a, b, new);
                 }
             }
@@ -79,14 +79,14 @@ impl TargetNode {
 }
 
 impl AdaptiveStrategy for TargetNode {
-    fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
+    fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
         let n = scope.n();
         let v = self.victim;
         let mut others: Vec<(usize, usize)> = (0..n)
             .filter(|&u| u != v)
             .map(|u| {
-                let load = view.intended.frame(u, v).map_or(0, |f| f.len())
-                    + view.intended.frame(v, u).map_or(0, |f| f.len());
+                let load = scope.intended(u, v).map_or(0, |f| f.len())
+                    + scope.intended(v, u).map_or(0, |f| f.len());
                 (load, u)
             })
             .collect();
@@ -99,8 +99,8 @@ impl AdaptiveStrategy for TargetNode {
                 continue;
             }
             for (a, b) in [(u, v), (v, u)] {
-                if view.intended.frame(a, b).is_some() {
-                    let new = self.payload.apply(view.intended.frame(a, b), &mut self.rng);
+                if scope.intended(a, b).is_some() {
+                    let new = self.payload.apply(scope.intended(a, b), &mut self.rng);
                     scope.try_corrupt(a, b, new);
                 }
             }
@@ -127,12 +127,12 @@ impl RushingRandom {
 }
 
 impl AdaptiveStrategy for RushingRandom {
-    fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
+    fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
         let n = scope.n();
         let mut busy: Vec<(usize, usize)> = Vec::new();
         for u in 0..n {
             for v in (u + 1)..n {
-                if view.intended.frame(u, v).is_some() || view.intended.frame(v, u).is_some() {
+                if scope.intended(u, v).is_some() || scope.intended(v, u).is_some() {
                     busy.push((u, v));
                 }
             }
@@ -145,8 +145,8 @@ impl AdaptiveStrategy for RushingRandom {
                 continue;
             }
             for (a, b) in [(u, v), (v, u)] {
-                if view.intended.frame(a, b).is_some() {
-                    let new = self.payload.apply(view.intended.frame(a, b), &mut self.rng);
+                if scope.intended(a, b).is_some() {
+                    let new = self.payload.apply(scope.intended(a, b), &mut self.rng);
                     scope.try_corrupt(a, b, new);
                 }
             }
@@ -165,14 +165,14 @@ pub struct Eclipse {
 }
 
 impl AdaptiveStrategy for Eclipse {
-    fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
+    fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
         let n = scope.n();
         let v = self.victim;
         for u in 0..n {
             if u == v || scope.remaining_degree(v) == 0 {
                 continue;
             }
-            let busy = view.intended.frame(u, v).is_some() || view.intended.frame(v, u).is_some();
+            let busy = scope.intended(u, v).is_some() || scope.intended(v, u).is_some();
             if !busy {
                 continue;
             }
@@ -215,8 +215,8 @@ impl AdaptiveStrategy for HistoryCamper {
         // from the live view).
         for u in 0..n {
             for v in (u + 1)..n {
-                let bits = view.intended.frame(u, v).map_or(0, |f| f.len())
-                    + view.intended.frame(v, u).map_or(0, |f| f.len());
+                let bits = scope.intended(u, v).map_or(0, |f| f.len())
+                    + scope.intended(v, u).map_or(0, |f| f.len());
                 if bits > 0 {
                     *self.load.entry((u, v)).or_insert(0) += bits as u64;
                 }
@@ -231,8 +231,8 @@ impl AdaptiveStrategy for HistoryCamper {
                 continue;
             }
             for (a, b) in [(u, v), (v, u)] {
-                if view.intended.frame(a, b).is_some() {
-                    let new = self.payload.apply(view.intended.frame(a, b), &mut self.rng);
+                if scope.intended(a, b).is_some() {
+                    let new = self.payload.apply(scope.intended(a, b), &mut self.rng);
                     scope.try_corrupt(a, b, new);
                 }
             }

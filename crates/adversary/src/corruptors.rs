@@ -1,7 +1,7 @@
 //! Payload rewriting policies shared by all strategies.
 
 use bdclique_bits::BitVec;
-use bdclique_netsim::{AdversaryView, Corruptor, CorruptionScope, EdgeSet};
+use bdclique_netsim::{AdversaryView, CorruptionScope, Corruptor, EdgeSet};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -60,7 +60,7 @@ impl PayloadCorruptor {
 impl Corruptor for PayloadCorruptor {
     fn corrupt(
         &mut self,
-        view: &AdversaryView<'_>,
+        _view: &AdversaryView<'_>,
         edges: &EdgeSet,
         scope: &mut CorruptionScope<'_>,
     ) {
@@ -68,8 +68,8 @@ impl Corruptor for PayloadCorruptor {
         edge_list.sort_unstable(); // determinism independent of hash order
         for (u, v) in edge_list {
             for (a, b) in [(u, v), (v, u)] {
-                if view.intended.frame(a, b).is_some() {
-                    let new = self.payload.apply(view.intended.frame(a, b), &mut self.rng);
+                if scope.intended(a, b).is_some() {
+                    let new = self.payload.apply(scope.intended(a, b), &mut self.rng);
                     scope.set(a, b, new);
                 }
             }

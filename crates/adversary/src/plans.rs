@@ -92,7 +92,8 @@ impl EdgePlan for RotatingMatching {
         let m = if n.is_multiple_of(2) { n } else { n + 1 };
         let cycle = m - 1;
         let r = ((round + self.phase) % cycle as u64) as usize;
-        let at = |pos: usize| (pos + r) % cycle; // node at circle position
+        // `at` maps a circle position to the node currently sitting there.
+        let at = |pos: usize| (pos + r) % cycle;
         // Fixed node pairs with circle position 0.
         if m - 1 < n {
             es.insert(m - 1, at(0));

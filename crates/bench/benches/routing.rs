@@ -1,9 +1,9 @@
 //! Criterion benchmarks for the resilient super-message router
 //! (Theorem 4.1): both engines, with and without faults.
 
+use bdclique_bench::AdversarySpec;
 use bdclique_bits::BitVec;
 use bdclique_core::routing::{route, RouterConfig, RoutingInstance, RoutingMode, SuperMessage};
-use bdclique_bench::AdversarySpec;
 use bdclique_netsim::{Adversary, Network};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;

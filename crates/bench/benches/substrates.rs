@@ -2,9 +2,7 @@
 //! cover-free families (the `A.*` ablation counterparts in wall time).
 
 use bdclique_bits::BitVec;
-use bdclique_codes::{
-    ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode,
-};
+use bdclique_codes::{ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
 use bdclique_hash::SharedRandomness;
 use bdclique_sketch::{RecoverySketch, SketchShape};
@@ -55,7 +53,9 @@ fn bench_ldc(c: &mut Criterion) {
     let msg: Vec<u16> = (0..ldc.message_len()).map(|i| (i % 16) as u16).collect();
     let cw = ldc.encode(&msg).unwrap();
     let shared = SharedRandomness::from_bits(&BitVec::from_fn(64, |i| i % 3 == 0));
-    g.bench_function("rm-gf16-d5/encode", |b| b.iter(|| ldc.encode(&msg).unwrap()));
+    g.bench_function("rm-gf16-d5/encode", |b| {
+        b.iter(|| ldc.encode(&msg).unwrap())
+    });
     g.bench_function("rm-gf16-d5/local-decode", |b| {
         b.iter(|| {
             let qs = ldc.decode_indices(7, &shared);
@@ -107,7 +107,9 @@ fn bench_coverfree(c: &mut Criterion) {
         r: 1,
         set_size: 16,
     };
-    let h: Vec<Vec<u32>> = (0..n).map(|u| vec![2 * u as u32, 2 * u as u32 + 1]).collect();
+    let h: Vec<Vec<u32>> = (0..n)
+        .map(|u| vec![2 * u as u32, 2 * u as u32 + 1])
+        .collect();
     g.bench_function("build-verified/n256/m512", |b| {
         b.iter(|| CoverFreeFamily::build(params, &h, 0.8, 1, 16).unwrap())
     });

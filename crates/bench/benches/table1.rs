@@ -15,7 +15,18 @@ fn bench_protocols(c: &mut Criterion) {
     g.sample_size(10).measurement_time(Duration::from_secs(3));
 
     g.bench_function("baseline/naive/n16", |b| {
-        b.iter(|| run_trial(&NaiveExchange, 16, 2, 18, 0.07, AdversarySpec::GreedyFlip, 1).unwrap())
+        b.iter(|| {
+            run_trial(
+                &NaiveExchange,
+                16,
+                2,
+                18,
+                0.07,
+                AdversarySpec::GreedyFlip,
+                1,
+            )
+            .unwrap()
+        })
     });
     g.bench_function("row1/nonadaptive/n16", |b| {
         let proto = NonAdaptiveAllToAll {
@@ -23,8 +34,16 @@ fn bench_protocols(c: &mut Criterion) {
             ..Default::default()
         };
         b.iter(|| {
-            run_trial(&proto, 16, 2, 18, 1.0 / 16.0, AdversarySpec::RandomMatchingsFlip, 2)
-                .unwrap()
+            run_trial(
+                &proto,
+                16,
+                2,
+                18,
+                1.0 / 16.0,
+                AdversarySpec::RandomMatchingsFlip,
+                2,
+            )
+            .unwrap()
         })
     });
     g.bench_function("row2/adaptive-take1/n16", |b| {

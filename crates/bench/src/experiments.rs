@@ -5,9 +5,7 @@
 
 use crate::{aggregate, AdversarySpec, Table};
 use bdclique_bits::BitVec;
-use bdclique_codes::{
-    ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode,
-};
+use bdclique_codes::{ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode};
 use bdclique_core::cc::{MaxTwoPhase, SumAll, Transpose};
 use bdclique_core::compiler::{compile, run_fault_free};
 use bdclique_core::protocols::{
@@ -37,7 +35,14 @@ fn fmt_rate(perfect: usize, trials: usize) -> String {
 pub fn table1_row1(trials: usize) -> Table {
     let mut t = Table::new(
         "T1.R1  Thm 1.2: non-adaptive randomized, alpha = 1/16, O(1) rounds",
-        &["n", "budget/node", "adversary", "rounds", "perfect", "errors"],
+        &[
+            "n",
+            "budget/node",
+            "adversary",
+            "rounds",
+            "perfect",
+            "errors",
+        ],
     );
     for n in [16usize, 32, 64] {
         let alpha = 1.0 / 16.0;
@@ -52,7 +57,10 @@ pub fn table1_row1(trials: usize) -> Table {
             copies,
             ..Default::default()
         };
-        for spec in [AdversarySpec::RandomMatchingsFlip, AdversarySpec::RotatingMatchingFlip] {
+        for spec in [
+            AdversarySpec::RandomMatchingsFlip,
+            AdversarySpec::RotatingMatchingFlip,
+        ] {
             let agg = aggregate(&proto, n, 2, BANDWIDTH, alpha, spec, trials);
             t.row(vec![
                 n.to_string(),
@@ -71,7 +79,15 @@ pub fn table1_row1(trials: usize) -> Table {
 pub fn table1_row2(trials: usize) -> Table {
     let mut t = Table::new(
         "T1.R2  Thm 1.3: adaptive randomized (LDC + sketches)",
-        &["variant", "n", "budget", "adversary", "rounds", "perfect", "errors"],
+        &[
+            "variant",
+            "n",
+            "budget",
+            "adversary",
+            "rounds",
+            "perfect",
+            "errors",
+        ],
     );
     let configs: Vec<(&str, usize, Box<dyn AllToAllProtocol>)> = vec![
         (
@@ -141,12 +157,27 @@ pub fn table1_row2(trials: usize) -> Table {
 pub fn table1_row3(trials: usize) -> Table {
     let mut t = Table::new(
         "T1.R3  Thm 1.4: deterministic hypercube, alpha = 1/16, O(log n) rounds",
-        &["n", "budget", "rounds", "rounds/log2(n)", "perfect", "errors"],
+        &[
+            "n",
+            "budget",
+            "rounds",
+            "rounds/log2(n)",
+            "perfect",
+            "errors",
+        ],
     );
     for n in [8usize, 16, 32, 64, 128] {
         let alpha = 1.0 / 16.0;
         let proto = DetHypercube::default();
-        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        let agg = aggregate(
+            &proto,
+            n,
+            1,
+            BANDWIDTH,
+            alpha,
+            AdversarySpec::GreedyFlip,
+            trials,
+        );
         let log2n = (n as f64).log2();
         t.row(vec![
             n.to_string(),
@@ -165,12 +196,27 @@ pub fn table1_row3(trials: usize) -> Table {
 pub fn table1_row4(trials: usize) -> Table {
     let mut t = Table::new(
         "T1.R4  Thm 1.5: deterministic sqrt-segments, alpha = 0.5/sqrt(n), O(1) rounds",
-        &["n", "budget", "rounds", "perfect", "errors", "corrupted/trial"],
+        &[
+            "n",
+            "budget",
+            "rounds",
+            "perfect",
+            "errors",
+            "corrupted/trial",
+        ],
     );
     for n in [16usize, 64, 144, 256] {
         let alpha = 0.5 / (n as f64).sqrt();
         let proto = DetSqrt::default();
-        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        let agg = aggregate(
+            &proto,
+            n,
+            1,
+            BANDWIDTH,
+            alpha,
+            AdversarySpec::GreedyFlip,
+            trials,
+        );
         t.row(vec![
             n.to_string(),
             ((alpha * n as f64) as usize).to_string(),
@@ -188,7 +234,14 @@ pub fn table1_row4(trials: usize) -> Table {
 pub fn routing_threshold() -> Vec<Table> {
     let mut margin = Table::new(
         "F.ROUTE(a)  unit-engine margin sweep, n = 64, k = 2, lambda = 64 bits",
-        &["budget", "alpha", "feasible", "rounds", "decode-failures", "payload-errors"],
+        &[
+            "budget",
+            "alpha",
+            "feasible",
+            "rounds",
+            "decode-failures",
+            "payload-errors",
+        ],
     );
     let n = 64usize;
     for budget in [0usize, 1, 2, 4, 8, 12, 14, 16] {
@@ -234,7 +287,10 @@ pub fn routing_threshold() -> Vec<Table> {
     let n = 256usize;
     for k in [1usize, 2, 4] {
         let instance = routing_instance(n, 64, k);
-        for (mode, name) in [(RoutingMode::CoverFree, "cover-free"), (RoutingMode::Unit, "unit")] {
+        for (mode, name) in [
+            (RoutingMode::CoverFree, "cover-free"),
+            (RoutingMode::Unit, "unit"),
+        ] {
             let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
             let cfg = RouterConfig {
                 mode,
@@ -331,7 +387,13 @@ pub fn matching_separation(trials: usize) -> Table {
 pub fn frontier(trials: usize) -> Table {
     let mut t = Table::new(
         "F.FREE  fault-tolerance frontier, n = 64 (adaptive greedy flip)",
-        &["protocol", "max budget", "max alpha", "rounds at max", "corrupt-slots/trial"],
+        &[
+            "protocol",
+            "max budget",
+            "max alpha",
+            "rounds at max",
+            "corrupt-slots/trial",
+        ],
     );
     let n = 64usize;
     let protocols: Vec<(Box<dyn AllToAllProtocol>, AdversarySpec, usize)> = vec![
@@ -350,7 +412,11 @@ pub fn frontier(trials: usize) -> Table {
             AdversarySpec::RandomMatchingsFlip,
             8,
         ),
-        (Box::new(DetHypercube::default()), AdversarySpec::GreedyFlip, 8),
+        (
+            Box::new(DetHypercube::default()),
+            AdversarySpec::GreedyFlip,
+            8,
+        ),
         (Box::new(DetSqrt::default()), AdversarySpec::GreedyFlip, 8),
         (
             Box::new(AdaptiveTakeOne {
@@ -394,7 +460,13 @@ pub fn frontier(trials: usize) -> Table {
 pub fn compiler_overhead() -> Table {
     let mut t = Table::new(
         "F.COMPILE  round-by-round compilation under adaptive attack, n = 16",
-        &["algorithm", "cc-rounds", "compiled-rounds", "overhead", "outputs"],
+        &[
+            "algorithm",
+            "cc-rounds",
+            "compiled-rounds",
+            "overhead",
+            "outputs",
+        ],
     );
     let n = 16usize;
     let alpha = 0.07;
@@ -420,8 +492,7 @@ pub fn compiler_overhead() -> Table {
             let mut net = Network::new(n, BANDWIDTH, alpha, AdversarySpec::GreedyFlip.build(3));
             match compile(&mut net, &$algo, &proto) {
                 Ok(run) => {
-                    let cc_rounds =
-                        bdclique_core::compiler::CliqueAlgorithm::round_count(&$algo);
+                    let cc_rounds = bdclique_core::compiler::CliqueAlgorithm::round_count(&$algo);
                     t.row(vec![
                         bdclique_core::compiler::CliqueAlgorithm::name(&$algo).into(),
                         cc_rounds.to_string(),
@@ -582,7 +653,13 @@ pub fn ablation_sketch(trials: usize) -> Table {
 pub fn ablation_coverfree() -> Table {
     let mut t = Table::new(
         "A.CFREE  measured worst cover fraction vs group size, n = 256, k = 2",
-        &["group", "set size L", "worst fraction", "erasure bound f", "margin left (L-2e-f), e=2"],
+        &[
+            "group",
+            "set size L",
+            "worst fraction",
+            "erasure bound f",
+            "margin left (L-2e-f), e=2",
+        ],
     );
     let n = 256usize;
     for group in [4usize, 8, 16, 32] {
@@ -634,7 +711,15 @@ pub fn ablation_querypath(trials: usize) -> Table {
             line_capacity: 1,
             ..Default::default()
         };
-        let agg = aggregate(&proto, n, 1, BANDWIDTH, alpha, AdversarySpec::GreedyFlip, trials);
+        let agg = aggregate(
+            &proto,
+            n,
+            1,
+            BANDWIDTH,
+            alpha,
+            AdversarySpec::GreedyFlip,
+            trials,
+        );
         t.row(vec![
             name.into(),
             fmt_f(agg.mean_rounds),

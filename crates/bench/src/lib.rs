@@ -17,6 +17,7 @@ use bdclique_core::{AllToAllInstance, CoreError};
 use bdclique_netsim::{Adversary, Network};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Which adversary to attach to a trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,9 +69,7 @@ impl AdversarySpec {
                 RelayPathHunter { src, dst },
                 PayloadCorruptor::new(Payload::Flip, seed),
             ),
-            AdversarySpec::GreedyFlip => {
-                Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed))
-            }
+            AdversarySpec::GreedyFlip => Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed)),
             AdversarySpec::TargetNodeFlip(victim) => {
                 Adversary::adaptive(TargetNode::new(victim, Payload::Flip, seed))
             }
@@ -121,7 +120,7 @@ pub fn run_trial(
 }
 
 /// Aggregates several trials of the same configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Aggregate {
     /// Number of trials.
     pub trials: usize,
@@ -135,9 +134,17 @@ pub struct Aggregate {
     pub mean_corrupted: f64,
     /// Infeasible-parameter failures.
     pub infeasible: usize,
+    /// Trials that failed with any other protocol error (excluded from the
+    /// means; nonzero here flags a configuration bug, not a protocol loss).
+    pub failed: usize,
 }
 
-/// Runs `trials` seeded trials and aggregates.
+/// Runs `trials` seeded trials **in parallel** and aggregates.
+///
+/// Each trial owns its RNG seed (`1000 + t`) and a fresh network, so trials
+/// are independent; they fan out across cores and the results are folded in
+/// trial order, making the output bit-identical to [`aggregate_serial`]
+/// (covered by a regression test).
 pub fn aggregate(
     proto: &dyn AllToAllProtocol,
     n: usize,
@@ -147,6 +154,36 @@ pub fn aggregate(
     spec: AdversarySpec,
     trials: usize,
 ) -> Aggregate {
+    let results: Vec<Result<Trial, CoreError>> = (0..trials)
+        .into_par_iter()
+        .map(|t| run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64))
+        .collect();
+    fold_trials(trials, results)
+}
+
+/// Serial reference implementation of [`aggregate`]: same seeds, same fold,
+/// one thread. Kept public as the determinism oracle.
+pub fn aggregate_serial(
+    proto: &dyn AllToAllProtocol,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    trials: usize,
+) -> Aggregate {
+    let results: Vec<Result<Trial, CoreError>> = (0..trials)
+        .map(|t| run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64))
+        .collect();
+    fold_trials(trials, results)
+}
+
+/// Folds per-trial results (in trial order) into an [`Aggregate`]. The fold
+/// order is part of the determinism contract: floating-point means are
+/// computed from integer sums, so any ordering of the same multiset of
+/// results yields identical fields — but keeping input order makes that
+/// trivially true.
+fn fold_trials(trials: usize, results: Vec<Result<Trial, CoreError>>) -> Aggregate {
     let mut agg = Aggregate {
         trials,
         ..Default::default()
@@ -154,8 +191,8 @@ pub fn aggregate(
     let mut rounds_sum = 0u64;
     let mut corrupted_sum = 0u64;
     let mut completed = 0usize;
-    for t in 0..trials {
-        match run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64) {
+    for result in results {
+        match result {
             Ok(trial) => {
                 completed += 1;
                 if trial.errors == 0 {
@@ -166,7 +203,7 @@ pub fn aggregate(
                 corrupted_sum += trial.edges_corrupted;
             }
             Err(CoreError::Infeasible { .. }) => agg.infeasible += 1,
-            Err(_) => {}
+            Err(_) => agg.failed += 1,
         }
     }
     if completed > 0 {
@@ -247,6 +284,32 @@ mod tests {
         let agg = aggregate(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 3);
         assert_eq!(agg.perfect, 3);
         assert_eq!(agg.total_errors, 0);
+    }
+
+    /// The parallel fan-out must be invisible in the results: every field of
+    /// the [`Aggregate`] is bit-identical to the serial fold for the same
+    /// seed set, across clean and adversarial configurations.
+    #[test]
+    fn parallel_aggregate_is_bit_identical_to_serial() {
+        use bdclique_core::protocols::DetSqrt;
+        let configs: &[(AdversarySpec, f64)] = &[
+            (AdversarySpec::None, 0.0),
+            (AdversarySpec::GreedyFlip, 0.07),
+            (AdversarySpec::RushingRandom, 0.07),
+            (AdversarySpec::RandomMatchingsFlip, 0.07),
+        ];
+        for &(spec, alpha) in configs {
+            let par = aggregate(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8);
+            let ser = aggregate_serial(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8);
+            assert_eq!(
+                par, ser,
+                "spec {spec:?} diverged between parallel and serial"
+            );
+            // f64 equality above is exact; double-check the bit patterns to
+            // rule out a PartialEq that tolerates representation drift.
+            assert_eq!(par.mean_rounds.to_bits(), ser.mean_rounds.to_bits());
+            assert_eq!(par.mean_corrupted.to_bits(), ser.mean_corrupted.to_bits());
+        }
     }
 
     #[test]

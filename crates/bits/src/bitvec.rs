@@ -158,7 +158,10 @@ impl BitVec {
     pub fn push_uint(&mut self, width: u32, value: u64) {
         assert!(width <= 64, "width {width} > 64");
         if width < 64 {
-            assert!(value < 1u64 << width, "value {value} does not fit width {width}");
+            assert!(
+                value < 1u64 << width,
+                "value {value} does not fit width {width}"
+            );
         }
         for b in 0..width {
             self.push(value >> b & 1 == 1);
@@ -191,7 +194,10 @@ impl BitVec {
     pub fn write_uint(&mut self, pos: usize, width: u32, value: u64) {
         assert!(width <= 64, "width {width} > 64");
         if width < 64 {
-            assert!(value < 1u64 << width, "value {value} does not fit width {width}");
+            assert!(
+                value < 1u64 << width,
+                "value {value} does not fit width {width}"
+            );
         }
         assert!(pos + width as usize <= self.len, "write out of range");
         for b in 0..width as usize {
@@ -302,7 +308,10 @@ impl BitVec {
     ///
     /// Panics if `sym_bits == 0` or `sym_bits > 16`.
     pub fn to_symbols(&self, sym_bits: u32) -> Vec<u16> {
-        assert!(sym_bits > 0 && sym_bits <= 16, "symbol width must be 1..=16");
+        assert!(
+            sym_bits > 0 && sym_bits <= 16,
+            "symbol width must be 1..=16"
+        );
         let count = self.len.div_ceil(sym_bits as usize);
         (0..count)
             .map(|s| {
@@ -324,7 +333,10 @@ impl BitVec {
     ///
     /// Panics if `sym_bits` is out of range or there are not enough symbols.
     pub fn from_symbols(symbols: &[u16], sym_bits: u32, len: usize) -> Self {
-        assert!(sym_bits > 0 && sym_bits <= 16, "symbol width must be 1..=16");
+        assert!(
+            sym_bits > 0 && sym_bits <= 16,
+            "symbol width must be 1..=16"
+        );
         assert!(
             symbols.len() * sym_bits as usize >= len,
             "not enough symbols for {len} bits"

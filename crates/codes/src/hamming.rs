@@ -156,7 +156,11 @@ mod tests {
         let code = HammingCode::new();
         for msg in 1..16u8 {
             let cw = code.encode_nibble(msg);
-            assert!(cw.count_ones() >= 4, "msg {msg} -> weight {}", cw.count_ones());
+            assert!(
+                cw.count_ones() >= 4,
+                "msg {msg} -> weight {}",
+                cw.count_ones()
+            );
         }
     }
 

@@ -158,7 +158,11 @@ impl Ldc for HadamardLdc {
     }
 
     fn decode_indices(&self, index: usize, shared: &SharedRandomness) -> Vec<usize> {
-        assert!(index < self.k, "message index {index} out of range {}", self.k);
+        assert!(
+            index < self.k,
+            "message index {index} out of range {}",
+            self.k
+        );
         let masks = shared.uniform_samples(
             &format!("hadamard/{index}"),
             self.reps,
@@ -265,7 +269,10 @@ mod tests {
         let sh = shared(3);
         assert_eq!(ldc.decode_indices(3, &sh), ldc.decode_indices(3, &sh));
         // Different shared randomness gives different queries.
-        assert_ne!(ldc.decode_indices(3, &sh), ldc.decode_indices(3, &shared(4)));
+        assert_ne!(
+            ldc.decode_indices(3, &sh),
+            ldc.decode_indices(3, &shared(4))
+        );
     }
 
     #[test]

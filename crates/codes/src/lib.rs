@@ -23,6 +23,10 @@
 //! can swap them, and LDCs implement [`Ldc`] with the paper's
 //! `DecodeIndices(i, R)` / `LDCDecode(x, i, R)` interface (Definition 4).
 
+// Dense linear-algebra and protocol code walks several same-length arrays
+// by explicit index; clippy's iterator rewrites would obscure the paper's
+// formulas, so this style lint is opted out crate-wide.
+#![allow(clippy::needless_range_loop)]
 mod concat;
 mod error;
 mod gf;

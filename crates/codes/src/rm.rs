@@ -203,8 +203,9 @@ impl Ldc for RmLdc {
             let mut uni = vec![0u16; self.d + 1];
             for ((a, b), &c) in self.monomials.iter().zip(&coeffs) {
                 if c != 0 {
-                    uni[*b as usize] =
-                        self.gf.add(uni[*b as usize], self.gf.mul(c, self.gf.pow(xi, *a)));
+                    uni[*b as usize] = self
+                        .gf
+                        .add(uni[*b as usize], self.gf.mul(c, self.gf.pow(xi, *a)));
                 }
             }
             for yi in 0..self.q as u16 {
@@ -319,7 +320,11 @@ mod tests {
         for i in 0..ldc.message_len() {
             let qs = ldc.decode_indices(i, &sh);
             let answers: Vec<u16> = qs.iter().map(|&p| cw[p]).collect();
-            assert_eq!(ldc.local_decode(i, &answers, &sh).unwrap(), msg[i], "index {i}");
+            assert_eq!(
+                ldc.local_decode(i, &answers, &sh).unwrap(),
+                msg[i],
+                "index {i}"
+            );
         }
     }
 

@@ -60,7 +60,12 @@ impl ReedSolomon {
         for j in 1..=(n - k) as u32 {
             generator = gf.poly_mul(&generator, &[gf.alpha_pow(j), 1]);
         }
-        Ok(Self { gf, n, k, generator })
+        Ok(Self {
+            gf,
+            n,
+            k,
+            generator,
+        })
     }
 
     /// The underlying field.
@@ -346,7 +351,9 @@ mod tests {
     fn roundtrip_case(m: u32, n: usize, k: usize, errors: &[usize], erasures: &[usize]) {
         let rs = ReedSolomon::new(m, n, k).unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64((m as u64) << 32 | (n as u64) << 16 | k as u64);
-        let msg: Vec<u16> = (0..k).map(|_| rng.gen_range(0..rs.field().size()) as u16).collect();
+        let msg: Vec<u16> = (0..k)
+            .map(|_| rng.gen_range(0..rs.field().size()) as u16)
+            .collect();
         let cw = rs.encode(&msg).unwrap();
         let mut recv = cw.clone();
         let mut eras = vec![false; n];

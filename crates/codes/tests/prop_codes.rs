@@ -1,9 +1,9 @@
 //! Property-based tests: decode∘corrupt∘encode identities within radius.
 
+use bdclique_bits::BitVec;
 use bdclique_codes::{
     BitCode, ConcatenatedCode, HammingCode, ReedSolomon, RepetitionCode, SymbolCode,
 };
-use bdclique_bits::BitVec;
 use proptest::prelude::*;
 
 /// Strategy: a message of `k` symbols over an alphabet of size `2^bits`.

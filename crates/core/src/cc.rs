@@ -299,7 +299,10 @@ mod tests {
         let n = 8usize;
         let a: Vec<u64> = (0..n as u64).map(|u| (u * 0x9e) & 0xff).collect();
         let b: Vec<u64> = (0..n as u64).map(|u| (u * 0x5b + 3) & 0xff).collect();
-        let algo = BooleanMatMul { a: a.clone(), b: b.clone() };
+        let algo = BooleanMatMul {
+            a: a.clone(),
+            b: b.clone(),
+        };
         let outs = run_fault_free(&algo, n);
         for v in 0..n {
             for u in 0..n {

@@ -42,7 +42,11 @@ impl AllToAllInstance {
                 flat.push(m.clone());
             }
         }
-        Self { n, b, messages: flat }
+        Self {
+            n,
+            b,
+            messages: flat,
+        }
     }
 
     /// A uniformly random instance.

@@ -74,8 +74,8 @@ impl LdcPlan {
                     "field size {q} cannot offer line capacity {line_capacity}"
                 ))
             })?;
-        let ldc = RmLdc::new(mf, d, lines)
-            .map_err(|e| CoreError::infeasible(format!("RM LDC: {e}")))?;
+        let ldc =
+            RmLdc::new(mf, d, lines).map_err(|e| CoreError::infeasible(format!("RM LDC: {e}")))?;
         let cap_bits = ldc.message_len() * mf as usize;
         Ok(Self { ldc, mf, cap_bits })
     }
@@ -150,8 +150,7 @@ fn scatter_codewords(
                 if let Some(frame) = delivery.received(r, h) {
                     for (lane, &c) in pack.iter().enumerate() {
                         if frame.len() >= (lane + 1) * mf as usize {
-                            symbols[r][h][c] =
-                                frame.read_uint(lane * mf as usize, mf) as u16;
+                            symbols[r][h][c] = frame.read_uint(lane * mf as usize, mf) as u16;
                         }
                     }
                 }
@@ -263,7 +262,7 @@ impl Default for AdaptiveTakeOne {
             router: RouterConfig::default(),
             lines: 3,
             line_capacity: 2,
-            seed: 0x5eed_2,
+            seed: 0x5eed2,
         }
     }
 }
@@ -391,7 +390,7 @@ impl Default for AdaptiveAllToAll {
             lines: 3,
             line_capacity: 2,
             query_via_ldc: true,
-            seed: 0x5eed_3,
+            seed: 0x5eed3,
         }
     }
 }
@@ -482,9 +481,7 @@ impl AllToAllProtocol for AdaptiveAllToAll {
             n,
             payload_bits: w * b,
             messages: (0..n)
-                .flat_map(|v| {
-                    (0..s_count).map(move |i| (v, i))
-                })
+                .flat_map(|v| (0..s_count).map(move |i| (v, i)))
                 .map(|(v, i)| SuperMessage {
                     src: v,
                     slot: i,
@@ -612,9 +609,7 @@ impl AllToAllProtocol for AdaptiveAllToAll {
                 n,
                 payload_bits: t,
                 messages: (0..p_count)
-                    .flat_map(|j| {
-                        (0..s_count).map(move |i| (j, i))
-                    })
+                    .flat_map(|j| (0..s_count).map(move |i| (j, i)))
                     .flat_map(|(j, i)| {
                         let h = parts[j][i];
                         seg(i)

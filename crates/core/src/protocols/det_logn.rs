@@ -48,7 +48,9 @@ fn s_set(u: usize, i: usize, ell: usize) -> Vec<usize> {
 fn p_set(u: usize, i: usize, ell: usize) -> Vec<usize> {
     let low_bits = ell - (i - 1);
     let hi = u >> low_bits;
-    (0..1usize << low_bits).map(|lo| (hi << low_bits) | lo).collect()
+    (0..1usize << low_bits)
+        .map(|lo| (hi << low_bits) | lo)
+        .collect()
 }
 
 /// The (target, source) id list of `M_i(u)` in ascending (target, source)
@@ -157,11 +159,7 @@ impl AllToAllProtocol for DetHypercube {
                 next.push(
                     expected_ids
                         .iter()
-                        .map(|id| {
-                            collected
-                                .remove(id)
-                                .unwrap_or_else(|| BitVec::zeros(b))
-                        })
+                        .map(|id| collected.remove(id).unwrap_or_else(|| BitVec::zeros(b)))
                         .collect(),
                 );
             }
@@ -195,7 +193,7 @@ mod tests {
         assert_eq!(p_set(0b101, 1, 3).len(), 8); // P(u,1) = V
         assert_eq!(s_set(0b101, 4, 3).len(), 8); // S(u, ell+1) = V
         assert_eq!(p_set(0b101, 4, 3), vec![0b101]); // P(u, ell+1) = {u}
-        // Sizes: |S| = 2^{i-1}, |P| = 2^{ell-i+1}.
+                                                     // Sizes: |S| = 2^{i-1}, |P| = 2^{ell-i+1}.
         for i in 1..=4usize {
             assert_eq!(s_set(5, i, 3).len(), 1 << (i - 1));
             assert_eq!(p_set(5, i, 3).len(), 1 << (4 - i));

@@ -60,9 +60,7 @@ impl AllToAllProtocol for DetSqrt {
             n,
             payload_bits: s * b,
             messages: (0..n)
-                .flat_map(|v| {
-                    (0..s).map(move |j| (v, j))
-                })
+                .flat_map(|v| (0..s).map(move |j| (v, j)))
                 .map(|(v, j)| SuperMessage {
                     src: v,
                     slot: j,

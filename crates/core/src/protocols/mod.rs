@@ -31,7 +31,11 @@ use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_netsim::Network;
 
 /// A solution to the `AllToAllComm` problem.
-pub trait AllToAllProtocol {
+///
+/// `Send + Sync` is a supertrait so that a `&dyn AllToAllProtocol` can be
+/// shared across the bench harness's parallel trial runners; every protocol
+/// here is plain configuration data, and per-run state lives in the network.
+pub trait AllToAllProtocol: Send + Sync {
     /// Short name for reports.
     fn name(&self) -> &'static str;
 

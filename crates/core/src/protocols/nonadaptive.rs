@@ -44,7 +44,7 @@ impl Default for NonAdaptiveAllToAll {
         Self {
             copies: 5,
             router: RouterConfig::default(),
-            seed: 0x5eed_1,
+            seed: 0x5eed1,
         }
     }
 }
@@ -79,13 +79,14 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
         // Every node decodes its own copy; within the validated margin they
         // all equal `shifts`. Honest nodes use their local decoding.
         let decode_shifts = |bits: &BitVec| -> Vec<usize> {
-            (0..r).map(|i| bits.read_uint(i * 16, 16) as usize % n).collect()
+            (0..r)
+                .map(|i| bits.read_uint(i * 16, 16) as usize % n)
+                .collect()
         };
 
         // ---- Copy waves: copy i of m_{u,v} goes to relay (v + h_i) % n. ----
         let per_round = (net.bandwidth() / b).max(1).min(r);
-        let mut copy_store: Vec<Vec<Vec<Option<BitVec>>>> =
-            vec![vec![vec![None; n]; r]; n]; // [relay][copy][src]
+        let mut copy_store: Vec<Vec<Vec<Option<BitVec>>>> = vec![vec![vec![None; n]; r]; n]; // [relay][copy][src]
         let mut copy_group_start = 0usize;
         while copy_group_start < r {
             let group: Vec<usize> =
@@ -129,8 +130,7 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
                     if let Some(frame) = delivery.received(w, u) {
                         for (pos, &i) in group.iter().enumerate() {
                             if frame.len() >= (pos + 1) * b {
-                                copy_store[w][i][u] =
-                                    Some(frame.slice(pos * b, (pos + 1) * b));
+                                copy_store[w][i][u] = Some(frame.slice(pos * b, (pos + 1) * b));
                             }
                         }
                     }

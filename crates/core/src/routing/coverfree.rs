@@ -64,7 +64,9 @@ fn derive_params(
 
     // Group size controls the per-group collision probability (~(k-1)/group
     // per other set); default keeps the expected cover fraction near 1/8.
-    let group = cfg.cf_group_size.unwrap_or((8 * k.saturating_sub(1)).max(4));
+    let group = cfg
+        .cf_group_size
+        .unwrap_or((8 * k.saturating_sub(1)).max(4));
     if group < 2 || n / group == 0 {
         return Err(CoreError::infeasible(format!(
             "group size {group} invalid for n = {n}"
@@ -357,10 +359,7 @@ pub fn route_coverfree(
                                     if f.len() >= (lane + 1) * params.slot
                                         && f.get(lane * params.slot) =>
                                 {
-                                    Some(
-                                        f.read_uint(lane * params.slot + 1, cfg.symbol_bits)
-                                            as u16,
-                                    )
+                                    Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
                                 }
                                 _ => None,
                             }
@@ -370,7 +369,9 @@ pub fn route_coverfree(
                             None => erasures[pos] = true,
                         }
                     }
-                    let bits = match params.code.decode_bits(&received, &erasures, params.cap_bits)
+                    let bits = match params
+                        .code
+                        .decode_bits(&received, &erasures, params.cap_bits)
                     {
                         Ok(b) => b,
                         Err(_) => {
@@ -380,9 +381,8 @@ pub fn route_coverfree(
                     };
                     chunk_store
                         .entry((v, idx))
-                        .or_insert_with(|| {
-                            vec![BitVec::zeros(params.cap_bits); params.chunks]
-                        })[chunk] = bits;
+                        .or_insert_with(|| vec![BitVec::zeros(params.cap_bits); params.chunks])
+                        [chunk] = bits;
                 }
             }
         }
@@ -466,7 +466,10 @@ mod tests {
         let mut net = Network::new(n, 9, 0.0, Adversary::none());
         let out = route_coverfree(&mut net, &inst, &RouterConfig::default()).unwrap();
         for v in 0..n {
-            assert_eq!(out.delivered[v].get(&(5, 0)), Some(&inst.messages[0].payload));
+            assert_eq!(
+                out.delivered[v].get(&(5, 0)),
+                Some(&inst.messages[0].payload)
+            );
         }
     }
 
@@ -479,7 +482,7 @@ mod tests {
             .flat_map(|u| (0..2).map(move |j| (u, j, vec![(u + j * 9 + 1) % n])))
             .collect();
         let inst = instance(n, 16, msgs);
-        let adv = bdclique_netsim::Adversary::adaptive(TestGreedy::default());
+        let adv = bdclique_netsim::Adversary::adaptive(TestGreedy);
         let mut net = Network::new(n, 9, 1.2 / n as f64, adv);
         let out = route_coverfree(&mut net, &inst, &RouterConfig::default()).unwrap();
         assert_eq!(out.report.decode_failures, 0);
@@ -502,21 +505,20 @@ mod tests {
     impl bdclique_netsim::AdaptiveStrategy for TestGreedy {
         fn corrupt(
             &mut self,
-            view: &bdclique_netsim::AdversaryView<'_>,
+            _view: &bdclique_netsim::AdversaryView<'_>,
             scope: &mut bdclique_netsim::AdaptiveScope<'_>,
         ) {
             let n = scope.n();
             for u in 0..n {
                 for v in (u + 1)..n {
-                    if view.intended.frame(u, v).is_none() && view.intended.frame(v, u).is_none()
-                    {
+                    if scope.intended(u, v).is_none() && scope.intended(v, u).is_none() {
                         continue;
                     }
                     if !scope.try_acquire(u, v) {
                         continue;
                     }
                     for (a, b) in [(u, v), (v, u)] {
-                        if let Some(f) = view.intended.frame(a, b) {
+                        if let Some(f) = scope.intended(a, b) {
                             let mut flipped = f.clone();
                             for i in 0..flipped.len() {
                                 flipped.flip(i);
@@ -540,6 +542,10 @@ mod tests {
         let mut net = Network::new(n, 9, 0.4, Adversary::none());
         let err = route_coverfree(&mut net, &inst, &RouterConfig::default()).unwrap_err();
         assert!(matches!(err, CoreError::Infeasible { .. }));
-        assert_eq!(net.rounds(), 0, "no rounds may run before feasibility is known");
+        assert_eq!(
+            net.rounds(),
+            0,
+            "no rounds may run before feasibility is known"
+        );
     }
 }

@@ -274,10 +274,7 @@ pub fn route_unit(
                                     if f.len() >= (lane + 1) * params.slot
                                         && f.get(lane * params.slot) =>
                                 {
-                                    Some(
-                                        f.read_uint(lane * params.slot + 1, cfg.symbol_bits)
-                                            as u16,
-                                    )
+                                    Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
                                 }
                                 _ => None,
                             }
@@ -290,7 +287,10 @@ pub fn route_unit(
                     let slot_entry = chunk_store
                         .entry((x, mi))
                         .or_insert_with(|| vec![None; params.chunks]);
-                    match params.code.decode_bits(&received, &erasures, params.cap_bits) {
+                    match params
+                        .code
+                        .decode_bits(&received, &erasures, params.cap_bits)
+                    {
                         Ok(bits) => slot_entry[chunk] = Some(bits),
                         Err(_) => {
                             decode_failures += 1;
@@ -332,7 +332,11 @@ mod tests {
     use crate::routing::SuperMessage;
     use bdclique_netsim::Adversary;
 
-    fn instance(n: usize, payload_bits: usize, msgs: Vec<(usize, usize, Vec<usize>)>) -> RoutingInstance {
+    fn instance(
+        n: usize,
+        payload_bits: usize,
+        msgs: Vec<(usize, usize, Vec<usize>)>,
+    ) -> RoutingInstance {
         let messages = msgs
             .into_iter()
             .map(|(src, slot, targets)| SuperMessage {
@@ -390,7 +394,10 @@ mod tests {
         // capacity per chunk: (7 - 2) symbols * 8 bits = 40 bits (slack 1).
         let inst = instance(8, 100, vec![(0, 0, vec![7])]);
         let out = route_unit(&mut net, &inst, &RouterConfig::default()).unwrap();
-        assert_eq!(out.delivered[7].get(&(0, 0)), Some(&inst.messages[0].payload));
+        assert_eq!(
+            out.delivered[7].get(&(0, 0)),
+            Some(&inst.messages[0].payload)
+        );
         assert!(out.report.chunks >= 2);
     }
 
@@ -399,7 +406,10 @@ mod tests {
         let mut net = Network::new(8, 9, 0.0, Adversary::none());
         let inst = instance(8, 8, vec![(3, 0, vec![3])]);
         let out = route_unit(&mut net, &inst, &RouterConfig::default()).unwrap();
-        assert_eq!(out.delivered[3].get(&(3, 0)), Some(&inst.messages[0].payload));
+        assert_eq!(
+            out.delivered[3].get(&(3, 0)),
+            Some(&inst.messages[0].payload)
+        );
         assert_eq!(out.report.rounds, 2); // stage still runs (no other msgs needed it, but schedule exists)
     }
 
@@ -414,8 +424,14 @@ mod tests {
         );
         let out = route_unit(&mut wide, &inst, &RouterConfig::default()).unwrap();
         assert_eq!(out.report.rounds, 2, "two stages share one round pair");
-        assert_eq!(out.delivered[1].get(&(0, 0)), Some(&inst.messages[0].payload));
-        assert_eq!(out.delivered[2].get(&(0, 1)), Some(&inst.messages[1].payload));
+        assert_eq!(
+            out.delivered[1].get(&(0, 0)),
+            Some(&inst.messages[0].payload)
+        );
+        assert_eq!(
+            out.delivered[2].get(&(0, 1)),
+            Some(&inst.messages[1].payload)
+        );
     }
 
     #[test]

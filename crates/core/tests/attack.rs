@@ -27,11 +27,17 @@ fn greedy_flip() -> Adversary {
 }
 
 fn matching_flip() -> Adversary {
-    Adversary::non_adaptive(RotatingMatching::new(), PayloadCorruptor::new(Payload::Flip, 12))
+    Adversary::non_adaptive(
+        RotatingMatching::new(),
+        PayloadCorruptor::new(Payload::Flip, 12),
+    )
 }
 
 fn random_matchings_flip() -> Adversary {
-    Adversary::non_adaptive(RandomMatchings::new(5), PayloadCorruptor::new(Payload::Flip, 13))
+    Adversary::non_adaptive(
+        RandomMatchings::new(5),
+        PayloadCorruptor::new(Payload::Flip, 13),
+    )
 }
 
 #[test]
@@ -95,8 +101,7 @@ fn naive_exchange_is_defenseless() {
 #[test]
 fn relay_baseline_survives_static_but_not_mobile() {
     // Static adversary: the same single edge every round — replication wins.
-    let static_plan =
-        bdclique_adversary::plans::FixedEdges::new(vec![vec![(0usize, 1usize)]]);
+    let static_plan = bdclique_adversary::plans::FixedEdges::new(vec![vec![(0usize, 1usize)]]);
     let inst = instance(16, 2, 7);
     let mut net = Network::new(
         16,
@@ -111,7 +116,9 @@ fn relay_baseline_survives_static_but_not_mobile() {
     // loses messages while DetSqrt (same budget) stays perfect.
     let inst2 = instance(16, 2, 8);
     let mut net2 = Network::new(16, 9, 0.07, greedy_flip());
-    let out2 = RelayReplication { copies: 3 }.run(&mut net2, &inst2).unwrap();
+    let out2 = RelayReplication { copies: 3 }
+        .run(&mut net2, &inst2)
+        .unwrap();
     let relay_errors = inst2.count_errors(&out2);
     let mut net3 = Network::new(16, 9, 0.07, greedy_flip());
     let out3 = DetSqrt::default().run(&mut net3, &inst2).unwrap();
@@ -247,8 +254,12 @@ fn compiled_matmul_under_attack() {
 
     let n = 16usize;
     let algo = BooleanMatMul {
-        a: (0..n as u64).map(|u| (u.wrapping_mul(0x9e37) ^ u) & 0xffff).collect(),
-        b: (0..n as u64).map(|u| (u.wrapping_mul(0x5851) + 7) & 0xffff).collect(),
+        a: (0..n as u64)
+            .map(|u| (u.wrapping_mul(0x9e37) ^ u) & 0xffff)
+            .collect(),
+        b: (0..n as u64)
+            .map(|u| (u.wrapping_mul(0x5851) + 7) & 0xffff)
+            .collect(),
     };
     let reference = run_fault_free(&algo, n);
     let mut net = Network::new(n, 18, 0.07, greedy_flip());

@@ -2,6 +2,9 @@
 //! Lemma 6.2's hypercube message-set characterization, the compiler's
 //! fault-free equivalence, and Lemma 2.8's pair cover.
 
+// Matches the crate-wide stance: indexed loops mirror the paper's formulas.
+#![allow(clippy::needless_range_loop)]
+
 use bdclique_core::cc::{BooleanMatMul, SumAll};
 use bdclique_core::compiler::{compile, run_fault_free};
 use bdclique_core::protocols::{AllToAllProtocol, DetHypercube, NaiveExchange};

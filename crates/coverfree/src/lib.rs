@@ -18,6 +18,10 @@
 //! `O(1)` by the paper's union bound; the verifier makes the procedure
 //! Las-Vegas-deterministic.
 
+// Dense linear-algebra and protocol code walks several same-length arrays
+// by explicit index; clippy's iterator rewrites would obscure the paper's
+// formulas, so this style lint is opted out crate-wide.
+#![allow(clippy::needless_range_loop)]
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::error::Error;
@@ -41,7 +45,13 @@ impl CoverFreeParams {
     /// `⌊4(r+1)/δ⌋`, expressed here with `delta` as a rational `num/den`.
     ///
     /// Returns `None` when the resulting set size would be zero.
-    pub fn paper_sizing(n: usize, m: usize, r: usize, delta_num: usize, delta_den: usize) -> Option<Self> {
+    pub fn paper_sizing(
+        n: usize,
+        m: usize,
+        r: usize,
+        delta_num: usize,
+        delta_den: usize,
+    ) -> Option<Self> {
         let l = n * delta_num / (4 * (r + 1) * delta_den);
         (l > 0).then_some(Self {
             n,
@@ -98,7 +108,10 @@ impl fmt::Display for CoverFreeError {
             CoverFreeError::GroupTooSmall { n, set_size } => {
                 write!(f, "set size {set_size} too large for ground set {n}")
             }
-            CoverFreeError::SeedBudgetExhausted { tries, best_fraction } => write!(
+            CoverFreeError::SeedBudgetExhausted {
+                tries,
+                best_fraction,
+            } => write!(
                 f,
                 "no verified family within {tries} seeds (best fraction {best_fraction:.3})"
             ),
@@ -181,7 +194,7 @@ impl CoverFreeFamily {
 
     fn construct(params: CoverFreeParams, seed: u64) -> Vec<Vec<u32>> {
         let g = params.group_size() as u32;
-        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xc0ffee_5eed);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x00c0_ffee_5eed);
         (0..params.m)
             .map(|_| (0..params.set_size).map(|_| rng.gen_range(0..g)).collect())
             .collect()
@@ -237,11 +250,7 @@ impl CoverFreeFamily {
 
 /// Worst-case fraction of a member set covered by the union of the other
 /// members, over all `(tuple, member)` pairs of `h`.
-fn candidate_worst_fraction(
-    choices: &[Vec<u32>],
-    params: CoverFreeParams,
-    h: &[Vec<u32>],
-) -> f64 {
+fn candidate_worst_fraction(choices: &[Vec<u32>], params: CoverFreeParams, h: &[Vec<u32>]) -> f64 {
     let l = params.set_size;
     let mut worst = 0f64;
     for tuple in h {
@@ -268,7 +277,9 @@ mod tests {
     use super::*;
 
     fn disjoint_pairs_h(m: usize) -> Vec<Vec<u32>> {
-        (0..m / 2).map(|i| vec![2 * i as u32, 2 * i as u32 + 1]).collect()
+        (0..m / 2)
+            .map(|i| vec![2 * i as u32, 2 * i as u32 + 1])
+            .collect()
     }
 
     #[test]

@@ -132,7 +132,10 @@ mod tests {
 
     #[test]
     fn pow_and_inv() {
-        assert_eq!(MersenneField::pow(2, 61), MersenneField::reduce(1u128 << 61));
+        assert_eq!(
+            MersenneField::pow(2, 61),
+            MersenneField::reduce(1u128 << 61)
+        );
         for a in [1u64, 2, 7, MersenneField::P - 2] {
             let inv = MersenneField::inv(a).unwrap();
             assert_eq!(MersenneField::mul(a, inv), 1, "a = {a}");

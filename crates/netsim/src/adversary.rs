@@ -1,9 +1,21 @@
 //! The mobile α-BD adversary framework: edge sets, budgets, and the
 //! non-adaptive / adaptive strategy interfaces.
+//!
+//! # Clone-free rushing view
+//!
+//! The rushing adversary may read the round's *intended* traffic while it
+//! rewrites frames. Earlier revisions materialized that view by cloning the
+//! full `n × n` matrix every round; the scopes now keep a **copy-on-write
+//! overlay** instead: the first rewrite of a slot moves the original frame
+//! into the overlay, and [`CorruptionScope::intended`] /
+//! [`AdaptiveScope::intended`] resolve reads through it. A round in which
+//! the adversary touches `k` frames costs O(k) saved frames — never a
+//! matrix clone, and nothing at all for frames it only reads.
 
 use crate::history::History;
 use crate::traffic::Traffic;
 use bdclique_bits::BitVec;
+use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// A set of undirected clique edges with per-node degree tracking.
@@ -41,7 +53,10 @@ impl EdgeSet {
     /// Panics on self-loops or out-of-range endpoints.
     pub fn insert(&mut self, u: usize, v: usize) -> bool {
         assert_ne!(u, v, "no self-loops");
-        assert!(u < self.degrees.len() && v < self.degrees.len(), "node out of range");
+        assert!(
+            u < self.degrees.len() && v < self.degrees.len(),
+            "node out of range"
+        );
         let inserted = self.edges.insert(Self::norm(u, v));
         if inserted {
             self.degrees[u] += 1;
@@ -82,24 +97,77 @@ impl EdgeSet {
     }
 }
 
-/// What an adversary may observe when acting.
+/// What an adversary may observe when acting, beyond the traffic itself.
 ///
-/// Non-adaptive corruptors see the current round's intended traffic (the
-/// rushing refinement); adaptive strategies additionally see everything the
-/// protocol [`crate::Network::publish`]ed (internal randomness) and the
-/// round history digest.
+/// The round's intended traffic is read through the scope
+/// ([`CorruptionScope::intended`] / [`AdaptiveScope::intended`]), which
+/// serves pre-corruption values without snapshotting the matrix. Adaptive
+/// strategies additionally see everything the protocol
+/// [`crate::Network::publish`]ed (internal randomness) and the round history
+/// digest; for non-adaptive ones both are empty.
 #[derive(Debug)]
 pub struct AdversaryView<'a> {
     /// Current round index (0-based).
     pub round: u64,
-    /// The messages the nodes intend to send this round.
-    pub intended: &'a Traffic,
     /// Bit strings published by the protocol (e.g. broadcast randomness) —
     /// visible to *adaptive* adversaries only; empty for non-adaptive ones.
     pub published: &'a [(String, BitVec)],
     /// The recorded transcript of prior rounds (footnote 4's knowledge) —
     /// adaptive adversaries only; empty for non-adaptive ones.
     pub history: &'a History,
+}
+
+/// Copy-on-write record of pre-corruption frames, shared by both scopes.
+///
+/// Keys are **directed** `(from, to)` slots; a slot is captured at most
+/// once, on its first rewrite, by *moving* the displaced frame in (no clone).
+#[derive(Debug, Default)]
+struct IntendedOverlay {
+    originals: HashMap<(usize, usize), Option<BitVec>>,
+}
+
+impl IntendedOverlay {
+    /// Records the frame displaced from `(from, to)` if this is the slot's
+    /// first rewrite this round.
+    fn capture(&mut self, from: usize, to: usize, displaced: Option<BitVec>) {
+        self.originals.entry((from, to)).or_insert(displaced);
+    }
+
+    /// The round's intended frame on `from → to`: the saved original if the
+    /// slot was rewritten, the live frame otherwise.
+    fn resolve<'a>(&'a self, traffic: &'a Traffic, from: usize, to: usize) -> Option<&'a BitVec> {
+        match self.originals.get(&(from, to)) {
+            Some(original) => original.as_ref(),
+            None => traffic.frame(from, to),
+        }
+    }
+
+    /// The one corruption sequence both scopes share: enforce the bandwidth
+    /// bound, displace the frame, capture the original, count the touch.
+    /// Keeping it in one place keeps the two scopes' rushing-view semantics
+    /// from drifting apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the replacement exceeds the bandwidth.
+    fn apply(
+        &mut self,
+        traffic: &mut Traffic,
+        from: usize,
+        to: usize,
+        bits: Option<BitVec>,
+        frames_touched: &mut u64,
+    ) {
+        if let Some(b) = &bits {
+            assert!(
+                b.len() <= traffic.bandwidth(),
+                "corrupted frame exceeds bandwidth"
+            );
+        }
+        let displaced = traffic.set_frame(from, to, bits);
+        self.capture(from, to, displaced);
+        *frames_touched += 1;
+    }
 }
 
 /// Round-indexed choice of fault edges for a **non-adaptive** adversary.
@@ -118,21 +186,37 @@ impl<F: FnMut(u64, usize, usize) -> EdgeSet> EdgePlan for F {
 }
 
 /// Content corruption for a **non-adaptive** adversary: restricted to the
-/// planned edge set, but free to choose payloads based on intended traffic.
+/// planned edge set, but free to choose payloads based on intended traffic
+/// (read via [`CorruptionScope::intended`]).
 pub trait Corruptor {
     /// Rewrites frames crossing the controlled edges via `scope`.
-    fn corrupt(&mut self, view: &AdversaryView<'_>, edges: &EdgeSet, scope: &mut CorruptionScope<'_>);
+    fn corrupt(
+        &mut self,
+        view: &AdversaryView<'_>,
+        edges: &EdgeSet,
+        scope: &mut CorruptionScope<'_>,
+    );
 }
 
 /// Mutation handle restricted to a fixed edge set.
 #[derive(Debug)]
 pub struct CorruptionScope<'a> {
-    pub(crate) traffic: &'a mut Traffic,
-    pub(crate) allowed: &'a EdgeSet,
-    pub(crate) frames_touched: u64,
+    traffic: &'a mut Traffic,
+    allowed: &'a EdgeSet,
+    overlay: IntendedOverlay,
+    frames_touched: u64,
 }
 
-impl CorruptionScope<'_> {
+impl<'a> CorruptionScope<'a> {
+    fn new(traffic: &'a mut Traffic, allowed: &'a EdgeSet) -> Self {
+        Self {
+            traffic,
+            allowed,
+            overlay: IntendedOverlay::default(),
+            frames_touched: 0,
+        }
+    }
+
     /// Replaces (or suppresses, with `None`) the frame on `from → to`.
     ///
     /// # Panics
@@ -144,14 +228,14 @@ impl CorruptionScope<'_> {
             self.allowed.contains(from, to),
             "edge {{{from},{to}}} is not controlled this round"
         );
-        if let Some(b) = &bits {
-            assert!(
-                b.len() <= self.traffic.bandwidth(),
-                "corrupted frame exceeds bandwidth"
-            );
-        }
-        *self.traffic.frame_mut_slot(from, to) = bits;
-        self.frames_touched += 1;
+        self.overlay
+            .apply(self.traffic, from, to, bits, &mut self.frames_touched);
+    }
+
+    /// The frame the honest sender *intended* on `from → to` this round —
+    /// unaffected by any rewrites already applied (the rushing view).
+    pub fn intended(&self, from: usize, to: usize) -> Option<&BitVec> {
+        self.overlay.resolve(self.traffic, from, to)
     }
 
     /// The frame currently queued on `from → to` (post any prior rewrites).
@@ -176,13 +260,25 @@ pub trait AdaptiveStrategy {
 /// acquisition that would push some node's faulty degree past the budget.
 #[derive(Debug)]
 pub struct AdaptiveScope<'a> {
-    pub(crate) traffic: &'a mut Traffic,
-    pub(crate) edges: EdgeSet,
-    pub(crate) budget: usize,
-    pub(crate) frames_touched: u64,
+    traffic: &'a mut Traffic,
+    edges: EdgeSet,
+    budget: usize,
+    overlay: IntendedOverlay,
+    frames_touched: u64,
 }
 
-impl AdaptiveScope<'_> {
+impl<'a> AdaptiveScope<'a> {
+    fn new(traffic: &'a mut Traffic, budget: usize) -> Self {
+        let n = traffic.n();
+        Self {
+            traffic,
+            edges: EdgeSet::new(n),
+            budget,
+            overlay: IntendedOverlay::default(),
+            frames_touched: 0,
+        }
+    }
+
     /// Tries to corrupt the frame on `from → to` (acquiring the edge if not
     /// yet controlled). Returns `false` — without modifying anything — when
     /// acquiring the edge would exceed the degree budget.
@@ -194,14 +290,8 @@ impl AdaptiveScope<'_> {
         if !self.try_acquire(from, to) {
             return false;
         }
-        if let Some(b) = &bits {
-            assert!(
-                b.len() <= self.traffic.bandwidth(),
-                "corrupted frame exceeds bandwidth"
-            );
-        }
-        *self.traffic.frame_mut_slot(from, to) = bits;
-        self.frames_touched += 1;
+        self.overlay
+            .apply(self.traffic, from, to, bits, &mut self.frames_touched);
         true
     }
 
@@ -225,6 +315,12 @@ impl AdaptiveScope<'_> {
     /// The per-round degree budget `⌊αn⌋`.
     pub fn budget(&self) -> usize {
         self.budget
+    }
+
+    /// The frame the honest sender *intended* on `from → to` this round —
+    /// unaffected by any rewrites already applied (the rushing view).
+    pub fn intended(&self, from: usize, to: usize) -> Option<&BitVec> {
+        self.overlay.resolve(self.traffic, from, to)
     }
 
     /// The frame currently queued on `from → to`.
@@ -271,7 +367,10 @@ impl Adversary {
 
     /// An α-NBD adversary: `plan` fixes the per-round edge sets up front,
     /// `corruptor` rewrites contents on those edges (rushing).
-    pub fn non_adaptive(plan: impl EdgePlan + 'static, corruptor: impl Corruptor + 'static) -> Self {
+    pub fn non_adaptive(
+        plan: impl EdgePlan + 'static,
+        corruptor: impl Corruptor + 'static,
+    ) -> Self {
         Self {
             kind: Kind::NonAdaptive {
                 plan: Box::new(plan),
@@ -314,36 +413,23 @@ impl Adversary {
                         budget,
                     });
                 }
-                let intended = traffic.clone();
                 let view = AdversaryView {
                     round,
-                    intended: &intended,
                     published: &[], // non-adaptive adversaries never see randomness
                     history: &empty_history,
                 };
-                let mut scope = CorruptionScope {
-                    traffic,
-                    allowed: &edges,
-                    frames_touched: 0,
-                };
+                let mut scope = CorruptionScope::new(traffic, &edges);
                 corruptor.corrupt(&view, &edges, &mut scope);
                 let touched = scope.frames_touched;
                 Ok((edges, touched))
             }
             Kind::Adaptive(strategy) => {
-                let intended = traffic.clone();
                 let view = AdversaryView {
                     round,
-                    intended: &intended,
                     published,
                     history,
                 };
-                let mut scope = AdaptiveScope {
-                    traffic,
-                    edges: EdgeSet::new(n),
-                    budget,
-                    frames_touched: 0,
-                };
+                let mut scope = AdaptiveScope::new(traffic, budget);
                 strategy.corrupt(&view, &mut scope);
                 let touched = scope.frames_touched;
                 let edges = scope.edges;
@@ -381,12 +467,7 @@ mod tests {
     fn adaptive_scope_enforces_budget() {
         let mut traffic = Traffic::new(4, 4);
         traffic.send(0, 1, BitVec::from_bools(&[true]));
-        let mut scope = AdaptiveScope {
-            traffic: &mut traffic,
-            edges: EdgeSet::new(4),
-            budget: 1,
-            frames_touched: 0,
-        };
+        let mut scope = AdaptiveScope::new(&mut traffic, 1);
         assert!(scope.try_corrupt(0, 1, None));
         // Node 0 is at budget: a second edge at node 0 must be refused.
         assert!(!scope.try_corrupt(0, 2, None));
@@ -402,16 +483,72 @@ mod tests {
         traffic.send(2, 3, BitVec::from_bools(&[true, true]));
         let mut allowed = EdgeSet::new(4);
         allowed.insert(2, 3);
-        let mut scope = CorruptionScope {
-            traffic: &mut traffic,
-            allowed: &allowed,
-            frames_touched: 0,
-        };
+        let mut scope = CorruptionScope::new(&mut traffic, &allowed);
         scope.set(3, 2, Some(BitVec::from_bools(&[false])));
         assert_eq!(scope.current(3, 2), Some(&BitVec::from_bools(&[false])));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             scope.set(0, 1, None);
         }));
         assert!(result.is_err(), "uncontrolled edge must be rejected");
+    }
+
+    /// The copy-on-write view must keep serving the *original* frame through
+    /// any sequence of rewrites of the same slot, and must not be fooled by
+    /// rewrites of other slots.
+    #[test]
+    fn intended_view_survives_rewrites() {
+        let original = BitVec::from_bools(&[true, false, true]);
+        let mut traffic = Traffic::new(3, 4);
+        traffic.send(0, 1, original.clone());
+        traffic.send(1, 0, BitVec::from_bools(&[false]));
+        let mut scope = AdaptiveScope::new(&mut traffic, 2);
+
+        // Before any rewrite, intended == current == the live frame.
+        assert_eq!(scope.intended(0, 1), Some(&original));
+        assert_eq!(scope.current(0, 1), Some(&original));
+
+        // First rewrite: suppress. The view keeps the original.
+        assert!(scope.try_corrupt(0, 1, None));
+        assert_eq!(scope.intended(0, 1), Some(&original));
+        assert_eq!(scope.current(0, 1), None);
+
+        // Second rewrite of the same slot: still the original, not the
+        // intermediate suppression.
+        assert!(scope.try_corrupt(0, 1, Some(BitVec::from_bools(&[false, false]))));
+        assert_eq!(scope.intended(0, 1), Some(&original));
+        assert_eq!(
+            scope.current(0, 1),
+            Some(&BitVec::from_bools(&[false, false]))
+        );
+
+        // Untouched slots read through to the live matrix.
+        assert_eq!(scope.intended(1, 0), Some(&BitVec::from_bools(&[false])));
+        // An empty slot is empty in both views.
+        assert_eq!(scope.intended(2, 0), None);
+        assert_eq!(scope.current(2, 0), None);
+    }
+
+    /// Same property for the non-adaptive scope, including slots that were
+    /// intended-empty and get a frame injected.
+    #[test]
+    fn corruption_scope_intended_view_is_precorruption() {
+        let mut traffic = Traffic::new(3, 4);
+        traffic.send(0, 1, BitVec::from_bools(&[true]));
+        let mut allowed = EdgeSet::new(3);
+        allowed.insert(0, 1);
+        let mut scope = CorruptionScope::new(&mut traffic, &allowed);
+
+        // Inject into the intended-empty reverse direction: intended stays
+        // empty, current shows the injection.
+        scope.set(1, 0, Some(BitVec::from_bools(&[true, true])));
+        assert_eq!(scope.intended(1, 0), None);
+        assert_eq!(
+            scope.current(1, 0),
+            Some(&BitVec::from_bools(&[true, true]))
+        );
+
+        scope.set(0, 1, None);
+        assert_eq!(scope.intended(0, 1), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(scope.current(0, 1), None);
     }
 }

@@ -52,13 +52,26 @@ impl History {
         }
     }
 
+    /// Whether the current mode needs the round's intended traffic snapshot.
+    ///
+    /// The network uses this to decide *before* the round runs whether to
+    /// clone the traffic matrix at all: in `Digest`/`None` mode no snapshot
+    /// is ever taken, so recording costs O(corrupted edges), not O(n²).
+    pub(crate) fn wants_intended(&self) -> bool {
+        matches!(self.mode, HistoryMode::Full)
+    }
+
+    /// Records one round. `intended` is an owned snapshot taken by the
+    /// caller **only** when [`History::wants_intended`] said so; it is moved
+    /// straight into the record, so `Full` mode costs exactly one clone per
+    /// round and the other modes cost none.
     pub(crate) fn push(
         &mut self,
         round: u64,
         corrupted: Vec<(usize, usize)>,
         frames: u64,
         bits: u64,
-        intended: &Traffic,
+        intended: Option<Traffic>,
     ) {
         match self.mode {
             HistoryMode::None => {}
@@ -69,13 +82,19 @@ impl History {
                 bits,
                 intended: None,
             }),
-            HistoryMode::Full => self.records.push(RoundRecord {
-                round,
-                corrupted,
-                frames,
-                bits,
-                intended: Some(intended.clone()),
-            }),
+            HistoryMode::Full => {
+                debug_assert!(
+                    intended.is_some(),
+                    "Full-mode push requires the caller's snapshot"
+                );
+                self.records.push(RoundRecord {
+                    round,
+                    corrupted,
+                    frames,
+                    bits,
+                    intended,
+                });
+            }
         }
     }
 
@@ -102,8 +121,8 @@ mod tests {
     #[test]
     fn digest_mode_skips_traffic() {
         let mut h = History::new(HistoryMode::Digest);
-        let t = Traffic::new(3, 4);
-        h.push(0, vec![(0, 1)], 2, 5, &t);
+        assert!(!h.wants_intended());
+        h.push(0, vec![(0, 1)], 2, 5, None);
         assert_eq!(h.records().len(), 1);
         assert!(h.records()[0].intended.is_none());
         assert_eq!(h.total_corrupted(), 1);
@@ -112,16 +131,17 @@ mod tests {
     #[test]
     fn full_mode_keeps_traffic() {
         let mut h = History::new(HistoryMode::Full);
+        assert!(h.wants_intended());
         let t = Traffic::new(3, 4);
-        h.push(0, vec![], 0, 0, &t);
+        h.push(0, vec![], 0, 0, Some(t));
         assert!(h.records()[0].intended.is_some());
     }
 
     #[test]
     fn none_mode_records_nothing() {
         let mut h = History::new(HistoryMode::None);
-        let t = Traffic::new(3, 4);
-        h.push(0, vec![(1, 2)], 1, 1, &t);
+        assert!(!h.wants_intended());
+        h.push(0, vec![(1, 2)], 1, 1, None);
         assert!(h.records().is_empty());
         assert_eq!(h.total_corrupted(), 0);
     }

@@ -40,7 +40,7 @@ mod stats;
 mod traffic;
 
 pub use adversary::{
-    Adversary, AdversaryView, AdaptiveScope, AdaptiveStrategy, Corruptor, CorruptionScope,
+    AdaptiveScope, AdaptiveStrategy, Adversary, AdversaryView, CorruptionScope, Corruptor,
     EdgePlan, EdgeSet,
 };
 pub use history::{History, HistoryMode, RoundRecord};

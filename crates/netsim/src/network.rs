@@ -139,10 +139,16 @@ impl Network {
     /// invalid experiment, not a recoverable condition) or when the traffic
     /// shape does not match the network.
     pub fn exchange(&mut self, traffic: Traffic) -> Delivery {
-        self.try_exchange(traffic).expect("adversary violated model constraints")
+        self.try_exchange(traffic)
+            .expect("adversary violated model constraints")
     }
 
     /// Non-panicking variant of [`Network::exchange`].
+    ///
+    /// The round pipeline is clone-free outside [`HistoryMode::Full`]: the
+    /// volume counters are O(1) reads, the adversary sees intended traffic
+    /// through the scopes' copy-on-write overlay, and a full matrix snapshot
+    /// is taken only when the history transcript actually records it.
     ///
     /// # Errors
     ///
@@ -150,13 +156,18 @@ impl Network {
     pub fn try_exchange(&mut self, mut traffic: Traffic) -> Result<Delivery, NetworkError> {
         assert_eq!(traffic.n(), self.n, "traffic shape mismatch");
         assert_eq!(traffic.bandwidth(), self.bandwidth, "bandwidth mismatch");
-        self.stats.bits_sent += traffic.total_bits();
-        self.stats.frames_sent += traffic.frame_count();
-
-        let budget = self.fault_budget();
         let frames_before = traffic.frame_count();
         let bits_before = traffic.total_bits();
-        let intended_snapshot = traffic.clone();
+        self.stats.bits_sent += bits_before;
+        self.stats.frames_sent += frames_before;
+
+        let budget = self.fault_budget();
+        let intended_snapshot = if self.history.wants_intended() {
+            self.stats.intended_snapshots += 1;
+            Some(traffic.clone())
+        } else {
+            None
+        };
         let (edges, frames_touched) = self.adversary.act(
             self.round,
             &mut traffic,
@@ -174,7 +185,7 @@ impl Network {
             corrupted,
             frames_before,
             bits_before,
-            &intended_snapshot,
+            intended_snapshot,
         );
 
         self.round += 1;
@@ -193,14 +204,14 @@ mod tests {
     impl crate::adversary::Corruptor for FlipEverything {
         fn corrupt(
             &mut self,
-            view: &AdversaryView<'_>,
+            _view: &AdversaryView<'_>,
             edges: &EdgeSet,
             scope: &mut CorruptionScope<'_>,
         ) {
             for (u, v) in edges.iter().collect::<Vec<_>>() {
                 for (a, b) in [(u, v), (v, u)] {
-                    if let Some(frame) = view.intended.frame(a, b) {
-                        let mut flipped = frame.clone();
+                    if let Some(frame) = scope.intended(a, b).cloned() {
+                        let mut flipped = frame;
                         for i in 0..flipped.len() {
                             flipped.flip(i);
                         }
@@ -263,7 +274,8 @@ mod tests {
         };
         struct Noop;
         impl crate::adversary::Corruptor for Noop {
-            fn corrupt(&mut self, _: &AdversaryView<'_>, _: &EdgeSet, _: &mut CorruptionScope<'_>) {}
+            fn corrupt(&mut self, _: &AdversaryView<'_>, _: &EdgeSet, _: &mut CorruptionScope<'_>) {
+            }
         }
         let mut net = Network::new(4, 2, 0.25, Adversary::non_adaptive(plan, Noop));
         let t = net.traffic();
@@ -302,6 +314,59 @@ mod tests {
         let t = net.traffic();
         net.exchange(t);
         assert_eq!(*saw.borrow(), 1);
+    }
+
+    #[test]
+    fn digest_mode_records_have_no_snapshot_and_no_clone() {
+        // Default mode is Digest: records exist, carry `intended: None`,
+        // and the snapshot counter proves no full-matrix clone was taken.
+        let adv = Adversary::non_adaptive(single_edge_plan(0, 1), FlipEverything);
+        let mut net = Network::new(4, 4, 0.5, adv);
+        assert_eq!(net.history().mode(), HistoryMode::Digest);
+        for _ in 0..3 {
+            let mut t = net.traffic();
+            t.send(0, 1, BitVec::from_bools(&[true, true]));
+            net.exchange(t);
+        }
+        assert_eq!(net.history().records().len(), 3);
+        assert!(net.history().records().iter().all(|r| r.intended.is_none()));
+        assert_eq!(
+            net.stats().intended_snapshots,
+            0,
+            "Digest-mode rounds must never clone the traffic matrix"
+        );
+    }
+
+    #[test]
+    fn none_mode_is_clone_free_and_recordless() {
+        let mut net = Network::new(3, 2, 0.0, Adversary::none());
+        net.set_history_mode(HistoryMode::None);
+        for _ in 0..4 {
+            let t = net.traffic();
+            net.exchange(t);
+        }
+        assert!(net.history().records().is_empty());
+        assert_eq!(net.stats().intended_snapshots, 0);
+    }
+
+    #[test]
+    fn full_mode_snapshots_exactly_once_per_round() {
+        let adv = Adversary::non_adaptive(single_edge_plan(0, 1), FlipEverything);
+        let mut net = Network::new(4, 4, 0.5, adv);
+        net.set_history_mode(HistoryMode::Full);
+        for round in 0..3 {
+            let mut t = net.traffic();
+            t.send(0, 1, BitVec::from_bools(&[true]));
+            t.send(2, 3, BitVec::from_bools(&[false]));
+            net.exchange(t);
+            assert_eq!(net.stats().intended_snapshots, round + 1);
+        }
+        // The recorded snapshots hold the *intended* traffic, pre-corruption.
+        for r in net.history().records() {
+            let intended = r.intended.as_ref().expect("Full mode records traffic");
+            assert_eq!(intended.frame(0, 1), Some(&BitVec::from_bools(&[true])));
+            assert_eq!(intended.frame(2, 3), Some(&BitVec::from_bools(&[false])));
+        }
     }
 
     #[test]

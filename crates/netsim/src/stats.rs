@@ -15,6 +15,10 @@ pub struct NetStats {
     pub frames_corrupted: u64,
     /// Maximum faulty degree the adversary actually used in any round.
     pub peak_fault_degree: usize,
+    /// Full traffic-matrix snapshots taken for the history transcript.
+    /// Zero unless the network runs in [`crate::HistoryMode::Full`] — the
+    /// observable guarantee that `Digest`/`None` rounds are clone-free.
+    pub intended_snapshots: u64,
 }
 
 impl NetStats {

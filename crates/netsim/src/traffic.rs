@@ -6,11 +6,18 @@ use bdclique_bits::BitVec;
 ///
 /// A dense `n × n` matrix of optional frames; a frame is at most
 /// `bandwidth` bits. Self-loops are not part of the clique and are rejected.
+///
+/// Aggregate volume ([`Traffic::total_bits`], [`Traffic::frame_count`]) is
+/// maintained incrementally on every mutation, so both accessors are O(1) —
+/// the round pipeline reads them several times per round and must not pay an
+/// O(n²) rescan each time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Traffic {
     n: usize,
     bandwidth: usize,
     frames: Vec<Option<BitVec>>,
+    total_bits: u64,
+    frame_count: u64,
 }
 
 impl Traffic {
@@ -27,6 +34,8 @@ impl Traffic {
             n,
             bandwidth,
             frames: vec![None; n * n],
+            total_bits: 0,
+            frame_count: 0,
         }
     }
 
@@ -60,14 +69,12 @@ impl Traffic {
             bits.len(),
             self.bandwidth
         );
-        let i = self.idx(from, to);
-        self.frames[i] = Some(bits);
+        self.set_frame(from, to, Some(bits));
     }
 
     /// Removes the frame on `from → to`, if any.
     pub fn clear(&mut self, from: usize, to: usize) {
-        let i = self.idx(from, to);
-        self.frames[i] = None;
+        self.set_frame(from, to, None);
     }
 
     /// The frame queued on `from → to`.
@@ -75,23 +82,36 @@ impl Traffic {
         self.frames[self.idx(from, to)].as_ref()
     }
 
-    pub(crate) fn frame_mut_slot(&mut self, from: usize, to: usize) -> &mut Option<BitVec> {
+    /// Replaces the slot `from → to`, keeps the volume counters in sync, and
+    /// returns the previous frame. All mutation funnels through here so the
+    /// counters can never drift from the matrix.
+    pub(crate) fn set_frame(
+        &mut self,
+        from: usize,
+        to: usize,
+        bits: Option<BitVec>,
+    ) -> Option<BitVec> {
         let i = self.idx(from, to);
-        &mut self.frames[i]
+        if let Some(new) = &bits {
+            self.total_bits += new.len() as u64;
+            self.frame_count += 1;
+        }
+        let prev = std::mem::replace(&mut self.frames[i], bits);
+        if let Some(old) = &prev {
+            self.total_bits -= old.len() as u64;
+            self.frame_count -= 1;
+        }
+        prev
     }
 
-    /// Total bits queued this round.
+    /// Total bits queued this round. O(1).
     pub fn total_bits(&self) -> u64 {
-        self.frames
-            .iter()
-            .flatten()
-            .map(|f| f.len() as u64)
-            .sum()
+        self.total_bits
     }
 
-    /// Number of non-empty frames queued this round.
+    /// Number of non-empty frames queued this round. O(1).
     pub fn frame_count(&self) -> u64 {
-        self.frames.iter().flatten().count() as u64
+        self.frame_count
     }
 
     pub(crate) fn into_delivery(self) -> Delivery {
@@ -163,5 +183,51 @@ mod tests {
         assert_eq!(d.received(3, 1), Some(&BitVec::from_bools(&[false, true])));
         assert_eq!(d.received(1, 3), None);
         assert_eq!(d.n(), 4);
+    }
+
+    /// The incremental counters must agree with a full rescan through any
+    /// sequence of sends, overwrites, clears, and internal replacements.
+    #[test]
+    fn counters_track_every_mutation() {
+        let mut t = Traffic::new(4, 8);
+        let rescan_bits = |t: &Traffic| -> u64 {
+            (0..4)
+                .flat_map(|u| (0..4).filter(move |&v| v != u).map(move |v| (u, v)))
+                .filter_map(|(u, v)| t.frame(u, v))
+                .map(|f| f.len() as u64)
+                .sum()
+        };
+        let rescan_frames = |t: &Traffic| -> u64 {
+            (0..4)
+                .flat_map(|u| (0..4).filter(move |&v| v != u).map(move |v| (u, v)))
+                .filter(|&(u, v)| t.frame(u, v).is_some())
+                .count() as u64
+        };
+
+        t.send(0, 1, BitVec::from_bools(&[true; 5]));
+        t.send(2, 3, BitVec::from_bools(&[false; 3]));
+        assert_eq!((t.total_bits(), t.frame_count()), (8, 2));
+
+        // Overwrite shrinks the frame: counters must follow.
+        t.send(0, 1, BitVec::from_bools(&[true]));
+        assert_eq!((t.total_bits(), t.frame_count()), (4, 2));
+
+        // Clearing an empty slot is a no-op.
+        t.clear(1, 0);
+        assert_eq!((t.total_bits(), t.frame_count()), (4, 2));
+
+        t.clear(2, 3);
+        assert_eq!((t.total_bits(), t.frame_count()), (1, 1));
+
+        // Internal replacement (the corruption path) returns the original.
+        let prev = t.set_frame(0, 1, Some(BitVec::from_bools(&[false; 7])));
+        assert_eq!(prev, Some(BitVec::from_bools(&[true])));
+        assert_eq!((t.total_bits(), t.frame_count()), (7, 1));
+        let prev = t.set_frame(0, 1, None);
+        assert_eq!(prev, Some(BitVec::from_bools(&[false; 7])));
+        assert_eq!((t.total_bits(), t.frame_count()), (0, 0));
+
+        assert_eq!(t.total_bits(), rescan_bits(&t));
+        assert_eq!(t.frame_count(), rescan_frames(&t));
     }
 }

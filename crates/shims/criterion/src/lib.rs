@@ -1,0 +1,184 @@
+//! Offline API-subset shim of the
+//! [`criterion`](https://crates.io/crates/criterion) crate.
+//!
+//! Provides the harness surface the workspace benches use — `Criterion`,
+//! `benchmark_group`, `sample_size`, `measurement_time`, `bench_function`,
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros —
+//! with a simple mean/min wall-clock report instead of criterion's full
+//! statistical machinery. Bench names passed on the command line filter by
+//! substring, matching `cargo bench -- <filter>` usage.
+
+#![forbid(unsafe_code)]
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures one benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    per_sample: Duration,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `body`, running enough iterations per sample to fill the
+    /// configured measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Calibrate: one timed run decides the batch size.
+        let t0 = Instant::now();
+        hint::black_box(body());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let budget = self.per_sample.max(Duration::from_millis(1));
+        let per_sample_iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64
+            / self.samples.max(1) as u64;
+        let iters = per_sample_iters.max(1);
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                hint::black_box(body());
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self) -> (Duration, Duration) {
+        if self.results.is_empty() {
+            return (Duration::ZERO, Duration::ZERO);
+        }
+        let min = *self.results.iter().min().unwrap();
+        let total: Duration = self.results.iter().sum();
+        (total / self.results.len() as u32, min)
+    }
+}
+
+/// A named group of related benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut body: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            samples: self.sample_size,
+            per_sample: self.measurement_time,
+            results: Vec::new(),
+        };
+        body(&mut b);
+        let (mean, min) = b.report();
+        println!("{full:<48} mean {mean:>12.3?}  min {min:>12.3?}");
+        self
+    }
+
+    /// Finishes the group (report flushing is a no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filters: Vec<String>,
+}
+
+impl Criterion {
+    /// Applies `cargo bench -- <filter>` style substring filters.
+    pub fn configure_from_args(mut self) -> Self {
+        self.filters = std::env::args()
+            .skip(1)
+            .filter(|a| !a.starts_with('-'))
+            .collect();
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, body: F) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, body);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(5));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            filters: vec!["routing".into()],
+        };
+        assert!(c.matches("routing/unit/n64"));
+        assert!(!c.matches("codes/rs"));
+    }
+}

@@ -1,0 +1,197 @@
+//! Offline API-subset shim of the [`rayon`](https://crates.io/crates/rayon)
+//! crate.
+//!
+//! Implements the `into_par_iter().map(..).collect()` pipeline the workspace
+//! uses, executing on `std::thread::scope` with one chunk per available core.
+//! Results are **order-preserving** — element `i` of the output corresponds
+//! to element `i` of the input regardless of which thread ran it — which is
+//! the property `bdclique-bench` relies on for bit-identical serial/parallel
+//! aggregation. There is no work stealing; chunks are statically balanced,
+//! which is fine for the embarrassingly parallel trial loops here.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! Glob-import surface matching upstream `rayon::prelude::*`.
+
+    pub use crate::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
+}
+
+/// Number of worker threads to use for a job of `len` items.
+fn workers(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(len).max(1)
+}
+
+/// Types convertible into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel pipeline.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<u64> {
+    type Item = u64;
+
+    fn into_par_iter(self) -> ParIter<u64> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// Operations available on a parallel pipeline stage.
+pub trait ParallelIterator: Sized {
+    /// The element type flowing out of this stage.
+    type Item: Send;
+
+    /// Executes the pipeline, collecting into `C` in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C;
+
+    /// Maps every element through `f` (executed in parallel at collect time).
+    fn map<U, F>(self, f: F) -> ParMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Send + Sync,
+    {
+        ParMap { inner: self, f }
+    }
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn collect<C: FromParallelIterator<T>>(self) -> C {
+        C::from_ordered_vec(self.items)
+    }
+}
+
+/// A mapped pipeline stage.
+pub struct ParMap<I, F> {
+    inner: I,
+    f: F,
+}
+
+impl<T, U, F> ParallelIterator for ParMap<ParIter<T>, F>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Send + Sync,
+{
+    type Item = U;
+
+    fn collect<C: FromParallelIterator<U>>(self) -> C {
+        let items = self.inner.items;
+        let f = &self.f;
+        let n_workers = workers(items.len());
+        if n_workers <= 1 {
+            return C::from_ordered_vec(items.into_iter().map(f).collect());
+        }
+        let chunk_len = items.len().div_ceil(n_workers);
+        // Contiguous chunks, one per worker; joining the handles in spawn
+        // order concatenates results back into input order.
+        let chunks: Vec<Vec<T>> = {
+            let mut chunks = Vec::with_capacity(n_workers);
+            let mut rest = items;
+            while !rest.is_empty() {
+                let tail = rest.split_off(rest.len().min(chunk_len));
+                chunks.push(std::mem::replace(&mut rest, tail));
+            }
+            chunks
+        };
+        let mapped: Vec<U> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect()
+        });
+        C::from_ordered_vec(mapped)
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from results already in input order.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u64> = (0..0u64).into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn vec_source_works() {
+        let out: Vec<String> = vec![1, 2, 3]
+            .into_par_iter()
+            .map(|x: i32| format!("{x}"))
+            .collect();
+        assert_eq!(out, vec!["1", "2", "3"]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64usize)
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+            })
+            .collect();
+        // On a multi-core box the scope spawns several workers; on a
+        // single-core box one is legal.
+        assert!(!seen.lock().unwrap().is_empty());
+    }
+}

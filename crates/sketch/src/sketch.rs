@@ -32,7 +32,10 @@ impl fmt::Display for SketchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SketchError::WireLength { expected, actual } => {
-                write!(f, "serialized sketch length {actual} != expected {expected}")
+                write!(
+                    f,
+                    "serialized sketch length {actual} != expected {expected}"
+                )
             }
             SketchError::KeyOutOfRange { key, key_bits } => {
                 write!(f, "key {key} does not fit in {key_bits} bits")
@@ -200,8 +203,8 @@ impl RecoverySketch {
         loop {
             let mut progressed = false;
             for idx in 0..work.cells.len() {
-                let Some((key, count)) = work.cells[idx]
-                    .decode_pure(work.shape.key_bits, &work.check_hash)
+                let Some((key, count)) =
+                    work.cells[idx].decode_pure(work.shape.key_bits, &work.check_hash)
                 else {
                     continue;
                 };
@@ -241,7 +244,10 @@ impl RecoverySketch {
         let cb = self.shape.count_bits;
         let kb = self.shape.key_sum_bits();
         for cell in &self.cells {
-            bits.push_uint(cb, encode_signed(cell.count, cb).ok_or(SketchError::FieldOverflow)?);
+            bits.push_uint(
+                cb,
+                encode_signed(cell.count, cb).ok_or(SketchError::FieldOverflow)?,
+            );
             bits.push_uint(
                 kb,
                 encode_signed_i128(cell.key_sum, kb).ok_or(SketchError::FieldOverflow)?,
@@ -303,7 +309,14 @@ fn encode_signed_i128(v: i128, width: u32) -> Option<u64> {
     if v < -half || v >= half {
         return None;
     }
-    Some((v as u64) & if width == 64 { u64::MAX } else { (1u64 << width) - 1 })
+    Some(
+        (v as u64)
+            & if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            },
+    )
 }
 
 fn decode_signed(raw: u64, width: u32) -> i64 {
@@ -375,7 +388,11 @@ mod tests {
         }
         // Received: three messages flipped.
         for u in 0..n {
-            let bit = if [7, 99, 150].contains(&u) { (u & 1) ^ 1 } else { u & 1 };
+            let bit = if [7, 99, 150].contains(&u) {
+                (u & 1) ^ 1
+            } else {
+                u & 1
+            };
             sk.add((u << 8) | bit, -1).unwrap();
         }
         let got = sk.recover().expect("within capacity");
@@ -427,7 +444,8 @@ mod tests {
         let mut sk = RecoverySketch::new(shape, &sh);
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         for _ in 0..5 {
-            sk.add(rng.gen_range(0..1 << 24), rng.gen_range(-3..=3)).unwrap();
+            sk.add(rng.gen_range(0..1 << 24), rng.gen_range(-3..=3))
+                .unwrap();
         }
         let bits = sk.to_bits().unwrap();
         assert_eq!(bits.len(), shape.bit_len());

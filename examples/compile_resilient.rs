@@ -47,7 +47,9 @@ fn main() {
         width: 8,
     };
     let transpose = Transpose {
-        rows: (0..n).map(|u| (0..n).map(|v| (u * n + v) as u64).collect()).collect(),
+        rows: (0..n)
+            .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
+            .collect(),
         width: 8,
     };
 

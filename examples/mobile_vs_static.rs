@@ -10,9 +10,7 @@
 use bdclique::adversary::corruptors::PayloadCorruptor;
 use bdclique::adversary::plans::{FixedEdges, RelayPathHunter, RotatingMatching};
 use bdclique::adversary::Payload;
-use bdclique::core::protocols::{
-    AllToAllProtocol, DetHypercube, NaiveExchange, RelayReplication,
-};
+use bdclique::core::protocols::{AllToAllProtocol, DetHypercube, NaiveExchange, RelayReplication};
 use bdclique::core::AllToAllInstance;
 use bdclique::netsim::{Adversary, Network};
 use rand::SeedableRng;
@@ -70,8 +68,12 @@ fn main() {
     ];
     for (i, proto) in protocols.iter().enumerate() {
         let static_errs: usize = (0..3).map(|s| errors(proto.as_ref(), n, false, s)).sum();
-        let mobile_errs: usize = (0..3).map(|s| errors(proto.as_ref(), n, true, 100 + s)).sum();
-        let hunter_errs: usize = (0..3).map(|s| hunter_errors(proto.as_ref(), n, 200 + s)).sum();
+        let mobile_errs: usize = (0..3)
+            .map(|s| errors(proto.as_ref(), n, true, 100 + s))
+            .sum();
+        let hunter_errs: usize = (0..3)
+            .map(|s| hunter_errors(proto.as_ref(), n, 200 + s))
+            .sum();
         let _ = i;
         println!(
             "{:<18} {:>14} {:>14} {:>14}",

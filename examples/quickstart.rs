@@ -7,11 +7,11 @@
 
 use bdclique::adversary::adaptive::GreedyLoad;
 use bdclique::adversary::Payload;
+use bdclique::core::protocols::run_and_score;
 use bdclique::core::protocols::{
     AdaptiveAllToAll, AdaptiveTakeOne, AllToAllProtocol, DetHypercube, DetSqrt, NaiveExchange,
     NonAdaptiveAllToAll, RelayReplication,
 };
-use bdclique::core::protocols::run_and_score;
 use bdclique::core::AllToAllInstance;
 use bdclique::netsim::{Adversary, Network};
 use rand::SeedableRng;

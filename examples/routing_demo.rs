@@ -9,9 +9,7 @@
 use bdclique::adversary::adaptive::GreedyLoad;
 use bdclique::adversary::Payload;
 use bdclique::bits::BitVec;
-use bdclique::core::routing::{
-    route, RouterConfig, RoutingInstance, RoutingMode, SuperMessage,
-};
+use bdclique::core::routing::{route, RouterConfig, RoutingInstance, RoutingMode, SuperMessage};
 use bdclique::netsim::{Adversary, Network};
 
 fn main() {

@@ -6,15 +6,13 @@ use bdclique::adversary::adaptive::GreedyLoad;
 use bdclique::adversary::corruptors::PayloadCorruptor;
 use bdclique::adversary::plans::RotatingMatching;
 use bdclique::adversary::Payload;
+use bdclique::bits::BitVec;
 use bdclique::core::broadcast::broadcast;
 use bdclique::core::cc::{SumAll, Transpose};
 use bdclique::core::compiler::{compile, run_fault_free};
-use bdclique::core::protocols::{
-    AllToAllProtocol, DetHypercube, DetSqrt, NonAdaptiveAllToAll,
-};
+use bdclique::core::protocols::{AllToAllProtocol, DetHypercube, DetSqrt, NonAdaptiveAllToAll};
 use bdclique::core::routing::RouterConfig;
 use bdclique::core::AllToAllInstance;
-use bdclique::bits::BitVec;
 use bdclique::netsim::{Adversary, Network};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -88,7 +86,11 @@ fn repeated_runs_are_deterministic() {
         let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed));
         let mut net = Network::new(16, 9, 0.07, adversary);
         let out = DetHypercube::default().run(&mut net, &inst).unwrap();
-        (inst.count_errors(&out), net.rounds(), net.stats().edges_corrupted)
+        (
+            inst.count_errors(&out),
+            net.rounds(),
+            net.stats().edges_corrupted,
+        )
     };
     assert_eq!(run(5), run(5), "same seeds, same run");
 }

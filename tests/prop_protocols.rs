@@ -6,10 +6,10 @@ use bdclique::adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
 use bdclique::adversary::corruptors::PayloadCorruptor;
 use bdclique::adversary::plans::RandomMatchings;
 use bdclique::adversary::Payload;
+use bdclique::bits::BitVec;
 use bdclique::core::protocols::{AllToAllProtocol, DetHypercube, DetSqrt};
 use bdclique::core::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique::core::AllToAllInstance;
-use bdclique::bits::BitVec;
 use bdclique::netsim::{Adversary, Network};
 use proptest::prelude::*;
 use rand::SeedableRng;
