@@ -28,18 +28,29 @@ impl GreedyLoad {
 
 impl AdaptiveStrategy for GreedyLoad {
     fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
-        let n = scope.n();
-        // Score undirected edges by total bits both ways.
-        let mut scored: Vec<(usize, usize, usize)> = Vec::new();
-        for u in 0..n {
-            for v in (u + 1)..n {
-                let load = scope.intended(u, v).map_or(0, |f| f.len())
-                    + scope.intended(v, u).map_or(0, |f| f.len());
-                if load > 0 {
-                    scored.push((load, u, v));
-                }
+        // Score undirected edges by total bits both ways — discovered from
+        // the O(frames) busy-slot list, never an n² probe sweep.
+        let mut scored: Vec<(usize, usize, usize)> = scope
+            .intended_frames()
+            .into_iter()
+            .map(|(from, to, bits)| {
+                let (u, v) = if from < to { (from, to) } else { (to, from) };
+                (bits, u, v)
+            })
+            .collect();
+        // The slot list is (from, to)-ascending, which interleaves the two
+        // directions of an undirected pair; merge them after a sort.
+        scored.sort_unstable_by_key(|&(_, u, v)| (u, v));
+        scored.dedup_by(|a, b| {
+            if (a.1, a.2) == (b.1, b.2) {
+                b.0 += a.0;
+                true
+            } else {
+                false
             }
-        }
+        });
+        // Zero-length frames carry no payload worth the degree budget.
+        scored.retain(|&(load, _, _)| load > 0);
         scored.sort_unstable_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         for (_, u, v) in scored {
             if !scope.try_acquire(u, v) {
@@ -128,15 +139,15 @@ impl RushingRandom {
 
 impl AdaptiveStrategy for RushingRandom {
     fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
-        let n = scope.n();
-        let mut busy: Vec<(usize, usize)> = Vec::new();
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if scope.intended(u, v).is_some() || scope.intended(v, u).is_some() {
-                    busy.push((u, v));
-                }
-            }
-        }
+        // Busy undirected pairs, ascending — the same candidate list the old
+        // n² probe sweep produced, discovered in O(frames).
+        let mut busy: Vec<(usize, usize)> = scope
+            .intended_frames()
+            .into_iter()
+            .map(|(from, to, _)| if from < to { (from, to) } else { (to, from) })
+            .collect();
+        busy.sort_unstable();
+        busy.dedup();
         for i in (1..busy.len()).rev() {
             busy.swap(i, self.rng.gen_range(0..=i));
         }
@@ -209,18 +220,16 @@ impl HistoryCamper {
 
 impl AdaptiveStrategy for HistoryCamper {
     fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
-        let n = scope.n();
         // Accumulate the current round's loads into long-term memory
         // (the digest history corroborates round counts; frame contents come
-        // from the live view).
-        for u in 0..n {
-            for v in (u + 1)..n {
-                let bits = scope.intended(u, v).map_or(0, |f| f.len())
-                    + scope.intended(v, u).map_or(0, |f| f.len());
-                if bits > 0 {
-                    *self.load.entry((u, v)).or_insert(0) += bits as u64;
-                }
+        // from the live view). O(frames) via the busy-slot list; zero-length
+        // frames carry no load and must not enter the ranking.
+        for (from, to, bits) in scope.intended_frames() {
+            if bits == 0 {
+                continue;
             }
+            let key = if from < to { (from, to) } else { (to, from) };
+            *self.load.entry(key).or_insert(0) += bits as u64;
         }
         let _ = view.history.records(); // the transcript is available too
         let mut ranked: Vec<((usize, usize), u64)> =

@@ -1,0 +1,119 @@
+//! Criterion benchmarks for the storage layer: one full exchange round
+//! (build → queue → deliver → read) per backend, across clique sizes and
+//! load factors.
+//!
+//! The headline comparison is the **sparse-load** group: at ≤1% load factor
+//! the sparse adjacency backend must beat the dense matrix by an order of
+//! magnitude in both wall time and memory traffic (the dense backend pays
+//! `Θ(n²)` allocation per round regardless of how little is sent). The
+//! **full-load** group at n = 64 is the regression guard in the other
+//! direction: auto-switching traffic must stay within noise of the pinned
+//! dense backend on full-matrix rounds.
+//!
+//! A one-shot `store_bytes` report prints the measured per-round memory
+//! footprint ratio before the timing runs.
+
+use bdclique_bits::BitVec;
+use bdclique_netsim::{Adversary, Backend, Network, Traffic};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+const BANDWIDTH: usize = 9;
+
+/// Frames per node for the ≤1% load-factor rows.
+fn sparse_degree(n: usize) -> usize {
+    (n / 128).max(1)
+}
+
+fn fill(t: &mut Traffic, n: usize, per_node: usize) {
+    for u in 0..n {
+        for k in 1..=per_node {
+            t.send(u, (u + k) % n, BitVec::from_bools(&[true; BANDWIDTH]));
+        }
+    }
+}
+
+/// One complete round on a pinned backend: build the traffic, exchange it,
+/// and read every delivered frame back through the inbox API.
+fn round(net: &mut Network, n: usize, backend: Backend, per_node: usize) -> u64 {
+    let mut t = Traffic::with_backend(n, BANDWIDTH, backend);
+    fill(&mut t, n, per_node);
+    let d = net.exchange(t);
+    let mut read = 0u64;
+    for v in 0..n {
+        read += d.inbox_of(v).count() as u64;
+    }
+    net.reclaim(d);
+    read
+}
+
+/// Same round through the production path (`Network::traffic`, arena-backed,
+/// auto-switching).
+fn round_auto(net: &mut Network, n: usize, per_node: usize) -> u64 {
+    let mut t = net.traffic();
+    fill(&mut t, n, per_node);
+    let d = net.exchange(t);
+    let mut read = 0u64;
+    for v in 0..n {
+        read += d.inbox_of(v).count() as u64;
+    }
+    net.reclaim(d);
+    read
+}
+
+fn report_memory_traffic() {
+    println!("traffic store_bytes at ≤1% load (sparse must win ≥10x):");
+    for n in [64usize, 256, 1024, 4096] {
+        let per_node = sparse_degree(n);
+        let mut sparse = Traffic::with_backend(n, BANDWIDTH, Backend::Sparse);
+        let mut dense = Traffic::with_backend(n, BANDWIDTH, Backend::Dense);
+        fill(&mut sparse, n, per_node);
+        fill(&mut dense, n, per_node);
+        let (s, d) = (sparse.store_bytes(), dense.store_bytes());
+        println!(
+            "  n={n:<5} frames={:<6} sparse={s:>12} B  dense={d:>12} B  ratio={:>8.1}x",
+            n * per_node,
+            d as f64 / s as f64
+        );
+    }
+}
+
+fn bench_sparse_load(c: &mut Criterion) {
+    report_memory_traffic();
+    let mut g = c.benchmark_group("traffic/sparse-load");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [64usize, 256, 1024, 4096] {
+        let per_node = sparse_degree(n);
+        g.bench_function(&format!("n{n}/sparse"), |b| {
+            let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+            b.iter(|| black_box(round(&mut net, n, Backend::Sparse, per_node)))
+        });
+        g.bench_function(&format!("n{n}/dense"), |b| {
+            let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+            b.iter(|| black_box(round(&mut net, n, Backend::Dense, per_node)))
+        });
+        g.bench_function(&format!("n{n}/auto"), |b| {
+            let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+            b.iter(|| black_box(round_auto(&mut net, n, per_node)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_load(c: &mut Criterion) {
+    let mut g = c.benchmark_group("traffic/full-load");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n = 64usize;
+    g.bench_function("n64/dense", |b| {
+        let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+        b.iter(|| black_box(round(&mut net, n, Backend::Dense, n - 1)))
+    });
+    g.bench_function("n64/auto", |b| {
+        let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+        b.iter(|| black_box(round_auto(&mut net, n, n - 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sparse_load, bench_full_load);
+criterion_main!(benches);

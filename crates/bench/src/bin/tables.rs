@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Experiment ids (see `DESIGN.md` §2): `t1r1 t1r2 t1r3 t1r4 route matching
-//! frontier compiler codes ldc sketch cfree querypath`.
+//! frontier compiler codes ldc sketch cfree querypath largen`.
 
 use bdclique_bench::experiments as exp;
 
@@ -61,5 +61,8 @@ fn main() {
     }
     if want("querypath") {
         println!("{}", exp::ablation_querypath(trials.min(3)).render());
+    }
+    if want("largen") {
+        println!("{}", exp::large_n_smoke().render());
     }
 }

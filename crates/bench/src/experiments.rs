@@ -697,6 +697,57 @@ pub fn ablation_coverfree() -> Table {
     t
 }
 
+/// `S.LARGE-N` — storage-layer scaling smoke: a full DetSqrt trial at
+/// `n = 1024` (and the sparse exchange substrate it rides on). The old
+/// dense `n²` frame matrix made this size unreachable; the row records the
+/// wall time so regressions in the sparse substrate are visible in the
+/// rendered tables.
+pub fn large_n_smoke() -> Table {
+    let mut t = Table::new(
+        "S.LARGE-N  DetSqrt smoke on the sparse traffic substrate",
+        &[
+            "protocol",
+            "n",
+            "B",
+            "errors",
+            "rounds",
+            "bits sent",
+            "secs",
+        ],
+    );
+    let n = 1024usize;
+    let start = std::time::Instant::now();
+    match crate::run_trial(
+        &DetSqrt::default(),
+        n,
+        1,
+        BANDWIDTH,
+        0.0,
+        AdversarySpec::None,
+        1,
+    ) {
+        Ok(trial) => t.row(vec![
+            "det-sqrt".into(),
+            n.to_string(),
+            "1".into(),
+            trial.errors.to_string(),
+            trial.rounds.to_string(),
+            trial.bits_sent.to_string(),
+            fmt_f(start.elapsed().as_secs_f64()),
+        ]),
+        Err(e) => t.row(vec![
+            "det-sqrt".into(),
+            n.to_string(),
+            "1".into(),
+            format!("error: {e}"),
+            "-".into(),
+            "-".into(),
+            fmt_f(start.elapsed().as_secs_f64()),
+        ]),
+    }
+    t
+}
+
 /// `A.QUERYPATH` — Take II ablation: LDC fetch vs direct sketch pull.
 pub fn ablation_querypath(trials: usize) -> Table {
     let mut t = Table::new(

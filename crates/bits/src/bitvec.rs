@@ -205,6 +205,28 @@ impl BitVec {
         }
     }
 
+    /// Overwrites `src.len()` bits starting at `pos` with the bits of `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos + src.len() > len`.
+    pub fn write_bits(&mut self, pos: usize, src: &Self) {
+        assert!(pos + src.len <= self.len, "write_bits out of range");
+        for b in 0..src.len {
+            self.set(pos + b, src.get(b));
+        }
+    }
+
+    /// Resets this vector **in place** to `len` zero bits, reusing the
+    /// existing block allocation (unlike [`Self::truncate`], which rebuilds).
+    /// This is what lets pooled frame buffers be recycled without returning
+    /// to the allocator.
+    pub fn reset_zeros(&mut self, len: usize) {
+        self.blocks.clear();
+        self.blocks.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.blocks.iter().map(|b| b.count_ones() as usize).sum()
@@ -525,6 +547,37 @@ mod tests {
         assert_eq!(v, BitVec::from_bools(&[true]));
         v.truncate(10);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn write_bits_overwrites_in_place() {
+        let mut v = BitVec::zeros(8);
+        v.write_bits(3, &BitVec::from_bools(&[true, false, true]));
+        assert_eq!(v, BitVec::from_fn(8, |i| i == 3 || i == 5));
+        // Overwriting clears previous bits in the window.
+        v.write_bits(3, &BitVec::from_bools(&[false, true, false]));
+        assert_eq!(v, BitVec::from_fn(8, |i| i == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn write_bits_rejects_overflow() {
+        BitVec::zeros(4).write_bits(3, &BitVec::from_bools(&[true, true]));
+    }
+
+    #[test]
+    fn reset_zeros_reuses_allocation() {
+        let mut v = BitVec::from_fn(200, |i| i % 3 == 0);
+        v.reset_zeros(70);
+        assert_eq!(v.len(), 70);
+        assert_eq!(v.count_ones(), 0);
+        // Growing again within the old allocation keeps the invariant that
+        // padding bits are zero.
+        v.push(true);
+        assert_eq!(v.len(), 71);
+        assert_eq!(v.count_ones(), 1);
+        v.reset_zeros(0);
+        assert!(v.is_empty());
     }
 
     #[test]

@@ -6,12 +6,30 @@
 //! fault-free round by one `AllToAllComm` instance. [`compile`] implements
 //! exactly that loop; [`crate::cc`] provides fault-free algorithms to feed
 //! it.
+//!
+//! # Parallelism and determinism
+//!
+//! The per-node send/receive phases are embarrassingly parallel (node `u`'s
+//! messages and state transition depend only on `u`'s own state and inbox),
+//! so [`compile`] and [`run_fault_free`] fan them out across the rayon
+//! thread pool and fold the results back **in node order** — bit-identical
+//! to the serial oracles [`compile_serial`] / [`run_fault_free_serial`]
+//! (covered by a regression test, the same pattern as
+//! `bdclique_bench::aggregate` vs `aggregate_serial`). The network rounds
+//! themselves stay strictly sequential: rounds are the unit of synchrony in
+//! the model.
+//!
+//! Inbox assembly is clone-free: the protocol output's message matrix is
+//! transposed into per-node inboxes **by move**
+//! ([`crate::AllToAllOutput::into_received_rows`]), never by cloning all
+//! `n²` messages.
 
 use crate::error::CoreError;
 use crate::problem::AllToAllInstance;
 use crate::protocols::AllToAllProtocol;
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use rayon::prelude::*;
 
 /// A fault-free Congested Clique algorithm, written node-locally.
 pub trait CliqueAlgorithm {
@@ -52,25 +70,40 @@ pub struct CompiledRun {
     pub rounds: u64,
 }
 
-/// Runs `algo` on `net` by simulating each of its rounds with `protocol`
-/// (Definition 1's reduction). The fault-free behaviour is recovered exactly
-/// whenever the protocol delivers all messages correctly.
-///
-/// # Errors
-///
-/// Propagates the protocol's [`CoreError`]s.
-pub fn compile<A: CliqueAlgorithm>(
+/// Maps `f` over indexed items, in parallel or serially, always collecting
+/// in input order — the one switch point between the parallel entry points
+/// and their serial oracles, so the two cannot drift apart.
+fn map_nodes<T: Send, U: Send>(
+    parallel: bool,
+    items: Vec<T>,
+    f: impl Fn(usize, T) -> U + Send + Sync,
+) -> Vec<U> {
+    let indexed: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    if parallel {
+        indexed.into_par_iter().map(|(i, x)| f(i, x)).collect()
+    } else {
+        indexed.into_iter().map(|(i, x)| f(i, x)).collect()
+    }
+}
+
+fn compile_impl<A>(
     net: &mut Network,
     algo: &A,
     protocol: &dyn AllToAllProtocol,
-) -> Result<CompiledRun, CoreError> {
+    parallel: bool,
+) -> Result<CompiledRun, CoreError>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
     let n = net.n();
     let b = algo.message_bits();
     let rounds_before = net.rounds();
     let mut states: Vec<A::State> = (0..n).map(|u| algo.init(u, n)).collect();
     for r in 0..algo.round_count() {
-        let messages: Vec<Vec<BitVec>> = (0..n)
-            .map(|u| {
+        let messages: Vec<Vec<BitVec>> = {
+            let states = &states;
+            map_nodes(parallel, (0..n).collect(), |_, u: usize| {
                 (0..n)
                     .map(|v| {
                         let m = algo.send(r, u, v, &states[u]);
@@ -79,24 +112,29 @@ pub fn compile<A: CliqueAlgorithm>(
                     })
                     .collect()
             })
-            .collect();
+        };
         let inst = AllToAllInstance::new(n, b, messages);
         let output = protocol.run(net, &inst)?;
-        for u in 0..n {
-            let inbox: Vec<BitVec> = (0..n)
-                .map(|s| {
+        // Transpose by move: row `u` of the receiver-major output *is*
+        // node `u`'s inbox (missing messages become zeros, the node's own
+        // slot its local message).
+        let rows = output.into_received_rows();
+        let work: Vec<(A::State, Vec<Option<BitVec>>)> = states.into_iter().zip(rows).collect();
+        states = map_nodes(parallel, work, |u, (mut state, row)| {
+            let inbox: Vec<BitVec> = row
+                .into_iter()
+                .enumerate()
+                .map(|(s, m)| {
                     if s == u {
                         inst.message(u, u).clone()
                     } else {
-                        output
-                            .received(u, s)
-                            .cloned()
-                            .unwrap_or_else(|| BitVec::zeros(b))
+                        m.unwrap_or_else(|| BitVec::zeros(b))
                     }
                 })
                 .collect();
-            algo.receive(r, u, &mut states[u], &inbox);
-        }
+            algo.receive(r, u, &mut state, &inbox);
+            state
+        });
     }
     Ok(CompiledRun {
         outputs: (0..n).map(|u| algo.output(u, &states[u])).collect(),
@@ -104,19 +142,183 @@ pub fn compile<A: CliqueAlgorithm>(
     })
 }
 
-/// Runs `algo` with no adversary and no simulation (the ground truth).
-pub fn run_fault_free<A: CliqueAlgorithm>(algo: &A, n: usize) -> Vec<BitVec> {
-    let b = algo.message_bits();
+/// Runs `algo` on `net` by simulating each of its rounds with `protocol`
+/// (Definition 1's reduction), fanning the node-local send/receive work out
+/// across threads. Bit-identical to [`compile_serial`]. The fault-free
+/// behaviour is recovered exactly whenever the protocol delivers all
+/// messages correctly.
+///
+/// # Errors
+///
+/// Propagates the protocol's [`CoreError`]s.
+pub fn compile<A>(
+    net: &mut Network,
+    algo: &A,
+    protocol: &dyn AllToAllProtocol,
+) -> Result<CompiledRun, CoreError>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    compile_impl(net, algo, protocol, true)
+}
+
+/// Serial reference implementation of [`compile`]: same per-node work, one
+/// thread. Kept public as the determinism oracle.
+///
+/// # Errors
+///
+/// Propagates the protocol's [`CoreError`]s.
+pub fn compile_serial<A>(
+    net: &mut Network,
+    algo: &A,
+    protocol: &dyn AllToAllProtocol,
+) -> Result<CompiledRun, CoreError>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    compile_impl(net, algo, protocol, false)
+}
+
+fn run_fault_free_impl<A>(algo: &A, n: usize, parallel: bool) -> Vec<BitVec>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
     let mut states: Vec<A::State> = (0..n).map(|u| algo.init(u, n)).collect();
     for r in 0..algo.round_count() {
-        let all: Vec<Vec<BitVec>> = (0..n)
-            .map(|u| (0..n).map(|v| algo.send(r, u, v, &states[u])).collect())
+        let all: Vec<Vec<BitVec>> = {
+            let states = &states;
+            map_nodes(parallel, (0..n).collect(), |_, u: usize| {
+                (0..n).map(|v| algo.send(r, u, v, &states[u])).collect()
+            })
+        };
+        // Transpose by move: inbox[u][s] = all[s][u], no clones.
+        let mut senders: Vec<_> = all.into_iter().map(Vec::into_iter).collect();
+        let inboxes: Vec<Vec<BitVec>> = (0..n)
+            .map(|_| {
+                senders
+                    .iter_mut()
+                    .map(|row| row.next().expect("square message matrix"))
+                    .collect()
+            })
             .collect();
-        for u in 0..n {
-            let inbox: Vec<BitVec> = (0..n).map(|s| all[s][u].clone()).collect();
-            let _ = b;
-            algo.receive(r, u, &mut states[u], &inbox);
-        }
+        let work: Vec<(A::State, Vec<BitVec>)> = states.into_iter().zip(inboxes).collect();
+        states = map_nodes(parallel, work, |u, (mut state, inbox)| {
+            algo.receive(r, u, &mut state, &inbox);
+            state
+        });
     }
     (0..n).map(|u| algo.output(u, &states[u])).collect()
+}
+
+/// Runs `algo` with no adversary and no simulation (the ground truth), with
+/// the per-node phases parallelized. Bit-identical to
+/// [`run_fault_free_serial`].
+pub fn run_fault_free<A>(algo: &A, n: usize) -> Vec<BitVec>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    run_fault_free_impl(algo, n, true)
+}
+
+/// Serial reference implementation of [`run_fault_free`] (the determinism
+/// oracle).
+pub fn run_fault_free_serial<A>(algo: &A, n: usize) -> Vec<BitVec>
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
+    run_fault_free_impl(algo, n, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cc::{BooleanMatMul, MaxTwoPhase, SumAll, Transpose};
+    use crate::protocols::{DetHypercube, NaiveExchange};
+    use bdclique_adversary::adaptive::GreedyLoad;
+    use bdclique_adversary::Payload;
+    use bdclique_netsim::{Adversary, Network};
+
+    fn attacked_net(n: usize) -> Network {
+        let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, 77));
+        Network::new(n, 9, 0.07, adversary)
+    }
+
+    /// The thread fan-out must be invisible: every output bit and the round
+    /// count match the serial oracle exactly, across heterogeneous
+    /// algorithms, protocols, and an active adversary — the same contract
+    /// `bdclique_bench::aggregate` keeps with `aggregate_serial`.
+    #[test]
+    fn parallel_compile_is_bit_identical_to_serial() {
+        let n = 16usize;
+        let sum = SumAll {
+            inputs: (0..n as u64).map(|i| i * 13 + 7).collect(),
+            width: 8,
+        };
+        let max = MaxTwoPhase {
+            inputs: (0..n as u64).map(|i| (i * 37) % 101).collect(),
+            width: 8,
+        };
+        let transpose = Transpose {
+            rows: (0..n)
+                .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
+                .collect(),
+            width: 8,
+        };
+        let matmul = BooleanMatMul {
+            a: (0..n as u64).map(|u| (u * 0x9e) & 0xffff).collect(),
+            b: (0..n as u64).map(|u| (u * 0x5b + 3) & 0xffff).collect(),
+        };
+
+        macro_rules! check {
+            ($algo:expr) => {{
+                assert_eq!(
+                    run_fault_free(&$algo, n),
+                    run_fault_free_serial(&$algo, n),
+                    "{}: fault-free parallel/serial divergence",
+                    $algo.name()
+                );
+                for proto in [
+                    &NaiveExchange as &dyn AllToAllProtocol,
+                    &DetHypercube::default(),
+                ] {
+                    let par = compile(&mut attacked_net(n), &$algo, proto).unwrap();
+                    let ser = compile_serial(&mut attacked_net(n), &$algo, proto).unwrap();
+                    assert_eq!(
+                        par.outputs,
+                        ser.outputs,
+                        "{} via {}: compiled parallel/serial divergence",
+                        $algo.name(),
+                        proto.name()
+                    );
+                    assert_eq!(par.rounds, ser.rounds);
+                }
+            }};
+        }
+        check!(sum);
+        check!(max);
+        check!(transpose);
+        check!(matmul);
+    }
+
+    /// The compiled clean path still recovers the fault-free reference (the
+    /// clone-free inbox transpose must not reorder or drop messages).
+    #[test]
+    fn clone_free_inboxes_preserve_semantics() {
+        let n = 8usize;
+        let algo = Transpose {
+            rows: (0..n)
+                .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
+                .collect(),
+            width: 6,
+        };
+        let reference = run_fault_free(&algo, n);
+        let mut net = Network::new(n, 8, 0.0, Adversary::none());
+        let run = compile(&mut net, &algo, &NaiveExchange).unwrap();
+        assert_eq!(run.outputs, reference);
+    }
 }

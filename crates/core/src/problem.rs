@@ -26,7 +26,8 @@ pub struct AllToAllInstance {
 }
 
 impl AllToAllInstance {
-    /// Builds an instance from explicit messages (`messages[u][v]`).
+    /// Builds an instance from explicit messages (`messages[u][v]`), moving
+    /// the rows in without cloning.
     ///
     /// # Panics
     ///
@@ -35,11 +36,11 @@ impl AllToAllInstance {
     pub fn new(n: usize, b: usize, messages: Vec<Vec<BitVec>>) -> Self {
         assert_eq!(messages.len(), n, "need one row per node");
         let mut flat = Vec::with_capacity(n * n);
-        for row in &messages {
+        for row in messages {
             assert_eq!(row.len(), n, "need one message per target");
             for m in row {
                 assert_eq!(m.len(), b, "every message must be exactly {b} bits");
-                flat.push(m.clone());
+                flat.push(m);
             }
         }
         Self {
@@ -119,6 +120,14 @@ impl AllToAllOutput {
     /// What `v` believes `m_{u,v}` is.
     pub fn received(&self, v: usize, u: usize) -> Option<&BitVec> {
         self.received[v * self.n + u].as_ref()
+    }
+
+    /// Consumes the output into receiver-major rows (`rows[v][u]`), moving
+    /// every message out without cloning — the compiler's inbox transpose.
+    pub fn into_received_rows(self) -> Vec<Vec<Option<BitVec>>> {
+        let n = self.n;
+        let mut it = self.received.into_iter();
+        (0..n).map(|_| it.by_ref().take(n).collect()).collect()
     }
 
     /// Number of nodes.

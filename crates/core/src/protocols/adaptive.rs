@@ -128,7 +128,7 @@ fn scatter_codewords(
                 if r == h {
                     continue;
                 }
-                let mut frame = BitVec::zeros(pack.len() * mf as usize);
+                let mut frame = net.frame_buffer(pack.len() * mf as usize);
                 for (lane, &c) in pack.iter().enumerate() {
                     frame.write_uint(lane * mf as usize, mf, codewords[h][c][r] as u64);
                 }
@@ -143,19 +143,15 @@ fn scatter_codewords(
         }
         let delivery = net.exchange(traffic);
         for r in 0..positions.min(n) {
-            for h in 0..n {
-                if r == h {
-                    continue;
-                }
-                if let Some(frame) = delivery.received(r, h) {
-                    for (lane, &c) in pack.iter().enumerate() {
-                        if frame.len() >= (lane + 1) * mf as usize {
-                            symbols[r][h][c] = frame.read_uint(lane * mf as usize, mf) as u16;
-                        }
+            for (h, frame) in delivery.inbox_of(r) {
+                for (lane, &c) in pack.iter().enumerate() {
+                    if frame.len() >= (lane + 1) * mf as usize {
+                        symbols[r][h][c] = frame.read_uint(lane * mf as usize, mf) as u16;
                     }
                 }
             }
         }
+        net.reclaim(delivery);
     }
     Ok(symbols)
 }

@@ -25,8 +25,10 @@ impl AllToAllProtocol for NaiveExchange {
         let slices = b.div_ceil(net.bandwidth()).max(1);
         let per = b.div_ceil(slices);
         let mut out = AllToAllOutput::empty(n);
+        // Pre-zeroed assembly buffers: delivered slices are written in
+        // place, missing or short frames simply leave zeros behind.
         let mut partial: Vec<Vec<bdclique_bits::BitVec>> =
-            vec![vec![bdclique_bits::BitVec::new(); n]; n];
+            vec![vec![bdclique_bits::BitVec::zeros(b); n]; n];
         for s in 0..slices {
             let lo = s * per;
             let hi = ((s + 1) * per).min(b);
@@ -40,26 +42,27 @@ impl AllToAllProtocol for NaiveExchange {
             }
             let delivery = net.exchange(traffic);
             for v in 0..n {
-                for u in 0..n {
-                    if u == v {
-                        continue;
+                for (u, piece) in delivery.inbox_of(v) {
+                    let dst = &mut partial[v][u];
+                    if piece.len() <= hi - lo {
+                        // Common case: the slice fits its window exactly.
+                        dst.write_bits(lo, piece);
+                    } else {
+                        // Overlong (adversarial) frame: clamp to the window.
+                        for i in 0..hi - lo {
+                            dst.set(lo + i, piece.get(i));
+                        }
                     }
-                    let mut piece = delivery
-                        .received(v, u)
-                        .cloned()
-                        .unwrap_or_else(|| bdclique_bits::BitVec::zeros(hi - lo));
-                    piece.pad_to(hi - lo);
-                    piece.truncate(hi - lo);
-                    partial[v][u].extend_bits(&piece);
                 }
             }
+            net.reclaim(delivery);
         }
-        for v in 0..n {
-            for u in 0..n {
+        for (v, row) in partial.into_iter().enumerate() {
+            for (u, assembled) in row.into_iter().enumerate() {
                 if u == v {
                     out.set(v, u, inst.message(u, u).clone());
                 } else {
-                    out.set(v, u, partial[v][u].clone());
+                    out.set(v, u, assembled);
                 }
             }
         }

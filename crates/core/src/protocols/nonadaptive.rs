@@ -95,7 +95,17 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
             for u in 0..n {
                 let my_shifts = decode_shifts(&received_shifts[u]);
                 for w in 0..n {
-                    let mut frame = BitVec::zeros(group.len() * b);
+                    if w == u {
+                        // Relay is the sender itself: store locally.
+                        for &i in &group {
+                            let v = (u + n - my_shifts[i]) % n;
+                            if v != u {
+                                copy_store[u][i][u] = Some(inst.message(u, v).clone());
+                            }
+                        }
+                        continue;
+                    }
+                    let mut frame = net.frame_buffer(group.len() * b);
                     let mut any = false;
                     for (pos, &i) in group.iter().enumerate() {
                         let v = (w + n - my_shifts[i]) % n;
@@ -104,38 +114,28 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
                         }
                         let msg = inst.message(u, v);
                         for t in 0..b {
-                            frame.set(pos * b + t, msg.get(t));
+                            if msg.get(t) {
+                                frame.set(pos * b + t, true);
+                            }
                         }
                         any = true;
                     }
-                    if w != u && any {
+                    if any {
                         traffic.send(u, w, frame);
-                    } else if w == u {
-                        // Relay is the sender itself: store locally.
-                        for &i in &group {
-                            let v = (u + n - my_shifts[i]) % n;
-                            if v != u {
-                                copy_store[u][i][u] = Some(inst.message(u, v).clone());
-                            }
-                        }
                     }
                 }
             }
             let delivery = net.exchange(traffic);
             for w in 0..n {
-                for u in 0..n {
-                    if u == w {
-                        continue;
-                    }
-                    if let Some(frame) = delivery.received(w, u) {
-                        for (pos, &i) in group.iter().enumerate() {
-                            if frame.len() >= (pos + 1) * b {
-                                copy_store[w][i][u] = Some(frame.slice(pos * b, (pos + 1) * b));
-                            }
+                for (u, frame) in delivery.inbox_of(w) {
+                    for (pos, &i) in group.iter().enumerate() {
+                        if frame.len() >= (pos + 1) * b {
+                            copy_store[w][i][u] = Some(frame.slice(pos * b, (pos + 1) * b));
                         }
                     }
                 }
             }
+            net.reclaim(delivery);
             copy_group_start += group.len();
         }
 

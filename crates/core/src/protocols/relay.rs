@@ -76,44 +76,39 @@ impl AllToAllProtocol for RelayReplication {
 
             // Hop 2: c -> v. Relay w received the copy from u destined to
             // v where w = (u + v + h) mod n; for each sender u the target is
-            // v = (w - u - h) mod n.
+            // v = (w - u - h) mod n. Forwarding walks each relay's inbox and
+            // moves the frames on — O(received frames), no clones, no n²
+            // probe sweep.
             let mut traffic = net.traffic();
-            for w in 0..n {
-                for u in 0..n {
-                    let (payload, v) = if u == w {
-                        match &local[w] {
-                            Some((v, m)) => (Some(m.clone()), *v),
-                            None => continue,
-                        }
-                    } else {
-                        let v = (w + 2 * n - u - h) % n;
-                        (d1.received(w, u).cloned(), v)
-                    };
-                    if v == u || v >= n {
+            for (w, inbox) in d1.into_inboxes().into_iter().enumerate() {
+                if let Some((v, m)) = local[w].take() {
+                    // The relay was the sender itself (u == w).
+                    if v != w {
+                        traffic.send(w, v, m);
+                    }
+                }
+                for (u, m) in inbox {
+                    let u = u as usize;
+                    let v = (w + 2 * n - u - h) % n;
+                    if v == u {
                         continue;
                     }
-                    if let Some(m) = payload {
-                        if v == w {
-                            votes[v][u].push(m);
-                        } else {
-                            traffic.send(w, v, m);
-                        }
+                    if v == w {
+                        votes[v][u].push(m);
+                    } else {
+                        traffic.send(w, v, m);
                     }
                 }
             }
             let d2 = net.exchange(traffic);
-            for v in 0..n {
-                for u in 0..n {
+            // Receiver side of hop 2: invert the relay map per sender.
+            for (v, inbox) in d2.into_inboxes().into_iter().enumerate() {
+                for (w, m) in inbox {
+                    let u = (w as usize + 2 * n - v - h) % n;
                     if u == v {
                         continue;
                     }
-                    let w = relay(u, v);
-                    if w == v {
-                        continue; // already recorded locally
-                    }
-                    if let Some(m) = d2.received(v, w) {
-                        votes[v][u].push(m.clone());
-                    }
+                    votes[v][u].push(m);
                 }
             }
         }

@@ -191,31 +191,21 @@ pub fn route_coverfree(
     let in_load = &params.in_load;
     let out_load = &params.out_load;
 
-    // relay_msg[u * n + w] = the unique message from u relayed by w (when
-    // InLoad(u, w) == 1).
-    let mut relay_msg = vec![usize::MAX; n * n];
-    for (idx, msg) in instance.messages.iter().enumerate() {
-        for &w in &sets[idx] {
-            if in_load[msg.src * n + w as usize] == 1 {
-                relay_msg[msg.src * n + w as usize] = idx;
-            }
-        }
-    }
-    // target_msg[w * n + v]: the unique message relayed by w for target v
-    // (when OutLoad(w, v) == 1).
-    let mut target_msg = vec![usize::MAX; n * n];
-    for (idx, msg) in instance.messages.iter().enumerate() {
-        let mut uniq = msg.targets.clone();
-        uniq.sort_unstable();
-        uniq.dedup();
-        for &v in &uniq {
-            for &w in &sets[idx] {
-                if out_load[w as usize * n + v] == 1 {
-                    target_msg[w as usize * n + v] = idx;
-                }
-            }
-        }
-    }
+    // Deduplicated target lists, computed once. All per-round loops below
+    // iterate messages × receiver-set positions — O(m·L) work proportional
+    // to the frames actually sent, never an n² relay/target table scan
+    // (the former `relay_msg`/`target_msg` matrices alone were 2·n²
+    // words — 256 MiB at n = 4096).
+    let uniq_targets: Vec<Vec<usize>> = instance
+        .messages
+        .iter()
+        .map(|msg| {
+            let mut uniq = msg.targets.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            uniq
+        })
+        .collect();
 
     let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
     for msg in &instance.messages {
@@ -265,7 +255,7 @@ pub fn route_coverfree(
                     }
                     let frame = frames
                         .entry((msg.src, w))
-                        .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
+                        .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
                     frame.set(lane * params.slot, true);
                     frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
                 }
@@ -276,19 +266,22 @@ pub fn route_coverfree(
         }
         let delivery1 = net.exchange(traffic);
 
-        // ---- Relays note what they hold: (lane, msg) -> Option<sym>. ----
+        // ---- Relays note what they hold: (lane, msg) -> Option<sym>.
+        // `InLoad(src, w) == 1` makes the message a relay expects from a
+        // sender unique, so walking messages × set positions recovers
+        // exactly the old dense relay-table scan in O(m·L).
         let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
         for (lane, _) in pack.iter().enumerate() {
-            for u in 0..n {
-                for w in 0..n {
-                    let idx = relay_msg[u * n + w];
-                    if idx == usize::MAX {
+            for (idx, msg) in instance.messages.iter().enumerate() {
+                for &w in &sets[idx] {
+                    let w = w as usize;
+                    if in_load[msg.src * n + w] != 1 {
                         continue;
                     }
-                    let val = if w == u {
+                    let val = if w == msg.src {
                         src_local.get(&(lane, idx)).copied()
                     } else {
-                        match delivery1.received(w, u) {
+                        match delivery1.received(w, msg.src) {
                             Some(f)
                                 if f.len() >= (lane + 1) * params.slot
                                     && f.get(lane * params.slot) =>
@@ -302,28 +295,30 @@ pub fn route_coverfree(
                 }
             }
         }
+        net.reclaim(delivery1);
 
         // ---- Round 2: relays forward to targets (OutLoad filter). ----
         let mut traffic = net.traffic();
         let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
         for (lane, _) in pack.iter().enumerate() {
-            for w in 0..n {
-                for v in 0..n {
-                    let idx = target_msg[w * n + v];
-                    if idx == usize::MAX || v == w {
-                        continue;
-                    }
-                    let src = instance.messages[idx].src;
-                    if in_load[src * n + w] != 1 {
+            for (idx, msg) in instance.messages.iter().enumerate() {
+                for &w in &sets[idx] {
+                    let w = w as usize;
+                    if in_load[msg.src * n + w] != 1 {
                         continue; // w never expected this symbol
                     }
                     let val = relay_val.get(&(lane, idx, w)).copied().flatten();
-                    let frame = frames
-                        .entry((w, v))
-                        .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
-                    if let Some(sym) = val {
-                        frame.set(lane * params.slot, true);
-                        frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
+                    for &v in &uniq_targets[idx] {
+                        if v == w || out_load[w * n + v] != 1 {
+                            continue;
+                        }
+                        let frame = frames
+                            .entry((w, v))
+                            .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
+                        if let Some(sym) = val {
+                            frame.set(lane * params.slot, true);
+                            frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
+                        }
                     }
                 }
             }
@@ -336,10 +331,7 @@ pub fn route_coverfree(
         // ---- Decode at targets. ----
         for (lane, &chunk) in pack.iter().enumerate() {
             for (idx, msg) in instance.messages.iter().enumerate() {
-                let mut uniq = msg.targets.clone();
-                uniq.sort_unstable();
-                uniq.dedup();
-                for &v in &uniq {
+                for &v in &uniq_targets[idx] {
                     if v == msg.src {
                         continue;
                     }
@@ -386,6 +378,7 @@ pub fn route_coverfree(
                 }
             }
         }
+        net.reclaim(delivery2);
     }
 
     for ((v, idx), chunks) in chunk_store {

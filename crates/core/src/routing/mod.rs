@@ -4,7 +4,7 @@
 //! with a payload of at most `payload_bits` bits and a target list known to
 //! all nodes. Two execution engines implement the same contract:
 //!
-//! * [`unit`](self::unit) — the *scheduled unit-instance* engine: messages are greedily
+//! * [`mod@unit`] — the *scheduled unit-instance* engine: messages are greedily
 //!   colored into stages so that each stage has per-node source- and
 //!   target-multiplicity 1, and every stage scatters one Reed–Solomon
 //!   codeword symbol per relay node. Maximal decode margin

@@ -161,10 +161,14 @@ pub fn route_unit(
     // Accumulated decoded chunks: per (target, msg_idx) -> Vec<Option<BitVec>>.
     let mut chunk_store: HashMap<(usize, usize), Vec<Option<BitVec>>> = HashMap::new();
 
-    // Messages grouped by stage for quick lookup.
+    // Messages grouped by stage for quick lookup; within a stage, sources
+    // are distinct, so a per-stage source → message map lets relays
+    // attribute an incoming frame in O(1).
     let mut stage_msgs: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+    let mut stage_src_msg: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_stages];
     for (idx, &s) in stage_of.iter().enumerate() {
         stage_msgs[s].push(idx);
+        stage_src_msg[s].insert(instance.messages[idx].src, idx);
     }
 
     for pack in work.chunks(params.lanes) {
@@ -186,7 +190,7 @@ pub fn route_unit(
                     }
                     let frame = frames_a
                         .entry((msg.src, w))
-                        .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
+                        .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
                     frame.set(lane * params.slot, true); // validity
                     frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
                 }
@@ -197,32 +201,35 @@ pub fn route_unit(
         }
         let delivery_a = net.exchange(traffic);
 
-        // ---- Relay bookkeeping: relay_val[(lane, msg, w)] = Option<symbol>.
+        // ---- Relay bookkeeping: relay_val[(lane, msg, w)] = symbol.
         // A relay holds one symbol per active message in the stage (sources
         // are distinct within a stage, so the round-A frame identifies the
-        // message).
+        // message). Walking each relay's inbox costs O(frames received);
+        // absent map entries read back as `None` downstream.
         let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
         for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
             for &mi in &stage_msgs[stage] {
                 let msg = &instance.messages[mi];
-                for w in 0..params.l {
-                    let val = if w == msg.src {
-                        src_local.get(&(lane, mi)).copied()
-                    } else {
-                        match delivery_a.received(w, msg.src) {
-                            Some(f)
-                                if f.len() >= (lane + 1) * params.slot
-                                    && f.get(lane * params.slot) =>
-                            {
-                                Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
-                            }
-                            _ => None,
-                        }
-                    };
-                    relay_val.insert((lane, mi, w), val);
+                if msg.src < params.l {
+                    // The source is its own relay for position src.
+                    relay_val.insert((lane, mi, msg.src), src_local.get(&(lane, mi)).copied());
                 }
             }
         }
+        for w in 0..params.l.min(n) {
+            for (src, f) in delivery_a.inbox_of(w) {
+                for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+                    let Some(&mi) = stage_src_msg[stage].get(&src) else {
+                        continue;
+                    };
+                    if f.len() >= (lane + 1) * params.slot && f.get(lane * params.slot) {
+                        let sym = f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16;
+                        relay_val.insert((lane, mi, w), Some(sym));
+                    }
+                }
+            }
+        }
+        net.reclaim(delivery_a);
 
         // ---- Round B: relays forward to targets. ----
         let mut traffic = net.traffic();
@@ -241,7 +248,7 @@ pub fn route_unit(
                         let val = relay_val.get(&(lane, mi, w)).copied().flatten();
                         let frame = frames_b
                             .entry((w, x))
-                            .or_insert_with(|| BitVec::zeros(params.lanes * params.slot));
+                            .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
                         if let Some(sym) = val {
                             frame.set(lane * params.slot, true);
                             frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
@@ -300,6 +307,7 @@ pub fn route_unit(
                 }
             }
         }
+        net.reclaim(delivery_b);
     }
 
     // Assemble chunked payloads.

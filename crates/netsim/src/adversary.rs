@@ -13,6 +13,7 @@
 //! matrix clone, and nothing at all for frames it only reads.
 
 use crate::history::History;
+use crate::network::PublishedLog;
 use crate::traffic::Traffic;
 use bdclique_bits::BitVec;
 use std::collections::HashMap;
@@ -109,9 +110,10 @@ impl EdgeSet {
 pub struct AdversaryView<'a> {
     /// Current round index (0-based).
     pub round: u64,
-    /// Bit strings published by the protocol (e.g. broadcast randomness) —
-    /// visible to *adaptive* adversaries only; empty for non-adaptive ones.
-    pub published: &'a [(String, BitVec)],
+    /// Bit strings published by the protocol (e.g. broadcast randomness),
+    /// indexed by label — visible to *adaptive* adversaries only; empty for
+    /// non-adaptive ones.
+    pub published: &'a PublishedLog,
     /// The recorded transcript of prior rounds (footnote 4's knowledge) —
     /// adaptive adversaries only; empty for non-adaptive ones.
     pub history: &'a History,
@@ -140,6 +142,26 @@ impl IntendedOverlay {
             Some(original) => original.as_ref(),
             None => traffic.frame(from, to),
         }
+    }
+
+    /// All directed slots carrying *intended* traffic, as
+    /// `(from, to, frame bits)` in ascending `(from, to)` order —
+    /// `O(frames + rewrites)` on the sparse backend, never an `n²` scan.
+    /// This is the substrate behind the strategies' busy-edge discovery.
+    fn intended_frames(&self, traffic: &Traffic) -> Vec<(usize, usize, usize)> {
+        let mut out = Vec::new();
+        traffic.for_each_frame(|from, to, bits| {
+            if !self.originals.contains_key(&(from, to)) {
+                out.push((from, to, bits.len()));
+            }
+        });
+        for (&(from, to), original) in &self.originals {
+            if let Some(bits) = original {
+                out.push((from, to, bits.len()));
+            }
+        }
+        out.sort_unstable();
+        out
     }
 
     /// The one corruption sequence both scopes share: enforce the bandwidth
@@ -243,6 +265,14 @@ impl<'a> CorruptionScope<'a> {
         self.traffic.frame(from, to)
     }
 
+    /// All directed slots carrying intended traffic, as
+    /// `(from, to, frame bits)` in ascending `(from, to)` order.
+    /// `O(frames + rewrites)` — strategies should prefer this over probing
+    /// all `n²` slots with [`CorruptionScope::intended`].
+    pub fn intended_frames(&self) -> Vec<(usize, usize, usize)> {
+        self.overlay.intended_frames(self.traffic)
+    }
+
     /// Network size.
     pub fn n(&self) -> usize {
         self.traffic.n()
@@ -328,6 +358,14 @@ impl<'a> AdaptiveScope<'a> {
         self.traffic.frame(from, to)
     }
 
+    /// All directed slots carrying intended traffic, as
+    /// `(from, to, frame bits)` in ascending `(from, to)` order.
+    /// `O(frames + rewrites)` — strategies should prefer this over probing
+    /// all `n²` slots with [`AdaptiveScope::intended`].
+    pub fn intended_frames(&self) -> Vec<(usize, usize, usize)> {
+        self.overlay.intended_frames(self.traffic)
+    }
+
     /// Network size.
     pub fn n(&self) -> usize {
         self.traffic.n()
@@ -396,12 +434,13 @@ impl Adversary {
         &mut self,
         round: u64,
         traffic: &mut Traffic,
-        published: &[(String, BitVec)],
+        published: &PublishedLog,
         history: &History,
         budget: usize,
     ) -> Result<(EdgeSet, u64), crate::network::NetworkError> {
         let n = traffic.n();
         let empty_history = History::default();
+        let empty_published = PublishedLog::default();
         match &mut self.kind {
             Kind::None => Ok((EdgeSet::new(n), 0)),
             Kind::NonAdaptive { plan, corruptor } => {
@@ -415,7 +454,8 @@ impl Adversary {
                 }
                 let view = AdversaryView {
                     round,
-                    published: &[], // non-adaptive adversaries never see randomness
+                    // Non-adaptive adversaries never see randomness.
+                    published: &empty_published,
                     history: &empty_history,
                 };
                 let mut scope = CorruptionScope::new(traffic, &edges);
@@ -526,6 +566,22 @@ mod tests {
         // An empty slot is empty in both views.
         assert_eq!(scope.intended(2, 0), None);
         assert_eq!(scope.current(2, 0), None);
+    }
+
+    /// Busy-edge discovery must list exactly the pre-corruption slots, in
+    /// ascending order, unaffected by suppressions or injections.
+    #[test]
+    fn intended_frames_lists_precorruption_slots() {
+        let mut traffic = Traffic::new(4, 4);
+        traffic.send(2, 3, BitVec::from_bools(&[false]));
+        traffic.send(0, 1, BitVec::from_bools(&[true, true]));
+        let mut scope = AdaptiveScope::new(&mut traffic, 2);
+        assert_eq!(scope.intended_frames(), vec![(0, 1, 2), (2, 3, 1)]);
+        // Suppress one slot, inject on an intended-empty one: the intended
+        // view is unchanged.
+        assert!(scope.try_corrupt(0, 1, None));
+        assert!(scope.try_corrupt(1, 0, Some(BitVec::from_bools(&[true]))));
+        assert_eq!(scope.intended_frames(), vec![(0, 1, 2), (2, 3, 1)]);
     }
 
     /// Same property for the non-adaptive scope, including slots that were

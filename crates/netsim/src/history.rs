@@ -15,8 +15,14 @@ pub enum HistoryMode {
     /// Record per-round digests only (corrupted edges, traffic volume).
     #[default]
     Digest,
-    /// Record digests plus the full intended traffic of every round —
-    /// the literal model of footnote 4; memory grows with rounds·n².
+    /// Record digests plus the full intended traffic of every round — the
+    /// literal model of footnote 4. Memory grows with **rounds · queued
+    /// frames** (each snapshot clones the round's [`Traffic`], which keeps
+    /// its sparse representation): a sparse protocol round costs
+    /// `O(frames)` per snapshot, and only genuinely dense rounds (load
+    /// factor ≥ 1/16, e.g. `NaiveExchange`) pay the `Θ(n²)` matrix. Long
+    /// dense runs at large `n` should still prefer
+    /// [`HistoryMode::Digest`].
     Full,
     /// Record nothing.
     None,

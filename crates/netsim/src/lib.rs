@@ -19,6 +19,16 @@
 //!   round's intended messages, and any randomness the protocol has
 //!   published (footnote 4's rushing adaptive adversary).
 //!
+//! # Storage layer
+//!
+//! A round's frame matrix lives in a [`Backend`]-selected store: sparse
+//! per-sender adjacency rows by default, auto-densifying to the flat matrix
+//! at load factor ≥ 1/16. Deliveries expose per-receiver iteration
+//! ([`Delivery::inbox_of`]) so receiving costs `O(frames)` rather than
+//! `O(n)` probes per node, and the [`Network`] recycles tables and frame
+//! buffers across rounds ([`Network::reclaim`], [`Network::frame_buffer`]).
+//! This is what scales experiments from `n = 64` to `n ≥ 4096`.
+//!
 //! # Examples
 //!
 //! ```
@@ -37,6 +47,7 @@ mod adversary;
 mod history;
 mod network;
 mod stats;
+mod store;
 mod traffic;
 
 pub use adversary::{
@@ -44,6 +55,7 @@ pub use adversary::{
     EdgePlan, EdgeSet,
 };
 pub use history::{History, HistoryMode, RoundRecord};
-pub use network::{Network, NetworkError};
+pub use network::{Network, NetworkError, PublishedLog};
 pub use stats::NetStats;
-pub use traffic::{Delivery, Traffic};
+pub use store::Backend;
+pub use traffic::{Delivery, Inbox, Traffic};

@@ -3,10 +3,56 @@
 use crate::adversary::Adversary;
 use crate::history::{History, HistoryMode};
 use crate::stats::NetStats;
+use crate::store::FrameArena;
 use crate::traffic::{Delivery, Traffic};
 use bdclique_bits::BitVec;
+use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+
+/// Everything the protocol has published to *adaptive* adversaries, indexed
+/// by label.
+///
+/// Retention policy: the log is **append-only for the lifetime of the
+/// network** — the paper's footnote-4 adversary conditions on *all* past
+/// randomness, so nothing is ever evicted. Publishing the same label again
+/// keeps both entries in [`PublishedLog::entries`] (the adversary saw the
+/// old value too) while [`PublishedLog::get`] resolves to the most recent
+/// one in O(1); adaptive strategies no longer need the linear scans the old
+/// bare `Vec<(String, BitVec)>` forced on them. Memory grows with the total
+/// published volume, which protocols keep at O(1) strings per run.
+#[derive(Debug, Clone, Default)]
+pub struct PublishedLog {
+    entries: Vec<(String, BitVec)>,
+    latest: HashMap<String, usize>,
+}
+
+impl PublishedLog {
+    pub(crate) fn push(&mut self, label: String, bits: BitVec) {
+        self.latest.insert(label.clone(), self.entries.len());
+        self.entries.push((label, bits));
+    }
+
+    /// The most recent bits published under `label`. O(1).
+    pub fn get(&self, label: &str) -> Option<&BitVec> {
+        self.latest.get(label).map(|&i| &self.entries[i].1)
+    }
+
+    /// All publications, oldest first (repeated labels appear repeatedly).
+    pub fn entries(&self) -> &[(String, BitVec)] {
+        &self.entries
+    }
+
+    /// Number of publications so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
 
 /// Errors surfaced by the simulator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,8 +98,9 @@ pub struct Network {
     adversary: Adversary,
     round: u64,
     stats: NetStats,
-    published: Vec<(String, BitVec)>,
+    published: PublishedLog,
     history: History,
+    arena: FrameArena,
 }
 
 impl Network {
@@ -74,8 +121,9 @@ impl Network {
             adversary,
             round: 0,
             stats: NetStats::default(),
-            published: Vec::new(),
+            published: PublishedLog::default(),
             history: History::new(HistoryMode::Digest),
+            arena: FrameArena::default(),
         }
     }
 
@@ -119,16 +167,39 @@ impl Network {
         &self.stats
     }
 
-    /// A fresh empty traffic matrix for this network's shape.
-    pub fn traffic(&self) -> Traffic {
-        Traffic::new(self.n, self.bandwidth)
+    /// A fresh empty traffic matrix for this network's shape, backed by the
+    /// network's frame arena: its sparse row tables are recycled from
+    /// earlier rounds rather than allocated fresh.
+    pub fn traffic(&mut self) -> Traffic {
+        Traffic::new_in(self.n, self.bandwidth, &mut self.arena)
+    }
+
+    /// A zeroed frame buffer of `len` bits drawn from the network's frame
+    /// arena. Hot send loops that build frames incrementally can use this
+    /// instead of `BitVec::zeros` so that buffers recycled through
+    /// [`Network::reclaim`] are reused rather than reallocated every round.
+    pub fn frame_buffer(&mut self, len: usize) -> BitVec {
+        self.arena.take_frame(len)
+    }
+
+    /// Returns a consumed [`Delivery`]'s tables and frame buffers to the
+    /// network's arena for reuse by later rounds. Optional — dropping a
+    /// delivery is always correct — but protocols that run many rounds cut
+    /// their allocator traffic substantially by reclaiming.
+    pub fn reclaim(&mut self, delivery: Delivery) {
+        delivery.recycle_into(&mut self.arena);
     }
 
     /// Publishes protocol-internal randomness to *adaptive* adversaries
     /// (modeling the rushing adaptive adversary's knowledge of node states;
     /// non-adaptive adversaries never see it).
     pub fn publish(&mut self, label: impl Into<String>, bits: BitVec) {
-        self.published.push((label.into(), bits));
+        self.published.push(label.into(), bits);
+    }
+
+    /// The published-randomness log (what an adaptive adversary can see).
+    pub fn published(&self) -> &PublishedLog {
+        &self.published
     }
 
     /// Executes one synchronous round: queue → corrupt → deliver.
@@ -190,7 +261,7 @@ impl Network {
 
         self.round += 1;
         self.stats.rounds = self.round;
-        Ok(traffic.into_delivery())
+        Ok(traffic.into_delivery(&mut self.arena))
     }
 }
 
@@ -367,6 +438,39 @@ mod tests {
             assert_eq!(intended.frame(0, 1), Some(&BitVec::from_bools(&[true])));
             assert_eq!(intended.frame(2, 3), Some(&BitVec::from_bools(&[false])));
         }
+    }
+
+    #[test]
+    fn published_log_indexes_latest_by_label() {
+        let mut net = Network::new(3, 2, 0.0, Adversary::none());
+        assert!(net.published().is_empty());
+        net.publish("R1", BitVec::from_bools(&[true]));
+        net.publish("R2", BitVec::from_bools(&[false]));
+        net.publish("R1", BitVec::from_bools(&[false, false]));
+        let log = net.published();
+        assert_eq!(log.len(), 3, "the log is append-only");
+        assert_eq!(log.get("R1"), Some(&BitVec::from_bools(&[false, false])));
+        assert_eq!(log.get("R2"), Some(&BitVec::from_bools(&[false])));
+        assert_eq!(log.get("R3"), None);
+        assert_eq!(log.entries()[0].0, "R1");
+    }
+
+    #[test]
+    fn reclaim_recycles_tables_and_frames_across_rounds() {
+        let mut net = Network::new(8, 4, 0.0, Adversary::none());
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true]));
+        t.send(3, 5, BitVec::from_bools(&[false, true]));
+        let d = net.exchange(t);
+        net.reclaim(d);
+        let (tables, frames) = net.arena.pooled();
+        assert!(tables >= 8, "row and inbox tables must be pooled");
+        assert!(frames >= 2, "reclaimed frame buffers must be pooled");
+        // A pooled buffer comes back zeroed at the requested length.
+        let buf = net.frame_buffer(3);
+        assert_eq!(buf, BitVec::zeros(3));
+        let (_, frames_after) = net.arena.pooled();
+        assert_eq!(frames_after, frames - 1, "frame_buffer draws from the pool");
     }
 
     #[test]

@@ -1,0 +1,397 @@
+//! Frame storage backends and the cross-round allocation arena.
+//!
+//! One round of clique traffic is logically an `n × n` matrix of optional
+//! frames, but the paper's protocols are *sparse* most rounds: the √n-relay
+//! waves, the cover-free router, and the relay-replication hops each queue
+//! `O(n·k)` frames with `k ≪ n`. Materializing the dense matrix costs
+//! `Θ(n²)` allocation and touch per round — at `n = 4096` that is ~16.7M
+//! `Option<BitVec>` slots per round, which is what capped experiments at
+//! toy sizes.
+//!
+//! [`FrameStore`] keeps both representations behind one interface:
+//!
+//! * **Dense** — the original row-major `Vec<Option<BitVec>>`; optimal for
+//!   full-matrix rounds (`NaiveExchange`, the compiler's direct exchanges).
+//! * **Sparse** — per-sender sorted adjacency rows `Vec<(to, frame)>`;
+//!   `O(frames)` memory, `O(log deg)` lookups, and ascending-id iteration
+//!   that keeps every consumer deterministic.
+//!
+//! [`crate::Traffic`] starts sparse and **auto-densifies** when the load
+//! factor crosses [`DENSE_SWITCH_DIVISOR`] (frames ≥ n²/16), so callers never
+//! choose a backend; benches and tests can pin one via
+//! [`crate::Traffic::with_backend`].
+//!
+//! [`FrameArena`] amortizes the remaining per-round allocations across
+//! rounds: emptied adjacency tables (with their capacity), reclaimed frame
+//! `BitVec` buffers, and the dense matrix buffer itself are pooled on the
+//! owning [`crate::Network`] and reissued instead of reallocated.
+
+use bdclique_bits::BitVec;
+
+/// Which concrete representation a [`crate::Traffic`] or
+/// [`crate::Delivery`] currently uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Row-major `n × n` matrix of optional frames.
+    Dense,
+    /// Per-sender sorted adjacency rows.
+    Sparse,
+}
+
+/// Auto-switch threshold: a sparse store densifies once
+/// `frame_count · DENSE_SWITCH_DIVISOR ≥ n²` (load factor ≥ 1/16). Below it
+/// the adjacency rows win on memory and iteration; above it the flat matrix
+/// wins on lookup and insert. 1/16 keeps genuinely sparse rounds (≤1% load)
+/// far from the switch while full-matrix rounds (NaiveExchange) pay for at
+/// most a 1/16 prefix of sparse inserts before landing on the flat matrix.
+pub const DENSE_SWITCH_DIVISOR: u64 = 16;
+
+/// Upper bound on pooled adjacency tables (rows + inbox columns of one
+/// round are at most `2n`; the cap just bounds a pathological caller).
+const MAX_POOLED_TABLES: usize = 1 << 16;
+/// Upper bound on pooled frame buffers.
+const MAX_POOLED_FRAMES: usize = 1 << 14;
+
+/// One sparse adjacency table: `(peer, frame)` pairs sorted by peer id.
+/// Used both sender-major (traffic rows) and receiver-major (delivery
+/// inbox columns).
+pub(crate) type AdjTable = Vec<(u32, BitVec)>;
+
+/// Cross-round pool of the allocations the round pipeline would otherwise
+/// make fresh every round. Owned by the [`crate::Network`]; fed by
+/// [`crate::Network::reclaim`] and the internal queue→deliver conversion.
+#[derive(Debug, Default)]
+pub(crate) struct FrameArena {
+    tables: Vec<AdjTable>,
+    frames: Vec<BitVec>,
+}
+
+impl FrameArena {
+    /// A recycled (empty, capacity-preserving) adjacency table.
+    fn take_table(&mut self) -> AdjTable {
+        self.tables.pop().unwrap_or_default()
+    }
+
+    /// `n` recycled adjacency tables.
+    pub(crate) fn take_tables(&mut self, n: usize) -> Vec<AdjTable> {
+        (0..n).map(|_| self.take_table()).collect()
+    }
+
+    /// Returns a table to the pool, harvesting any leftover frames.
+    pub(crate) fn put_table(&mut self, mut table: AdjTable) {
+        for (_, frame) in table.drain(..) {
+            self.put_frame(frame);
+        }
+        if self.tables.len() < MAX_POOLED_TABLES {
+            self.tables.push(table);
+        }
+    }
+
+    /// Returns a frame buffer to the pool.
+    pub(crate) fn put_frame(&mut self, frame: BitVec) {
+        if self.frames.len() < MAX_POOLED_FRAMES {
+            self.frames.push(frame);
+        }
+    }
+
+    /// A zeroed frame buffer of `len` bits, recycled when possible.
+    pub(crate) fn take_frame(&mut self, len: usize) -> BitVec {
+        match self.frames.pop() {
+            Some(mut buf) => {
+                buf.reset_zeros(len);
+                buf
+            }
+            None => BitVec::zeros(len),
+        }
+    }
+
+    /// Drains another arena's pools into this one (up to the caps) — how a
+    /// round's [`crate::Traffic`]-local recycling rejoins the network-wide
+    /// arena at exchange time.
+    pub(crate) fn absorb(&mut self, mut other: FrameArena) {
+        while self.tables.len() < MAX_POOLED_TABLES {
+            match other.tables.pop() {
+                Some(t) => self.tables.push(t),
+                None => break,
+            }
+        }
+        while self.frames.len() < MAX_POOLED_FRAMES {
+            match other.frames.pop() {
+                Some(f) => self.frames.push(f),
+                None => break,
+            }
+        }
+    }
+
+    /// Harvests a dense matrix's frames into the pool (the matrix buffer
+    /// itself is dropped — nothing downstream can reuse an `n²` buffer once
+    /// the round's `Traffic` has left the network).
+    pub(crate) fn put_matrix(&mut self, matrix: Vec<Option<BitVec>>) {
+        for frame in matrix.into_iter().flatten() {
+            self.put_frame(frame);
+        }
+    }
+
+    /// Pool occupancy `(tables, frames)` — an observable for tests
+    /// asserting that reclamation actually recycles.
+    #[cfg(test)]
+    pub(crate) fn pooled(&self) -> (usize, usize) {
+        (self.tables.len(), self.frames.len())
+    }
+}
+
+/// The frame matrix of one round, in either representation.
+#[derive(Debug, Clone)]
+pub(crate) enum FrameStore {
+    /// Row-major `frames[from · n + to]`.
+    Dense(Vec<Option<BitVec>>),
+    /// `rows[from]` sorted by `to`.
+    Sparse(Vec<AdjTable>),
+}
+
+impl FrameStore {
+    pub(crate) fn new_dense(n: usize) -> Self {
+        FrameStore::Dense(vec![None; n * n])
+    }
+
+    pub(crate) fn new_sparse(n: usize) -> Self {
+        FrameStore::Sparse(vec![AdjTable::new(); n])
+    }
+
+    /// A sparse store whose row tables come from the arena.
+    pub(crate) fn new_sparse_in(n: usize, arena: &mut FrameArena) -> Self {
+        FrameStore::Sparse(arena.take_tables(n))
+    }
+
+    pub(crate) fn backend(&self) -> Backend {
+        match self {
+            FrameStore::Dense(_) => Backend::Dense,
+            FrameStore::Sparse(_) => Backend::Sparse,
+        }
+    }
+
+    pub(crate) fn get(&self, n: usize, from: usize, to: usize) -> Option<&BitVec> {
+        match self {
+            FrameStore::Dense(frames) => frames[from * n + to].as_ref(),
+            FrameStore::Sparse(rows) => {
+                let row = &rows[from];
+                row.binary_search_by_key(&(to as u32), |&(t, _)| t)
+                    .ok()
+                    .map(|i| &row[i].1)
+            }
+        }
+    }
+
+    /// Replaces the slot `from → to`, returning the displaced frame.
+    pub(crate) fn replace(
+        &mut self,
+        n: usize,
+        from: usize,
+        to: usize,
+        bits: Option<BitVec>,
+    ) -> Option<BitVec> {
+        match self {
+            FrameStore::Dense(frames) => std::mem::replace(&mut frames[from * n + to], bits),
+            FrameStore::Sparse(rows) => {
+                let row = &mut rows[from];
+                let key = to as u32;
+                // Fast path: protocol send loops walk targets in ascending
+                // id order, so the overwhelmingly common insert is a tail
+                // append.
+                if row.last().is_none_or(|&(t, _)| t < key) {
+                    if let Some(b) = bits {
+                        row.push((key, b));
+                    }
+                    return None;
+                }
+                match row.binary_search_by_key(&key, |&(t, _)| t) {
+                    Ok(i) => match bits {
+                        Some(b) => Some(std::mem::replace(&mut row[i].1, b)),
+                        None => Some(row.remove(i).1),
+                    },
+                    Err(i) => {
+                        if let Some(b) = bits {
+                            row.insert(i, (key, b));
+                        }
+                        None
+                    }
+                }
+            }
+        }
+    }
+
+    /// Visits every frame in ascending `(from, to)` order.
+    pub(crate) fn for_each(&self, n: usize, mut f: impl FnMut(usize, usize, &BitVec)) {
+        match self {
+            FrameStore::Dense(frames) => {
+                for (i, slot) in frames.iter().enumerate() {
+                    if let Some(b) = slot {
+                        f(i / n, i % n, b);
+                    }
+                }
+            }
+            FrameStore::Sparse(rows) => {
+                for (from, row) in rows.iter().enumerate() {
+                    for (to, b) in row {
+                        f(from, *to as usize, b);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Converts sparse rows into the dense matrix (the auto-switch path).
+    /// The spent row tables go back to the arena when one is supplied.
+    pub(crate) fn densify(&mut self, n: usize, arena: Option<&mut FrameArena>) {
+        if let FrameStore::Sparse(rows) = self {
+            let mut frames = vec![None; n * n];
+            for (from, row) in rows.iter_mut().enumerate() {
+                for (to, b) in row.drain(..) {
+                    frames[from * n + to as usize] = Some(b);
+                }
+            }
+            if let Some(a) = arena {
+                for row in rows.drain(..) {
+                    a.put_table(row);
+                }
+            }
+            *self = FrameStore::Dense(frames);
+        }
+    }
+
+    /// Approximate heap bytes held by the store (matrix slots / adjacency
+    /// entries plus frame blocks) — the quantity the storage-layer bench
+    /// compares across backends.
+    pub(crate) fn heap_bytes(&self) -> usize {
+        let frame_bytes = |b: &BitVec| std::mem::size_of::<BitVec>() + b.len().div_ceil(64) * 8;
+        match self {
+            FrameStore::Dense(frames) => {
+                frames.capacity() * std::mem::size_of::<Option<BitVec>>()
+                    + frames
+                        .iter()
+                        .flatten()
+                        .map(|b| b.len().div_ceil(64) * 8)
+                        .sum::<usize>()
+            }
+            FrameStore::Sparse(rows) => {
+                rows.capacity() * std::mem::size_of::<AdjTable>()
+                    + rows
+                        .iter()
+                        .map(|row| {
+                            row.capacity() * std::mem::size_of::<(u32, BitVec)>()
+                                + row
+                                    .iter()
+                                    .map(|(_, b)| frame_bytes(b) - std::mem::size_of::<BitVec>())
+                                    .sum::<usize>()
+                        })
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(bits: &[bool]) -> BitVec {
+        BitVec::from_bools(bits)
+    }
+
+    #[test]
+    fn sparse_and_dense_agree_on_replace_get() {
+        let n = 5;
+        let mut dense = FrameStore::new_dense(n);
+        let mut sparse = FrameStore::new_sparse(n);
+        let ops: &[(usize, usize, Option<&[bool]>)] = &[
+            (0, 3, Some(&[true, false])),
+            (0, 1, Some(&[true])),
+            (0, 3, Some(&[false])), // overwrite
+            (4, 2, Some(&[true, true])),
+            (0, 1, None), // clear
+            (2, 0, None), // clear empty slot
+        ];
+        for &(f, t, bits) in ops {
+            let b = bits.map(bv);
+            let da = dense.replace(n, f, t, b.clone());
+            let sa = sparse.replace(n, f, t, b);
+            assert_eq!(da, sa, "displaced frames differ at ({f},{t})");
+        }
+        for f in 0..n {
+            for t in 0..n {
+                assert_eq!(dense.get(n, f, t), sparse.get(n, f, t), "slot ({f},{t})");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_is_ascending_and_identical_across_backends() {
+        let n = 4;
+        let mut dense = FrameStore::new_dense(n);
+        let mut sparse = FrameStore::new_sparse(n);
+        for &(f, t) in &[(3usize, 0usize), (1, 2), (0, 3), (1, 0)] {
+            let b = bv(&[f % 2 == 0, t % 2 == 0]);
+            dense.replace(n, f, t, Some(b.clone()));
+            sparse.replace(n, f, t, Some(b));
+        }
+        let collect = |s: &FrameStore| {
+            let mut v = Vec::new();
+            s.for_each(n, |f, t, b| v.push((f, t, b.clone())));
+            v
+        };
+        let d = collect(&dense);
+        let s = collect(&sparse);
+        assert_eq!(d, s);
+        let mut sorted = d.clone();
+        sorted.sort_by_key(|&(f, t, _)| (f, t));
+        assert_eq!(d, sorted, "iteration must be ascending (from, to)");
+    }
+
+    #[test]
+    fn densify_preserves_contents_and_recycles_tables() {
+        let n = 4;
+        let mut arena = FrameArena::default();
+        let mut store = FrameStore::new_sparse_in(n, &mut arena);
+        store.replace(n, 1, 2, Some(bv(&[true])));
+        store.replace(n, 3, 0, Some(bv(&[false, true])));
+        store.densify(n, Some(&mut arena));
+        assert_eq!(store.backend(), Backend::Dense);
+        assert_eq!(store.get(n, 1, 2), Some(&bv(&[true])));
+        assert_eq!(store.get(n, 3, 0), Some(&bv(&[false, true])));
+        assert_eq!(store.get(n, 0, 1), None);
+        let (tables, _) = arena.pooled();
+        assert_eq!(tables, n, "spent rows must return to the arena");
+    }
+
+    #[test]
+    fn arena_recycles_frames_from_tables_and_matrices() {
+        let mut arena = FrameArena::default();
+        arena.put_table(vec![(7, bv(&[true, true, true]))]);
+        let (tables, frames) = arena.pooled();
+        assert_eq!((tables, frames), (1, 1));
+        // The pooled frame comes back zeroed at the requested length.
+        let buf = arena.take_frame(2);
+        assert_eq!(buf, BitVec::zeros(2));
+        // A dense matrix's frames are harvested on reclamation.
+        arena.put_matrix(vec![None, Some(bv(&[true])), None, Some(bv(&[false]))]);
+        let (_, frames) = arena.pooled();
+        assert_eq!(frames, 2);
+    }
+
+    #[test]
+    fn sparse_heap_bytes_tracks_occupancy_not_n_squared() {
+        let n = 64;
+        let mut sparse = FrameStore::new_sparse(n);
+        let mut dense = FrameStore::new_dense(n);
+        for f in 0..n {
+            sparse.replace(n, f, (f + 1) % n, Some(bv(&[true])));
+            dense.replace(n, f, (f + 1) % n, Some(bv(&[true])));
+        }
+        assert!(
+            sparse.heap_bytes() * 10 < dense.heap_bytes(),
+            "sparse {} vs dense {}",
+            sparse.heap_bytes(),
+            dense.heap_bytes()
+        );
+    }
+}

@@ -1,41 +1,99 @@
 //! Per-round message matrices: what nodes intend to send, and what arrives.
 
+use crate::store::{Backend, FrameArena, FrameStore, DENSE_SWITCH_DIVISOR};
 use bdclique_bits::BitVec;
 
 /// The messages all nodes intend to send in one round.
 ///
-/// A dense `n × n` matrix of optional frames; a frame is at most
-/// `bandwidth` bits. Self-loops are not part of the clique and are rejected.
+/// Logically an `n × n` matrix of optional frames (a frame is at most
+/// `bandwidth` bits; self-loops are not part of the clique and are
+/// rejected), physically a [`Backend`]-selected frame store: rounds start
+/// on the sparse per-sender adjacency backend and **auto-densify** once the
+/// load factor reaches `1/16` (`frame_count ≥ n²/16`), so sparse protocol
+/// rounds cost `O(frames)` while full-matrix rounds keep the flat-matrix
+/// representation they had before the storage layer existed.
 ///
 /// Aggregate volume ([`Traffic::total_bits`], [`Traffic::frame_count`]) is
 /// maintained incrementally on every mutation, so both accessors are O(1) —
-/// the round pipeline reads them several times per round and must not pay an
-/// O(n²) rescan each time.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// the round pipeline reads them several times per round and must not pay a
+/// rescan each time.
+#[derive(Debug)]
 pub struct Traffic {
     n: usize,
     bandwidth: usize,
-    frames: Vec<Option<BitVec>>,
+    store: FrameStore,
     total_bits: u64,
     frame_count: u64,
+    /// Auto-densify enabled (off when a backend was pinned explicitly).
+    auto: bool,
+    /// Round-local recycling: tables spent by densification and frames
+    /// displaced by `clear` pool here, and rejoin the network-wide arena
+    /// when the round is exchanged.
+    arena: FrameArena,
+}
+
+/// Clones the logical matrix; the round-local recycling pool is *not*
+/// cloned (a snapshot needs contents, not allocator bookkeeping).
+impl Clone for Traffic {
+    fn clone(&self) -> Self {
+        Self {
+            n: self.n,
+            bandwidth: self.bandwidth,
+            store: self.store.clone(),
+            total_bits: self.total_bits,
+            frame_count: self.frame_count,
+            auto: self.auto,
+            arena: FrameArena::default(),
+        }
+    }
 }
 
 impl Traffic {
     /// Creates an empty round of traffic for `n` nodes and a bandwidth of
-    /// `bandwidth` bits per ordered pair.
+    /// `bandwidth` bits per ordered pair. Starts on the sparse backend and
+    /// auto-densifies by load factor.
     ///
     /// # Panics
     ///
     /// Panics if `n < 2` or `bandwidth == 0`.
     pub fn new(n: usize, bandwidth: usize) -> Self {
+        Self::build(n, bandwidth, FrameStore::new_sparse(n), true)
+    }
+
+    /// Creates empty traffic pinned to `backend` (no auto-switching). Used
+    /// by the storage-layer benches and the dense/sparse equivalence tests;
+    /// protocol code should use [`Traffic::new`] / [`crate::Network::traffic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `bandwidth == 0`.
+    pub fn with_backend(n: usize, bandwidth: usize, backend: Backend) -> Self {
+        let store = match backend {
+            Backend::Dense => FrameStore::new_dense(n),
+            Backend::Sparse => FrameStore::new_sparse(n),
+        };
+        Self::build(n, bandwidth, store, false)
+    }
+
+    /// Arena-backed constructor used by [`crate::Network::traffic`]: the
+    /// sparse row tables are recycled from previous rounds.
+    pub(crate) fn new_in(n: usize, bandwidth: usize, arena: &mut FrameArena) -> Self {
+        let store = FrameStore::new_sparse_in(n, arena);
+        Self::build(n, bandwidth, store, true)
+    }
+
+    fn build(n: usize, bandwidth: usize, store: FrameStore, auto: bool) -> Self {
         assert!(n >= 2, "a clique needs at least two nodes");
         assert!(bandwidth > 0, "bandwidth must be positive");
+        assert!(n <= u32::MAX as usize, "node ids must fit in u32");
         Self {
             n,
             bandwidth,
-            frames: vec![None; n * n],
+            store,
             total_bits: 0,
             frame_count: 0,
+            auto,
+            arena: FrameArena::default(),
         }
     }
 
@@ -49,11 +107,21 @@ impl Traffic {
         self.bandwidth
     }
 
+    /// The storage backend currently in use.
+    pub fn backend(&self) -> Backend {
+        self.store.backend()
+    }
+
+    /// Approximate heap bytes held by the frame store — the memory-traffic
+    /// observable the storage bench compares across backends.
+    pub fn store_bytes(&self) -> usize {
+        self.store.heap_bytes()
+    }
+
     #[inline]
-    fn idx(&self, from: usize, to: usize) -> usize {
+    fn check_slot(&self, from: usize, to: usize) {
         assert!(from < self.n && to < self.n, "node id out of range");
         assert_ne!(from, to, "no self-loops in the clique");
-        from * self.n + to
     }
 
     /// Queues `bits` on the edge `from → to`, replacing any previous frame.
@@ -72,14 +140,25 @@ impl Traffic {
         self.set_frame(from, to, Some(bits));
     }
 
-    /// Removes the frame on `from → to`, if any.
+    /// Removes the frame on `from → to`, if any; the displaced buffer is
+    /// recycled through the round's arena.
     pub fn clear(&mut self, from: usize, to: usize) {
-        self.set_frame(from, to, None);
+        if let Some(displaced) = self.set_frame(from, to, None) {
+            self.arena.put_frame(displaced);
+        }
     }
 
     /// The frame queued on `from → to`.
     pub fn frame(&self, from: usize, to: usize) -> Option<&BitVec> {
-        self.frames[self.idx(from, to)].as_ref()
+        self.check_slot(from, to);
+        self.store.get(self.n, from, to)
+    }
+
+    /// Visits every queued frame in ascending `(from, to)` order —
+    /// `O(frames)` on the sparse backend, the substrate behind
+    /// adversary busy-edge scans and history digests.
+    pub fn for_each_frame(&self, f: impl FnMut(usize, usize, &BitVec)) {
+        self.store.for_each(self.n, f);
     }
 
     /// Replaces the slot `from → to`, keeps the volume counters in sync, and
@@ -91,15 +170,21 @@ impl Traffic {
         to: usize,
         bits: Option<BitVec>,
     ) -> Option<BitVec> {
-        let i = self.idx(from, to);
+        self.check_slot(from, to);
         if let Some(new) = &bits {
             self.total_bits += new.len() as u64;
             self.frame_count += 1;
         }
-        let prev = std::mem::replace(&mut self.frames[i], bits);
+        let prev = self.store.replace(self.n, from, to, bits);
         if let Some(old) = &prev {
             self.total_bits -= old.len() as u64;
             self.frame_count -= 1;
+        }
+        if self.auto
+            && self.store.backend() == Backend::Sparse
+            && self.frame_count * DENSE_SWITCH_DIVISOR >= (self.n * self.n) as u64
+        {
+            self.store.densify(self.n, Some(&mut self.arena));
         }
         prev
     }
@@ -114,20 +199,76 @@ impl Traffic {
         self.frame_count
     }
 
-    pub(crate) fn into_delivery(self) -> Delivery {
-        Delivery {
-            n: self.n,
-            frames: self.frames,
+    /// Converts queued traffic into its delivered form. Sparse rounds
+    /// transpose sender rows into per-receiver inboxes **by move**
+    /// (`O(frames)`, no clone); the spent row tables return to `arena`.
+    pub(crate) fn into_delivery(mut self, arena: &mut FrameArena) -> Delivery {
+        let n = self.n;
+        arena.absorb(std::mem::take(&mut self.arena));
+        match self.store {
+            FrameStore::Dense(frames) => Delivery {
+                n,
+                repr: DeliveryRepr::Dense(frames),
+            },
+            FrameStore::Sparse(rows) => {
+                let mut cols = arena.take_tables(n);
+                for (from, mut row) in rows.into_iter().enumerate() {
+                    // Rows are visited in ascending `from`, so every inbox
+                    // column ends up sorted by sender with plain pushes.
+                    for (to, bits) in row.drain(..) {
+                        cols[to as usize].push((from as u32, bits));
+                    }
+                    arena.put_table(row);
+                }
+                Delivery {
+                    n,
+                    repr: DeliveryRepr::Sparse(cols),
+                }
+            }
         }
     }
 }
 
+/// Logical equality: same shape and same frames, regardless of backend.
+impl PartialEq for Traffic {
+    fn eq(&self, other: &Self) -> bool {
+        if self.n != other.n
+            || self.bandwidth != other.bandwidth
+            || self.total_bits != other.total_bits
+            || self.frame_count != other.frame_count
+        {
+            return false;
+        }
+        let mut equal = true;
+        self.for_each_frame(|from, to, bits| {
+            if equal && other.frame(from, to) != Some(bits) {
+                equal = false;
+            }
+        });
+        equal
+    }
+}
+
+impl Eq for Traffic {}
+
+#[derive(Debug, Clone)]
+enum DeliveryRepr {
+    /// Row-major `frames[from · n + to]` (dense rounds).
+    Dense(Vec<Option<BitVec>>),
+    /// Per-receiver inbox `cols[to]`, sorted by sender (sparse rounds).
+    Sparse(Vec<Vec<(u32, BitVec)>>),
+}
+
 /// The messages actually delivered in one round (after adversarial
 /// corruption).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Receivers can either probe one slot ([`Delivery::received`]) or walk
+/// their whole inbox in one pass ([`Delivery::inbox_of`]); the latter is
+/// `O(frames received)` on sparse rounds instead of `O(n)` probes per node.
+#[derive(Debug, Clone)]
 pub struct Delivery {
     n: usize,
-    frames: Vec<Option<BitVec>>,
+    repr: DeliveryRepr,
 }
 
 impl Delivery {
@@ -136,18 +277,129 @@ impl Delivery {
     pub fn received(&self, to: usize, from: usize) -> Option<&BitVec> {
         assert!(from < self.n && to < self.n, "node id out of range");
         assert_ne!(from, to, "no self-loops in the clique");
-        self.frames[from * self.n + to].as_ref()
+        match &self.repr {
+            DeliveryRepr::Dense(frames) => frames[from * self.n + to].as_ref(),
+            DeliveryRepr::Sparse(cols) => {
+                let col = &cols[to];
+                col.binary_search_by_key(&(from as u32), |&(f, _)| f)
+                    .ok()
+                    .map(|i| &col[i].1)
+            }
+        }
+    }
+
+    /// Iterates node `to`'s inbox as `(sender, frame)` pairs in ascending
+    /// sender order. `O(frames received)` on the sparse backend.
+    pub fn inbox_of(&self, to: usize) -> Inbox<'_> {
+        assert!(to < self.n, "node id out of range");
+        Inbox(match &self.repr {
+            DeliveryRepr::Dense(frames) => InboxRepr::Dense {
+                frames,
+                n: self.n,
+                to,
+                from: 0,
+            },
+            DeliveryRepr::Sparse(cols) => InboxRepr::Sparse(cols[to].iter()),
+        })
     }
 
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.n
     }
+
+    /// Consumes the delivery into per-receiver inboxes: `inboxes[to]` holds
+    /// `(sender, frame)` pairs in ascending sender order, **moved** out of
+    /// the delivery. The consuming complement of [`Delivery::inbox_of`] for
+    /// forwarding paths (relays) that would otherwise clone every frame.
+    pub fn into_inboxes(self) -> Vec<Vec<(u32, BitVec)>> {
+        match self.repr {
+            DeliveryRepr::Sparse(cols) => cols,
+            DeliveryRepr::Dense(mut frames) => {
+                let n = self.n;
+                let mut cols: Vec<Vec<(u32, BitVec)>> = vec![Vec::new(); n];
+                for from in 0..n {
+                    for (to, col) in cols.iter_mut().enumerate() {
+                        if let Some(bits) = frames[from * n + to].take() {
+                            col.push((from as u32, bits));
+                        }
+                    }
+                }
+                cols
+            }
+        }
+    }
+
+    /// Hands the delivery's tables and frame buffers to `arena` — the
+    /// [`crate::Network::reclaim`] implementation.
+    pub(crate) fn recycle_into(self, arena: &mut FrameArena) {
+        match self.repr {
+            DeliveryRepr::Dense(frames) => arena.put_matrix(frames),
+            DeliveryRepr::Sparse(cols) => {
+                for col in cols {
+                    arena.put_table(col);
+                }
+            }
+        }
+    }
+}
+
+/// Logical equality across backends: every receiver's inbox matches.
+impl PartialEq for Delivery {
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && (0..self.n).all(|to| self.inbox_of(to).eq(other.inbox_of(to)))
+    }
+}
+
+impl Eq for Delivery {}
+
+/// Iterator over one receiver's inbox (see [`Delivery::inbox_of`]).
+#[derive(Debug)]
+pub struct Inbox<'a>(InboxRepr<'a>);
+
+#[derive(Debug)]
+enum InboxRepr<'a> {
+    Dense {
+        frames: &'a [Option<BitVec>],
+        n: usize,
+        to: usize,
+        from: usize,
+    },
+    Sparse(std::slice::Iter<'a, (u32, BitVec)>),
+}
+
+impl<'a> Iterator for Inbox<'a> {
+    type Item = (usize, &'a BitVec);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            InboxRepr::Dense {
+                frames,
+                n,
+                to,
+                from,
+            } => {
+                while *from < *n {
+                    let f = *from;
+                    *from += 1;
+                    if let Some(bits) = frames[f * *n + *to].as_ref() {
+                        return Some((f, bits));
+                    }
+                }
+                None
+            }
+            InboxRepr::Sparse(iter) => iter.next().map(|(f, b)| (*f as usize, b)),
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn delivery(t: Traffic) -> Delivery {
+        t.into_delivery(&mut FrameArena::default())
+    }
 
     #[test]
     fn send_and_frame() {
@@ -179,10 +431,92 @@ mod tests {
     fn delivery_view_matches_traffic() {
         let mut t = Traffic::new(4, 8);
         t.send(1, 3, BitVec::from_bools(&[false, true]));
-        let d = t.into_delivery();
+        let d = delivery(t);
         assert_eq!(d.received(3, 1), Some(&BitVec::from_bools(&[false, true])));
         assert_eq!(d.received(1, 3), None);
         assert_eq!(d.n(), 4);
+    }
+
+    #[test]
+    fn fresh_traffic_starts_sparse_and_densifies_by_load() {
+        let n = 8;
+        let mut t = Traffic::new(n, 4);
+        assert_eq!(t.backend(), Backend::Sparse);
+        // n²/16 = 4 frames trigger the switch.
+        let mut sent = 0;
+        'outer: for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                t.send(u, v, BitVec::from_bools(&[true]));
+                sent += 1;
+                if sent == 4 {
+                    break 'outer;
+                }
+            }
+        }
+        assert_eq!(t.backend(), Backend::Dense);
+        assert_eq!(t.frame_count(), 4);
+        // Contents survive the switch.
+        assert_eq!(t.frame(0, 1), Some(&BitVec::from_bools(&[true])));
+    }
+
+    #[test]
+    fn pinned_backend_never_switches() {
+        let n = 4;
+        let mut t = Traffic::with_backend(n, 2, Backend::Sparse);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    t.send(u, v, BitVec::from_bools(&[true]));
+                }
+            }
+        }
+        assert_eq!(t.backend(), Backend::Sparse);
+        assert_eq!(t.frame_count(), (n * n - n) as u64);
+    }
+
+    #[test]
+    fn inbox_iterates_sparse_and_dense_identically() {
+        let build = |backend| {
+            let mut t = Traffic::with_backend(6, 4, backend);
+            t.send(5, 2, BitVec::from_bools(&[true]));
+            t.send(0, 2, BitVec::from_bools(&[false, true]));
+            t.send(3, 2, BitVec::from_bools(&[false]));
+            t.send(1, 4, BitVec::from_bools(&[true, true]));
+            delivery(t)
+        };
+        let sparse = build(Backend::Sparse);
+        let dense = build(Backend::Dense);
+        let inbox: Vec<(usize, BitVec)> = sparse.inbox_of(2).map(|(f, b)| (f, b.clone())).collect();
+        assert_eq!(
+            inbox,
+            vec![
+                (0, BitVec::from_bools(&[false, true])),
+                (3, BitVec::from_bools(&[false])),
+                (5, BitVec::from_bools(&[true])),
+            ],
+            "ascending sender order"
+        );
+        for to in 0..6 {
+            assert!(sparse.inbox_of(to).eq(dense.inbox_of(to)), "inbox {to}");
+        }
+        assert_eq!(sparse, dense);
+        assert!(sparse.inbox_of(3).next().is_none());
+    }
+
+    #[test]
+    fn logical_equality_crosses_backends() {
+        let mut a = Traffic::with_backend(4, 4, Backend::Sparse);
+        let mut b = Traffic::with_backend(4, 4, Backend::Dense);
+        for t in [&mut a, &mut b] {
+            t.send(0, 1, BitVec::from_bools(&[true, false]));
+            t.send(2, 3, BitVec::from_bools(&[false]));
+        }
+        assert_eq!(a, b);
+        b.send(3, 1, BitVec::from_bools(&[true]));
+        assert_ne!(a, b);
     }
 
     /// The incremental counters must agree with a full rescan through any
@@ -229,5 +563,22 @@ mod tests {
 
         assert_eq!(t.total_bits(), rescan_bits(&t));
         assert_eq!(t.frame_count(), rescan_frames(&t));
+    }
+
+    #[test]
+    fn sparse_store_bytes_beat_dense_at_low_load() {
+        let n = 256;
+        let mut sparse = Traffic::with_backend(n, 8, Backend::Sparse);
+        let mut dense = Traffic::with_backend(n, 8, Backend::Dense);
+        for u in 0..n {
+            sparse.send(u, (u + 1) % n, BitVec::from_bools(&[true; 8]));
+            dense.send(u, (u + 1) % n, BitVec::from_bools(&[true; 8]));
+        }
+        assert!(
+            sparse.store_bytes() * 10 < dense.store_bytes(),
+            "sparse {} dense {}",
+            sparse.store_bytes(),
+            dense.store_bytes()
+        );
     }
 }

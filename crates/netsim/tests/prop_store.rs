@@ -1,0 +1,190 @@
+//! Property tests: the dense and sparse [`Traffic`] backends are
+//! observationally identical through arbitrary interleavings of sends,
+//! overwrites, clears, and adversarial corruption — same frames, same
+//! volume counters, same [`Delivery`], same [`NetStats`], same history
+//! transcript.
+
+use bdclique_bits::BitVec;
+use bdclique_netsim::{
+    Adversary, AdversaryView, Backend, CorruptionScope, Corruptor, EdgeSet, HistoryMode, Network,
+    Traffic,
+};
+use proptest::prelude::*;
+
+const BANDWIDTH: usize = 12;
+
+/// Deterministic frame content derived from the slot and length.
+fn payload(from: usize, to: usize, len: usize) -> BitVec {
+    BitVec::from_fn(len, |i| (i * 7 + from * 3 + to) % 5 < 2)
+}
+
+/// One random operation batch applied identically to every backend.
+#[derive(Debug, Clone)]
+struct Op {
+    from: usize,
+    to: usize,
+    len: usize,
+    clear: bool,
+}
+
+fn apply_ops(t: &mut Traffic, n: usize, ops: &[Op]) {
+    for op in ops {
+        let (from, to) = (op.from % n, op.to % n);
+        if from == to {
+            continue;
+        }
+        if op.clear {
+            t.clear(from, to);
+        } else {
+            t.send(from, to, payload(from, to, op.len));
+        }
+    }
+}
+
+/// Flips every even-length frame, suppresses odd-length ones, and injects
+/// into the intended-empty reverse slot — exercising rewrite, erasure, and
+/// injection on both backends identically.
+struct MixedCorruptor;
+
+impl Corruptor for MixedCorruptor {
+    fn corrupt(
+        &mut self,
+        _view: &AdversaryView<'_>,
+        edges: &EdgeSet,
+        scope: &mut CorruptionScope<'_>,
+    ) {
+        let mut edge_list: Vec<(usize, usize)> = edges.iter().collect();
+        edge_list.sort_unstable();
+        for (u, v) in edge_list {
+            for (a, b) in [(u, v), (v, u)] {
+                match scope.intended(a, b).cloned() {
+                    Some(frame) if frame.len() % 2 == 1 => scope.set(a, b, None),
+                    Some(mut frame) => {
+                        for i in 0..frame.len() {
+                            frame.flip(i);
+                        }
+                        scope.set(a, b, Some(frame));
+                    }
+                    None => scope.set(a, b, Some(BitVec::from_bools(&[true, false]))),
+                }
+            }
+        }
+    }
+}
+
+/// A degree-capped edge set derived from raw pairs (same for every run).
+fn edge_plan(pairs: Vec<(usize, usize)>) -> impl FnMut(u64, usize, usize) -> EdgeSet {
+    move |_round, n, budget| {
+        let mut set = EdgeSet::new(n);
+        for &(a, b) in &pairs {
+            let (u, v) = (a % n, b % n);
+            if u == v || set.contains(u, v) {
+                continue;
+            }
+            if set.degree(u) < budget && set.degree(v) < budget {
+                set.insert(u, v);
+            }
+        }
+        set
+    }
+}
+
+fn run_round(
+    n: usize,
+    ops: &[Op],
+    pairs: &[(usize, usize)],
+    backend: Backend,
+) -> (Network, bdclique_netsim::Delivery) {
+    let adversary = Adversary::non_adaptive(edge_plan(pairs.to_vec()), MixedCorruptor);
+    let mut net = Network::new(n, BANDWIDTH, 0.9, adversary);
+    net.set_history_mode(HistoryMode::Full);
+    let mut t = Traffic::with_backend(n, BANDWIDTH, backend);
+    apply_ops(&mut t, n, ops);
+    let d = net.exchange(t);
+    (net, d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Identical op sequences on pinned-dense, pinned-sparse, and
+    /// auto-switching traffic yield logically equal matrices and counters.
+    #[test]
+    fn backends_agree_before_exchange(
+        n in 4usize..10,
+        raw_ops in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), 0usize..BANDWIDTH, any::<bool>()),
+            0..60,
+        ),
+    ) {
+        let ops: Vec<Op> = raw_ops
+            .into_iter()
+            .map(|(from, to, len, clear)| Op { from, to, len, clear })
+            .collect();
+        let mut dense = Traffic::with_backend(n, BANDWIDTH, Backend::Dense);
+        let mut sparse = Traffic::with_backend(n, BANDWIDTH, Backend::Sparse);
+        let mut auto = Traffic::new(n, BANDWIDTH);
+        apply_ops(&mut dense, n, &ops);
+        apply_ops(&mut sparse, n, &ops);
+        apply_ops(&mut auto, n, &ops);
+        prop_assert_eq!(dense.total_bits(), sparse.total_bits());
+        prop_assert_eq!(dense.frame_count(), sparse.frame_count());
+        prop_assert_eq!(&dense, &sparse);
+        prop_assert_eq!(&dense, &auto);
+        // Slot-level agreement, including empty slots.
+        for from in 0..n {
+            for to in 0..n {
+                if from != to {
+                    prop_assert_eq!(dense.frame(from, to), sparse.frame(from, to));
+                }
+            }
+        }
+    }
+
+    /// A full queue → corrupt → deliver round observes no difference between
+    /// the backends: delivery, per-receiver inboxes, stats, and the Full-mode
+    /// history transcript (digests + intended snapshots) all match.
+    #[test]
+    fn corrupted_rounds_agree_across_backends(
+        n in 4usize..10,
+        raw_ops in prop::collection::vec(
+            (any::<usize>(), any::<usize>(), 0usize..BANDWIDTH, any::<bool>()),
+            0..60,
+        ),
+        pairs in prop::collection::vec((any::<usize>(), any::<usize>()), 0..6),
+    ) {
+        let ops: Vec<Op> = raw_ops
+            .into_iter()
+            .map(|(from, to, len, clear)| Op { from, to, len, clear })
+            .collect();
+        let (dense_net, dense_d) = run_round(n, &ops, &pairs, Backend::Dense);
+        let (sparse_net, sparse_d) = run_round(n, &ops, &pairs, Backend::Sparse);
+
+        prop_assert_eq!(&dense_d, &sparse_d, "deliveries diverged");
+        for to in 0..n {
+            let d: Vec<(usize, BitVec)> =
+                dense_d.inbox_of(to).map(|(f, b)| (f, b.clone())).collect();
+            let s: Vec<(usize, BitVec)> =
+                sparse_d.inbox_of(to).map(|(f, b)| (f, b.clone())).collect();
+            prop_assert_eq!(d, s, "inbox {} diverged", to);
+            for from in 0..n {
+                if from != to {
+                    prop_assert_eq!(dense_d.received(to, from), sparse_d.received(to, from));
+                }
+            }
+        }
+
+        prop_assert_eq!(dense_net.stats(), sparse_net.stats(), "stats diverged");
+
+        let dh = dense_net.history().records();
+        let sh = sparse_net.history().records();
+        prop_assert_eq!(dh.len(), sh.len());
+        for (a, b) in dh.iter().zip(sh) {
+            prop_assert_eq!(&a.corrupted, &b.corrupted);
+            prop_assert_eq!(a.frames, b.frames);
+            prop_assert_eq!(a.bits, b.bits);
+            let (ai, bi) = (a.intended.as_ref().unwrap(), b.intended.as_ref().unwrap());
+            prop_assert_eq!(ai, bi, "intended snapshots diverged");
+        }
+    }
+}

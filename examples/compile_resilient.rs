@@ -13,7 +13,11 @@ use bdclique::core::compiler::{compile, run_fault_free, CliqueAlgorithm};
 use bdclique::core::protocols::{AllToAllProtocol, DetHypercube, DetSqrt};
 use bdclique::netsim::{Adversary, Network};
 
-fn check<A: CliqueAlgorithm>(algo: &A, n: usize, protocol: &dyn AllToAllProtocol, alpha: f64) {
+fn check<A>(algo: &A, n: usize, protocol: &dyn AllToAllProtocol, alpha: f64)
+where
+    A: CliqueAlgorithm + Sync,
+    A::State: Send + Sync,
+{
     let reference = run_fault_free(algo, n);
     let adversary = Adversary::adaptive(GreedyLoad::new(Payload::Flip, 99));
     let mut net = Network::new(n, 9, alpha, adversary);
