@@ -1,68 +1,160 @@
-//! Regenerates Table 1 and every figure-shaped experiment of the paper.
+//! Regenerates Table 1 and every figure-shaped experiment of the paper
+//! through the declarative scenario engine.
 //!
 //! ```sh
-//! cargo run --release -p bdclique-bench --bin tables            # everything
-//! cargo run --release -p bdclique-bench --bin tables -- t1r3   # one experiment
+//! cargo run --release -p bdclique-bench --bin tables                     # everything
+//! cargo run --release -p bdclique-bench --bin tables -- --list          # name the scenarios
+//! cargo run --release -p bdclique-bench --bin tables -- --scenario t1r3 # one scenario
+//! cargo run --release -p bdclique-bench --bin tables -- \
+//!     --scenario largen --trials 3 --json bench.json                    # machine-readable
 //! ```
 //!
-//! Experiment ids (see `DESIGN.md` §2): `t1r1 t1r2 t1r3 t1r4 route matching
-//! frontier compiler codes ldc sketch cfree querypath largen`.
+//! Bare scenario names (`tables t1r3 frontier`) are accepted as shorthand
+//! for `--scenario`; `route` expands to `route-margin` + `route-engines`.
+//! `--trials N` overrides the `BDC_TRIALS` environment variable (default
+//! 5); scenarios apply their historical per-suite scaling (e.g. `codes`
+//! runs `8 × N`). `--json PATH` additionally writes every selected
+//! scenario's cells, aggregates, seeds, and wall times as one JSON document
+//! (schema documented in the README).
 
-use bdclique_bench::experiments as exp;
+use bdclique_bench::experiments;
+use bdclique_bench::scenario::{self, ScenarioResult};
+use std::process::ExitCode;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id || a == "all");
-    let trials = std::env::var("BDC_TRIALS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5usize);
+const USAGE: &str =
+    "usage: tables [--scenario NAME]... [--trials N] [--json PATH] [--list] [NAME]...";
 
-    println!("bdclique experiment suite (trials per config: {trials})");
-    println!("paper: Fischer-Parter, PODC 2025 (arXiv:2505.05735)");
+struct Args {
+    scenarios: Vec<String>,
+    trials: Option<usize>,
+    json: Option<String>,
+    list: bool,
+    help: bool,
+}
 
-    if want("t1r1") {
-        println!("{}", exp::table1_row1(trials).render());
-    }
-    if want("t1r2") {
-        println!("{}", exp::table1_row2(trials.min(3)).render());
-    }
-    if want("t1r3") {
-        println!("{}", exp::table1_row3(trials).render());
-    }
-    if want("t1r4") {
-        println!("{}", exp::table1_row4(trials).render());
-    }
-    if want("route") {
-        for t in exp::routing_threshold() {
-            println!("{}", t.render());
+fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args {
+        scenarios: Vec::new(),
+        trials: None,
+        json: None,
+        list: false,
+        help: false,
+    };
+    let mut raw = raw.peekable();
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--scenario" => {
+                let name = raw.next().ok_or("--scenario requires a name")?;
+                args.scenarios.push(name);
+            }
+            "--trials" => {
+                let n = raw.next().ok_or("--trials requires a count")?;
+                args.trials = Some(n.parse().map_err(|_| format!("bad trial count: {n}"))?);
+            }
+            "--json" => {
+                let path = raw.next().ok_or("--json requires a path")?;
+                args.json = Some(path);
+            }
+            "--list" => args.list = true,
+            "--help" | "-h" => args.help = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}\n{USAGE}")),
+            // Bare experiment ids, as the old CLI accepted.
+            name => args.scenarios.push(name.to_string()),
         }
     }
-    if want("matching") {
-        println!("{}", exp::matching_separation(trials).render());
+    Ok(args)
+}
+
+/// Expands selection shorthands (`all`, empty, `route`) against the
+/// registry; errors on unknown names so typos don't silently run nothing.
+fn select(requested: &[String]) -> Result<Vec<&'static str>, String> {
+    let known: Vec<&'static str> = experiments::registry()
+        .iter()
+        .map(|entry| entry.name)
+        .collect();
+    if requested.is_empty() || requested.iter().any(|r| r == "all") {
+        return Ok(known);
     }
-    if want("frontier") {
-        println!("{}", exp::frontier(trials.min(3)).render());
+    let mut selected = Vec::new();
+    for name in requested {
+        match name.as_str() {
+            "route" => selected.extend(["route-margin", "route-engines"]),
+            other => match known.iter().find(|k| **k == other) {
+                Some(k) => selected.push(*k),
+                None => {
+                    return Err(format!(
+                        "unknown scenario '{other}'; try --list (known: {})",
+                        known.join(", ")
+                    ))
+                }
+            },
+        }
     }
-    if want("compiler") {
-        println!("{}", exp::compiler_overhead().render());
+    Ok(selected)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
     }
-    if want("codes") {
-        println!("{}", exp::ablation_codes(trials * 8).render());
+
+    if args.list {
+        println!("available scenarios:");
+        for entry in experiments::registry() {
+            println!("  {:<14} {}", entry.name, entry.about);
+        }
+        return ExitCode::SUCCESS;
     }
-    if want("ldc") {
-        println!("{}", exp::ablation_ldc(trials * 4).render());
+
+    let selected = match select(&args.scenarios) {
+        Ok(selected) => selected,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trials = args
+        .trials
+        .or_else(|| {
+            std::env::var("BDC_TRIALS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
+        .unwrap_or(5usize);
+
+    println!("bdclique experiment suite (base trials per config: {trials})");
+    println!("paper: Fischer-Parter, PODC 2025 (arXiv:2505.05735)");
+
+    let mut results: Vec<ScenarioResult> = Vec::new();
+    for name in selected {
+        let spec =
+            experiments::build_scenario(name, trials).expect("registry names are always buildable");
+        let result = scenario::run(&spec);
+        println!("{}", result.table().render());
+        results.push(result);
     }
-    if want("sketch") {
-        println!("{}", exp::ablation_sketch(trials * 20).render());
+
+    if let Some(path) = args.json {
+        let doc = scenario::emit_json(&results, trials);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("failed to write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "wrote {path}: {} scenarios, {} cells ({})",
+            results.len(),
+            results.iter().map(|r| r.cells.len()).sum::<usize>(),
+            scenario::SCHEMA
+        );
     }
-    if want("cfree") {
-        println!("{}", exp::ablation_coverfree().render());
-    }
-    if want("querypath") {
-        println!("{}", exp::ablation_querypath(trials.min(3)).render());
-    }
-    if want("largen") {
-        println!("{}", exp::large_n_smoke().render());
-    }
+    ExitCode::SUCCESS
 }

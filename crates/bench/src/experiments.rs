@@ -1,13 +1,21 @@
-//! The experiment suite: one function per experiment id of `DESIGN.md`.
+//! The experiment suite: one declarative [`Scenario`] per experiment id of
+//! `DESIGN.md`, all executed by the [`crate::scenario`] engine.
 //!
-//! Every function returns rendered tables; the `tables` binary dispatches on
-//! experiment ids and `EXPERIMENTS.md` records reference output.
+//! Every builder here turns a hand-tuned experiment into a grid of cells —
+//! the engine owns seeding, parallelism, table rendering, and JSON
+//! emission. The legacy `Table`-returning wrappers (`table1_row1` …) are
+//! kept as the stable names `DESIGN.md` references; `EXPERIMENTS.md`
+//! records measured outcomes against the paper's claims.
 
-use crate::{aggregate, AdversarySpec, Table};
+use crate::scenario::{
+    run, run_trials, Cell, CellCtx, CellKind, ProtocolFactory, RegistryEntry, Scenario, TrialJob,
+    Value,
+};
+use crate::{AdversarySpec, Aggregate, Table};
 use bdclique_bits::BitVec;
 use bdclique_codes::{ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode};
 use bdclique_core::cc::{MaxTwoPhase, SumAll, Transpose};
-use bdclique_core::compiler::{compile, run_fault_free};
+use bdclique_core::compiler::{compile, run_fault_free, CliqueAlgorithm};
 use bdclique_core::protocols::{
     AdaptiveAllToAll, AdaptiveTakeOne, AllToAllProtocol, DetHypercube, DetSqrt, NaiveExchange,
     NonAdaptiveAllToAll, RelayReplication,
@@ -19,31 +27,125 @@ use bdclique_netsim::{Adversary, Network};
 use bdclique_sketch::{RecoverySketch, SketchShape};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::sync::Arc;
 
 const BANDWIDTH: usize = 18;
 
-fn fmt_f(x: f64) -> String {
-    format!("{x:.1}")
+/// Wraps a protocol constructor into a [`ProtocolFactory`]. The closure
+/// receives the trial's protocol seed; deterministic protocols ignore it.
+fn factory<P, F>(f: F) -> ProtocolFactory
+where
+    P: AllToAllProtocol + 'static,
+    F: Fn(u64) -> P + Send + Sync + 'static,
+{
+    Arc::new(move |seed| Box::new(f(seed)))
 }
 
-fn fmt_rate(perfect: usize, trials: usize) -> String {
-    format!("{perfect}/{trials}")
+/// The `rounds` / `perfect` / `errors` presenter shared by the Table-1
+/// scenarios.
+fn present_rpe(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+    vec![
+        ("rounds", Value::opt_f1(agg.mean_rounds)),
+        ("perfect", Value::rate(agg.perfect, agg.completed)),
+        ("errors", Value::u(agg.total_errors)),
+    ]
+}
+
+/// All named scenarios, in suite order. The `tables` binary and the README
+/// both key off these names.
+pub fn registry() -> Vec<RegistryEntry> {
+    vec![
+        RegistryEntry {
+            name: "t1r1",
+            about: "Thm 1.2: non-adaptive randomized, alpha = 1/16, O(1) rounds",
+            build: t1r1,
+        },
+        RegistryEntry {
+            name: "t1r2",
+            about: "Thm 1.3: adaptive randomized (LDC + sketches)",
+            build: t1r2,
+        },
+        RegistryEntry {
+            name: "t1r3",
+            about: "Thm 1.4: deterministic hypercube, O(log n) rounds",
+            build: t1r3,
+        },
+        RegistryEntry {
+            name: "t1r4",
+            about: "Thm 1.5: deterministic sqrt-segments, alpha = 0.5/sqrt(n)",
+            build: t1r4,
+        },
+        RegistryEntry {
+            name: "route-margin",
+            about: "Thm 4.1 router: unit-engine decode-margin sweep",
+            build: route_margin,
+        },
+        RegistryEntry {
+            name: "route-engines",
+            about: "Thm 4.1 router: cover-free vs unit engine comparison",
+            build: route_engines,
+        },
+        RegistryEntry {
+            name: "matching",
+            about: "Section 3: mobile matchings defeat replication baselines",
+            build: matching,
+        },
+        RegistryEntry {
+            name: "frontier",
+            about: "max tolerated per-round faulty degree per protocol",
+            build: frontier_scenario,
+        },
+        RegistryEntry {
+            name: "compiler",
+            about: "compiled Congested Clique algorithms under attack",
+            build: compiler,
+        },
+        RegistryEntry {
+            name: "codes",
+            about: "ECC ablation: decode success vs corruption fraction",
+            build: codes,
+        },
+        RegistryEntry {
+            name: "ldc",
+            about: "RM-LDC ablation: line amplification vs corruption",
+            build: ldc,
+        },
+        RegistryEntry {
+            name: "sketch",
+            about: "sparse-recovery ablation: success vs load",
+            build: sketch,
+        },
+        RegistryEntry {
+            name: "cfree",
+            about: "cover-free family ablation: worst cover fraction",
+            build: cfree,
+        },
+        RegistryEntry {
+            name: "querypath",
+            about: "Take II ablation: LDC fetch vs direct sketch pull",
+            build: querypath,
+        },
+        RegistryEntry {
+            name: "largen",
+            about: "storage-layer scaling smoke: DetSqrt at n = 1024",
+            build: largen,
+        },
+    ]
+}
+
+/// Builds the named scenario with `trials` base trials (builders apply
+/// their own historical scaling, e.g. `codes` runs `8 × trials`).
+pub fn build_scenario(name: &str, trials: usize) -> Option<Scenario> {
+    registry()
+        .into_iter()
+        .find(|entry| entry.name == name)
+        .map(|entry| (entry.build)(trials))
 }
 
 /// `T1.R1` — Table 1, row 1 (Theorem 1.2): non-adaptive randomized
 /// compiler, constant α, `O(1)` rounds.
-pub fn table1_row1(trials: usize) -> Table {
-    let mut t = Table::new(
-        "T1.R1  Thm 1.2: non-adaptive randomized, alpha = 1/16, O(1) rounds",
-        &[
-            "n",
-            "budget/node",
-            "adversary",
-            "rounds",
-            "perfect",
-            "errors",
-        ],
-    );
+pub fn t1r1(trials: usize) -> Scenario {
+    let mut cells = Vec::new();
     for n in [16usize, 32, 64] {
         let alpha = 1.0 / 16.0;
         // R = Θ(log n) copies (Theorem 1.2's B = Θ(log n) bandwidth): the
@@ -53,33 +155,131 @@ pub fn table1_row1(trials: usize) -> Table {
             32 => 9,
             _ => 13,
         };
-        let proto = NonAdaptiveAllToAll {
-            copies,
-            ..Default::default()
-        };
-        for spec in [
+        for adversary in [
             AdversarySpec::RandomMatchingsFlip,
             AdversarySpec::RotatingMatchingFlip,
         ] {
-            let agg = aggregate(&proto, n, 2, BANDWIDTH, alpha, spec, trials);
-            t.row(vec![
-                n.to_string(),
-                ((alpha * n as f64) as usize).to_string(),
-                spec.name().into(),
-                fmt_f(agg.mean_rounds),
-                fmt_rate(agg.perfect, agg.trials),
-                agg.total_errors.to_string(),
-            ]);
+            cells.push(Cell {
+                coords: vec![
+                    ("n", Value::u(n)),
+                    ("budget/node", Value::u((alpha * n as f64) as usize)),
+                    ("adversary", Value::s(adversary.name())),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: factory(move |seed| NonAdaptiveAllToAll {
+                        copies,
+                        seed,
+                        ..Default::default()
+                    }),
+                    protocol_key: "nonadaptive",
+                    adversary,
+                    n,
+                    b: 2,
+                    bandwidth: BANDWIDTH,
+                    alpha,
+                    trials,
+                    present: present_rpe,
+                }),
+            });
         }
     }
-    t
+    Scenario {
+        name: "t1r1",
+        title: "T1.R1  Thm 1.2: non-adaptive randomized, alpha = 1/16, O(1) rounds".into(),
+        headers: vec![
+            "n",
+            "budget/node",
+            "adversary",
+            "rounds",
+            "perfect",
+            "errors",
+        ],
+        cells,
+    }
 }
 
 /// `T1.R2` — Table 1, row 2 (Theorem 1.3): adaptive randomized compilers.
-pub fn table1_row2(trials: usize) -> Table {
-    let mut t = Table::new(
-        "T1.R2  Thm 1.3: adaptive randomized (LDC + sketches)",
-        &[
+pub fn t1r2(trials: usize) -> Scenario {
+    let trials = trials.min(3);
+    let configs: Vec<(&'static str, usize, ProtocolFactory)> = vec![
+        (
+            "take1 (O(q))",
+            16,
+            factory(|seed| AdaptiveTakeOne {
+                line_capacity: 1,
+                lines: 5,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take1 (O(q))",
+            64,
+            factory(|seed| AdaptiveTakeOne {
+                lines: 5,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 direct",
+            16,
+            factory(|seed| AdaptiveAllToAll {
+                query_via_ldc: false,
+                line_capacity: 1,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 direct",
+            64,
+            factory(|seed| AdaptiveAllToAll {
+                query_via_ldc: false,
+                p_size: 8,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "take2 LDC",
+            16,
+            factory(|seed| AdaptiveAllToAll {
+                line_capacity: 1,
+                seed,
+                ..Default::default()
+            }),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (variant, n, protocol) in configs {
+        let alpha = 1.5 / n as f64; // budget 1
+        for adversary in [AdversarySpec::GreedyFlip, AdversarySpec::RushingRandom] {
+            cells.push(Cell {
+                coords: vec![
+                    ("variant", Value::s(variant)),
+                    ("n", Value::u(n)),
+                    ("budget", Value::u((alpha * n as f64) as usize)),
+                    ("adversary", Value::s(adversary.name())),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: protocol.clone(),
+                    protocol_key: variant,
+                    adversary,
+                    n,
+                    b: 1,
+                    bandwidth: BANDWIDTH,
+                    alpha,
+                    trials,
+                    present: present_rpe,
+                }),
+            });
+        }
+    }
+    Scenario {
+        name: "t1r2",
+        title: "T1.R2  Thm 1.3: adaptive randomized (LDC + sketches)".into(),
+        headers: vec![
             "variant",
             "n",
             "budget",
@@ -88,76 +288,50 @@ pub fn table1_row2(trials: usize) -> Table {
             "perfect",
             "errors",
         ],
-    );
-    let configs: Vec<(&str, usize, Box<dyn AllToAllProtocol>)> = vec![
-        (
-            "take1 (O(q))",
-            16,
-            Box::new(AdaptiveTakeOne {
-                line_capacity: 1,
-                lines: 5,
-                ..Default::default()
-            }),
-        ),
-        (
-            "take1 (O(q))",
-            64,
-            Box::new(AdaptiveTakeOne {
-                lines: 5,
-                ..Default::default()
-            }),
-        ),
-        (
-            "take2 direct",
-            16,
-            Box::new(AdaptiveAllToAll {
-                query_via_ldc: false,
-                line_capacity: 1,
-                ..Default::default()
-            }),
-        ),
-        (
-            "take2 direct",
-            64,
-            Box::new(AdaptiveAllToAll {
-                query_via_ldc: false,
-                p_size: 8,
-                ..Default::default()
-            }),
-        ),
-        (
-            "take2 LDC",
-            16,
-            Box::new(AdaptiveAllToAll {
-                line_capacity: 1,
-                ..Default::default()
-            }),
-        ),
-    ];
-    for (variant, n, proto) in &configs {
-        let alpha = 1.5 / *n as f64; // budget 1
-        for spec in [AdversarySpec::GreedyFlip, AdversarySpec::RushingRandom] {
-            let agg = aggregate(proto.as_ref(), *n, 1, BANDWIDTH, alpha, spec, trials);
-            t.row(vec![
-                variant.to_string(),
-                n.to_string(),
-                ((alpha * *n as f64) as usize).to_string(),
-                spec.name().into(),
-                fmt_f(agg.mean_rounds),
-                fmt_rate(agg.perfect, agg.trials),
-                agg.total_errors.to_string(),
-            ]);
-        }
+        cells,
     }
-    t
 }
 
 /// `T1.R3` — Table 1, row 3 (Theorem 1.4): deterministic, constant α,
 /// `O(log n)` rounds.
-pub fn table1_row3(trials: usize) -> Table {
-    let mut t = Table::new(
-        "T1.R3  Thm 1.4: deterministic hypercube, alpha = 1/16, O(log n) rounds",
-        &[
+pub fn t1r3(trials: usize) -> Scenario {
+    fn present(job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        let log2n = (job.n as f64).log2();
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            (
+                "rounds/log2(n)",
+                Value::opt_f1(agg.mean_rounds.map(|r| r / log2n)),
+            ),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+        ]
+    }
+    let alpha = 1.0 / 16.0;
+    let cells = [8usize, 16, 32, 64, 128]
+        .into_iter()
+        .map(|n| Cell {
+            coords: vec![
+                ("n", Value::u(n)),
+                ("budget", Value::u((alpha * n as f64) as usize)),
+            ],
+            kind: CellKind::Trials(TrialJob {
+                protocol: factory(|_seed| DetHypercube::default()),
+                protocol_key: "det-hypercube",
+                adversary: AdversarySpec::GreedyFlip,
+                n,
+                b: 1,
+                bandwidth: BANDWIDTH,
+                alpha,
+                trials,
+                present,
+            }),
+        })
+        .collect();
+    Scenario {
+        name: "t1r3",
+        title: "T1.R3  Thm 1.4: deterministic hypercube, alpha = 1/16, O(log n) rounds".into(),
+        headers: vec![
             "n",
             "budget",
             "rounds",
@@ -165,38 +339,49 @@ pub fn table1_row3(trials: usize) -> Table {
             "perfect",
             "errors",
         ],
-    );
-    for n in [8usize, 16, 32, 64, 128] {
-        let alpha = 1.0 / 16.0;
-        let proto = DetHypercube::default();
-        let agg = aggregate(
-            &proto,
-            n,
-            1,
-            BANDWIDTH,
-            alpha,
-            AdversarySpec::GreedyFlip,
-            trials,
-        );
-        let log2n = (n as f64).log2();
-        t.row(vec![
-            n.to_string(),
-            ((alpha * n as f64) as usize).to_string(),
-            fmt_f(agg.mean_rounds),
-            fmt_f(agg.mean_rounds / log2n),
-            fmt_rate(agg.perfect, agg.trials),
-            agg.total_errors.to_string(),
-        ]);
+        cells,
     }
-    t
 }
 
 /// `T1.R4` — Table 1, row 4 (Theorem 1.5): deterministic, α = Θ(1/√n),
 /// `O(1)` rounds, Θ(n^1.5) total corruptions.
-pub fn table1_row4(trials: usize) -> Table {
-    let mut t = Table::new(
-        "T1.R4  Thm 1.5: deterministic sqrt-segments, alpha = 0.5/sqrt(n), O(1) rounds",
-        &[
+pub fn t1r4(trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+            ("corrupted/trial", Value::opt_f1(agg.mean_corrupted)),
+        ]
+    }
+    let cells = [16usize, 64, 144, 256]
+        .into_iter()
+        .map(|n| {
+            let alpha = 0.5 / (n as f64).sqrt();
+            Cell {
+                coords: vec![
+                    ("n", Value::u(n)),
+                    ("budget", Value::u((alpha * n as f64) as usize)),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: factory(|_seed| DetSqrt::default()),
+                    protocol_key: "det-sqrt",
+                    adversary: AdversarySpec::GreedyFlip,
+                    n,
+                    b: 1,
+                    bandwidth: BANDWIDTH,
+                    alpha,
+                    trials,
+                    present,
+                }),
+            }
+        })
+        .collect();
+    Scenario {
+        name: "t1r4",
+        title: "T1.R4  Thm 1.5: deterministic sqrt-segments, alpha = 0.5/sqrt(n), O(1) rounds"
+            .into(),
+        headers: vec![
             "n",
             "budget",
             "rounds",
@@ -204,37 +389,57 @@ pub fn table1_row4(trials: usize) -> Table {
             "errors",
             "corrupted/trial",
         ],
-    );
-    for n in [16usize, 64, 144, 256] {
-        let alpha = 0.5 / (n as f64).sqrt();
-        let proto = DetSqrt::default();
-        let agg = aggregate(
-            &proto,
-            n,
-            1,
-            BANDWIDTH,
-            alpha,
-            AdversarySpec::GreedyFlip,
-            trials,
-        );
-        t.row(vec![
-            n.to_string(),
-            ((alpha * n as f64) as usize).to_string(),
-            fmt_f(agg.mean_rounds),
-            fmt_rate(agg.perfect, agg.trials),
-            agg.total_errors.to_string(),
-            fmt_f(agg.mean_corrupted),
-        ]);
+        cells,
     }
-    t
 }
 
-/// `F.ROUTE` — the routing lemma (Theorem 1.1/4.1): decode margin threshold
-/// and engine comparison.
-pub fn routing_threshold() -> Vec<Table> {
-    let mut margin = Table::new(
-        "F.ROUTE(a)  unit-engine margin sweep, n = 64, k = 2, lambda = 64 bits",
-        &[
+/// `F.ROUTE(a)` — the routing lemma (Theorem 1.1/4.1): unit-engine decode
+/// margin sweep.
+pub fn route_margin(_trials: usize) -> Scenario {
+    let n = 64usize;
+    let cells = [0usize, 1, 2, 4, 8, 12, 14, 16]
+        .into_iter()
+        .map(|budget| {
+            let alpha = (budget as f64 + 0.2) / n as f64;
+            Cell {
+                coords: vec![("budget", Value::u(budget)), ("alpha", Value::f3(alpha))],
+                kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                    let instance = routing_instance(n, 64, 2);
+                    let mut net = Network::new(
+                        n,
+                        BANDWIDTH,
+                        alpha.min(0.99),
+                        AdversarySpec::GreedyFlip.build(ctx.stream.fork("adversary").seed()),
+                    );
+                    let cfg = RouterConfig {
+                        mode: RoutingMode::Unit,
+                        ..Default::default()
+                    };
+                    match route(&mut net, &instance, &cfg) {
+                        Ok(out) => vec![
+                            ("feasible", Value::s("yes")),
+                            ("rounds", Value::U64(out.report.rounds)),
+                            ("decode-failures", Value::u(out.report.decode_failures)),
+                            (
+                                "payload-errors",
+                                Value::u(count_routing_errors(&instance, &out.delivered)),
+                            ),
+                        ],
+                        Err(_) => vec![
+                            ("feasible", Value::s("no")),
+                            ("rounds", Value::Missing),
+                            ("decode-failures", Value::Missing),
+                            ("payload-errors", Value::Missing),
+                        ],
+                    }
+                })),
+            }
+        })
+        .collect();
+    Scenario {
+        name: "route-margin",
+        title: "F.ROUTE(a)  unit-engine margin sweep, n = 64, k = 2, lambda = 64 bits".into(),
+        headers: vec![
             "budget",
             "alpha",
             "feasible",
@@ -242,79 +447,50 @@ pub fn routing_threshold() -> Vec<Table> {
             "decode-failures",
             "payload-errors",
         ],
-    );
-    let n = 64usize;
-    for budget in [0usize, 1, 2, 4, 8, 12, 14, 16] {
-        let alpha = (budget as f64 + 0.2) / n as f64;
-        let instance = routing_instance(n, 64, 2);
-        let mut net = Network::new(
-            n,
-            BANDWIDTH,
-            alpha.min(0.99),
-            AdversarySpec::GreedyFlip.build(5),
-        );
-        let cfg = RouterConfig {
-            mode: RoutingMode::Unit,
-            ..Default::default()
-        };
-        match route(&mut net, &instance, &cfg) {
-            Ok(out) => {
-                let errors = count_routing_errors(&instance, &out.delivered);
-                margin.row(vec![
-                    budget.to_string(),
-                    format!("{alpha:.3}"),
-                    "yes".into(),
-                    out.report.rounds.to_string(),
-                    out.report.decode_failures.to_string(),
-                    errors.to_string(),
-                ]);
-            }
-            Err(_) => margin.row(vec![
-                budget.to_string(),
-                format!("{alpha:.3}"),
-                "no".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
+        cells,
     }
+}
 
-    let mut engines = Table::new(
-        "F.ROUTE(b)  engine comparison, n = 256, lambda = 64 bits, fault-free",
-        &["k", "engine", "feasible", "rounds", "stages"],
-    );
+/// `F.ROUTE(b)` — engine comparison at `n = 256`, fault-free.
+pub fn route_engines(_trials: usize) -> Scenario {
     let n = 256usize;
+    let mut cells = Vec::new();
     for k in [1usize, 2, 4] {
-        let instance = routing_instance(n, 64, k);
-        for (mode, name) in [
+        for (mode, engine) in [
             (RoutingMode::CoverFree, "cover-free"),
             (RoutingMode::Unit, "unit"),
         ] {
-            let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
-            let cfg = RouterConfig {
-                mode,
-                ..Default::default()
-            };
-            match route(&mut net, &instance, &cfg) {
-                Ok(out) => engines.row(vec![
-                    k.to_string(),
-                    name.into(),
-                    "yes".into(),
-                    out.report.rounds.to_string(),
-                    out.report.stages.to_string(),
-                ]),
-                Err(_) => engines.row(vec![
-                    k.to_string(),
-                    name.into(),
-                    "no".into(),
-                    "-".into(),
-                    "-".into(),
-                ]),
-            }
+            cells.push(Cell {
+                coords: vec![("k", Value::u(k)), ("engine", Value::s(engine))],
+                kind: CellKind::Custom(Arc::new(move |_ctx: &CellCtx| {
+                    let instance = routing_instance(n, 64, k);
+                    let mut net = Network::new(n, BANDWIDTH, 0.0, Adversary::none());
+                    let cfg = RouterConfig {
+                        mode,
+                        ..Default::default()
+                    };
+                    match route(&mut net, &instance, &cfg) {
+                        Ok(out) => vec![
+                            ("feasible", Value::s("yes")),
+                            ("rounds", Value::U64(out.report.rounds)),
+                            ("stages", Value::u(out.report.stages)),
+                        ],
+                        Err(_) => vec![
+                            ("feasible", Value::s("no")),
+                            ("rounds", Value::Missing),
+                            ("stages", Value::Missing),
+                        ],
+                    }
+                })),
+            });
         }
     }
-    vec![margin, engines]
+    Scenario {
+        name: "route-engines",
+        title: "F.ROUTE(b)  engine comparison, n = 256, lambda = 64 bits, fault-free".into(),
+        headers: vec!["k", "engine", "feasible", "rounds", "stages"],
+        cells,
+    }
 }
 
 fn routing_instance(n: usize, payload_bits: usize, k: usize) -> RoutingInstance {
@@ -352,60 +528,79 @@ fn count_routing_errors(
 
 /// `F.MATCH` — the mobile-matching separation (Section 3): degree-1 mobile
 /// faults defeat replication but not the compilers.
-pub fn matching_separation(trials: usize) -> Table {
-    let mut t = Table::new(
-        "F.MATCH  mobile matching (alpha = 1/n) vs replication baselines, n = 64",
-        &["protocol", "adversary", "perfect", "errors"],
-    );
+pub fn matching(trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+        ]
+    }
     let n = 64usize;
-    let protocols: Vec<Box<dyn AllToAllProtocol>> = vec![
-        Box::new(NaiveExchange),
-        Box::new(RelayReplication { copies: 3 }),
-        Box::new(RelayReplication { copies: 9 }),
-        Box::new(DetHypercube::default()),
-        Box::new(DetSqrt::default()),
+    let protocols: Vec<(&'static str, ProtocolFactory)> = vec![
+        ("naive", factory(|_| NaiveExchange)),
+        ("relay(x3)", factory(|_| RelayReplication { copies: 3 })),
+        ("relay(x9)", factory(|_| RelayReplication { copies: 9 })),
+        ("det-hypercube", factory(|_| DetHypercube::default())),
+        ("det-sqrt", factory(|_| DetSqrt::default())),
     ];
-    for proto in &protocols {
-        for spec in [
+    let mut cells = Vec::new();
+    for (label, protocol) in protocols {
+        for adversary in [
             AdversarySpec::RotatingMatchingFlip,
             AdversarySpec::RelayHunter(3, 11),
         ] {
-            let agg = aggregate(proto.as_ref(), n, 1, BANDWIDTH, 1.0 / 8.0, spec, trials);
-            t.row(vec![
-                proto.name().into(),
-                spec.name().into(),
-                fmt_rate(agg.perfect, agg.trials),
-                agg.total_errors.to_string(),
-            ]);
+            cells.push(Cell {
+                coords: vec![
+                    ("protocol", Value::s(label)),
+                    ("adversary", Value::s(adversary.name())),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: protocol.clone(),
+                    protocol_key: label,
+                    adversary,
+                    n,
+                    b: 1,
+                    bandwidth: BANDWIDTH,
+                    alpha: 1.0 / 8.0,
+                    trials,
+                    present,
+                }),
+            });
         }
     }
-    t
+    Scenario {
+        name: "matching",
+        title: "F.MATCH  mobile matching (alpha = 1/n) vs replication baselines, n = 64".into(),
+        headers: vec!["protocol", "adversary", "perfect", "errors"],
+        cells,
+    }
 }
 
 /// `F.FREE` — the headline frontier: maximum per-round faulty degree each
-/// protocol tolerates with zero errors, and the rounds it pays.
-pub fn frontier(trials: usize) -> Table {
-    let mut t = Table::new(
-        "F.FREE  fault-tolerance frontier, n = 64 (adaptive greedy flip)",
-        &[
-            "protocol",
-            "max budget",
-            "max alpha",
-            "rounds at max",
-            "corrupt-slots/trial",
-        ],
-    );
+/// protocol tolerates with zero errors, and the rounds it pays. Each cell
+/// sweeps the budget internally, forking the cell stream per budget so
+/// every sweep point owns an independent seed sequence.
+pub fn frontier_scenario(trials: usize) -> Scenario {
+    let trials = trials.min(3);
     let n = 64usize;
-    let protocols: Vec<(Box<dyn AllToAllProtocol>, AdversarySpec, usize)> = vec![
-        (Box::new(NaiveExchange), AdversarySpec::GreedyFlip, 8),
+    let protocols: Vec<(&'static str, ProtocolFactory, AdversarySpec, usize)> = vec![
         (
-            Box::new(RelayReplication { copies: 3 }),
+            "naive",
+            factory(|_| NaiveExchange),
             AdversarySpec::GreedyFlip,
             8,
         ),
         (
-            Box::new(NonAdaptiveAllToAll {
+            "relay(x3)",
+            factory(|_| RelayReplication { copies: 3 }),
+            AdversarySpec::GreedyFlip,
+            8,
+        ),
+        (
+            "nonadaptive",
+            factory(|seed| NonAdaptiveAllToAll {
                 copies: 7,
+                seed,
                 ..Default::default()
             }),
             // The non-adaptive protocol is scored against its own model.
@@ -413,299 +608,467 @@ pub fn frontier(trials: usize) -> Table {
             8,
         ),
         (
-            Box::new(DetHypercube::default()),
+            "det-hypercube",
+            factory(|_| DetHypercube::default()),
             AdversarySpec::GreedyFlip,
             8,
         ),
-        (Box::new(DetSqrt::default()), AdversarySpec::GreedyFlip, 8),
         (
-            Box::new(AdaptiveTakeOne {
+            "det-sqrt",
+            factory(|_| DetSqrt::default()),
+            AdversarySpec::GreedyFlip,
+            8,
+        ),
+        (
+            "take1",
+            factory(|seed| AdaptiveTakeOne {
                 lines: 5,
+                seed,
                 ..Default::default()
             }),
             AdversarySpec::GreedyFlip,
             4,
         ),
     ];
-    for (proto, spec, max_budget) in &protocols {
-        let mut best: Option<(usize, f64, f64, f64)> = None;
-        for budget in 0..=*max_budget {
-            let alpha = (budget as f64 + 0.2) / n as f64;
-            let agg = aggregate(proto.as_ref(), n, 1, BANDWIDTH, alpha, *spec, trials);
-            if agg.infeasible == 0 && agg.perfect == agg.trials {
-                best = Some((budget, alpha, agg.mean_rounds, agg.mean_corrupted));
-            }
-        }
-        match best {
-            Some((budget, alpha, rounds, corrupted)) => t.row(vec![
-                proto.name().into(),
-                budget.to_string(),
-                format!("{alpha:.3}"),
-                fmt_f(rounds),
-                fmt_f(corrupted),
-            ]),
-            None => t.row(vec![
-                proto.name().into(),
-                "none".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
+    let cells = protocols
+        .into_iter()
+        .map(|(label, protocol, adversary, max_budget)| Cell {
+            coords: vec![
+                ("protocol", Value::s(label)),
+                ("adversary", Value::s(adversary.name())),
+            ],
+            kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                let mut best: Option<(usize, f64, Aggregate)> = None;
+                for budget in 0..=max_budget {
+                    let alpha = (budget as f64 + 0.2) / n as f64;
+                    let job = TrialJob {
+                        protocol: protocol.clone(),
+                        protocol_key: label,
+                        adversary,
+                        n,
+                        b: 1,
+                        bandwidth: BANDWIDTH,
+                        alpha,
+                        trials,
+                        present: present_rpe,
+                    };
+                    let agg = run_trials(
+                        &job,
+                        &ctx.stream.fork(&format!("budget={budget}")),
+                        ctx.parallel,
+                    );
+                    if agg.infeasible == 0 && agg.failed == 0 && agg.perfect == agg.trials {
+                        best = Some((budget, alpha, agg));
+                    }
+                }
+                match best {
+                    Some((budget, alpha, agg)) => vec![
+                        ("max budget", Value::u(budget)),
+                        ("max alpha", Value::f3(alpha)),
+                        ("rounds at max", Value::opt_f1(agg.mean_rounds)),
+                        ("corrupt-slots/trial", Value::opt_f1(agg.mean_corrupted)),
+                    ],
+                    None => vec![
+                        ("max budget", Value::s("none")),
+                        ("max alpha", Value::Missing),
+                        ("rounds at max", Value::Missing),
+                        ("corrupt-slots/trial", Value::Missing),
+                    ],
+                }
+            })),
+        })
+        .collect();
+    Scenario {
+        name: "frontier",
+        title: "F.FREE  fault-tolerance frontier, n = 64 (adaptive greedy flip)".into(),
+        headers: vec![
+            "protocol",
+            "adversary",
+            "max budget",
+            "max alpha",
+            "rounds at max",
+            "corrupt-slots/trial",
+        ],
+        cells,
     }
-    t
 }
 
 /// `F.COMPILE` — compiled Congested Clique algorithms under attack.
-pub fn compiler_overhead() -> Table {
-    let mut t = Table::new(
-        "F.COMPILE  round-by-round compilation under adaptive attack, n = 16",
-        &[
+pub fn compiler(_trials: usize) -> Scenario {
+    let n = 16usize;
+    let alpha = 0.07;
+    fn algo_cell<A, F>(label: &'static str, n: usize, alpha: f64, make: F) -> Cell
+    where
+        A: CliqueAlgorithm + Sync,
+        A::State: Send + Sync,
+        F: Fn() -> A + Send + Sync + 'static,
+    {
+        Cell {
+            coords: vec![("algorithm", Value::s(label))],
+            kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                let algo = make();
+                let reference = run_fault_free(&algo, n);
+                let mut net = Network::new(
+                    n,
+                    BANDWIDTH,
+                    alpha,
+                    AdversarySpec::GreedyFlip.build(ctx.stream.fork("adversary").seed()),
+                );
+                let proto = DetHypercube::default();
+                match compile(&mut net, &algo, &proto) {
+                    Ok(run) => {
+                        let cc_rounds = algo.round_count();
+                        vec![
+                            ("cc-rounds", Value::u(cc_rounds)),
+                            ("compiled-rounds", Value::U64(run.rounds)),
+                            ("overhead", Value::f1(run.rounds as f64 / cc_rounds as f64)),
+                            (
+                                "outputs",
+                                Value::s(if run.outputs == reference {
+                                    "MATCH"
+                                } else {
+                                    "MISMATCH"
+                                }),
+                            ),
+                        ]
+                    }
+                    Err(e) => vec![
+                        ("cc-rounds", Value::Missing),
+                        ("compiled-rounds", Value::Missing),
+                        ("overhead", Value::Missing),
+                        ("outputs", Value::s(format!("error: {e}"))),
+                    ],
+                }
+            })),
+        }
+    }
+    let cells = vec![
+        algo_cell("sum-all", n, alpha, move || SumAll {
+            inputs: (0..n as u64).map(|i| i * 13 + 7).collect(),
+            width: 8,
+        }),
+        algo_cell("max-two-phase", n, alpha, move || MaxTwoPhase {
+            inputs: (0..n as u64).map(|i| (i * 37) % 101).collect(),
+            width: 8,
+        }),
+        algo_cell("transpose", n, alpha, move || Transpose {
+            rows: (0..n)
+                .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
+                .collect(),
+            width: 8,
+        }),
+    ];
+    Scenario {
+        name: "compiler",
+        title: "F.COMPILE  round-by-round compilation under adaptive attack, n = 16".into(),
+        headers: vec![
             "algorithm",
             "cc-rounds",
             "compiled-rounds",
             "overhead",
             "outputs",
         ],
-    );
-    let n = 16usize;
-    let alpha = 0.07;
-    let sum = SumAll {
-        inputs: (0..n as u64).map(|i| i * 13 + 7).collect(),
-        width: 8,
-    };
-    let max = MaxTwoPhase {
-        inputs: (0..n as u64).map(|i| (i * 37) % 101).collect(),
-        width: 8,
-    };
-    let transpose = Transpose {
-        rows: (0..n)
-            .map(|u| (0..n).map(|v| (u * n + v) as u64).collect())
-            .collect(),
-        width: 8,
-    };
-    let proto = DetHypercube::default();
-
-    macro_rules! run_algo {
-        ($algo:expr) => {{
-            let reference = run_fault_free(&$algo, n);
-            let mut net = Network::new(n, BANDWIDTH, alpha, AdversarySpec::GreedyFlip.build(3));
-            match compile(&mut net, &$algo, &proto) {
-                Ok(run) => {
-                    let cc_rounds = bdclique_core::compiler::CliqueAlgorithm::round_count(&$algo);
-                    t.row(vec![
-                        bdclique_core::compiler::CliqueAlgorithm::name(&$algo).into(),
-                        cc_rounds.to_string(),
-                        run.rounds.to_string(),
-                        fmt_f(run.rounds as f64 / cc_rounds as f64),
-                        if run.outputs == reference {
-                            "MATCH".into()
-                        } else {
-                            "MISMATCH".into()
-                        },
-                    ]);
-                }
-                Err(e) => t.row(vec![
-                    bdclique_core::compiler::CliqueAlgorithm::name(&$algo).into(),
-                    "-".into(),
-                    "-".into(),
-                    "-".into(),
-                    format!("error: {e}"),
-                ]),
-            }
-        }};
+        cells,
     }
-    run_algo!(sum);
-    run_algo!(max);
-    run_algo!(transpose);
-    t
 }
 
-/// `A.CODE` — ECC ablation: decode success vs corruption fraction.
-pub fn ablation_codes(trials: usize) -> Table {
-    let mut t = Table::new(
-        "A.CODE  decode success vs random symbol corruption (fraction of codeword)",
-        &["code", "rate", "5%", "10%", "20%", "30%", "40%"],
-    );
-    let rep = RepetitionCode::new(8, 3, 5).unwrap();
-    let rs = ReedSolomon::new(8, 16, 8).unwrap();
-    let concat = ConcatenatedCode::new(16, 8).unwrap();
-    let codes: Vec<(&str, &dyn SymbolCode)> = vec![
-        ("repetition x5", &rep),
-        ("RS[16,8] GF(256)", &rs),
-        ("concat RS+Hamming", &concat),
+/// `A.CODE` — ECC ablation: decode success vs random symbol corruption.
+pub fn codes(trials: usize) -> Scenario {
+    let trials = trials * 8;
+    const FRACTIONS: [(&str, f64); 5] = [
+        ("5%", 0.05),
+        ("10%", 0.10),
+        ("20%", 0.20),
+        ("30%", 0.30),
+        ("40%", 0.40),
     ];
-    let fractions = [0.05, 0.10, 0.20, 0.30, 0.40];
-    for (name, code) in codes {
-        let mut cells = vec![name.to_string(), format!("{:.2}", code.rate())];
-        for &f in &fractions {
-            let mut ok = 0;
-            let mut rng = ChaCha8Rng::seed_from_u64(777);
-            for _ in 0..trials {
-                let msg: Vec<u16> = (0..code.message_len())
-                    .map(|_| rng.gen_range(0..1u32 << code.symbol_bits()) as u16)
-                    .collect();
-                let mut cw = code.encode(&msg).unwrap();
-                let corrupt = ((cw.len() as f64) * f).round() as usize;
-                let mut idx: Vec<usize> = (0..cw.len()).collect();
-                for i in (1..idx.len()).rev() {
-                    idx.swap(i, rng.gen_range(0..=i));
+    fn code_cell<C, F>(label: &'static str, trials: usize, make: F) -> Cell
+    where
+        C: SymbolCode,
+        F: Fn() -> C + Send + Sync + 'static,
+    {
+        Cell {
+            coords: vec![("code", Value::s(label))],
+            kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                let code = make();
+                let mut metrics = vec![("rate", Value::s(format!("{:.2}", code.rate())))];
+                for (header, fraction) in FRACTIONS {
+                    let mut ok = 0;
+                    let mut rng = ChaCha8Rng::seed_from_u64(ctx.stream.fork(header).seed());
+                    for _ in 0..trials {
+                        let msg: Vec<u16> = (0..code.message_len())
+                            .map(|_| rng.gen_range(0..1u32 << code.symbol_bits()) as u16)
+                            .collect();
+                        let mut cw = code.encode(&msg).unwrap();
+                        let corrupt = ((cw.len() as f64) * fraction).round() as usize;
+                        let mut idx: Vec<usize> = (0..cw.len()).collect();
+                        for i in (1..idx.len()).rev() {
+                            idx.swap(i, rng.gen_range(0..=i));
+                        }
+                        for &p in idx.iter().take(corrupt) {
+                            cw[p] ^= 1 + rng.gen_range(0..(1u32 << code.symbol_bits()) - 1) as u16;
+                        }
+                        if code.decode(&cw, &vec![false; cw.len()]) == Ok(msg) {
+                            ok += 1;
+                        }
+                    }
+                    metrics.push((header, Value::rate(ok, trials)));
                 }
-                for &p in idx.iter().take(corrupt) {
-                    cw[p] ^= 1 + rng.gen_range(0..(1u32 << code.symbol_bits()) - 1) as u16;
-                }
-                if code.decode(&cw, &vec![false; cw.len()]) == Ok(msg) {
-                    ok += 1;
-                }
-            }
-            cells.push(fmt_rate(ok, trials));
+                metrics
+            })),
         }
-        t.row(cells);
     }
-    t
+    let cells = vec![
+        code_cell("repetition x5", trials, || {
+            RepetitionCode::new(8, 3, 5).unwrap()
+        }),
+        code_cell("RS[16,8] GF(256)", trials, || {
+            ReedSolomon::new(8, 16, 8).unwrap()
+        }),
+        code_cell("concat RS+Hamming", trials, || {
+            ConcatenatedCode::new(16, 8).unwrap()
+        }),
+    ];
+    Scenario {
+        name: "codes",
+        title: "A.CODE  decode success vs random symbol corruption (fraction of codeword)".into(),
+        headers: vec!["code", "rate", "5%", "10%", "20%", "30%", "40%"],
+        cells,
+    }
 }
 
 /// `A.LDC` — Reed–Muller LDC ablation: line amplification vs corruption.
-pub fn ablation_ldc(trials: usize) -> Table {
-    let mut t = Table::new(
-        "A.LDC  RM-LDC local-decode success vs corruption, GF(16), d = 5",
-        &["lines", "q (queries)", "5%", "10%", "15%", "20%"],
-    );
-    for lines in [1usize, 3, 5, 7] {
-        let ldc = RmLdc::new(4, 5, lines).unwrap();
-        let mut cells = vec![lines.to_string(), ldc.query_count().to_string()];
-        for &f in &[0.05, 0.10, 0.15, 0.20] {
-            let mut ok = 0;
-            let mut total = 0;
-            let mut rng = ChaCha8Rng::seed_from_u64(888);
-            for trial in 0..trials {
-                let msg: Vec<u16> = (0..ldc.message_len())
-                    .map(|_| rng.gen_range(0..16))
-                    .collect();
-                let mut cw = ldc.encode(&msg).unwrap();
-                let corrupt = ((cw.len() as f64) * f).round() as usize;
-                for _ in 0..corrupt {
-                    let p = rng.gen_range(0..cw.len());
-                    cw[p] = rng.gen_range(0..16);
-                }
-                let shared = SharedRandomness::from_bits(&BitVec::from_fn(64, |i| {
-                    (i as u64 + trial as u64).is_multiple_of(3)
-                }));
-                for i in (0..ldc.message_len()).step_by(5) {
-                    total += 1;
-                    let qs = ldc.decode_indices(i, &shared);
-                    let answers: Vec<u16> = qs.iter().map(|&p| cw[p]).collect();
-                    if ldc.local_decode(i, &answers, &shared) == Ok(msg[i]) {
-                        ok += 1;
+pub fn ldc(trials: usize) -> Scenario {
+    let trials = trials * 4;
+    const FRACTIONS: [(&str, f64); 4] = [("5%", 0.05), ("10%", 0.10), ("15%", 0.15), ("20%", 0.20)];
+    let cells = [1usize, 3, 5, 7]
+        .into_iter()
+        .map(|lines| Cell {
+            coords: vec![("lines", Value::u(lines))],
+            kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                let ldc = RmLdc::new(4, 5, lines).unwrap();
+                let mut metrics = vec![("q (queries)", Value::u(ldc.query_count()))];
+                for (header, fraction) in FRACTIONS {
+                    let mut ok = 0;
+                    let mut total = 0;
+                    let mut rng = ChaCha8Rng::seed_from_u64(ctx.stream.fork(header).seed());
+                    for _ in 0..trials {
+                        let msg: Vec<u16> = (0..ldc.message_len())
+                            .map(|_| rng.gen_range(0..16))
+                            .collect();
+                        let mut cw = ldc.encode(&msg).unwrap();
+                        let corrupt = ((cw.len() as f64) * fraction).round() as usize;
+                        for _ in 0..corrupt {
+                            let p = rng.gen_range(0..cw.len());
+                            cw[p] = rng.gen_range(0..16);
+                        }
+                        let shared_bits = BitVec::from_fn(64, |_| rng.gen());
+                        let shared = SharedRandomness::from_bits(&shared_bits);
+                        for i in (0..ldc.message_len()).step_by(5) {
+                            total += 1;
+                            let qs = ldc.decode_indices(i, &shared);
+                            let answers: Vec<u16> = qs.iter().map(|&p| cw[p]).collect();
+                            if ldc.local_decode(i, &answers, &shared) == Ok(msg[i]) {
+                                ok += 1;
+                            }
+                        }
                     }
+                    metrics.push((
+                        header,
+                        Value::s(format!("{:.0}%", 100.0 * ok as f64 / total as f64)),
+                    ));
                 }
-            }
-            cells.push(format!("{:.0}%", 100.0 * ok as f64 / total as f64));
-        }
-        t.row(cells);
+                metrics
+            })),
+        })
+        .collect();
+    Scenario {
+        name: "ldc",
+        title: "A.LDC  RM-LDC local-decode success vs corruption, GF(16), d = 5".into(),
+        headers: vec!["lines", "q (queries)", "5%", "10%", "15%", "20%"],
+        cells,
     }
-    t
 }
 
 /// `A.SKETCH` — sparse-recovery ablation: success vs load.
-pub fn ablation_sketch(trials: usize) -> Table {
-    let mut t = Table::new(
-        "A.SKETCH  recovery success vs number of residual items (capacity 4 shape)",
-        &["items", "cells", "recovered"],
-    );
+pub fn sketch(trials: usize) -> Scenario {
+    let trials = trials * 20;
     let shape = SketchShape::for_capacity(4, 32);
-    for items in [1usize, 2, 4, 8, 12, 16, 24] {
-        let mut ok = 0;
-        for trial in 0..trials {
-            let mut rng = ChaCha8Rng::seed_from_u64(trial as u64);
-            let shared = SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng));
-            let mut sk = RecoverySketch::new(shape, &shared);
-            let mut expect = Vec::new();
-            for _ in 0..items {
-                let key = rng.gen_range(0..1u64 << 32);
-                sk.add(key, 1).unwrap();
-                expect.push((key, 1i64));
-            }
-            expect.sort_unstable();
-            expect.dedup_by(|a, b| {
-                if a.0 == b.0 {
-                    b.1 += a.1;
-                    true
-                } else {
-                    false
+    let cells = [1usize, 2, 4, 8, 12, 16, 24]
+        .into_iter()
+        .map(|items| Cell {
+            coords: vec![("items", Value::u(items))],
+            kind: CellKind::Custom(Arc::new(move |ctx: &CellCtx| {
+                let mut ok = 0;
+                for trial in 0..trials {
+                    let mut rng =
+                        ChaCha8Rng::seed_from_u64(ctx.stream.fork_u64(trial as u64).seed());
+                    let shared = SharedRandomness::from_bits(&SharedRandomness::generate(&mut rng));
+                    let mut sk = RecoverySketch::new(shape, &shared);
+                    let mut expect = Vec::new();
+                    for _ in 0..items {
+                        let key = rng.gen_range(0..1u64 << 32);
+                        sk.add(key, 1).unwrap();
+                        expect.push((key, 1i64));
+                    }
+                    expect.sort_unstable();
+                    expect.dedup_by(|a, b| {
+                        if a.0 == b.0 {
+                            b.1 += a.1;
+                            true
+                        } else {
+                            false
+                        }
+                    });
+                    if sk.recover() == Some(expect) {
+                        ok += 1;
+                    }
                 }
-            });
-            if sk.recover() == Some(expect) {
-                ok += 1;
-            }
-        }
-        t.row(vec![
-            items.to_string(),
-            (shape.rows * shape.cols).to_string(),
-            fmt_rate(ok, trials),
-        ]);
+                vec![
+                    ("cells", Value::u(shape.rows * shape.cols)),
+                    ("recovered", Value::rate(ok, trials)),
+                ]
+            })),
+        })
+        .collect();
+    Scenario {
+        name: "sketch",
+        title: "A.SKETCH  recovery success vs number of residual items (capacity 4 shape)".into(),
+        headers: vec!["items", "cells", "recovered"],
+        cells,
     }
-    t
 }
 
 /// `A.CFREE` — cover-free family ablation: measured worst cover fraction vs
 /// group size.
-pub fn ablation_coverfree() -> Table {
-    let mut t = Table::new(
-        "A.CFREE  measured worst cover fraction vs group size, n = 256, k = 2",
-        &[
+pub fn cfree(_trials: usize) -> Scenario {
+    let n = 256usize;
+    let cells = [4usize, 8, 16, 32]
+        .into_iter()
+        .map(|group| {
+            let l = n / group;
+            Cell {
+                coords: vec![("group", Value::u(group)), ("set size L", Value::u(l))],
+                kind: CellKind::Custom(Arc::new(move |_ctx: &CellCtx| {
+                    let params = CoverFreeParams {
+                        n,
+                        m: 2 * n,
+                        r: 1,
+                        set_size: l,
+                    };
+                    let h: Vec<Vec<u32>> = (0..n)
+                        .map(|u| vec![2 * u as u32, 2 * u as u32 + 1])
+                        .collect();
+                    match CoverFreeFamily::build(params, &h, 1.0, 1, 8) {
+                        Ok(fam) => {
+                            let f = (2.0 * fam.worst_cover_fraction() * l as f64).ceil() as i64;
+                            let margin = l as i64 - 2 * 5 - f; // e_allow = 2·2+1
+                            vec![
+                                ("worst fraction", Value::f3(fam.worst_cover_fraction())),
+                                ("erasure bound f", Value::I64(f)),
+                                ("margin left (L-2e-f), e=2", Value::I64(margin)),
+                            ]
+                        }
+                        Err(e) => vec![
+                            ("worst fraction", Value::s(format!("error: {e}"))),
+                            ("erasure bound f", Value::Missing),
+                            ("margin left (L-2e-f), e=2", Value::Missing),
+                        ],
+                    }
+                })),
+            }
+        })
+        .collect();
+    Scenario {
+        name: "cfree",
+        title: "A.CFREE  measured worst cover fraction vs group size, n = 256, k = 2".into(),
+        headers: vec![
             "group",
             "set size L",
             "worst fraction",
             "erasure bound f",
             "margin left (L-2e-f), e=2",
         ],
-    );
-    let n = 256usize;
-    for group in [4usize, 8, 16, 32] {
-        let l = n / group;
-        let params = CoverFreeParams {
-            n,
-            m: 2 * n,
-            r: 1,
-            set_size: l,
-        };
-        let h: Vec<Vec<u32>> = (0..n)
-            .map(|u| vec![2 * u as u32, 2 * u as u32 + 1])
-            .collect();
-        match CoverFreeFamily::build(params, &h, 1.0, 1, 8) {
-            Ok(fam) => {
-                let f = (2.0 * fam.worst_cover_fraction() * l as f64).ceil() as i64;
-                let margin = l as i64 - 2 * 5 - f; // e_allow = 2·2+1
-                t.row(vec![
-                    group.to_string(),
-                    l.to_string(),
-                    format!("{:.3}", fam.worst_cover_fraction()),
-                    f.to_string(),
-                    margin.to_string(),
-                ]);
-            }
-            Err(e) => t.row(vec![
-                group.to_string(),
-                l.to_string(),
-                format!("error: {e}"),
-                "-".into(),
-                "-".into(),
-            ]),
-        }
+        cells,
     }
-    t
+}
+
+/// `A.QUERYPATH` — Take II ablation: LDC fetch vs direct sketch pull.
+pub fn querypath(trials: usize) -> Scenario {
+    let trials = trials.min(3);
+    let cells = [("LDC (paper)", true), ("direct pull", false)]
+        .into_iter()
+        .map(|(label, via_ldc)| Cell {
+            coords: vec![("path", Value::s(label))],
+            kind: CellKind::Trials(TrialJob {
+                protocol: factory(move |seed| AdaptiveAllToAll {
+                    query_via_ldc: via_ldc,
+                    line_capacity: 1,
+                    seed,
+                    ..Default::default()
+                }),
+                protocol_key: label,
+                adversary: AdversarySpec::GreedyFlip,
+                n: 16,
+                b: 1,
+                bandwidth: BANDWIDTH,
+                alpha: 0.07,
+                trials,
+                present: present_rpe,
+            }),
+        })
+        .collect();
+    Scenario {
+        name: "querypath",
+        title: "A.QUERYPATH  Take II sketch fetch: LDC storage vs direct pull, n = 16, budget 1"
+            .into(),
+        headers: vec!["path", "rounds", "perfect", "errors"],
+        cells,
+    }
 }
 
 /// `S.LARGE-N` — storage-layer scaling smoke: a full DetSqrt trial at
-/// `n = 1024` (and the sparse exchange substrate it rides on). The old
-/// dense `n²` frame matrix made this size unreachable; the row records the
-/// wall time so regressions in the sparse substrate are visible in the
-/// rendered tables.
-pub fn large_n_smoke() -> Table {
-    let mut t = Table::new(
-        "S.LARGE-N  DetSqrt smoke on the sparse traffic substrate",
-        &[
+/// `n = 1024` on the sparse traffic substrate. The per-cell `secs` column
+/// keeps substrate regressions visible in the rendered tables and the JSON
+/// perf trajectory.
+pub fn largen(_trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        if agg.completed == 0 {
+            return vec![
+                ("errors", Value::s("failed")),
+                ("rounds", Value::Missing),
+                ("bits sent", Value::Missing),
+            ];
+        }
+        vec![
+            ("errors", Value::u(agg.total_errors)),
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("bits sent", Value::opt_f1(agg.mean_bits)),
+        ]
+    }
+    let n = 1024usize;
+    let cells = vec![Cell {
+        coords: vec![
+            ("protocol", Value::s("det-sqrt")),
+            ("n", Value::u(n)),
+            ("B", Value::u(1)),
+        ],
+        kind: CellKind::Trials(TrialJob {
+            protocol: factory(|_seed| DetSqrt::default()),
+            protocol_key: "det-sqrt",
+            adversary: AdversarySpec::None,
+            n,
+            b: 1,
+            bandwidth: BANDWIDTH,
+            alpha: 0.0,
+            trials: 1,
+            present,
+        }),
+    }];
+    Scenario {
+        name: "largen",
+        title: "S.LARGE-N  DetSqrt smoke on the sparse traffic substrate".into(),
+        headers: vec![
             "protocol",
             "n",
             "B",
@@ -714,69 +1077,84 @@ pub fn large_n_smoke() -> Table {
             "bits sent",
             "secs",
         ],
-    );
-    let n = 1024usize;
-    let start = std::time::Instant::now();
-    match crate::run_trial(
-        &DetSqrt::default(),
-        n,
-        1,
-        BANDWIDTH,
-        0.0,
-        AdversarySpec::None,
-        1,
-    ) {
-        Ok(trial) => t.row(vec![
-            "det-sqrt".into(),
-            n.to_string(),
-            "1".into(),
-            trial.errors.to_string(),
-            trial.rounds.to_string(),
-            trial.bits_sent.to_string(),
-            fmt_f(start.elapsed().as_secs_f64()),
-        ]),
-        Err(e) => t.row(vec![
-            "det-sqrt".into(),
-            n.to_string(),
-            "1".into(),
-            format!("error: {e}"),
-            "-".into(),
-            "-".into(),
-            fmt_f(start.elapsed().as_secs_f64()),
-        ]),
+        cells,
     }
-    t
 }
 
-/// `A.QUERYPATH` — Take II ablation: LDC fetch vs direct sketch pull.
+// ---------------------------------------------------------------------------
+// Legacy `Table`-returning wrappers: the stable experiment-id names that
+// `DESIGN.md` references, now thin shims over the scenario engine.
+// ---------------------------------------------------------------------------
+
+/// `T1.R1` rendered as a table (engine-backed).
+pub fn table1_row1(trials: usize) -> Table {
+    run(&t1r1(trials)).table()
+}
+
+/// `T1.R2` rendered as a table (engine-backed).
+pub fn table1_row2(trials: usize) -> Table {
+    run(&t1r2(trials)).table()
+}
+
+/// `T1.R3` rendered as a table (engine-backed).
+pub fn table1_row3(trials: usize) -> Table {
+    run(&t1r3(trials)).table()
+}
+
+/// `T1.R4` rendered as a table (engine-backed).
+pub fn table1_row4(trials: usize) -> Table {
+    run(&t1r4(trials)).table()
+}
+
+/// `F.ROUTE` — both routing tables (engine-backed).
+pub fn routing_threshold() -> Vec<Table> {
+    vec![
+        run(&route_margin(1)).table(),
+        run(&route_engines(1)).table(),
+    ]
+}
+
+/// `F.MATCH` rendered as a table (engine-backed).
+pub fn matching_separation(trials: usize) -> Table {
+    run(&matching(trials)).table()
+}
+
+/// `F.FREE` rendered as a table (engine-backed).
+pub fn frontier(trials: usize) -> Table {
+    run(&frontier_scenario(trials)).table()
+}
+
+/// `F.COMPILE` rendered as a table (engine-backed).
+pub fn compiler_overhead() -> Table {
+    run(&compiler(1)).table()
+}
+
+/// `A.CODE` rendered as a table (engine-backed; runs `8 × trials`).
+pub fn ablation_codes(trials: usize) -> Table {
+    run(&codes(trials)).table()
+}
+
+/// `A.LDC` rendered as a table (engine-backed; runs `4 × trials`).
+pub fn ablation_ldc(trials: usize) -> Table {
+    run(&ldc(trials)).table()
+}
+
+/// `A.SKETCH` rendered as a table (engine-backed; runs `20 × trials`).
+pub fn ablation_sketch(trials: usize) -> Table {
+    run(&sketch(trials)).table()
+}
+
+/// `A.CFREE` rendered as a table (engine-backed).
+pub fn ablation_coverfree() -> Table {
+    run(&cfree(1)).table()
+}
+
+/// `A.QUERYPATH` rendered as a table (engine-backed).
 pub fn ablation_querypath(trials: usize) -> Table {
-    let mut t = Table::new(
-        "A.QUERYPATH  Take II sketch fetch: LDC storage vs direct pull, n = 16, budget 1",
-        &["path", "rounds", "perfect", "errors"],
-    );
-    let n = 16usize;
-    let alpha = 0.07;
-    for (name, via_ldc) in [("LDC (paper)", true), ("direct pull", false)] {
-        let proto = AdaptiveAllToAll {
-            query_via_ldc: via_ldc,
-            line_capacity: 1,
-            ..Default::default()
-        };
-        let agg = aggregate(
-            &proto,
-            n,
-            1,
-            BANDWIDTH,
-            alpha,
-            AdversarySpec::GreedyFlip,
-            trials,
-        );
-        t.row(vec![
-            name.into(),
-            fmt_f(agg.mean_rounds),
-            fmt_rate(agg.perfect, agg.trials),
-            agg.total_errors.to_string(),
-        ]);
-    }
-    t
+    run(&querypath(trials)).table()
+}
+
+/// `S.LARGE-N` rendered as a table (engine-backed).
+pub fn large_n_smoke() -> Table {
+    run(&largen(1)).table()
 }

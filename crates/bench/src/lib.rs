@@ -1,12 +1,25 @@
 //! Shared experiment harness for the `tables` binary and the Criterion
-//! benches: protocol/adversary factories, trial execution, and plain-text
-//! table rendering.
+//! benches: protocol/adversary factories, trial execution, the declarative
+//! [`scenario`] engine, and plain-text table rendering.
 //!
 //! `DESIGN.md` maps every experiment id (`T1.R1` … `A.SKETCH`) to the
 //! functions in [`crate::experiments`]; `EXPERIMENTS.md` records the
 //! measured outcomes against the paper's claims.
+//!
+//! # Seeding discipline
+//!
+//! Every trial draws three *independent* seeds — instance, adversary,
+//! protocol — derived from one root via labelled [`SeedStream`] forks
+//! ([`TrialSeeds::derive`]). Trial roots are in turn forked from a per-cell
+//! stream that hashes the full cell coordinates (scenario name, protocol,
+//! adversary, `n`, `b`, bandwidth, α), so no two experiment cells replay
+//! each other's random streams and no component within a trial can be
+//! correlated with another. An earlier revision fed the *same* seed to the
+//! instance RNG and the adversary and reused seeds `1000 + t` across every
+//! cell; the scenario engine fixes that at the architecture level.
 
 pub mod experiments;
+pub mod scenario;
 
 use bdclique_adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
 use bdclique_adversary::corruptors::PayloadCorruptor;
@@ -14,7 +27,7 @@ use bdclique_adversary::plans::{RandomMatchings, RelayPathHunter, RotatingMatchi
 use bdclique_adversary::Payload;
 use bdclique_core::protocols::AllToAllProtocol;
 use bdclique_core::{AllToAllInstance, CoreError};
-use bdclique_netsim::{Adversary, Network};
+use bdclique_netsim::{Adversary, Network, SeedStream};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -53,35 +66,85 @@ impl AdversarySpec {
         }
     }
 
+    /// Canonical key naming the spec *and* its parameters — the string that
+    /// distinguishes e.g. `RelayHunter(3, 11)` from `RelayHunter(0, 1)` in
+    /// seed derivation and JSON output, where [`AdversarySpec::name`] would
+    /// collide.
+    pub fn key(&self) -> String {
+        match self {
+            AdversarySpec::RelayHunter(src, dst) => format!("nbd-hunter({src},{dst})"),
+            AdversarySpec::TargetNodeFlip(victim) => format!("abd-victim({victim})"),
+            other => other.name().to_string(),
+        }
+    }
+
     /// Builds the adversary (deterministic in `seed`).
+    ///
+    /// Components with their own randomness — the edge plan / adaptive
+    /// strategy and the payload corruptor — are seeded from *separate*
+    /// [`SeedStream`] forks of `seed`, so a plan can never be correlated
+    /// with the payloads it carries.
     pub fn build(&self, seed: u64) -> Adversary {
+        let stream = SeedStream::new(seed);
+        let plan_seed = stream.fork("plan").seed();
+        let payload_seed = stream.fork("payload").seed();
         match *self {
             AdversarySpec::None => Adversary::none(),
             AdversarySpec::RandomMatchingsFlip => Adversary::non_adaptive(
-                RandomMatchings::new(seed),
-                PayloadCorruptor::new(Payload::Flip, seed),
+                RandomMatchings::new(plan_seed),
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
             ),
             AdversarySpec::RotatingMatchingFlip => Adversary::non_adaptive(
                 RotatingMatching::new(),
-                PayloadCorruptor::new(Payload::Flip, seed),
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
             ),
             AdversarySpec::RelayHunter(src, dst) => Adversary::non_adaptive(
                 RelayPathHunter { src, dst },
-                PayloadCorruptor::new(Payload::Flip, seed),
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
             ),
-            AdversarySpec::GreedyFlip => Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed)),
+            AdversarySpec::GreedyFlip => {
+                Adversary::adaptive(GreedyLoad::new(Payload::Flip, plan_seed))
+            }
             AdversarySpec::TargetNodeFlip(victim) => {
-                Adversary::adaptive(TargetNode::new(victim, Payload::Flip, seed))
+                Adversary::adaptive(TargetNode::new(victim, Payload::Flip, plan_seed))
             }
             AdversarySpec::RushingRandom => {
-                Adversary::adaptive(RushingRandom::new(Payload::Random, seed))
+                Adversary::adaptive(RushingRandom::new(Payload::Random, plan_seed))
             }
         }
     }
 }
 
+/// The three independent seeds one trial consumes.
+///
+/// Derived from a single root by labelled [`SeedStream`] forks, so the
+/// components are decorrelated while the whole trial stays reproducible
+/// from one `u64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialSeeds {
+    /// Seeds the RNG that draws the random [`AllToAllInstance`].
+    pub instance: u64,
+    /// Passed to [`AdversarySpec::build`].
+    pub adversary: u64,
+    /// For the protocol's internal coins (`seed` field of the randomized
+    /// protocols); unused by deterministic ones.
+    pub protocol: u64,
+}
+
+impl TrialSeeds {
+    /// Derives the three component seeds from one root.
+    pub fn derive(root: u64) -> Self {
+        let stream = SeedStream::new(root);
+        Self {
+            instance: stream.fork("instance").seed(),
+            adversary: stream.fork("adversary").seed(),
+            protocol: stream.fork("protocol").seed(),
+        }
+    }
+}
+
 /// Outcome of one protocol execution.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Trial {
     /// Wrong or missing messages (out of `n²`).
     pub errors: usize,
@@ -91,9 +154,13 @@ pub struct Trial {
     pub bits_sent: u64,
     /// Corrupted (edge, round) slots used by the adversary.
     pub edges_corrupted: u64,
+    /// Maximum faulty degree the adversary actually used in any round — by
+    /// the model's enforcement, always `≤ ⌊αn⌋`.
+    pub peak_fault_degree: usize,
 }
 
-/// Runs one trial of `proto` on a fresh network.
+/// Runs one trial of `proto` on a fresh network, deriving decorrelated
+/// component seeds from `seed` (see [`TrialSeeds::derive`]).
 ///
 /// # Errors
 ///
@@ -107,31 +174,68 @@ pub fn run_trial(
     spec: AdversarySpec,
     seed: u64,
 ) -> Result<Trial, CoreError> {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xfeed);
+    run_trial_seeded(
+        proto,
+        n,
+        b,
+        bandwidth,
+        alpha,
+        spec,
+        TrialSeeds::derive(seed),
+    )
+}
+
+/// Runs one trial with explicit per-component seeds.
+///
+/// # Errors
+///
+/// Propagates protocol parameter errors ([`CoreError`]).
+pub fn run_trial_seeded(
+    proto: &dyn AllToAllProtocol,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    seeds: TrialSeeds,
+) -> Result<Trial, CoreError> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seeds.instance);
     let inst = AllToAllInstance::random(n, b, &mut rng);
-    let mut net = Network::new(n, bandwidth, alpha, spec.build(seed));
+    let mut net = Network::new(n, bandwidth, alpha, spec.build(seeds.adversary));
     let out = proto.run(&mut net, &inst)?;
     Ok(Trial {
         errors: inst.count_errors(&out),
         rounds: net.rounds(),
         bits_sent: net.stats().bits_sent,
         edges_corrupted: net.stats().edges_corrupted,
+        peak_fault_degree: net.stats().peak_fault_degree,
     })
 }
 
 /// Aggregates several trials of the same configuration.
+///
+/// The means are `None` — never `NaN`, and never a misleading `0.0` — when
+/// no trial completed (all infeasible or failed).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Aggregate {
     /// Number of trials.
     pub trials: usize,
+    /// Trials that completed (ran to an output, with or without errors).
+    pub completed: usize,
     /// Trials with zero errors.
     pub perfect: usize,
     /// Total errors across trials.
     pub total_errors: usize,
-    /// Mean rounds.
-    pub mean_rounds: f64,
-    /// Mean corrupted edge-slots per trial.
-    pub mean_corrupted: f64,
+    /// Mean rounds over completed trials; `None` if none completed.
+    pub mean_rounds: Option<f64>,
+    /// Mean corrupted edge-slots per completed trial; `None` if none
+    /// completed.
+    pub mean_corrupted: Option<f64>,
+    /// Mean honest bits queued per completed trial; `None` if none
+    /// completed.
+    pub mean_bits: Option<f64>,
+    /// Maximum faulty degree the adversary used across all completed trials.
+    pub max_fault_degree: usize,
     /// Infeasible-parameter failures.
     pub infeasible: usize,
     /// Trials that failed with any other protocol error (excluded from the
@@ -139,12 +243,18 @@ pub struct Aggregate {
     pub failed: usize,
 }
 
-/// Runs `trials` seeded trials **in parallel** and aggregates.
+/// Runs `trials` trials **in parallel** and aggregates.
 ///
-/// Each trial owns its RNG seed (`1000 + t`) and a fresh network, so trials
-/// are independent; they fan out across cores and the results are folded in
-/// trial order, making the output bit-identical to [`aggregate_serial`]
-/// (covered by a regression test).
+/// Trial `t` draws its root seed from `stream.fork_u64(t)` and then splits
+/// it into independent instance/adversary/protocol seeds
+/// ([`TrialSeeds::derive`]), so trials never share a random stream and
+/// growing `trials` extends the seed sequence without reshuffling earlier
+/// trials. Trials fan out across cores and the results are folded in trial
+/// order, making the output bit-identical to [`aggregate_serial`] (covered
+/// by a regression test).
+// The argument list *is* the cell coordinate tuple; bundling it would just
+// rename the same eight values.
+#[allow(clippy::too_many_arguments)]
 pub fn aggregate(
     proto: &dyn AllToAllProtocol,
     n: usize,
@@ -153,16 +263,21 @@ pub fn aggregate(
     alpha: f64,
     spec: AdversarySpec,
     trials: usize,
+    stream: SeedStream,
 ) -> Aggregate {
     let results: Vec<Result<Trial, CoreError>> = (0..trials)
         .into_par_iter()
-        .map(|t| run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64))
+        .map(|t| {
+            let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
+            run_trial_seeded(proto, n, b, bandwidth, alpha, spec, seeds)
+        })
         .collect();
     fold_trials(trials, results)
 }
 
 /// Serial reference implementation of [`aggregate`]: same seeds, same fold,
 /// one thread. Kept public as the determinism oracle.
+#[allow(clippy::too_many_arguments)]
 pub fn aggregate_serial(
     proto: &dyn AllToAllProtocol,
     n: usize,
@@ -171,9 +286,13 @@ pub fn aggregate_serial(
     alpha: f64,
     spec: AdversarySpec,
     trials: usize,
+    stream: SeedStream,
 ) -> Aggregate {
     let results: Vec<Result<Trial, CoreError>> = (0..trials)
-        .map(|t| run_trial(proto, n, b, bandwidth, alpha, spec, 1000 + t as u64))
+        .map(|t| {
+            let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
+            run_trial_seeded(proto, n, b, bandwidth, alpha, spec, seeds)
+        })
         .collect();
     fold_trials(trials, results)
 }
@@ -183,32 +302,35 @@ pub fn aggregate_serial(
 /// computed from integer sums, so any ordering of the same multiset of
 /// results yields identical fields — but keeping input order makes that
 /// trivially true.
-fn fold_trials(trials: usize, results: Vec<Result<Trial, CoreError>>) -> Aggregate {
+pub(crate) fn fold_trials(trials: usize, results: Vec<Result<Trial, CoreError>>) -> Aggregate {
     let mut agg = Aggregate {
         trials,
         ..Default::default()
     };
     let mut rounds_sum = 0u64;
     let mut corrupted_sum = 0u64;
-    let mut completed = 0usize;
+    let mut bits_sum = 0u64;
     for result in results {
         match result {
             Ok(trial) => {
-                completed += 1;
+                agg.completed += 1;
                 if trial.errors == 0 {
                     agg.perfect += 1;
                 }
                 agg.total_errors += trial.errors;
                 rounds_sum += trial.rounds;
                 corrupted_sum += trial.edges_corrupted;
+                bits_sum += trial.bits_sent;
+                agg.max_fault_degree = agg.max_fault_degree.max(trial.peak_fault_degree);
             }
             Err(CoreError::Infeasible { .. }) => agg.infeasible += 1,
             Err(_) => agg.failed += 1,
         }
     }
-    if completed > 0 {
-        agg.mean_rounds = rounds_sum as f64 / completed as f64;
-        agg.mean_corrupted = corrupted_sum as f64 / completed as f64;
+    if agg.completed > 0 {
+        agg.mean_rounds = Some(rounds_sum as f64 / agg.completed as f64);
+        agg.mean_corrupted = Some(corrupted_sum as f64 / agg.completed as f64);
+        agg.mean_bits = Some(bits_sum as f64 / agg.completed as f64);
     }
     agg
 }
@@ -237,7 +359,9 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Renders the table with aligned columns.
+    /// Renders the table with aligned columns. A table with no rows (e.g. a
+    /// zero-trial or fully filtered scenario) still renders its header block
+    /// rather than panicking or printing misleading placeholder rows.
     pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
@@ -257,7 +381,8 @@ impl Table {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        let rule = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -277,12 +402,28 @@ mod tests {
         let t = run_trial(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 1).unwrap();
         assert_eq!(t.errors, 0);
         assert_eq!(t.rounds, 1);
+        assert_eq!(t.peak_fault_degree, 0);
+    }
+
+    /// The two component seeds of one trial must never coincide — the old
+    /// `seed` / `seed ^ 0xfeed` scheme handed the adversary the instance
+    /// stream.
+    #[test]
+    fn trial_seeds_are_pairwise_distinct() {
+        for root in [0u64, 1, 1000, u64::MAX] {
+            let s = TrialSeeds::derive(root);
+            assert_ne!(s.instance, s.adversary, "root {root}");
+            assert_ne!(s.instance, s.protocol, "root {root}");
+            assert_ne!(s.adversary, s.protocol, "root {root}");
+        }
     }
 
     #[test]
     fn aggregate_counts_perfect_trials() {
-        let agg = aggregate(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 3);
+        let stream = SeedStream::from_label("test:aggregate");
+        let agg = aggregate(&NaiveExchange, 8, 1, 9, 0.0, AdversarySpec::None, 3, stream);
         assert_eq!(agg.perfect, 3);
+        assert_eq!(agg.completed, 3);
         assert_eq!(agg.total_errors, 0);
     }
 
@@ -299,17 +440,52 @@ mod tests {
             (AdversarySpec::RandomMatchingsFlip, 0.07),
         ];
         for &(spec, alpha) in configs {
-            let par = aggregate(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8);
-            let ser = aggregate_serial(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8);
+            let stream = SeedStream::from_label("test:par-vs-serial");
+            let par = aggregate(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8, stream);
+            let ser = aggregate_serial(&DetSqrt::default(), 16, 1, 9, alpha, spec, 8, stream);
             assert_eq!(
                 par, ser,
                 "spec {spec:?} diverged between parallel and serial"
             );
             // f64 equality above is exact; double-check the bit patterns to
             // rule out a PartialEq that tolerates representation drift.
-            assert_eq!(par.mean_rounds.to_bits(), ser.mean_rounds.to_bits());
-            assert_eq!(par.mean_corrupted.to_bits(), ser.mean_corrupted.to_bits());
+            assert_eq!(
+                par.mean_rounds.map(f64::to_bits),
+                ser.mean_rounds.map(f64::to_bits)
+            );
+            assert_eq!(
+                par.mean_corrupted.map(f64::to_bits),
+                ser.mean_corrupted.map(f64::to_bits)
+            );
         }
+    }
+
+    /// An all-infeasible cell must keep its means well-defined (`None`), not
+    /// `NaN`, `0/0`, or a misleading `0.0`.
+    #[test]
+    fn all_infeasible_fold_has_no_means() {
+        let results: Vec<Result<Trial, CoreError>> = (0..3)
+            .map(|i| {
+                Err(CoreError::Infeasible {
+                    reason: format!("trial {i}"),
+                })
+            })
+            .collect();
+        let agg = fold_trials(3, results);
+        assert_eq!(agg.trials, 3);
+        assert_eq!(agg.infeasible, 3);
+        assert_eq!(agg.completed, 0);
+        assert_eq!(agg.mean_rounds, None);
+        assert_eq!(agg.mean_corrupted, None);
+        assert_eq!(agg.mean_bits, None);
+    }
+
+    #[test]
+    fn empty_fold_is_well_defined_too() {
+        let agg = fold_trials(0, Vec::new());
+        assert_eq!(agg.trials, 0);
+        assert_eq!(agg.mean_rounds, None);
+        assert_eq!(agg.perfect, 0);
     }
 
     #[test]

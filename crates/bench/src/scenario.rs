@@ -1,0 +1,589 @@
+//! The declarative scenario engine: experiment grids as data.
+//!
+//! A [`Scenario`] is a named list of [`Cell`]s — one cell per output row —
+//! where each cell is either a **trial grid point** (protocol ×
+//! [`AdversarySpec`] × `n` × `b` × bandwidth × α × trials, executed by the
+//! engine and folded into an [`Aggregate`]) or a **custom measurement**
+//! (routing sweeps, code ablations, …) that receives a seed stream and
+//! returns metrics. The engine owns everything the hand-rolled experiment
+//! loops used to duplicate:
+//!
+//! * **Parallelism** — independent cells fan out across cores, and the
+//!   trials inside a cell fan out again; [`run_serial`] is the bit-identity
+//!   oracle (regression-tested).
+//! * **Seeding** — every cell derives its own [`SeedStream`] by hashing the
+//!   scenario name and the *full* cell coordinates; trial `t` forks that
+//!   stream by index and splits it into independent instance / adversary /
+//!   protocol seeds ([`TrialSeeds`]). Changing any single coordinate
+//!   changes the cell's entire stream; no two cells share randomness.
+//! * **Backends** — one run renders as an aligned-text [`Table`] and/or
+//!   serializes to JSON ([`emit_json`]) for the machine-readable perf
+//!   trajectory. The JSON schema is documented in the README
+//!   ("Scenario engine" section) and versioned via [`SCHEMA`].
+
+use crate::{fold_trials, run_trial_seeded, AdversarySpec, Aggregate, Table, TrialSeeds};
+use bdclique_core::protocols::AllToAllProtocol;
+use bdclique_core::CoreError;
+use bdclique_netsim::SeedStream;
+use rayon::prelude::*;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// JSON schema identifier emitted at the top of every document.
+pub const SCHEMA: &str = "bdclique-bench/scenario-v1";
+
+/// A coordinate or metric value: typed for JSON, formatted for tables.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float, rendered with `prec` decimals in tables (full precision in
+    /// JSON).
+    Float {
+        /// The value.
+        v: f64,
+        /// Table decimal places.
+        prec: usize,
+    },
+    /// Free-form string.
+    Str(String),
+    /// A success ratio; renders `ok/of`, or `n/a` when `of == 0` (a
+    /// zero-trial cell must never print a misleading `0/0`).
+    Rate {
+        /// Successes.
+        ok: usize,
+        /// Attempts.
+        of: usize,
+    },
+    /// Not applicable / no data; renders `n/a`, serializes as `null`.
+    Missing,
+}
+
+impl Value {
+    /// Unsigned integer value.
+    pub fn u(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+
+    /// Float with 1 table decimal.
+    pub fn f1(v: f64) -> Self {
+        Value::Float { v, prec: 1 }
+    }
+
+    /// Float with 3 table decimals.
+    pub fn f3(v: f64) -> Self {
+        Value::Float { v, prec: 3 }
+    }
+
+    /// Optional float with 1 table decimal; `None` renders `n/a`.
+    pub fn opt_f1(v: Option<f64>) -> Self {
+        v.map_or(Value::Missing, Value::f1)
+    }
+
+    /// String value.
+    pub fn s(v: impl Into<String>) -> Self {
+        Value::Str(v.into())
+    }
+
+    /// Success-rate value.
+    pub fn rate(ok: usize, of: usize) -> Self {
+        Value::Rate { ok, of }
+    }
+
+    /// Canonical byte-exact encoding used for seed derivation: floats encode
+    /// their bit pattern so two coordinates differing anywhere in the value
+    /// never alias.
+    fn canon(&self) -> String {
+        match self {
+            Value::U64(v) => format!("u{v}"),
+            Value::I64(v) => format!("i{v}"),
+            Value::Float { v, .. } => format!("f{:016x}", v.to_bits()),
+            Value::Str(s) => format!("s{s}"),
+            Value::Rate { ok, of } => format!("r{ok}/{of}"),
+            Value::Missing => "m".to_string(),
+        }
+    }
+
+    /// JSON encoding (numbers stay numbers; non-finite floats and
+    /// [`Value::Missing`] become `null`).
+    fn to_json(&self) -> String {
+        match self {
+            Value::U64(v) => v.to_string(),
+            Value::I64(v) => v.to_string(),
+            Value::Float { v, .. } if v.is_finite() => format!("{v}"),
+            Value::Float { .. } | Value::Missing => "null".to_string(),
+            Value::Str(s) => json_string(s),
+            Value::Rate { ok, of } => format!("{{\"ok\":{ok},\"of\":{of}}}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::Float { v, prec } => write!(f, "{v:.prec$}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Rate { of: 0, .. } => write!(f, "n/a"),
+            Value::Rate { ok, of } => write!(f, "{ok}/{of}"),
+            Value::Missing => write!(f, "n/a"),
+        }
+    }
+}
+
+/// Builds a protocol instance from the trial's protocol seed. Deterministic
+/// protocols ignore the argument; randomized ones should store it in their
+/// `seed` field so every trial draws fresh protocol coins.
+pub type ProtocolFactory = Arc<dyn Fn(u64) -> Box<dyn AllToAllProtocol> + Send + Sync>;
+
+/// Execution context handed to a custom cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellCtx {
+    /// The cell's seed stream; fork per sub-measurement.
+    pub stream: SeedStream,
+    /// Whether nested trial sweeps may fan out across cores — `false`
+    /// under [`run_serial`], so the determinism oracle really is
+    /// single-threaded even through custom cells (pass this to
+    /// [`run_trials`]).
+    pub parallel: bool,
+}
+
+/// A bespoke measurement cell: receives the cell's execution context,
+/// returns its row metrics. Runs once (not per trial); anything
+/// trial-shaped inside should fork `ctx.stream` per sub-measurement and
+/// honor `ctx.parallel`.
+pub type CustomJob = Arc<dyn Fn(&CellCtx) -> Vec<(&'static str, Value)> + Send + Sync>;
+
+/// Maps a finished trial aggregate to the cell's row metrics.
+pub type Presenter = fn(&TrialJob, &Aggregate) -> Vec<(&'static str, Value)>;
+
+/// The trial-grid flavor of a cell: the engine runs `trials` seeded trials
+/// of `protocol` against `adversary` and folds them.
+pub struct TrialJob {
+    /// Protocol under test (built per trial from the protocol seed).
+    pub protocol: ProtocolFactory,
+    /// Canonical protocol name, part of the cell's seed coordinates.
+    pub protocol_key: &'static str,
+    /// Attached adversary.
+    pub adversary: AdversarySpec,
+    /// Nodes.
+    pub n: usize,
+    /// Message bits per ordered pair.
+    pub b: usize,
+    /// Link bandwidth `B` in bits.
+    pub bandwidth: usize,
+    /// Fault fraction α (degree budget `⌊αn⌋`).
+    pub alpha: f64,
+    /// Trials to run.
+    pub trials: usize,
+    /// Metric projection for the table row / JSON metrics map.
+    pub present: Presenter,
+}
+
+/// What a cell executes.
+pub enum CellKind {
+    /// Engine-run seeded trials.
+    Trials(TrialJob),
+    /// Bespoke measurement.
+    Custom(CustomJob),
+}
+
+/// One scenario cell — one output row, one seed stream.
+pub struct Cell {
+    /// Named coordinates identifying the cell (rendered as leading table
+    /// columns, hashed into the seed stream).
+    pub coords: Vec<(&'static str, Value)>,
+    /// The work.
+    pub kind: CellKind,
+}
+
+impl Cell {
+    /// The cell's seed stream: scenario name, every coordinate, and (for
+    /// trial cells) the full parameter tuple, hashed in order. The trial
+    /// *count* is deliberately excluded so raising `--trials` extends a
+    /// cell's seed sequence instead of reshuffling it.
+    pub fn stream(&self, scenario: &str) -> SeedStream {
+        let mut s = SeedStream::from_label(scenario);
+        for (key, value) in &self.coords {
+            s = s.fork(&format!("{key}={}", value.canon()));
+        }
+        if let CellKind::Trials(job) = &self.kind {
+            s = s.fork(&format!(
+                "proto={};adv={};n={};b={};bw={};alpha={:016x}",
+                job.protocol_key,
+                job.adversary.key(),
+                job.n,
+                job.b,
+                job.bandwidth,
+                job.alpha.to_bits()
+            ));
+        }
+        s
+    }
+}
+
+/// A named scenario in the suite registry
+/// ([`crate::experiments::registry`]).
+pub struct RegistryEntry {
+    /// Registry name (CLI `--scenario` argument).
+    pub name: &'static str,
+    /// One-line description for `--list`.
+    pub about: &'static str,
+    /// Builds the scenario from a base trial count (builders apply their
+    /// own historical scaling).
+    pub build: fn(usize) -> Scenario,
+}
+
+/// A declarative experiment: a title, column headers, and the cell grid.
+pub struct Scenario {
+    /// Registry name (also the root of every cell's seed derivation).
+    pub name: &'static str,
+    /// Table title.
+    pub title: String,
+    /// Column headers; each resolves against cell coordinates, then metrics,
+    /// then the built-in `secs` (per-cell wall time).
+    pub headers: Vec<&'static str>,
+    /// The grid.
+    pub cells: Vec<Cell>,
+}
+
+/// A finished cell: coordinates, metrics, and provenance.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The cell's coordinates, as specified.
+    pub coords: Vec<(&'static str, Value)>,
+    /// Metrics produced by the presenter / custom job.
+    pub metrics: Vec<(&'static str, Value)>,
+    /// The folded aggregate (trial cells only).
+    pub aggregate: Option<Aggregate>,
+    /// The cell's seed-stream state (reproduces the whole cell).
+    pub seed: u64,
+    /// Wall-clock seconds this cell's work consumed.
+    pub secs: f64,
+}
+
+impl CellResult {
+    /// Looks up `header` among coordinates, then metrics, then the built-in
+    /// `secs` column.
+    pub fn value_of(&self, header: &str) -> Option<Value> {
+        self.coords
+            .iter()
+            .chain(self.metrics.iter())
+            .find(|(key, _)| *key == header)
+            .map(|(_, value)| value.clone())
+            .or_else(|| (header == "secs").then(|| Value::f1(self.secs)))
+    }
+
+    /// Seed-and-timing-independent equality, used by the determinism oracle.
+    pub fn same_outcome(&self, other: &CellResult) -> bool {
+        self.coords == other.coords
+            && self.metrics == other.metrics
+            && self.aggregate == other.aggregate
+            && self.seed == other.seed
+    }
+}
+
+/// A finished scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Registry name.
+    pub name: &'static str,
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<&'static str>,
+    /// One result per cell, in grid order.
+    pub cells: Vec<CellResult>,
+    /// Wall-clock seconds for the whole scenario (parallel cells overlap, so
+    /// this is typically less than the sum of per-cell `secs`).
+    pub wall_secs: f64,
+}
+
+impl ScenarioResult {
+    /// Renders the run as an aligned-text [`Table`].
+    pub fn table(&self) -> Table {
+        let mut table = Table::new(self.title.clone(), &self.headers);
+        for cell in &self.cells {
+            table.row(
+                self.headers
+                    .iter()
+                    .map(|h| cell.value_of(h).unwrap_or(Value::Missing).to_string())
+                    .collect(),
+            );
+        }
+        table
+    }
+
+    /// Serializes the run as one JSON object (see [`emit_json`] for the
+    /// enclosing document).
+    pub fn to_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(|cell| {
+                let coords = json_object(cell.coords.iter());
+                let metrics = json_object(cell.metrics.iter());
+                let aggregate = cell
+                    .aggregate
+                    .as_ref()
+                    .map_or("null".to_string(), aggregate_json);
+                format!(
+                    "{{\"coords\":{coords},\"seed\":\"{seed:#018x}\",\"secs\":{secs},\
+                     \"aggregate\":{aggregate},\"metrics\":{metrics}}}",
+                    seed = cell.seed,
+                    secs = json_f64(cell.secs),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"name\":{name},\"title\":{title},\"wall_secs\":{wall},\"cells\":[{cells}]}}",
+            name = json_string(self.name),
+            title = json_string(&self.title),
+            wall = json_f64(self.wall_secs),
+            cells = cells.join(",")
+        )
+    }
+}
+
+/// Runs a scenario: cells fan out across cores, and each trial cell's
+/// trials fan out again. Deterministic up to wall-clock fields — the seeds,
+/// metrics, and aggregates are bit-identical to [`run_serial`].
+pub fn run(spec: &Scenario) -> ScenarioResult {
+    run_with(spec, true)
+}
+
+/// Single-threaded reference implementation of [`run`]: same seeds, same
+/// fold, one thread. Kept public as the determinism oracle.
+pub fn run_serial(spec: &Scenario) -> ScenarioResult {
+    run_with(spec, false)
+}
+
+fn run_with(spec: &Scenario, parallel: bool) -> ScenarioResult {
+    let start = Instant::now();
+    let cells: Vec<CellResult> = if parallel {
+        (0..spec.cells.len())
+            .into_par_iter()
+            .map(|i| run_cell(spec.name, &spec.cells[i], true))
+            .collect()
+    } else {
+        spec.cells
+            .iter()
+            .map(|cell| run_cell(spec.name, cell, false))
+            .collect()
+    };
+    ScenarioResult {
+        name: spec.name,
+        title: spec.title.clone(),
+        headers: spec.headers.clone(),
+        cells,
+        wall_secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
+    let stream = cell.stream(scenario);
+    let start = Instant::now();
+    let (metrics, aggregate) = match &cell.kind {
+        CellKind::Trials(job) => {
+            let agg = run_trials(job, &stream, parallel);
+            ((job.present)(job, &agg), Some(agg))
+        }
+        CellKind::Custom(job) => (job(&CellCtx { stream, parallel }), None),
+    };
+    CellResult {
+        coords: cell.coords.clone(),
+        metrics,
+        aggregate,
+        seed: stream.seed(),
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+/// Runs one trial cell's trials (parallel or serial) and folds in trial
+/// order. Public for custom cells that embed trial sweeps (e.g. the
+/// fault-tolerance frontier): fork the cell stream per sweep point and pass
+/// the fork here, so every sweep point owns a distinct seed sequence.
+pub fn run_trials(job: &TrialJob, stream: &SeedStream, parallel: bool) -> Aggregate {
+    let one = |t: usize| {
+        let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
+        let proto = (job.protocol)(seeds.protocol);
+        run_trial_seeded(
+            proto.as_ref(),
+            job.n,
+            job.b,
+            job.bandwidth,
+            job.alpha,
+            job.adversary,
+            seeds,
+        )
+    };
+    let results: Vec<Result<crate::Trial, CoreError>> = if parallel {
+        (0..job.trials).into_par_iter().map(one).collect()
+    } else {
+        (0..job.trials).map(one).collect()
+    };
+    fold_trials(job.trials, results)
+}
+
+/// Serializes finished scenario runs as one self-describing JSON document:
+///
+/// ```json
+/// {"schema": "...", "generator": "...", "git": "...",
+///  "base_trials": 5, "scenarios": [ScenarioResult…]}
+/// ```
+pub fn emit_json(results: &[ScenarioResult], base_trials: usize) -> String {
+    let scenarios: Vec<String> = results.iter().map(ScenarioResult::to_json).collect();
+    format!(
+        "{{\"schema\":{schema},\"generator\":{generator},\"git\":{git},\
+         \"base_trials\":{base_trials},\"scenarios\":[{scenarios}]}}",
+        schema = json_string(SCHEMA),
+        generator = json_string(concat!("bdclique-bench ", env!("CARGO_PKG_VERSION"))),
+        git = json_string(&git_describe()),
+        scenarios = scenarios.join(",")
+    )
+}
+
+/// Best-effort `git describe` of the working tree, for provenance metadata;
+/// `"unknown"` outside a git checkout.
+pub fn git_describe() -> String {
+    std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty", "--tags"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn aggregate_json(agg: &Aggregate) -> String {
+    format!(
+        "{{\"trials\":{},\"completed\":{},\"perfect\":{},\"total_errors\":{},\
+         \"mean_rounds\":{},\"mean_corrupted\":{},\"mean_bits\":{},\
+         \"max_fault_degree\":{},\"infeasible\":{},\"failed\":{}}}",
+        agg.trials,
+        agg.completed,
+        agg.perfect,
+        agg.total_errors,
+        json_opt_f64(agg.mean_rounds),
+        json_opt_f64(agg.mean_corrupted),
+        json_opt_f64(agg.mean_bits),
+        agg.max_fault_degree,
+        agg.infeasible,
+        agg.failed,
+    )
+}
+
+fn json_object<'a>(fields: impl Iterator<Item = &'a (&'static str, Value)>) -> String {
+    let body: Vec<String> = fields
+        .map(|(key, value)| format!("{}:{}", json_string(key), value.to_json()))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or("null".to_string(), json_f64)
+}
+
+/// Escapes and quotes a JSON string.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_renders_na_for_zero_trials() {
+        assert_eq!(Value::rate(0, 0).to_string(), "n/a");
+        assert_eq!(Value::rate(3, 5).to_string(), "3/5");
+        assert_eq!(Value::Missing.to_string(), "n/a");
+    }
+
+    #[test]
+    fn value_canon_distinguishes_close_floats() {
+        assert_ne!(
+            Value::f1(0.1).canon(),
+            Value::f1(0.1 + f64::EPSILON).canon()
+        );
+        // Table rendering may collide (both "0.1") but seeds must not.
+        assert_eq!(Value::f1(0.1).to_string(), "0.1");
+    }
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn value_json_forms() {
+        assert_eq!(Value::u(3).to_json(), "3");
+        assert_eq!(Value::f1(0.5).to_json(), "0.5");
+        assert_eq!(Value::rate(1, 4).to_json(), "{\"ok\":1,\"of\":4}");
+        assert_eq!(Value::Missing.to_json(), "null");
+        assert_eq!(
+            Value::Float {
+                v: f64::NAN,
+                prec: 1
+            }
+            .to_json(),
+            "null"
+        );
+    }
+
+    #[test]
+    fn custom_cell_runs_with_cell_stream() {
+        let spec = Scenario {
+            name: "test-custom",
+            title: "custom".into(),
+            headers: vec!["k", "seed_lo"],
+            cells: vec![Cell {
+                coords: vec![("k", Value::u(7))],
+                kind: CellKind::Custom(Arc::new(|ctx: &CellCtx| {
+                    vec![("seed_lo", Value::U64(ctx.stream.seed() & 0xff))]
+                })),
+            }],
+        };
+        let out = run(&spec);
+        assert_eq!(out.cells.len(), 1);
+        let expected = spec.cells[0].stream("test-custom").seed();
+        assert_eq!(out.cells[0].seed, expected);
+        assert_eq!(
+            out.cells[0].value_of("seed_lo"),
+            Some(Value::U64(expected & 0xff))
+        );
+        // The rendered table resolves coords, metrics, and the built-in secs.
+        let rendered = out.table().render();
+        assert!(rendered.contains("custom"));
+        assert!(out.cells[0].value_of("secs").is_some());
+    }
+}

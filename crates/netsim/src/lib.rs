@@ -46,6 +46,7 @@
 mod adversary;
 mod history;
 mod network;
+pub mod seed;
 mod stats;
 mod store;
 mod traffic;
@@ -56,6 +57,7 @@ pub use adversary::{
 };
 pub use history::{History, HistoryMode, RoundRecord};
 pub use network::{Network, NetworkError, PublishedLog};
+pub use seed::SeedStream;
 pub use stats::NetStats;
 pub use store::Backend;
 pub use traffic::{Delivery, Inbox, Traffic};

@@ -1,0 +1,137 @@
+//! Deterministic seed derivation for experiments.
+//!
+//! Every random component of a simulated trial — the problem instance, the
+//! adversary, the protocol's internal coins — must draw from an
+//! *independent* stream, and every experiment cell (protocol × adversary ×
+//! n × α × …) must own a stream distinct from every other cell's. A single
+//! shared `u64` seed (or small offsets of one) silently correlates those
+//! components: the adversary "knows" the instance, and neighbouring table
+//! cells replay each other's randomness.
+//!
+//! [`SeedStream`] makes independence the default. A stream is a 64-bit
+//! state; [`SeedStream::fork`] derives a child stream by hashing a textual
+//! label into the state (FNV-1a) and finalizing with splitmix64, so
+//!
+//! * forks with distinct labels are decorrelated,
+//! * the derivation is pure — the same label path always yields the same
+//!   stream, independent of fork order or sibling forks, and
+//! * a label path like `scenario → cell coordinates → trial index →
+//!   component` gives every (cell, trial, component) its own seed.
+//!
+//! The `u64 → u64` finalizer is Sebastiano Vigna's splitmix64, whose output
+//! function is a bijection with good avalanche behaviour — distinct states
+//! never collide after finalization.
+
+/// The splitmix64 output function: a bijective `u64 → u64` mixer.
+///
+/// Used to finalize hashed states into RNG seeds; being a bijection, two
+/// distinct inputs always produce two distinct outputs.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over `bytes`, folded into an existing state.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    state
+}
+
+/// A forkable, label-addressed stream of RNG seeds.
+///
+/// See the [module docs](self) for the derivation scheme. Streams are plain
+/// 64-bit values: `Copy`, comparable, and serializable as the hex state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeedStream {
+    state: u64,
+}
+
+impl SeedStream {
+    /// A stream rooted at a numeric seed.
+    #[must_use]
+    pub fn new(root: u64) -> Self {
+        Self {
+            state: splitmix64(root ^ 0xcbf2_9ce4_8422_2325),
+        }
+    }
+
+    /// A stream rooted at a textual label (e.g. a scenario name).
+    #[must_use]
+    pub fn from_label(label: &str) -> Self {
+        Self {
+            state: splitmix64(fnv1a(0xcbf2_9ce4_8422_2325, label.as_bytes())),
+        }
+    }
+
+    /// Derives the child stream for `label`.
+    ///
+    /// Pure in `(self, label)`: forking the same label twice yields the same
+    /// child, and distinct labels yield decorrelated children.
+    #[must_use]
+    pub fn fork(&self, label: &str) -> Self {
+        Self {
+            state: splitmix64(fnv1a(self.state, label.as_bytes())),
+        }
+    }
+
+    /// Derives the child stream for a numeric index (e.g. a trial number).
+    #[must_use]
+    pub fn fork_u64(&self, index: u64) -> Self {
+        Self {
+            state: splitmix64(fnv1a(self.state, &index.to_le_bytes())),
+        }
+    }
+
+    /// The stream's current state as an RNG seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix64_is_injective_on_a_sample() {
+        use std::collections::HashSet;
+        let outs: HashSet<u64> = (0..10_000u64).map(splitmix64).collect();
+        assert_eq!(outs.len(), 10_000);
+    }
+
+    #[test]
+    fn fork_is_pure_and_label_sensitive() {
+        let root = SeedStream::new(42);
+        assert_eq!(root.fork("instance"), root.fork("instance"));
+        assert_ne!(root.fork("instance"), root.fork("adversary"));
+        assert_ne!(root.fork("a").fork("b"), root.fork("b").fork("a"));
+        assert_ne!(root.fork_u64(0), root.fork_u64(1));
+        // An index fork and a label fork never alias by construction of the
+        // byte encodings actually used here.
+        assert_ne!(root.fork_u64(0), root.fork("0"));
+    }
+
+    #[test]
+    fn distinct_roots_give_distinct_streams() {
+        use std::collections::HashSet;
+        let seeds: HashSet<u64> = (0..1_000u64)
+            .map(|r| SeedStream::new(r).fork("x").seed())
+            .collect();
+        assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn label_roots_differ_from_each_other() {
+        assert_ne!(
+            SeedStream::from_label("t1r1"),
+            SeedStream::from_label("t1r2")
+        );
+    }
+}
