@@ -203,6 +203,84 @@ impl<P: EdgePlan> EdgePlan for RoundSelective<P> {
     }
 }
 
+/// Burst schedule: the inner plan is active for the first `burst` rounds of
+/// every `period`-round window and dormant otherwise — the ROADMAP's "burst
+/// rounds" attack shape, composed from any base plan.
+#[derive(Debug, Clone)]
+pub struct Burst<P> {
+    inner: P,
+    period: u64,
+    burst: u64,
+}
+
+impl<P: EdgePlan> Burst<P> {
+    /// Creates the wrapper: active on rounds `r` with `r % period < burst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `burst > period`.
+    pub fn new(inner: P, period: u64, burst: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(burst <= period, "burst cannot exceed the period");
+        Self {
+            inner,
+            period,
+            burst,
+        }
+    }
+}
+
+impl<P: EdgePlan> EdgePlan for Burst<P> {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        if round % self.period < self.burst {
+            self.inner.edges(round, n, budget)
+        } else {
+            EdgeSet::new(n)
+        }
+    }
+}
+
+/// Alternates two plans on a fixed period: plan `a` drives the first
+/// `a_rounds` of every window, plan `b` the rest — periodic *phases* where
+/// the attack shape itself changes over time (e.g. matchings alternating
+/// with a star), not merely on/off gating.
+#[derive(Debug, Clone)]
+pub struct Alternate<A, B> {
+    a: A,
+    b: B,
+    a_rounds: u64,
+    period: u64,
+}
+
+impl<A: EdgePlan, B: EdgePlan> Alternate<A, B> {
+    /// Creates the wrapper: `a` on rounds `r` with `r % period < a_rounds`,
+    /// `b` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `a_rounds > period`.
+    pub fn new(a: A, b: B, a_rounds: u64, period: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        assert!(a_rounds <= period, "a_rounds cannot exceed the period");
+        Self {
+            a,
+            b,
+            a_rounds,
+            period,
+        }
+    }
+}
+
+impl<A: EdgePlan, B: EdgePlan> EdgePlan for Alternate<A, B> {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        if round % self.period < self.a_rounds {
+            self.a.edges(round, n, budget)
+        } else {
+            self.b.edges(round, n, budget)
+        }
+    }
+}
+
 /// Cycles through an explicit list of edge sets (for targeted tests).
 #[derive(Debug, Clone)]
 pub struct FixedEdges {
@@ -314,6 +392,37 @@ mod tests {
         assert!(plan.edges(1, 8, 1).is_empty());
         assert!(plan.edges(2, 8, 1).is_empty());
         assert!(!plan.edges(3, 8, 1).is_empty());
+    }
+
+    #[test]
+    fn burst_gates_by_window_prefix() {
+        let mut plan = Burst::new(RotatingMatching::new(), 4, 2);
+        for round in 0..12u64 {
+            let active = !plan.edges(round, 8, 1).is_empty();
+            assert_eq!(active, round % 4 < 2, "round {round}");
+        }
+    }
+
+    #[test]
+    fn alternate_switches_plan_shapes() {
+        // Matchings (degree 1, many edges) for 2 rounds, then a budget-wide
+        // star: the shape change is observable in the degree profile.
+        let mut plan = Alternate::new(RotatingMatching::new(), RotatingStar { victim: 0 }, 2, 3);
+        for round in 0..9u64 {
+            let es = plan.edges(round, 8, 3);
+            if round % 3 < 2 {
+                assert!(es.max_degree() <= 1, "round {round} should be a matching");
+                assert!(es.len() >= 3);
+            } else {
+                assert_eq!(es.degree(0), 3, "round {round} should be the star");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "burst cannot exceed the period")]
+    fn burst_rejects_overlong_burst() {
+        let _ = Burst::new(NoFaults, 2, 3);
     }
 
     #[test]

@@ -21,13 +21,14 @@ use bdclique_bench::experiments;
 use bdclique_bench::scenario::{self, ScenarioResult};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: tables [--scenario NAME]... [--trials N] [--json PATH] [--list] [NAME]...";
+const USAGE: &str = "usage: tables [--scenario NAME]... [--trials N] [--json PATH] \
+                    [--trace] [--list] [NAME]...";
 
 struct Args {
     scenarios: Vec<String>,
     trials: Option<usize>,
     json: Option<String>,
+    trace: bool,
     list: bool,
     help: bool,
 }
@@ -37,6 +38,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         scenarios: Vec::new(),
         trials: None,
         json: None,
+        trace: false,
         list: false,
         help: false,
     };
@@ -55,6 +57,7 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 let path = raw.next().ok_or("--json requires a path")?;
                 args.json = Some(path);
             }
+            "--trace" => args.trace = true,
             "--list" => args.list = true,
             "--help" | "-h" => args.help = true,
             flag if flag.starts_with("--") => return Err(format!("unknown flag: {flag}\n{USAGE}")),
@@ -136,8 +139,25 @@ fn main() -> ExitCode {
 
     let mut results: Vec<ScenarioResult> = Vec::new();
     for name in selected {
-        let spec =
+        let mut spec =
             experiments::build_scenario(name, trials).expect("registry names are always buildable");
+        if args.trace {
+            // Force per-round tracing (trial 0) on every trial cell of the
+            // selected scenarios; scenarios like `schedules` opt in anyway.
+            // Custom-measurement cells have no engine-run trials to trace.
+            let mut traced = 0usize;
+            for cell in &mut spec.cells {
+                if let scenario::CellKind::Trials(job) = &mut cell.kind {
+                    job.trace = true;
+                    traced += 1;
+                }
+            }
+            if traced == 0 {
+                eprintln!(
+                    "note: --trace has no effect on '{name}' (custom-measurement cells only)"
+                );
+            }
+        }
         let result = scenario::run(&spec);
         println!("{}", result.table().render());
         results.push(result);

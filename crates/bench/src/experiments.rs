@@ -130,6 +130,21 @@ pub fn registry() -> Vec<RegistryEntry> {
             about: "storage-layer scaling smoke: DetSqrt at n = 1024",
             build: largen,
         },
+        RegistryEntry {
+            name: "schedules",
+            about: "time-varying adversaries: burst and periodic phases, per-round traced",
+            build: schedules,
+        },
+        RegistryEntry {
+            name: "alpha-largen",
+            about: "alpha sweep at n = 4096 on the sparse substrate (release-gated in CI)",
+            build: alpha_largen,
+        },
+        RegistryEntry {
+            name: "bandwidth",
+            about: "bandwidth scaling B in {lambda, 2lambda, 4lambda} for Thm 1.2/1.5",
+            build: bandwidth,
+        },
     ]
 }
 
@@ -179,6 +194,7 @@ pub fn t1r1(trials: usize) -> Scenario {
                     alpha,
                     trials,
                     present: present_rpe,
+                    trace: false,
                 }),
             });
         }
@@ -272,6 +288,7 @@ pub fn t1r2(trials: usize) -> Scenario {
                     alpha,
                     trials,
                     present: present_rpe,
+                    trace: false,
                 }),
             });
         }
@@ -325,6 +342,7 @@ pub fn t1r3(trials: usize) -> Scenario {
                 alpha,
                 trials,
                 present,
+                trace: false,
             }),
         })
         .collect();
@@ -373,6 +391,7 @@ pub fn t1r4(trials: usize) -> Scenario {
                     alpha,
                     trials,
                     present,
+                    trace: false,
                 }),
             }
         })
@@ -564,6 +583,7 @@ pub fn matching(trials: usize) -> Scenario {
                     alpha: 1.0 / 8.0,
                     trials,
                     present,
+                    trace: false,
                 }),
             });
         }
@@ -651,6 +671,7 @@ pub fn frontier_scenario(trials: usize) -> Scenario {
                         alpha,
                         trials,
                         present: present_rpe,
+                        trace: false,
                     };
                     let agg = run_trials(
                         &job,
@@ -1015,6 +1036,7 @@ pub fn querypath(trials: usize) -> Scenario {
                 alpha: 0.07,
                 trials,
                 present: present_rpe,
+                trace: false,
             }),
         })
         .collect();
@@ -1063,6 +1085,7 @@ pub fn largen(_trials: usize) -> Scenario {
             alpha: 0.0,
             trials: 1,
             present,
+            trace: false,
         }),
     }];
     Scenario {
@@ -1076,6 +1099,233 @@ pub fn largen(_trials: usize) -> Scenario {
             "rounds",
             "bits sent",
             "secs",
+        ],
+        cells,
+    }
+}
+
+/// `F.SCHED` — time-varying adversary schedules (the driver/observer API's
+/// headline workload): steady matchings vs burst windows vs periodic phase
+/// alternation, per protocol. Every cell records trial 0's per-round stat
+/// deltas (`round_trace` in the scenario JSON), so the burst shape is
+/// visible round by round, not just in the aggregate.
+pub fn schedules(trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+            ("corrupted/trial", Value::opt_f1(agg.mean_corrupted)),
+        ]
+    }
+    let n = 16usize;
+    let alpha = 2.2 / n as f64; // budget 2
+    let protocols: Vec<(&'static str, ProtocolFactory)> = vec![
+        ("relay(x3)", factory(|_| RelayReplication { copies: 3 })),
+        ("det-hypercube", factory(|_| DetHypercube::default())),
+        ("det-sqrt", factory(|_| DetSqrt::default())),
+    ];
+    let adversaries = [
+        AdversarySpec::RandomMatchingsFlip,
+        AdversarySpec::BurstFlip {
+            period: 6,
+            burst: 2,
+        },
+        AdversarySpec::PhasedFlip {
+            period: 6,
+            split: 3,
+        },
+    ];
+    let mut cells = Vec::new();
+    for (label, protocol) in protocols {
+        for adversary in adversaries {
+            cells.push(Cell {
+                coords: vec![
+                    ("protocol", Value::s(label)),
+                    ("schedule", Value::s(adversary.key())),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: protocol.clone(),
+                    protocol_key: label,
+                    adversary,
+                    n,
+                    b: 1,
+                    bandwidth: BANDWIDTH,
+                    alpha,
+                    trials,
+                    present,
+                    trace: true,
+                }),
+            });
+        }
+    }
+    Scenario {
+        name: "schedules",
+        title: "F.SCHED  time-varying adversary schedules, n = 16, budget 2 (traced)".into(),
+        headers: vec![
+            "protocol",
+            "schedule",
+            "rounds",
+            "perfect",
+            "errors",
+            "corrupted/trial",
+        ],
+        cells,
+    }
+}
+
+/// `S.ALPHA-LARGE` — the ROADMAP's α-sweep at `n ≥ 4096`: rounds/perfect
+/// vs α per protocol on the sparse substrate. Kept to one trial per cell
+/// and the cheap protocols (naive as the unprotected reference,
+/// det-hypercube as the resilient compiler) so a single-core release run
+/// stays in CI-smoke territory; release-gated alongside the large-n step.
+pub fn alpha_largen(_trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+            ("corrupted/trial", Value::opt_f1(agg.mean_corrupted)),
+        ]
+    }
+    let n = 4096usize;
+    let protocols: Vec<(&'static str, ProtocolFactory, &'static [usize])> = vec![
+        // Budgets ⌊αn⌋ per protocol: the naive reference degrades with any
+        // faults; the hypercube compiler is swept over its tolerant range.
+        ("naive", factory(|_| NaiveExchange), &[0usize, 1, 4][..]),
+        (
+            "det-hypercube",
+            factory(|_| DetHypercube::default()),
+            &[0usize, 1][..],
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (label, protocol, budgets) in protocols {
+        for &budget in budgets {
+            let alpha = if budget == 0 {
+                0.0
+            } else {
+                (budget as f64 + 0.2) / n as f64
+            };
+            let adversary = if budget == 0 {
+                AdversarySpec::None
+            } else {
+                AdversarySpec::RandomMatchingsFlip
+            };
+            cells.push(Cell {
+                coords: vec![
+                    ("protocol", Value::s(label)),
+                    ("n", Value::u(n)),
+                    ("budget", Value::u(budget)),
+                    // αn ≈ 1 means α ≈ 2.4e-4 here: 3 decimals would
+                    // render every row as 0.000.
+                    ("alpha", Value::Float { v: alpha, prec: 6 }),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: protocol.clone(),
+                    protocol_key: label,
+                    adversary,
+                    n,
+                    b: 1,
+                    bandwidth: BANDWIDTH,
+                    alpha,
+                    trials: 1,
+                    present,
+                    trace: false,
+                }),
+            });
+        }
+    }
+    Scenario {
+        name: "alpha-largen",
+        title: "S.ALPHA-LARGE  rounds/perfect vs alpha at n = 4096 (sparse substrate)".into(),
+        headers: vec![
+            "protocol",
+            "n",
+            "budget",
+            "alpha",
+            "rounds",
+            "perfect",
+            "errors",
+            "corrupted/trial",
+            "secs",
+        ],
+        cells,
+    }
+}
+
+/// `S.BANDWIDTH` — the paper's `B = Θ(log n)` knob: rounds vs bandwidth
+/// `B ∈ {λ, 2λ, 4λ}` for the Thm 1.2 (non-adaptive randomized) and Thm 1.5
+/// (deterministic √n) protocols. λ = 9 bits, the unit router's minimum wire
+/// slot (symbol + validity bit), so every protocol runs at each column and
+/// the `B`-fold lane speedup of Lemma 2.9 is directly visible.
+pub fn bandwidth(trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+            ("bits/trial", Value::opt_f1(agg.mean_bits)),
+        ]
+    }
+    const LAMBDA: usize = 9;
+    let configs: Vec<(&'static str, usize, f64, AdversarySpec, ProtocolFactory)> = vec![
+        (
+            "nonadaptive (Thm 1.2)",
+            32,
+            1.0 / 16.0,
+            AdversarySpec::RandomMatchingsFlip,
+            factory(|seed| NonAdaptiveAllToAll {
+                copies: 7,
+                seed,
+                ..Default::default()
+            }),
+        ),
+        (
+            "det-sqrt (Thm 1.5)",
+            64,
+            0.5 / 8.0,
+            AdversarySpec::GreedyFlip,
+            factory(|_| DetSqrt::default()),
+        ),
+    ];
+    let mut cells = Vec::new();
+    for (label, n, alpha, adversary, protocol) in configs {
+        for factor in [1usize, 2, 4] {
+            cells.push(Cell {
+                coords: vec![
+                    ("protocol", Value::s(label)),
+                    ("n", Value::u(n)),
+                    ("B/lambda", Value::u(factor)),
+                    ("B", Value::u(factor * LAMBDA)),
+                ],
+                kind: CellKind::Trials(TrialJob {
+                    protocol: protocol.clone(),
+                    protocol_key: label,
+                    adversary,
+                    n,
+                    b: 1,
+                    bandwidth: factor * LAMBDA,
+                    alpha,
+                    trials,
+                    present,
+                    trace: false,
+                }),
+            });
+        }
+    }
+    Scenario {
+        name: "bandwidth",
+        title: "S.BANDWIDTH  rounds vs B in {lambda, 2lambda, 4lambda}, lambda = 9 bits".into(),
+        headers: vec![
+            "protocol",
+            "n",
+            "B/lambda",
+            "B",
+            "rounds",
+            "perfect",
+            "errors",
+            "bits/trial",
         ],
         cells,
     }

@@ -23,10 +23,13 @@ pub mod scenario;
 
 use bdclique_adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
 use bdclique_adversary::corruptors::PayloadCorruptor;
-use bdclique_adversary::plans::{RandomMatchings, RelayPathHunter, RotatingMatching};
+use bdclique_adversary::plans::{
+    Alternate, Burst, RandomMatchings, RelayPathHunter, RotatingMatching, RotatingStar,
+};
 use bdclique_adversary::Payload;
+use bdclique_core::driver::{RoundDelta, RoundObserver, RoundTrace};
 use bdclique_core::protocols::AllToAllProtocol;
-use bdclique_core::{AllToAllInstance, CoreError};
+use bdclique_core::{AllToAllInstance, CoreError, Driver};
 use bdclique_netsim::{Adversary, Network, SeedStream};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -44,6 +47,24 @@ pub enum AdversarySpec {
     RotatingMatchingFlip,
     /// Non-adaptive: the degree-1 relay-path hunter for pair (src, dst).
     RelayHunter(usize, usize),
+    /// Non-adaptive, time-varying: random matchings active only in the
+    /// first `burst` rounds of every `period`-round window
+    /// ([`Burst`]-composed).
+    BurstFlip {
+        /// Window length in rounds.
+        period: u64,
+        /// Active rounds at the start of each window.
+        burst: u64,
+    },
+    /// Non-adaptive, time-varying: periodic phase alternation — random
+    /// matchings for the first `split` rounds of every window, then a
+    /// rotating star on node 0 ([`Alternate`]-composed).
+    PhasedFlip {
+        /// Window length in rounds.
+        period: u64,
+        /// Matching rounds at the start of each window.
+        split: u64,
+    },
     /// Adaptive: greedily corrupt the busiest edges (rushing).
     GreedyFlip,
     /// Adaptive: concentrate the budget on one victim.
@@ -60,6 +81,8 @@ impl AdversarySpec {
             AdversarySpec::RandomMatchingsFlip => "nbd-matchings",
             AdversarySpec::RotatingMatchingFlip => "nbd-rotating",
             AdversarySpec::RelayHunter(..) => "nbd-hunter",
+            AdversarySpec::BurstFlip { .. } => "nbd-burst",
+            AdversarySpec::PhasedFlip { .. } => "nbd-phased",
             AdversarySpec::GreedyFlip => "abd-greedy",
             AdversarySpec::TargetNodeFlip(_) => "abd-victim",
             AdversarySpec::RushingRandom => "abd-rushing",
@@ -74,6 +97,12 @@ impl AdversarySpec {
         match self {
             AdversarySpec::RelayHunter(src, dst) => format!("nbd-hunter({src},{dst})"),
             AdversarySpec::TargetNodeFlip(victim) => format!("abd-victim({victim})"),
+            AdversarySpec::BurstFlip { period, burst } => {
+                format!("nbd-burst({burst}/{period})")
+            }
+            AdversarySpec::PhasedFlip { period, split } => {
+                format!("nbd-phased({split}/{period})")
+            }
             other => other.name().to_string(),
         }
     }
@@ -100,6 +129,19 @@ impl AdversarySpec {
             ),
             AdversarySpec::RelayHunter(src, dst) => Adversary::non_adaptive(
                 RelayPathHunter { src, dst },
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
+            ),
+            AdversarySpec::BurstFlip { period, burst } => Adversary::non_adaptive(
+                Burst::new(RandomMatchings::new(plan_seed), period, burst),
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
+            ),
+            AdversarySpec::PhasedFlip { period, split } => Adversary::non_adaptive(
+                Alternate::new(
+                    RandomMatchings::new(plan_seed),
+                    RotatingStar { victim: 0 },
+                    split,
+                    period,
+                ),
                 PayloadCorruptor::new(Payload::Flip, payload_seed),
             ),
             AdversarySpec::GreedyFlip => {
@@ -199,17 +241,48 @@ pub fn run_trial_seeded(
     spec: AdversarySpec,
     seeds: TrialSeeds,
 ) -> Result<Trial, CoreError> {
+    run_trial_seeded_traced(proto, n, b, bandwidth, alpha, spec, seeds, false)
+        .map(|(trial, _)| trial)
+}
+
+/// Runs one trial, optionally recording the per-round stat deltas through a
+/// [`RoundTrace`] observer on the session [`Driver`]. Observers never touch
+/// protocol or adversary randomness, so the [`Trial`] fields are identical
+/// with tracing on or off (the session-regression suite covers this).
+///
+/// # Errors
+///
+/// Propagates protocol parameter errors ([`CoreError`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_seeded_traced(
+    proto: &dyn AllToAllProtocol,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    seeds: TrialSeeds,
+    trace: bool,
+) -> Result<(Trial, Option<Vec<RoundDelta>>), CoreError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seeds.instance);
     let inst = AllToAllInstance::random(n, b, &mut rng);
     let mut net = Network::new(n, bandwidth, alpha, spec.build(seeds.adversary));
-    let out = proto.run(&mut net, &inst)?;
-    Ok(Trial {
+    let (out, frames) = if trace {
+        let mut tracer = RoundTrace::new();
+        let mut observers: [&mut dyn RoundObserver; 1] = [&mut tracer];
+        let out = Driver::with_observers(&mut observers).run(proto, &mut net, &inst)?;
+        (out, Some(tracer.frames))
+    } else {
+        (proto.run(&mut net, &inst)?, None)
+    };
+    let trial = Trial {
         errors: inst.count_errors(&out),
         rounds: net.rounds(),
         bits_sent: net.stats().bits_sent,
         edges_corrupted: net.stats().edges_corrupted,
         peak_fault_degree: net.stats().peak_fault_degree,
-    })
+    };
+    Ok((trial, frames))
 }
 
 /// Aggregates several trials of the same configuration.
@@ -504,6 +577,14 @@ mod tests {
             AdversarySpec::RandomMatchingsFlip,
             AdversarySpec::RotatingMatchingFlip,
             AdversarySpec::RelayHunter(0, 1),
+            AdversarySpec::BurstFlip {
+                period: 8,
+                burst: 2,
+            },
+            AdversarySpec::PhasedFlip {
+                period: 6,
+                split: 3,
+            },
             AdversarySpec::GreedyFlip,
             AdversarySpec::TargetNodeFlip(2),
             AdversarySpec::RushingRandom,
@@ -511,5 +592,43 @@ mod tests {
             let _ = spec.build(7);
             assert!(!spec.name().is_empty());
         }
+    }
+
+    /// A burst adversary corrupts only inside its windows, and the trace
+    /// plumbed through the traced trial runner shows exactly that shape.
+    #[test]
+    fn traced_trial_sees_burst_windows() {
+        use bdclique_core::protocols::RelayReplication;
+        let spec = AdversarySpec::BurstFlip {
+            period: 3,
+            burst: 1,
+        };
+        let seeds = TrialSeeds::derive(5);
+        let (trial, frames) = run_trial_seeded_traced(
+            &RelayReplication { copies: 3 },
+            16,
+            2,
+            9,
+            0.25,
+            spec,
+            seeds,
+            true,
+        )
+        .unwrap();
+        let frames = frames.expect("trace requested");
+        assert_eq!(frames.len() as u64, trial.rounds);
+        for frame in &frames {
+            let active = frame.round % 3 == 0;
+            assert_eq!(
+                frame.stats.edges_corrupted > 0,
+                active,
+                "round {}: burst gating must shape the per-round corruption",
+                frame.round
+            );
+        }
+        // Tracing must not perturb the trial outcome.
+        let untracked =
+            run_trial_seeded(&RelayReplication { copies: 3 }, 16, 2, 9, 0.25, spec, seeds).unwrap();
+        assert_eq!(trial, untracked);
     }
 }

@@ -21,7 +21,8 @@
 //!   trajectory. The JSON schema is documented in the README
 //!   ("Scenario engine" section) and versioned via [`SCHEMA`].
 
-use crate::{fold_trials, run_trial_seeded, AdversarySpec, Aggregate, Table, TrialSeeds};
+use crate::{fold_trials, run_trial_seeded_traced, AdversarySpec, Aggregate, Table, TrialSeeds};
+use bdclique_core::driver::RoundDelta;
 use bdclique_core::protocols::AllToAllProtocol;
 use bdclique_core::CoreError;
 use bdclique_netsim::SeedStream;
@@ -182,6 +183,10 @@ pub struct TrialJob {
     pub trials: usize,
     /// Metric projection for the table row / JSON metrics map.
     pub present: Presenter,
+    /// Record trial 0's per-round stat deltas (driver `RoundTrace`) into
+    /// the cell result's `round_trace` JSON section. Tracing never perturbs
+    /// the trial outcomes — observers only read stat deltas.
+    pub trace: bool,
 }
 
 /// What a cell executes.
@@ -260,6 +265,9 @@ pub struct CellResult {
     pub metrics: Vec<(&'static str, Value)>,
     /// The folded aggregate (trial cells only).
     pub aggregate: Option<Aggregate>,
+    /// Trial 0's per-round stat deltas (trial cells with
+    /// [`TrialJob::trace`] enabled only).
+    pub round_trace: Option<Vec<RoundDelta>>,
     /// The cell's seed-stream state (reproduces the whole cell).
     pub seed: u64,
     /// Wall-clock seconds this cell's work consumed.
@@ -283,6 +291,7 @@ impl CellResult {
         self.coords == other.coords
             && self.metrics == other.metrics
             && self.aggregate == other.aggregate
+            && self.round_trace == other.round_trace
             && self.seed == other.seed
     }
 }
@@ -331,9 +340,14 @@ impl ScenarioResult {
                     .aggregate
                     .as_ref()
                     .map_or("null".to_string(), aggregate_json);
+                let round_trace = cell
+                    .round_trace
+                    .as_deref()
+                    .map_or("null".to_string(), round_trace_json);
                 format!(
                     "{{\"coords\":{coords},\"seed\":\"{seed:#018x}\",\"secs\":{secs},\
-                     \"aggregate\":{aggregate},\"metrics\":{metrics}}}",
+                     \"aggregate\":{aggregate},\"round_trace\":{round_trace},\
+                     \"metrics\":{metrics}}}",
                     seed = cell.seed,
                     secs = json_f64(cell.secs),
                 )
@@ -387,17 +401,18 @@ fn run_with(spec: &Scenario, parallel: bool) -> ScenarioResult {
 fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
     let stream = cell.stream(scenario);
     let start = Instant::now();
-    let (metrics, aggregate) = match &cell.kind {
+    let (metrics, aggregate, round_trace) = match &cell.kind {
         CellKind::Trials(job) => {
-            let agg = run_trials(job, &stream, parallel);
-            ((job.present)(job, &agg), Some(agg))
+            let (agg, trace) = run_trials_traced(job, &stream, parallel);
+            ((job.present)(job, &agg), Some(agg), trace)
         }
-        CellKind::Custom(job) => (job(&CellCtx { stream, parallel }), None),
+        CellKind::Custom(job) => (job(&CellCtx { stream, parallel }), None, None),
     };
     CellResult {
         coords: cell.coords.clone(),
         metrics,
         aggregate,
+        round_trace,
         seed: stream.seed(),
         secs: start.elapsed().as_secs_f64(),
     }
@@ -408,10 +423,22 @@ fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
 /// fault-tolerance frontier): fork the cell stream per sweep point and pass
 /// the fork here, so every sweep point owns a distinct seed sequence.
 pub fn run_trials(job: &TrialJob, stream: &SeedStream, parallel: bool) -> Aggregate {
+    run_trials_traced(job, stream, parallel).0
+}
+
+/// [`run_trials`] plus trial 0's per-round trace when [`TrialJob::trace`]
+/// is set. Tracing rides along on trial 0 only — observers read stat
+/// deltas, never randomness — so the folded [`Aggregate`] is bit-identical
+/// with tracing on or off, parallel or serial.
+pub fn run_trials_traced(
+    job: &TrialJob,
+    stream: &SeedStream,
+    parallel: bool,
+) -> (Aggregate, Option<Vec<RoundDelta>>) {
     let one = |t: usize| {
         let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
         let proto = (job.protocol)(seeds.protocol);
-        run_trial_seeded(
+        run_trial_seeded_traced(
             proto.as_ref(),
             job.n,
             job.b,
@@ -419,14 +446,27 @@ pub fn run_trials(job: &TrialJob, stream: &SeedStream, parallel: bool) -> Aggreg
             job.alpha,
             job.adversary,
             seeds,
+            job.trace && t == 0,
         )
     };
-    let results: Vec<Result<crate::Trial, CoreError>> = if parallel {
+    type TracedTrial = Result<(crate::Trial, Option<Vec<RoundDelta>>), CoreError>;
+    let mut results: Vec<TracedTrial> = if parallel {
         (0..job.trials).into_par_iter().map(one).collect()
     } else {
         (0..job.trials).map(one).collect()
     };
-    fold_trials(job.trials, results)
+    let round_trace = results
+        .first_mut()
+        .and_then(|r| r.as_mut().ok())
+        .and_then(|(_, trace)| trace.take());
+    let agg = fold_trials(
+        job.trials,
+        results
+            .into_iter()
+            .map(|r| r.map(|(trial, _)| trial))
+            .collect(),
+    );
+    (agg, round_trace)
 }
 
 /// Serializes finished scenario runs as one self-describing JSON document:
@@ -459,6 +499,25 @@ pub fn git_describe() -> String {
         .map(|s| s.trim().to_string())
         .filter(|s| !s.is_empty())
         .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Serializes a per-round trace as a JSON array of per-round deltas.
+fn round_trace_json(frames: &[RoundDelta]) -> String {
+    let rounds: Vec<String> = frames
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"round\":{},\"frames\":{},\"bits\":{},\"corrupted_edges\":{},\
+                 \"corrupted_frames\":{}}}",
+                f.round,
+                f.stats.frames_sent,
+                f.stats.bits_sent,
+                f.stats.edges_corrupted,
+                f.stats.frames_corrupted,
+            )
+        })
+        .collect();
+    format!("[{}]", rounds.join(","))
 }
 
 fn aggregate_json(agg: &Aggregate) -> String {

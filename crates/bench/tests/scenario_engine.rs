@@ -32,6 +32,7 @@ fn base_cell() -> Cell {
             alpha: 0.0,
             trials: 3,
             present: present_basic,
+            trace: false,
         }),
     }
 }
@@ -117,6 +118,7 @@ fn mini_grid(trials: usize) -> Scenario {
                     alpha,
                     trials,
                     present: present_basic,
+                    trace: true,
                 }),
             });
         }
@@ -178,7 +180,7 @@ fn zero_trial_cell_renders_na() {
 #[test]
 fn registry_builds_unique_nonempty_scenarios() {
     let entries = bdclique_bench::experiments::registry();
-    assert_eq!(entries.len(), 15);
+    assert_eq!(entries.len(), 18);
     let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
     names.sort_unstable();
     names.dedup();
@@ -222,8 +224,47 @@ fn emitted_json_is_well_formed() {
         "\"aggregate\":",
         "\"mean_rounds\":",
         "\"seed\":\"0x",
+        // mini_grid traces: the per-round section must be present with its
+        // per-round delta fields.
+        "\"round_trace\":[{\"round\":0,",
+        "\"corrupted_edges\":",
+        "\"corrupted_frames\":",
     ] {
         assert!(doc.contains(key), "missing {key} in {doc}");
+    }
+}
+
+/// Tracing rides along without perturbing outcomes: the same grid with and
+/// without tracing folds to identical aggregates, and the traced cells
+/// carry one frame per round summing to the aggregate totals.
+#[test]
+fn tracing_is_outcome_invisible_and_partitions_rounds() {
+    let traced = scenario::run(&mini_grid(2));
+    let untraced = {
+        let mut spec = mini_grid(2);
+        for cell in &mut spec.cells {
+            if let CellKind::Trials(job) = &mut cell.kind {
+                job.trace = false;
+            }
+        }
+        scenario::run(&spec)
+    };
+    for (t, u) in traced.cells.iter().zip(&untraced.cells) {
+        assert_eq!(t.aggregate, u.aggregate, "tracing changed an aggregate");
+        assert_eq!(t.seed, u.seed, "tracing changed a seed");
+        assert!(u.round_trace.is_none());
+        if t.aggregate.as_ref().unwrap().completed == 0 {
+            // All trials failed (the n = 8 non-square det-sqrt cells):
+            // nothing ran, nothing to trace.
+            assert!(t.round_trace.is_none());
+            continue;
+        }
+        let frames = t.round_trace.as_ref().expect("traced cell has a trace");
+        assert!(!frames.is_empty());
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(frame.round, i as u64, "rounds in order");
+            assert_eq!(frame.stats.rounds, 1, "one exchange per frame");
+        }
     }
 }
 

@@ -2,9 +2,75 @@
 //! string to everyone in `O(1)` rounds despite the α-BD adversary.
 
 use crate::error::CoreError;
-use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+
+/// A broadcast in flight: a [`RouteSession`] over the single multi-target
+/// super-message of Corollary 4.8, steppable one `exchange` at a time.
+pub struct BroadcastSession {
+    src: usize,
+    payload_len: usize,
+    n: usize,
+    route: RouteSession<'static>,
+}
+
+impl BroadcastSession {
+    /// Builds the broadcast routing instance and its engine session. No
+    /// rounds run until the first [`BroadcastSession::step`].
+    ///
+    /// # Errors
+    ///
+    /// Routing feasibility/validation errors ([`CoreError`]).
+    pub fn new(
+        net: &Network,
+        src: usize,
+        payload: &BitVec,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        let n = net.n();
+        if src >= n {
+            return Err(CoreError::invalid(format!("src {src} out of range")));
+        }
+        let instance = RoutingInstance {
+            n,
+            payload_bits: payload.len().max(1),
+            messages: vec![SuperMessage {
+                src,
+                slot: 0,
+                payload: payload.clone(),
+                targets: (0..n).collect(),
+            }],
+        };
+        Ok(Self {
+            src,
+            payload_len: payload.len(),
+            n,
+            route: RouteSession::new(net, instance, cfg)?,
+        })
+    }
+
+    /// Advances at most one `exchange`; returns what each node decoded
+    /// (`out[src]` is the original) once the broadcast completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates routing errors ([`CoreError`]).
+    pub fn step(&mut self, net: &mut Network) -> Result<Option<Vec<BitVec>>, CoreError> {
+        let Some(out) = self.route.step(net)? else {
+            return Ok(None);
+        };
+        let mut result = Vec::with_capacity(self.n);
+        for v in 0..self.n {
+            let got = out.delivered[v]
+                .get(&(self.src, 0))
+                .cloned()
+                .unwrap_or_else(|| BitVec::zeros(self.payload_len));
+            result.push(got);
+        }
+        Ok(Some(result))
+    }
+}
 
 /// Broadcasts `payload` from `src` to every node.
 ///
@@ -21,30 +87,12 @@ pub fn broadcast(
     payload: &BitVec,
     cfg: &RouterConfig,
 ) -> Result<Vec<BitVec>, CoreError> {
-    let n = net.n();
-    if src >= n {
-        return Err(CoreError::invalid(format!("src {src} out of range")));
+    let mut session = BroadcastSession::new(net, src, payload, cfg)?;
+    loop {
+        if let Some(out) = session.step(net)? {
+            return Ok(out);
+        }
     }
-    let instance = RoutingInstance {
-        n,
-        payload_bits: payload.len().max(1),
-        messages: vec![SuperMessage {
-            src,
-            slot: 0,
-            payload: payload.clone(),
-            targets: (0..n).collect(),
-        }],
-    };
-    let out = route(net, &instance, cfg)?;
-    let mut result = Vec::with_capacity(n);
-    for v in 0..n {
-        let got = out.delivered[v]
-            .get(&(src, 0))
-            .cloned()
-            .unwrap_or_else(|| BitVec::zeros(payload.len()));
-        result.push(got);
-    }
-    Ok(result)
 }
 
 #[cfg(test)]

@@ -19,6 +19,13 @@ pub enum CoreError {
         /// Human-readable diagnosis.
         reason: String,
     },
+    /// A round observer stopped the run before the next round could start
+    /// (e.g. a [`crate::driver::RoundBudget`] hit its cap). The network is
+    /// left between rounds — no partial `exchange` ran.
+    Aborted {
+        /// Human-readable diagnosis.
+        reason: String,
+    },
 }
 
 impl CoreError {
@@ -33,6 +40,14 @@ impl CoreError {
             reason: reason.into(),
         }
     }
+
+    /// An observer-initiated abort (public: observers live outside this
+    /// crate too).
+    pub fn aborted(reason: impl Into<String>) -> Self {
+        CoreError::Aborted {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -40,6 +55,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Infeasible { reason } => write!(f, "infeasible parameters: {reason}"),
             CoreError::InvalidInput { reason } => write!(f, "invalid input: {reason}"),
+            CoreError::Aborted { reason } => write!(f, "run aborted between rounds: {reason}"),
         }
     }
 }

@@ -19,11 +19,13 @@
 pub mod broadcast;
 pub mod cc;
 pub mod compiler;
+pub mod driver;
 mod error;
 mod problem;
 pub mod protocols;
 pub mod reduction;
 pub mod routing;
 
+pub use driver::{Driver, RoundBudget, RoundDelta, RoundObserver, RoundTrace, ScheduleSwitch};
 pub use error::CoreError;
 pub use problem::{AllToAllInstance, AllToAllOutput};

@@ -21,11 +21,12 @@
 //! commits its corruption of the distributed storage without knowing which
 //! positions will be queried — exactly the paper's Step II/III order.
 
-use super::AllToAllProtocol;
-use crate::broadcast::broadcast;
+use super::naive::NaiveSession;
+use super::{AllToAllProtocol, ProtocolSession, Step};
+use crate::broadcast::BroadcastSession;
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{RouteSession, RouterConfig, RoutingInstance, RoutingOutput, SuperMessage};
 use bdclique_bits::{bits_for, BitVec};
 use bdclique_codes::{Ldc, RmLdc};
 use bdclique_hash::{KWiseHashFamily, SharedRandomness};
@@ -33,6 +34,7 @@ use bdclique_netsim::Network;
 use bdclique_sketch::{RecoverySketch, SketchShape};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Per-node fetched query answers: `(chunk, position) → holder-indexed
@@ -88,40 +90,68 @@ impl LdcPlan {
     }
 }
 
-/// Scatters per-holder chunked LDC codewords: one symbol per node per chunk,
-/// `lanes` chunks per round. Returns `symbols[receiver][holder][chunk]`.
+/// Scatters per-holder chunked LDC codewords: one symbol per node per
+/// chunk, `lanes` chunks per exchange — one exchange per
+/// [`ScatterSession::step`]. Produces `symbols[receiver][holder][chunk]`.
 ///
 /// Holders with fewer chunks than `chunks` pad with zero codewords.
-fn scatter_codewords(
-    net: &mut Network,
-    plan: &LdcPlan,
-    payloads: &[BitVec], // per holder, padded to chunks * cap_bits
+struct ScatterSession {
+    mf: u32,
+    /// Codeword positions `q² ≤ n`.
+    positions: usize,
+    lanes: usize,
     chunks: usize,
-) -> Result<Vec<Vec<Vec<u16>>>, CoreError> {
-    let n = net.n();
-    let mf = plan.mf;
-    let lanes = (net.bandwidth() / mf as usize).max(1);
-    let positions = plan.ldc.codeword_len(); // q² ≤ n
-    let mut symbols = vec![vec![vec![0u16; chunks]; n]; n];
+    n: usize,
+    codewords: Vec<Vec<Vec<u16>>>,
+    symbols: Vec<Vec<Vec<u16>>>,
+    /// First chunk of the next pack.
+    chunk_start: usize,
+}
 
-    // Pre-encode all codewords.
-    let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(n);
-    for payload in payloads {
-        let mut per_chunk = Vec::with_capacity(chunks);
-        for c in 0..chunks {
-            let chunk_bits = payload.slice(c * plan.cap_bits, (c + 1) * plan.cap_bits);
-            let msg = chunk_bits.to_symbols(mf);
-            let cw = plan
-                .ldc
-                .encode(&msg)
-                .map_err(|e| CoreError::invalid(format!("LDC encode: {e}")))?;
-            per_chunk.push(cw);
+impl ScatterSession {
+    fn new(
+        net: &Network,
+        plan: &LdcPlan,
+        payloads: &[BitVec], // per holder, padded to chunks * cap_bits
+        chunks: usize,
+    ) -> Result<Self, CoreError> {
+        let n = net.n();
+        let mf = plan.mf;
+        // Pre-encode all codewords.
+        let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(n);
+        for payload in payloads {
+            let mut per_chunk = Vec::with_capacity(chunks);
+            for c in 0..chunks {
+                let chunk_bits = payload.slice(c * plan.cap_bits, (c + 1) * plan.cap_bits);
+                let msg = chunk_bits.to_symbols(mf);
+                let cw = plan
+                    .ldc
+                    .encode(&msg)
+                    .map_err(|e| CoreError::invalid(format!("LDC encode: {e}")))?;
+                per_chunk.push(cw);
+            }
+            codewords.push(per_chunk);
         }
-        codewords.push(per_chunk);
+        Ok(Self {
+            mf,
+            positions: plan.ldc.codeword_len(), // q² ≤ n
+            lanes: (net.bandwidth() / mf as usize).max(1),
+            chunks,
+            n,
+            codewords,
+            symbols: vec![vec![vec![0u16; chunks]; n]; n],
+            chunk_start: 0,
+        })
     }
 
-    let chunk_ids: Vec<usize> = (0..chunks).collect();
-    for pack in chunk_ids.chunks(lanes) {
+    /// One exchange; `Some(symbols)` when the final pack lands.
+    fn step(&mut self, net: &mut Network) -> Result<Option<Vec<Vec<Vec<u16>>>>, CoreError> {
+        let (n, mf, positions) = (self.n, self.mf, self.positions);
+        if self.chunk_start >= self.chunks {
+            return Ok(Some(std::mem::take(&mut self.symbols)));
+        }
+        let pack: Vec<usize> =
+            (self.chunk_start..self.chunks.min(self.chunk_start + self.lanes)).collect();
         let mut traffic = net.traffic();
         for h in 0..n {
             for r in 0..positions.min(n) {
@@ -130,14 +160,14 @@ fn scatter_codewords(
                 }
                 let mut frame = net.frame_buffer(pack.len() * mf as usize);
                 for (lane, &c) in pack.iter().enumerate() {
-                    frame.write_uint(lane * mf as usize, mf, codewords[h][c][r] as u64);
+                    frame.write_uint(lane * mf as usize, mf, self.codewords[h][c][r] as u64);
                 }
                 traffic.send(h, r, frame);
             }
             // Own position held locally.
             if h < positions {
-                for &c in pack {
-                    symbols[h][h][c] = codewords[h][c][h];
+                for &c in &pack {
+                    self.symbols[h][h][c] = self.codewords[h][c][h];
                 }
             }
         }
@@ -146,30 +176,35 @@ fn scatter_codewords(
             for (h, frame) in delivery.inbox_of(r) {
                 for (lane, &c) in pack.iter().enumerate() {
                     if frame.len() >= (lane + 1) * mf as usize {
-                        symbols[r][h][c] = frame.read_uint(lane * mf as usize, mf) as u16;
+                        self.symbols[r][h][c] = frame.read_uint(lane * mf as usize, mf) as u16;
                     }
                 }
             }
         }
         net.reclaim(delivery);
+        self.chunk_start += pack.len();
+        if self.chunk_start >= self.chunks {
+            return Ok(Some(std::mem::take(&mut self.symbols)));
+        }
+        Ok(None)
     }
-    Ok(symbols)
 }
 
-/// Fetches queried symbols through the resilient router.
+/// Builds the query-fetch routing instance: `wanted[v]` = set of
+/// `(chunk, position)` pairs node `v` must learn for **all** holders.
 ///
-/// `wanted[v]` = set of `(chunk, position)` pairs node `v` must learn for
-/// **all** holders. Returns `answers[v]` mapping `(chunk, position)` to the
-/// `n·mf`-bit holder-indexed symbol bundle.
-fn fetch_queries(
-    net: &mut Network,
+/// Messages are emitted in ascending `(position, chunk)` order. The
+/// pre-session code collected them by iterating a `HashMap`, whose
+/// per-process random iteration order leaked into the unit engine's greedy
+/// stage coloring — making the LDC-fetch protocols' round counts vary
+/// *across processes* for identical seeds. The sort pins the canonical
+/// order (and with it cross-process reproducibility).
+fn fetch_instance(
+    n: usize,
     plan: &LdcPlan,
     symbols: &[Vec<Vec<u16>>],
     wanted: &[Vec<(usize, usize)>],
-    chunks: usize,
-    router: &RouterConfig,
-) -> Result<Vec<QueryAnswers>, CoreError> {
-    let n = net.n();
+) -> RoutingInstance {
     let mf = plan.mf as usize;
     // targets_of[(position r, chunk c)] -> target nodes.
     let mut targets_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
@@ -178,8 +213,10 @@ fn fetch_queries(
             targets_of.entry((r, c)).or_default().push(v);
         }
     }
-    let mut messages = Vec::with_capacity(targets_of.len());
-    for ((r, c), mut targets) in targets_of {
+    let mut keyed: Vec<((usize, usize), Vec<usize>)> = targets_of.into_iter().collect();
+    keyed.sort_unstable_by_key(|&(key, _)| key);
+    let mut messages = Vec::with_capacity(keyed.len());
+    for ((r, c), mut targets) in keyed {
         targets.sort_unstable();
         targets.dedup();
         let mut payload = BitVec::zeros(n * mf);
@@ -193,13 +230,21 @@ fn fetch_queries(
             targets,
         });
     }
-    let instance = RoutingInstance {
+    RoutingInstance {
         n,
         payload_bits: n * mf,
         messages,
-    };
-    let routed = route(net, &instance, router)?;
-    let _ = chunks;
+    }
+}
+
+/// Extracts per-node fetched answers from a finished query-fetch routing:
+/// `answers[v]` maps `(chunk, position)` to the `n·mf`-bit holder-indexed
+/// symbol bundle.
+fn collect_answers(
+    n: usize,
+    routed: &RoutingOutput,
+    wanted: &[Vec<(usize, usize)>],
+) -> Vec<QueryAnswers> {
     let mut answers: Vec<QueryAnswers> = vec![HashMap::new(); n];
     for (v, pairs) in wanted.iter().enumerate() {
         for &(c, r) in pairs {
@@ -208,7 +253,7 @@ fn fetch_queries(
             }
         }
     }
-    Ok(answers)
+    answers
 }
 
 /// Locally decodes one symbol: gathers the per-line answers for `z` from the
@@ -263,18 +308,45 @@ impl Default for AdaptiveTakeOne {
     }
 }
 
-impl AllToAllProtocol for AdaptiveTakeOne {
-    fn name(&self) -> &'static str {
-        "adaptive-take1"
-    }
+/// Execution phases of Take I.
+enum Take1Phase {
+    /// Scattering the row codewords (before R3 exists).
+    Scatter(ScatterSession),
+    /// Broadcasting R3 (now the adversary may see it).
+    BroadcastR3 {
+        symbols: Vec<Vec<Vec<u16>>>,
+        bcast: BroadcastSession,
+    },
+    /// Fetching the query answers through the resilient router.
+    Fetch {
+        r3_received: Vec<BitVec>,
+        wanted: Vec<Vec<(usize, usize)>>,
+        route: RouteSession<'static>,
+    },
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+/// Take I as a state machine.
+struct Take1Session<'a> {
+    proto: &'a AdaptiveTakeOne,
+    inst: &'a AllToAllInstance,
+    n: usize,
+    b: usize,
+    plan: LdcPlan,
+    phase: Take1Phase,
+}
+
+impl<'a> Take1Session<'a> {
+    fn new(
+        proto: &'a AdaptiveTakeOne,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
         let b = inst.b();
-        let plan = LdcPlan::for_network(n, self.lines, self.line_capacity)?;
+        let plan = LdcPlan::for_network(n, proto.lines, proto.line_capacity)?;
         if net.bandwidth() < plan.mf as usize {
             return Err(CoreError::infeasible("bandwidth below LDC symbol width"));
         }
@@ -289,38 +361,21 @@ impl AllToAllProtocol for AdaptiveTakeOne {
                 p
             })
             .collect();
-        let symbols = scatter_codewords(net, &plan, &payloads, chunks)?;
+        let scatter = ScatterSession::new(net, &plan, &payloads, chunks)?;
+        Ok(Self {
+            proto,
+            inst,
+            n,
+            b,
+            plan,
+            phase: Take1Phase::Scatter(scatter),
+        })
+    }
 
-        // ---- Broadcast R3 (now the adversary may see it). ----
-        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let r3_bits = SharedRandomness::generate(&mut v1_rng);
-        net.publish("adaptive1/R3", r3_bits.clone());
-        let r3_received = broadcast(net, 0, &r3_bits, &self.router)?;
-
-        // ---- Query sets: v needs bits [v·b, (v+1)·b) of every row. ----
-        let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-        let mut zs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n]; // (chunk, z)
-        for v in 0..n {
-            let shared = SharedRandomness::from_bits(&r3_received[v]);
-            let mut pairs = Vec::new();
-            for t in 0..b {
-                let (c, z, _) = plan.locate(v * b + t);
-                if !pairs.contains(&(c, z)) {
-                    pairs.push((c, z));
-                }
-            }
-            for &(c, z) in &pairs {
-                for r in plan.ldc.decode_indices(z, &shared) {
-                    if !wanted[v].contains(&(c, r)) {
-                        wanted[v].push((c, r));
-                    }
-                }
-            }
-            zs[v] = pairs;
-        }
-        let answers = fetch_queries(net, &plan, &symbols, &wanted, chunks, &self.router)?;
-
-        // ---- Local decoding. ----
+    /// ---- Local decoding. ----
+    fn finish(&self, r3_received: &[BitVec], answers: &[QueryAnswers]) -> AllToAllOutput {
+        let (n, b) = (self.n, self.b);
+        let plan = &self.plan;
         let mut out = AllToAllOutput::empty(n);
         for v in 0..n {
             let shared = SharedRandomness::from_bits(&r3_received[v]);
@@ -328,7 +383,7 @@ impl AllToAllProtocol for AdaptiveTakeOne {
             let mut decoded: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
             for u in 0..n {
                 if u == v {
-                    out.set(v, u, inst.message(u, u).clone());
+                    out.set(v, u, self.inst.message(u, u).clone());
                     continue;
                 }
                 let mut bits = BitVec::zeros(b);
@@ -336,7 +391,7 @@ impl AllToAllProtocol for AdaptiveTakeOne {
                 for t in 0..b {
                     let (c, z, inner) = plan.locate(v * b + t);
                     let sym = *decoded.entry((u, c, z)).or_insert_with(|| {
-                        local_decode_symbol(&plan, &shared, &answers[v], c, z, u)
+                        local_decode_symbol(plan, &shared, &answers[v], c, z, u)
                     });
                     match sym {
                         Some(s) => bits.set(t, s >> inner & 1 == 1),
@@ -348,7 +403,90 @@ impl AllToAllProtocol for AdaptiveTakeOne {
                 }
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl ProtocolSession for Take1Session<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        let (n, b) = (self.n, self.b);
+        match &mut self.phase {
+            Take1Phase::Scatter(scatter) => {
+                let Some(symbols) = scatter.step(net)? else {
+                    return Ok(Step::Running);
+                };
+                // ---- Broadcast R3 (now the adversary may see it). ----
+                let mut v1_rng = ChaCha8Rng::seed_from_u64(self.proto.seed);
+                let r3_bits = SharedRandomness::generate(&mut v1_rng);
+                net.publish("adaptive1/R3", r3_bits.clone());
+                let bcast = BroadcastSession::new(net, 0, &r3_bits, &self.proto.router)?;
+                self.phase = Take1Phase::BroadcastR3 { symbols, bcast };
+                Ok(Step::Running)
+            }
+            Take1Phase::BroadcastR3 { symbols, bcast } => {
+                let Some(r3_received) = bcast.step(net)? else {
+                    return Ok(Step::Running);
+                };
+                // ---- Query sets: v needs bits [v·b, (v+1)·b) of every
+                // row. ----
+                let plan = &self.plan;
+                let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+                for v in 0..n {
+                    let shared = SharedRandomness::from_bits(&r3_received[v]);
+                    let mut pairs = Vec::new();
+                    for t in 0..b {
+                        let (c, z, _) = plan.locate(v * b + t);
+                        if !pairs.contains(&(c, z)) {
+                            pairs.push((c, z));
+                        }
+                    }
+                    for &(c, z) in &pairs {
+                        for r in plan.ldc.decode_indices(z, &shared) {
+                            if !wanted[v].contains(&(c, r)) {
+                                wanted[v].push((c, r));
+                            }
+                        }
+                    }
+                }
+                let instance = fetch_instance(n, plan, symbols, &wanted);
+                let route = RouteSession::new(net, instance, &self.proto.router)?;
+                self.phase = Take1Phase::Fetch {
+                    r3_received,
+                    wanted,
+                    route,
+                };
+                Ok(Step::Running)
+            }
+            Take1Phase::Fetch {
+                r3_received,
+                wanted,
+                route,
+            } => {
+                let Some(routed) = route.step(net)? else {
+                    return Ok(Step::Running);
+                };
+                let answers = collect_answers(n, &routed, wanted);
+                let r3_received = std::mem::take(r3_received);
+                Ok(Step::Done(self.finish(&r3_received, &answers)))
+            }
+        }
+    }
+}
+
+impl AllToAllProtocol for AdaptiveTakeOne {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!(
+            "adaptive-take1(lines={},cap={})",
+            self.lines, self.line_capacity
+        ))
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(Take1Session::new(self, net, inst)?))
     }
 }
 
@@ -420,12 +558,98 @@ impl AdaptiveAllToAll {
     }
 }
 
-impl AllToAllProtocol for AdaptiveAllToAll {
-    fn name(&self) -> &'static str {
-        "adaptive-take2"
-    }
+/// State shared by every post-wave-A phase of Take II.
+struct Take2Common {
+    /// Step I's directly received messages.
+    received: AllToAllOutput,
+    /// R2 as decoded by each node (sketch hashes).
+    r2_received: Vec<BitVec>,
+    /// The random partition `P` (Lemma 5.6).
+    parts: Vec<Vec<usize>>,
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+/// Execution phases of Take II.
+enum Take2Phase<'a> {
+    /// Left behind while a step owns the real phase; observed only if a
+    /// failed session is stepped again.
+    Poisoned,
+    /// Step I: direct exchange.
+    Naive(NaiveSession<'a>),
+    /// Broadcasting R1 (partition randomness).
+    BroadcastR1 {
+        received: AllToAllOutput,
+        r2_bits: BitVec,
+        bcast: BroadcastSession,
+    },
+    /// Broadcasting R2 (sketch hashes); `r1_first` is node 0's decoded R1,
+    /// which drives the shared partition schedule.
+    BroadcastR2 {
+        received: AllToAllOutput,
+        r1_first: BitVec,
+        bcast: BroadcastSession,
+    },
+    /// Step II(a): wave A — P_j[i] learns M(P_j, S_i).
+    WaveA {
+        received: AllToAllOutput,
+        r2_received: Vec<BitVec>,
+        parts: Vec<Vec<usize>>,
+        route: RouteSession<'static>,
+    },
+    /// Step III, paper path: scattering the LDC-encoded sketch pieces.
+    Scatter {
+        common: Take2Common,
+        plan: LdcPlan,
+        scatter: ScatterSession,
+    },
+    /// Step III, paper path: broadcasting R3 (after the scatter — rushing
+    /// adversary ordering).
+    BroadcastR3 {
+        common: Take2Common,
+        plan: LdcPlan,
+        symbols: Vec<Vec<Vec<u16>>>,
+        bcast: BroadcastSession,
+    },
+    /// Step III, paper path: fetching the query answers.
+    Fetch {
+        common: Take2Common,
+        plan: LdcPlan,
+        r3_received: Vec<BitVec>,
+        wanted: Vec<Vec<(usize, usize)>>,
+        route: RouteSession<'static>,
+    },
+    /// Step III, ablation path: direct resilient sketch pull.
+    Pull {
+        common: Take2Common,
+        route: RouteSession<'static>,
+    },
+}
+
+/// Take II as a state machine.
+struct Take2Session<'a> {
+    proto: &'a AdaptiveAllToAll,
+    inst: &'a AllToAllInstance,
+    n: usize,
+    b: usize,
+    /// `|S_i| = αn`; also the number of P-groups.
+    w: usize,
+    /// Number of S segments.
+    s_count: usize,
+    p_count: usize,
+    shape: SketchShape,
+    /// Sketch wire width in bits.
+    t: usize,
+    /// Node v1's randomness source: R1, R2 are drawn at construction; R3
+    /// later, *after* the scatter — so the generator must persist.
+    v1_rng: ChaCha8Rng,
+    phase: Take2Phase<'a>,
+}
+
+impl<'a> Take2Session<'a> {
+    fn new(
+        proto: &'a AdaptiveAllToAll,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
@@ -434,72 +658,50 @@ impl AllToAllProtocol for AdaptiveAllToAll {
         if b > 16 {
             return Err(CoreError::invalid("sketch keys support B ≤ 16 bits"));
         }
-        let p_size = self.p_size;
+        let p_size = proto.p_size;
         if p_size < 2 || !n.is_multiple_of(p_size) {
             return Err(CoreError::invalid(format!(
                 "p_size {p_size} must divide n = {n} (and be ≥ 2)"
             )));
         }
-        let w = n / p_size; // |S_i| = αn; also the number of P-groups
-        let s_count = p_size; // number of S segments
-        let p_count = w;
-
-        // ---- Step I: direct exchange. ----
-        let received = super::NaiveExchange.run(net, inst)?;
-
-        // ---- Broadcast R1 (partition) and R2 (sketch hashes). ----
-        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
-        let r1_bits = SharedRandomness::generate(&mut v1_rng);
-        let r2_bits = SharedRandomness::generate(&mut v1_rng);
-        net.publish("adaptive2/R1", r1_bits.clone());
-        net.publish("adaptive2/R2", r2_bits.clone());
-        let r1_received = broadcast(net, 0, &r1_bits, &self.router)?;
-        let r2_received = broadcast(net, 0, &r2_bits, &self.router)?;
-
-        // All honest nodes derive the same partition within the routing
-        // margin; the reference copy drives the shared schedule.
-        let shared1 = SharedRandomness::from_bits(&r1_received[0]);
-        let parts = Self::partition(&shared1, n, p_size);
-        debug_assert_eq!(parts.len(), p_count);
-        let mut group_of = vec![0usize; n]; // P-group of each node
-        let mut index_in_group = vec![0usize; n];
-        for (j, part) in parts.iter().enumerate() {
-            for (i, &u) in part.iter().enumerate() {
-                group_of[u] = j;
-                index_in_group[u] = i;
-            }
-        }
-        let seg_of = |v: usize| v / w; // S-segment index of v
-        let seg = |i: usize| (i * w)..((i + 1) * w);
-
-        // ---- Step II(a): wave A — P_j[i] learns M(P_j, S_i). ----
-        let wave_a = RoutingInstance {
+        let w = n / p_size;
+        let key_bits = AdaptiveAllToAll::key_bits(n, b);
+        let shape = SketchShape::for_capacity(proto.sketch_capacity, key_bits);
+        Ok(Self {
+            proto,
+            inst,
             n,
-            payload_bits: w * b,
-            messages: (0..n)
-                .flat_map(|v| (0..s_count).map(move |i| (v, i)))
-                .map(|(v, i)| SuperMessage {
-                    src: v,
-                    slot: i,
-                    payload: BitVec::concat(seg(i).map(|x| inst.message(v, x))),
-                    targets: vec![parts[group_of[v]][i]],
-                })
-                .collect(),
-        };
-        let routed_a = route(net, &wave_a, &self.router)?;
+            b,
+            w,
+            s_count: p_size,
+            p_count: w,
+            shape,
+            t: shape.bit_len(),
+            v1_rng: ChaCha8Rng::seed_from_u64(proto.seed),
+            phase: Take2Phase::Naive(NaiveSession::new(net, inst)?),
+        })
+    }
 
-        // ---- Step II(b): build sketches Sk(P_j, {x}) at P_j[i]. ----
-        let key_bits = Self::key_bits(n, b);
-        let shape = SketchShape::for_capacity(self.sketch_capacity, key_bits);
-        let t = shape.bit_len();
-        // pieces[h] = Sk(P_j, S_i) for the (j, i) with h = P_j[i].
+    fn seg(&self, i: usize) -> std::ops::Range<usize> {
+        (i * self.w)..((i + 1) * self.w)
+    }
+
+    /// ---- Step II(b): build sketches Sk(P_j, {x}) at P_j[i]. ----
+    /// `pieces[h] = Sk(P_j, S_i)` for the `(j, i)` with `h = P_j[i]`.
+    fn build_pieces(
+        &self,
+        parts: &[Vec<usize>],
+        r2_received: &[BitVec],
+        routed_a: &RoutingOutput,
+    ) -> Result<Vec<BitVec>, CoreError> {
+        let (n, b, t) = (self.n, self.b, self.t);
         let mut pieces: Vec<BitVec> = vec![BitVec::new(); n];
         for part in parts.iter() {
             for (i, &h) in part.iter().enumerate() {
                 let shared2 = SharedRandomness::from_bits(&r2_received[h]);
                 let mut piece = BitVec::new();
-                for (off, x) in seg(i).enumerate() {
-                    let mut sk = RecoverySketch::new(shape, &shared2);
+                for (off, x) in self.seg(i).enumerate() {
+                    let mut sk = RecoverySketch::new(self.shape, &shared2);
                     for &u in part {
                         let Some(pay) = routed_a.delivered[h].get(&(u, i)) else {
                             continue;
@@ -508,7 +710,7 @@ impl AllToAllProtocol for AdaptiveAllToAll {
                             continue;
                         }
                         let m = pay.slice(off * b, (off + 1) * b);
-                        let key = Self::sketch_key(n, b, u, x, &m);
+                        let key = AdaptiveAllToAll::sketch_key(n, b, u, x, &m);
                         sk.add(key, 1)
                             .map_err(|e| CoreError::invalid(format!("sketch add: {e}")))?;
                     }
@@ -517,141 +719,42 @@ impl AllToAllProtocol for AdaptiveAllToAll {
                             .map_err(|e| CoreError::invalid(format!("sketch wire: {e}")))?,
                     );
                 }
-                debug_assert_eq!(piece.len(), w * t);
+                debug_assert_eq!(piece.len(), self.w * t);
                 pieces[h] = piece;
             }
         }
+        Ok(pieces)
+    }
 
-        // ---- Step III: every v learns Sk(P_j, {v}) for all j. ----
-        // sketch_bits[v][j] = the t bits of Sk(P_j, {v}).
-        let mut sketch_bits: Vec<Vec<Option<BitVec>>> = vec![vec![None; p_count]; n];
-        if self.query_via_ldc {
-            let plan = LdcPlan::for_network(n, self.lines, self.line_capacity)?;
-            let chunks = (w * t).div_ceil(plan.cap_bits).max(1);
-            let padded: Vec<BitVec> = pieces
-                .iter()
-                .map(|p| {
-                    let mut p = p.clone();
-                    p.pad_to(chunks * plan.cap_bits);
-                    p
-                })
-                .collect();
-            let symbols = scatter_codewords(net, &plan, &padded, chunks)?;
-
-            // R3 after the scatter (rushing adversary ordering).
-            let r3_bits = SharedRandomness::generate(&mut v1_rng);
-            net.publish("adaptive2/R3", r3_bits.clone());
-            let r3_received = broadcast(net, 0, &r3_bits, &self.router)?;
-
-            // Positions of v's sketch inside any piece (Eq. (7)): bits
-            // [pos_v·t, (pos_v+1)·t) — identical across j.
-            let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-            let mut z_pairs: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
-            for v in 0..n {
-                let shared3 = SharedRandomness::from_bits(&r3_received[v]);
-                let pos_v = v - seg_of(v) * w;
-                let mut pairs = Vec::new();
-                for bit in pos_v * t..(pos_v + 1) * t {
-                    let (c, z, _) = plan.locate(bit);
-                    if !pairs.contains(&(c, z)) {
-                        pairs.push((c, z));
-                    }
-                }
-                let mut need = Vec::new();
-                for &(c, z) in &pairs {
-                    for r in plan.ldc.decode_indices(z, &shared3) {
-                        if !need.contains(&(c, r)) {
-                            need.push((c, r));
-                        }
-                    }
-                }
-                wanted[v] = need;
-                z_pairs[v] = pairs;
-            }
-            let answers = fetch_queries(net, &plan, &symbols, &wanted, chunks, &self.router)?;
-
-            for v in 0..n {
-                let shared3 = SharedRandomness::from_bits(&r3_received[v]);
-                let pos_v = v - seg_of(v) * w;
-                for j in 0..p_count {
-                    let holder = parts[j][seg_of(v)];
-                    // Decode the t bits of Sk(P_j, {v}).
-                    let mut bits = BitVec::zeros(t);
-                    let mut ok = true;
-                    let mut cache: HashMap<(usize, usize), Option<u16>> = HashMap::new();
-                    for (offset, bit) in (pos_v * t..(pos_v + 1) * t).enumerate() {
-                        let (c, z, inner) = plan.locate(bit);
-                        let sym = *cache.entry((c, z)).or_insert_with(|| {
-                            local_decode_symbol(&plan, &shared3, &answers[v], c, z, holder)
-                        });
-                        match sym {
-                            Some(s) => bits.set(offset, s >> inner & 1 == 1),
-                            None => {
-                                ok = false;
-                                break;
-                            }
-                        }
-                    }
-                    if ok {
-                        sketch_bits[v][j] = Some(bits);
-                    }
-                }
-            }
-        } else {
-            // Ablation: direct resilient sketch pull (k = αn messages per
-            // node — outside the paper's LDC regime but feasible when
-            // αn ≈ 1/α).
-            let pull = RoutingInstance {
-                n,
-                payload_bits: t,
-                messages: (0..p_count)
-                    .flat_map(|j| (0..s_count).map(move |i| (j, i)))
-                    .flat_map(|(j, i)| {
-                        let h = parts[j][i];
-                        seg(i)
-                            .enumerate()
-                            .map(|(off, x)| SuperMessage {
-                                src: h,
-                                slot: j * w + off,
-                                payload: pieces[h].slice(off * t, (off + 1) * t),
-                                targets: vec![x],
-                            })
-                            .collect::<Vec<_>>()
-                    })
-                    .collect(),
-            };
-            let routed = route(net, &pull, &self.router)?;
-            for v in 0..n {
-                for j in 0..p_count {
-                    let h = parts[j][seg_of(v)];
-                    let off = v - seg_of(v) * w;
-                    sketch_bits[v][j] = routed.delivered[v].get(&(h, j * w + off)).cloned();
-                }
-            }
-        }
-
-        // ---- Step IV: local correction (Lemma 2.4 / Lemma B.1). ----
+    /// ---- Step IV: local correction (Lemma 2.4 / Lemma B.1). ----
+    fn finish(
+        &self,
+        common: &Take2Common,
+        sketch_bits: Vec<Vec<Option<BitVec>>>,
+    ) -> AllToAllOutput {
+        let (n, b) = (self.n, self.b);
         let mut out = AllToAllOutput::empty(n);
         for v in 0..n {
             // Start from the directly received messages.
             let mut current: Vec<BitVec> = (0..n)
                 .map(|u| {
-                    received
+                    common
+                        .received
                         .received(v, u)
                         .cloned()
                         .unwrap_or_else(|| BitVec::zeros(b))
                 })
                 .collect();
-            let shared2 = SharedRandomness::from_bits(&r2_received[v]);
-            for j in 0..p_count {
+            let shared2 = SharedRandomness::from_bits(&common.r2_received[v]);
+            for j in 0..self.p_count {
                 let Some(bits) = &sketch_bits[v][j] else {
                     continue;
                 };
-                let Ok(mut sk) = RecoverySketch::from_bits(shape, bits, &shared2) else {
+                let Ok(mut sk) = RecoverySketch::from_bits(self.shape, bits, &shared2) else {
                     continue;
                 };
-                for &u in &parts[j] {
-                    let key = Self::sketch_key(n, b, u, v, &current[u]);
+                for &u in &common.parts[j] {
+                    let key = AdaptiveAllToAll::sketch_key(n, b, u, v, &current[u]);
                     if sk.add(key, -1).is_err() {
                         continue;
                     }
@@ -666,7 +769,7 @@ impl AllToAllProtocol for AdaptiveAllToAll {
                     let id = key >> b;
                     let u = (id / n as u64) as usize;
                     let tgt = (id % n as u64) as usize;
-                    if tgt != v || u >= n || !parts[j].contains(&u) {
+                    if tgt != v || u >= n || !common.parts[j].contains(&u) {
                         continue;
                     }
                     let mut m = BitVec::zeros(b);
@@ -681,14 +784,343 @@ impl AllToAllProtocol for AdaptiveAllToAll {
                     v,
                     u,
                     if u == v {
-                        inst.message(u, u).clone()
+                        self.inst.message(u, u).clone()
                     } else {
                         current[u].clone()
                     },
                 );
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl ProtocolSession for Take2Session<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        let (n, b, w, t) = (self.n, self.b, self.w, self.t);
+        // Own the phase for the duration of the step: state moves forward
+        // without placeholder values. An error mid-step leaves the session
+        // poisoned — stepping a failed session is a caller bug.
+        let phase = std::mem::replace(&mut self.phase, Take2Phase::Poisoned);
+        match phase {
+            Take2Phase::Poisoned => Err(CoreError::invalid(
+                "session stepped after a failed or consumed step",
+            )),
+            Take2Phase::Naive(mut naive) => {
+                let received = match naive.step(net)? {
+                    Step::Running => {
+                        self.phase = Take2Phase::Naive(naive);
+                        return Ok(Step::Running);
+                    }
+                    Step::Done(out) => out,
+                };
+                // ---- Broadcast R1 (partition) and R2 (sketch hashes). ----
+                let r1_bits = SharedRandomness::generate(&mut self.v1_rng);
+                let r2_bits = SharedRandomness::generate(&mut self.v1_rng);
+                net.publish("adaptive2/R1", r1_bits.clone());
+                net.publish("adaptive2/R2", r2_bits.clone());
+                let bcast = BroadcastSession::new(net, 0, &r1_bits, &self.proto.router)?;
+                self.phase = Take2Phase::BroadcastR1 {
+                    received,
+                    r2_bits,
+                    bcast,
+                };
+                Ok(Step::Running)
+            }
+            Take2Phase::BroadcastR1 {
+                received,
+                r2_bits,
+                mut bcast,
+            } => {
+                let Some(r1_received) = bcast.step(net)? else {
+                    self.phase = Take2Phase::BroadcastR1 {
+                        received,
+                        r2_bits,
+                        bcast,
+                    };
+                    return Ok(Step::Running);
+                };
+                let bcast = BroadcastSession::new(net, 0, &r2_bits, &self.proto.router)?;
+                self.phase = Take2Phase::BroadcastR2 {
+                    received,
+                    r1_first: r1_received.into_iter().next().expect("n >= 2 nodes"),
+                    bcast,
+                };
+                Ok(Step::Running)
+            }
+            Take2Phase::BroadcastR2 {
+                received,
+                r1_first,
+                mut bcast,
+            } => {
+                let Some(r2_received) = bcast.step(net)? else {
+                    self.phase = Take2Phase::BroadcastR2 {
+                        received,
+                        r1_first,
+                        bcast,
+                    };
+                    return Ok(Step::Running);
+                };
+                // All honest nodes derive the same partition within the
+                // routing margin; the reference copy drives the shared
+                // schedule.
+                let shared1 = SharedRandomness::from_bits(&r1_first);
+                let parts = AdaptiveAllToAll::partition(&shared1, n, self.proto.p_size);
+                debug_assert_eq!(parts.len(), self.p_count);
+                let mut group_of = vec![0usize; n]; // P-group of each node
+                for (j, part) in parts.iter().enumerate() {
+                    for &u in part.iter() {
+                        group_of[u] = j;
+                    }
+                }
+                // ---- Step II(a): wave A — P_j[i] learns M(P_j, S_i). ----
+                let inst = self.inst;
+                let wave_a = RoutingInstance {
+                    n,
+                    payload_bits: w * b,
+                    messages: (0..n)
+                        .flat_map(|v| (0..self.s_count).map(move |i| (v, i)))
+                        .map(|(v, i)| SuperMessage {
+                            src: v,
+                            slot: i,
+                            payload: BitVec::concat(
+                                ((i * w)..((i + 1) * w)).map(|x| inst.message(v, x)),
+                            ),
+                            targets: vec![parts[group_of[v]][i]],
+                        })
+                        .collect(),
+                };
+                let route = RouteSession::new(net, wave_a, &self.proto.router)?;
+                self.phase = Take2Phase::WaveA {
+                    received,
+                    r2_received,
+                    parts,
+                    route,
+                };
+                Ok(Step::Running)
+            }
+            Take2Phase::WaveA {
+                received,
+                r2_received,
+                parts,
+                mut route,
+            } => {
+                let Some(routed_a) = route.step(net)? else {
+                    self.phase = Take2Phase::WaveA {
+                        received,
+                        r2_received,
+                        parts,
+                        route,
+                    };
+                    return Ok(Step::Running);
+                };
+                let pieces = self.build_pieces(&parts, &r2_received, &routed_a)?;
+                let common = Take2Common {
+                    received,
+                    r2_received,
+                    parts,
+                };
+                // ---- Step III: every v learns Sk(P_j, {v}) for all j. ----
+                if self.proto.query_via_ldc {
+                    let plan = LdcPlan::for_network(n, self.proto.lines, self.proto.line_capacity)?;
+                    let chunks = (w * t).div_ceil(plan.cap_bits).max(1);
+                    let padded: Vec<BitVec> = pieces
+                        .iter()
+                        .map(|p| {
+                            let mut p = p.clone();
+                            p.pad_to(chunks * plan.cap_bits);
+                            p
+                        })
+                        .collect();
+                    let scatter = ScatterSession::new(net, &plan, &padded, chunks)?;
+                    self.phase = Take2Phase::Scatter {
+                        common,
+                        plan,
+                        scatter,
+                    };
+                } else {
+                    // Ablation: direct resilient sketch pull (k = αn
+                    // messages per node — outside the paper's LDC regime but
+                    // feasible when αn ≈ 1/α).
+                    let parts = &common.parts;
+                    let pull = RoutingInstance {
+                        n,
+                        payload_bits: t,
+                        messages: (0..self.p_count)
+                            .flat_map(|j| (0..self.s_count).map(move |i| (j, i)))
+                            .flat_map(|(j, i)| {
+                                let h = parts[j][i];
+                                ((i * w)..((i + 1) * w))
+                                    .enumerate()
+                                    .map(|(off, x)| SuperMessage {
+                                        src: h,
+                                        slot: j * w + off,
+                                        payload: pieces[h].slice(off * t, (off + 1) * t),
+                                        targets: vec![x],
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect(),
+                    };
+                    let route = RouteSession::new(net, pull, &self.proto.router)?;
+                    self.phase = Take2Phase::Pull { common, route };
+                }
+                Ok(Step::Running)
+            }
+            Take2Phase::Scatter {
+                common,
+                plan,
+                mut scatter,
+            } => {
+                let Some(symbols) = scatter.step(net)? else {
+                    self.phase = Take2Phase::Scatter {
+                        common,
+                        plan,
+                        scatter,
+                    };
+                    return Ok(Step::Running);
+                };
+                // R3 after the scatter (rushing adversary ordering).
+                let r3_bits = SharedRandomness::generate(&mut self.v1_rng);
+                net.publish("adaptive2/R3", r3_bits.clone());
+                let bcast = BroadcastSession::new(net, 0, &r3_bits, &self.proto.router)?;
+                self.phase = Take2Phase::BroadcastR3 {
+                    common,
+                    plan,
+                    symbols,
+                    bcast,
+                };
+                Ok(Step::Running)
+            }
+            Take2Phase::BroadcastR3 {
+                common,
+                plan,
+                symbols,
+                mut bcast,
+            } => {
+                let Some(r3_received) = bcast.step(net)? else {
+                    self.phase = Take2Phase::BroadcastR3 {
+                        common,
+                        plan,
+                        symbols,
+                        bcast,
+                    };
+                    return Ok(Step::Running);
+                };
+                // Positions of v's sketch inside any piece (Eq. (7)): bits
+                // [pos_v·t, (pos_v+1)·t) — identical across j.
+                let mut wanted: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+                for v in 0..n {
+                    let shared3 = SharedRandomness::from_bits(&r3_received[v]);
+                    let pos_v = v - (v / w) * w;
+                    let mut pairs = Vec::new();
+                    for bit in pos_v * t..(pos_v + 1) * t {
+                        let (c, z, _) = plan.locate(bit);
+                        if !pairs.contains(&(c, z)) {
+                            pairs.push((c, z));
+                        }
+                    }
+                    for &(c, z) in &pairs {
+                        for r in plan.ldc.decode_indices(z, &shared3) {
+                            if !wanted[v].contains(&(c, r)) {
+                                wanted[v].push((c, r));
+                            }
+                        }
+                    }
+                }
+                let instance = fetch_instance(n, &plan, &symbols, &wanted);
+                let route = RouteSession::new(net, instance, &self.proto.router)?;
+                self.phase = Take2Phase::Fetch {
+                    common,
+                    plan,
+                    r3_received,
+                    wanted,
+                    route,
+                };
+                Ok(Step::Running)
+            }
+            Take2Phase::Fetch {
+                common,
+                plan,
+                r3_received,
+                wanted,
+                mut route,
+            } => {
+                let Some(routed) = route.step(net)? else {
+                    self.phase = Take2Phase::Fetch {
+                        common,
+                        plan,
+                        r3_received,
+                        wanted,
+                        route,
+                    };
+                    return Ok(Step::Running);
+                };
+                let answers = collect_answers(n, &routed, &wanted);
+                // Decode sketch_bits[v][j] = the t bits of Sk(P_j, {v}).
+                let mut sketch_bits: Vec<Vec<Option<BitVec>>> = vec![vec![None; self.p_count]; n];
+                for v in 0..n {
+                    let shared3 = SharedRandomness::from_bits(&r3_received[v]);
+                    let pos_v = v - (v / w) * w;
+                    for j in 0..self.p_count {
+                        let holder = common.parts[j][v / w];
+                        let mut bits = BitVec::zeros(t);
+                        let mut ok = true;
+                        let mut cache: HashMap<(usize, usize), Option<u16>> = HashMap::new();
+                        for (offset, bit) in (pos_v * t..(pos_v + 1) * t).enumerate() {
+                            let (c, z, inner) = plan.locate(bit);
+                            let sym = *cache.entry((c, z)).or_insert_with(|| {
+                                local_decode_symbol(&plan, &shared3, &answers[v], c, z, holder)
+                            });
+                            match sym {
+                                Some(s) => bits.set(offset, s >> inner & 1 == 1),
+                                None => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok {
+                            sketch_bits[v][j] = Some(bits);
+                        }
+                    }
+                }
+                Ok(Step::Done(self.finish(&common, sketch_bits)))
+            }
+            Take2Phase::Pull { common, mut route } => {
+                let Some(routed) = route.step(net)? else {
+                    self.phase = Take2Phase::Pull { common, route };
+                    return Ok(Step::Running);
+                };
+                let mut sketch_bits: Vec<Vec<Option<BitVec>>> = vec![vec![None; self.p_count]; n];
+                for v in 0..n {
+                    for j in 0..self.p_count {
+                        let h = common.parts[j][v / w];
+                        let off = v - (v / w) * w;
+                        sketch_bits[v][j] = routed.delivered[v].get(&(h, j * w + off)).cloned();
+                    }
+                }
+                Ok(Step::Done(self.finish(&common, sketch_bits)))
+            }
+        }
+    }
+}
+
+impl AllToAllProtocol for AdaptiveAllToAll {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!(
+            "adaptive-take2(p={},{})",
+            self.p_size,
+            if self.query_via_ldc { "ldc" } else { "direct" }
+        ))
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(Take2Session::new(self, net, inst)?))
     }
 }
 

@@ -1,12 +1,13 @@
 //! Theorem 1.4 / 6.1: deterministic `O(log n)`-round `AllToAllComm` for
 //! constant α, via the hypercube exchange pattern.
 
-use super::AllToAllProtocol;
+use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 
 /// The hypercube protocol (Figure 2 of the paper).
 ///
@@ -67,12 +68,26 @@ fn message_ids(u: usize, i: usize, ell: usize) -> Vec<(usize, usize)> {
     ids
 }
 
-impl AllToAllProtocol for DetHypercube {
-    fn name(&self) -> &'static str {
-        "det-hypercube"
-    }
+/// The hypercube protocol as a state machine: `ℓ` routed iterations, one
+/// step per routing round.
+struct HypercubeSession<'a> {
+    router: &'a RouterConfig,
+    n: usize,
+    ell: usize,
+    b: usize,
+    /// Current iteration `i ∈ 1..=ℓ`.
+    i: usize,
+    /// state[u]: payloads of M_i(u), aligned with message_ids(u, i, ell).
+    state: Vec<Vec<BitVec>>,
+    route: RouteSession<'static>,
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+impl<'a> HypercubeSession<'a> {
+    fn new(
+        proto: &'a DetHypercube,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
@@ -84,9 +99,7 @@ impl AllToAllProtocol for DetHypercube {
         }
         let ell = n.trailing_zeros() as usize;
         let b = inst.b();
-
-        // state[u]: payloads of M_i(u), aligned with message_ids(u, i, ell).
-        let mut state: Vec<Vec<BitVec>> = (0..n)
+        let state: Vec<Vec<BitVec>> = (0..n)
             .map(|u| {
                 message_ids(u, 1, ell)
                     .into_iter()
@@ -97,85 +110,135 @@ impl AllToAllProtocol for DetHypercube {
                     .collect()
             })
             .collect();
+        let route = Self::iteration_route(net, &proto.router, &state, n, ell, b, 1)?;
+        Ok(Self {
+            router: &proto.router,
+            n,
+            ell,
+            b,
+            i: 1,
+            state,
+            route,
+        })
+    }
 
-        for i in 1..=ell {
-            let bit_shift = ell - i; // MSB-first bit i == LSB bit ell - i
-            let half = n / 2; // |M_i(u)| = n, halves of n/2 messages
-            let instance = RoutingInstance {
-                n,
-                payload_bits: half * b,
-                messages: (0..n)
-                    .flat_map(|u| {
-                        // Slot 0 = lower-target half (goes to partner with
-                        // bit i = 0), slot 1 = upper half.
-                        let lower = BitVec::concat(state[u][..half].iter());
-                        let upper = BitVec::concat(state[u][half..].iter());
-                        let t0 = u & !(1 << bit_shift);
-                        let t1 = u | (1 << bit_shift);
-                        [
-                            SuperMessage {
-                                src: u,
-                                slot: 0,
-                                payload: lower,
-                                targets: vec![t0],
-                            },
-                            SuperMessage {
-                                src: u,
-                                slot: 1,
-                                payload: upper,
-                                targets: vec![t1],
-                            },
-                        ]
-                    })
-                    .collect(),
-            };
-            let routed = route(net, &instance, &self.router)?;
+    /// Builds iteration `i`'s `k = 2` routing instance and opens its
+    /// session.
+    fn iteration_route(
+        net: &Network,
+        router: &RouterConfig,
+        state: &[Vec<BitVec>],
+        n: usize,
+        ell: usize,
+        b: usize,
+        i: usize,
+    ) -> Result<RouteSession<'static>, CoreError> {
+        let bit_shift = ell - i; // MSB-first bit i == LSB bit ell - i
+        let half = n / 2; // |M_i(u)| = n, halves of n/2 messages
+        let instance = RoutingInstance {
+            n,
+            payload_bits: half * b,
+            messages: (0..n)
+                .flat_map(|u| {
+                    // Slot 0 = lower-target half (goes to partner with
+                    // bit i = 0), slot 1 = upper half.
+                    let lower = BitVec::concat(state[u][..half].iter());
+                    let upper = BitVec::concat(state[u][half..].iter());
+                    let t0 = u & !(1 << bit_shift);
+                    let t1 = u | (1 << bit_shift);
+                    [
+                        SuperMessage {
+                            src: u,
+                            slot: 0,
+                            payload: lower,
+                            targets: vec![t0],
+                        },
+                        SuperMessage {
+                            src: u,
+                            slot: 1,
+                            payload: upper,
+                            targets: vec![t1],
+                        },
+                    ]
+                })
+                .collect(),
+        };
+        RouteSession::new(net, instance, router)
+    }
+}
 
-            // Rebuild M_{i+1}(v) from the two received halves.
-            let mut next: Vec<Vec<BitVec>> = Vec::with_capacity(n);
-            for v in 0..n {
-                let my_bit = (v >> bit_shift) & 1;
-                let partner = v ^ (1 << bit_shift);
-                let expected_ids = message_ids(v, i + 1, ell);
-                let mut collected: std::collections::HashMap<(usize, usize), BitVec> =
-                    std::collections::HashMap::with_capacity(expected_ids.len());
-                for sender in [v, partner] {
-                    let payload = routed.delivered[v]
-                        .get(&(sender, my_bit))
-                        .cloned()
-                        .unwrap_or_else(|| BitVec::zeros(half * b));
-                    // The sender's half ids: sender's iteration-i ids,
-                    // lower or upper half by my_bit.
-                    let sender_ids = message_ids(sender, i, ell);
-                    let half_ids = if my_bit == 0 {
-                        &sender_ids[..half]
-                    } else {
-                        &sender_ids[half..]
-                    };
-                    for (idx, &(t, s)) in half_ids.iter().enumerate() {
-                        collected.insert((t, s), payload.slice(idx * b, (idx + 1) * b));
-                    }
+impl ProtocolSession for HypercubeSession<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        let (n, ell, b) = (self.n, self.ell, self.b);
+        let Some(routed) = self.route.step(net)? else {
+            return Ok(Step::Running);
+        };
+        // Iteration i's routing finished: rebuild M_{i+1}(v) from the two
+        // received halves.
+        let i = self.i;
+        let bit_shift = ell - i;
+        let half = n / 2;
+        let mut next: Vec<Vec<BitVec>> = Vec::with_capacity(n);
+        for v in 0..n {
+            let my_bit = (v >> bit_shift) & 1;
+            let partner = v ^ (1 << bit_shift);
+            let expected_ids = message_ids(v, i + 1, ell);
+            let mut collected: std::collections::HashMap<(usize, usize), BitVec> =
+                std::collections::HashMap::with_capacity(expected_ids.len());
+            for sender in [v, partner] {
+                let payload = routed.delivered[v]
+                    .get(&(sender, my_bit))
+                    .cloned()
+                    .unwrap_or_else(|| BitVec::zeros(half * b));
+                // The sender's half ids: sender's iteration-i ids,
+                // lower or upper half by my_bit.
+                let sender_ids = message_ids(sender, i, ell);
+                let half_ids = if my_bit == 0 {
+                    &sender_ids[..half]
+                } else {
+                    &sender_ids[half..]
+                };
+                for (idx, &(t, s)) in half_ids.iter().enumerate() {
+                    collected.insert((t, s), payload.slice(idx * b, (idx + 1) * b));
                 }
-                next.push(
-                    expected_ids
-                        .iter()
-                        .map(|id| collected.remove(id).unwrap_or_else(|| BitVec::zeros(b)))
-                        .collect(),
-                );
             }
-            state = next;
+            next.push(
+                expected_ids
+                    .iter()
+                    .map(|id| collected.remove(id).unwrap_or_else(|| BitVec::zeros(b)))
+                    .collect(),
+            );
         }
-
+        self.state = next;
+        self.i += 1;
+        if self.i <= ell {
+            self.route = Self::iteration_route(net, self.router, &self.state, n, ell, b, self.i)?;
+            return Ok(Step::Running);
+        }
         // M_{ℓ+1}(v) = M(V, {v}), sorted by (target = v, source ascending).
         let mut output = AllToAllOutput::empty(n);
         for v in 0..n {
             let ids = message_ids(v, ell + 1, ell);
             debug_assert!(ids.iter().all(|&(t, _)| t == v));
             for (idx, &(_, s)) in ids.iter().enumerate() {
-                output.set(v, s, state[v][idx].clone());
+                output.set(v, s, self.state[v][idx].clone());
             }
         }
-        Ok(output)
+        Ok(Step::Done(output))
+    }
+}
+
+impl AllToAllProtocol for DetHypercube {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("det-hypercube")
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(HypercubeSession::new(self, net, inst)?))
     }
 }
 

@@ -2,12 +2,13 @@
 //! α = Θ(1/√n), via two waves of resilient super-message routing over √n
 //! node segments.
 
-use super::AllToAllProtocol;
+use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 
 /// The √n-segment protocol (Figure 3 of the paper).
 ///
@@ -33,12 +34,27 @@ impl DetSqrt {
     }
 }
 
-impl AllToAllProtocol for DetSqrt {
-    fn name(&self) -> &'static str {
-        "det-sqrt"
-    }
+/// The two routed waves of Figure 3, as session phases.
+enum SqrtPhase {
+    Wave1(RouteSession<'static>),
+    Wave2(RouteSession<'static>),
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+/// The √n-segment protocol as a state machine: one step per routing round.
+struct SqrtSession<'a> {
+    router: &'a RouterConfig,
+    n: usize,
+    s: usize,
+    b: usize,
+    phase: SqrtPhase,
+}
+
+impl<'a> SqrtSession<'a> {
+    fn new(
+        proto: &'a DetSqrt,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
@@ -69,77 +85,116 @@ impl AllToAllProtocol for DetSqrt {
                 })
                 .collect(),
         };
-        let out1 = route(net, &wave1, &self.router)?;
-
-        // Node S_i[j] now holds M(S_i, S_j): rows indexed by u ∈ S_i.
-        // holdings[w] = map u -> M°({u}, S_j) for w = S_i[j].
-        let mut holdings: Vec<Vec<BitVec>> = vec![Vec::new(); n];
-        for i in 0..s {
-            for j in 0..s {
-                let w = member(i, j);
-                let mut rows = Vec::with_capacity(s);
-                for (offset, u) in seg(i).enumerate() {
-                    let row = out1.delivered[w]
-                        .get(&(u, j))
-                        .cloned()
-                        .unwrap_or_else(|| BitVec::zeros(s * b));
-                    let _ = offset;
-                    rows.push(row);
-                }
-                holdings[w] = rows;
-            }
-        }
-
-        // ---- Wave 2: S_i[j] sends M°(S_i, {S_j[ℓ]}) to S_j[ℓ]. ----
-        let wave2 = RoutingInstance {
+        Ok(Self {
+            router: &proto.router,
             n,
-            payload_bits: s * b,
-            messages: (0..s)
-                .flat_map(|i| (0..s).map(move |j| (i, j)))
-                .flat_map(|(i, j)| {
-                    let w = member(i, j);
-                    (0..s)
-                        .map(|ell| {
-                            // Column ℓ of M(S_i, S_j): bits [ℓ·b, (ℓ+1)·b)
-                            // of each row.
-                            let payload = BitVec::concat(
-                                holdings[w]
-                                    .iter()
-                                    .map(|row| row.slice(ell * b, (ell + 1) * b))
-                                    .collect::<Vec<_>>()
-                                    .iter(),
-                            );
-                            SuperMessage {
-                                src: w,
-                                slot: ell,
-                                payload,
-                                targets: vec![member(j, ell)],
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .collect(),
-        };
-        let out2 = route(net, &wave2, &self.router)?;
+            s,
+            b,
+            phase: SqrtPhase::Wave1(RouteSession::new(net, wave1, &proto.router)?),
+        })
+    }
+}
 
-        // ---- Output: v = S_j[ℓ] assembles M(V, {v}). ----
-        let mut output = AllToAllOutput::empty(n);
-        for j in 0..s {
-            for ell in 0..s {
-                let v = member(j, ell);
+impl ProtocolSession for SqrtSession<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        let (n, s, b) = (self.n, self.s, self.b);
+        let seg = |i: usize| (i * s)..((i + 1) * s);
+        let member = |i: usize, j: usize| i * s + j;
+        match &mut self.phase {
+            SqrtPhase::Wave1(route) => {
+                let Some(out1) = route.step(net)? else {
+                    return Ok(Step::Running);
+                };
+                // Node S_i[j] now holds M(S_i, S_j): rows indexed by
+                // u ∈ S_i. holdings[w] = map u -> M°({u}, S_j) for
+                // w = S_i[j].
+                let mut holdings: Vec<Vec<BitVec>> = vec![Vec::new(); n];
                 for i in 0..s {
-                    let w = member(i, j);
-                    let col = out2.delivered[v]
-                        .get(&(w, ell))
-                        .cloned()
-                        .unwrap_or_else(|| BitVec::zeros(s * b));
-                    for (offset, u) in seg(i).enumerate() {
-                        output.set(v, u, col.slice(offset * b, (offset + 1) * b));
+                    for j in 0..s {
+                        let w = member(i, j);
+                        let mut rows = Vec::with_capacity(s);
+                        for u in seg(i) {
+                            let row = out1.delivered[w]
+                                .get(&(u, j))
+                                .cloned()
+                                .unwrap_or_else(|| BitVec::zeros(s * b));
+                            rows.push(row);
+                        }
+                        holdings[w] = rows;
                     }
                 }
+
+                // ---- Wave 2: S_i[j] sends M°(S_i, {S_j[ℓ]}) to S_j[ℓ]. ----
+                let wave2 = RoutingInstance {
+                    n,
+                    payload_bits: s * b,
+                    messages: (0..s)
+                        .flat_map(|i| (0..s).map(move |j| (i, j)))
+                        .flat_map(|(i, j)| {
+                            let w = member(i, j);
+                            (0..s)
+                                .map(|ell| {
+                                    // Column ℓ of M(S_i, S_j): bits
+                                    // [ℓ·b, (ℓ+1)·b) of each row.
+                                    let payload = BitVec::concat(
+                                        holdings[w]
+                                            .iter()
+                                            .map(|row| row.slice(ell * b, (ell + 1) * b))
+                                            .collect::<Vec<_>>()
+                                            .iter(),
+                                    );
+                                    SuperMessage {
+                                        src: w,
+                                        slot: ell,
+                                        payload,
+                                        targets: vec![member(j, ell)],
+                                    }
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                        .collect(),
+                };
+                self.phase = SqrtPhase::Wave2(RouteSession::new(net, wave2, self.router)?);
+                Ok(Step::Running)
+            }
+            SqrtPhase::Wave2(route) => {
+                let Some(out2) = route.step(net)? else {
+                    return Ok(Step::Running);
+                };
+                // ---- Output: v = S_j[ℓ] assembles M(V, {v}). ----
+                let mut output = AllToAllOutput::empty(n);
+                for j in 0..s {
+                    for ell in 0..s {
+                        let v = member(j, ell);
+                        for i in 0..s {
+                            let w = member(i, j);
+                            let col = out2.delivered[v]
+                                .get(&(w, ell))
+                                .cloned()
+                                .unwrap_or_else(|| BitVec::zeros(s * b));
+                            for (offset, u) in seg(i).enumerate() {
+                                output.set(v, u, col.slice(offset * b, (offset + 1) * b));
+                            }
+                        }
+                    }
+                }
+                Ok(Step::Done(output))
             }
         }
-        Ok(output)
+    }
+}
+
+impl AllToAllProtocol for DetSqrt {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("det-sqrt")
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(SqrtSession::new(self, net, inst)?))
     }
 }
 

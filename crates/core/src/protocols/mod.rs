@@ -26,35 +26,104 @@ pub use naive::NaiveExchange;
 pub use nonadaptive::NonAdaptiveAllToAll;
 pub use relay::RelayReplication;
 
+use crate::driver::RoundObserver;
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_netsim::Network;
+use std::borrow::Cow;
+
+/// What one [`ProtocolSession::step`] produced.
+#[derive(Debug)]
+pub enum Step {
+    /// The session advanced (at most one `exchange`) and has more to do.
+    Running,
+    /// The protocol finished; here is its output.
+    Done(AllToAllOutput),
+}
+
+/// A protocol execution in flight — the resumable form of
+/// [`AllToAllProtocol::run`].
+///
+/// Sessions are explicit state machines: [`ProtocolSession::step`] advances
+/// the protocol by **at most one** network `exchange` (most steps perform
+/// exactly one; the step that completes the protocol may perform none, and
+/// pure computation is folded into the adjacent exchange's step). This is
+/// what lets anything outside the protocol — the [`crate::driver::Driver`]'s
+/// observers, a scheduled adversary swap, a round-budget guard — see the
+/// network *between* rounds, mirroring how the paper's mobile adversary
+/// re-chooses its corrupted edge set every round.
+pub trait ProtocolSession {
+    /// Advances at most one `exchange`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] on malformed inputs or infeasible parameters for the
+    /// network's α, surfaced at the same point in the round sequence as the
+    /// former monolithic loops surfaced them.
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError>;
+}
 
 /// A solution to the `AllToAllComm` problem.
 ///
 /// `Send + Sync` is a supertrait so that a `&dyn AllToAllProtocol` can be
 /// shared across the bench harness's parallel trial runners; every protocol
-/// here is plain configuration data, and per-run state lives in the network.
+/// here is plain configuration data, and per-run state lives in the session
+/// and the network.
+///
+/// # Implementing
+///
+/// The one required execution method is [`AllToAllProtocol::session`]:
+/// return a [`ProtocolSession`] state machine that performs at most one
+/// `exchange` per step. [`AllToAllProtocol::run`] is a default method that
+/// loops `step()` to completion — bit-identical to the pre-session
+/// monolithic loops (regression-tested), so existing callers are unaffected.
 pub trait AllToAllProtocol: Send + Sync {
-    /// Short name for reports.
-    fn name(&self) -> &'static str;
+    /// Short name for reports. Parameterized protocols should report their
+    /// configuration (e.g. `relay-replication(x3)`), which is why this is a
+    /// [`Cow`] rather than a `&'static str`.
+    fn name(&self) -> Cow<'static, str>;
 
-    /// Runs the protocol. Node locality discipline: the implementation may
-    /// read `inst.message(u, v)` only while computing node `u`'s sends, and
-    /// must route everything else through `net`.
+    /// Opens a resumable session for this protocol on `inst`. Validation
+    /// that needs no rounds (shape checks, parameter feasibility known up
+    /// front) should happen here; no `exchange` may run until the first
+    /// [`ProtocolSession::step`].
+    ///
+    /// Node locality discipline: the session may read `inst.message(u, v)`
+    /// only while computing node `u`'s sends, and must route everything
+    /// else through `net`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] on malformed inputs or parameters infeasible for the
+    /// network's α.
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError>;
+
+    /// Runs the protocol to completion by looping [`ProtocolSession::step`].
     ///
     /// # Errors
     ///
     /// [`CoreError`] on malformed inputs or infeasible parameters for the
     /// network's α.
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError>;
+    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+        let mut session = self.session(net, inst)?;
+        loop {
+            match session.step(net)? {
+                Step::Running => {}
+                Step::Done(out) => return Ok(out),
+            }
+        }
+    }
 }
 
 /// Outcome of running a protocol against an instance on a network.
 #[derive(Debug, Clone)]
 pub struct Outcome {
-    /// Protocol name.
-    pub protocol: &'static str,
+    /// Protocol name (possibly carrying its parameterization).
+    pub protocol: Cow<'static, str>,
     /// Wrong or missing messages out of `n²`.
     pub errors: usize,
     /// Network rounds consumed.
@@ -75,10 +144,26 @@ pub fn run_and_score(
     net: &mut Network,
     inst: &AllToAllInstance,
 ) -> Result<Outcome, CoreError> {
+    run_and_score_with(protocol, net, inst, &mut [])
+}
+
+/// Runs `protocol` under the [`crate::driver::Driver`] with the given round
+/// observers and scores the result — the entry point through which per-round
+/// traces, round budgets, and adversary schedules reach the bench harness.
+///
+/// # Errors
+///
+/// Propagates protocol errors and observer aborts.
+pub fn run_and_score_with(
+    protocol: &dyn AllToAllProtocol,
+    net: &mut Network,
+    inst: &AllToAllInstance,
+    observers: &mut [&mut dyn RoundObserver],
+) -> Result<Outcome, CoreError> {
     let rounds_before = net.rounds();
     let bits_before = net.stats().bits_sent;
     let corrupted_before = net.stats().edges_corrupted;
-    let output = protocol.run(net, inst)?;
+    let output = crate::driver::Driver::with_observers(observers).run(protocol, net, inst)?;
     Ok(Outcome {
         protocol: protocol.name(),
         errors: inst.count_errors(&output),

@@ -1,9 +1,10 @@
 //! The unprotected direct exchange: one round, zero resilience.
 
-use super::AllToAllProtocol;
+use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 
 /// Direct exchange: `u` sends `m_{u,v}` straight to `v`. The fault-free
 /// optimum (and the first step of the adaptive compilers); every corrupted
@@ -11,12 +12,23 @@ use bdclique_netsim::Network;
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NaiveExchange;
 
-impl AllToAllProtocol for NaiveExchange {
-    fn name(&self) -> &'static str {
-        "naive"
-    }
+/// The direct exchange as a state machine: one step per bandwidth slice.
+/// Also embedded by `AdaptiveAllToAll` as its Step I.
+pub(crate) struct NaiveSession<'a> {
+    inst: &'a AllToAllInstance,
+    n: usize,
+    b: usize,
+    slices: usize,
+    per: usize,
+    /// Next slice to exchange.
+    s: usize,
+    /// Pre-zeroed assembly buffers: delivered slices are written in place,
+    /// missing or short frames simply leave zeros behind.
+    partial: Vec<Vec<bdclique_bits::BitVec>>,
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+impl<'a> NaiveSession<'a> {
+    pub(crate) fn new(net: &Network, inst: &'a AllToAllInstance) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
@@ -24,49 +36,83 @@ impl AllToAllProtocol for NaiveExchange {
         let b = inst.b();
         let slices = b.div_ceil(net.bandwidth()).max(1);
         let per = b.div_ceil(slices);
-        let mut out = AllToAllOutput::empty(n);
-        // Pre-zeroed assembly buffers: delivered slices are written in
-        // place, missing or short frames simply leave zeros behind.
-        let mut partial: Vec<Vec<bdclique_bits::BitVec>> =
-            vec![vec![bdclique_bits::BitVec::zeros(b); n]; n];
-        for s in 0..slices {
-            let lo = s * per;
-            let hi = ((s + 1) * per).min(b);
-            let mut traffic = net.traffic();
-            for u in 0..n {
-                for v in 0..n {
-                    if u != v && hi > lo {
-                        traffic.send(u, v, inst.message(u, v).slice(lo, hi));
-                    }
-                }
-            }
-            let delivery = net.exchange(traffic);
-            for v in 0..n {
-                for (u, piece) in delivery.inbox_of(v) {
-                    let dst = &mut partial[v][u];
-                    if piece.len() <= hi - lo {
-                        // Common case: the slice fits its window exactly.
-                        dst.write_bits(lo, piece);
-                    } else {
-                        // Overlong (adversarial) frame: clamp to the window.
-                        for i in 0..hi - lo {
-                            dst.set(lo + i, piece.get(i));
-                        }
-                    }
-                }
-            }
-            net.reclaim(delivery);
-        }
-        for (v, row) in partial.into_iter().enumerate() {
+        Ok(Self {
+            inst,
+            n,
+            b,
+            slices,
+            per,
+            s: 0,
+            partial: vec![vec![bdclique_bits::BitVec::zeros(b); n]; n],
+        })
+    }
+
+    fn finish(&mut self) -> AllToAllOutput {
+        let mut out = AllToAllOutput::empty(self.n);
+        for (v, row) in std::mem::take(&mut self.partial).into_iter().enumerate() {
             for (u, assembled) in row.into_iter().enumerate() {
                 if u == v {
-                    out.set(v, u, inst.message(u, u).clone());
+                    out.set(v, u, self.inst.message(u, u).clone());
                 } else {
                     out.set(v, u, assembled);
                 }
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl ProtocolSession for NaiveSession<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        if self.s >= self.slices {
+            return Err(CoreError::invalid("session stepped after completion"));
+        }
+        let (n, b) = (self.n, self.b);
+        let lo = self.s * self.per;
+        let hi = ((self.s + 1) * self.per).min(b);
+        let mut traffic = net.traffic();
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && hi > lo {
+                    traffic.send(u, v, self.inst.message(u, v).slice(lo, hi));
+                }
+            }
+        }
+        let delivery = net.exchange(traffic);
+        for v in 0..n {
+            for (u, piece) in delivery.inbox_of(v) {
+                let dst = &mut self.partial[v][u];
+                if piece.len() <= hi - lo {
+                    // Common case: the slice fits its window exactly.
+                    dst.write_bits(lo, piece);
+                } else {
+                    // Overlong (adversarial) frame: clamp to the window.
+                    for i in 0..hi - lo {
+                        dst.set(lo + i, piece.get(i));
+                    }
+                }
+            }
+        }
+        net.reclaim(delivery);
+        self.s += 1;
+        if self.s == self.slices {
+            return Ok(Step::Done(self.finish()));
+        }
+        Ok(Step::Running)
+    }
+}
+
+impl AllToAllProtocol for NaiveExchange {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Borrowed("naive")
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(NaiveSession::new(net, inst)?))
     }
 }
 

@@ -16,15 +16,16 @@
 //! adversary (which this protocol is *not* designed for) lets experiments
 //! demonstrate the separation the paper draws between the two settings.
 
-use super::AllToAllProtocol;
-use crate::broadcast::broadcast;
+use super::{AllToAllProtocol, ProtocolSession, Step};
+use crate::broadcast::BroadcastSession;
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{route, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::borrow::Cow;
 
 /// The non-adaptive compiler (Theorem 1.2).
 #[derive(Debug, Clone)]
@@ -49,135 +50,92 @@ impl Default for NonAdaptiveAllToAll {
     }
 }
 
-impl AllToAllProtocol for NonAdaptiveAllToAll {
-    fn name(&self) -> &'static str {
-        "nonadaptive-r"
-    }
+/// Every node decodes its own copy of the broadcast shifts (16-bit fields);
+/// within the validated margin they all equal the sampled shifts. Honest
+/// nodes use their local decoding. Free-standing so session phases can call
+/// it while `self.phase` is mutably borrowed.
+fn decode_shifts(bits: &BitVec, r: usize, n: usize) -> Vec<usize> {
+    (0..r)
+        .map(|i| bits.read_uint(i * 16, 16) as usize % n)
+        .collect()
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+/// Execution phases of the non-adaptive compiler.
+enum NaPhase {
+    /// Publish the shifts and open the broadcast (first step).
+    Publish,
+    /// Broadcasting the shifts (Cor. 4.8).
+    Broadcast(BroadcastSession),
+    /// Copy waves: one step per copy group.
+    CopyWave {
+        received_shifts: Vec<BitVec>,
+        /// `[relay][copy][src]`.
+        copy_store: Vec<Vec<Vec<Option<BitVec>>>>,
+        copy_group_start: usize,
+    },
+    /// Relay wave: resilient super-message routing.
+    Route {
+        received_shifts: Vec<BitVec>,
+        route: RouteSession<'static>,
+    },
+}
+
+/// The non-adaptive compiler as a state machine.
+struct NaSession<'a> {
+    proto: &'a NonAdaptiveAllToAll,
+    inst: &'a AllToAllInstance,
+    n: usize,
+    b: usize,
+    r: usize,
+    shift_bits: BitVec,
+    phase: NaPhase,
+}
+
+impl<'a> NaSession<'a> {
+    fn new(
+        proto: &'a NonAdaptiveAllToAll,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
-        let b = inst.b();
-        let r = self.copies;
+        let r = proto.copies;
         if r == 0 || r.is_multiple_of(2) {
             return Err(CoreError::invalid("copies must be odd and positive"));
         }
-
-        // ---- Node v1 samples shifts and broadcasts them (Cor. 4.8). ----
-        let mut v1_rng = ChaCha8Rng::seed_from_u64(self.seed);
+        // ---- Node v1 samples shifts (broadcast them in the first step). ----
+        let mut v1_rng = ChaCha8Rng::seed_from_u64(proto.seed);
         let shifts: Vec<usize> = (0..r).map(|_| v1_rng.gen_range(1..n)).collect();
         let mut shift_bits = BitVec::new();
         for &h in &shifts {
             shift_bits.push_uint(16, h as u64);
         }
-        // Model the rushing adaptive adversary's knowledge: a *non-adaptive*
-        // adversary never sees this (the simulator hides `publish` from it).
-        net.publish("nonadaptive/shifts", shift_bits.clone());
-        let received_shifts = broadcast(net, 0, &shift_bits, &self.router)?;
-        // Every node decodes its own copy; within the validated margin they
-        // all equal `shifts`. Honest nodes use their local decoding.
-        let decode_shifts = |bits: &BitVec| -> Vec<usize> {
-            (0..r)
-                .map(|i| bits.read_uint(i * 16, 16) as usize % n)
-                .collect()
-        };
-
-        // ---- Copy waves: copy i of m_{u,v} goes to relay (v + h_i) % n. ----
-        let per_round = (net.bandwidth() / b).max(1).min(r);
-        let mut copy_store: Vec<Vec<Vec<Option<BitVec>>>> = vec![vec![vec![None; n]; r]; n]; // [relay][copy][src]
-        let mut copy_group_start = 0usize;
-        while copy_group_start < r {
-            let group: Vec<usize> =
-                (copy_group_start..r.min(copy_group_start + per_round)).collect();
-            let mut traffic = net.traffic();
-            for u in 0..n {
-                let my_shifts = decode_shifts(&received_shifts[u]);
-                for w in 0..n {
-                    if w == u {
-                        // Relay is the sender itself: store locally.
-                        for &i in &group {
-                            let v = (u + n - my_shifts[i]) % n;
-                            if v != u {
-                                copy_store[u][i][u] = Some(inst.message(u, v).clone());
-                            }
-                        }
-                        continue;
-                    }
-                    let mut frame = net.frame_buffer(group.len() * b);
-                    let mut any = false;
-                    for (pos, &i) in group.iter().enumerate() {
-                        let v = (w + n - my_shifts[i]) % n;
-                        if v == u {
-                            continue; // own message, kept locally
-                        }
-                        let msg = inst.message(u, v);
-                        for t in 0..b {
-                            if msg.get(t) {
-                                frame.set(pos * b + t, true);
-                            }
-                        }
-                        any = true;
-                    }
-                    if any {
-                        traffic.send(u, w, frame);
-                    }
-                }
-            }
-            let delivery = net.exchange(traffic);
-            for w in 0..n {
-                for (u, frame) in delivery.inbox_of(w) {
-                    for (pos, &i) in group.iter().enumerate() {
-                        if frame.len() >= (pos + 1) * b {
-                            copy_store[w][i][u] = Some(frame.slice(pos * b, (pos + 1) * b));
-                        }
-                    }
-                }
-            }
-            net.reclaim(delivery);
-            copy_group_start += group.len();
-        }
-
-        // ---- Relay wave: relay w routes bundle i to v = (w - h_i) % n. ----
-        let bundle_bits = n * b;
-        let instance = RoutingInstance {
+        Ok(Self {
+            proto,
+            inst,
             n,
-            payload_bits: bundle_bits,
-            messages: (0..n)
-                .flat_map(|w| {
-                    let my_shifts = decode_shifts(&received_shifts[w]);
-                    (0..r)
-                        .map(|i| {
-                            let v = (w + n - my_shifts[i]) % n;
-                            let mut payload = BitVec::zeros(bundle_bits);
-                            for u in 0..n {
-                                if let Some(m) = &copy_store[w][i][u] {
-                                    for t in 0..b.min(m.len()) {
-                                        payload.set(u * b + t, m.get(t));
-                                    }
-                                }
-                            }
-                            SuperMessage {
-                                src: w,
-                                slot: i,
-                                payload,
-                                targets: vec![v],
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
-                .collect(),
-        };
-        let routed = route(net, &instance, &self.router)?;
+            b: inst.b(),
+            r,
+            shift_bits,
+            phase: NaPhase::Publish,
+        })
+    }
 
-        // ---- Majority vote per message. ----
+    /// ---- Majority vote per message. ----
+    fn finish(
+        &self,
+        received_shifts: &[BitVec],
+        routed: &crate::routing::RoutingOutput,
+    ) -> AllToAllOutput {
+        let (n, b) = (self.n, self.b);
         let mut out = AllToAllOutput::empty(n);
         for v in 0..n {
-            let my_shifts = decode_shifts(&received_shifts[v]);
+            let my_shifts = decode_shifts(&received_shifts[v], self.r, n);
             for u in 0..n {
                 if u == v {
-                    out.set(v, u, inst.message(u, u).clone());
+                    out.set(v, u, self.inst.message(u, u).clone());
                     continue;
                 }
                 let mut tally: Vec<(BitVec, usize)> = Vec::new();
@@ -201,7 +159,162 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
                 }
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl ProtocolSession for NaSession<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        let (n, b, r) = (self.n, self.b, self.r);
+        loop {
+            match &mut self.phase {
+                NaPhase::Publish => {
+                    // Model the rushing adaptive adversary's knowledge: a
+                    // *non-adaptive* adversary never sees this (the
+                    // simulator hides `publish` from it).
+                    net.publish("nonadaptive/shifts", self.shift_bits.clone());
+                    self.phase = NaPhase::Broadcast(BroadcastSession::new(
+                        net,
+                        0,
+                        &self.shift_bits,
+                        &self.proto.router,
+                    )?);
+                    // Fall through: the publish itself costs no round.
+                }
+                NaPhase::Broadcast(bcast) => {
+                    let Some(received_shifts) = bcast.step(net)? else {
+                        return Ok(Step::Running);
+                    };
+                    self.phase = NaPhase::CopyWave {
+                        received_shifts,
+                        copy_store: vec![vec![vec![None; n]; r]; n],
+                        copy_group_start: 0,
+                    };
+                    return Ok(Step::Running);
+                }
+                NaPhase::CopyWave {
+                    received_shifts,
+                    copy_store,
+                    copy_group_start,
+                } => {
+                    // ---- Copy waves: copy i of m_{u,v} goes to relay
+                    // (v + h_i) % n, `per_round` copies per exchange. ----
+                    let per_round = (net.bandwidth() / b).max(1).min(r);
+                    let group: Vec<usize> =
+                        (*copy_group_start..r.min(*copy_group_start + per_round)).collect();
+                    let mut traffic = net.traffic();
+                    for u in 0..n {
+                        let my_shifts = decode_shifts(&received_shifts[u], r, n);
+                        for w in 0..n {
+                            if w == u {
+                                // Relay is the sender itself: store locally.
+                                for &i in &group {
+                                    let v = (u + n - my_shifts[i]) % n;
+                                    if v != u {
+                                        copy_store[u][i][u] = Some(self.inst.message(u, v).clone());
+                                    }
+                                }
+                                continue;
+                            }
+                            let mut frame = net.frame_buffer(group.len() * b);
+                            let mut any = false;
+                            for (pos, &i) in group.iter().enumerate() {
+                                let v = (w + n - my_shifts[i]) % n;
+                                if v == u {
+                                    continue; // own message, kept locally
+                                }
+                                let msg = self.inst.message(u, v);
+                                for t in 0..b {
+                                    if msg.get(t) {
+                                        frame.set(pos * b + t, true);
+                                    }
+                                }
+                                any = true;
+                            }
+                            if any {
+                                traffic.send(u, w, frame);
+                            }
+                        }
+                    }
+                    let delivery = net.exchange(traffic);
+                    for w in 0..n {
+                        for (u, frame) in delivery.inbox_of(w) {
+                            for (pos, &i) in group.iter().enumerate() {
+                                if frame.len() >= (pos + 1) * b {
+                                    copy_store[w][i][u] = Some(frame.slice(pos * b, (pos + 1) * b));
+                                }
+                            }
+                        }
+                    }
+                    net.reclaim(delivery);
+                    *copy_group_start += group.len();
+                    if *copy_group_start < r {
+                        return Ok(Step::Running);
+                    }
+                    // ---- Relay wave: relay w routes bundle i to
+                    // v = (w - h_i) % n. ----
+                    let bundle_bits = n * b;
+                    let instance = RoutingInstance {
+                        n,
+                        payload_bits: bundle_bits,
+                        messages: (0..n)
+                            .flat_map(|w| {
+                                let my_shifts = decode_shifts(&received_shifts[w], r, n);
+                                (0..r)
+                                    .map(|i| {
+                                        let v = (w + n - my_shifts[i]) % n;
+                                        let mut payload = BitVec::zeros(bundle_bits);
+                                        for u in 0..n {
+                                            if let Some(m) = &copy_store[w][i][u] {
+                                                for t in 0..b.min(m.len()) {
+                                                    payload.set(u * b + t, m.get(t));
+                                                }
+                                            }
+                                        }
+                                        SuperMessage {
+                                            src: w,
+                                            slot: i,
+                                            payload,
+                                            targets: vec![v],
+                                        }
+                                    })
+                                    .collect::<Vec<_>>()
+                            })
+                            .collect(),
+                    };
+                    let route = RouteSession::new(net, instance, &self.proto.router)?;
+                    self.phase = NaPhase::Route {
+                        received_shifts: std::mem::take(received_shifts),
+                        route,
+                    };
+                    return Ok(Step::Running);
+                }
+                NaPhase::Route {
+                    received_shifts,
+                    route,
+                } => {
+                    let Some(routed) = route.step(net)? else {
+                        return Ok(Step::Running);
+                    };
+                    let received_shifts = std::mem::take(received_shifts);
+                    return Ok(Step::Done(self.finish(&received_shifts, &routed)));
+                }
+            }
+        }
+    }
+}
+
+impl AllToAllProtocol for NonAdaptiveAllToAll {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("nonadaptive-r(R={})", self.copies))
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(NaSession::new(self, net, inst)?))
     }
 }
 

@@ -9,11 +9,12 @@
 //! different relay hop every round and defeat any replication factor on
 //! targeted pairs. Experiment `F.MATCH` measures exactly this.
 
-use super::AllToAllProtocol;
+use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_bits::BitVec;
-use bdclique_netsim::Network;
+use bdclique_netsim::{Delivery, Network};
+use std::borrow::Cow;
 
 /// Replication over `R` two-hop relay paths, with per-message majority.
 ///
@@ -33,96 +34,70 @@ impl Default for RelayReplication {
     }
 }
 
-impl AllToAllProtocol for RelayReplication {
-    fn name(&self) -> &'static str {
-        "relay-replication"
-    }
+/// Within one copy wave, which hop runs next.
+enum RelayPhase {
+    /// Hop 1: `u → c_i(u, v)`.
+    Hop1,
+    /// Hop 2: `c → v`, forwarding what hop 1 delivered (`d1`) plus the
+    /// relay-was-sender copies kept locally.
+    Hop2 {
+        d1: Delivery,
+        local: Vec<Option<(usize, BitVec)>>,
+    },
+}
 
-    fn run(&self, net: &mut Network, inst: &AllToAllInstance) -> Result<AllToAllOutput, CoreError> {
+/// The replication baseline as a state machine: two steps (hops) per copy.
+struct RelaySession<'a> {
+    inst: &'a AllToAllInstance,
+    copies: usize,
+    n: usize,
+    b: usize,
+    /// Current copy index `i`.
+    i: usize,
+    phase: RelayPhase,
+    votes: Vec<Vec<Vec<BitVec>>>,
+}
+
+impl<'a> RelaySession<'a> {
+    fn new(
+        proto: &RelayReplication,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Self, CoreError> {
         let n = inst.n();
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
-        if self.copies == 0 || self.copies >= n {
+        if proto.copies == 0 || proto.copies >= n {
             return Err(CoreError::invalid("copies must be in 1..n"));
         }
         let b = inst.b();
         if b > net.bandwidth() {
             return Err(CoreError::invalid("message wider than bandwidth"));
         }
-        let mut votes: Vec<Vec<Vec<BitVec>>> = vec![vec![Vec::new(); n]; n];
+        Ok(Self {
+            inst,
+            copies: proto.copies,
+            n,
+            b,
+            i: 0,
+            phase: RelayPhase::Hop1,
+            votes: vec![vec![Vec::new(); n]; n],
+        })
+    }
 
-        for i in 0..self.copies {
-            let h = 1 + i; // distinct deterministic shifts
-            let relay = |u: usize, v: usize| (u + v + h) % n;
-
-            // Hop 1: u -> c_i(u, v).
-            let mut traffic = net.traffic();
-            let mut local: Vec<Option<(usize, BitVec)>> = vec![None; n]; // relay == u
-            for u in 0..n {
-                for v in 0..n {
-                    if u == v {
-                        continue;
-                    }
-                    let c = relay(u, v);
-                    if c == u {
-                        local[u] = Some((v, inst.message(u, v).clone()));
-                    } else {
-                        traffic.send(u, c, inst.message(u, v).clone());
-                    }
-                }
-            }
-            let d1 = net.exchange(traffic);
-
-            // Hop 2: c -> v. Relay w received the copy from u destined to
-            // v where w = (u + v + h) mod n; for each sender u the target is
-            // v = (w - u - h) mod n. Forwarding walks each relay's inbox and
-            // moves the frames on — O(received frames), no clones, no n²
-            // probe sweep.
-            let mut traffic = net.traffic();
-            for (w, inbox) in d1.into_inboxes().into_iter().enumerate() {
-                if let Some((v, m)) = local[w].take() {
-                    // The relay was the sender itself (u == w).
-                    if v != w {
-                        traffic.send(w, v, m);
-                    }
-                }
-                for (u, m) in inbox {
-                    let u = u as usize;
-                    let v = (w + 2 * n - u - h) % n;
-                    if v == u {
-                        continue;
-                    }
-                    if v == w {
-                        votes[v][u].push(m);
-                    } else {
-                        traffic.send(w, v, m);
-                    }
-                }
-            }
-            let d2 = net.exchange(traffic);
-            // Receiver side of hop 2: invert the relay map per sender.
-            for (v, inbox) in d2.into_inboxes().into_iter().enumerate() {
-                for (w, m) in inbox {
-                    let u = (w as usize + 2 * n - v - h) % n;
-                    if u == v {
-                        continue;
-                    }
-                    votes[v][u].push(m);
-                }
-            }
-        }
-
-        // Majority per message.
+    /// Majority per message.
+    fn finish(&mut self) -> AllToAllOutput {
+        let (n, b) = (self.n, self.b);
         let mut out = AllToAllOutput::empty(n);
         for v in 0..n {
             for u in 0..n {
                 if u == v {
-                    out.set(v, u, inst.message(u, u).clone());
+                    out.set(v, u, self.inst.message(u, u).clone());
                     continue;
                 }
                 let mut tally: Vec<(BitVec, usize)> = Vec::new();
-                for m in &votes[v][u] {
+                for m in &self.votes[v][u] {
                     let mut normalized = m.clone();
                     normalized.pad_to(b);
                     normalized.truncate(b);
@@ -137,7 +112,99 @@ impl AllToAllProtocol for RelayReplication {
                 }
             }
         }
-        Ok(out)
+        out
+    }
+}
+
+impl ProtocolSession for RelaySession<'_> {
+    fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
+        if self.i >= self.copies {
+            return Err(CoreError::invalid("session stepped after completion"));
+        }
+        let n = self.n;
+        let h = 1 + self.i; // distinct deterministic shifts
+        match std::mem::replace(&mut self.phase, RelayPhase::Hop1) {
+            RelayPhase::Hop1 => {
+                let relay = |u: usize, v: usize| (u + v + h) % n;
+                // Hop 1: u -> c_i(u, v).
+                let mut traffic = net.traffic();
+                let mut local: Vec<Option<(usize, BitVec)>> = vec![None; n]; // relay == u
+                for u in 0..n {
+                    for v in 0..n {
+                        if u == v {
+                            continue;
+                        }
+                        let c = relay(u, v);
+                        if c == u {
+                            local[u] = Some((v, self.inst.message(u, v).clone()));
+                        } else {
+                            traffic.send(u, c, self.inst.message(u, v).clone());
+                        }
+                    }
+                }
+                let d1 = net.exchange(traffic);
+                self.phase = RelayPhase::Hop2 { d1, local };
+                Ok(Step::Running)
+            }
+            RelayPhase::Hop2 { d1, mut local } => {
+                // Hop 2: c -> v. Relay w received the copy from u destined
+                // to v where w = (u + v + h) mod n; for each sender u the
+                // target is v = (w - u - h) mod n. Forwarding walks each
+                // relay's inbox and moves the frames on — O(received
+                // frames), no clones, no n² probe sweep.
+                let mut traffic = net.traffic();
+                for (w, inbox) in d1.into_inboxes().into_iter().enumerate() {
+                    if let Some((v, m)) = local[w].take() {
+                        // The relay was the sender itself (u == w).
+                        if v != w {
+                            traffic.send(w, v, m);
+                        }
+                    }
+                    for (u, m) in inbox {
+                        let u = u as usize;
+                        let v = (w + 2 * n - u - h) % n;
+                        if v == u {
+                            continue;
+                        }
+                        if v == w {
+                            self.votes[v][u].push(m);
+                        } else {
+                            traffic.send(w, v, m);
+                        }
+                    }
+                }
+                let d2 = net.exchange(traffic);
+                // Receiver side of hop 2: invert the relay map per sender.
+                for (v, inbox) in d2.into_inboxes().into_iter().enumerate() {
+                    for (w, m) in inbox {
+                        let u = (w as usize + 2 * n - v - h) % n;
+                        if u == v {
+                            continue;
+                        }
+                        self.votes[v][u].push(m);
+                    }
+                }
+                self.i += 1;
+                if self.i == self.copies {
+                    return Ok(Step::Done(self.finish()));
+                }
+                Ok(Step::Running)
+            }
+        }
+    }
+}
+
+impl AllToAllProtocol for RelayReplication {
+    fn name(&self) -> Cow<'static, str> {
+        Cow::Owned(format!("relay-replication(x{})", self.copies))
+    }
+
+    fn session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(RelaySession::new(self, net, inst)?))
     }
 }
 

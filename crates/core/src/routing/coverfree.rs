@@ -23,9 +23,10 @@ use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
-struct CfParams {
+pub(crate) struct CfParams {
     code: ReedSolomon,
     l: usize,
     cap_bits: usize,
@@ -40,7 +41,7 @@ struct CfParams {
     out_load: Vec<u16>,
 }
 
-fn derive_params(
+pub(crate) fn derive_params(
     net: &Network,
     instance: &RoutingInstance,
     cfg: &RouterConfig,
@@ -174,230 +175,349 @@ fn derive_params(
     })
 }
 
-/// Runs the cover-free engine. See the module docs.
+/// Which half of a chunk pack the session will execute next.
+enum CfPhase {
+    /// Sources scatter to receiver sets (InLoad filter).
+    Round1,
+    /// Relays forward to targets (OutLoad filter); `relay_val[(lane, msg,
+    /// w)]` carries what each relay holds after round 1.
+    Round2 {
+        relay_val: HashMap<(usize, usize, usize), Option<u16>>,
+    },
+}
+
+/// The cover-free engine as a resumable session: every [`CfSession::step`]
+/// executes exactly one `exchange` (round 1 or round 2 of the current chunk
+/// pack); the step that completes the final pack also assembles the output.
+/// Round-for-round identical to the former monolithic loop.
+pub(crate) struct CfSession<'i> {
+    /// Borrowed for the zero-copy [`super::route`] path, owned when a
+    /// protocol session hands a wave over.
+    instance: Cow<'i, RoutingInstance>,
+    symbol_bits: u32,
+    params: CfParams,
+    uniq_targets: Vec<Vec<usize>>,
+    codewords: Vec<Vec<Vec<u16>>>,
+    chunk_ids: Vec<usize>,
+    pack_start: usize,
+    phase: CfPhase,
+    chunk_store: HashMap<(usize, usize), Vec<BitVec>>,
+    delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    decode_failures: usize,
+    rounds_before: u64,
+    /// Set once the output has been assembled; stepping again is an error.
+    finished: bool,
+}
+
+impl<'i> CfSession<'i> {
+    /// Validates the decode margin and pre-encodes codewords. No rounds run
+    /// until the first [`CfSession::step`] — infeasible parameter
+    /// combinations are rejected here, before any round, which is what lets
+    /// [`super::RoutingMode::Auto`] fall back cleanly.
+    pub(crate) fn new(
+        net: &Network,
+        instance: Cow<'i, RoutingInstance>,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        let params = derive_params(net, &instance, cfg)?;
+        Self::from_params(net, instance, cfg, params)
+    }
+
+    /// Second construction half, split out so Auto mode can probe
+    /// [`derive_params`] for feasibility while keeping ownership of the
+    /// instance on the fallback path.
+    pub(crate) fn from_params(
+        net: &Network,
+        instance: Cow<'i, RoutingInstance>,
+        cfg: &RouterConfig,
+        params: CfParams,
+    ) -> Result<Self, CoreError> {
+        let n = instance.n;
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let num_msgs = instance.messages.len();
+
+        // Deduplicated target lists, computed once. All per-round loops
+        // iterate messages × receiver-set positions — O(m·L) work
+        // proportional to the frames actually sent, never an n²
+        // relay/target table scan (the former `relay_msg`/`target_msg`
+        // matrices alone were 2·n² words — 256 MiB at n = 4096).
+        let uniq_targets: Vec<Vec<usize>> = instance
+            .messages
+            .iter()
+            .map(|msg| {
+                let mut uniq = msg.targets.clone();
+                uniq.sort_unstable();
+                uniq.dedup();
+                uniq
+            })
+            .collect();
+
+        let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
+        for msg in &instance.messages {
+            if msg.targets.contains(&msg.src) {
+                delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());
+            }
+        }
+
+        // Precompute codewords per chunk.
+        let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(num_msgs);
+        for msg in &instance.messages {
+            let mut padded = msg.payload.clone();
+            padded.pad_to(params.chunks * params.cap_bits);
+            let mut per_chunk = Vec::with_capacity(params.chunks);
+            for c in 0..params.chunks {
+                let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
+                per_chunk.push(
+                    params
+                        .code
+                        .encode_bits(&chunk)
+                        .map_err(|e| CoreError::invalid(format!("encode: {e}")))?,
+                );
+            }
+            codewords.push(per_chunk);
+        }
+
+        Ok(Self {
+            chunk_ids: (0..params.chunks).collect(),
+            instance,
+            symbol_bits: cfg.symbol_bits,
+            params,
+            uniq_targets,
+            codewords,
+            pack_start: 0,
+            phase: CfPhase::Round1,
+            chunk_store: HashMap::new(),
+            delivered,
+            decode_failures: 0,
+            rounds_before: net.rounds(),
+            finished: false,
+        })
+    }
+
+    fn pack(&self) -> &[usize] {
+        let end = (self.pack_start + self.params.lanes).min(self.chunk_ids.len());
+        &self.chunk_ids[self.pack_start..end]
+    }
+
+    /// Advances one exchange; `Some(output)` when the final pack is done.
+    pub(crate) fn step(&mut self, net: &mut Network) -> Result<Option<RoutingOutput>, CoreError> {
+        if self.finished {
+            return Err(CoreError::invalid(
+                "routing session stepped after completion",
+            ));
+        }
+        if self.pack_start >= self.chunk_ids.len() {
+            return Ok(Some(self.finish(net)));
+        }
+        let n = self.instance.n;
+        let params = &self.params;
+        let sets = &params.sets;
+        let in_load = &params.in_load;
+        let out_load = &params.out_load;
+        let pack: Vec<usize> = self.pack().to_vec();
+        match std::mem::replace(&mut self.phase, CfPhase::Round1) {
+            CfPhase::Round1 => {
+                // ---- Round 1: sources scatter to receiver sets. ----
+                let mut traffic = net.traffic();
+                let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
+                let mut src_local: HashMap<(usize, usize), u16> = HashMap::new(); // (lane, msg)
+                for (lane, &chunk) in pack.iter().enumerate() {
+                    for (idx, msg) in self.instance.messages.iter().enumerate() {
+                        for (pos, &w) in sets[idx].iter().enumerate() {
+                            let w = w as usize;
+                            if in_load[msg.src * n + w] != 1 {
+                                continue; // dropped: known erasure everywhere
+                            }
+                            let sym = self.codewords[idx][chunk][pos];
+                            if w == msg.src {
+                                src_local.insert((lane, idx), sym);
+                                continue;
+                            }
+                            let frame = frames
+                                .entry((msg.src, w))
+                                .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
+                            frame.set(lane * params.slot, true);
+                            frame.write_uint(lane * params.slot + 1, self.symbol_bits, sym as u64);
+                        }
+                    }
+                }
+                for ((from, to), frame) in frames {
+                    traffic.send(from, to, frame);
+                }
+                let delivery1 = net.exchange(traffic);
+
+                // ---- Relays note what they hold: (lane, msg) -> Option<sym>.
+                // `InLoad(src, w) == 1` makes the message a relay expects
+                // from a sender unique, so walking messages × set positions
+                // recovers exactly the old dense relay-table scan in O(m·L).
+                let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
+                for (lane, _) in pack.iter().enumerate() {
+                    for (idx, msg) in self.instance.messages.iter().enumerate() {
+                        for &w in &sets[idx] {
+                            let w = w as usize;
+                            if in_load[msg.src * n + w] != 1 {
+                                continue;
+                            }
+                            let val = if w == msg.src {
+                                src_local.get(&(lane, idx)).copied()
+                            } else {
+                                match delivery1.received(w, msg.src) {
+                                    Some(f)
+                                        if f.len() >= (lane + 1) * params.slot
+                                            && f.get(lane * params.slot) =>
+                                    {
+                                        Some(f.read_uint(lane * params.slot + 1, self.symbol_bits)
+                                            as u16)
+                                    }
+                                    _ => None,
+                                }
+                            };
+                            relay_val.insert((lane, idx, w), val);
+                        }
+                    }
+                }
+                net.reclaim(delivery1);
+                self.phase = CfPhase::Round2 { relay_val };
+                Ok(None)
+            }
+            CfPhase::Round2 { relay_val } => {
+                // ---- Round 2: relays forward to targets. ----
+                let mut traffic = net.traffic();
+                let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
+                for (lane, _) in pack.iter().enumerate() {
+                    for (idx, msg) in self.instance.messages.iter().enumerate() {
+                        for &w in &sets[idx] {
+                            let w = w as usize;
+                            if in_load[msg.src * n + w] != 1 {
+                                continue; // w never expected this symbol
+                            }
+                            let val = relay_val.get(&(lane, idx, w)).copied().flatten();
+                            for &v in &self.uniq_targets[idx] {
+                                if v == w || out_load[w * n + v] != 1 {
+                                    continue;
+                                }
+                                let frame = frames.entry((w, v)).or_insert_with(|| {
+                                    net.frame_buffer(params.lanes * params.slot)
+                                });
+                                if let Some(sym) = val {
+                                    frame.set(lane * params.slot, true);
+                                    frame.write_uint(
+                                        lane * params.slot + 1,
+                                        self.symbol_bits,
+                                        sym as u64,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                for ((from, to), frame) in frames {
+                    traffic.send(from, to, frame);
+                }
+                let delivery2 = net.exchange(traffic);
+
+                // ---- Decode at targets. ----
+                for (lane, &chunk) in pack.iter().enumerate() {
+                    for (idx, msg) in self.instance.messages.iter().enumerate() {
+                        for &v in &self.uniq_targets[idx] {
+                            if v == msg.src {
+                                continue;
+                            }
+                            let mut received = vec![0u16; params.l];
+                            let mut erasures = vec![false; params.l];
+                            for (pos, &w) in sets[idx].iter().enumerate() {
+                                let w = w as usize;
+                                if in_load[msg.src * n + w] != 1 || out_load[w * n + v] != 1 {
+                                    erasures[pos] = true; // known filter erasure
+                                    continue;
+                                }
+                                let val =
+                                    if w == v {
+                                        relay_val.get(&(lane, idx, w)).copied().flatten()
+                                    } else {
+                                        match delivery2.received(v, w) {
+                                            Some(f)
+                                                if f.len() >= (lane + 1) * params.slot
+                                                    && f.get(lane * params.slot) =>
+                                            {
+                                                Some(f.read_uint(
+                                                    lane * params.slot + 1,
+                                                    self.symbol_bits,
+                                                )
+                                                    as u16)
+                                            }
+                                            _ => None,
+                                        }
+                                    };
+                                match val {
+                                    Some(sym) => received[pos] = sym,
+                                    None => erasures[pos] = true,
+                                }
+                            }
+                            let bits =
+                                match params
+                                    .code
+                                    .decode_bits(&received, &erasures, params.cap_bits)
+                                {
+                                    Ok(b) => b,
+                                    Err(_) => {
+                                        self.decode_failures += 1;
+                                        BitVec::zeros(params.cap_bits)
+                                    }
+                                };
+                            self.chunk_store.entry((v, idx)).or_insert_with(|| {
+                                vec![BitVec::zeros(params.cap_bits); params.chunks]
+                            })[chunk] = bits;
+                        }
+                    }
+                }
+                net.reclaim(delivery2);
+                self.pack_start += params.lanes;
+                self.phase = CfPhase::Round1;
+                if self.pack_start >= self.chunk_ids.len() {
+                    return Ok(Some(self.finish(net)));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    fn finish(&mut self, net: &Network) -> RoutingOutput {
+        self.finished = true;
+        let mut delivered = std::mem::take(&mut self.delivered);
+        for ((v, idx), chunks) in std::mem::take(&mut self.chunk_store) {
+            let msg = &self.instance.messages[idx];
+            let mut full = BitVec::concat(chunks.iter());
+            full.truncate(msg.payload.len());
+            delivered[v].insert((msg.src, msg.slot), full);
+        }
+        RoutingOutput {
+            delivered,
+            report: RoutingReport {
+                engine: EngineUsed::CoverFree,
+                rounds: net.rounds() - self.rounds_before,
+                stages: 1,
+                chunks: self.params.chunks,
+                decode_failures: self.decode_failures,
+            },
+        }
+    }
+}
+
+/// Runs the cover-free engine to completion. See the module docs.
 pub fn route_coverfree(
     net: &mut Network,
     instance: &RoutingInstance,
     cfg: &RouterConfig,
 ) -> Result<RoutingOutput, CoreError> {
-    let n = instance.n;
-    if n != net.n() {
-        return Err(CoreError::invalid("instance size != network size"));
-    }
-    let params = derive_params(net, instance, cfg)?;
-    let rounds_before = net.rounds();
-    let num_msgs = instance.messages.len();
-    let sets = &params.sets;
-    let in_load = &params.in_load;
-    let out_load = &params.out_load;
-
-    // Deduplicated target lists, computed once. All per-round loops below
-    // iterate messages × receiver-set positions — O(m·L) work proportional
-    // to the frames actually sent, never an n² relay/target table scan
-    // (the former `relay_msg`/`target_msg` matrices alone were 2·n²
-    // words — 256 MiB at n = 4096).
-    let uniq_targets: Vec<Vec<usize>> = instance
-        .messages
-        .iter()
-        .map(|msg| {
-            let mut uniq = msg.targets.clone();
-            uniq.sort_unstable();
-            uniq.dedup();
-            uniq
-        })
-        .collect();
-
-    let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
-    for msg in &instance.messages {
-        if msg.targets.contains(&msg.src) {
-            delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());
+    let mut session = CfSession::new(net, Cow::Borrowed(instance), cfg)?;
+    loop {
+        if let Some(out) = session.step(net)? {
+            return Ok(out);
         }
     }
-
-    // Precompute codewords per chunk.
-    let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(num_msgs);
-    for msg in &instance.messages {
-        let mut padded = msg.payload.clone();
-        padded.pad_to(params.chunks * params.cap_bits);
-        let mut per_chunk = Vec::with_capacity(params.chunks);
-        for c in 0..params.chunks {
-            let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
-            per_chunk.push(
-                params
-                    .code
-                    .encode_bits(&chunk)
-                    .map_err(|e| CoreError::invalid(format!("encode: {e}")))?,
-            );
-        }
-        codewords.push(per_chunk);
-    }
-
-    let mut decode_failures = 0usize;
-    let mut chunk_store: HashMap<(usize, usize), Vec<BitVec>> = HashMap::new();
-
-    let chunk_ids: Vec<usize> = (0..params.chunks).collect();
-    for pack in chunk_ids.chunks(params.lanes) {
-        // ---- Round 1: sources scatter to receiver sets (InLoad filter). ----
-        let mut traffic = net.traffic();
-        let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
-        let mut src_local: HashMap<(usize, usize), u16> = HashMap::new(); // (lane, msg)
-        for (lane, &chunk) in pack.iter().enumerate() {
-            for (idx, msg) in instance.messages.iter().enumerate() {
-                for (pos, &w) in sets[idx].iter().enumerate() {
-                    let w = w as usize;
-                    if in_load[msg.src * n + w] != 1 {
-                        continue; // dropped: known erasure everywhere
-                    }
-                    let sym = codewords[idx][chunk][pos];
-                    if w == msg.src {
-                        src_local.insert((lane, idx), sym);
-                        continue;
-                    }
-                    let frame = frames
-                        .entry((msg.src, w))
-                        .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
-                    frame.set(lane * params.slot, true);
-                    frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
-                }
-            }
-        }
-        for ((from, to), frame) in frames {
-            traffic.send(from, to, frame);
-        }
-        let delivery1 = net.exchange(traffic);
-
-        // ---- Relays note what they hold: (lane, msg) -> Option<sym>.
-        // `InLoad(src, w) == 1` makes the message a relay expects from a
-        // sender unique, so walking messages × set positions recovers
-        // exactly the old dense relay-table scan in O(m·L).
-        let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
-        for (lane, _) in pack.iter().enumerate() {
-            for (idx, msg) in instance.messages.iter().enumerate() {
-                for &w in &sets[idx] {
-                    let w = w as usize;
-                    if in_load[msg.src * n + w] != 1 {
-                        continue;
-                    }
-                    let val = if w == msg.src {
-                        src_local.get(&(lane, idx)).copied()
-                    } else {
-                        match delivery1.received(w, msg.src) {
-                            Some(f)
-                                if f.len() >= (lane + 1) * params.slot
-                                    && f.get(lane * params.slot) =>
-                            {
-                                Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
-                            }
-                            _ => None,
-                        }
-                    };
-                    relay_val.insert((lane, idx, w), val);
-                }
-            }
-        }
-        net.reclaim(delivery1);
-
-        // ---- Round 2: relays forward to targets (OutLoad filter). ----
-        let mut traffic = net.traffic();
-        let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
-        for (lane, _) in pack.iter().enumerate() {
-            for (idx, msg) in instance.messages.iter().enumerate() {
-                for &w in &sets[idx] {
-                    let w = w as usize;
-                    if in_load[msg.src * n + w] != 1 {
-                        continue; // w never expected this symbol
-                    }
-                    let val = relay_val.get(&(lane, idx, w)).copied().flatten();
-                    for &v in &uniq_targets[idx] {
-                        if v == w || out_load[w * n + v] != 1 {
-                            continue;
-                        }
-                        let frame = frames
-                            .entry((w, v))
-                            .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
-                        if let Some(sym) = val {
-                            frame.set(lane * params.slot, true);
-                            frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
-                        }
-                    }
-                }
-            }
-        }
-        for ((from, to), frame) in frames {
-            traffic.send(from, to, frame);
-        }
-        let delivery2 = net.exchange(traffic);
-
-        // ---- Decode at targets. ----
-        for (lane, &chunk) in pack.iter().enumerate() {
-            for (idx, msg) in instance.messages.iter().enumerate() {
-                for &v in &uniq_targets[idx] {
-                    if v == msg.src {
-                        continue;
-                    }
-                    let mut received = vec![0u16; params.l];
-                    let mut erasures = vec![false; params.l];
-                    for (pos, &w) in sets[idx].iter().enumerate() {
-                        let w = w as usize;
-                        if in_load[msg.src * n + w] != 1 || out_load[w * n + v] != 1 {
-                            erasures[pos] = true; // known filter erasure
-                            continue;
-                        }
-                        let val = if w == v {
-                            relay_val.get(&(lane, idx, w)).copied().flatten()
-                        } else {
-                            match delivery2.received(v, w) {
-                                Some(f)
-                                    if f.len() >= (lane + 1) * params.slot
-                                        && f.get(lane * params.slot) =>
-                                {
-                                    Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
-                                }
-                                _ => None,
-                            }
-                        };
-                        match val {
-                            Some(sym) => received[pos] = sym,
-                            None => erasures[pos] = true,
-                        }
-                    }
-                    let bits = match params
-                        .code
-                        .decode_bits(&received, &erasures, params.cap_bits)
-                    {
-                        Ok(b) => b,
-                        Err(_) => {
-                            decode_failures += 1;
-                            BitVec::zeros(params.cap_bits)
-                        }
-                    };
-                    chunk_store
-                        .entry((v, idx))
-                        .or_insert_with(|| vec![BitVec::zeros(params.cap_bits); params.chunks])
-                        [chunk] = bits;
-                }
-            }
-        }
-        net.reclaim(delivery2);
-    }
-
-    for ((v, idx), chunks) in chunk_store {
-        let msg = &instance.messages[idx];
-        let mut full = BitVec::concat(chunks.iter());
-        full.truncate(msg.payload.len());
-        delivered[v].insert((msg.src, msg.slot), full);
-    }
-
-    Ok(RoutingOutput {
-        delivered,
-        report: RoutingReport {
-            engine: EngineUsed::CoverFree,
-            rounds: net.rounds() - rounds_before,
-            stages: 1,
-            chunks: params.chunks,
-            decode_failures,
-        },
-    })
 }
 
 #[cfg(test)]

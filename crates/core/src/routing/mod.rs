@@ -204,7 +204,103 @@ pub struct RoutingOutput {
     pub report: RoutingReport,
 }
 
-/// Routes an instance over the network with the configured engine.
+/// A routing call in flight: one [`RouteSession::step`] advances exactly one
+/// network `exchange`, so callers (protocol sessions, the driver) can observe
+/// or intervene between rounds. Engine selection, feasibility validation,
+/// and codeword pre-encoding all happen at construction, before any round
+/// runs — exactly as [`route`] behaved, which is now a thin loop over this
+/// type.
+pub struct RouteSession<'i> {
+    engine: EngineSession<'i>,
+}
+
+enum EngineSession<'i> {
+    Unit(unit::UnitSession<'i>),
+    CoverFree(coverfree::CfSession<'i>),
+}
+
+impl RouteSession<'static> {
+    /// Validates the instance and constructs the configured engine's
+    /// session. Takes the instance by value — protocol sessions hand over
+    /// the waves they build, clone-free.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidInput`] for malformed instances and
+    /// [`CoreError::Infeasible`] when no engine's decode margin validates
+    /// for the network's α. No rounds run on the error path.
+    pub fn new(
+        net: &Network,
+        instance: RoutingInstance,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        Self::with_instance(net, std::borrow::Cow::Owned(instance), cfg)
+    }
+}
+
+impl<'i> RouteSession<'i> {
+    /// [`RouteSession::new`] over a borrowed instance — the zero-copy path
+    /// behind [`route`] for callers that keep ownership.
+    ///
+    /// # Errors
+    ///
+    /// As [`RouteSession::new`].
+    pub fn borrowed(
+        net: &Network,
+        instance: &'i RoutingInstance,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        Self::with_instance(net, std::borrow::Cow::Borrowed(instance), cfg)
+    }
+
+    fn with_instance(
+        net: &Network,
+        instance: std::borrow::Cow<'i, RoutingInstance>,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        instance.validate()?;
+        if instance.n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let engine = match cfg.mode {
+            RoutingMode::Unit => EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?),
+            RoutingMode::CoverFree => {
+                EngineSession::CoverFree(coverfree::CfSession::new(net, instance, cfg)?)
+            }
+            // Auto probes the cover-free margin first (all its infeasibility
+            // checks live in parameter derivation, before any round), and
+            // falls back to unit scheduling while keeping ownership of the
+            // instance.
+            RoutingMode::Auto => match coverfree::derive_params(net, &instance, cfg) {
+                Ok(params) => EngineSession::CoverFree(coverfree::CfSession::from_params(
+                    net, instance, cfg, params,
+                )?),
+                Err(CoreError::Infeasible { .. }) => {
+                    EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?)
+                }
+                Err(e) => return Err(e),
+            },
+        };
+        Ok(Self { engine })
+    }
+
+    /// Advances at most one `exchange`; returns `Some(output)` once the
+    /// final round of the instance has run. Stepping a completed session is
+    /// an error, not an empty result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors ([`CoreError`]).
+    pub fn step(&mut self, net: &mut Network) -> Result<Option<RoutingOutput>, CoreError> {
+        match &mut self.engine {
+            EngineSession::Unit(s) => s.step(net),
+            EngineSession::CoverFree(s) => s.step(net),
+        }
+    }
+}
+
+/// Routes an instance over the network with the configured engine, running
+/// the session to completion. Borrows the instance — no payload copies.
 ///
 /// # Errors
 ///
@@ -216,14 +312,10 @@ pub fn route(
     instance: &RoutingInstance,
     cfg: &RouterConfig,
 ) -> Result<RoutingOutput, CoreError> {
-    instance.validate()?;
-    match cfg.mode {
-        RoutingMode::Unit => unit::route_unit(net, instance, cfg),
-        RoutingMode::CoverFree => coverfree::route_coverfree(net, instance, cfg),
-        RoutingMode::Auto => match coverfree::route_coverfree(net, instance, cfg) {
-            Ok(out) => Ok(out),
-            Err(CoreError::Infeasible { .. }) => unit::route_unit(net, instance, cfg),
-            Err(e) => Err(e),
-        },
+    let mut session = RouteSession::borrowed(net, instance, cfg)?;
+    loop {
+        if let Some(out) = session.step(net)? {
+            return Ok(out);
+        }
     }
 }

@@ -19,6 +19,7 @@ use crate::error::CoreError;
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Greedy stage coloring: same-source or shared-target messages never share
@@ -109,229 +110,345 @@ fn derive_params(
     })
 }
 
-/// Runs the unit engine. See the module docs.
+/// Which half of a stage/chunk pack the session will execute next.
+enum UnitPhase {
+    /// Scatter codeword symbols to relays.
+    RoundA,
+    /// Relays forward to targets; `relay_val[(lane, msg, w)]` carries what
+    /// each relay holds after round A.
+    RoundB {
+        relay_val: HashMap<(usize, usize, usize), Option<u16>>,
+    },
+}
+
+/// The unit engine as a resumable session: every [`UnitSession::step`]
+/// executes exactly one `exchange` (round A or round B of the current
+/// stage/chunk pack); the step that completes the final pack also assembles
+/// the output. The round-for-round behavior is identical to the former
+/// monolithic loop — the state between exchanges is what used to live in
+/// that loop's locals.
+pub(crate) struct UnitSession<'i> {
+    /// Borrowed for the zero-copy [`super::route`] path, owned when a
+    /// protocol session hands a wave over.
+    instance: Cow<'i, RoutingInstance>,
+    symbol_bits: u32,
+    params: UnitParams,
+    num_stages: usize,
+    stage_msgs: Vec<Vec<usize>>,
+    stage_src_msg: Vec<HashMap<usize, usize>>,
+    codewords: Vec<Vec<Vec<u16>>>,
+    /// Work units: (stage, chunk) pairs, executed `lanes` at a time.
+    work: Vec<(usize, usize)>,
+    /// Start of the current pack within `work`.
+    pack_start: usize,
+    phase: UnitPhase,
+    /// Accumulated decoded chunks per (target, msg_idx).
+    chunk_store: HashMap<(usize, usize), Vec<Option<BitVec>>>,
+    delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    decode_failures: usize,
+    rounds_before: u64,
+    /// Set once the output has been assembled; stepping again is an error
+    /// (the drained state could otherwise masquerade as an empty result).
+    finished: bool,
+}
+
+impl<'i> UnitSession<'i> {
+    /// Validates parameters, schedules stages, and pre-encodes codewords.
+    /// No rounds run until the first [`UnitSession::step`].
+    pub(crate) fn new(
+        net: &Network,
+        instance: Cow<'i, RoutingInstance>,
+        cfg: &RouterConfig,
+    ) -> Result<Self, CoreError> {
+        let n = instance.n;
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let params = derive_params(net, &instance, cfg)?;
+        let stage_of = schedule_stages(&instance);
+        let num_stages = stage_of.iter().map(|&s| s + 1).max().unwrap_or(0);
+
+        let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
+        // Local deliveries (target == src) never touch the network.
+        for msg in &instance.messages {
+            if msg.targets.contains(&msg.src) {
+                delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());
+            }
+        }
+
+        // Precompute padded payloads and per-chunk codewords.
+        let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(instance.messages.len());
+        for msg in &instance.messages {
+            let mut padded = msg.payload.clone();
+            padded.pad_to(params.chunks * params.cap_bits);
+            let mut per_chunk = Vec::with_capacity(params.chunks);
+            for c in 0..params.chunks {
+                let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
+                let cw = params
+                    .code
+                    .encode_bits(&chunk)
+                    .map_err(|e| CoreError::invalid(format!("encode: {e}")))?;
+                per_chunk.push(cw);
+            }
+            codewords.push(per_chunk);
+        }
+
+        let mut work: Vec<(usize, usize)> = Vec::new();
+        for s in 0..num_stages {
+            for c in 0..params.chunks {
+                work.push((s, c));
+            }
+        }
+
+        // Messages grouped by stage for quick lookup; within a stage,
+        // sources are distinct, so a per-stage source → message map lets
+        // relays attribute an incoming frame in O(1).
+        let mut stage_msgs: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
+        let mut stage_src_msg: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_stages];
+        for (idx, &s) in stage_of.iter().enumerate() {
+            stage_msgs[s].push(idx);
+            stage_src_msg[s].insert(instance.messages[idx].src, idx);
+        }
+
+        let _ = params.k_rs;
+        Ok(Self {
+            instance,
+            symbol_bits: cfg.symbol_bits,
+            params,
+            num_stages,
+            stage_msgs,
+            stage_src_msg,
+            codewords,
+            work,
+            pack_start: 0,
+            phase: UnitPhase::RoundA,
+            chunk_store: HashMap::new(),
+            delivered,
+            decode_failures: 0,
+            rounds_before: net.rounds(),
+            finished: false,
+        })
+    }
+
+    fn pack(&self) -> &[(usize, usize)] {
+        let end = (self.pack_start + self.params.lanes).min(self.work.len());
+        &self.work[self.pack_start..end]
+    }
+
+    /// Advances one exchange; `Some(output)` when the final pack is done.
+    pub(crate) fn step(&mut self, net: &mut Network) -> Result<Option<RoutingOutput>, CoreError> {
+        if self.finished {
+            return Err(CoreError::invalid(
+                "routing session stepped after completion",
+            ));
+        }
+        if self.pack_start >= self.work.len() {
+            return Ok(Some(self.finish(net)));
+        }
+        let params = &self.params;
+        let pack: Vec<(usize, usize)> = self.pack().to_vec();
+        match std::mem::replace(&mut self.phase, UnitPhase::RoundA) {
+            UnitPhase::RoundA => {
+                // ---- Round A: scatter codeword symbols to relays. ----
+                let mut traffic = net.traffic();
+                // Symbols a source keeps for itself (it is its own relay),
+                // keyed (lane, msg).
+                let mut src_local: HashMap<(usize, usize), u16> = HashMap::new();
+                let mut frames_a: HashMap<(usize, usize), BitVec> = HashMap::new();
+                for (lane, &(stage, chunk)) in pack.iter().enumerate() {
+                    for &mi in &self.stage_msgs[stage] {
+                        let msg = &self.instance.messages[mi];
+                        let cw = &self.codewords[mi][chunk];
+                        for (sym_idx, &sym) in cw.iter().enumerate().take(params.l) {
+                            let w = sym_idx;
+                            if w == msg.src {
+                                src_local.insert((lane, mi), sym);
+                                continue;
+                            }
+                            let frame = frames_a
+                                .entry((msg.src, w))
+                                .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
+                            frame.set(lane * params.slot, true); // validity
+                            frame.write_uint(lane * params.slot + 1, self.symbol_bits, sym as u64);
+                        }
+                    }
+                }
+                for ((from, to), frame) in frames_a {
+                    traffic.send(from, to, frame);
+                }
+                let delivery_a = net.exchange(traffic);
+
+                // ---- Relay bookkeeping: relay_val[(lane, msg, w)] = symbol.
+                // A relay holds one symbol per active message in the stage
+                // (sources are distinct within a stage, so the round-A frame
+                // identifies the message). Walking each relay's inbox costs
+                // O(frames received); absent map entries read back as `None`
+                // downstream.
+                let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
+                for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+                    for &mi in &self.stage_msgs[stage] {
+                        let msg = &self.instance.messages[mi];
+                        if msg.src < params.l {
+                            // The source is its own relay for position src.
+                            relay_val
+                                .insert((lane, mi, msg.src), src_local.get(&(lane, mi)).copied());
+                        }
+                    }
+                }
+                for w in 0..params.l.min(self.instance.n) {
+                    for (src, f) in delivery_a.inbox_of(w) {
+                        for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+                            let Some(&mi) = self.stage_src_msg[stage].get(&src) else {
+                                continue;
+                            };
+                            if f.len() >= (lane + 1) * params.slot && f.get(lane * params.slot) {
+                                let sym =
+                                    f.read_uint(lane * params.slot + 1, self.symbol_bits) as u16;
+                                relay_val.insert((lane, mi, w), Some(sym));
+                            }
+                        }
+                    }
+                }
+                net.reclaim(delivery_a);
+                self.phase = UnitPhase::RoundB { relay_val };
+                Ok(None)
+            }
+            UnitPhase::RoundB { relay_val } => {
+                // ---- Round B: relays forward to targets. ----
+                let mut traffic = net.traffic();
+                let mut frames_b: HashMap<(usize, usize), BitVec> = HashMap::new();
+                for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
+                    for &mi in &self.stage_msgs[stage] {
+                        let msg = &self.instance.messages[mi];
+                        for &x in &msg.targets {
+                            if x == msg.src {
+                                continue; // delivered locally already
+                            }
+                            for w in 0..params.l {
+                                if w == x {
+                                    continue; // target reads its own relay value
+                                }
+                                let val = relay_val.get(&(lane, mi, w)).copied().flatten();
+                                let frame = frames_b.entry((w, x)).or_insert_with(|| {
+                                    net.frame_buffer(params.lanes * params.slot)
+                                });
+                                if let Some(sym) = val {
+                                    frame.set(lane * params.slot, true);
+                                    frame.write_uint(
+                                        lane * params.slot + 1,
+                                        self.symbol_bits,
+                                        sym as u64,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                for ((from, to), frame) in frames_b {
+                    traffic.send(from, to, frame);
+                }
+                let delivery_b = net.exchange(traffic);
+
+                // ---- Decode at targets. ----
+                for (lane, &(stage, chunk)) in pack.iter().enumerate() {
+                    for &mi in &self.stage_msgs[stage] {
+                        let msg = &self.instance.messages[mi];
+                        for &x in &msg.targets {
+                            if x == msg.src {
+                                continue;
+                            }
+                            let mut received = vec![0u16; params.l];
+                            let mut erasures = vec![false; params.l];
+                            for w in 0..params.l {
+                                let val =
+                                    if w == x {
+                                        relay_val.get(&(lane, mi, w)).copied().flatten()
+                                    } else {
+                                        match delivery_b.received(x, w) {
+                                            Some(f)
+                                                if f.len() >= (lane + 1) * params.slot
+                                                    && f.get(lane * params.slot) =>
+                                            {
+                                                Some(f.read_uint(
+                                                    lane * params.slot + 1,
+                                                    self.symbol_bits,
+                                                )
+                                                    as u16)
+                                            }
+                                            _ => None,
+                                        }
+                                    };
+                                match val {
+                                    Some(sym) => received[w] = sym,
+                                    None => erasures[w] = true,
+                                }
+                            }
+                            let slot_entry = self
+                                .chunk_store
+                                .entry((x, mi))
+                                .or_insert_with(|| vec![None; params.chunks]);
+                            match params
+                                .code
+                                .decode_bits(&received, &erasures, params.cap_bits)
+                            {
+                                Ok(bits) => slot_entry[chunk] = Some(bits),
+                                Err(_) => {
+                                    self.decode_failures += 1;
+                                    slot_entry[chunk] = Some(BitVec::zeros(params.cap_bits));
+                                }
+                            }
+                        }
+                    }
+                }
+                net.reclaim(delivery_b);
+                self.pack_start += params.lanes;
+                self.phase = UnitPhase::RoundA;
+                if self.pack_start >= self.work.len() {
+                    return Ok(Some(self.finish(net)));
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Assembles the chunked payloads into the final output.
+    fn finish(&mut self, net: &Network) -> RoutingOutput {
+        self.finished = true;
+        let mut delivered = std::mem::take(&mut self.delivered);
+        for ((x, mi), chunks) in std::mem::take(&mut self.chunk_store) {
+            let msg = &self.instance.messages[mi];
+            let mut full = BitVec::new();
+            for c in chunks {
+                full.extend_bits(&c.unwrap_or_else(|| BitVec::zeros(self.params.cap_bits)));
+            }
+            full.truncate(msg.payload.len());
+            delivered[x].insert((msg.src, msg.slot), full);
+        }
+        RoutingOutput {
+            delivered,
+            report: RoutingReport {
+                engine: EngineUsed::Unit,
+                rounds: net.rounds() - self.rounds_before,
+                stages: self.num_stages,
+                chunks: self.params.chunks,
+                decode_failures: self.decode_failures,
+            },
+        }
+    }
+}
+
+/// Runs the unit engine to completion. See the module docs.
 pub fn route_unit(
     net: &mut Network,
     instance: &RoutingInstance,
     cfg: &RouterConfig,
 ) -> Result<RoutingOutput, CoreError> {
-    let n = instance.n;
-    if n != net.n() {
-        return Err(CoreError::invalid("instance size != network size"));
-    }
-    let params = derive_params(net, instance, cfg)?;
-    let stage_of = schedule_stages(instance);
-    let num_stages = stage_of.iter().map(|&s| s + 1).max().unwrap_or(0);
-
-    let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
-    let mut decode_failures = 0usize;
-    let rounds_before = net.rounds();
-
-    // Local deliveries (target == src) never touch the network.
-    for msg in &instance.messages {
-        if msg.targets.contains(&msg.src) {
-            delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());
+    let mut session = UnitSession::new(net, Cow::Borrowed(instance), cfg)?;
+    loop {
+        if let Some(out) = session.step(net)? {
+            return Ok(out);
         }
     }
-
-    // Precompute padded payloads and per-chunk codewords.
-    let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(instance.messages.len());
-    for msg in &instance.messages {
-        let mut padded = msg.payload.clone();
-        padded.pad_to(params.chunks * params.cap_bits);
-        let mut per_chunk = Vec::with_capacity(params.chunks);
-        for c in 0..params.chunks {
-            let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
-            let cw = params
-                .code
-                .encode_bits(&chunk)
-                .map_err(|e| CoreError::invalid(format!("encode: {e}")))?;
-            per_chunk.push(cw);
-        }
-        codewords.push(per_chunk);
-    }
-
-    // Work units: (stage, chunk) pairs, executed `lanes` at a time.
-    let mut work: Vec<(usize, usize)> = Vec::new();
-    for s in 0..num_stages {
-        for c in 0..params.chunks {
-            work.push((s, c));
-        }
-    }
-    // Accumulated decoded chunks: per (target, msg_idx) -> Vec<Option<BitVec>>.
-    let mut chunk_store: HashMap<(usize, usize), Vec<Option<BitVec>>> = HashMap::new();
-
-    // Messages grouped by stage for quick lookup; within a stage, sources
-    // are distinct, so a per-stage source → message map lets relays
-    // attribute an incoming frame in O(1).
-    let mut stage_msgs: Vec<Vec<usize>> = vec![Vec::new(); num_stages];
-    let mut stage_src_msg: Vec<HashMap<usize, usize>> = vec![HashMap::new(); num_stages];
-    for (idx, &s) in stage_of.iter().enumerate() {
-        stage_msgs[s].push(idx);
-        stage_src_msg[s].insert(instance.messages[idx].src, idx);
-    }
-
-    for pack in work.chunks(params.lanes) {
-        // ---- Round A: scatter codeword symbols to relays. ----
-        let mut traffic = net.traffic();
-        // Symbols a source keeps for itself (it is its own relay), keyed
-        // (lane, msg).
-        let mut src_local: HashMap<(usize, usize), u16> = HashMap::new();
-        let mut frames_a: HashMap<(usize, usize), BitVec> = HashMap::new();
-        for (lane, &(stage, chunk)) in pack.iter().enumerate() {
-            for &mi in &stage_msgs[stage] {
-                let msg = &instance.messages[mi];
-                let cw = &codewords[mi][chunk];
-                for (sym_idx, &sym) in cw.iter().enumerate().take(params.l) {
-                    let w = sym_idx;
-                    if w == msg.src {
-                        src_local.insert((lane, mi), sym);
-                        continue;
-                    }
-                    let frame = frames_a
-                        .entry((msg.src, w))
-                        .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
-                    frame.set(lane * params.slot, true); // validity
-                    frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
-                }
-            }
-        }
-        for ((from, to), frame) in frames_a {
-            traffic.send(from, to, frame);
-        }
-        let delivery_a = net.exchange(traffic);
-
-        // ---- Relay bookkeeping: relay_val[(lane, msg, w)] = symbol.
-        // A relay holds one symbol per active message in the stage (sources
-        // are distinct within a stage, so the round-A frame identifies the
-        // message). Walking each relay's inbox costs O(frames received);
-        // absent map entries read back as `None` downstream.
-        let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
-        for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
-            for &mi in &stage_msgs[stage] {
-                let msg = &instance.messages[mi];
-                if msg.src < params.l {
-                    // The source is its own relay for position src.
-                    relay_val.insert((lane, mi, msg.src), src_local.get(&(lane, mi)).copied());
-                }
-            }
-        }
-        for w in 0..params.l.min(n) {
-            for (src, f) in delivery_a.inbox_of(w) {
-                for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
-                    let Some(&mi) = stage_src_msg[stage].get(&src) else {
-                        continue;
-                    };
-                    if f.len() >= (lane + 1) * params.slot && f.get(lane * params.slot) {
-                        let sym = f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16;
-                        relay_val.insert((lane, mi, w), Some(sym));
-                    }
-                }
-            }
-        }
-        net.reclaim(delivery_a);
-
-        // ---- Round B: relays forward to targets. ----
-        let mut traffic = net.traffic();
-        let mut frames_b: HashMap<(usize, usize), BitVec> = HashMap::new();
-        for (lane, &(stage, _chunk)) in pack.iter().enumerate() {
-            for &mi in &stage_msgs[stage] {
-                let msg = &instance.messages[mi];
-                for &x in &msg.targets {
-                    if x == msg.src {
-                        continue; // delivered locally already
-                    }
-                    for w in 0..params.l {
-                        if w == x {
-                            continue; // target reads its own relay value
-                        }
-                        let val = relay_val.get(&(lane, mi, w)).copied().flatten();
-                        let frame = frames_b
-                            .entry((w, x))
-                            .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
-                        if let Some(sym) = val {
-                            frame.set(lane * params.slot, true);
-                            frame.write_uint(lane * params.slot + 1, cfg.symbol_bits, sym as u64);
-                        }
-                    }
-                }
-            }
-        }
-        for ((from, to), frame) in frames_b {
-            traffic.send(from, to, frame);
-        }
-        let delivery_b = net.exchange(traffic);
-
-        // ---- Decode at targets. ----
-        for (lane, &(stage, chunk)) in pack.iter().enumerate() {
-            for &mi in &stage_msgs[stage] {
-                let msg = &instance.messages[mi];
-                for &x in &msg.targets {
-                    if x == msg.src {
-                        continue;
-                    }
-                    let mut received = vec![0u16; params.l];
-                    let mut erasures = vec![false; params.l];
-                    for w in 0..params.l {
-                        let val = if w == x {
-                            relay_val.get(&(lane, mi, w)).copied().flatten()
-                        } else {
-                            match delivery_b.received(x, w) {
-                                Some(f)
-                                    if f.len() >= (lane + 1) * params.slot
-                                        && f.get(lane * params.slot) =>
-                                {
-                                    Some(f.read_uint(lane * params.slot + 1, cfg.symbol_bits) as u16)
-                                }
-                                _ => None,
-                            }
-                        };
-                        match val {
-                            Some(sym) => received[w] = sym,
-                            None => erasures[w] = true,
-                        }
-                    }
-                    let slot_entry = chunk_store
-                        .entry((x, mi))
-                        .or_insert_with(|| vec![None; params.chunks]);
-                    match params
-                        .code
-                        .decode_bits(&received, &erasures, params.cap_bits)
-                    {
-                        Ok(bits) => slot_entry[chunk] = Some(bits),
-                        Err(_) => {
-                            decode_failures += 1;
-                            slot_entry[chunk] = Some(BitVec::zeros(params.cap_bits));
-                        }
-                    }
-                }
-            }
-        }
-        net.reclaim(delivery_b);
-    }
-
-    // Assemble chunked payloads.
-    for ((x, mi), chunks) in chunk_store {
-        let msg = &instance.messages[mi];
-        let mut full = BitVec::new();
-        for c in chunks {
-            full.extend_bits(&c.unwrap_or_else(|| BitVec::zeros(params.cap_bits)));
-        }
-        full.truncate(msg.payload.len());
-        delivered[x].insert((msg.src, msg.slot), full);
-    }
-
-    let _ = params.k_rs;
-    Ok(RoutingOutput {
-        delivered,
-        report: RoutingReport {
-            engine: EngineUsed::Unit,
-            rounds: net.rounds() - rounds_before,
-            stages: num_stages,
-            chunks: params.chunks,
-            decode_failures,
-        },
-    })
 }
 
 #[cfg(test)]

@@ -132,6 +132,20 @@ impl Network {
         self.history = History::new(mode);
     }
 
+    /// Replaces the attached adversary, returning the previous one.
+    ///
+    /// This is the entry point for *scheduled* attacks: a round observer
+    /// (e.g. `bdclique-core`'s `ScheduleSwitch`) can swap plans between
+    /// rounds, modeling an adversary whose strategy itself is
+    /// time-varying — burst windows, periodic phases, or a mid-run switch
+    /// between the non-adaptive and adaptive classes. The round counter,
+    /// stats, history, and published log are untouched: the new adversary
+    /// inherits the full transcript context, exactly as the paper's mobile
+    /// adversary re-chooses its corrupted edge set every round.
+    pub fn set_adversary(&mut self, adversary: Adversary) -> Adversary {
+        std::mem::replace(&mut self.adversary, adversary)
+    }
+
     /// The recorded transcript so far.
     pub fn history(&self) -> &History {
         &self.history
@@ -471,6 +485,30 @@ mod tests {
         assert_eq!(buf, BitVec::zeros(3));
         let (_, frames_after) = net.arena.pooled();
         assert_eq!(frames_after, frames - 1, "frame_buffer draws from the pool");
+    }
+
+    #[test]
+    fn set_adversary_swaps_mid_run_and_preserves_context() {
+        let adv = Adversary::non_adaptive(single_edge_plan(0, 1), FlipEverything);
+        let mut net = Network::new(4, 4, 0.5, adv);
+        net.publish("R", BitVec::from_bools(&[true]));
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true]));
+        net.exchange(t);
+        assert_eq!(net.stats().edges_corrupted, 1);
+
+        // Swap to fault-free between rounds: counters, history, and the
+        // published log survive; corruption stops.
+        let old = net.set_adversary(Adversary::none());
+        assert!(!old.is_adaptive());
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true]));
+        let d = net.exchange(t);
+        assert_eq!(d.received(1, 0), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(net.rounds(), 2);
+        assert_eq!(net.stats().edges_corrupted, 1, "no new corruption");
+        assert_eq!(net.history().records().len(), 2);
+        assert_eq!(net.published().len(), 1);
     }
 
     #[test]

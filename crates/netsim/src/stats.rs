@@ -30,11 +30,60 @@ impl NetStats {
             self.edges_corrupted as f64 / self.rounds as f64
         }
     }
+
+    /// The per-round delta between this snapshot and an `earlier` one: all
+    /// cumulative counters subtract; `peak_fault_degree` is a running
+    /// maximum, not a sum, so the delta carries the *later* peak (callers
+    /// wanting a window-local degree must track edge sets themselves).
+    ///
+    /// This is what round observers consume: snapshot before an exchange,
+    /// subtract after, and the result describes exactly that round.
+    pub fn delta_since(&self, earlier: &NetStats) -> NetStats {
+        NetStats {
+            rounds: self.rounds - earlier.rounds,
+            bits_sent: self.bits_sent - earlier.bits_sent,
+            frames_sent: self.frames_sent - earlier.frames_sent,
+            edges_corrupted: self.edges_corrupted - earlier.edges_corrupted,
+            frames_corrupted: self.frames_corrupted - earlier.frames_corrupted,
+            peak_fault_degree: self.peak_fault_degree,
+            intended_snapshots: self.intended_snapshots - earlier.intended_snapshots,
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn delta_since_subtracts_counters_and_keeps_the_peak() {
+        let earlier = NetStats {
+            rounds: 3,
+            bits_sent: 100,
+            frames_sent: 10,
+            edges_corrupted: 4,
+            frames_corrupted: 6,
+            peak_fault_degree: 2,
+            intended_snapshots: 1,
+        };
+        let later = NetStats {
+            rounds: 4,
+            bits_sent: 180,
+            frames_sent: 13,
+            edges_corrupted: 9,
+            frames_corrupted: 11,
+            peak_fault_degree: 3,
+            intended_snapshots: 1,
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.rounds, 1);
+        assert_eq!(d.bits_sent, 80);
+        assert_eq!(d.frames_sent, 3);
+        assert_eq!(d.edges_corrupted, 5);
+        assert_eq!(d.frames_corrupted, 5);
+        assert_eq!(d.peak_fault_degree, 3, "peak is cumulative, not a delta");
+        assert_eq!(d.intended_snapshots, 0);
+    }
 
     #[test]
     fn averages() {

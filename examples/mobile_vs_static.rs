@@ -56,7 +56,7 @@ fn main() {
     let n = 32;
     println!("n = {n}; adversary corrupts ONE edge per node per round (α = 1/n)\n");
     println!(
-        "{:<18} {:>14} {:>14} {:>14}",
+        "{:<24} {:>14} {:>14} {:>14}",
         "protocol", "static errors", "mobile errors", "hunter errors"
     );
     let protocols: Vec<Box<dyn AllToAllProtocol>> = vec![
@@ -76,7 +76,7 @@ fn main() {
             .sum();
         let _ = i;
         println!(
-            "{:<18} {:>14} {:>14} {:>14}",
+            "{:<24} {:>14} {:>14} {:>14}",
             proto.name(),
             static_errs,
             mobile_errs,

@@ -43,7 +43,7 @@ fn main() {
     println!("n = {n}, B = 9 bits, alpha = {alpha} (budget = 1 edge/node/round)");
     println!("adversary: adaptive greedy bit-flipper\n");
     println!(
-        "{:<18} {:>8} {:>8} {:>12} {:>10}",
+        "{:<30} {:>8} {:>8} {:>12} {:>10}",
         "protocol", "errors", "rounds", "bits sent", "corrupted"
     );
     for proto in &protocols {
@@ -51,14 +51,14 @@ fn main() {
         let mut net = Network::new(n, 9, alpha, adversary);
         match run_and_score(proto.as_ref(), &mut net, &inst) {
             Ok(outcome) => println!(
-                "{:<18} {:>8} {:>8} {:>12} {:>10}",
+                "{:<30} {:>8} {:>8} {:>12} {:>10}",
                 outcome.protocol,
                 outcome.errors,
                 outcome.rounds,
                 outcome.bits_sent,
                 outcome.edges_corrupted
             ),
-            Err(e) => println!("{:<18} error: {e}", proto.name()),
+            Err(e) => println!("{:<30} error: {e}", proto.name()),
         }
     }
     println!(

@@ -58,6 +58,7 @@ fn main() {
                     alpha: (budget as f64 + 0.2) / n as f64,
                     trials,
                     present,
+                    trace: false,
                 }),
             });
         }
