@@ -1198,6 +1198,22 @@ pub fn alpha_largen(_trials: usize) -> Scenario {
             factory(|_| DetHypercube::default()),
             &[0usize, 1][..],
         ),
+        // The Theorem 1.5 headline row: two √n-segment waves of k = 64
+        // super-messages per node, routed by the stage-parallel unit engine
+        // (forced — at this n/k the cover-free margin is known-infeasible,
+        // so Auto would burn the whole family-construction probe per wave
+        // only to fall back). Release-gated in CI with a wall-clock budget;
+        // its per-cell `secs` lands in the BENCH artifact.
+        (
+            "det-sqrt",
+            factory(|_| {
+                DetSqrt::new(RouterConfig {
+                    mode: RoutingMode::Unit,
+                    ..Default::default()
+                })
+            }),
+            &[0usize, 1][..],
+        ),
     ];
     let mut cells = Vec::new();
     for (label, protocol, budgets) in protocols {

@@ -61,6 +61,20 @@ pub trait ProtocolSession {
     /// network's α, surfaced at the same point in the round sequence as the
     /// former monolithic loops surfaced them.
     fn step(&mut self, net: &mut Network) -> Result<Step, CoreError>;
+
+    /// Whether the next [`ProtocolSession::step`] may run a network
+    /// `exchange`. The [`crate::driver::Driver`] suppresses its round hooks
+    /// before a step that declares it will not — so an exchange-free
+    /// output-assembling final step neither shows observers a phantom round
+    /// nor trips a round budget set to the session's exact round cost.
+    ///
+    /// Defaults to `true` (every step is assumed to exchange), which is
+    /// correct for any session whose completing step also runs its last
+    /// exchange — all the shipped protocols. Override it only for sessions
+    /// with exchange-free steps, e.g. a zero-round degenerate instance.
+    fn next_step_exchanges(&self) -> bool {
+        true
+    }
 }
 
 /// A solution to the `AllToAllComm` problem.

@@ -17,14 +17,17 @@
 //!   infeasible parameter combinations are rejected before any round runs,
 //!   which is what lets [`super::RoutingMode::Auto`] fall back cleanly.
 
-use super::{EngineUsed, RouterConfig, RoutingInstance, RoutingOutput, RoutingReport};
+use super::{
+    absorbed_error_budget, check_budget, empty_instance_code, lane_symbol, map_units, EngineUsed,
+    RouterConfig, RoutingInstance, RoutingOutput, RoutingReport,
+};
 use crate::error::CoreError;
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
 use bdclique_netsim::Network;
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 pub(crate) struct CfParams {
     code: ReedSolomon,
@@ -39,6 +42,26 @@ pub(crate) struct CfParams {
     in_load: Vec<u16>,
     /// `OutLoad(w, v)`, row-major.
     out_load: Vec<u16>,
+}
+
+impl CfParams {
+    /// Parameters for the zero-message instance: nothing is encoded,
+    /// relayed, or decoded, so no margin, family, or bandwidth constraint
+    /// applies (see [`empty_instance_code`]).
+    fn empty(cfg: &RouterConfig) -> Result<Self, CoreError> {
+        let (code, slot) = empty_instance_code(cfg)?;
+        Ok(Self {
+            code,
+            l: 2,
+            cap_bits: cfg.symbol_bits as usize,
+            chunks: 0,
+            slot,
+            lanes: 1,
+            sets: Vec::new(),
+            in_load: Vec::new(),
+            out_load: Vec::new(),
+        })
+    }
 }
 
 pub(crate) fn derive_params(
@@ -150,7 +173,7 @@ pub(crate) fn derive_params(
     // Decode margin: per codeword, adversarial errors ≤ ⌊αn⌋ per round (at
     // the source in round 1, at the target in round 2) + slack; filtered
     // positions are known erasures. Need 2e + f < L - k_rs + 1.
-    let e_allow = 2 * net.fault_budget() + cfg.extra_error_slack;
+    let e_allow = absorbed_error_budget(net, cfg.extra_error_slack);
     if l <= 2 * e_allow + worst_erasures {
         return Err(CoreError::infeasible(format!(
             "cover-free margin fails: L = {l}, need > 2·{e_allow} + {worst_erasures} erasures"
@@ -175,33 +198,44 @@ pub(crate) fn derive_params(
     })
 }
 
+/// What each relay holds after round 1, indexed `[lane][msg][pos]` where
+/// `pos` indexes the message's receiver set.
+type CfRelayTable = Vec<Vec<Vec<Option<u16>>>>;
+
 /// Which half of a chunk pack the session will execute next.
 enum CfPhase {
     /// Sources scatter to receiver sets (InLoad filter).
     Round1,
-    /// Relays forward to targets (OutLoad filter); `relay_val[(lane, msg,
-    /// w)]` carries what each relay holds after round 1.
-    Round2 {
-        relay_val: HashMap<(usize, usize, usize), Option<u16>>,
-    },
+    /// Relays forward to targets (OutLoad filter), holding the
+    /// [`CfRelayTable`] gathered after round 1.
+    Round2 { relay: CfRelayTable },
 }
 
 /// The cover-free engine as a resumable session: every [`CfSession::step`]
 /// executes exactly one `exchange` (round 1 or round 2 of the current chunk
 /// pack); the step that completes the final pack also assembles the output.
-/// Round-for-round identical to the former monolithic loop.
+/// Round-for-round identical to the former monolithic loop; within a step,
+/// the per-pack encode and decode fan out across threads exactly like the
+/// unit engine's ([`RouterConfig::parallel`]).
 pub(crate) struct CfSession<'i> {
     /// Borrowed for the zero-copy [`super::route`] path, owned when a
     /// protocol session hands a wave over.
     instance: Cow<'i, RoutingInstance>,
     symbol_bits: u32,
     params: CfParams,
+    /// Fan per-pack relay gather / decode out over rayon.
+    parallel: bool,
+    /// Adversarial symbols per codeword the chosen code absorbs; see
+    /// [`check_budget`]. `usize::MAX` for the empty instance.
+    e_allow: usize,
+    extra_error_slack: usize,
     uniq_targets: Vec<Vec<usize>>,
     codewords: Vec<Vec<Vec<u16>>>,
     chunk_ids: Vec<usize>,
     pack_start: usize,
     phase: CfPhase,
-    chunk_store: HashMap<(usize, usize), Vec<BitVec>>,
+    /// Ordered so output assembly never iterates a hash map.
+    chunk_store: BTreeMap<(usize, usize), Vec<BitVec>>,
     delivered: Vec<HashMap<(usize, usize), BitVec>>,
     decode_failures: usize,
     rounds_before: u64,
@@ -219,7 +253,15 @@ impl<'i> CfSession<'i> {
         instance: Cow<'i, RoutingInstance>,
         cfg: &RouterConfig,
     ) -> Result<Self, CoreError> {
-        let params = derive_params(net, &instance, cfg)?;
+        // Zero messages: the first step returns a well-formed empty output
+        // without running a round — no family or margin constraint can
+        // apply to an instance that routes nothing (the same guard as
+        // `UnitSession`).
+        let params = if instance.messages.is_empty() {
+            CfParams::empty(cfg)?
+        } else {
+            derive_params(net, &instance, cfg)?
+        };
         Self::from_params(net, instance, cfg, params)
     }
 
@@ -261,34 +303,44 @@ impl<'i> CfSession<'i> {
             }
         }
 
-        // Precompute codewords per chunk.
-        let mut codewords: Vec<Vec<Vec<u16>>> = Vec::with_capacity(num_msgs);
-        for msg in &instance.messages {
-            let mut padded = msg.payload.clone();
-            padded.pad_to(params.chunks * params.cap_bits);
-            let mut per_chunk = Vec::with_capacity(params.chunks);
-            for c in 0..params.chunks {
-                let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
-                per_chunk.push(
-                    params
-                        .code
-                        .encode_bits(&chunk)
-                        .map_err(|e| CoreError::invalid(format!("encode: {e}")))?,
-                );
-            }
-            codewords.push(per_chunk);
-        }
+        // Precompute codewords per chunk, one message per work unit across
+        // the thread pool (encoding is pure, so the fan-out is trivially
+        // bit-identical to the serial order).
+        let encoded: Vec<Result<Vec<Vec<u16>>, CoreError>> =
+            map_units(cfg.parallel, (0..num_msgs).collect(), |idx| {
+                let msg = &instance.messages[idx];
+                let mut padded = msg.payload.clone();
+                padded.pad_to(params.chunks * params.cap_bits);
+                (0..params.chunks)
+                    .map(|c| {
+                        let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
+                        params
+                            .code
+                            .encode_bits(&chunk)
+                            .map_err(|e| CoreError::invalid(format!("encode: {e}")))
+                    })
+                    .collect()
+            });
+        let codewords: Vec<Vec<Vec<u16>>> = encoded.into_iter().collect::<Result<Vec<_>, _>>()?;
 
+        let e_allow = if instance.messages.is_empty() {
+            usize::MAX
+        } else {
+            absorbed_error_budget(net, cfg.extra_error_slack)
+        };
         Ok(Self {
             chunk_ids: (0..params.chunks).collect(),
             instance,
             symbol_bits: cfg.symbol_bits,
             params,
+            parallel: cfg.parallel,
+            e_allow,
+            extra_error_slack: cfg.extra_error_slack,
             uniq_targets,
             codewords,
             pack_start: 0,
             phase: CfPhase::Round1,
-            chunk_store: HashMap::new(),
+            chunk_store: BTreeMap::new(),
             delivered,
             decode_failures: 0,
             rounds_before: net.rounds(),
@@ -311,6 +363,7 @@ impl<'i> CfSession<'i> {
         if self.pack_start >= self.chunk_ids.len() {
             return Ok(Some(self.finish(net)));
         }
+        check_budget(net, self.e_allow, self.extra_error_slack)?;
         let n = self.instance.n;
         let params = &self.params;
         let sets = &params.sets;
@@ -319,10 +372,12 @@ impl<'i> CfSession<'i> {
         let pack: Vec<usize> = self.pack().to_vec();
         match std::mem::replace(&mut self.phase, CfPhase::Round1) {
             CfPhase::Round1 => {
-                // ---- Round 1: sources scatter to receiver sets. ----
+                // ---- Round 1: sources scatter to receiver sets. Frames
+                // are assembled in ascending (src, relay) order so the
+                // sparse substrate's append fast-path applies and the send
+                // sequence never depends on hash iteration order.
                 let mut traffic = net.traffic();
-                let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
-                let mut src_local: HashMap<(usize, usize), u16> = HashMap::new(); // (lane, msg)
+                let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
                 for (lane, &chunk) in pack.iter().enumerate() {
                     for (idx, msg) in self.instance.messages.iter().enumerate() {
                         for (pos, &w) in sets[idx].iter().enumerate() {
@@ -330,11 +385,10 @@ impl<'i> CfSession<'i> {
                             if in_load[msg.src * n + w] != 1 {
                                 continue; // dropped: known erasure everywhere
                             }
-                            let sym = self.codewords[idx][chunk][pos];
                             if w == msg.src {
-                                src_local.insert((lane, idx), sym);
-                                continue;
+                                continue; // the source keeps its own symbol
                             }
+                            let sym = self.codewords[idx][chunk][pos];
                             let frame = frames
                                 .entry((msg.src, w))
                                 .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
@@ -348,52 +402,60 @@ impl<'i> CfSession<'i> {
                 }
                 let delivery1 = net.exchange(traffic);
 
-                // ---- Relays note what they hold: (lane, msg) -> Option<sym>.
+                // ---- Relays note what they hold: relay[lane][msg][pos].
                 // `InLoad(src, w) == 1` makes the message a relay expects
                 // from a sender unique, so walking messages × set positions
-                // recovers exactly the old dense relay-table scan in O(m·L).
-                let mut relay_val: HashMap<(usize, usize, usize), Option<u16>> = HashMap::new();
-                for (lane, _) in pack.iter().enumerate() {
-                    for (idx, msg) in self.instance.messages.iter().enumerate() {
-                        for &w in &sets[idx] {
-                            let w = w as usize;
-                            if in_load[msg.src * n + w] != 1 {
-                                continue;
-                            }
-                            let val = if w == msg.src {
-                                src_local.get(&(lane, idx)).copied()
-                            } else {
-                                match delivery1.received(w, msg.src) {
-                                    Some(f)
-                                        if f.len() >= (lane + 1) * params.slot
-                                            && f.get(lane * params.slot) =>
-                                    {
-                                        Some(f.read_uint(lane * params.slot + 1, self.symbol_bits)
-                                            as u16)
-                                    }
-                                    _ => None,
+                // recovers exactly the old dense relay-table scan in O(m·L);
+                // each (lane, message) row is independent and fans out.
+                let num_msgs = self.instance.messages.len();
+                let flat: Vec<(usize, usize)> = (0..pack.len())
+                    .flat_map(|lane| (0..num_msgs).map(move |idx| (lane, idx)))
+                    .collect();
+                let gathered: Vec<Vec<Option<u16>>> =
+                    map_units(self.parallel, flat, |(lane, idx)| {
+                        let msg = &self.instance.messages[idx];
+                        let chunk = pack[lane];
+                        sets[idx]
+                            .iter()
+                            .enumerate()
+                            .map(|(pos, &w)| {
+                                let w = w as usize;
+                                if in_load[msg.src * n + w] != 1 {
+                                    None
+                                } else if w == msg.src {
+                                    Some(self.codewords[idx][chunk][pos])
+                                } else {
+                                    delivery1.received(w, msg.src).and_then(|f| {
+                                        lane_symbol(f, lane, params.slot, self.symbol_bits)
+                                    })
                                 }
-                            };
-                            relay_val.insert((lane, idx, w), val);
-                        }
-                    }
+                            })
+                            .collect()
+                    });
+                let mut relay: CfRelayTable = Vec::with_capacity(pack.len());
+                let mut it = gathered.into_iter();
+                for _ in 0..pack.len() {
+                    relay.push(it.by_ref().take(num_msgs).collect());
                 }
                 net.reclaim(delivery1);
-                self.phase = CfPhase::Round2 { relay_val };
+                self.phase = CfPhase::Round2 { relay };
                 Ok(None)
             }
-            CfPhase::Round2 { relay_val } => {
-                // ---- Round 2: relays forward to targets. ----
+            CfPhase::Round2 { relay } => {
+                // ---- Round 2: relays forward to targets (OutLoad filter);
+                // ordered frame assembly exactly as in round 1. A forward
+                // frame is sent even when the relay holds nothing (validity
+                // bit clear) — the wire behavior the adversary observes.
                 let mut traffic = net.traffic();
-                let mut frames: HashMap<(usize, usize), BitVec> = HashMap::new();
+                let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
                 for (lane, _) in pack.iter().enumerate() {
                     for (idx, msg) in self.instance.messages.iter().enumerate() {
-                        for &w in &sets[idx] {
+                        for (pos, &w) in sets[idx].iter().enumerate() {
                             let w = w as usize;
                             if in_load[msg.src * n + w] != 1 {
                                 continue; // w never expected this symbol
                             }
-                            let val = relay_val.get(&(lane, idx, w)).copied().flatten();
+                            let val = relay[lane][idx][pos];
                             for &v in &self.uniq_targets[idx] {
                                 if v == w || out_load[w * n + v] != 1 {
                                     continue;
@@ -418,62 +480,62 @@ impl<'i> CfSession<'i> {
                 }
                 let delivery2 = net.exchange(traffic);
 
-                // ---- Decode at targets. ----
+                // ---- Decode at targets, one unit per (lane, msg, target),
+                // fanned out and folded back in unit order.
+                let mut units: Vec<(usize, usize, usize, usize)> = Vec::new();
                 for (lane, &chunk) in pack.iter().enumerate() {
                     for (idx, msg) in self.instance.messages.iter().enumerate() {
                         for &v in &self.uniq_targets[idx] {
-                            if v == msg.src {
-                                continue;
+                            if v != msg.src {
+                                units.push((lane, chunk, idx, v));
                             }
-                            let mut received = vec![0u16; params.l];
-                            let mut erasures = vec![false; params.l];
-                            for (pos, &w) in sets[idx].iter().enumerate() {
-                                let w = w as usize;
-                                if in_load[msg.src * n + w] != 1 || out_load[w * n + v] != 1 {
-                                    erasures[pos] = true; // known filter erasure
-                                    continue;
-                                }
-                                let val =
-                                    if w == v {
-                                        relay_val.get(&(lane, idx, w)).copied().flatten()
-                                    } else {
-                                        match delivery2.received(v, w) {
-                                            Some(f)
-                                                if f.len() >= (lane + 1) * params.slot
-                                                    && f.get(lane * params.slot) =>
-                                            {
-                                                Some(f.read_uint(
-                                                    lane * params.slot + 1,
-                                                    self.symbol_bits,
-                                                )
-                                                    as u16)
-                                            }
-                                            _ => None,
-                                        }
-                                    };
-                                match val {
-                                    Some(sym) => received[pos] = sym,
-                                    None => erasures[pos] = true,
-                                }
-                            }
-                            let bits =
-                                match params
-                                    .code
-                                    .decode_bits(&received, &erasures, params.cap_bits)
-                                {
-                                    Ok(b) => b,
-                                    Err(_) => {
-                                        self.decode_failures += 1;
-                                        BitVec::zeros(params.cap_bits)
-                                    }
-                                };
-                            self.chunk_store.entry((v, idx)).or_insert_with(|| {
-                                vec![BitVec::zeros(params.cap_bits); params.chunks]
-                            })[chunk] = bits;
                         }
                     }
                 }
+                let relay_ref = &relay;
+                let delivery_ref = &delivery2;
+                type Decoded = ((usize, usize, usize, usize), BitVec, bool);
+                let decoded: Vec<Decoded> = map_units(self.parallel, units, |unit| {
+                    let (lane, _chunk, idx, v) = unit;
+                    let msg = &self.instance.messages[idx];
+                    let mut received = vec![0u16; params.l];
+                    let mut erasures = vec![false; params.l];
+                    for (pos, &w) in sets[idx].iter().enumerate() {
+                        let w = w as usize;
+                        if in_load[msg.src * n + w] != 1 || out_load[w * n + v] != 1 {
+                            erasures[pos] = true; // known filter erasure
+                            continue;
+                        }
+                        let val = if w == v {
+                            relay_ref[lane][idx][pos]
+                        } else {
+                            delivery_ref
+                                .received(v, w)
+                                .and_then(|f| lane_symbol(f, lane, params.slot, self.symbol_bits))
+                        };
+                        match val {
+                            Some(sym) => received[pos] = sym,
+                            None => erasures[pos] = true,
+                        }
+                    }
+                    match params
+                        .code
+                        .decode_bits(&received, &erasures, params.cap_bits)
+                    {
+                        Ok(b) => (unit, b, false),
+                        Err(_) => (unit, BitVec::zeros(params.cap_bits), true),
+                    }
+                });
                 net.reclaim(delivery2);
+                for ((_lane, chunk, idx, v), bits, failed) in decoded {
+                    if failed {
+                        self.decode_failures += 1;
+                    }
+                    self.chunk_store
+                        .entry((v, idx))
+                        .or_insert_with(|| vec![BitVec::zeros(params.cap_bits); params.chunks])
+                        [chunk] = bits;
+                }
                 self.pack_start += params.lanes;
                 self.phase = CfPhase::Round1;
                 if self.pack_start >= self.chunk_ids.len() {
@@ -518,6 +580,24 @@ pub fn route_coverfree(
             return Ok(out);
         }
     }
+}
+
+/// [`route_coverfree`] on one thread: the bit-identity oracle for the
+/// parallel encode/decode path.
+///
+/// # Errors
+///
+/// As [`route_coverfree`].
+pub fn route_coverfree_serial(
+    net: &mut Network,
+    instance: &RoutingInstance,
+    cfg: &RouterConfig,
+) -> Result<RoutingOutput, CoreError> {
+    let cfg = RouterConfig {
+        parallel: false,
+        ..cfg.clone()
+    };
+    route_coverfree(net, instance, &cfg)
 }
 
 #[cfg(test)]

@@ -140,6 +140,12 @@ pub enum RoutingMode {
 pub struct RouterConfig {
     /// Engine selection.
     pub mode: RoutingMode,
+    /// Fan the per-pack encode (round-A frame assembly) and decode (round-B
+    /// erasure decoding) out across the rayon thread pool. Bit-identical to
+    /// the serial path (`false` — the oracle behind
+    /// [`unit::route_unit_serial`] / [`coverfree::route_coverfree_serial`]);
+    /// network rounds themselves stay strictly sequential either way.
+    pub parallel: bool,
     /// Bits per Reed–Solomon symbol (field GF(2^m)); the wire slot is one
     /// bit wider (a validity flag).
     pub symbol_bits: u32,
@@ -160,6 +166,7 @@ impl Default for RouterConfig {
     fn default() -> Self {
         Self {
             mode: RoutingMode::Auto,
+            parallel: true,
             symbol_bits: 8,
             extra_error_slack: 1,
             cf_group_size: None,
@@ -318,4 +325,95 @@ pub fn route(
             return Ok(out);
         }
     }
+}
+
+/// [`route`] on one thread: the bit-identity oracle for the stage-parallel
+/// engines (same pattern as `compile` vs `compile_serial`).
+///
+/// # Errors
+///
+/// As [`route`].
+pub fn route_serial(
+    net: &mut Network,
+    instance: &RoutingInstance,
+    cfg: &RouterConfig,
+) -> Result<RoutingOutput, CoreError> {
+    let cfg = RouterConfig {
+        parallel: false,
+        ..cfg.clone()
+    };
+    route(net, instance, &cfg)
+}
+
+/// Maps `f` over work units, fanned out across the rayon pool or on one
+/// thread, always collecting in input order — the single switch point
+/// between the engines' parallel paths and their serial oracles, so the two
+/// cannot drift apart (the `compile` / `compile_serial` pattern).
+pub(crate) fn map_units<T, U, F>(parallel: bool, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Send + Sync,
+{
+    use rayon::prelude::*;
+    if parallel {
+        items.into_par_iter().map(f).collect()
+    } else {
+        items.into_iter().map(f).collect()
+    }
+}
+
+/// Reads lane `lane`'s symbol out of a wire frame, `None` when the frame is
+/// too short or its validity bit is clear. Shared wire format of both
+/// engines: `lanes` slots of `slot = symbol_bits + 1` bits, validity first.
+pub(crate) fn lane_symbol(
+    frame: &bdclique_bits::BitVec,
+    lane: usize,
+    slot: usize,
+    symbol_bits: u32,
+) -> Option<u16> {
+    (frame.len() >= (lane + 1) * slot && frame.get(lane * slot))
+        .then(|| frame.read_uint(lane * slot + 1, symbol_bits) as u16)
+}
+
+/// Adversarial symbols per codeword a session must absorb at the network's
+/// *current* fault budget: `2·⌊αn⌋` (one budget's worth per round of the
+/// two-round scatter/gather) plus the configured slack. The single
+/// definition both engines size their codes from at construction **and**
+/// [`check_budget`] re-evaluates on every step — keeping them one function
+/// is what makes the mid-session re-validation trustworthy.
+pub(crate) fn absorbed_error_budget(net: &Network, slack: usize) -> usize {
+    2 * net.fault_budget() + slack
+}
+
+/// Decode margins are fixed at session construction from the then-current
+/// fault budget; a [`Network::set_alpha`](bdclique_netsim::Network::set_alpha)
+/// (e.g. from a scheduled observer) that *raises* the budget mid-session
+/// would silently undershoot the decoding radius, so both engines
+/// re-validate it before every exchange and refuse to continue once it has
+/// grown past the `e_allow` symbols their code absorbs.
+pub(crate) fn check_budget(net: &Network, e_allow: usize, slack: usize) -> Result<(), CoreError> {
+    let e_now = absorbed_error_budget(net, slack);
+    if e_now > e_allow {
+        return Err(CoreError::infeasible(format!(
+            "fault budget grew mid-session: the code absorbs {e_allow} adversarial symbols \
+             per codeword but the current budget implies {e_now}"
+        )));
+    }
+    Ok(())
+}
+
+/// The placeholder code for a zero-message session (nothing is encoded or
+/// decoded, so only the symbol width must be representable), plus its wire
+/// slot width. Shared by both engines' empty-instance guards.
+pub(crate) fn empty_instance_code(
+    cfg: &RouterConfig,
+) -> Result<(bdclique_codes::ReedSolomon, usize), CoreError> {
+    let m = cfg.symbol_bits;
+    if !(2..=8).contains(&m) {
+        return Err(CoreError::invalid("symbol_bits must be in 2..=8"));
+    }
+    let code = bdclique_codes::ReedSolomon::new(m, 2, 1)
+        .map_err(|e| CoreError::invalid(format!("RS construction: {e}")))?;
+    Ok((code, m as usize + 1))
 }

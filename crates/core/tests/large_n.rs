@@ -70,6 +70,60 @@ fn one_percent_load_stays_sparse_at_n2048() {
     assert_eq!(traffic.frame_count(), frames as u64);
 }
 
+/// A √n-wave-shaped unit-engine instance at n = 4096: k = 8 messages per
+/// node with segment-local targets — the conflict structure of a DetSqrt
+/// wave, scaled to smoke size. Exercises the stage-parallel scheduler,
+/// per-pack encode/decode fan-out, and arena-recycled frames at full
+/// network width; release-only like its cover-free sibling below. The full
+/// k = 64 waves run in the `alpha-largen` CI step under its wall-clock
+/// budget.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "release-only large-n smoke (CI runs: cargo test --release -p bdclique-core --test large_n)"
+)]
+fn unit_engine_wave_n4096_completes() {
+    use bdclique_core::routing::{RouterConfig, RoutingMode};
+    let n = 4096;
+    let k = 8;
+    let payload_bits = 64;
+    let instance = RoutingInstance {
+        n,
+        payload_bits,
+        messages: (0..n)
+            .flat_map(|u| (0..k).map(move |j| (u, j)))
+            .map(|(u, j)| SuperMessage {
+                src: u,
+                slot: j,
+                payload: BitVec::from_fn(payload_bits, |i| (u * 13 + j * 5 + i) % 7 < 3),
+                targets: vec![(u / k) * k + j],
+            })
+            .collect(),
+    };
+    let mut net = Network::new(n, 18, 0.0, Adversary::none());
+    let cfg = RouterConfig {
+        mode: RoutingMode::Unit,
+        ..Default::default()
+    };
+    let out = route(&mut net, &instance, &cfg).unwrap();
+    assert_eq!(out.report.engine, EngineUsed::Unit);
+    assert_eq!(out.report.decode_failures, 0);
+    assert!(
+        out.report.stages < 2 * k,
+        "{} stages exceed the greedy bound for per-endpoint degree {k}",
+        out.report.stages
+    );
+    for msg in &instance.messages {
+        assert_eq!(
+            out.delivered[msg.targets[0]].get(&(msg.src, msg.slot)),
+            Some(&msg.payload),
+            "message ({}, {}) lost",
+            msg.src,
+            msg.slot
+        );
+    }
+}
+
 /// A full resilient routed trial at n = 4096 — every node routes one
 /// super-message through the cover-free engine over the sparse substrate.
 /// Release-only (see module docs); the CI smoke step is its timing gate.

@@ -96,7 +96,10 @@ pub enum CoverFreeError {
     SeedBudgetExhausted {
         /// Number of seeds tried.
         tries: u64,
-        /// Best (smallest) worst-case cover fraction observed.
+        /// Best (smallest) worst-case cover fraction observed. Verification
+        /// stops scanning a candidate once it exceeds δ, so this is a lower
+        /// bound on each rejected candidate's true fraction — a diagnostic,
+        /// not an exact measurement.
         best_fraction: f64,
     },
 }
@@ -175,7 +178,7 @@ impl CoverFreeFamily {
         let mut best_fraction = f64::INFINITY;
         for attempt in 0..max_tries.max(1) {
             let candidate = Self::construct(params, seed.wrapping_add(attempt));
-            let worst = candidate_worst_fraction(&candidate, params, h);
+            let worst = candidate_worst_fraction(&candidate, params, h, delta);
             if worst <= delta {
                 return Ok(Self {
                     params,
@@ -250,7 +253,19 @@ impl CoverFreeFamily {
 
 /// Worst-case fraction of a member set covered by the union of the other
 /// members, over all `(tuple, member)` pairs of `h`.
-fn candidate_worst_fraction(choices: &[Vec<u32>], params: CoverFreeParams, h: &[Vec<u32>]) -> f64 {
+///
+/// Bails out as soon as the running worst exceeds `bail_above`: a candidate
+/// already over the δ bound is rejected whatever the remaining tuples say,
+/// and on dense constraint collections (e.g. the `k ≈ √n` waves the router
+/// probes before falling back to the unit engine) the full scan is the
+/// dominant cost of discovering infeasibility. Pass `f64::INFINITY` for an
+/// exact measurement.
+fn candidate_worst_fraction(
+    choices: &[Vec<u32>],
+    params: CoverFreeParams,
+    h: &[Vec<u32>],
+    bail_above: f64,
+) -> f64 {
     let l = params.set_size;
     let mut worst = 0f64;
     for tuple in h {
@@ -267,6 +282,9 @@ fn candidate_worst_fraction(choices: &[Vec<u32>], params: CoverFreeParams, h: &[
                 }
             }
             worst = worst.max(covered as f64 / l as f64);
+            if worst > bail_above {
+                return worst;
+            }
         }
     }
     worst
@@ -312,8 +330,8 @@ mod tests {
         };
         let h: Vec<Vec<u32>> = (0..8).map(|i| (4 * i..4 * i + 4).collect()).collect();
         let fam = CoverFreeFamily::build(params, &h, 0.5, 7, 64).unwrap();
-        // Recheck the reported fraction independently.
-        let measured = candidate_worst_fraction(&fam.choices, params, &h);
+        // Recheck the reported fraction independently (exact, no bail).
+        let measured = candidate_worst_fraction(&fam.choices, params, &h, f64::INFINITY);
         assert!((measured - fam.worst_cover_fraction()).abs() < 1e-12);
         assert!(measured <= 0.5);
     }

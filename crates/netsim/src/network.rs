@@ -166,6 +166,25 @@ impl Network {
         self.alpha
     }
 
+    /// Changes the fault fraction α (and therefore [`Network::fault_budget`])
+    /// between rounds — the budget-raising counterpart of
+    /// [`Network::set_adversary`] for *scheduled* attacks whose strength
+    /// itself is time-varying. Round counter, stats, history, and the
+    /// published log are untouched.
+    ///
+    /// Protocol sessions that derived decode margins from the budget at
+    /// construction re-validate it on every step and refuse to continue
+    /// (`Infeasible`) if the budget has grown past what their code absorbs,
+    /// rather than silently under-decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha ∉ [0, 1)`.
+    pub fn set_alpha(&mut self, alpha: f64) {
+        assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
+        self.alpha = alpha;
+    }
+
     /// Per-round faulty-degree budget `⌊αn⌋`.
     pub fn fault_budget(&self) -> usize {
         (self.alpha * self.n as f64).floor() as usize
@@ -509,6 +528,37 @@ mod tests {
         assert_eq!(net.stats().edges_corrupted, 1, "no new corruption");
         assert_eq!(net.history().records().len(), 2);
         assert_eq!(net.published().len(), 1);
+    }
+
+    #[test]
+    fn set_alpha_raises_the_budget_between_rounds() {
+        let mut net = Network::new(8, 4, 0.0, Adversary::none());
+        assert_eq!(net.fault_budget(), 0);
+        let t = net.traffic();
+        net.exchange(t);
+        net.set_alpha(0.5);
+        assert_eq!(net.fault_budget(), 4);
+        assert_eq!(net.rounds(), 1, "counters survive the switch");
+    }
+
+    #[test]
+    fn densified_rounds_reuse_the_pooled_matrix() {
+        // n = 4: the 1/16 load threshold is one frame, so every non-empty
+        // round densifies; after the first reclaim the matrix buffer must
+        // circulate instead of being reallocated.
+        let mut net = Network::new(4, 2, 0.0, Adversary::none());
+        for round in 0..3 {
+            let mut t = net.traffic();
+            t.send(0, 1, BitVec::from_bools(&[true]));
+            t.send(2, 3, BitVec::from_bools(&[false]));
+            let d = net.exchange(t);
+            net.reclaim(d);
+            assert_eq!(
+                net.arena.pooled_matrices(),
+                1,
+                "round {round}: reclaimed matrix must be pooled"
+            );
+        }
     }
 
     #[test]

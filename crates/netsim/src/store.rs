@@ -49,8 +49,15 @@ pub const DENSE_SWITCH_DIVISOR: u64 = 16;
 /// Upper bound on pooled adjacency tables (rows + inbox columns of one
 /// round are at most `2n`; the cap just bounds a pathological caller).
 const MAX_POOLED_TABLES: usize = 1 << 16;
-/// Upper bound on pooled frame buffers.
-const MAX_POOLED_FRAMES: usize = 1 << 14;
+/// Upper bound on pooled frame buffers. Sized for the stage-parallel unit
+/// router's scatter rounds, which queue one frame per (source, relay) pair —
+/// about `n · L ≈ 2²⁰` frames per round at `n = 4096`, `L = 255`. The pool
+/// only ever holds what one round actually allocated, so small networks
+/// never grow near the cap.
+const MAX_POOLED_FRAMES: usize = 1 << 22;
+/// Upper bound on pooled dense matrix buffers: one for the traffic being
+/// built plus one for the delivery still being consumed.
+const MAX_POOLED_MATRICES: usize = 2;
 
 /// One sparse adjacency table: `(peer, frame)` pairs sorted by peer id.
 /// Used both sender-major (traffic rows) and receiver-major (delivery
@@ -64,6 +71,11 @@ pub(crate) type AdjTable = Vec<(u32, BitVec)>;
 pub(crate) struct FrameArena {
     tables: Vec<AdjTable>,
     frames: Vec<BitVec>,
+    /// Spent dense matrix buffers (all-`None` after frame harvesting).
+    /// Rounds that auto-densify reuse one instead of allocating and zeroing
+    /// `n²` fresh slots — at `n = 4096` that allocation alone is ~0.5 GiB
+    /// per densified round.
+    matrices: Vec<Vec<Option<BitVec>>>,
 }
 
 impl FrameArena {
@@ -121,14 +133,42 @@ impl FrameArena {
                 None => break,
             }
         }
+        while self.matrices.len() < MAX_POOLED_MATRICES {
+            match other.matrices.pop() {
+                Some(m) => self.matrices.push(m),
+                None => break,
+            }
+        }
     }
 
-    /// Harvests a dense matrix's frames into the pool (the matrix buffer
-    /// itself is dropped — nothing downstream can reuse an `n²` buffer once
-    /// the round's `Traffic` has left the network).
-    pub(crate) fn put_matrix(&mut self, matrix: Vec<Option<BitVec>>) {
-        for frame in matrix.into_iter().flatten() {
-            self.put_frame(frame);
+    /// Harvests a dense matrix's frames into the frame pool and keeps the
+    /// (now all-`None`) matrix buffer itself for the next densified round.
+    pub(crate) fn put_matrix(&mut self, mut matrix: Vec<Option<BitVec>>) {
+        for slot in matrix.iter_mut() {
+            if let Some(frame) = slot.take() {
+                self.put_frame(frame);
+            }
+        }
+        if self.matrices.len() < MAX_POOLED_MATRICES {
+            self.matrices.push(matrix);
+        }
+    }
+
+    /// An all-`None` dense matrix of `n²` slots, recycled when a pooled
+    /// buffer of the right shape exists.
+    pub(crate) fn take_matrix(&mut self, n: usize) -> Vec<Option<BitVec>> {
+        match self.matrices.pop() {
+            Some(m) if m.len() == n * n => m,
+            _ => vec![None; n * n],
+        }
+    }
+
+    /// Moves one pooled matrix buffer into `other` (a round-local arena), so
+    /// an auto-densify inside the round can reuse it. Unused, it rejoins
+    /// this arena through [`FrameArena::absorb`] at exchange time.
+    pub(crate) fn lend_matrix(&mut self, other: &mut FrameArena) {
+        if let Some(m) = self.matrices.pop() {
+            other.matrices.push(m);
         }
     }
 
@@ -137,6 +177,12 @@ impl FrameArena {
     #[cfg(test)]
     pub(crate) fn pooled(&self) -> (usize, usize) {
         (self.tables.len(), self.frames.len())
+    }
+
+    /// Pooled dense-matrix buffer count — test observable.
+    #[cfg(test)]
+    pub(crate) fn pooled_matrices(&self) -> usize {
+        self.matrices.len()
     }
 }
 
@@ -241,10 +287,14 @@ impl FrameStore {
     }
 
     /// Converts sparse rows into the dense matrix (the auto-switch path).
-    /// The spent row tables go back to the arena when one is supplied.
-    pub(crate) fn densify(&mut self, n: usize, arena: Option<&mut FrameArena>) {
+    /// The spent row tables go back to the arena when one is supplied, and
+    /// the matrix buffer is drawn from the arena's matrix pool.
+    pub(crate) fn densify(&mut self, n: usize, mut arena: Option<&mut FrameArena>) {
         if let FrameStore::Sparse(rows) = self {
-            let mut frames = vec![None; n * n];
+            let mut frames = match arena.as_deref_mut() {
+                Some(a) => a.take_matrix(n),
+                None => vec![None; n * n],
+            };
             for (from, row) in rows.iter_mut().enumerate() {
                 for (to, b) in row.drain(..) {
                     frames[from * n + to as usize] = Some(b);
@@ -376,6 +426,40 @@ mod tests {
         arena.put_matrix(vec![None, Some(bv(&[true])), None, Some(bv(&[false]))]);
         let (_, frames) = arena.pooled();
         assert_eq!(frames, 2);
+    }
+
+    #[test]
+    fn matrix_buffers_recycle_through_the_arena() {
+        let n = 4;
+        let mut arena = FrameArena::default();
+        // A harvested matrix is retained (frames pooled, slots cleared)…
+        arena.put_matrix(vec![None, Some(bv(&[true])), None, Some(bv(&[false]))]);
+        assert_eq!(arena.pooled_matrices(), 1);
+        assert_eq!(arena.pooled().1, 2, "matrix frames must be harvested");
+        // …but only a shape-matching buffer is reissued.
+        let wrong_shape = arena.take_matrix(n);
+        assert_eq!(wrong_shape.len(), n * n);
+        assert!(wrong_shape.iter().all(Option::is_none));
+        assert_eq!(arena.pooled_matrices(), 0);
+        arena.put_matrix(wrong_shape);
+        let reused = arena.take_matrix(n);
+        assert_eq!(reused.len(), n * n);
+        assert!(
+            reused.iter().all(Option::is_none),
+            "reissued buffers are clean"
+        );
+        // Densify draws its matrix from the arena instead of allocating.
+        arena.put_matrix(reused);
+        let mut store = FrameStore::new_sparse(n);
+        store.replace(n, 1, 2, Some(bv(&[true])));
+        store.densify(n, Some(&mut arena));
+        assert_eq!(store.backend(), Backend::Dense);
+        assert_eq!(
+            arena.pooled_matrices(),
+            0,
+            "densify consumed the pooled buffer"
+        );
+        assert_eq!(store.get(n, 1, 2), Some(&bv(&[true])));
     }
 
     #[test]

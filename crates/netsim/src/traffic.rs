@@ -76,10 +76,15 @@ impl Traffic {
     }
 
     /// Arena-backed constructor used by [`crate::Network::traffic`]: the
-    /// sparse row tables are recycled from previous rounds.
+    /// sparse row tables are recycled from previous rounds, and one pooled
+    /// dense matrix buffer rides along so an auto-densify inside the round
+    /// reuses it instead of allocating `n²` fresh slots (unused, it rejoins
+    /// the network arena at exchange time).
     pub(crate) fn new_in(n: usize, bandwidth: usize, arena: &mut FrameArena) -> Self {
         let store = FrameStore::new_sparse_in(n, arena);
-        Self::build(n, bandwidth, store, true)
+        let mut traffic = Self::build(n, bandwidth, store, true);
+        arena.lend_matrix(&mut traffic.arena);
+        traffic
     }
 
     fn build(n: usize, bandwidth: usize, store: FrameStore, auto: bool) -> Self {
