@@ -1,0 +1,296 @@
+//! Criterion benchmarks for the codes layer at the det-sqrt `n = 4096`
+//! operating point: RS `[255, 249]` over GF(2^8) (budget 1, slack 1 ⇒
+//! `2t = 6`), plus GF kernel micro-benches.
+//!
+//! Every compiled path is benched side by side with a `*-reference`
+//! twin — the same algorithm written against the scalar public `Gf` API
+//! (one `mul` call per product, no batch kernels) — so a single criterion
+//! run shows the kernel speedup without cross-run comparison. The
+//! reference decoder is asserted equal to the compiled one at setup.
+
+use bdclique_codes::{Gf, ReedSolomon, SymbolCode};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// det-sqrt `n = 4096` code parameters (budget 1, slack 1).
+const M: u32 = 8;
+const N: usize = 255;
+const K: usize = 249;
+
+/// The pre-kernel scalar Reed–Solomon path: the identical systematic
+/// encode / BM-with-erasures decode pipeline, with every batch primitive
+/// (`axpy`, `mul_slice`, `poly_eval`, `dot`) expanded into a scalar
+/// `Gf::mul` loop.
+struct ScalarRs {
+    gf: Gf,
+    n: usize,
+    k: usize,
+    gen_taps: Vec<u16>,
+}
+
+impl ScalarRs {
+    fn new(m: u32, n: usize, k: usize) -> Self {
+        let gf = Gf::new(m);
+        let mut generator = vec![1u16];
+        for j in 1..=(n - k) as u32 {
+            generator = gf.poly_mul(&generator, &[gf.alpha_pow(j), 1]);
+        }
+        let gen_taps = generator[..n - k].to_vec();
+        Self { gf, n, k, gen_taps }
+    }
+
+    fn encode(&self, msg: &[u16]) -> Vec<u16> {
+        let gf = &self.gf;
+        let two_t = self.n - self.k;
+        let mut parity = vec![0u16; two_t];
+        for &sym in msg.iter().rev() {
+            let fb = sym ^ parity[two_t - 1];
+            for i in (1..two_t).rev() {
+                parity[i] = parity[i - 1] ^ gf.mul(fb, self.gen_taps[i]);
+            }
+            parity[0] = gf.mul(fb, self.gen_taps[0]);
+        }
+        let mut out = Vec::with_capacity(self.n);
+        out.extend_from_slice(msg);
+        out.extend_from_slice(&parity);
+        out
+    }
+
+    fn poly_eval_scalar(&self, coeffs: &[u16], x: u16) -> u16 {
+        let gf = &self.gf;
+        let mut acc = 0u16;
+        for &c in coeffs.iter().rev() {
+            acc = gf.mul(acc, x) ^ c;
+        }
+        acc
+    }
+
+    fn decode(&self, received: &[u16], erasures: &[bool]) -> Option<Vec<u16>> {
+        let gf = &self.gf;
+        let two_t = self.n - self.k;
+        let to_coeff = |p: usize| if p < self.k { p + two_t } else { p - self.k };
+        let mut word = vec![0u16; self.n];
+        let mut eras_coeff = vec![false; self.n];
+        for (p, &sym) in received.iter().enumerate() {
+            word[to_coeff(p)] = sym;
+            eras_coeff[to_coeff(p)] = erasures[p];
+        }
+        let erased: Vec<usize> = (0..self.n).filter(|&i| eras_coeff[i]).collect();
+        let f = erased.len();
+        if f > two_t {
+            return None;
+        }
+        for &i in &erased {
+            word[i] = 0;
+        }
+
+        let synd: Vec<u16> = (1..=two_t as u32)
+            .map(|j| self.poly_eval_scalar(&word, gf.alpha_pow(j)))
+            .collect();
+        if synd.iter().all(|&s| s == 0) {
+            return Some(word[two_t..].to_vec());
+        }
+
+        let mut lambda = vec![0u16; two_t + 2];
+        lambda[0] = 1;
+        let mut deg_lambda = 0usize;
+        for &pos in &erased {
+            let x_i = gf.alpha_pow(pos as u32);
+            for d in (0..=deg_lambda).rev() {
+                let add = gf.mul(lambda[d], x_i);
+                lambda[d + 1] ^= add;
+            }
+            deg_lambda += 1;
+        }
+
+        let mut b = lambda.clone();
+        let mut el = f;
+        for r in (f + 1)..=two_t {
+            let mut discr = 0u16;
+            for i in 0..=deg_lambda.min(r - 1) {
+                discr ^= gf.mul(lambda[i], synd[r - 1 - i]);
+            }
+            if discr == 0 {
+                b.rotate_right(1);
+                b[0] = 0;
+            } else {
+                let mut t = lambda.clone();
+                for i in 0..b.len() - 1 {
+                    t[i + 1] ^= gf.mul(discr, b[i]);
+                }
+                if 2 * el < r + f {
+                    el = r + f - el;
+                    let dinv = gf.inv(discr)?;
+                    b = lambda.clone();
+                    for c in &mut b {
+                        *c = gf.mul(*c, dinv);
+                    }
+                    lambda = t;
+                } else {
+                    lambda = t;
+                    b.rotate_right(1);
+                    b[0] = 0;
+                }
+                deg_lambda = lambda.iter().rposition(|&c| c != 0).unwrap_or(0);
+            }
+        }
+
+        let nu = deg_lambda;
+        if nu > two_t {
+            return None;
+        }
+        let mut positions = Vec::with_capacity(nu);
+        for i in 0..self.n {
+            let x_inv = gf.inv(gf.alpha_pow(i as u32))?;
+            if self.poly_eval_scalar(&lambda[..=nu], x_inv) == 0 {
+                positions.push(i);
+            }
+        }
+        if positions.len() != nu {
+            return None;
+        }
+
+        let mut omega = vec![0u16; two_t];
+        for i in 0..=nu.min(two_t.saturating_sub(1)) {
+            let li = lambda[i];
+            if li == 0 {
+                continue;
+            }
+            for (jj, &s) in synd.iter().take(two_t - i).enumerate() {
+                omega[i + jj] ^= gf.mul(li, s);
+            }
+        }
+        let lambda_deriv: Vec<u16> = (0..nu)
+            .map(|d| if d % 2 == 0 { lambda[d + 1] } else { 0 })
+            .collect();
+        for &pos in &positions {
+            let x_inv = gf.inv(gf.alpha_pow(pos as u32))?;
+            let num = self.poly_eval_scalar(&omega, x_inv);
+            let den = self.poly_eval_scalar(&lambda_deriv, x_inv);
+            word[pos] ^= gf.div(num, den)?;
+        }
+        if (1..=two_t as u32).any(|j| self.poly_eval_scalar(&word, gf.alpha_pow(j)) != 0) {
+            return None;
+        }
+        Some(word[two_t..].to_vec())
+    }
+}
+
+fn message() -> Vec<u16> {
+    (0..K).map(|i| ((i * 37 + 11) % 256) as u16).collect()
+}
+
+/// A received word with 2 errors and 2 erasures — `2e + f = 6 = 2t`, the
+/// full decode margin the routing layer provisions at budget 1.
+fn corrupted(cw: &[u16]) -> (Vec<u16>, Vec<bool>) {
+    let mut recv = cw.to_vec();
+    let mut eras = vec![false; N];
+    recv[7] ^= 0x5a;
+    recv[140] ^= 0x21;
+    recv[33] = 0;
+    eras[33] = true;
+    recv[200] = 0xff;
+    eras[200] = true;
+    (recv, eras)
+}
+
+fn bench_codes(c: &mut Criterion) {
+    let rs = ReedSolomon::new(M, N, K).unwrap();
+    let scalar = ScalarRs::new(M, N, K);
+    let msg = message();
+    let cw = rs.encode(&msg).unwrap();
+    assert_eq!(scalar.encode(&msg), cw, "reference encoder diverges");
+    let (recv, eras) = corrupted(&cw);
+    assert_eq!(rs.decode(&recv, &eras).unwrap(), msg);
+    assert_eq!(
+        scalar.decode(&recv, &eras).as_deref(),
+        Some(msg.as_slice()),
+        "reference decoder diverges"
+    );
+
+    let mut g = c.benchmark_group("codes");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    // ---- The acceptance pair: full encode + errors-and-erasures decode
+    // at det-sqrt n=4096 parameters, compiled kernels vs scalar reference.
+    g.bench_function("rs-encode-decode/n255k249/compiled", |b| {
+        b.iter(|| {
+            let cw = rs.encode(black_box(&msg)).unwrap();
+            let (recv, eras) = corrupted(&cw);
+            rs.decode(black_box(&recv), black_box(&eras)).unwrap()
+        })
+    });
+    g.bench_function("rs-encode-decode/n255k249/reference", |b| {
+        b.iter(|| {
+            let cw = scalar.encode(black_box(&msg));
+            let (recv, eras) = corrupted(&cw);
+            scalar.decode(black_box(&recv), black_box(&eras)).unwrap()
+        })
+    });
+
+    g.bench_function("rs-encode/n255k249/compiled", |b| {
+        b.iter(|| rs.encode(black_box(&msg)).unwrap())
+    });
+    g.bench_function("rs-encode/n255k249/reference", |b| {
+        b.iter(|| scalar.encode(black_box(&msg)))
+    });
+
+    g.bench_function("rs-decode-2e2f/n255k249/compiled", |b| {
+        b.iter(|| rs.decode(black_box(&recv), black_box(&eras)).unwrap())
+    });
+    g.bench_function("rs-decode-2e2f/n255k249/reference", |b| {
+        b.iter(|| scalar.decode(black_box(&recv), black_box(&eras)).unwrap())
+    });
+    g.finish();
+
+    // ---- GF kernel micro-benches over codeword-sized slices.
+    let gf = Gf::new(M);
+    let a: Vec<u16> = (0..N).map(|i| ((i * 13 + 5) % 256) as u16).collect();
+    let b_vec: Vec<u16> = (0..N).map(|i| ((i * 29 + 3) % 256) as u16).collect();
+
+    let mut g = c.benchmark_group("gf");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    g.bench_function("axpy/m8/len255/kernel", |bch| {
+        bch.iter(|| {
+            let mut dst = a.clone();
+            gf.axpy(&mut dst, black_box(0x3d), &b_vec);
+            dst
+        })
+    });
+    g.bench_function("axpy/m8/len255/reference", |bch| {
+        bch.iter(|| {
+            let mut dst = a.clone();
+            for (d, &s) in dst.iter_mut().zip(&b_vec) {
+                *d ^= gf.mul(black_box(0x3d), s);
+            }
+            dst
+        })
+    });
+    g.bench_function("poly_eval/m8/len255/kernel", |bch| {
+        bch.iter(|| gf.poly_eval(black_box(&a), black_box(0x7f)))
+    });
+    g.bench_function("poly_eval/m8/len255/reference", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u16;
+            for &c in a.iter().rev() {
+                acc = gf.mul(acc, black_box(0x7f)) ^ c;
+            }
+            acc
+        })
+    });
+    g.bench_function("mul-throughput/m8", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u16;
+            for &x in &a {
+                for &y in &b_vec[..16] {
+                    acc ^= gf.mul(x, y);
+                }
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codes);
+criterion_main!(benches);

@@ -68,10 +68,11 @@ impl BitVec {
     pub fn from_bytes(bytes: &[u8], len: usize) -> Self {
         assert!(bytes.len() >= len.div_ceil(8), "not enough bytes for len");
         let mut v = Self::zeros(len);
-        for i in 0..len {
-            if bytes[i / 8] >> (i % 8) & 1 == 1 {
-                v.set(i, true);
-            }
+        let mut pos = 0usize;
+        for &b in bytes.iter().take(len.div_ceil(8)) {
+            let w = 8.min(len - pos) as u32;
+            v.store(pos, w, b as u64 & low_mask(w));
+            pos += 8;
         }
         v
     }
@@ -79,12 +80,53 @@ impl BitVec {
     /// Serializes to little-endian bytes (`len.div_ceil(8)` of them).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = vec![0u8; self.len.div_ceil(8)];
-        for i in 0..self.len {
-            if self.get(i) {
-                out[i / 8] |= 1 << (i % 8);
-            }
+        for (i, byte) in out.iter_mut().enumerate() {
+            let pos = i * 8;
+            *byte = self.load(pos, 8.min(self.len - pos) as u32) as u8;
         }
         out
+    }
+
+    /// Reads up to 64 bits at `pos` without range checks; the caller
+    /// guarantees `pos + width <= len` (padding invariant keeps the result
+    /// masked anyway).
+    #[inline]
+    fn load(&self, pos: usize, width: u32) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let block = pos / 64;
+        let off = (pos % 64) as u32;
+        let mut out = self.blocks[block] >> off;
+        if off + width > 64 {
+            out |= self.blocks[block + 1] << (64 - off);
+        }
+        out & low_mask(width)
+    }
+
+    /// Overwrites `width` (≤ 64) bits at `pos` with `value`; the caller
+    /// guarantees the range is in bounds and `value` fits `width` bits.
+    #[inline]
+    fn store(&mut self, pos: usize, width: u32, value: u64) {
+        if width == 0 {
+            return;
+        }
+        let block = pos / 64;
+        let off = (pos % 64) as u32;
+        let mask = low_mask(width);
+        self.blocks[block] = (self.blocks[block] & !(mask << off)) | (value << off);
+        if off + width > 64 {
+            let spill = off + width - 64;
+            let hi_mask = low_mask(spill);
+            self.blocks[block + 1] = (self.blocks[block + 1] & !hi_mask) | (value >> (64 - off));
+        }
+    }
+
+    /// Extends with `extra` zero bits, keeping the padding invariant.
+    #[inline]
+    fn grow_zeros(&mut self, extra: usize) {
+        self.len += extra;
+        self.blocks.resize(self.len.div_ceil(64), 0);
     }
 
     /// Number of bits.
@@ -163,8 +205,28 @@ impl BitVec {
                 "value {value} does not fit width {width}"
             );
         }
-        for b in 0..width {
-            self.push(value >> b & 1 == 1);
+        let start = self.len;
+        self.grow_zeros(width as usize);
+        self.store(start, width, value);
+    }
+
+    /// Appends the low `width` bits of every value, LSB first — the batch
+    /// fast path behind symbol packing (`width` ≤ 16). Values are masked to
+    /// `width` bits, matching the per-symbol unpack loop which only ever
+    /// reads the low bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 16`.
+    pub fn push_uints(&mut self, width: u32, values: &[u16]) {
+        assert!((1..=16).contains(&width), "width {width} not in 1..=16");
+        let start = self.len;
+        self.grow_zeros(width as usize * values.len());
+        let mask = low_mask(width);
+        let mut pos = start;
+        for &v in values {
+            self.store(pos, width, v as u64 & mask);
+            pos += width as usize;
         }
     }
 
@@ -176,13 +238,28 @@ impl BitVec {
     pub fn read_uint(&self, pos: usize, width: u32) -> u64 {
         assert!(width <= 64, "width {width} > 64");
         assert!(pos + width as usize <= self.len, "read out of range");
-        let mut out = 0u64;
-        for b in 0..width as usize {
-            if self.get(pos + b) {
-                out |= 1 << b;
-            }
-        }
-        out
+        self.load(pos, width)
+    }
+
+    /// Reads `count` values of `width` bits each starting at `pos`, LSB
+    /// first — the batch fast path behind symbol unpacking (`width` ≤ 16).
+    /// Bits past the end of the vector read as zero, so the tail value is
+    /// zero-padded exactly like [`Self::to_symbols`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= width <= 16`, or if `pos > len`.
+    pub fn read_uints(&self, pos: usize, width: u32, count: usize) -> Vec<u16> {
+        assert!((1..=16).contains(&width), "width {width} not in 1..=16");
+        assert!(pos <= self.len, "read out of range");
+        let w = width as usize;
+        (0..count)
+            .map(|s| {
+                let p = pos + s * w;
+                let avail = self.len.saturating_sub(p).min(w) as u32;
+                self.load(p, avail) as u16
+            })
+            .collect()
     }
 
     /// Overwrites `width` bits starting at `pos` with `value`, LSB first.
@@ -200,20 +277,22 @@ impl BitVec {
             );
         }
         assert!(pos + width as usize <= self.len, "write out of range");
-        for b in 0..width as usize {
-            self.set(pos + b, value >> b & 1 == 1);
-        }
+        self.store(pos, width, value);
     }
 
-    /// Overwrites `src.len()` bits starting at `pos` with the bits of `src`.
+    /// Overwrites `src.len()` bits starting at `pos` with the bits of `src`,
+    /// one 64-bit block move at a time.
     ///
     /// # Panics
     ///
     /// Panics if `pos + src.len() > len`.
     pub fn write_bits(&mut self, pos: usize, src: &Self) {
         assert!(pos + src.len <= self.len, "write_bits out of range");
-        for b in 0..src.len {
-            self.set(pos + b, src.get(b));
+        let mut off = 0usize;
+        while off < src.len {
+            let w = 64.min(src.len - off) as u32;
+            self.store(pos + off, w, src.load(off, w));
+            off += 64;
         }
     }
 
@@ -258,10 +337,15 @@ impl BitVec {
         }
     }
 
-    /// Appends all bits of `other`.
+    /// Appends all bits of `other` (block-wise).
     pub fn extend_bits(&mut self, other: &Self) {
-        for i in 0..other.len {
-            self.push(other.get(i));
+        let start = self.len;
+        self.grow_zeros(other.len);
+        let mut off = 0usize;
+        while off < other.len {
+            let w = 64.min(other.len - off) as u32;
+            self.store(start + off, w, other.load(off, w));
+            off += 64;
         }
     }
 
@@ -281,7 +365,13 @@ impl BitVec {
     /// Panics if `start > end` or `end > len`.
     pub fn slice(&self, start: usize, end: usize) -> Self {
         assert!(start <= end && end <= self.len, "slice out of range");
-        Self::from_fn(end - start, |i| self.get(start + i))
+        let len = end - start;
+        let mut out = Self::zeros(len);
+        for (i, block) in out.blocks.iter_mut().enumerate() {
+            let pos = start + i * 64;
+            *block = self.load(pos, 64.min(end - pos) as u32);
+        }
+        out
     }
 
     /// Splits into `ceil(len / chunk)` chunks of `chunk` bits; the last chunk
@@ -295,18 +385,19 @@ impl BitVec {
         let count = self.len.div_ceil(chunk).max(1);
         (0..count)
             .map(|c| {
-                Self::from_fn(chunk, |i| {
-                    let idx = c * chunk + i;
-                    idx < self.len && self.get(idx)
-                })
+                let start = (c * chunk).min(self.len);
+                let mut part = self.slice(start, (start + chunk).min(self.len));
+                part.pad_to(chunk);
+                part
             })
             .collect()
     }
 
     /// Zero-pads (or leaves unchanged) so the vector has at least `len` bits.
     pub fn pad_to(&mut self, len: usize) {
-        while self.len < len {
-            self.push(false);
+        if self.len < len {
+            // Padding bits in the last partial block are already zero.
+            self.grow_zeros(len - self.len);
         }
     }
 
@@ -315,7 +406,12 @@ impl BitVec {
         if len >= self.len {
             return;
         }
-        *self = self.slice(0, len);
+        self.blocks.truncate(len.div_ceil(64));
+        if !len.is_multiple_of(64) {
+            // Re-establish the zero-padding invariant in the last block.
+            self.blocks[len / 64] &= low_mask((len % 64) as u32);
+        }
+        self.len = len;
     }
 
     /// Iterates over the bits.
@@ -335,18 +431,7 @@ impl BitVec {
             "symbol width must be 1..=16"
         );
         let count = self.len.div_ceil(sym_bits as usize);
-        (0..count)
-            .map(|s| {
-                let mut v = 0u16;
-                for b in 0..sym_bits as usize {
-                    let idx = s * sym_bits as usize + b;
-                    if idx < self.len && self.get(idx) {
-                        v |= 1 << b;
-                    }
-                }
-                v
-            })
-            .collect()
+        self.read_uints(0, sym_bits, count)
     }
 
     /// Inverse of [`Self::to_symbols`]: unpacks symbols back into `len` bits.
@@ -363,12 +448,19 @@ impl BitVec {
             symbols.len() * sym_bits as usize >= len,
             "not enough symbols for {len} bits"
         );
-        Self::from_fn(len, |i| {
-            let s = i / sym_bits as usize;
-            let b = i % sym_bits as usize;
-            symbols[s] >> b & 1 == 1
-        })
+        let w = sym_bits as usize;
+        let mut v = Self::new();
+        v.push_uints(sym_bits, &symbols[..len.div_ceil(w)]);
+        v.truncate(len);
+        v
     }
+}
+
+/// A mask of the `width` (1..=64) low bits.
+#[inline]
+const fn low_mask(width: u32) -> u64 {
+    debug_assert!(width >= 1 && width <= 64);
+    u64::MAX >> (64 - width)
 }
 
 impl fmt::Debug for BitVec {

@@ -71,4 +71,64 @@ proptest! {
         v.push_uint(width, value);
         prop_assert_eq!(v.read_uint(0, width), value);
     }
+
+    /// The batch symbol pack (`push_uints`) is the per-symbol `push_uint`
+    /// loop, masking included: any high bits beyond `width` are dropped
+    /// exactly as the scalar path drops them.
+    #[test]
+    fn push_uints_matches_per_symbol_loop(
+        prefix in prop::collection::vec(any::<bool>(), 0..70),
+        values in prop::collection::vec(any::<u16>(), 0..40),
+        width in 1u32..=16,
+    ) {
+        let mut batch = BitVec::from_bools(&prefix);
+        batch.push_uints(width, &values);
+        let mut scalar = BitVec::from_bools(&prefix);
+        for &v in &values {
+            scalar.push_uint(width, u64::from(v) & ((1u64 << width) - 1));
+        }
+        prop_assert_eq!(batch, scalar);
+    }
+
+    /// The batch symbol unpack (`read_uints`) is the per-symbol `read_uint`
+    /// loop, with positions past the end reading as zero (the padding
+    /// semantics `encode_bits` relies on).
+    #[test]
+    fn read_uints_matches_per_symbol_loop(
+        bools in prop::collection::vec(any::<bool>(), 0..200),
+        start in any::<prop::sample::Index>(),
+        count in 0usize..40,
+        width in 1u32..=16,
+    ) {
+        let v = BitVec::from_bools(&bools);
+        let start = start.index(v.len() + 1);
+        let batch = v.read_uints(start, width, count);
+        let scalar: Vec<u16> = (0..count)
+            .map(|i| {
+                let pos = start + i * width as usize;
+                let mut sym = 0u16;
+                for b in 0..width as usize {
+                    if v.try_get(pos + b).unwrap_or(false) {
+                        sym |= 1 << b;
+                    }
+                }
+                sym
+            })
+            .collect();
+        prop_assert_eq!(batch, scalar);
+    }
+
+    /// Batch pack then unpack is the identity on masked symbols.
+    #[test]
+    fn uints_pack_unpack_roundtrip(
+        values in prop::collection::vec(any::<u16>(), 0..48),
+        width in 1u32..=16,
+    ) {
+        let mask = if width == 16 { u16::MAX } else { (1u16 << width) - 1 };
+        let masked: Vec<u16> = values.iter().map(|&v| v & mask).collect();
+        let mut v = BitVec::new();
+        v.push_uints(width, &values);
+        prop_assert_eq!(v.len(), values.len() * width as usize);
+        prop_assert_eq!(v.read_uints(0, width, values.len()), masked);
+    }
 }

@@ -1,7 +1,23 @@
 //! Arithmetic in the binary extension fields GF(2^m), 1 ≤ m ≤ 16.
+//!
+//! Every field carries compiled multiplication kernels picked by size:
+//!
+//! * **m ≤ 8** — a full `2^m × 2^m` product table (64 KiB at m = 8).
+//!   [`Gf::mul`], [`Gf::mul_slice`], [`Gf::axpy`], and [`Gf::poly_eval`]
+//!   reduce to one row-contiguous table load per symbol, with no branch on
+//!   zero operands.
+//! * **9 ≤ m ≤ 16** — branchless split log/exp: `log 0` is a sentinel
+//!   (`2·order + 1`) and the exp table is zero-padded far enough that any
+//!   index sum involving the sentinel lands in the zero region, so
+//!   `a·b = exp[log a + log b]` holds for *all* operands.
+//!
+//! Tables are immutable and shared: [`Gf::new`] consults a process-wide
+//! registry (one `OnceLock` slot per m), so constructing the same field
+//! twice — e.g. once per trial — reuses the already-compiled tables instead
+//! of rebuilding them.
 
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// Primitive polynomials for GF(2^m), m = 1..=16, written with the leading
 /// term included (e.g. `0x11d = x^8 + x^4 + x^3 + x^2 + 1`).
@@ -24,17 +40,83 @@ const PRIMITIVE_POLYS: [u32; 16] = [
     0x1100b, // m=16: x^16 + x^12 + x^3 + x + 1
 ];
 
+/// Largest m whose field gets a full product table (`2^(2m)` u16 entries).
+const FULL_TABLE_MAX_M: u32 = 8;
+
 #[derive(Debug)]
 struct GfInner {
     m: u32,
     size: u32,
-    exp: Vec<u16>, // exp[i] = alpha^i, length 2*(size-1) to avoid mod
-    log: Vec<u16>, // log[x] for x != 0
+    /// Extended exp table. Indices `0..=2·order` hold `alpha^(i mod order)`;
+    /// indices `2·order + 1 ..= 4·order + 2` are zero, so any product index
+    /// involving the `log 0` sentinel (`2·order + 1`) reads zero.
+    exp: Vec<u16>,
+    /// `log[x]` for x ≠ 0 (entry 0 is unused here; see `logz`).
+    log: Vec<u16>,
+    /// Branchless log: `logz[0]` is the sentinel `2·order + 1`, otherwise
+    /// identical to `log`. u32 because the sentinel overflows u16 at m = 16.
+    logz: Vec<u32>,
+    /// Full product table for m ≤ 8, row-major (`table[(a << m) | b]`);
+    /// empty for larger fields.
+    mul_table: Vec<u16>,
 }
 
-/// The finite field GF(2^m) with precomputed log/exp tables.
+impl GfInner {
+    fn build(m: u32) -> Self {
+        let size = 1u32 << m;
+        let poly = PRIMITIVE_POLYS[(m - 1) as usize];
+        let order = size - 1;
+        let sentinel = 2 * order + 1;
+        let mut exp = vec![0u16; (4 * order + 3) as usize];
+        let mut log = vec![0u16; size as usize];
+        let mut x = 1u32;
+        for i in 0..order {
+            exp[i as usize] = x as u16;
+            log[x as usize] = i as u16;
+            x <<= 1;
+            if x & size != 0 {
+                x ^= poly;
+            }
+        }
+        for i in order..=2 * order {
+            exp[i as usize] = exp[(i - order) as usize];
+        }
+        let mut logz = vec![0u32; size as usize];
+        logz[0] = sentinel;
+        for v in 1..size {
+            logz[v as usize] = log[v as usize] as u32;
+        }
+        let mul_table = if m <= FULL_TABLE_MAX_M {
+            let mut table = vec![0u16; 1usize << (2 * m)];
+            for a in 0..size {
+                let row = (a as usize) << m;
+                for b in 0..size {
+                    table[row | b as usize] = exp[(logz[a as usize] + logz[b as usize]) as usize];
+                }
+            }
+            table
+        } else {
+            Vec::new()
+        };
+        Self {
+            m,
+            size,
+            exp,
+            log,
+            logz,
+            mul_table,
+        }
+    }
+}
+
+/// Process-wide field registry: one immutable table set per m, built once.
+static REGISTRY: [OnceLock<Arc<GfInner>>; 16] = [const { OnceLock::new() }; 16];
+
+/// The finite field GF(2^m) with precompiled multiplication kernels.
 ///
-/// Cloning is cheap (the tables are shared behind an [`Arc`]).
+/// Cloning is cheap (the tables are shared behind an [`Arc`]), and
+/// [`Gf::new`] itself is cheap after the first call per m: fields are
+/// interned in a process-wide registry.
 ///
 /// # Examples
 ///
@@ -67,33 +149,17 @@ impl PartialEq for Gf {
 impl Eq for Gf {}
 
 impl Gf {
-    /// Builds GF(2^m).
+    /// Returns GF(2^m), building its tables on first use per process.
     ///
     /// # Panics
     ///
     /// Panics unless `1 <= m <= 16`.
     pub fn new(m: u32) -> Self {
         assert!((1..=16).contains(&m), "GF(2^m) supported for m in 1..=16");
-        let size = 1u32 << m;
-        let poly = PRIMITIVE_POLYS[(m - 1) as usize];
-        let order = size - 1;
-        let mut exp = vec![0u16; (2 * order) as usize + 2];
-        let mut log = vec![0u16; size as usize];
-        let mut x = 1u32;
-        for i in 0..order {
-            exp[i as usize] = x as u16;
-            log[x as usize] = i as u16;
-            x <<= 1;
-            if x & size != 0 {
-                x ^= poly;
-            }
-        }
-        for i in order..(2 * order + 2) {
-            exp[i as usize] = exp[(i - order) as usize];
-        }
-        Self {
-            inner: Arc::new(GfInner { m, size, exp, log }),
-        }
+        let inner = REGISTRY[(m - 1) as usize]
+            .get_or_init(|| Arc::new(GfInner::build(m)))
+            .clone();
+        Self { inner }
     }
 
     /// Field extension degree `m`.
@@ -121,6 +187,32 @@ impl Gf {
         );
     }
 
+    /// The full product table and shift `m` (`table[(a << m) | b] = a·b`)
+    /// for m ≤ 8 fields. Crate-visible so hot inner loops (the RS LFSR
+    /// encoder) can hoist the table dereference out of their per-symbol
+    /// step instead of paying it per product.
+    #[inline]
+    pub(crate) fn full_mul_table(&self) -> Option<(&[u16], u32)> {
+        let inner = &self.inner;
+        if inner.mul_table.is_empty() {
+            None
+        } else {
+            Some((&inner.mul_table, inner.m))
+        }
+    }
+
+    /// Row `c` of the full product table (`row[x] = c·x`), when compiled.
+    #[inline]
+    fn mul_row(&self, c: u16) -> Option<&[u16]> {
+        let inner = &self.inner;
+        if inner.mul_table.is_empty() {
+            None
+        } else {
+            let start = (c as usize) << inner.m;
+            Some(&inner.mul_table[start..start + inner.size as usize])
+        }
+    }
+
     /// Addition (XOR in characteristic 2).
     #[inline]
     pub fn add(&self, a: u16, b: u16) -> u16 {
@@ -135,17 +227,82 @@ impl Gf {
         self.add(a, b)
     }
 
-    /// Multiplication via log/exp tables.
+    /// Multiplication; branchless in the operands (full table for m ≤ 8,
+    /// sentinel log/exp otherwise).
     #[inline]
     pub fn mul(&self, a: u16, b: u16) -> u16 {
         self.check(a);
         self.check(b);
-        if a == 0 || b == 0 {
-            return 0;
-        }
         let inner = &self.inner;
-        let idx = inner.log[a as usize] as usize + inner.log[b as usize] as usize;
-        inner.exp[idx]
+        if !inner.mul_table.is_empty() {
+            inner.mul_table[((a as usize) << inner.m) | b as usize]
+        } else {
+            inner.exp[(inner.logz[a as usize] + inner.logz[b as usize]) as usize]
+        }
+    }
+
+    /// In-place scale: `dst[i] = c·dst[i]` for the whole slice.
+    pub fn mul_slice(&self, dst: &mut [u16], c: u16) {
+        self.check(c);
+        if let Some(row) = self.mul_row(c) {
+            for x in dst.iter_mut() {
+                *x = row[*x as usize];
+            }
+        } else {
+            let inner = &self.inner;
+            let lc = inner.logz[c as usize];
+            for x in dst.iter_mut() {
+                *x = inner.exp[(lc + inner.logz[*x as usize]) as usize];
+            }
+        }
+    }
+
+    /// Fused multiply-accumulate: `dst[i] ^= c·src[i]` for the whole slice.
+    ///
+    /// `dst` and `src` must have equal lengths; they cannot alias (the
+    /// borrow checker enforces disjointness), so a caller that wants
+    /// `dst ^= c·dst` should use [`Gf::mul_slice`] with `c + 1`... or more
+    /// plainly: copy first. With `c = 0` this is a no-op on the values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn axpy(&self, dst: &mut [u16], c: u16, src: &[u16]) {
+        assert_eq!(dst.len(), src.len(), "axpy slice length mismatch");
+        self.check(c);
+        if let Some(row) = self.mul_row(c) {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= row[s as usize];
+            }
+        } else {
+            let inner = &self.inner;
+            let lc = inner.logz[c as usize];
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d ^= inner.exp[(lc + inner.logz[s as usize]) as usize];
+            }
+        }
+    }
+
+    /// Inner product `sum_i a[i]·b[i]` (sum = XOR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn dot(&self, a: &[u16], b: &[u16]) -> u16 {
+        assert_eq!(a.len(), b.len(), "dot slice length mismatch");
+        let inner = &self.inner;
+        let mut acc = 0u16;
+        if !inner.mul_table.is_empty() {
+            let m = inner.m;
+            for (&x, &y) in a.iter().zip(b) {
+                acc ^= inner.mul_table[((x as usize) << m) | y as usize];
+            }
+        } else {
+            for (&x, &y) in a.iter().zip(b) {
+                acc ^= inner.exp[(inner.logz[x as usize] + inner.logz[y as usize]) as usize];
+            }
+        }
+        acc
     }
 
     /// Multiplicative inverse; `None` for zero.
@@ -181,21 +338,38 @@ impl Gf {
         }
     }
 
-    /// `a^e` for a field element `a`.
+    /// `a^e` by square-and-multiply (`pow(0, 0) == 1` by convention).
     pub fn pow(&self, a: u16, e: u32) -> u16 {
         self.check(a);
-        if a == 0 {
-            return if e == 0 { 1 } else { 0 };
+        let mut acc = 1u16;
+        let mut base = a;
+        let mut e = e;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
         }
-        let l = self.inner.log[a as usize] as u64 * e as u64;
-        self.inner.exp[(l % self.order() as u64) as usize]
+        acc
     }
 
-    /// Evaluates a polynomial (coefficients low-degree first) at `x`.
+    /// Evaluates a polynomial (coefficients low-degree first) at `x` by
+    /// Horner's rule, one compiled-table load per coefficient.
     pub fn poly_eval(&self, coeffs: &[u16], x: u16) -> u16 {
+        self.check(x);
+        debug_assert!(coeffs.iter().all(|&c| (c as u32) < self.inner.size));
         let mut acc = 0u16;
-        for &c in coeffs.iter().rev() {
-            acc = self.add(self.mul(acc, x), c);
+        if let Some(row) = self.mul_row(x) {
+            for &c in coeffs.iter().rev() {
+                acc = row[acc as usize] ^ c;
+            }
+        } else {
+            let inner = &self.inner;
+            let lx = inner.logz[x as usize];
+            for &c in coeffs.iter().rev() {
+                acc = inner.exp[(lx + inner.logz[acc as usize]) as usize] ^ c;
+            }
         }
         acc
     }
@@ -210,9 +384,7 @@ impl Gf {
             if ai == 0 {
                 continue;
             }
-            for (j, &bj) in b.iter().enumerate() {
-                out[i + j] ^= self.mul(ai, bj);
-            }
+            self.axpy(&mut out[i..i + b.len()], ai, b);
         }
         out
     }
@@ -255,9 +427,7 @@ impl Gf {
             }
             let q = self.mul(rem[i], lead_inv);
             quot[i - dd] = q;
-            for (j, &dc) in den.iter().enumerate().take(dd + 1) {
-                rem[i - dd + j] ^= self.mul(q, dc);
-            }
+            self.axpy(&mut rem[i - dd..=i], q, &den[..dd + 1]);
         }
         rem.truncate(dd.max(1));
         (quot, rem)
@@ -283,12 +453,34 @@ mod tests {
     }
 
     #[test]
+    fn registry_interns_tables() {
+        let a = Gf::new(7);
+        let b = Gf::new(7);
+        assert!(Arc::ptr_eq(&a.inner, &b.inner));
+    }
+
+    #[test]
     fn gf256_known_products() {
         let gf = Gf::new(8);
         // Known AES-adjacent products under poly 0x11d.
         assert_eq!(gf.mul(0, 123), 0);
         assert_eq!(gf.mul(1, 123), 123);
         assert_eq!(gf.mul(2, 0x80), 0x1d); // x * x^7 = x^8 = 0x1d mod 0x11d
+    }
+
+    /// The sentinel log/exp layout must produce zero for any zero operand in
+    /// the large-field tier, including 0·0.
+    #[test]
+    fn zero_operands_branchless_large_fields() {
+        for m in [9u32, 12, 16] {
+            let gf = Gf::new(m);
+            assert_eq!(gf.mul(0, 0), 0, "m={m}");
+            for i in 0..200 {
+                let x = gf.alpha_pow(i);
+                assert_eq!(gf.mul(0, x), 0, "m={m}, x={x}");
+                assert_eq!(gf.mul(x, 0), 0, "m={m}, x={x}");
+            }
+        }
     }
 
     #[test]
@@ -298,6 +490,17 @@ mod tests {
         for a in 1..=255u16 {
             let inv = gf.inv(a).unwrap();
             assert_eq!(gf.mul(a, inv), 1, "a={a}");
+        }
+    }
+
+    #[test]
+    fn inverses_all_m() {
+        for m in 1..=16u32 {
+            let gf = Gf::new(m);
+            for i in 0..gf.order().min(300) {
+                let a = gf.alpha_pow(i);
+                assert_eq!(gf.mul(a, gf.inv(a).unwrap()), 1, "m={m}, a={a}");
+            }
         }
     }
 
@@ -313,6 +516,52 @@ mod tests {
         }
         assert_eq!(gf.pow(0, 0), 1);
         assert_eq!(gf.pow(0, 3), 0);
+    }
+
+    #[test]
+    fn pow_large_exponents() {
+        for m in [4u32, 8, 11, 16] {
+            let gf = Gf::new(m);
+            let a = gf.alpha_pow(3);
+            // a^e == a^(e mod order) for a != 0.
+            for e in [gf.order(), gf.order() + 1, 7 * gf.order() + 5, u32::MAX] {
+                let expected = gf.alpha_pow(((3u64 * e as u64) % gf.order() as u64) as u32);
+                assert_eq!(gf.pow(a, e), expected, "m={m}, e={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_kernels_match_scalar() {
+        for m in [1u32, 3, 8, 9, 13, 16] {
+            let gf = Gf::new(m);
+            let src: Vec<u16> = (0..512u32).map(|i| gf.alpha_pow(i * 7)).collect();
+            let mut with_zeros = src.clone();
+            for slot in with_zeros.iter_mut().step_by(5) {
+                *slot = 0;
+            }
+            for c in [0u16, 1, gf.alpha_pow(1), gf.alpha_pow(97)] {
+                let mut scaled = with_zeros.clone();
+                gf.mul_slice(&mut scaled, c);
+                for (i, &s) in with_zeros.iter().enumerate() {
+                    assert_eq!(scaled[i], gf.mul(c, s), "m={m}, c={c}, i={i}");
+                }
+                let mut acc = src.clone();
+                gf.axpy(&mut acc, c, &with_zeros);
+                for i in 0..src.len() {
+                    assert_eq!(
+                        acc[i],
+                        src[i] ^ gf.mul(c, with_zeros[i]),
+                        "m={m}, c={c}, i={i}"
+                    );
+                }
+                let mut dot_ref = 0u16;
+                for (&x, &y) in src.iter().zip(&with_zeros) {
+                    dot_ref ^= gf.mul(x, y);
+                }
+                assert_eq!(gf.dot(&src, &with_zeros), dot_ref, "m={m}");
+            }
+        }
     }
 
     #[test]

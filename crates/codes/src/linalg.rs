@@ -43,16 +43,12 @@ pub fn solve_linear(gf: &Gf, a: &[Vec<u16>], b: &[u16]) -> Option<Vec<u16>> {
         };
         m.swap(rank, pivot_row);
         let inv = gf.inv(m[rank][col]).expect("pivot nonzero");
-        for c in col..=cols {
-            m[rank][c] = gf.mul(m[rank][c], inv);
-        }
+        gf.mul_slice(&mut m[rank][col..], inv);
         for r in 0..rows {
             if r != rank && m[r][col] != 0 {
                 let factor = m[r][col];
-                for c in col..=cols {
-                    let sub = gf.mul(factor, m[rank][c]);
-                    m[r][c] = gf.sub(m[r][c], sub);
-                }
+                let (pivot, target) = split_rows(&mut m, rank, r);
+                gf.axpy(&mut target[col..], factor, &pivot[col..]);
             }
         }
         pivot_of_col[col] = rank;
@@ -79,15 +75,23 @@ pub fn solve_linear(gf: &Gf, a: &[Vec<u16>], b: &[u16]) -> Option<Vec<u16>> {
     // Verify (cheap, and guards against elimination bugs on overdetermined
     // systems where pivoting skipped columns).
     for (row, &rhs) in a.iter().zip(b) {
-        let mut acc = 0u16;
-        for (coef, &xi) in row.iter().zip(&x) {
-            acc = gf.add(acc, gf.mul(*coef, xi));
-        }
-        if acc != rhs {
+        if gf.dot(row, &x) != rhs {
             return None;
         }
     }
     Some(x)
+}
+
+/// Disjoint `(&rows[a], &mut rows[b])` borrows for row elimination.
+fn split_rows(rows: &mut [Vec<u16>], a: usize, b: usize) -> (&[u16], &mut Vec<u16>) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = rows.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = rows.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
 }
 
 /// Inverts a square matrix over GF(2^m); returns `None` if singular.
@@ -112,16 +116,12 @@ pub fn invert_matrix(gf: &Gf, a: &[Vec<u16>]) -> Option<Vec<Vec<u16>>> {
         let pivot = (col..n).find(|&r| m[r][col] != 0)?;
         m.swap(col, pivot);
         let inv = gf.inv(m[col][col]).expect("pivot nonzero");
-        for c in 0..2 * n {
-            m[col][c] = gf.mul(m[col][c], inv);
-        }
+        gf.mul_slice(&mut m[col], inv);
         for r in 0..n {
             if r != col && m[r][col] != 0 {
                 let factor = m[r][col];
-                for c in 0..2 * n {
-                    let sub = gf.mul(factor, m[col][c]);
-                    m[r][c] = gf.sub(m[r][c], sub);
-                }
+                let (pivot_row, target) = split_rows(&mut m, col, r);
+                gf.axpy(target, factor, pivot_row);
             }
         }
     }
@@ -240,9 +240,7 @@ pub(crate) fn interpolate(gf: &Gf, xs: &[u16], ys: &[u16]) -> Option<Vec<u16>> {
             denom = gf.mul(denom, diff);
         }
         let scale = gf.div(ys[i], denom)?;
-        for (c, bc) in coeffs.iter_mut().zip(&basis) {
-            *c = gf.add(*c, gf.mul(scale, *bc));
-        }
+        gf.axpy(&mut coeffs[..basis.len()], scale, &basis);
     }
     Some(coeffs)
 }

@@ -188,25 +188,21 @@ impl Ldc for RmLdc {
         let coeffs: Vec<u16> = self
             .basis_inv
             .iter()
-            .map(|row| {
-                let mut acc = 0u16;
-                for (c, &m) in row.iter().zip(msg) {
-                    acc = self.gf.add(acc, self.gf.mul(*c, m));
-                }
-                acc
-            })
+            .map(|row| self.gf.dot(row, msg))
             .collect();
         // Evaluate everywhere: for each x, collapse to a univariate poly in y.
         let mut out = vec![0u16; self.codeword_len()];
+        let mut xpow = vec![0u16; self.d + 1];
         for xi in 0..self.q as u16 {
+            // Powers of xi up to the degree bound, one table mul each.
+            xpow[0] = 1;
+            for a in 1..=self.d {
+                xpow[a] = self.gf.mul(xpow[a - 1], xi);
+            }
             // g_b(x) = sum_a coeff_{a,b} x^a for each y-degree b.
             let mut uni = vec![0u16; self.d + 1];
             for ((a, b), &c) in self.monomials.iter().zip(&coeffs) {
-                if c != 0 {
-                    uni[*b as usize] = self
-                        .gf
-                        .add(uni[*b as usize], self.gf.mul(c, self.gf.pow(xi, *a)));
-                }
+                uni[*b as usize] ^= self.gf.mul(c, xpow[*a as usize]);
             }
             for yi in 0..self.q as u16 {
                 out[self.position(xi, yi)] = self.gf.poly_eval(&uni, yi);

@@ -36,8 +36,10 @@ pub struct ReedSolomon {
     gf: Gf,
     n: usize,
     k: usize,
-    /// Generator polynomial, low degree first, degree n-k.
-    generator: Vec<u16>,
+    /// The generator polynomial `g(x) = ∏_{j=1}^{n−k} (x − α^j)` without its
+    /// (monic) leading term — the LFSR feedback taps used by the systematic
+    /// encoder.
+    gen_taps: Vec<u16>,
 }
 
 impl ReedSolomon {
@@ -60,12 +62,8 @@ impl ReedSolomon {
         for j in 1..=(n - k) as u32 {
             generator = gf.poly_mul(&generator, &[gf.alpha_pow(j), 1]);
         }
-        Ok(Self {
-            gf,
-            n,
-            k,
-            generator,
-        })
+        let gen_taps = generator[..n - k].to_vec();
+        Ok(Self { gf, n, k, gen_taps })
     }
 
     /// The underlying field.
@@ -114,13 +112,15 @@ impl ReedSolomon {
                 actual: erasures.len(),
             });
         }
-        for &s in received {
-            if s as u32 >= self.gf.size() {
-                return Err(CodeError::SymbolOutOfRange {
-                    value: s,
-                    alphabet: self.gf.size(),
-                });
-            }
+        if received.iter().fold(0u16, |acc, &s| acc | s) as u32 >= self.gf.size() {
+            let &value = received
+                .iter()
+                .find(|&&s| s as u32 >= self.gf.size())
+                .expect("fold saw an out-of-range bit");
+            return Err(CodeError::SymbolOutOfRange {
+                value,
+                alphabet: self.gf.size(),
+            });
         }
         let gf = &self.gf;
         let two_t = self.n - self.k;
@@ -196,13 +196,13 @@ impl ReedSolomon {
             } else {
                 // T = lambda - discr * x * b
                 let mut t = lambda.clone();
-                for i in 0..b.len() - 1 {
-                    t[i + 1] ^= gf.mul(discr, b[i]);
-                }
+                let blen = b.len() - 1;
+                gf.axpy(&mut t[1..], discr, &b[..blen]);
                 if 2 * el < r + f {
                     el = r + f - el;
                     let dinv = gf.inv(discr).expect("nonzero discrepancy");
-                    b = lambda.iter().map(|&c| gf.mul(c, dinv)).collect();
+                    b = lambda.clone();
+                    gf.mul_slice(&mut b, dinv);
                     lambda = t;
                 } else {
                     lambda = t;
@@ -221,13 +221,38 @@ impl ReedSolomon {
         }
 
         // Chien search: roots of lambda among {X_i^{-1}} for i in 0..n.
+        // Incremental stepping: term d holds lambda_d·alpha^{-d·i}; moving
+        // i → i+1 multiplies term d by the fixed factor alpha^{-d}, so each
+        // position costs nu products and one xor-fold — no per-position
+        // inversion or Horner call.
         let mut positions = Vec::with_capacity(nu);
-        for i in 0..self.n {
-            let x_inv = gf
-                .inv(gf.alpha_pow(i as u32))
-                .expect("alpha powers are nonzero");
-            if gf.poly_eval(&lambda[..=nu], x_inv) == 0 {
-                positions.push(i);
+        let mut terms: Vec<u16> = lambda[..=nu].to_vec();
+        let steps: Vec<u16> = (0..=nu as u32)
+            .map(|d| gf.inv(gf.alpha_pow(d)).expect("alpha powers are nonzero"))
+            .collect();
+        if let Some((table, shift)) = gf.full_mul_table() {
+            // m ≤ 8: one hoisted table row per step factor — the inner
+            // update is a pure lookup chain.
+            let rows: Vec<&[u16]> = steps
+                .iter()
+                .map(|&s| &table[(s as usize) << shift..])
+                .collect();
+            for i in 0..self.n {
+                if terms.iter().fold(0u16, |acc, &t| acc ^ t) == 0 {
+                    positions.push(i);
+                }
+                for (t, row) in terms.iter_mut().zip(&rows).skip(1) {
+                    *t = row[*t as usize];
+                }
+            }
+        } else {
+            for i in 0..self.n {
+                if terms.iter().fold(0u16, |acc, &t| acc ^ t) == 0 {
+                    positions.push(i);
+                }
+                for (t, &s) in terms.iter_mut().zip(&steps).skip(1) {
+                    *t = gf.mul(*t, s);
+                }
             }
         }
         if positions.len() != nu {
@@ -238,20 +263,17 @@ impl ReedSolomon {
 
         // Omega(x) = S(x) * lambda(x) mod x^{2t}, with S(x) = sum S_j x^{j-1}.
         let mut omega = vec![0u16; two_t];
-        for (i, &li) in lambda.iter().enumerate().take(nu + 1) {
+        for (i, &li) in lambda.iter().enumerate().take(nu + 1).take(two_t) {
             if li == 0 {
                 continue;
             }
-            for j in 0..two_t {
-                if i + j < two_t {
-                    omega[i + j] ^= gf.mul(li, synd[j]);
-                }
-            }
+            gf.axpy(&mut omega[i..], li, &synd[..two_t - i]);
         }
         let lambda_deriv = gf.poly_derivative(&lambda[..=nu]);
 
         // Forney: e_i = Omega(X_i^{-1}) / lambda'(X_i^{-1}).
         let mut corrected = Vec::new();
+        let mut magnitudes = Vec::new();
         for &pos in &positions {
             let x_inv = gf.inv(gf.alpha_pow(pos as u32)).expect("nonzero");
             let num = gf.poly_eval(&omega, x_inv);
@@ -264,12 +286,25 @@ impl ReedSolomon {
             if e != 0 {
                 word[pos] ^= e;
                 corrected.push(pos);
+                magnitudes.push(e);
             }
         }
 
         // Verify: the corrected word must be a codeword and the number of
-        // non-erasure corrections must be within capacity.
-        if self.syndromes(&word).iter().any(|&s| s != 0) {
+        // non-erasure corrections must be within capacity. Syndromes are
+        // linear, so instead of a second full Horner pass over the word, the
+        // applied corrections must reproduce the original syndromes exactly:
+        // S_j = sum over corrections of e·alpha^{j·pos}.
+        let mut synd_delta = vec![0u16; two_t];
+        for (&pos, &e) in corrected.iter().zip(&magnitudes) {
+            let x = gf.alpha_pow(pos as u32);
+            let mut p = x;
+            for d in &mut synd_delta {
+                *d ^= gf.mul(e, p);
+                p = gf.mul(p, x);
+            }
+        }
+        if synd_delta != synd {
             return Err(CodeError::TooManyErrors {
                 context: "post-correction syndromes nonzero",
             });
@@ -309,31 +344,48 @@ impl SymbolCode for ReedSolomon {
                 actual: msg.len(),
             });
         }
-        for &s in msg {
-            if s as u32 >= self.gf.size() {
-                return Err(CodeError::SymbolOutOfRange {
-                    value: s,
-                    alphabet: self.gf.size(),
-                });
+        // OR-fold range check: one vectorizable pass, offender located only
+        // on the (cold) error path.
+        if msg.iter().fold(0u16, |acc, &s| acc | s) as u32 >= self.gf.size() {
+            let &value = msg
+                .iter()
+                .find(|&&s| s as u32 >= self.gf.size())
+                .expect("fold saw an out-of-range bit");
+            return Err(CodeError::SymbolOutOfRange {
+                value,
+                alphabet: self.gf.size(),
+            });
+        }
+        // Codeword polynomial layout: low coefficients 0..n-k are parity
+        // (= m(x)·x^{n-k} mod g), coefficients n-k..n are the message
+        // (systematic). Run the division as an LFSR over the generator's
+        // feedback taps — one shift plus one axpy per message symbol, no
+        // intermediate polynomial allocations.
+        let two_t = self.n - self.k;
+        let mut parity = vec![0u16; two_t];
+        if let Some((table, shift)) = self.gf.full_mul_table() {
+            // m ≤ 8: the feedback products are one table row per symbol;
+            // fuse the shift and the tap xor into a single backward sweep.
+            for &sym in msg.iter().rev() {
+                let fb = (sym ^ parity[two_t - 1]) as usize;
+                let row = &table[fb << shift..];
+                for i in (1..two_t).rev() {
+                    parity[i] = parity[i - 1] ^ row[self.gen_taps[i] as usize];
+                }
+                parity[0] = row[self.gen_taps[0] as usize];
+            }
+        } else {
+            for &sym in msg.iter().rev() {
+                let fb = sym ^ parity[two_t - 1];
+                parity.copy_within(..two_t - 1, 1);
+                parity[0] = 0;
+                self.gf.axpy(&mut parity, fb, &self.gen_taps);
             }
         }
-        // Codeword polynomial layout: low coefficients 0..n-k are parity,
-        // coefficients n-k..n are the message (systematic). The public
-        // vector layout is message-first, so we assemble and then rotate.
-        let two_t = self.n - self.k;
-        // m(x) * x^{n-k}
-        let mut shifted = vec![0u16; self.n];
-        shifted[two_t..].copy_from_slice(msg);
-        let (_, rem) = self.gf.poly_divmod(&shifted, &self.generator);
-        let mut word = shifted;
-        for (i, &r) in rem.iter().enumerate() {
-            word[i] ^= r;
-        }
-        // word is now a codeword with parity in coefficients 0..two_t and
-        // message in coefficients two_t..n. Present message-first.
+        // Present message-first, parity in coefficient order.
         let mut out = Vec::with_capacity(self.n);
-        out.extend_from_slice(&word[two_t..]);
-        out.extend_from_slice(&word[..two_t]);
+        out.extend_from_slice(msg);
+        out.extend_from_slice(&parity);
         Ok(out)
     }
 

@@ -69,9 +69,10 @@ pub trait BitCode: SymbolCode {
                 actual: bits.len(),
             });
         }
-        let mut padded = bits.clone();
-        padded.pad_to(self.payload_bits());
-        let symbols = padded.to_symbols(self.symbol_bits());
+        // Batch unpack straight into message symbols; positions past the end
+        // of `bits` read as zero, which is exactly the padding the previous
+        // clone + pad_to + to_symbols pipeline produced.
+        let symbols = bits.read_uints(0, self.symbol_bits(), self.message_len());
         self.encode(&symbols)
     }
 
@@ -94,7 +95,20 @@ pub trait BitCode: SymbolCode {
             });
         }
         let msg = self.decode(received, erasures)?;
-        Ok(BitVec::from_symbols(&msg, self.symbol_bits(), len))
+        if msg.len() * (self.symbol_bits() as usize) < len {
+            return Err(CodeError::LengthMismatch {
+                expected: len,
+                actual: msg.len() * self.symbol_bits() as usize,
+            });
+        }
+        // Batch repack (push_uints masks to symbol width, like from_symbols).
+        let mut bits = BitVec::new();
+        bits.push_uints(
+            self.symbol_bits(),
+            &msg[..len.div_ceil(self.symbol_bits() as usize)],
+        );
+        bits.truncate(len);
+        Ok(bits)
     }
 }
 

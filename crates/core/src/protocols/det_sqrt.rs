@@ -5,7 +5,10 @@
 use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{
+    shared_codeword_cache, CodewordCache, RouteSession, RouterConfig, RoutingInstance,
+    SharedCodewordCache, SuperMessage,
+};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
 use std::borrow::Cow;
@@ -55,6 +58,10 @@ struct SqrtSession<'a> {
     n: usize,
     s: usize,
     b: usize,
+    /// One codeword cache spans both waves ([`RouteSession::new_cached`]):
+    /// chunks that recur — the shared all-zero padding chunk, repeated
+    /// payload content across wave boundaries — encode once per session.
+    cache: SharedCodewordCache,
     phase: SqrtPhase,
 }
 
@@ -94,12 +101,19 @@ impl<'a> SqrtSession<'a> {
                 })
                 .collect(),
         };
+        let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
         Ok(Self {
             router: &proto.router,
             n,
             s,
             b,
-            phase: SqrtPhase::Wave1(RouteSession::new(net, wave1, &proto.router)?),
+            phase: SqrtPhase::Wave1(RouteSession::new_cached(
+                net,
+                wave1,
+                &proto.router,
+                cache.clone(),
+            )?),
+            cache,
         })
     }
 }
@@ -163,7 +177,12 @@ impl ProtocolSession for SqrtSession<'_> {
                         })
                         .collect(),
                 };
-                self.phase = SqrtPhase::Wave2(RouteSession::new(net, wave2, self.router)?);
+                self.phase = SqrtPhase::Wave2(RouteSession::new_cached(
+                    net,
+                    wave2,
+                    self.router,
+                    self.cache.clone(),
+                )?);
                 Ok(Step::Running)
             }
             SqrtPhase::Wave2(route) => {

@@ -18,8 +18,9 @@
 //!   which is what lets [`super::RoutingMode::Auto`] fall back cleanly.
 
 use super::{
-    absorbed_error_budget, check_budget, empty_instance_code, lane_symbol, map_units, EngineUsed,
-    RouterConfig, RoutingInstance, RoutingOutput, RoutingReport,
+    absorbed_error_budget, check_budget, empty_instance_code, encode_chunks, lane_symbol,
+    map_units, payload_chunk, EngineUsed, RelayGrid, RouterConfig, RoutingInstance, RoutingOutput,
+    RoutingReport, SharedCodewordCache,
 };
 use crate::error::CoreError;
 use bdclique_bits::BitVec;
@@ -198,17 +199,16 @@ pub(crate) fn derive_params(
     })
 }
 
-/// What each relay holds after round 1, indexed `[lane][msg][pos]` where
-/// `pos` indexes the message's receiver set.
-type CfRelayTable = Vec<Vec<Vec<Option<u16>>>>;
-
 /// Which half of a chunk pack the session will execute next.
 enum CfPhase {
     /// Sources scatter to receiver sets (InLoad filter).
     Round1,
     /// Relays forward to targets (OutLoad filter), holding the
-    /// [`CfRelayTable`] gathered after round 1.
-    Round2 { relay: CfRelayTable },
+    /// [`RelayGrid`] gathered after round 1: one contiguous lane-major
+    /// buffer addressed `(lane, msg, pos)` where `pos` indexes the
+    /// message's receiver set (all sets have size `L`, so rows are
+    /// uniform).
+    Round2 { relay: RelayGrid },
 }
 
 /// The cover-free engine as a resumable session: every [`CfSession::step`]
@@ -230,7 +230,9 @@ pub(crate) struct CfSession<'i> {
     e_allow: usize,
     extra_error_slack: usize,
     uniq_targets: Vec<Vec<usize>>,
-    codewords: Vec<Vec<Vec<u16>>>,
+    /// Optional shared codeword cache ([`super::RouteSession::new_cached`]);
+    /// `None` keeps the plain lazy per-pack encode path.
+    cache: Option<SharedCodewordCache>,
     chunk_ids: Vec<usize>,
     pack_start: usize,
     phase: CfPhase,
@@ -244,10 +246,11 @@ pub(crate) struct CfSession<'i> {
 }
 
 impl<'i> CfSession<'i> {
-    /// Validates the decode margin and pre-encodes codewords. No rounds run
-    /// until the first [`CfSession::step`] — infeasible parameter
-    /// combinations are rejected here, before any round, which is what lets
-    /// [`super::RoutingMode::Auto`] fall back cleanly.
+    /// Validates the decode margin. No rounds run until the first
+    /// [`CfSession::step`] — infeasible parameter combinations are rejected
+    /// here, before any round, which is what lets
+    /// [`super::RoutingMode::Auto`] fall back cleanly. Codewords are
+    /// encoded lazily, per pack.
     pub(crate) fn new(
         net: &Network,
         instance: Cow<'i, RoutingInstance>,
@@ -278,7 +281,6 @@ impl<'i> CfSession<'i> {
         if n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
-        let num_msgs = instance.messages.len();
 
         // Deduplicated target lists, computed once. All per-round loops
         // iterate messages × receiver-set positions — O(m·L) work
@@ -303,26 +305,11 @@ impl<'i> CfSession<'i> {
             }
         }
 
-        // Precompute codewords per chunk, one message per work unit across
-        // the thread pool (encoding is pure, so the fan-out is trivially
-        // bit-identical to the serial order).
-        let encoded: Vec<Result<Vec<Vec<u16>>, CoreError>> =
-            map_units(cfg.parallel, (0..num_msgs).collect(), |idx| {
-                let msg = &instance.messages[idx];
-                let mut padded = msg.payload.clone();
-                padded.pad_to(params.chunks * params.cap_bits);
-                (0..params.chunks)
-                    .map(|c| {
-                        let chunk = padded.slice(c * params.cap_bits, (c + 1) * params.cap_bits);
-                        params
-                            .code
-                            .encode_bits(&chunk)
-                            .map_err(|e| CoreError::invalid(format!("encode: {e}")))
-                    })
-                    .collect()
-            });
-        let codewords: Vec<Vec<Vec<u16>>> = encoded.into_iter().collect::<Result<Vec<_>, _>>()?;
-
+        // Codewords are encoded lazily, per pack, at the top of each
+        // round 1 — a pack only ever touches its own `lanes` chunks, so
+        // holding all `messages × chunks × L` symbols for the whole
+        // session (the former upfront pre-encode here) bought nothing but
+        // memory.
         let e_allow = if instance.messages.is_empty() {
             usize::MAX
         } else {
@@ -337,7 +324,7 @@ impl<'i> CfSession<'i> {
             e_allow,
             extra_error_slack: cfg.extra_error_slack,
             uniq_targets,
-            codewords,
+            cache: None,
             pack_start: 0,
             phase: CfPhase::Round1,
             chunk_store: BTreeMap::new(),
@@ -346,6 +333,13 @@ impl<'i> CfSession<'i> {
             rounds_before: net.rounds(),
             finished: false,
         })
+    }
+
+    /// Attaches a shared codeword cache (a no-op handle change: encoding is
+    /// deterministic, so cached and uncached sessions are bit-identical).
+    pub(crate) fn with_cache(mut self, cache: Option<SharedCodewordCache>) -> Self {
+        self.cache = cache;
+        self
     }
 
     fn pack(&self) -> &[usize] {
@@ -372,13 +366,28 @@ impl<'i> CfSession<'i> {
         let pack: Vec<usize> = self.pack().to_vec();
         match std::mem::replace(&mut self.phase, CfPhase::Round1) {
             CfPhase::Round1 => {
+                // ---- Lazy per-pack encode (cache-aware): only the pack's
+                // chunks are materialized, one message per fan-out unit.
+                let jobs: Vec<Vec<BitVec>> = self
+                    .instance
+                    .messages
+                    .iter()
+                    .map(|msg| {
+                        pack.iter()
+                            .map(|&chunk| payload_chunk(&msg.payload, chunk, params.cap_bits))
+                            .collect()
+                    })
+                    .collect();
+                let pack_cw: Vec<Vec<Vec<u16>>> =
+                    encode_chunks(self.parallel, &params.code, self.cache.as_ref(), jobs)?;
+
                 // ---- Round 1: sources scatter to receiver sets. Frames
                 // are assembled in ascending (src, relay) order so the
                 // sparse substrate's append fast-path applies and the send
                 // sequence never depends on hash iteration order.
                 let mut traffic = net.traffic();
                 let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
-                for (lane, &chunk) in pack.iter().enumerate() {
+                for (lane, _) in pack.iter().enumerate() {
                     for (idx, msg) in self.instance.messages.iter().enumerate() {
                         for (pos, &w) in sets[idx].iter().enumerate() {
                             let w = w as usize;
@@ -388,7 +397,7 @@ impl<'i> CfSession<'i> {
                             if w == msg.src {
                                 continue; // the source keeps its own symbol
                             }
-                            let sym = self.codewords[idx][chunk][pos];
+                            let sym = pack_cw[idx][lane][pos];
                             let frame = frames
                                 .entry((msg.src, w))
                                 .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
@@ -402,7 +411,8 @@ impl<'i> CfSession<'i> {
                 }
                 let delivery1 = net.exchange(traffic);
 
-                // ---- Relays note what they hold: relay[lane][msg][pos].
+                // ---- Relays note what they hold, straight into the flat
+                // lane-major grid addressed (lane, msg, pos).
                 // `InLoad(src, w) == 1` makes the message a relay expects
                 // from a sender unique, so walking messages × set positions
                 // recovers exactly the old dense relay-table scan in O(m·L);
@@ -411,32 +421,38 @@ impl<'i> CfSession<'i> {
                 let flat: Vec<(usize, usize)> = (0..pack.len())
                     .flat_map(|lane| (0..num_msgs).map(move |idx| (lane, idx)))
                     .collect();
-                let gathered: Vec<Vec<Option<u16>>> =
-                    map_units(self.parallel, flat, |(lane, idx)| {
-                        let msg = &self.instance.messages[idx];
-                        let chunk = pack[lane];
-                        sets[idx]
-                            .iter()
-                            .enumerate()
-                            .map(|(pos, &w)| {
-                                let w = w as usize;
-                                if in_load[msg.src * n + w] != 1 {
-                                    None
-                                } else if w == msg.src {
-                                    Some(self.codewords[idx][chunk][pos])
-                                } else {
-                                    delivery1.received(w, msg.src).and_then(|f| {
-                                        lane_symbol(f, lane, params.slot, self.symbol_bits)
-                                    })
-                                }
-                            })
-                            .collect()
-                    });
-                let mut relay: CfRelayTable = Vec::with_capacity(pack.len());
+                let pack_cw_ref = &pack_cw;
+                let gathered: Vec<Vec<u16>> = map_units(self.parallel, flat, |(lane, idx)| {
+                    let msg = &self.instance.messages[idx];
+                    sets[idx]
+                        .iter()
+                        .enumerate()
+                        .map(|(pos, &w)| {
+                            let w = w as usize;
+                            let val = if in_load[msg.src * n + w] != 1 {
+                                None
+                            } else if w == msg.src {
+                                Some(pack_cw_ref[idx][lane][pos])
+                            } else {
+                                delivery1.received(w, msg.src).and_then(|f| {
+                                    lane_symbol(f, lane, params.slot, self.symbol_bits)
+                                })
+                            };
+                            val.unwrap_or(RelayGrid::ABSENT)
+                        })
+                        .collect()
+                });
+                let mut blocks: Vec<Vec<u16>> = Vec::with_capacity(pack.len());
                 let mut it = gathered.into_iter();
                 for _ in 0..pack.len() {
-                    relay.push(it.by_ref().take(num_msgs).collect());
+                    let mut block = Vec::with_capacity(num_msgs * params.l);
+                    for row in it.by_ref().take(num_msgs) {
+                        block.extend_from_slice(&row);
+                    }
+                    blocks.push(block);
                 }
+                let relay =
+                    RelayGrid::from_blocks(blocks, RelayGrid::uniform_offsets(num_msgs, params.l));
                 net.reclaim(delivery1);
                 self.phase = CfPhase::Round2 { relay };
                 Ok(None)
@@ -455,7 +471,7 @@ impl<'i> CfSession<'i> {
                             if in_load[msg.src * n + w] != 1 {
                                 continue; // w never expected this symbol
                             }
-                            let val = relay[lane][idx][pos];
+                            let val = relay.get(lane, idx, pos);
                             for &v in &self.uniq_targets[idx] {
                                 if v == w || out_load[w * n + v] != 1 {
                                     continue;
@@ -507,7 +523,7 @@ impl<'i> CfSession<'i> {
                             continue;
                         }
                         let val = if w == v {
-                            relay_ref[lane][idx][pos]
+                            relay_ref.get(lane, idx, pos)
                         } else {
                             delivery_ref
                                 .received(v, w)

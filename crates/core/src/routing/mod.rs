@@ -28,8 +28,10 @@ pub mod unit;
 
 use crate::error::CoreError;
 use bdclique_bits::BitVec;
+use bdclique_codes::{BitCode, ReedSolomon, SymbolCode};
 use bdclique_netsim::Network;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// One super-message: `slot` disambiguates multiple messages from the same
 /// source (the paper's index `j`).
@@ -213,10 +215,11 @@ pub struct RoutingOutput {
 
 /// A routing call in flight: one [`RouteSession::step`] advances exactly one
 /// network `exchange`, so callers (protocol sessions, the driver) can observe
-/// or intervene between rounds. Engine selection, feasibility validation,
-/// and codeword pre-encoding all happen at construction, before any round
-/// runs — exactly as [`route`] behaved, which is now a thin loop over this
-/// type.
+/// or intervene between rounds. Engine selection and feasibility validation
+/// happen at construction, before any round runs — exactly as [`route`]
+/// behaved, which is now a thin loop over this type. Codewords are encoded
+/// lazily, per pack, optionally through a shared [`CodewordCache`]
+/// ([`RouteSession::new_cached`]).
 pub struct RouteSession<'i> {
     engine: EngineSession<'i>,
 }
@@ -241,7 +244,26 @@ impl RouteSession<'static> {
         instance: RoutingInstance,
         cfg: &RouterConfig,
     ) -> Result<Self, CoreError> {
-        Self::with_instance(net, std::borrow::Cow::Owned(instance), cfg)
+        Self::with_instance(net, std::borrow::Cow::Owned(instance), cfg, None)
+    }
+
+    /// [`RouteSession::new`] with a shared [`CodewordCache`]: chunks whose
+    /// codewords are already resident (from an earlier pack or an earlier
+    /// session on the same cache — e.g. a previous protocol wave) skip
+    /// re-encoding; misses fall back to the lazy per-pack encode path and
+    /// populate the cache. Wire behavior and outputs are bit-identical to
+    /// the uncached session.
+    ///
+    /// # Errors
+    ///
+    /// As [`RouteSession::new`].
+    pub fn new_cached(
+        net: &Network,
+        instance: RoutingInstance,
+        cfg: &RouterConfig,
+        cache: SharedCodewordCache,
+    ) -> Result<Self, CoreError> {
+        Self::with_instance(net, std::borrow::Cow::Owned(instance), cfg, Some(cache))
     }
 }
 
@@ -257,34 +279,38 @@ impl<'i> RouteSession<'i> {
         instance: &'i RoutingInstance,
         cfg: &RouterConfig,
     ) -> Result<Self, CoreError> {
-        Self::with_instance(net, std::borrow::Cow::Borrowed(instance), cfg)
+        Self::with_instance(net, std::borrow::Cow::Borrowed(instance), cfg, None)
     }
 
     fn with_instance(
         net: &Network,
         instance: std::borrow::Cow<'i, RoutingInstance>,
         cfg: &RouterConfig,
+        cache: Option<SharedCodewordCache>,
     ) -> Result<Self, CoreError> {
         instance.validate()?;
         if instance.n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
         let engine = match cfg.mode {
-            RoutingMode::Unit => EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?),
-            RoutingMode::CoverFree => {
-                EngineSession::CoverFree(coverfree::CfSession::new(net, instance, cfg)?)
+            RoutingMode::Unit => {
+                EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?.with_cache(cache))
             }
+            RoutingMode::CoverFree => EngineSession::CoverFree(
+                coverfree::CfSession::new(net, instance, cfg)?.with_cache(cache),
+            ),
             // Auto probes the cover-free margin first (all its infeasibility
             // checks live in parameter derivation, before any round), and
             // falls back to unit scheduling while keeping ownership of the
             // instance.
             RoutingMode::Auto => match coverfree::derive_params(net, &instance, cfg) {
-                Ok(params) => EngineSession::CoverFree(coverfree::CfSession::from_params(
-                    net, instance, cfg, params,
-                )?),
-                Err(CoreError::Infeasible { .. }) => {
-                    EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?)
-                }
+                Ok(params) => EngineSession::CoverFree(
+                    coverfree::CfSession::from_params(net, instance, cfg, params)?
+                        .with_cache(cache),
+                ),
+                Err(CoreError::Infeasible { .. }) => EngineSession::Unit(
+                    unit::UnitSession::new(net, instance, cfg)?.with_cache(cache),
+                ),
                 Err(e) => return Err(e),
             },
         };
@@ -403,6 +429,264 @@ pub(crate) fn check_budget(net: &Network, e_allow: usize, slack: usize) -> Resul
     Ok(())
 }
 
+/// A content-addressed cache of Reed–Solomon codewords, shared between
+/// routing sessions (e.g. the two waves of
+/// [`crate::protocols::DetSqrt`]) via [`SharedCodewordCache`].
+///
+/// Entries are keyed by an FNV-1a digest of the code's parameters and the
+/// chunk's bit content, and every hit re-verifies the stored chunk bits by
+/// equality — a hash collision degrades to a miss, never a wrong codeword,
+/// so the cache is correctness-neutral by construction (systematic RS
+/// encoding is a pure function of the chunk). A symbol budget bounds the
+/// footprint: once `max_symbols` codeword symbols are resident, further
+/// inserts are dropped (first-in wins — the entries most likely to recur,
+/// such as the shared all-zero padding chunk, are inserted earliest).
+#[derive(Debug)]
+pub struct CodewordCache {
+    /// digest → entries; each entry keeps the chunk for hit verification.
+    map: HashMap<u64, Vec<(BitVec, Vec<u16>)>>,
+    /// Codeword symbols currently resident.
+    symbols: usize,
+    /// Insertion stops once `symbols` would exceed this.
+    max_symbols: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// A [`CodewordCache`] behind `Arc<Mutex<_>>`, the handle
+/// [`RouteSession::new_cached`] accepts so several sessions (protocol
+/// waves) can share one cache. Engines take the lock in two short batch
+/// sections per pack (probe all, insert all), never inside the parallel
+/// encode fan-out.
+pub type SharedCodewordCache = Arc<Mutex<CodewordCache>>;
+
+/// Creates a [`SharedCodewordCache`] with the given symbol budget
+/// ([`CodewordCache::DEFAULT_MAX_SYMBOLS`] is a sensible default).
+pub fn shared_codeword_cache(max_symbols: usize) -> SharedCodewordCache {
+    Arc::new(Mutex::new(CodewordCache::new(max_symbols)))
+}
+
+impl CodewordCache {
+    /// Default symbol budget: 2²¹ symbols ≈ 4 MiB of `u16`s — roughly 8k
+    /// cached codewords at the `L = 255` codes the large-`n` scenarios use.
+    pub const DEFAULT_MAX_SYMBOLS: usize = 1 << 21;
+
+    /// An empty cache holding at most `max_symbols` codeword symbols.
+    pub fn new(max_symbols: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            symbols: 0,
+            max_symbols,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `(hits, misses)` counters across the cache's lifetime.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Codeword symbols currently resident.
+    pub fn resident_symbols(&self) -> usize {
+        self.symbols
+    }
+
+    /// FNV-1a over the code's identifying parameters and the chunk's bits,
+    /// 64 bits at a time (the trailing partial word reads zero-padded,
+    /// matching [`BitVec`]'s equality semantics).
+    fn digest(code: &ReedSolomon, chunk: &BitVec) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(code.symbol_bits() as u64);
+        mix(code.codeword_len() as u64);
+        mix(code.message_len() as u64);
+        mix(chunk.len() as u64);
+        let mut pos = 0;
+        while pos < chunk.len() {
+            let width = (chunk.len() - pos).min(64) as u32;
+            mix(chunk.read_uint(pos, width));
+            pos += 64;
+        }
+        h
+    }
+
+    /// Looks up the codeword for `chunk` under `code`, verifying the stored
+    /// chunk by equality before returning it.
+    pub fn get(&mut self, code: &ReedSolomon, chunk: &BitVec) -> Option<Vec<u16>> {
+        let key = Self::digest(code, chunk);
+        let hit = self
+            .map
+            .get(&key)
+            .and_then(|entries| entries.iter().find(|(c, _)| c == chunk))
+            .map(|(_, cw)| cw.clone());
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Inserts a freshly encoded codeword, unless the symbol budget is
+    /// exhausted or an equal chunk is already resident.
+    pub fn insert(&mut self, code: &ReedSolomon, chunk: BitVec, codeword: Vec<u16>) {
+        if self.symbols + codeword.len() > self.max_symbols {
+            return;
+        }
+        let key = Self::digest(code, &chunk);
+        let entries = self.map.entry(key).or_default();
+        if entries.iter().any(|(c, _)| c == &chunk) {
+            return;
+        }
+        self.symbols += codeword.len();
+        entries.push((chunk, codeword));
+    }
+}
+
+/// Bits `[chunk·cap, (chunk+1)·cap)` of `payload`, zero-padded to `cap` —
+/// the chunk both engines encode. Shared so the cache keys and the wire
+/// content cannot drift between them.
+pub(crate) fn payload_chunk(payload: &BitVec, chunk: usize, cap: usize) -> BitVec {
+    let start = chunk * cap;
+    let end = ((chunk + 1) * cap).min(payload.len());
+    let mut bits = BitVec::zeros(cap);
+    if start < payload.len() {
+        bits.write_bits(0, &payload.slice(start, end));
+    }
+    bits
+}
+
+/// Encodes `jobs` (outer: work unit, inner: that unit's chunks) into
+/// codewords, fanning the units out via [`map_units`]. With a cache, all
+/// chunks are probed under one lock acquisition first, only misses are
+/// encoded, and fresh codewords are inserted under a second lock — the
+/// parallel section never touches the mutex. Encoding is deterministic, so
+/// the result is bit-identical with or without the cache, parallel or not.
+pub(crate) fn encode_chunks(
+    parallel: bool,
+    code: &ReedSolomon,
+    cache: Option<&SharedCodewordCache>,
+    jobs: Vec<Vec<BitVec>>,
+) -> Result<Vec<Vec<Vec<u16>>>, CoreError> {
+    let encode = |bits: &BitVec| {
+        code.encode_bits(bits)
+            .map_err(|e| CoreError::invalid(format!("encode: {e}")))
+    };
+    let Some(cache) = cache else {
+        let encoded: Vec<Result<Vec<Vec<u16>>, CoreError>> =
+            map_units(parallel, jobs, |unit| unit.iter().map(encode).collect());
+        return encoded.into_iter().collect();
+    };
+
+    // Probe pass: one lock acquisition for the whole pack.
+    let probed: Vec<Vec<(BitVec, Option<Vec<u16>>)>> = {
+        let mut c = cache.lock().expect("codeword cache poisoned");
+        jobs.into_iter()
+            .map(|unit| {
+                unit.into_iter()
+                    .map(|bits| {
+                        let hit = c.get(code, &bits);
+                        (bits, hit)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+
+    // Encode the misses, fanned out; collect fresh codewords per unit.
+    type UnitEncoded = Result<(Vec<Vec<u16>>, Vec<(BitVec, Vec<u16>)>), CoreError>;
+    let encoded: Vec<UnitEncoded> = map_units(parallel, probed, |unit| {
+        let mut syms = Vec::with_capacity(unit.len());
+        let mut fresh = Vec::new();
+        for (bits, hit) in unit {
+            match hit {
+                Some(cw) => syms.push(cw),
+                None => {
+                    let cw = encode(&bits)?;
+                    fresh.push((bits, cw.clone()));
+                    syms.push(cw);
+                }
+            }
+        }
+        Ok((syms, fresh))
+    });
+
+    let mut out = Vec::with_capacity(encoded.len());
+    let mut to_insert = Vec::new();
+    for unit in encoded {
+        let (syms, fresh) = unit?;
+        out.push(syms);
+        to_insert.extend(fresh);
+    }
+    if !to_insert.is_empty() {
+        let mut c = cache.lock().expect("codeword cache poisoned");
+        for (bits, cw) in to_insert {
+            c.insert(code, bits, cw);
+        }
+    }
+    Ok(out)
+}
+
+/// Dense relay holdings for one pack, flattened into a single contiguous
+/// buffer: block-major (`block` is the relay `w` for the unit engine, the
+/// lane for the cover-free engine), with per-row offsets shared by every
+/// block. Replaces the former `Vec<Vec<Vec<Option<u16>>>>` tables — the
+/// round-B forward-planning and decode loops walk `syms` linearly instead
+/// of chasing two levels of pointers per symbol.
+///
+/// Absent symbols (erasures) are stored as [`RelayGrid::ABSENT`]; valid
+/// symbols are field elements `< 2^8 ≤ 255`, so the sentinel is
+/// unambiguous.
+pub(crate) struct RelayGrid {
+    syms: Vec<u16>,
+    /// `row_offsets[row]` is the row's start within a block;
+    /// `row_offsets[rows]` is the block stride.
+    row_offsets: Vec<usize>,
+}
+
+impl RelayGrid {
+    /// Sentinel for "relay holds nothing here" (a downstream erasure).
+    pub(crate) const ABSENT: u16 = u16::MAX;
+
+    /// Assembles per-block flat rows (each `row_offsets.last()` long,
+    /// already sentinel-filled) produced by a [`map_units`] fan-out.
+    pub(crate) fn from_blocks(blocks: Vec<Vec<u16>>, row_offsets: Vec<usize>) -> Self {
+        let stride = row_offsets.last().copied().unwrap_or(0);
+        let mut syms = Vec::with_capacity(blocks.len() * stride);
+        for block in blocks {
+            debug_assert_eq!(block.len(), stride);
+            syms.extend_from_slice(&block);
+        }
+        Self { syms, row_offsets }
+    }
+
+    /// Uniform row offsets (`rows` rows of `width` positions each), for
+    /// grids whose rows all have the same length.
+    pub(crate) fn uniform_offsets(rows: usize, width: usize) -> Vec<usize> {
+        (0..=rows).map(|r| r * width).collect()
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.row_offsets.last().copied().unwrap_or(0)
+    }
+
+    /// The symbol at `(block, row, pos)`, `None` when absent.
+    #[inline]
+    pub(crate) fn get(&self, block: usize, row: usize, pos: usize) -> Option<u16> {
+        let s = self.syms[block * self.stride() + self.row_offsets[row] + pos];
+        (s != Self::ABSENT).then_some(s)
+    }
+}
+
 /// The placeholder code for a zero-message session (nothing is encoded or
 /// decoded, so only the symbol width must be representable), plus its wire
 /// slot width. Shared by both engines' empty-instance guards.
@@ -416,4 +700,200 @@ pub(crate) fn empty_instance_code(
     let code = bdclique_codes::ReedSolomon::new(m, 2, 1)
         .map_err(|e| CoreError::invalid(format!("RS construction: {e}")))?;
     Ok((code, m as usize + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdclique_netsim::{Adversary, Network};
+
+    fn rs_code() -> ReedSolomon {
+        ReedSolomon::new(8, 15, 9).unwrap()
+    }
+
+    fn chunk(seed: usize, len: usize) -> BitVec {
+        BitVec::from_fn(len, |i| (i * 7 + seed).is_multiple_of(3))
+    }
+
+    #[test]
+    fn codeword_cache_hit_verifies_and_counts() {
+        let code = rs_code();
+        let mut cache = CodewordCache::new(1 << 16);
+        let bits = chunk(1, 72);
+        assert!(cache.get(&code, &bits).is_none());
+        let cw = code.encode_bits(&bits).unwrap();
+        cache.insert(&code, bits.clone(), cw.clone());
+        assert_eq!(cache.get(&code, &bits), Some(cw.clone()));
+        assert_eq!(cache.stats(), (1, 1));
+        assert_eq!(cache.resident_symbols(), cw.len());
+        // A different chunk of the same length misses.
+        assert!(cache.get(&code, &chunk(2, 72)).is_none());
+    }
+
+    #[test]
+    fn codeword_cache_key_separates_codes() {
+        // The same chunk under two different codes must not collide.
+        let a = ReedSolomon::new(8, 15, 9).unwrap();
+        let b = ReedSolomon::new(8, 20, 9).unwrap();
+        let bits = chunk(3, 72);
+        let mut cache = CodewordCache::new(1 << 16);
+        cache.insert(&a, bits.clone(), a.encode_bits(&bits).unwrap());
+        assert!(cache.get(&b, &bits).is_none());
+        assert_eq!(cache.get(&a, &bits).unwrap(), a.encode_bits(&bits).unwrap());
+    }
+
+    #[test]
+    fn codeword_cache_respects_symbol_budget() {
+        let code = rs_code();
+        let mut cache = CodewordCache::new(20); // room for one 15-symbol codeword
+        let first = chunk(1, 72);
+        let second = chunk(2, 72);
+        cache.insert(&code, first.clone(), code.encode_bits(&first).unwrap());
+        cache.insert(&code, second.clone(), code.encode_bits(&second).unwrap());
+        assert_eq!(cache.resident_symbols(), 15);
+        assert!(cache.get(&code, &first).is_some());
+        assert!(cache.get(&code, &second).is_none());
+    }
+
+    #[test]
+    fn codeword_cache_insert_dedupes_equal_chunks() {
+        let code = rs_code();
+        let mut cache = CodewordCache::new(1 << 16);
+        let bits = chunk(4, 72);
+        let cw = code.encode_bits(&bits).unwrap();
+        cache.insert(&code, bits.clone(), cw.clone());
+        cache.insert(&code, bits.clone(), cw.clone());
+        assert_eq!(cache.resident_symbols(), cw.len());
+    }
+
+    #[test]
+    fn relay_grid_roundtrips_ragged_rows() {
+        // Two blocks, rows of widths 2 and 3 (offsets [0, 2, 5]).
+        let offsets = vec![0usize, 2, 5];
+        let blocks = vec![
+            vec![7, RelayGrid::ABSENT, 1, 2, 3],
+            vec![RelayGrid::ABSENT, 9, 4, RelayGrid::ABSENT, 6],
+        ];
+        let grid = RelayGrid::from_blocks(blocks, offsets);
+        assert_eq!(grid.get(0, 0, 0), Some(7));
+        assert_eq!(grid.get(0, 0, 1), None);
+        assert_eq!(grid.get(0, 1, 2), Some(3));
+        assert_eq!(grid.get(1, 0, 1), Some(9));
+        assert_eq!(grid.get(1, 1, 0), Some(4));
+        assert_eq!(grid.get(1, 1, 1), None);
+        assert_eq!(grid.get(1, 1, 2), Some(6));
+    }
+
+    #[test]
+    fn payload_chunk_pads_and_slices() {
+        let payload = BitVec::from_fn(10, |i| i % 2 == 0);
+        let c0 = payload_chunk(&payload, 0, 8);
+        assert_eq!(c0, payload.slice(0, 8));
+        let c1 = payload_chunk(&payload, 1, 8);
+        assert_eq!(c1.len(), 8);
+        assert_eq!(c1.slice(0, 2), payload.slice(8, 10));
+        assert_eq!(c1.count_ones(), payload.slice(8, 10).count_ones());
+        // Entirely past the payload: all zeros.
+        assert_eq!(payload_chunk(&payload, 2, 8), BitVec::zeros(8));
+    }
+
+    /// A cached session is bit-identical to an uncached one, and a second
+    /// session over the same instance and cache encodes nothing anew.
+    #[test]
+    fn cached_routing_matches_uncached_and_reuses_codewords() {
+        let n = 16;
+        let instance = RoutingInstance {
+            n,
+            payload_bits: 96,
+            messages: (0..n)
+                .map(|v| SuperMessage {
+                    src: v,
+                    slot: 0,
+                    payload: BitVec::from_fn(96, |i| (i + v) % 5 < 2),
+                    targets: vec![(v + 3) % n],
+                })
+                .collect(),
+        };
+        let cfg = RouterConfig {
+            mode: RoutingMode::Unit,
+            ..RouterConfig::default()
+        };
+
+        let mut net_plain = Network::new(n, 9, 0.0, Adversary::none());
+        let plain = route(&mut net_plain, &instance, &cfg).unwrap();
+
+        let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
+        let run_cached = |cache: &SharedCodewordCache| {
+            let mut net = Network::new(n, 9, 0.0, Adversary::none());
+            let mut session =
+                RouteSession::new_cached(&net, instance.clone(), &cfg, cache.clone()).unwrap();
+            loop {
+                if let Some(out) = session.step(&mut net).unwrap() {
+                    return out;
+                }
+            }
+        };
+
+        let first = run_cached(&cache);
+        assert_eq!(first.delivered.len(), plain.delivered.len());
+        for (a, b) in first.delivered.iter().zip(plain.delivered.iter()) {
+            assert_eq!(a, b);
+        }
+        let (hits_after_first, misses_after_first) = cache.lock().unwrap().stats();
+        assert_eq!(hits_after_first, 0, "first run sees a cold cache");
+        assert!(misses_after_first > 0);
+
+        let second = run_cached(&cache);
+        for (a, b) in second.delivered.iter().zip(plain.delivered.iter()) {
+            assert_eq!(a, b);
+        }
+        let (hits, misses) = cache.lock().unwrap().stats();
+        assert_eq!(
+            misses, misses_after_first,
+            "second identical run must not encode anything anew"
+        );
+        assert_eq!(hits, misses_after_first, "every probe of run 2 hits");
+    }
+
+    /// The cover-free engine's lazy per-pack encode path with a shared cache
+    /// is bit-identical to the plain run as well.
+    #[test]
+    fn cached_coverfree_matches_uncached() {
+        let n = 64;
+        let instance = RoutingInstance {
+            n,
+            payload_bits: 16,
+            messages: (0..n)
+                .flat_map(|u| {
+                    (0..2).map(move |j| SuperMessage {
+                        src: u,
+                        slot: j,
+                        payload: BitVec::from_fn(16, |i| (i * 7 + u + 3 * j) % 5 < 2),
+                        targets: vec![(u + j + 1) % n],
+                    })
+                })
+                .collect(),
+        };
+        let cfg = RouterConfig {
+            mode: RoutingMode::CoverFree,
+            ..RouterConfig::default()
+        };
+        let mut net_plain = Network::new(n, 9, 0.0, Adversary::none());
+        let plain = route(&mut net_plain, &instance, &cfg).unwrap();
+
+        let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
+        let mut net = Network::new(n, 9, 0.0, Adversary::none());
+        let mut session =
+            RouteSession::new_cached(&net, instance.clone(), &cfg, cache.clone()).unwrap();
+        let cached = loop {
+            if let Some(out) = session.step(&mut net).unwrap() {
+                break out;
+            }
+        };
+        for (a, b) in cached.delivered.iter().zip(plain.delivered.iter()) {
+            assert_eq!(a, b);
+        }
+        let (_, misses) = cache.lock().unwrap().stats();
+        assert!(misses > 0, "the lazy path must have probed the cache");
+    }
 }

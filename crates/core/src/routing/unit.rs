@@ -34,8 +34,9 @@
 //! `messages × chunks × L` symbols for the whole session.
 
 use super::{
-    absorbed_error_budget, check_budget, empty_instance_code, lane_symbol, map_units, EngineUsed,
-    RouterConfig, RoutingInstance, RoutingOutput, RoutingReport,
+    absorbed_error_budget, check_budget, empty_instance_code, encode_chunks, lane_symbol,
+    map_units, payload_chunk, EngineUsed, RelayGrid, RouterConfig, RoutingInstance, RoutingOutput,
+    RoutingReport, SharedCodewordCache,
 };
 use crate::error::CoreError;
 use bdclique_bits::BitVec;
@@ -173,17 +174,16 @@ fn derive_params(
     })
 }
 
-/// What each relay `w` holds for the pack after round A, indexed
-/// `[w][lane][pos]` where `pos` indexes the lane's stage message list.
-type RelayTable = Vec<Vec<Vec<Option<u16>>>>;
-
 /// Which half of a stage/chunk pack the session will execute next.
 enum UnitPhase {
     /// Scatter codeword symbols to relays.
     RoundA,
-    /// Relays forward to targets, holding the [`RelayTable`] gathered after
-    /// round A.
-    RoundB { relay: RelayTable },
+    /// Relays forward to targets, holding the [`RelayGrid`] gathered after
+    /// round A: one contiguous `w`-major buffer addressed
+    /// `(w, lane, pos)` where `pos` indexes the lane's stage message list
+    /// (rows are ragged — per-lane offsets are prefix sums of the pack's
+    /// stage sizes).
+    RoundB { relay: RelayGrid },
 }
 
 /// The unit engine as a resumable session: every [`UnitSession::step`]
@@ -200,6 +200,9 @@ pub(crate) struct UnitSession<'i> {
     params: UnitParams,
     /// Fan per-pack encode/decode out over rayon ([`RouterConfig::parallel`]).
     parallel: bool,
+    /// Optional shared codeword cache ([`super::RouteSession::new_cached`]);
+    /// `None` keeps the plain lazy per-pack encode path.
+    cache: Option<SharedCodewordCache>,
     /// Adversarial symbols per codeword the chosen code absorbs
     /// (`2·⌊αn⌋ + slack` at construction; `usize::MAX` for the empty
     /// instance, which decodes nothing). Re-validated every step against the
@@ -251,6 +254,7 @@ impl<'i> UnitSession<'i> {
                 symbol_bits: cfg.symbol_bits,
                 params,
                 parallel: cfg.parallel,
+                cache: None,
                 e_allow: usize::MAX,
                 extra_error_slack: cfg.extra_error_slack,
                 num_stages: 0,
@@ -308,6 +312,7 @@ impl<'i> UnitSession<'i> {
             symbol_bits: cfg.symbol_bits,
             params,
             parallel: cfg.parallel,
+            cache: None,
             e_allow,
             extra_error_slack: cfg.extra_error_slack,
             num_stages,
@@ -324,6 +329,13 @@ impl<'i> UnitSession<'i> {
         })
     }
 
+    /// Attaches a shared codeword cache (a no-op handle change: encoding is
+    /// deterministic, so cached and uncached sessions are bit-identical).
+    pub(crate) fn with_cache(mut self, cache: Option<SharedCodewordCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
     fn pack(&self) -> &[(usize, usize)] {
         let end = (self.pack_start + self.params.lanes).min(self.work.len());
         &self.work[self.pack_start..end]
@@ -331,37 +343,34 @@ impl<'i> UnitSession<'i> {
 
     /// Bits `[chunk·cap, (chunk+1)·cap)` of a message's payload, zero-padded.
     fn chunk_bits(&self, mi: usize, chunk: usize) -> BitVec {
-        let cap = self.params.cap_bits;
-        let payload = &self.instance.messages[mi].payload;
-        let start = chunk * cap;
-        let end = ((chunk + 1) * cap).min(payload.len());
-        let mut bits = BitVec::zeros(cap);
-        if start < payload.len() {
-            bits.write_bits(0, &payload.slice(start, end));
-        }
-        bits
+        payload_chunk(
+            &self.instance.messages[mi].payload,
+            chunk,
+            self.params.cap_bits,
+        )
     }
 
-    /// Round A: per-lane codeword encoding (parallel), frame materialization
-    /// from the arena, exchange, and the relay gather (parallel per relay).
-    fn step_round_a(&mut self, net: &mut Network) -> Result<RelayTable, CoreError> {
+    /// Round A: per-lane codeword encoding (parallel, cache-aware), frame
+    /// materialization from the arena, exchange, and the relay gather
+    /// (parallel per relay).
+    fn step_round_a(&mut self, net: &mut Network) -> Result<RelayGrid, CoreError> {
         let params = &self.params;
         let pack: Vec<(usize, usize)> = self.pack().to_vec();
 
-        // ---- Encode: every lane's stage messages, fanned out. ----
-        let encoded: Vec<Result<Vec<Vec<u16>>, CoreError>> =
-            map_units(self.parallel, pack.clone(), |(stage, chunk)| {
+        // ---- Encode: every lane's stage messages. Chunk extraction is a
+        // cheap block copy; the encode itself is the hot part and fans out
+        // per lane, with cache probe/insert batched outside the fan-out.
+        let jobs: Vec<Vec<BitVec>> = pack
+            .iter()
+            .map(|&(stage, chunk)| {
                 self.stage_msgs[stage]
                     .iter()
-                    .map(|&mi| {
-                        self.params
-                            .code
-                            .encode_bits(&self.chunk_bits(mi, chunk))
-                            .map_err(|e| CoreError::invalid(format!("encode: {e}")))
-                    })
+                    .map(|&mi| self.chunk_bits(mi, chunk))
                     .collect()
-            });
-        let lane_syms: Vec<Vec<Vec<u16>>> = encoded.into_iter().collect::<Result<Vec<_>, _>>()?;
+            })
+            .collect();
+        let lane_syms: Vec<Vec<Vec<u16>>> =
+            encode_chunks(self.parallel, &self.params.code, self.cache.as_ref(), jobs)?;
 
         // ---- Materialize round-A frames in ascending (src, relay) order.
         // A frame (src, w) carries one slot per active lane; sources active
@@ -394,34 +403,40 @@ impl<'i> UnitSession<'i> {
         }
         let delivery = net.exchange(traffic);
 
-        // ---- Relay gather: relay_val[w][lane][pos] = symbol w holds.
-        // Each relay's inbox walk is independent, so relays fan out; absent
-        // entries read back as `None` (erasures) downstream.
-        let relay: RelayTable = map_units(self.parallel, (0..params.l).collect::<Vec<_>>(), |w| {
-            self.gather_relay(w, &pack, &lane_syms, &delivery)
-        });
+        // ---- Relay gather into the flat grid: one contiguous sentinel-
+        // filled block per relay `w` (rows = lanes, ragged widths = stage
+        // sizes, shared prefix-sum offsets). Each relay's inbox walk is
+        // independent, so the blocks fan out and concatenate in `w` order.
+        let mut lane_offsets: Vec<usize> = Vec::with_capacity(pack.len() + 1);
+        lane_offsets.push(0);
+        for &(stage, _) in &pack {
+            lane_offsets.push(lane_offsets.last().unwrap() + self.stage_msgs[stage].len());
+        }
+        let offsets_ref = &lane_offsets;
+        let blocks: Vec<Vec<u16>> =
+            map_units(self.parallel, (0..params.l).collect::<Vec<_>>(), |w| {
+                self.gather_relay(w, &pack, offsets_ref, &lane_syms, &delivery)
+            });
         net.reclaim(delivery);
-        Ok(relay)
+        Ok(RelayGrid::from_blocks(blocks, lane_offsets))
     }
 
-    /// One relay's view after round A: its own-source symbols plus whatever
-    /// its inbox carried for each lane.
+    /// One relay's view after round A, as a flat sentinel-filled block: its
+    /// own-source symbols plus whatever its inbox carried for each lane.
     fn gather_relay(
         &self,
         w: usize,
         pack: &[(usize, usize)],
+        lane_offsets: &[usize],
         lane_syms: &[Vec<Vec<u16>>],
         delivery: &Delivery,
-    ) -> Vec<Vec<Option<u16>>> {
-        let mut per_lane: Vec<Vec<Option<u16>>> = pack
-            .iter()
-            .map(|&(stage, _)| vec![None; self.stage_msgs[stage].len()])
-            .collect();
+    ) -> Vec<u16> {
+        let mut block = vec![RelayGrid::ABSENT; *lane_offsets.last().unwrap_or(&0)];
         for (lane, &(stage, _)) in pack.iter().enumerate() {
             // The source keeps its own symbol for position src — no frame.
             if let Ok(i) = self.stage_src[stage].binary_search_by_key(&w, |e| e.0) {
                 let pos = self.stage_src[stage][i].1;
-                per_lane[lane][pos] = Some(lane_syms[lane][pos][w]);
+                block[lane_offsets[lane] + pos] = lane_syms[lane][pos][w];
             }
         }
         for (src, frame) in delivery.inbox_of(w) {
@@ -431,17 +446,17 @@ impl<'i> UnitSession<'i> {
                 };
                 let pos = self.stage_src[stage][i].1;
                 if let Some(sym) = lane_symbol(frame, lane, self.params.slot, self.symbol_bits) {
-                    per_lane[lane][pos] = Some(sym);
+                    block[lane_offsets[lane] + pos] = sym;
                 }
             }
         }
-        per_lane
+        block
     }
 
     /// Round B: per-relay forward planning (parallel), frame
     /// materialization, exchange, and per-(lane, message, target) erasure
     /// decoding (parallel).
-    fn step_round_b(&mut self, net: &mut Network, relay: RelayTable) -> Result<(), CoreError> {
+    fn step_round_b(&mut self, net: &mut Network, relay: RelayGrid) -> Result<(), CoreError> {
         let params = &self.params;
         let pack: Vec<(usize, usize)> = self.pack().to_vec();
 
@@ -459,7 +474,7 @@ impl<'i> UnitSession<'i> {
                             if x == msg.src || x == w {
                                 continue; // local delivery / own-relay read
                             }
-                            out.push((x as u32, lane as u32, relay[w][lane][pos]));
+                            out.push((x as u32, lane as u32, relay.get(w, lane, pos)));
                         }
                     }
                 }
@@ -509,7 +524,7 @@ impl<'i> UnitSession<'i> {
             let mut erasures = vec![false; params.l];
             for w in 0..params.l {
                 let val = if w == x {
-                    relay_ref[w][lane][pos]
+                    relay_ref.get(w, lane, pos)
                 } else {
                     delivery_ref
                         .received(x, w)
