@@ -19,15 +19,22 @@
 
 use bdclique_bench::experiments;
 use bdclique_bench::scenario::{self, ScenarioResult};
+use bdclique_bench::trajectory;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: tables [--scenario NAME]... [--trials N] [--json PATH] \
+                    [--append-trajectory PATH] [--trajectory-gate] \
                     [--trace] [--list] [NAME]...";
 
 struct Args {
     scenarios: Vec<String>,
     trials: Option<usize>,
     json: Option<String>,
+    /// Append this run's per-cell `secs`/`mean_rounds` to the trajectory
+    /// ledger at PATH and diff against the previous same-runner entry.
+    trajectory: Option<String>,
+    /// Make a trajectory gate violation fail the process (CI mode).
+    trajectory_gate: bool,
     trace: bool,
     list: bool,
     help: bool,
@@ -38,6 +45,8 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
         scenarios: Vec::new(),
         trials: None,
         json: None,
+        trajectory: None,
+        trajectory_gate: false,
         trace: false,
         list: false,
         help: false,
@@ -57,6 +66,11 @@ fn parse_args(raw: impl Iterator<Item = String>) -> Result<Args, String> {
                 let path = raw.next().ok_or("--json requires a path")?;
                 args.json = Some(path);
             }
+            "--append-trajectory" => {
+                let path = raw.next().ok_or("--append-trajectory requires a path")?;
+                args.trajectory = Some(path);
+            }
+            "--trajectory-gate" => args.trajectory_gate = true,
             "--trace" => args.trace = true,
             "--list" => args.list = true,
             "--help" | "-h" => args.help = true,
@@ -175,6 +189,40 @@ fn main() -> ExitCode {
             results.iter().map(|r| r.cells.len()).sum::<usize>(),
             scenario::SCHEMA
         );
+    }
+
+    if let Some(path) = args.trajectory {
+        let runner = std::env::var("BDC_RUNNER").unwrap_or_else(|_| "local".to_string());
+        let entry = trajectory::entry_from_results(&scenario::git_describe(), &runner, &results);
+        let entries = match trajectory::append(std::path::Path::new(&path), entry) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("failed to append trajectory {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "appended trajectory entry #{} (runner '{runner}') to {path}",
+            entries.len()
+        );
+        let violations = trajectory::check_latest(&entries);
+        for v in &violations {
+            eprintln!("trajectory gate: {v}");
+        }
+        if violations.is_empty() {
+            println!("trajectory gate: ok (±20% vs previous '{runner}' entry)");
+        } else if args.trajectory_gate {
+            eprintln!(
+                "trajectory gate FAILED: {} violation(s) vs previous '{runner}' entry",
+                violations.len()
+            );
+            return ExitCode::FAILURE;
+        } else {
+            println!(
+                "trajectory gate: {} warning(s) (pass --trajectory-gate to make this fatal)",
+                violations.len()
+            );
+        }
     }
     ExitCode::SUCCESS
 }

@@ -20,6 +20,7 @@
 
 pub mod experiments;
 pub mod scenario;
+pub mod trajectory;
 
 use bdclique_adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
 use bdclique_adversary::corruptors::PayloadCorruptor;
@@ -374,8 +375,9 @@ pub fn aggregate_serial(
 /// order is part of the determinism contract: floating-point means are
 /// computed from integer sums, so any ordering of the same multiset of
 /// results yields identical fields — but keeping input order makes that
-/// trivially true.
-pub(crate) fn fold_trials(trials: usize, results: Vec<Result<Trial, CoreError>>) -> Aggregate {
+/// trivially true. Public so oracle harnesses (e.g. the codeword-cache
+/// identity test) can fold hand-run trials exactly like the engine does.
+pub fn fold_trials(trials: usize, results: Vec<Result<Trial, CoreError>>) -> Aggregate {
     let mut agg = Aggregate {
         trials,
         ..Default::default()

@@ -24,6 +24,7 @@
 use crate::{fold_trials, run_trial_seeded_traced, AdversarySpec, Aggregate, Table, TrialSeeds};
 use bdclique_core::driver::RoundDelta;
 use bdclique_core::protocols::AllToAllProtocol;
+use bdclique_core::routing::{shared_codeword_cache, CodewordCache};
 use bdclique_core::CoreError;
 use bdclique_netsim::SeedStream;
 use rayon::prelude::*;
@@ -287,9 +288,22 @@ impl CellResult {
     }
 
     /// Seed-and-timing-independent equality, used by the determinism oracle.
+    ///
+    /// The per-cell codeword-cache counters (`cache_hits` / `cache_misses`)
+    /// are excluded: trials racing on the shared cache reorder probe/insert
+    /// interleavings, so the *counters* differ between parallel and serial
+    /// runs even though the cached content — and therefore every outcome the
+    /// aggregate folds — is bit-identical.
     pub fn same_outcome(&self, other: &CellResult) -> bool {
+        let deterministic = |metrics: &[(&'static str, Value)]| -> Vec<(&'static str, Value)> {
+            metrics
+                .iter()
+                .filter(|(key, _)| *key != "cache_hits" && *key != "cache_misses")
+                .cloned()
+                .collect()
+        };
         self.coords == other.coords
-            && self.metrics == other.metrics
+            && deterministic(&self.metrics) == deterministic(&other.metrics)
             && self.aggregate == other.aggregate
             && self.round_trace == other.round_trace
             && self.seed == other.seed
@@ -403,8 +417,14 @@ fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
     let start = Instant::now();
     let (metrics, aggregate, round_trace) = match &cell.kind {
         CellKind::Trials(job) => {
-            let (agg, trace) = run_trials_traced(job, &stream, parallel);
-            ((job.present)(job, &agg), Some(agg), trace)
+            let (agg, trace, (hits, misses)) = run_trials_traced(job, &stream, parallel);
+            let mut metrics = (job.present)(job, &agg);
+            // Cross-trial codeword-cache effectiveness; counters only
+            // (content is correctness-neutral), and excluded from
+            // `same_outcome` — see there.
+            metrics.push(("cache_hits", Value::U64(hits)));
+            metrics.push(("cache_misses", Value::U64(misses)));
+            (metrics, Some(agg), trace)
         }
         CellKind::Custom(job) => (job(&CellCtx { stream, parallel }), None, None),
     };
@@ -427,17 +447,29 @@ pub fn run_trials(job: &TrialJob, stream: &SeedStream, parallel: bool) -> Aggreg
 }
 
 /// [`run_trials`] plus trial 0's per-round trace when [`TrialJob::trace`]
-/// is set. Tracing rides along on trial 0 only — observers read stat
-/// deltas, never randomness — so the folded [`Aggregate`] is bit-identical
-/// with tracing on or off, parallel or serial.
+/// is set, plus the cell's codeword-cache `(hits, misses)`. Tracing rides
+/// along on trial 0 only — observers read stat deltas, never randomness —
+/// so the folded [`Aggregate`] is bit-identical with tracing on or off,
+/// parallel or serial.
+///
+/// One [`CodewordCache`] spans **all the cell's trials**: every trial's
+/// protocol gets the shared handle via
+/// [`AllToAllProtocol::attach_codeword_cache`], so trial `t`'s
+/// Reed–Solomon encodes reuse trial `t-1`'s (cells with a fixed instance
+/// seed re-encode the identical chunks otherwise). The cache is
+/// content-addressed and equality-verified, so the fold is bit-identical
+/// to uncached trials (regression-tested); only the hit/miss *counters*
+/// depend on trial interleaving.
 pub fn run_trials_traced(
     job: &TrialJob,
     stream: &SeedStream,
     parallel: bool,
-) -> (Aggregate, Option<Vec<RoundDelta>>) {
+) -> (Aggregate, Option<Vec<RoundDelta>>, (u64, u64)) {
+    let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
     let one = |t: usize| {
         let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
-        let proto = (job.protocol)(seeds.protocol);
+        let mut proto = (job.protocol)(seeds.protocol);
+        proto.attach_codeword_cache(cache.clone());
         run_trial_seeded_traced(
             proto.as_ref(),
             job.n,
@@ -466,7 +498,8 @@ pub fn run_trials_traced(
             .map(|r| r.map(|(trial, _)| trial))
             .collect(),
     );
-    (agg, round_trace)
+    let cache_stats = cache.lock().expect("codeword cache poisoned").stats();
+    (agg, round_trace, cache_stats)
 }
 
 /// Serializes finished scenario runs as one self-describing JSON document:
@@ -507,9 +540,10 @@ fn round_trace_json(frames: &[RoundDelta]) -> String {
         .iter()
         .map(|f| {
             format!(
-                "{{\"round\":{},\"frames\":{},\"bits\":{},\"corrupted_edges\":{},\
+                "{{\"round\":{},\"vtime\":{},\"frames\":{},\"bits\":{},\"corrupted_edges\":{},\
                  \"corrupted_frames\":{}}}",
                 f.round,
+                f.vtime,
                 f.stats.frames_sent,
                 f.stats.bits_sent,
                 f.stats.edges_corrupted,

@@ -1,0 +1,610 @@
+//! Cross-commit performance trajectory: `BENCH_trajectory.json`.
+//!
+//! The scenario JSON artifacts (`BENCH_smoke.json`, `BENCH_alpha_largen.json`)
+//! are per-run CI uploads — nothing compares one commit's numbers to the
+//! last. This module keeps a small append-only ledger in the repo: every
+//! `tables --append-trajectory PATH` run appends one entry recording each
+//! cell's wall-clock `secs` and `mean_rounds` under the current `git
+//! describe`, then diffs it against the *previous entry from the same
+//! runner* with a ±20% gate:
+//!
+//! - `mean_rounds` drifting more than ±20% in either direction is flagged —
+//!   round counts are seeded-deterministic, so any drift is a behavior
+//!   change, not noise;
+//! - `secs` growing more than +20% is flagged as a wall-clock regression
+//!   (speedups pass silently). Cells faster than [`SECS_FLOOR`] are skipped
+//!   — sub-second timings are dominated by scheduler noise.
+//!
+//! Entries carry a `runner` tag (`BDC_RUNNER`, default `local`) so laptop
+//! numbers never gate against CI numbers. The JSON is parsed by the
+//! hand-rolled reader below — the workspace deliberately has no serde
+//! dependency.
+
+use crate::scenario::ScenarioResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Cells faster than this many seconds are exempt from the `secs` gate.
+pub const SECS_FLOOR: f64 = 1.0;
+
+/// Allowed relative drift before the gate flags a cell (`0.2` = ±20%).
+pub const GATE: f64 = 0.2;
+
+/// One recorded cell: identity plus the two tracked measurements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajCell {
+    /// `scenario/key=value,…` — the scenario name and the cell's printed
+    /// coordinates, stable across runs of the same grid.
+    pub key: String,
+    /// Wall-clock seconds the cell's work consumed.
+    pub secs: f64,
+    /// Mean rounds over completed trials (`None` for custom cells and
+    /// cells where no trial completed).
+    pub mean_rounds: Option<f64>,
+}
+
+/// One appended run: provenance plus its cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajEntry {
+    /// `git describe --always --dirty` at run time.
+    pub git: String,
+    /// Runner tag (`BDC_RUNNER`); entries only gate against the same tag.
+    pub runner: String,
+    /// Every cell of every scenario the run executed.
+    pub cells: Vec<TrajCell>,
+}
+
+/// Builds a trajectory entry from finished scenario runs.
+pub fn entry_from_results(git: &str, runner: &str, results: &[ScenarioResult]) -> TrajEntry {
+    let mut cells = Vec::new();
+    for scenario in results {
+        for cell in &scenario.cells {
+            let coords: Vec<String> = cell
+                .coords
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            cells.push(TrajCell {
+                key: format!("{}/{}", scenario.name, coords.join(",")),
+                secs: cell.secs,
+                mean_rounds: cell.aggregate.as_ref().and_then(|a| a.mean_rounds),
+            });
+        }
+    }
+    TrajEntry {
+        git: git.to_string(),
+        runner: runner.to_string(),
+        cells,
+    }
+}
+
+/// Loads a trajectory file. A missing file is an empty trajectory; a
+/// malformed one is an error (never silently dropped — the ledger is the
+/// point).
+///
+/// # Errors
+///
+/// I/O failures other than `NotFound`, and parse failures (as
+/// `InvalidData`).
+pub fn load(path: &Path) -> io::Result<Vec<TrajEntry>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    parse_trajectory(&text)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("{path:?}: {e}")))
+}
+
+/// Appends `entry` to the trajectory at `path` (creating it if absent) and
+/// returns the full updated trajectory, `entry` last.
+///
+/// # Errors
+///
+/// Propagates [`load`] failures and write failures.
+pub fn append(path: &Path, entry: TrajEntry) -> io::Result<Vec<TrajEntry>> {
+    let mut entries = load(path)?;
+    entries.push(entry);
+    fs::write(path, render(&entries))?;
+    Ok(entries)
+}
+
+/// Gates `next` against `prev`: returns one human-readable violation per
+/// cell breaking the ±20% contract (see the module docs for the exact
+/// rules). An empty vector means the gate passes.
+pub fn diff_entries(prev: &TrajEntry, next: &TrajEntry) -> Vec<String> {
+    let mut violations = Vec::new();
+    for cell in &next.cells {
+        let Some(old) = prev.cells.iter().find(|c| c.key == cell.key) else {
+            continue; // new cell: nothing to gate against
+        };
+        match (old.mean_rounds, cell.mean_rounds) {
+            (Some(a), Some(b)) if a > 0.0 && ((b - a) / a).abs() > GATE => {
+                violations.push(format!(
+                    "{}: mean_rounds {a:.1} -> {b:.1} ({:+.1}%, gate ±{:.0}%) \
+                     [{} -> {}]",
+                    cell.key,
+                    (b - a) / a * 100.0,
+                    GATE * 100.0,
+                    prev.git,
+                    next.git,
+                ));
+            }
+            (Some(a), None) => violations.push(format!(
+                "{}: mean_rounds {a:.1} -> none (cell stopped completing) [{} -> {}]",
+                cell.key, prev.git, next.git,
+            )),
+            _ => {}
+        }
+        if old.secs >= SECS_FLOOR && cell.secs > old.secs * (1.0 + GATE) {
+            violations.push(format!(
+                "{}: secs {:.2} -> {:.2} ({:+.1}%, gate +{:.0}%) [{} -> {}]",
+                cell.key,
+                old.secs,
+                cell.secs,
+                (cell.secs - old.secs) / old.secs * 100.0,
+                GATE * 100.0,
+                prev.git,
+                next.git,
+            ));
+        }
+    }
+    violations
+}
+
+/// Gates the trajectory's last entry against the previous entry *from the
+/// same runner*. With fewer than two same-runner entries there is nothing
+/// to compare and the gate passes.
+pub fn check_latest(entries: &[TrajEntry]) -> Vec<String> {
+    let Some(next) = entries.last() else {
+        return Vec::new();
+    };
+    let prev = entries[..entries.len() - 1]
+        .iter()
+        .rev()
+        .find(|e| e.runner == next.runner);
+    prev.map_or_else(Vec::new, |prev| diff_entries(prev, next))
+}
+
+// ---- serialization ----
+
+/// Renders the trajectory as a JSON array, one entry per line (line-diffs
+/// in review stay one-commit-per-line).
+pub fn render(entries: &[TrajEntry]) -> String {
+    let mut out = String::from("[\n");
+    for (i, entry) in entries.iter().enumerate() {
+        let cells: Vec<String> = entry
+            .cells
+            .iter()
+            .map(|c| {
+                let rounds = c
+                    .mean_rounds
+                    .filter(|v| v.is_finite())
+                    .map_or("null".to_string(), |v| format!("{v}"));
+                format!(
+                    "{{\"key\":{},\"secs\":{},\"mean_rounds\":{rounds}}}",
+                    quote(&c.key),
+                    if c.secs.is_finite() {
+                        format!("{}", c.secs)
+                    } else {
+                        "null".to_string()
+                    },
+                )
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "{{\"git\":{},\"runner\":{},\"cells\":[{}]}}{}",
+            quote(&entry.git),
+            quote(&entry.runner),
+            cells.join(","),
+            if i + 1 < entries.len() { "," } else { "" }
+        );
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---- minimal JSON reader ----
+//
+// The workspace has no serde; this reader handles exactly the JSON subset
+// the bench emits (objects, arrays, strings with the escapes `quote`
+// produces plus `\u`, numbers, `true`/`false`/`null`) and rejects
+// everything else loudly.
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (always read as `f64`; the trajectory stores no integers
+    /// that exceed 2^53).
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<Json>),
+    /// Object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+///
+/// # Errors
+///
+/// A position-tagged message on malformed input.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing data at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(bytes, pos);
+    if *pos < bytes.len() && bytes[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(bytes, pos),
+        _ => Err(format!("unexpected input at byte {pos}")),
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    std::str::from_utf8(&bytes[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {pos}"))?;
+                        // Surrogate pairs don't occur in the bench's output;
+                        // map lone surrogates to the replacement character.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Multi-byte UTF-8 passes through untouched.
+                let c_start = *pos;
+                *pos += 1;
+                while *pos < bytes.len() && bytes[*pos] & 0xc0 == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(
+                    std::str::from_utf8(&bytes[c_start..*pos])
+                        .map_err(|_| format!("bad UTF-8 at byte {c_start}"))?,
+                );
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_trajectory(text: &str) -> Result<Vec<TrajEntry>, String> {
+    let Json::Arr(raw) = parse_json(text)? else {
+        return Err("trajectory root must be an array".to_string());
+    };
+    raw.iter()
+        .enumerate()
+        .map(|(i, entry)| {
+            let git = entry
+                .get("git")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing \"git\""))?
+                .to_string();
+            let runner = entry
+                .get("runner")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("entry {i}: missing \"runner\""))?
+                .to_string();
+            let Some(Json::Arr(raw_cells)) = entry.get("cells") else {
+                return Err(format!("entry {i}: missing \"cells\""));
+            };
+            let cells = raw_cells
+                .iter()
+                .enumerate()
+                .map(|(j, cell)| {
+                    Ok(TrajCell {
+                        key: cell
+                            .get("key")
+                            .and_then(Json::as_str)
+                            .ok_or_else(|| format!("entry {i} cell {j}: missing \"key\""))?
+                            .to_string(),
+                        secs: cell
+                            .get("secs")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("entry {i} cell {j}: missing \"secs\""))?,
+                        mean_rounds: cell.get("mean_rounds").and_then(Json::as_f64),
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(TrajEntry { git, runner, cells })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(git: &str, cells: &[(&str, f64, Option<f64>)]) -> TrajEntry {
+        TrajEntry {
+            git: git.to_string(),
+            runner: "test".to_string(),
+            cells: cells
+                .iter()
+                .map(|&(key, secs, mean_rounds)| TrajCell {
+                    key: key.to_string(),
+                    secs,
+                    mean_rounds,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let entries = vec![
+            entry(
+                "v1-g0000000",
+                &[("s/a=1", 2.5, Some(8.0)), ("s/a=2", 0.1, None)],
+            ),
+            entry("v1-g1111111", &[("s/a=1", 2.6, Some(8.0))]),
+        ];
+        let parsed = parse_trajectory(&render(&entries)).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a":[1,-2.5e1,"x\"\\\nA"],"b":{"c":null,"d":true}}"#).unwrap();
+        let Json::Arr(a) = v.get("a").unwrap() else {
+            panic!("a not an array")
+        };
+        assert_eq!(a[1], Json::Num(-25.0));
+        assert_eq!(a[2], Json::Str("x\"\\\nA".to_string()));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(v.get("b").unwrap().get("d"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn parser_rejects_trailing_garbage_and_bad_docs() {
+        assert!(parse_json("[1,2] x").is_err());
+        assert!(parse_json("{\"a\":}").is_err());
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_trajectory("{\"git\":\"x\"}").is_err()); // root not array
+        assert!(parse_trajectory("[{\"runner\":\"r\",\"cells\":[]}]").is_err());
+        // no git
+    }
+
+    #[test]
+    fn gate_flags_regressions_only_above_thresholds() {
+        let prev = entry(
+            "old",
+            &[
+                ("s/slow", 10.0, Some(100.0)),
+                ("s/fast", 0.2, Some(10.0)),
+                ("s/steady", 5.0, Some(50.0)),
+            ],
+        );
+        // slow: +30% secs (flagged) and +25% rounds (flagged);
+        // fast: +400% secs but under SECS_FLOOR (exempt);
+        // steady: -10% secs, +10% rounds (both within gate);
+        // new cell: no baseline (exempt).
+        let next = entry(
+            "new",
+            &[
+                ("s/slow", 13.0, Some(125.0)),
+                ("s/fast", 1.0, Some(10.0)),
+                ("s/steady", 4.5, Some(55.0)),
+                ("s/new", 99.0, Some(1.0)),
+            ],
+        );
+        let violations = diff_entries(&prev, &next);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+        assert!(violations.iter().any(|v| v.contains("mean_rounds 100.0")));
+        assert!(violations.iter().any(|v| v.contains("secs 10.00 -> 13.00")));
+    }
+
+    #[test]
+    fn gate_flags_completion_loss() {
+        let prev = entry("old", &[("s/c", 2.0, Some(4.0))]);
+        let next = entry("new", &[("s/c", 2.0, None)]);
+        let violations = diff_entries(&prev, &next);
+        assert_eq!(violations.len(), 1);
+        assert!(violations[0].contains("stopped completing"));
+    }
+
+    #[test]
+    fn check_latest_compares_same_runner_only() {
+        let mut ci_old = entry("a", &[("s/c", 10.0, Some(10.0))]);
+        ci_old.runner = "ci".to_string();
+        let laptop = entry("b", &[("s/c", 99.0, Some(10.0))]); // runner "test"
+        let mut ci_new = entry("c", &[("s/c", 20.0, Some(10.0))]);
+        ci_new.runner = "ci".to_string();
+        // ci_new gates against ci_old (regression), skipping the laptop entry.
+        let violations = check_latest(&[ci_old.clone(), laptop.clone(), ci_new]);
+        assert_eq!(violations.len(), 1);
+        // A lone first entry for a runner has no baseline: passes.
+        assert!(check_latest(&[ci_old, laptop]).is_empty());
+        assert!(check_latest(&[]).is_empty());
+    }
+
+    #[test]
+    fn append_creates_and_extends_file() {
+        let dir = std::env::temp_dir().join(format!("bdc-traj-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_trajectory.json");
+        let _ = std::fs::remove_file(&path);
+        let first = append(&path, entry("one", &[("s/c", 1.0, Some(2.0))])).unwrap();
+        assert_eq!(first.len(), 1);
+        let second = append(&path, entry("two", &[("s/c", 1.1, Some(2.0))])).unwrap();
+        assert_eq!(second.len(), 2);
+        assert_eq!(load(&path).unwrap(), second);
+        let _ = std::fs::remove_file(&path);
+    }
+}

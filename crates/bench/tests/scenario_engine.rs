@@ -180,7 +180,7 @@ fn zero_trial_cell_renders_na() {
 #[test]
 fn registry_builds_unique_nonempty_scenarios() {
     let entries = bdclique_bench::experiments::registry();
-    assert_eq!(entries.len(), 18);
+    assert_eq!(entries.len(), 19);
     let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
     names.sort_unstable();
     names.dedup();
@@ -266,6 +266,60 @@ fn tracing_is_outcome_invisible_and_partitions_rounds() {
             assert_eq!(frame.stats.rounds, 1, "one exchange per frame");
         }
     }
+}
+
+/// PR 7 satellite: the per-cell shared codeword cache the engine attaches
+/// across a cell's trials is outcome-neutral — the folded [`Aggregate`]
+/// is bit-identical to the same seeded trials run without ever attaching
+/// a cache. Only the hit/miss counters may differ (and those are excluded
+/// from `same_outcome`).
+#[test]
+fn shared_codeword_cache_is_outcome_neutral() {
+    use bdclique_bench::{fold_trials, run_trial_seeded_traced, TrialSeeds};
+    use bdclique_core::routing::RouterConfig;
+
+    let cell = with_job(|job| {
+        job.protocol = Arc::new(|_seed| Box::new(DetSqrt::new(RouterConfig::default())));
+        job.protocol_key = "det-sqrt";
+        job.n = 64;
+        job.bandwidth = 18;
+        job.trials = 3;
+    });
+    let CellKind::Trials(job) = &cell.kind else {
+        unreachable!()
+    };
+    let stream = cell.stream("cache-identity");
+
+    let (cached, _trace, (hits, misses)) = scenario::run_trials_traced(job, &stream, false);
+    assert!(
+        hits + misses > 0,
+        "det-sqrt encodes Reed–Solomon codewords; the cell cache must be consulted"
+    );
+
+    // The uncached oracle: identical seed derivation, no cache attached.
+    let results = (0..job.trials)
+        .map(|t| {
+            let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
+            let proto = (job.protocol)(seeds.protocol);
+            run_trial_seeded_traced(
+                proto.as_ref(),
+                job.n,
+                job.b,
+                job.bandwidth,
+                job.alpha,
+                job.adversary,
+                seeds,
+                false,
+            )
+            .map(|(trial, _)| trial)
+        })
+        .collect();
+    let uncached = fold_trials(job.trials, results);
+
+    assert_eq!(
+        cached, uncached,
+        "attaching the shared codeword cache changed a trial outcome"
+    );
 }
 
 /// A minimal strict JSON syntax checker (the workspace has no serde):

@@ -22,6 +22,13 @@ pub struct RoundDelta {
     /// equals the absolute network round when the session starts on a fresh
     /// network).
     pub round: u64,
+    /// Absolute **virtual time** of the completed round
+    /// ([`Network::virtual_time`] when the round started): `round` plus the
+    /// network's round count at session start. Interleaved or resumed
+    /// sessions sharing one network correlate their traces on this axis —
+    /// two deltas with equal `vtime` describe the same wire round,
+    /// whatever each session calls it locally.
+    pub vtime: u64,
     /// Stat deltas for exactly this round ([`NetStats::delta_since`]);
     /// `peak_fault_degree` carries the cumulative peak, not a per-round
     /// value.
@@ -133,6 +140,7 @@ impl<'d, 'o> Driver<'d, 'o> {
             if net.rounds() - start > round {
                 let delta = RoundDelta {
                     round,
+                    vtime: start + round,
                     stats: net.stats().delta_since(&before),
                 };
                 for obs in self.observers.iter_mut() {
@@ -426,10 +434,15 @@ mod tests {
             .run(&NaiveExchange, &mut net, &inst)
             .unwrap();
         assert_eq!(net.rounds(), 6);
-        // …and the trace restarts at session round 0.
+        // …and the trace restarts at session round 0, while `vtime` keeps
+        // counting on the shared network's absolute clock.
         assert_eq!(
             trace.frames.iter().map(|f| f.round).collect::<Vec<_>>(),
             vec![0, 1, 2]
+        );
+        assert_eq!(
+            trace.frames.iter().map(|f| f.vtime).collect::<Vec<_>>(),
+            vec![3, 4, 5]
         );
 
         // A budget of 2 cuts a third run after exactly 2 more rounds.

@@ -1,0 +1,173 @@
+//! A small shared worker pool for speculative, out-of-round protocol
+//! compute.
+//!
+//! The event-driven routing paths (see [`crate::routing`]) overlap pure
+//! compute — codeword encoding for future virtual rounds, decoding of past
+//! ones — with the serialized exchange pipeline that owns `&mut Network`.
+//! That compute is *speculative*: a `RoundBudget` abort or an error can drop
+//! a session while background tasks are still in flight, so the pool must
+//! tolerate abandoned results (workers send with `let _ =` and never block
+//! on a consumer).
+//!
+//! One process-wide pool (lazily spawned, sized to the machine) serves every
+//! session; tasks are plain FIFO. This mirrors the workspace's `rayon` shim
+//! in spirit — `std::thread` underneath, no dependencies — but provides
+//! *futures* ([`Job`]) instead of a fork-join barrier, which is what an
+//! executor that posts work for virtual times far ahead of the clock needs.
+//!
+//! # Examples
+//!
+//! ```
+//! let jobs: Vec<_> = (0..4u64).map(|i| bdclique_core::exec::spawn(move || i * i)).collect();
+//! let squares: Vec<u64> = jobs.into_iter().map(|j| j.join()).collect();
+//! assert_eq!(squares, vec![0, 1, 4, 9]);
+//! ```
+
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread;
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared FIFO of pending tasks.
+struct Queue {
+    tasks: Mutex<VecDeque<Task>>,
+    ready: Condvar,
+}
+
+static POOL: OnceLock<&'static Queue> = OnceLock::new();
+
+/// Upper bound on pool size: the event paths dispatch a handful of coarse
+/// tasks per pack, so more workers than this only adds scheduler noise.
+const MAX_WORKERS: usize = 8;
+
+fn pool() -> &'static Queue {
+    POOL.get_or_init(|| {
+        let queue: &'static Queue = Box::leak(Box::new(Queue {
+            tasks: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        }));
+        let workers = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+            .clamp(1, MAX_WORKERS);
+        for i in 0..workers {
+            thread::Builder::new()
+                .name(format!("bdclique-exec-{i}"))
+                .spawn(move || worker_loop(queue))
+                .expect("spawning executor worker");
+        }
+        queue
+    })
+}
+
+fn worker_loop(queue: &'static Queue) {
+    loop {
+        let task = {
+            let mut tasks = queue.tasks.lock().expect("executor queue poisoned");
+            loop {
+                if let Some(task) = tasks.pop_front() {
+                    break task;
+                }
+                tasks = queue.ready.wait(tasks).expect("executor queue poisoned");
+            }
+        };
+        task();
+    }
+}
+
+/// A handle to a value being computed on the pool.
+///
+/// Dropping a job without joining is safe and cheap: the worker's send is
+/// ignored and the result is discarded — exactly what an aborted session
+/// wants for its in-flight speculative work.
+#[derive(Debug)]
+pub struct Job<T> {
+    rx: mpsc::Receiver<thread::Result<T>>,
+}
+
+impl<T> Job<T> {
+    /// Blocks until the task finishes and returns its value.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the task's panic on the joining thread, so a panicking
+    /// task behaves identically to running the same closure inline.
+    pub fn join(self) -> T {
+        match self.rx.recv().expect("executor worker dropped a task") {
+            Ok(value) => value,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+/// Runs `f` on the shared pool, returning a [`Job`] for its result.
+pub fn spawn<T, F>(f: F) -> Job<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let queue = pool();
+    let task: Task = Box::new(move || {
+        let result = catch_unwind(AssertUnwindSafe(f));
+        // The receiver may be gone (aborted session): discard silently.
+        let _ = tx.send(result);
+    });
+    {
+        let mut tasks = queue.tasks.lock().expect("executor queue poisoned");
+        tasks.push_back(task);
+    }
+    queue.ready.notify_one();
+    Job { rx }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_return_their_values_in_join_order() {
+        let jobs: Vec<Job<usize>> = (0..32).map(|i| spawn(move || i * 3)).collect();
+        let values: Vec<usize> = jobs.into_iter().map(|j| j.join()).collect();
+        assert_eq!(values, (0..32).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dropped_jobs_still_run_to_completion_without_blocking_workers() {
+        let ran = Arc::new(AtomicUsize::new(0));
+        for _ in 0..16 {
+            let ran = ran.clone();
+            drop(spawn(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        // The pool survives abandoned receivers: later jobs still complete.
+        let probe = spawn(|| 7u32);
+        assert_eq!(probe.join(), 7);
+        // All dropped tasks eventually executed (FIFO: they ran before the
+        // probe on whichever worker picked them up; give stragglers a beat).
+        for _ in 0..200 {
+            if ran.load(Ordering::SeqCst) == 16 {
+                break;
+            }
+            thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(ran.load(Ordering::SeqCst), 16);
+    }
+
+    #[test]
+    fn panics_propagate_to_join() {
+        let job = spawn(|| -> u8 { panic!("task exploded") });
+        let err = catch_unwind(AssertUnwindSafe(|| job.join())).unwrap_err();
+        let msg = err.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(msg, "task exploded");
+        // The worker that caught the panic keeps serving.
+        assert_eq!(spawn(|| 11u8).join(), 11);
+    }
+}

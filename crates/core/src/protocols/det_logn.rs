@@ -4,7 +4,9 @@
 use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
-use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
+use crate::routing::{
+    RouteSession, RouterConfig, RoutingInstance, SharedCodewordCache, SuperMessage,
+};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
 use std::borrow::Cow;
@@ -24,12 +26,19 @@ use std::borrow::Cow;
 pub struct DetHypercube {
     /// Router configuration for every iteration.
     pub router: RouterConfig,
+    /// Cross-run cache from
+    /// [`AllToAllProtocol::attach_codeword_cache`]; when absent the
+    /// iterations encode without one.
+    shared_cache: Option<SharedCodewordCache>,
 }
 
 impl DetHypercube {
     /// Creates the protocol with a router configuration.
     pub fn new(router: RouterConfig) -> Self {
-        Self { router }
+        Self {
+            router,
+            shared_cache: None,
+        }
     }
 }
 
@@ -72,6 +81,9 @@ fn message_ids(u: usize, i: usize, ell: usize) -> Vec<(usize, usize)> {
 /// step per routing round.
 struct HypercubeSession<'a> {
     router: &'a RouterConfig,
+    /// Optional cross-run codeword cache; iteration payloads recur rarely,
+    /// but the shared all-zero padding chunk always hits.
+    cache: Option<SharedCodewordCache>,
     n: usize,
     ell: usize,
     b: usize,
@@ -110,9 +122,19 @@ impl<'a> HypercubeSession<'a> {
                     .collect()
             })
             .collect();
-        let route = Self::iteration_route(net, &proto.router, &state, n, ell, b, 1)?;
+        let route = Self::iteration_route(
+            net,
+            &proto.router,
+            proto.shared_cache.as_ref(),
+            &state,
+            n,
+            ell,
+            b,
+            1,
+        )?;
         Ok(Self {
             router: &proto.router,
+            cache: proto.shared_cache.clone(),
             n,
             ell,
             b,
@@ -124,9 +146,11 @@ impl<'a> HypercubeSession<'a> {
 
     /// Builds iteration `i`'s `k = 2` routing instance and opens its
     /// session.
+    #[allow(clippy::too_many_arguments)]
     fn iteration_route(
         net: &Network,
         router: &RouterConfig,
+        cache: Option<&SharedCodewordCache>,
         state: &[Vec<BitVec>],
         n: usize,
         ell: usize,
@@ -163,7 +187,10 @@ impl<'a> HypercubeSession<'a> {
                 })
                 .collect(),
         };
-        RouteSession::new(net, instance, router)
+        match cache {
+            Some(c) => RouteSession::new_cached(net, instance, router, c.clone()),
+            None => RouteSession::new(net, instance, router),
+        }
     }
 }
 
@@ -212,7 +239,16 @@ impl ProtocolSession for HypercubeSession<'_> {
         self.state = next;
         self.i += 1;
         if self.i <= ell {
-            self.route = Self::iteration_route(net, self.router, &self.state, n, ell, b, self.i)?;
+            self.route = Self::iteration_route(
+                net,
+                self.router,
+                self.cache.as_ref(),
+                &self.state,
+                n,
+                ell,
+                b,
+                self.i,
+            )?;
             return Ok(Step::Running);
         }
         // M_{ℓ+1}(v) = M(V, {v}), sorted by (target = v, source ascending).
@@ -231,6 +267,10 @@ impl ProtocolSession for HypercubeSession<'_> {
 impl AllToAllProtocol for DetHypercube {
     fn name(&self) -> Cow<'static, str> {
         Cow::Borrowed("det-hypercube")
+    }
+
+    fn attach_codeword_cache(&mut self, cache: SharedCodewordCache) {
+        self.shared_cache = Some(cache);
     }
 
     fn session<'a>(

@@ -37,12 +37,19 @@ use std::borrow::Cow;
 pub struct DetSqrt {
     /// Router configuration for both waves.
     pub router: RouterConfig,
+    /// Cross-run cache from
+    /// [`AllToAllProtocol::attach_codeword_cache`]; when absent each
+    /// session creates its own two-wave cache.
+    shared_cache: Option<SharedCodewordCache>,
 }
 
 impl DetSqrt {
     /// Creates the protocol with a router configuration.
     pub fn new(router: RouterConfig) -> Self {
-        Self { router }
+        Self {
+            router,
+            shared_cache: None,
+        }
     }
 }
 
@@ -101,7 +108,10 @@ impl<'a> SqrtSession<'a> {
                 })
                 .collect(),
         };
-        let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
+        let cache = proto
+            .shared_cache
+            .clone()
+            .unwrap_or_else(|| shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS));
         Ok(Self {
             router: &proto.router,
             n,
@@ -215,6 +225,10 @@ impl ProtocolSession for SqrtSession<'_> {
 impl AllToAllProtocol for DetSqrt {
     fn name(&self) -> Cow<'static, str> {
         Cow::Borrowed("det-sqrt")
+    }
+
+    fn attach_codeword_cache(&mut self, cache: SharedCodewordCache) {
+        self.shared_cache = Some(cache);
     }
 
     fn session<'a>(

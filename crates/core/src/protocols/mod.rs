@@ -29,6 +29,7 @@ pub use relay::RelayReplication;
 use crate::driver::RoundObserver;
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
+use crate::routing::SharedCodewordCache;
 use bdclique_netsim::Network;
 use std::borrow::Cow;
 
@@ -115,6 +116,22 @@ pub trait AllToAllProtocol: Send + Sync {
         net: &Network,
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError>;
+
+    /// Attaches a shared codeword cache that outlives individual runs, so
+    /// repeated executions — e.g. the trials of one bench cell — reuse each
+    /// other's Reed–Solomon encodes instead of recomputing them. The cache
+    /// is correctness-neutral by construction (content-addressed and
+    /// equality-verified; see [`crate::routing::CodewordCache`]), so cached
+    /// and uncached runs are bit-identical.
+    ///
+    /// The default is a no-op: protocols that never encode codewords (the
+    /// baselines) simply ignore the handle. Note the hit/miss counters read
+    /// back through [`CodewordCache::stats`](crate::routing::CodewordCache::stats)
+    /// are *not* deterministic when runs execute concurrently (probe/insert
+    /// races reorder them); only the cached content is.
+    fn attach_codeword_cache(&mut self, cache: SharedCodewordCache) {
+        let _ = cache;
+    }
 
     /// Runs the protocol to completion by looping [`ProtocolSession::step`].
     ///

@@ -16,19 +16,30 @@
 //!   construction time from the verified family's measured cover fraction;
 //!   infeasible parameter combinations are rejected before any round runs,
 //!   which is what lets [`super::RoutingMode::Auto`] fall back cleanly.
+//!
+//! With [`RouterConfig::event_driven`] the engine runs on the same
+//! event-driven pack executor as the unit engine (see
+//! [`super::unit`]'s module docs): round-1 codeword encoding and frame
+//! assembly for upcoming chunk packs are prefetched as [`crate::exec`] jobs
+//! posting arena-free batches onto a [`MessageBus`] keyed by virtual
+//! delivery time, and round-2 decoding folds in asynchronously. Exchanges
+//! stay serialized in virtual-round order, so wire behavior is bit-identical
+//! to the lockstep path.
 
 use super::{
     absorbed_error_budget, check_budget, empty_instance_code, encode_chunks, lane_symbol,
-    map_units, payload_chunk, EngineUsed, RelayGrid, RouterConfig, RoutingInstance, RoutingOutput,
-    RoutingReport, SharedCodewordCache,
+    map_units, payload_chunk, EngineUsed, Inst, RelayGrid, RouterConfig, RoutingInstance,
+    RoutingOutput, RoutingReport, SharedCodewordCache,
 };
 use crate::error::CoreError;
+use crate::exec::{self, Job};
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
-use bdclique_netsim::Network;
+use bdclique_netsim::{Delivery, MessageBus, Network, Traffic};
 use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 pub(crate) struct CfParams {
     code: ReedSolomon,
@@ -199,6 +210,20 @@ pub(crate) fn derive_params(
     })
 }
 
+/// The session's immutable routing plan, shared with event-mode background
+/// jobs via `Arc` (the cover-free analogue of the unit engine's `UnitPlan`).
+struct CfPlan {
+    params: CfParams,
+    symbol_bits: u32,
+    /// Deduplicated target lists, computed once. All per-round loops
+    /// iterate messages × receiver-set positions — O(m·L) work proportional
+    /// to the frames actually sent, never an n² relay/target table scan
+    /// (the former `relay_msg`/`target_msg` matrices alone were 2·n² words
+    /// — 256 MiB at n = 4096).
+    uniq_targets: Vec<Vec<usize>>,
+    chunk_ids: Vec<usize>,
+}
+
 /// Which half of a chunk pack the session will execute next.
 enum CfPhase {
     /// Sources scatter to receiver sets (InLoad filter).
@@ -211,29 +236,168 @@ enum CfPhase {
     Round2 { relay: RelayGrid },
 }
 
+/// What one round-1 prefetch job produces: the pack's codeword symbols
+/// (`[msg][lane][pos]`) and its fully assembled traffic batch.
+type CfEncodeResult = Result<(Vec<Vec<Vec<u16>>>, Traffic), CoreError>;
+
+/// One decoded unit: `((target, msg_idx, chunk), bits, decode_failed)`.
+type CfDecodedUnit = ((usize, usize, usize), BitVec, bool);
+
+/// What one background decode job produces: decoded units plus the consumed
+/// delivery, handed back for main-thread arena reclaim.
+type CfDecodeBatch = (Vec<CfDecodedUnit>, Delivery);
+
+/// Round-1 prefetch depth; see the unit engine's `PREFETCH_PACKS`.
+const PREFETCH_PACKS: usize = 2;
+
+/// Decode jobs allowed in flight before the oldest is folded.
+const DECODES_IN_FLIGHT: usize = 2;
+
+/// Per-session event-executor state (see [`super::unit`]'s module docs).
+struct CfEventState {
+    bus: MessageBus,
+    encodes: VecDeque<(usize, Job<CfEncodeResult>)>,
+    next_dispatch: usize,
+    decodes: VecDeque<Job<CfDecodeBatch>>,
+    n: usize,
+    bandwidth: usize,
+}
+
+/// Encodes one chunk pack and materializes its round-1 traffic in ascending
+/// `(src, relay)` order — the single builder behind the lockstep path
+/// (frames from the network arena) and the event-mode prefetch jobs
+/// (arena-free zeroed buffers), so the two cannot drift apart.
+fn build_round1(
+    instance: &RoutingInstance,
+    plan: &CfPlan,
+    cache: Option<&SharedCodewordCache>,
+    parallel: bool,
+    pack: &[usize],
+    mut traffic: Traffic,
+    mut frame_buffer: impl FnMut(usize) -> BitVec,
+) -> CfEncodeResult {
+    let params = &plan.params;
+    let n = instance.n;
+    // ---- Lazy per-pack encode (cache-aware): only the pack's chunks are
+    // materialized, one message per fan-out unit.
+    let jobs: Vec<Vec<BitVec>> = instance
+        .messages
+        .iter()
+        .map(|msg| {
+            pack.iter()
+                .map(|&chunk| payload_chunk(&msg.payload, chunk, params.cap_bits))
+                .collect()
+        })
+        .collect();
+    let pack_cw: Vec<Vec<Vec<u16>>> = encode_chunks(parallel, &params.code, cache, jobs)?;
+
+    // ---- Round 1: sources scatter to receiver sets. Frames are assembled
+    // in ascending (src, relay) order so the sparse substrate's append
+    // fast-path applies and the send sequence never depends on hash
+    // iteration order.
+    let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
+    for (lane, _) in pack.iter().enumerate() {
+        for (idx, msg) in instance.messages.iter().enumerate() {
+            for (pos, &w) in params.sets[idx].iter().enumerate() {
+                let w = w as usize;
+                if params.in_load[msg.src * n + w] != 1 {
+                    continue; // dropped: known erasure everywhere
+                }
+                if w == msg.src {
+                    continue; // the source keeps its own symbol
+                }
+                let sym = pack_cw[idx][lane][pos];
+                let frame = frames
+                    .entry((msg.src, w))
+                    .or_insert_with(|| frame_buffer(params.lanes * params.slot));
+                frame.set(lane * params.slot, true);
+                frame.write_uint(lane * params.slot + 1, plan.symbol_bits, sym as u64);
+            }
+        }
+    }
+    for ((from, to), frame) in frames {
+        traffic.send(from, to, frame);
+    }
+    Ok((pack_cw, traffic))
+}
+
+/// Decodes one chunk pack at its targets — one unit per
+/// `(lane, msg, target)`, fanned out via [`map_units`]; results are keyed
+/// `(target, msg_idx, chunk)` so folding is order-independent. Shared by
+/// the lockstep path and the event-mode background jobs.
+fn decode_pack(
+    instance: &RoutingInstance,
+    plan: &CfPlan,
+    parallel: bool,
+    pack: &[usize],
+    relay: &RelayGrid,
+    delivery: &Delivery,
+) -> Vec<CfDecodedUnit> {
+    let params = &plan.params;
+    let n = instance.n;
+    let mut units: Vec<(usize, usize, usize, usize)> = Vec::new(); // (lane, chunk, idx, v)
+    for (lane, &chunk) in pack.iter().enumerate() {
+        for (idx, msg) in instance.messages.iter().enumerate() {
+            for &v in &plan.uniq_targets[idx] {
+                if v != msg.src {
+                    units.push((lane, chunk, idx, v));
+                }
+            }
+        }
+    }
+    map_units(parallel, units, |(lane, chunk, idx, v)| {
+        let msg = &instance.messages[idx];
+        let mut received = vec![0u16; params.l];
+        let mut erasures = vec![false; params.l];
+        for (pos, &w) in params.sets[idx].iter().enumerate() {
+            let w = w as usize;
+            if params.in_load[msg.src * n + w] != 1 || params.out_load[w * n + v] != 1 {
+                erasures[pos] = true; // known filter erasure
+                continue;
+            }
+            let val = if w == v {
+                relay.get(lane, idx, pos)
+            } else {
+                delivery
+                    .received(v, w)
+                    .and_then(|f| lane_symbol(f, lane, params.slot, plan.symbol_bits))
+            };
+            match val {
+                Some(sym) => received[pos] = sym,
+                None => erasures[pos] = true,
+            }
+        }
+        match params
+            .code
+            .decode_bits(&received, &erasures, params.cap_bits)
+        {
+            Ok(b) => ((v, idx, chunk), b, false),
+            Err(_) => ((v, idx, chunk), BitVec::zeros(params.cap_bits), true),
+        }
+    })
+}
+
 /// The cover-free engine as a resumable session: every [`CfSession::step`]
 /// executes exactly one `exchange` (round 1 or round 2 of the current chunk
 /// pack); the step that completes the final pack also assembles the output.
 /// Round-for-round identical to the former monolithic loop; within a step,
 /// the per-pack encode and decode fan out across threads exactly like the
-/// unit engine's ([`RouterConfig::parallel`]).
+/// unit engine's ([`RouterConfig::parallel`]), and with
+/// [`RouterConfig::event_driven`] they additionally overlap *across* packs.
 pub(crate) struct CfSession<'i> {
-    /// Borrowed for the zero-copy [`super::route`] path, owned when a
-    /// protocol session hands a wave over.
-    instance: Cow<'i, RoutingInstance>,
-    symbol_bits: u32,
-    params: CfParams,
+    /// Borrowed for the zero-copy [`super::route`] path, shared when a
+    /// protocol session hands a wave over (or event mode needs owned data).
+    instance: Inst<'i>,
+    plan: Arc<CfPlan>,
     /// Fan per-pack relay gather / decode out over rayon.
     parallel: bool,
     /// Adversarial symbols per codeword the chosen code absorbs; see
     /// [`check_budget`]. `usize::MAX` for the empty instance.
     e_allow: usize,
     extra_error_slack: usize,
-    uniq_targets: Vec<Vec<usize>>,
     /// Optional shared codeword cache ([`super::RouteSession::new_cached`]);
     /// `None` keeps the plain lazy per-pack encode path.
     cache: Option<SharedCodewordCache>,
-    chunk_ids: Vec<usize>,
     pack_start: usize,
     phase: CfPhase,
     /// Ordered so output assembly never iterates a hash map.
@@ -243,6 +407,8 @@ pub(crate) struct CfSession<'i> {
     rounds_before: u64,
     /// Set once the output has been assembled; stepping again is an error.
     finished: bool,
+    /// `Some` when running on the event-driven pack executor.
+    event: Option<CfEventState>,
 }
 
 impl<'i> CfSession<'i> {
@@ -282,11 +448,6 @@ impl<'i> CfSession<'i> {
             return Err(CoreError::invalid("instance size != network size"));
         }
 
-        // Deduplicated target lists, computed once. All per-round loops
-        // iterate messages × receiver-set positions — O(m·L) work
-        // proportional to the frames actually sent, never an n²
-        // relay/target table scan (the former `relay_msg`/`target_msg`
-        // matrices alone were 2·n² words — 256 MiB at n = 4096).
         let uniq_targets: Vec<Vec<usize>> = instance
             .messages
             .iter()
@@ -310,20 +471,24 @@ impl<'i> CfSession<'i> {
         // holding all `messages × chunks × L` symbols for the whole
         // session (the former upfront pre-encode here) bought nothing but
         // memory.
-        let e_allow = if instance.messages.is_empty() {
+        let empty = instance.messages.is_empty();
+        let e_allow = if empty {
             usize::MAX
         } else {
             absorbed_error_budget(net, cfg.extra_error_slack)
         };
+        let event = cfg.event_driven && !empty;
         Ok(Self {
-            chunk_ids: (0..params.chunks).collect(),
-            instance,
-            symbol_bits: cfg.symbol_bits,
-            params,
+            plan: Arc::new(CfPlan {
+                chunk_ids: (0..params.chunks).collect(),
+                params,
+                symbol_bits: cfg.symbol_bits,
+                uniq_targets,
+            }),
+            instance: Inst::from_cow(instance, event),
             parallel: cfg.parallel,
             e_allow,
             extra_error_slack: cfg.extra_error_slack,
-            uniq_targets,
             cache: None,
             pack_start: 0,
             phase: CfPhase::Round1,
@@ -332,6 +497,14 @@ impl<'i> CfSession<'i> {
             decode_failures: 0,
             rounds_before: net.rounds(),
             finished: false,
+            event: event.then(|| CfEventState {
+                bus: MessageBus::new(),
+                encodes: VecDeque::new(),
+                next_dispatch: 0,
+                decodes: VecDeque::new(),
+                n,
+                bandwidth: net.bandwidth(),
+            }),
         })
     }
 
@@ -343,8 +516,70 @@ impl<'i> CfSession<'i> {
     }
 
     fn pack(&self) -> &[usize] {
-        let end = (self.pack_start + self.params.lanes).min(self.chunk_ids.len());
-        &self.chunk_ids[self.pack_start..end]
+        let end = (self.pack_start + self.plan.params.lanes).min(self.plan.chunk_ids.len());
+        &self.plan.chunk_ids[self.pack_start..end]
+    }
+
+    /// Dispatches round-1 prefetch jobs up to [`PREFETCH_PACKS`] in flight.
+    fn dispatch_prefetch(&mut self) {
+        let Some(ev) = &mut self.event else { return };
+        let lanes = self.plan.params.lanes;
+        while ev.encodes.len() < PREFETCH_PACKS && ev.next_dispatch < self.plan.chunk_ids.len() {
+            let pack_start = ev.next_dispatch;
+            ev.next_dispatch += lanes;
+            let instance = self.instance.shared();
+            let plan = self.plan.clone();
+            let cache = self.cache.clone();
+            let parallel = self.parallel;
+            let (n, bandwidth) = (ev.n, ev.bandwidth);
+            let job = exec::spawn(move || {
+                let end = (pack_start + plan.params.lanes).min(plan.chunk_ids.len());
+                let pack = &plan.chunk_ids[pack_start..end];
+                build_round1(
+                    &instance,
+                    &plan,
+                    cache.as_ref(),
+                    parallel,
+                    pack,
+                    Traffic::new(n, bandwidth),
+                    BitVec::zeros,
+                )
+            });
+            ev.encodes.push_back((pack_start, job));
+        }
+    }
+
+    /// Folds decoded units into the chunk store — keyed writes, so the fold
+    /// is order-independent across packs.
+    fn fold_decoded(&mut self, decoded: Vec<CfDecodedUnit>) {
+        let (chunks, cap_bits) = (self.plan.params.chunks, self.plan.params.cap_bits);
+        for ((v, idx, chunk), bits, failed) in decoded {
+            if failed {
+                self.decode_failures += 1;
+            }
+            self.chunk_store
+                .entry((v, idx))
+                .or_insert_with(|| vec![BitVec::zeros(cap_bits); chunks])[chunk] = bits;
+        }
+    }
+
+    /// Joins in-flight decode jobs down to `down_to`, folding results and
+    /// reclaiming deliveries.
+    fn drain_decodes(&mut self, net: &mut Network, down_to: usize) {
+        while self
+            .event
+            .as_ref()
+            .is_some_and(|ev| ev.decodes.len() > down_to)
+        {
+            let job = self
+                .event
+                .as_mut()
+                .and_then(|ev| ev.decodes.pop_front())
+                .expect("checked non-empty");
+            let (decoded, delivery) = job.join();
+            net.reclaim(delivery);
+            self.fold_decoded(decoded);
+        }
     }
 
     /// Advances one exchange; `Some(output)` when the final pack is done.
@@ -354,61 +589,38 @@ impl<'i> CfSession<'i> {
                 "routing session stepped after completion",
             ));
         }
-        if self.pack_start >= self.chunk_ids.len() {
+        if self.pack_start >= self.plan.chunk_ids.len() {
             return Ok(Some(self.finish(net)));
         }
         check_budget(net, self.e_allow, self.extra_error_slack)?;
-        let n = self.instance.n;
-        let params = &self.params;
-        let sets = &params.sets;
-        let in_load = &params.in_load;
-        let out_load = &params.out_load;
         let pack: Vec<usize> = self.pack().to_vec();
         match std::mem::replace(&mut self.phase, CfPhase::Round1) {
             CfPhase::Round1 => {
-                // ---- Lazy per-pack encode (cache-aware): only the pack's
-                // chunks are materialized, one message per fan-out unit.
-                let jobs: Vec<Vec<BitVec>> = self
-                    .instance
-                    .messages
-                    .iter()
-                    .map(|msg| {
-                        pack.iter()
-                            .map(|&chunk| payload_chunk(&msg.payload, chunk, params.cap_bits))
-                            .collect()
-                    })
-                    .collect();
-                let pack_cw: Vec<Vec<Vec<u16>>> =
-                    encode_chunks(self.parallel, &params.code, self.cache.as_ref(), jobs)?;
-
-                // ---- Round 1: sources scatter to receiver sets. Frames
-                // are assembled in ascending (src, relay) order so the
-                // sparse substrate's append fast-path applies and the send
-                // sequence never depends on hash iteration order.
-                let mut traffic = net.traffic();
-                let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
-                for (lane, _) in pack.iter().enumerate() {
-                    for (idx, msg) in self.instance.messages.iter().enumerate() {
-                        for (pos, &w) in sets[idx].iter().enumerate() {
-                            let w = w as usize;
-                            if in_load[msg.src * n + w] != 1 {
-                                continue; // dropped: known erasure everywhere
-                            }
-                            if w == msg.src {
-                                continue; // the source keeps its own symbol
-                            }
-                            let sym = pack_cw[idx][lane][pos];
-                            let frame = frames
-                                .entry((msg.src, w))
-                                .or_insert_with(|| net.frame_buffer(params.lanes * params.slot));
-                            frame.set(lane * params.slot, true);
-                            frame.write_uint(lane * params.slot + 1, self.symbol_bits, sym as u64);
-                        }
-                    }
-                }
-                for ((from, to), frame) in frames {
-                    traffic.send(from, to, frame);
-                }
+                let (pack_cw, traffic) = if self.event.is_some() {
+                    self.dispatch_prefetch();
+                    let ev = self.event.as_mut().expect("event mode");
+                    let (start, job) = ev
+                        .encodes
+                        .pop_front()
+                        .expect("prefetch covers current pack");
+                    debug_assert_eq!(start, self.pack_start, "prefetch FIFO tracks the clock");
+                    let (pack_cw, batch) = job.join()?;
+                    let vtime = net.virtual_time();
+                    ev.bus.post(vtime, batch);
+                    let traffic = ev.bus.take(vtime).expect("batch staged for current vtime");
+                    (pack_cw, traffic)
+                } else {
+                    let traffic = net.traffic();
+                    build_round1(
+                        &self.instance,
+                        &self.plan,
+                        self.cache.as_ref(),
+                        self.parallel,
+                        &pack,
+                        traffic,
+                        |len| net.frame_buffer(len),
+                    )?
+                };
                 let delivery1 = net.exchange(traffic);
 
                 // ---- Relays note what they hold, straight into the flat
@@ -417,25 +629,29 @@ impl<'i> CfSession<'i> {
                 // from a sender unique, so walking messages × set positions
                 // recovers exactly the old dense relay-table scan in O(m·L);
                 // each (lane, message) row is independent and fans out.
-                let num_msgs = self.instance.messages.len();
+                let plan = &*self.plan;
+                let params = &plan.params;
+                let n = self.instance.n;
+                let instance = &*self.instance;
+                let num_msgs = instance.messages.len();
                 let flat: Vec<(usize, usize)> = (0..pack.len())
                     .flat_map(|lane| (0..num_msgs).map(move |idx| (lane, idx)))
                     .collect();
                 let pack_cw_ref = &pack_cw;
                 let gathered: Vec<Vec<u16>> = map_units(self.parallel, flat, |(lane, idx)| {
-                    let msg = &self.instance.messages[idx];
-                    sets[idx]
+                    let msg = &instance.messages[idx];
+                    params.sets[idx]
                         .iter()
                         .enumerate()
                         .map(|(pos, &w)| {
                             let w = w as usize;
-                            let val = if in_load[msg.src * n + w] != 1 {
+                            let val = if params.in_load[msg.src * n + w] != 1 {
                                 None
                             } else if w == msg.src {
                                 Some(pack_cw_ref[idx][lane][pos])
                             } else {
                                 delivery1.received(w, msg.src).and_then(|f| {
-                                    lane_symbol(f, lane, params.slot, self.symbol_bits)
+                                    lane_symbol(f, lane, params.slot, plan.symbol_bits)
                                 })
                             };
                             val.unwrap_or(RelayGrid::ABSENT)
@@ -462,18 +678,22 @@ impl<'i> CfSession<'i> {
                 // ordered frame assembly exactly as in round 1. A forward
                 // frame is sent even when the relay holds nothing (validity
                 // bit clear) — the wire behavior the adversary observes.
+                let plan = &*self.plan;
+                let params = &plan.params;
+                let n = self.instance.n;
+                let instance = &*self.instance;
                 let mut traffic = net.traffic();
                 let mut frames: BTreeMap<(usize, usize), BitVec> = BTreeMap::new();
                 for (lane, _) in pack.iter().enumerate() {
-                    for (idx, msg) in self.instance.messages.iter().enumerate() {
-                        for (pos, &w) in sets[idx].iter().enumerate() {
+                    for (idx, msg) in instance.messages.iter().enumerate() {
+                        for (pos, &w) in params.sets[idx].iter().enumerate() {
                             let w = w as usize;
-                            if in_load[msg.src * n + w] != 1 {
+                            if params.in_load[msg.src * n + w] != 1 {
                                 continue; // w never expected this symbol
                             }
                             let val = relay.get(lane, idx, pos);
-                            for &v in &self.uniq_targets[idx] {
-                                if v == w || out_load[w * n + v] != 1 {
+                            for &v in &plan.uniq_targets[idx] {
+                                if v == w || params.out_load[w * n + v] != 1 {
                                     continue;
                                 }
                                 let frame = frames.entry((w, v)).or_insert_with(|| {
@@ -483,7 +703,7 @@ impl<'i> CfSession<'i> {
                                     frame.set(lane * params.slot, true);
                                     frame.write_uint(
                                         lane * params.slot + 1,
-                                        self.symbol_bits,
+                                        plan.symbol_bits,
                                         sym as u64,
                                     );
                                 }
@@ -496,65 +716,40 @@ impl<'i> CfSession<'i> {
                 }
                 let delivery2 = net.exchange(traffic);
 
-                // ---- Decode at targets, one unit per (lane, msg, target),
-                // fanned out and folded back in unit order.
-                let mut units: Vec<(usize, usize, usize, usize)> = Vec::new();
-                for (lane, &chunk) in pack.iter().enumerate() {
-                    for (idx, msg) in self.instance.messages.iter().enumerate() {
-                        for &v in &self.uniq_targets[idx] {
-                            if v != msg.src {
-                                units.push((lane, chunk, idx, v));
-                            }
-                        }
-                    }
+                if self.event.is_some() {
+                    // ---- Event mode: decode moves off-thread; results fold
+                    // in later (keyed writes — order-independent), the
+                    // delivery is reclaimed at join time.
+                    let instance = self.instance.shared();
+                    let plan = self.plan.clone();
+                    let parallel = self.parallel;
+                    let pack = pack.clone();
+                    let job = exec::spawn(move || {
+                        let decoded =
+                            decode_pack(&instance, &plan, parallel, &pack, &relay, &delivery2);
+                        (decoded, delivery2)
+                    });
+                    self.event
+                        .as_mut()
+                        .expect("event mode")
+                        .decodes
+                        .push_back(job);
+                    self.drain_decodes(net, DECODES_IN_FLIGHT);
+                } else {
+                    let decoded = decode_pack(
+                        &self.instance,
+                        &self.plan,
+                        self.parallel,
+                        &pack,
+                        &relay,
+                        &delivery2,
+                    );
+                    net.reclaim(delivery2);
+                    self.fold_decoded(decoded);
                 }
-                let relay_ref = &relay;
-                let delivery_ref = &delivery2;
-                type Decoded = ((usize, usize, usize, usize), BitVec, bool);
-                let decoded: Vec<Decoded> = map_units(self.parallel, units, |unit| {
-                    let (lane, _chunk, idx, v) = unit;
-                    let msg = &self.instance.messages[idx];
-                    let mut received = vec![0u16; params.l];
-                    let mut erasures = vec![false; params.l];
-                    for (pos, &w) in sets[idx].iter().enumerate() {
-                        let w = w as usize;
-                        if in_load[msg.src * n + w] != 1 || out_load[w * n + v] != 1 {
-                            erasures[pos] = true; // known filter erasure
-                            continue;
-                        }
-                        let val = if w == v {
-                            relay_ref.get(lane, idx, pos)
-                        } else {
-                            delivery_ref
-                                .received(v, w)
-                                .and_then(|f| lane_symbol(f, lane, params.slot, self.symbol_bits))
-                        };
-                        match val {
-                            Some(sym) => received[pos] = sym,
-                            None => erasures[pos] = true,
-                        }
-                    }
-                    match params
-                        .code
-                        .decode_bits(&received, &erasures, params.cap_bits)
-                    {
-                        Ok(b) => (unit, b, false),
-                        Err(_) => (unit, BitVec::zeros(params.cap_bits), true),
-                    }
-                });
-                net.reclaim(delivery2);
-                for ((_lane, chunk, idx, v), bits, failed) in decoded {
-                    if failed {
-                        self.decode_failures += 1;
-                    }
-                    self.chunk_store
-                        .entry((v, idx))
-                        .or_insert_with(|| vec![BitVec::zeros(params.cap_bits); params.chunks])
-                        [chunk] = bits;
-                }
-                self.pack_start += params.lanes;
+                self.pack_start += self.plan.params.lanes;
                 self.phase = CfPhase::Round1;
-                if self.pack_start >= self.chunk_ids.len() {
+                if self.pack_start >= self.plan.chunk_ids.len() {
                     return Ok(Some(self.finish(net)));
                 }
                 Ok(None)
@@ -562,7 +757,10 @@ impl<'i> CfSession<'i> {
         }
     }
 
-    fn finish(&mut self, net: &Network) -> RoutingOutput {
+    /// Assembles the chunked payloads into the final output. Event mode
+    /// drains every outstanding decode job first.
+    fn finish(&mut self, net: &mut Network) -> RoutingOutput {
+        self.drain_decodes(net, 0);
         self.finished = true;
         let mut delivered = std::mem::take(&mut self.delivered);
         for ((v, idx), chunks) in std::mem::take(&mut self.chunk_store) {
@@ -577,7 +775,7 @@ impl<'i> CfSession<'i> {
                 engine: EngineUsed::CoverFree,
                 rounds: net.rounds() - self.rounds_before,
                 stages: 1,
-                chunks: self.params.chunks,
+                chunks: self.plan.params.chunks,
                 decode_failures: self.decode_failures,
             },
         }
@@ -756,5 +954,59 @@ mod tests {
             0,
             "no rounds may run before feasibility is known"
         );
+    }
+
+    /// The event-driven executor is bit-identical to the lockstep path on
+    /// the cover-free engine: same outputs, stats, and per-round corruption
+    /// history — multi-chunk (so prefetch actually pipelines), multi-target,
+    /// and under an active adversary.
+    #[test]
+    fn event_driven_matches_lockstep() {
+        let ring = |n: usize| -> Vec<(usize, usize, Vec<usize>)> {
+            (0..n)
+                .flat_map(|u| (0..2).map(move |j| (u, j, vec![(u + j + 1) % n])))
+                .collect()
+        };
+        let cases: Vec<(usize, f64, RoutingInstance)> = vec![
+            (64, 0.0, instance(64, 64, ring(64))), // multi-chunk pipeline
+            (32, 0.0, instance(32, 8, vec![(5, 0, (0..32).collect())])),
+            (256, 1.2 / 256.0, instance(256, 16, ring(256))),
+        ];
+        for (case, (n, alpha, inst)) in cases.into_iter().enumerate() {
+            let run = |event: bool| {
+                let adversary = if alpha > 0.0 {
+                    Adversary::adaptive(TestGreedy)
+                } else {
+                    Adversary::none()
+                };
+                let mut net = Network::new(n, 9, alpha, adversary);
+                let cfg = RouterConfig {
+                    event_driven: event,
+                    ..RouterConfig::default()
+                };
+                let out = route_coverfree(&mut net, &inst, &cfg).unwrap();
+                let hist: Vec<_> = net
+                    .history()
+                    .records()
+                    .iter()
+                    .map(|r| (r.round, r.corrupted.clone(), r.frames, r.bits))
+                    .collect();
+                let stats = *net.stats();
+                (out, stats, hist)
+            };
+            let (lock_out, lock_stats, lock_hist) = run(false);
+            let (ev_out, ev_stats, ev_hist) = run(true);
+            assert_eq!(lock_stats, ev_stats, "case {case}: stats");
+            assert_eq!(lock_hist, ev_hist, "case {case}: round history");
+            assert_eq!(lock_out.report, ev_out.report, "case {case}: report");
+            for (x, (a, b)) in lock_out
+                .delivered
+                .iter()
+                .zip(ev_out.delivered.iter())
+                .enumerate()
+            {
+                assert_eq!(a, b, "case {case}: delivered payloads at node {x}");
+            }
+        }
     }
 }

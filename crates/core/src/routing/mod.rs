@@ -30,6 +30,7 @@ use crate::error::CoreError;
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon, SymbolCode};
 use bdclique_netsim::Network;
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -148,6 +149,20 @@ pub struct RouterConfig {
     /// [`unit::route_unit_serial`] / [`coverfree::route_coverfree_serial`]);
     /// network rounds themselves stay strictly sequential either way.
     pub parallel: bool,
+    /// Run the session on the **event-driven pack executor**: round-A
+    /// codeword encoding and frame assembly for upcoming packs run ahead of
+    /// the network's virtual clock on the shared worker pool
+    /// ([`crate::exec`]), staging finished batches on a
+    /// [`bdclique_netsim::MessageBus`] keyed by virtual delivery time, while
+    /// round-B erasure decoding drains asynchronously behind it. Exchanges
+    /// themselves stay strictly serialized in virtual-round order (the
+    /// mobile adversary acts per virtual round), so wire content, stats,
+    /// history digests, and outputs are bit-identical to the lockstep path —
+    /// property-tested in `tests/event_identity.rs`. Costs one instance
+    /// clone on the borrowed-[`route`] path (background tasks need owned
+    /// data); [`RouteSession::new`]/[`RouteSession::new_cached`] hand over
+    /// ownership and pay nothing.
+    pub event_driven: bool,
     /// Bits per Reed–Solomon symbol (field GF(2^m)); the wire slot is one
     /// bit wider (a validity flag).
     pub symbol_bits: u32,
@@ -169,6 +184,7 @@ impl Default for RouterConfig {
         Self {
             mode: RoutingMode::Auto,
             parallel: true,
+            event_driven: false,
             symbol_bits: 8,
             extra_error_slack: 1,
             cf_group_size: None,
@@ -369,6 +385,43 @@ pub fn route_serial(
         ..cfg.clone()
     };
     route(net, instance, &cfg)
+}
+
+/// An engine's instance handle: borrowed (the zero-copy [`route`] path) or
+/// behind an `Arc` so event-driven background jobs can hold the instance
+/// across packs. Owned instances move behind the `Arc` for free; a borrowed
+/// instance is cloned only when event mode actually needs owned data.
+pub(crate) enum Inst<'i> {
+    Borrowed(&'i RoutingInstance),
+    Shared(std::sync::Arc<RoutingInstance>),
+}
+
+impl std::ops::Deref for Inst<'_> {
+    type Target = RoutingInstance;
+
+    fn deref(&self) -> &RoutingInstance {
+        match self {
+            Inst::Borrowed(i) => i,
+            Inst::Shared(i) => i,
+        }
+    }
+}
+
+impl<'i> Inst<'i> {
+    pub(crate) fn from_cow(cow: Cow<'i, RoutingInstance>, event: bool) -> Self {
+        match cow {
+            Cow::Owned(i) => Inst::Shared(std::sync::Arc::new(i)),
+            Cow::Borrowed(i) if event => Inst::Shared(std::sync::Arc::new(i.clone())),
+            Cow::Borrowed(i) => Inst::Borrowed(i),
+        }
+    }
+
+    pub(crate) fn shared(&self) -> std::sync::Arc<RoutingInstance> {
+        match self {
+            Inst::Shared(i) => i.clone(),
+            Inst::Borrowed(_) => unreachable!("event mode always holds a shared instance"),
+        }
+    }
 }
 
 /// Maps `f` over work units, fanned out across the rayon pool or on one

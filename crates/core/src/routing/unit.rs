@@ -32,18 +32,45 @@
 //! instance up front: a `k ≈ √n` wave at `n = 4096` has ~260k messages, and
 //! materializing all their codewords before round 0 would pin
 //! `messages × chunks × L` symbols for the whole session.
+//!
+//! # Event-driven pack execution
+//!
+//! With [`RouterConfig::event_driven`] the lockstep "one pack at a time"
+//! barrier is broken while the *virtual* round structure stays intact.
+//! Every pack `p` owns two virtual rounds (`rounds_before + 2p` for the
+//! scatter, `+ 2p + 1` for the forward); the session:
+//!
+//! * **prefetches round A** — codeword encoding and frame assembly for
+//!   upcoming packs run as [`crate::exec`] jobs ahead of the clock, each
+//!   producing an arena-free [`Traffic`] batch that is posted onto a
+//!   [`MessageBus`] tagged with its virtual delivery time and drained only
+//!   when the network clock reaches it;
+//! * **decodes round B asynchronously** — the delivered frames of a
+//!   finished pack move into a background decode job whose results fold
+//!   into the chunk store later (bounded in-flight window, fully drained
+//!   before output assembly).
+//!
+//! So round-B decode of early stages overlaps round-A encode of late
+//! stages, and exchanges — the only part the mobile adversary observes —
+//! stay strictly serialized in virtual-round order. Frames are assembled in
+//! the same ascending `(src, relay)` order with the same contents, so wire
+//! behavior, stats, history digests, and outputs are bit-identical to the
+//! lockstep path (`tests/event_identity.rs` pins this across the protocol
+//! matrix, including under budget aborts and mid-run adversary switches).
 
 use super::{
     absorbed_error_budget, check_budget, empty_instance_code, encode_chunks, lane_symbol,
-    map_units, payload_chunk, EngineUsed, RelayGrid, RouterConfig, RoutingInstance, RoutingOutput,
-    RoutingReport, SharedCodewordCache,
+    map_units, payload_chunk, EngineUsed, Inst, RelayGrid, RouterConfig, RoutingInstance,
+    RoutingOutput, RoutingReport, SharedCodewordCache,
 };
 use crate::error::CoreError;
+use crate::exec::{self, Job};
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
-use bdclique_netsim::{Delivery, Network};
+use bdclique_netsim::{Delivery, MessageBus, Network, Traffic};
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// First-fit stage coloring: same-source or shared-target messages never
 /// share a stage; each message takes the smallest stage where its source
@@ -174,6 +201,24 @@ fn derive_params(
     })
 }
 
+/// The session's immutable routing plan — code parameters, stage coloring,
+/// and work list — separated from the mutable run state so the event path
+/// can share one copy with its background jobs (`Arc`), while the lockstep
+/// path reads through the same pointer at zero cost.
+struct UnitPlan {
+    params: UnitParams,
+    symbol_bits: u32,
+    num_stages: usize,
+    /// Message indices per stage.
+    stage_msgs: Vec<Vec<usize>>,
+    /// Per stage: `(src, pos)` sorted by source id, `pos` indexing
+    /// `stage_msgs[stage]` — sources are distinct within a stage, so relays
+    /// attribute an incoming frame with one binary search.
+    stage_src: Vec<Vec<(usize, usize)>>,
+    /// Work units: (stage, chunk) pairs, executed `lanes` at a time.
+    work: Vec<(usize, usize)>,
+}
+
 /// Which half of a stage/chunk pack the session will execute next.
 enum UnitPhase {
     /// Scatter codeword symbols to relays.
@@ -186,18 +231,53 @@ enum UnitPhase {
     RoundB { relay: RelayGrid },
 }
 
+/// What one round-A prefetch job produces: the pack's codeword symbols and
+/// its fully assembled traffic batch.
+type EncodeResult = Result<(Vec<Vec<Vec<u16>>>, Traffic), CoreError>;
+
+/// One decoded unit: `((target, msg_idx, chunk), bits, decode_failed)`.
+type DecodedUnit = ((usize, usize, usize), Option<BitVec>, bool);
+
+/// What one background decode job produces: the decoded units plus the
+/// consumed delivery, handed back for main-thread arena reclaim.
+type DecodeBatch = (Vec<DecodedUnit>, Delivery);
+
+/// How many round-A packs are encoded ahead of the virtual clock. Two keeps
+/// one batch always cooking while the current one is on the wire, without
+/// pinning more than one spare traffic matrix.
+const PREFETCH_PACKS: usize = 2;
+
+/// Decode jobs allowed in flight before the oldest is folded; bounds how
+/// many deliveries a session keeps alive at once.
+const DECODES_IN_FLIGHT: usize = 2;
+
+/// Per-session event-executor state (see the module docs).
+struct EventState {
+    /// Staging area for prefetched round-A batches, keyed by virtual time.
+    bus: MessageBus,
+    /// `(pack_start, job)` for dispatched round-A prefetches, pack order.
+    encodes: VecDeque<(usize, Job<EncodeResult>)>,
+    /// Frontier of dispatched prefetches (next `pack_start` to hand out).
+    next_dispatch: usize,
+    /// In-flight decode jobs, pack order.
+    decodes: VecDeque<Job<DecodeBatch>>,
+    /// Network shape for building arena-free traffic off-thread.
+    n: usize,
+    bandwidth: usize,
+}
+
 /// The unit engine as a resumable session: every [`UnitSession::step`]
 /// executes exactly one `exchange` (round A or round B of the current
 /// stage/chunk pack); the step that completes the final pack also assembles
 /// the output. The round-for-round wire behavior is identical to the former
 /// monolithic loop; within a step, the per-pack encode and decode fan out
-/// across threads (see the module docs).
+/// across threads, and with [`RouterConfig::event_driven`] they additionally
+/// overlap *across* packs (see the module docs).
 pub(crate) struct UnitSession<'i> {
-    /// Borrowed for the zero-copy [`super::route`] path, owned when a
-    /// protocol session hands a wave over.
-    instance: Cow<'i, RoutingInstance>,
-    symbol_bits: u32,
-    params: UnitParams,
+    /// Borrowed for the zero-copy [`super::route`] path, shared when a
+    /// protocol session hands a wave over (or event mode needs owned data).
+    instance: Inst<'i>,
+    plan: Arc<UnitPlan>,
     /// Fan per-pack encode/decode out over rayon ([`RouterConfig::parallel`]).
     parallel: bool,
     /// Optional shared codeword cache ([`super::RouteSession::new_cached`]);
@@ -209,16 +289,7 @@ pub(crate) struct UnitSession<'i> {
     /// network's *current* budget — see [`check_budget`].
     e_allow: usize,
     extra_error_slack: usize,
-    num_stages: usize,
-    /// Message indices per stage.
-    stage_msgs: Vec<Vec<usize>>,
-    /// Per stage: `(src, pos)` sorted by source id, `pos` indexing
-    /// `stage_msgs[stage]` — sources are distinct within a stage, so relays
-    /// attribute an incoming frame with one binary search.
-    stage_src: Vec<Vec<(usize, usize)>>,
-    /// Work units: (stage, chunk) pairs, executed `lanes` at a time.
-    work: Vec<(usize, usize)>,
-    /// Start of the current pack within `work`.
+    /// Start of the current pack within `plan.work`.
     pack_start: usize,
     phase: UnitPhase,
     /// Accumulated decoded chunks per (target, msg_idx); ordered so output
@@ -230,6 +301,154 @@ pub(crate) struct UnitSession<'i> {
     /// Set once the output has been assembled; stepping again is an error
     /// (the drained state could otherwise masquerade as an empty result).
     finished: bool,
+    /// `Some` when running on the event-driven pack executor.
+    event: Option<EventState>,
+}
+
+/// Encodes one pack's codewords and materializes its round-A traffic in
+/// ascending `(src, relay)` order. The single builder behind both the
+/// lockstep path (frames drawn from the network arena) and the event-mode
+/// prefetch jobs (arena-free zeroed buffers) — a zeroed arena buffer and
+/// `BitVec::zeros` are indistinguishable on the wire, so the two paths
+/// cannot drift apart.
+fn build_round_a(
+    instance: &RoutingInstance,
+    plan: &UnitPlan,
+    cache: Option<&SharedCodewordCache>,
+    parallel: bool,
+    pack: &[(usize, usize)],
+    mut traffic: Traffic,
+    mut frame_buffer: impl FnMut(usize) -> BitVec,
+) -> EncodeResult {
+    let params = &plan.params;
+    // ---- Encode: every lane's stage messages. Chunk extraction is a
+    // cheap block copy; the encode itself is the hot part and fans out
+    // per lane, with cache probe/insert batched outside the fan-out.
+    let jobs: Vec<Vec<BitVec>> = pack
+        .iter()
+        .map(|&(stage, chunk)| {
+            plan.stage_msgs[stage]
+                .iter()
+                .map(|&mi| payload_chunk(&instance.messages[mi].payload, chunk, params.cap_bits))
+                .collect()
+        })
+        .collect();
+    let lane_syms = encode_chunks(parallel, &params.code, cache, jobs)?;
+
+    // ---- Materialize round-A frames in ascending (src, relay) order.
+    // A frame (src, w) carries one slot per active lane; sources active
+    // in several lanes of the pack share the frame at distinct offsets.
+    let mut by_src: Vec<(usize, usize, usize)> = Vec::new(); // (src, lane, pos)
+    for (lane, &(stage, _)) in pack.iter().enumerate() {
+        for &(src, pos) in &plan.stage_src[stage] {
+            by_src.push((src, lane, pos));
+        }
+    }
+    by_src.sort_unstable();
+    for group in by_src.chunk_by(|a, b| a.0 == b.0) {
+        let src = group[0].0;
+        for w in 0..params.l {
+            if w == src {
+                continue; // the source is its own relay for position src
+            }
+            let mut frame = frame_buffer(params.lanes * params.slot);
+            for &(_, lane, pos) in group {
+                frame.set(lane * params.slot, true); // validity
+                frame.write_uint(
+                    lane * params.slot + 1,
+                    plan.symbol_bits,
+                    lane_syms[lane][pos][w] as u64,
+                );
+            }
+            traffic.send(src, w, frame);
+        }
+    }
+    Ok((lane_syms, traffic))
+}
+
+/// Decodes one pack at its targets, one unit per `(lane, message, target)`,
+/// fanned out via [`map_units`]. Shared by the lockstep path (decode right
+/// after the exchange) and the event-mode background jobs (decode while
+/// later packs are already on the wire); results are keyed
+/// `(target, msg_idx, chunk)` so folding is order-independent.
+fn decode_pack(
+    instance: &RoutingInstance,
+    plan: &UnitPlan,
+    parallel: bool,
+    pack: &[(usize, usize)],
+    relay: &RelayGrid,
+    delivery: &Delivery,
+) -> Vec<DecodedUnit> {
+    let params = &plan.params;
+    let mut units: Vec<(usize, usize, usize, usize)> = Vec::new(); // (lane, chunk, pos, x)
+    for (lane, &(stage, chunk)) in pack.iter().enumerate() {
+        for (pos, &mi) in plan.stage_msgs[stage].iter().enumerate() {
+            let msg = &instance.messages[mi];
+            for &x in &msg.targets {
+                if x != msg.src {
+                    units.push((lane, chunk, pos, x));
+                }
+            }
+        }
+    }
+    map_units(parallel, units, |(lane, chunk, pos, x)| {
+        let mut received = vec![0u16; params.l];
+        let mut erasures = vec![false; params.l];
+        for w in 0..params.l {
+            let val = if w == x {
+                relay.get(w, lane, pos)
+            } else {
+                delivery
+                    .received(x, w)
+                    .and_then(|f| lane_symbol(f, lane, params.slot, plan.symbol_bits))
+            };
+            match val {
+                Some(sym) => received[w] = sym,
+                None => erasures[w] = true,
+            }
+        }
+        let (stage, _) = pack[lane];
+        let mi = plan.stage_msgs[stage][pos];
+        match params
+            .code
+            .decode_bits(&received, &erasures, params.cap_bits)
+        {
+            Ok(bits) => ((x, mi, chunk), Some(bits), false),
+            Err(_) => ((x, mi, chunk), None, true),
+        }
+    })
+}
+
+/// One relay's view after round A, as a flat sentinel-filled block: its
+/// own-source symbols plus whatever its inbox carried for each lane.
+fn gather_relay(
+    plan: &UnitPlan,
+    w: usize,
+    pack: &[(usize, usize)],
+    lane_offsets: &[usize],
+    lane_syms: &[Vec<Vec<u16>>],
+    delivery: &Delivery,
+) -> Vec<u16> {
+    let mut block = vec![RelayGrid::ABSENT; *lane_offsets.last().unwrap_or(&0)];
+    for (lane, &(stage, _)) in pack.iter().enumerate() {
+        // The source keeps its own symbol for position src — no frame.
+        if let Ok(i) = plan.stage_src[stage].binary_search_by_key(&w, |e| e.0) {
+            let pos = plan.stage_src[stage][i].1;
+            block[lane_offsets[lane] + pos] = lane_syms[lane][pos][w];
+        }
+    }
+    for (src, frame) in delivery.inbox_of(w) {
+        for (lane, &(stage, _)) in pack.iter().enumerate() {
+            let Ok(i) = plan.stage_src[stage].binary_search_by_key(&src, |e| e.0) else {
+                continue;
+            };
+            let pos = plan.stage_src[stage][i].1;
+            if let Some(sym) = lane_symbol(frame, lane, plan.params.slot, plan.symbol_bits) {
+                block[lane_offsets[lane] + pos] = sym;
+            }
+        }
+    }
+    block
 }
 
 impl<'i> UnitSession<'i> {
@@ -250,17 +469,19 @@ impl<'i> UnitSession<'i> {
             // can apply to an instance that routes nothing.
             let params = UnitParams::empty(cfg)?;
             return Ok(Self {
-                instance,
-                symbol_bits: cfg.symbol_bits,
-                params,
+                instance: Inst::from_cow(instance, false),
+                plan: Arc::new(UnitPlan {
+                    params,
+                    symbol_bits: cfg.symbol_bits,
+                    num_stages: 0,
+                    stage_msgs: Vec::new(),
+                    stage_src: Vec::new(),
+                    work: Vec::new(),
+                }),
                 parallel: cfg.parallel,
                 cache: None,
                 e_allow: usize::MAX,
                 extra_error_slack: cfg.extra_error_slack,
-                num_stages: 0,
-                stage_msgs: Vec::new(),
-                stage_src: Vec::new(),
-                work: Vec::new(),
                 pack_start: 0,
                 phase: UnitPhase::RoundA,
                 chunk_store: Default::default(),
@@ -268,6 +489,7 @@ impl<'i> UnitSession<'i> {
                 decode_failures: 0,
                 rounds_before: net.rounds(),
                 finished: false,
+                event: None,
             });
         }
         let params = derive_params(net, &instance, cfg)?;
@@ -308,17 +530,19 @@ impl<'i> UnitSession<'i> {
             .collect();
 
         Ok(Self {
-            instance,
-            symbol_bits: cfg.symbol_bits,
-            params,
+            instance: Inst::from_cow(instance, cfg.event_driven),
+            plan: Arc::new(UnitPlan {
+                params,
+                symbol_bits: cfg.symbol_bits,
+                num_stages,
+                stage_msgs,
+                stage_src,
+                work,
+            }),
             parallel: cfg.parallel,
             cache: None,
             e_allow,
             extra_error_slack: cfg.extra_error_slack,
-            num_stages,
-            stage_msgs,
-            stage_src,
-            work,
             pack_start: 0,
             phase: UnitPhase::RoundA,
             chunk_store: Default::default(),
@@ -326,6 +550,14 @@ impl<'i> UnitSession<'i> {
             decode_failures: 0,
             rounds_before: net.rounds(),
             finished: false,
+            event: cfg.event_driven.then(|| EventState {
+                bus: MessageBus::new(),
+                encodes: VecDeque::new(),
+                next_dispatch: 0,
+                decodes: VecDeque::new(),
+                n,
+                bandwidth: net.bandwidth(),
+            }),
         })
     }
 
@@ -337,70 +569,117 @@ impl<'i> UnitSession<'i> {
     }
 
     fn pack(&self) -> &[(usize, usize)] {
-        let end = (self.pack_start + self.params.lanes).min(self.work.len());
-        &self.work[self.pack_start..end]
+        let end = (self.pack_start + self.plan.params.lanes).min(self.plan.work.len());
+        &self.plan.work[self.pack_start..end]
     }
 
-    /// Bits `[chunk·cap, (chunk+1)·cap)` of a message's payload, zero-padded.
-    fn chunk_bits(&self, mi: usize, chunk: usize) -> BitVec {
-        payload_chunk(
-            &self.instance.messages[mi].payload,
-            chunk,
-            self.params.cap_bits,
-        )
+    /// Dispatches round-A prefetch jobs until [`PREFETCH_PACKS`] are in
+    /// flight (or the work list is exhausted). Each job encodes its pack and
+    /// assembles an arena-free traffic batch off-thread.
+    fn dispatch_prefetch(&mut self) {
+        let Some(ev) = &mut self.event else { return };
+        let lanes = self.plan.params.lanes;
+        while ev.encodes.len() < PREFETCH_PACKS && ev.next_dispatch < self.plan.work.len() {
+            let pack_start = ev.next_dispatch;
+            ev.next_dispatch += lanes;
+            let instance = self.instance.shared();
+            let plan = self.plan.clone();
+            let cache = self.cache.clone();
+            let parallel = self.parallel;
+            let (n, bandwidth) = (ev.n, ev.bandwidth);
+            let job = exec::spawn(move || {
+                let end = (pack_start + plan.params.lanes).min(plan.work.len());
+                let pack = &plan.work[pack_start..end];
+                build_round_a(
+                    &instance,
+                    &plan,
+                    cache.as_ref(),
+                    parallel,
+                    pack,
+                    Traffic::new(n, bandwidth),
+                    BitVec::zeros,
+                )
+            });
+            ev.encodes.push_back((pack_start, job));
+        }
+    }
+
+    /// Folds a decoded batch into the chunk store — pure keyed writes, so
+    /// the fold is order-independent across packs.
+    fn fold_decoded(&mut self, decoded: Vec<DecodedUnit>) {
+        let (chunks, cap_bits) = (self.plan.params.chunks, self.plan.params.cap_bits);
+        for ((x, mi, chunk), bits, failed) in decoded {
+            if failed {
+                self.decode_failures += 1;
+            }
+            let slot_entry = self
+                .chunk_store
+                .entry((x, mi))
+                .or_insert_with(|| vec![None; chunks]);
+            slot_entry[chunk] = Some(bits.unwrap_or_else(|| BitVec::zeros(cap_bits)));
+        }
+    }
+
+    /// Joins in-flight decode jobs (all of them, or down to the in-flight
+    /// cap), folding their results and reclaiming their deliveries.
+    fn drain_decodes(&mut self, net: &mut Network, down_to: usize) {
+        while self
+            .event
+            .as_ref()
+            .is_some_and(|ev| ev.decodes.len() > down_to)
+        {
+            let job = self
+                .event
+                .as_mut()
+                .and_then(|ev| ev.decodes.pop_front())
+                .expect("checked non-empty");
+            let (decoded, delivery) = job.join();
+            net.reclaim(delivery);
+            self.fold_decoded(decoded);
+        }
     }
 
     /// Round A: per-lane codeword encoding (parallel, cache-aware), frame
     /// materialization from the arena, exchange, and the relay gather
-    /// (parallel per relay).
+    /// (parallel per relay). In event mode the encode and frame assembly
+    /// were prefetched off-thread; the batch is pulled from the message bus
+    /// at the network's current virtual time.
     fn step_round_a(&mut self, net: &mut Network) -> Result<RelayGrid, CoreError> {
-        let params = &self.params;
         let pack: Vec<(usize, usize)> = self.pack().to_vec();
 
-        // ---- Encode: every lane's stage messages. Chunk extraction is a
-        // cheap block copy; the encode itself is the hot part and fans out
-        // per lane, with cache probe/insert batched outside the fan-out.
-        let jobs: Vec<Vec<BitVec>> = pack
-            .iter()
-            .map(|&(stage, chunk)| {
-                self.stage_msgs[stage]
-                    .iter()
-                    .map(|&mi| self.chunk_bits(mi, chunk))
-                    .collect()
-            })
-            .collect();
-        let lane_syms: Vec<Vec<Vec<u16>>> =
-            encode_chunks(self.parallel, &self.params.code, self.cache.as_ref(), jobs)?;
-
-        // ---- Materialize round-A frames in ascending (src, relay) order.
-        // A frame (src, w) carries one slot per active lane; sources active
-        // in several lanes of the pack share the frame at distinct offsets.
-        let mut by_src: Vec<(usize, usize, usize)> = Vec::new(); // (src, lane, pos)
-        for (lane, &(stage, _)) in pack.iter().enumerate() {
-            for &(src, pos) in &self.stage_src[stage] {
-                by_src.push((src, lane, pos));
-            }
-        }
-        by_src.sort_unstable();
-        let mut traffic = net.traffic();
-        for group in by_src.chunk_by(|a, b| a.0 == b.0) {
-            let src = group[0].0;
-            for w in 0..params.l {
-                if w == src {
-                    continue; // the source is its own relay for position src
-                }
-                let mut frame = net.frame_buffer(params.lanes * params.slot);
-                for &(_, lane, pos) in group {
-                    frame.set(lane * params.slot, true); // validity
-                    frame.write_uint(
-                        lane * params.slot + 1,
-                        self.symbol_bits,
-                        lane_syms[lane][pos][w] as u64,
-                    );
-                }
-                traffic.send(src, w, frame);
-            }
-        }
+        let (lane_syms, traffic) = if self.event.is_some() {
+            self.dispatch_prefetch();
+            let ev = self.event.as_mut().expect("event mode");
+            let (start, job) = ev
+                .encodes
+                .pop_front()
+                .expect("prefetch covers current pack");
+            debug_assert_eq!(start, self.pack_start, "prefetch FIFO tracks the clock");
+            let (lane_syms, batch) = job.join()?;
+            // Through the bus: tagged with this pack's virtual delivery
+            // time, drained at the network's clock — delivery order is the
+            // virtual-time order no matter when the batch was produced.
+            let vtime = net.virtual_time();
+            debug_assert_eq!(
+                vtime,
+                self.rounds_before + 2 * (self.pack_start / self.plan.params.lanes) as u64,
+                "pack round-A virtual time"
+            );
+            ev.bus.post(vtime, batch);
+            let traffic = ev.bus.take(vtime).expect("batch staged for current vtime");
+            (lane_syms, traffic)
+        } else {
+            let traffic = net.traffic();
+            build_round_a(
+                &self.instance,
+                &self.plan,
+                self.cache.as_ref(),
+                self.parallel,
+                &pack,
+                traffic,
+                |len| net.frame_buffer(len),
+            )?
+        };
         let delivery = net.exchange(traffic);
 
         // ---- Relay gather into the flat grid: one contiguous sentinel-
@@ -410,66 +689,37 @@ impl<'i> UnitSession<'i> {
         let mut lane_offsets: Vec<usize> = Vec::with_capacity(pack.len() + 1);
         lane_offsets.push(0);
         for &(stage, _) in &pack {
-            lane_offsets.push(lane_offsets.last().unwrap() + self.stage_msgs[stage].len());
+            lane_offsets.push(lane_offsets.last().unwrap() + self.plan.stage_msgs[stage].len());
         }
         let offsets_ref = &lane_offsets;
-        let blocks: Vec<Vec<u16>> =
-            map_units(self.parallel, (0..params.l).collect::<Vec<_>>(), |w| {
-                self.gather_relay(w, &pack, offsets_ref, &lane_syms, &delivery)
-            });
+        let plan = &*self.plan;
+        let l = plan.params.l;
+        let blocks: Vec<Vec<u16>> = map_units(self.parallel, (0..l).collect::<Vec<_>>(), |w| {
+            gather_relay(plan, w, &pack, offsets_ref, &lane_syms, &delivery)
+        });
         net.reclaim(delivery);
         Ok(RelayGrid::from_blocks(blocks, lane_offsets))
     }
 
-    /// One relay's view after round A, as a flat sentinel-filled block: its
-    /// own-source symbols plus whatever its inbox carried for each lane.
-    fn gather_relay(
-        &self,
-        w: usize,
-        pack: &[(usize, usize)],
-        lane_offsets: &[usize],
-        lane_syms: &[Vec<Vec<u16>>],
-        delivery: &Delivery,
-    ) -> Vec<u16> {
-        let mut block = vec![RelayGrid::ABSENT; *lane_offsets.last().unwrap_or(&0)];
-        for (lane, &(stage, _)) in pack.iter().enumerate() {
-            // The source keeps its own symbol for position src — no frame.
-            if let Ok(i) = self.stage_src[stage].binary_search_by_key(&w, |e| e.0) {
-                let pos = self.stage_src[stage][i].1;
-                block[lane_offsets[lane] + pos] = lane_syms[lane][pos][w];
-            }
-        }
-        for (src, frame) in delivery.inbox_of(w) {
-            for (lane, &(stage, _)) in pack.iter().enumerate() {
-                let Ok(i) = self.stage_src[stage].binary_search_by_key(&src, |e| e.0) else {
-                    continue;
-                };
-                let pos = self.stage_src[stage][i].1;
-                if let Some(sym) = lane_symbol(frame, lane, self.params.slot, self.symbol_bits) {
-                    block[lane_offsets[lane] + pos] = sym;
-                }
-            }
-        }
-        block
-    }
-
     /// Round B: per-relay forward planning (parallel), frame
     /// materialization, exchange, and per-(lane, message, target) erasure
-    /// decoding (parallel).
+    /// decoding — inline on the lockstep path, as a background job (joined
+    /// later) in event mode.
     fn step_round_b(&mut self, net: &mut Network, relay: RelayGrid) -> Result<(), CoreError> {
-        let params = &self.params;
+        let params = &self.plan.params;
         let pack: Vec<(usize, usize)> = self.pack().to_vec();
 
         // ---- Plan each relay's forwards: (target, lane, symbol) sorted by
         // (target, lane). A forward frame is sent even when the relay holds
         // nothing (validity bit clear) — the wire behavior of the original
         // engine, which the adversary model and the goldens observe.
+        let (plan, instance) = (&*self.plan, &*self.instance);
         let plans: Vec<Vec<(u32, u32, Option<u16>)>> =
             map_units(self.parallel, (0..params.l).collect::<Vec<_>>(), |w| {
                 let mut out: Vec<(u32, u32, Option<u16>)> = Vec::new();
                 for (lane, &(stage, _)) in pack.iter().enumerate() {
-                    for (pos, &mi) in self.stage_msgs[stage].iter().enumerate() {
-                        let msg = &self.instance.messages[mi];
+                    for (pos, &mi) in plan.stage_msgs[stage].iter().enumerate() {
+                        let msg = &instance.messages[mi];
                         for &x in &msg.targets {
                             if x == msg.src || x == w {
                                 continue; // local delivery / own-relay read
@@ -493,7 +743,7 @@ impl<'i> UnitSession<'i> {
                         frame.set(lane as usize * params.slot, true);
                         frame.write_uint(
                             lane as usize * params.slot + 1,
-                            self.symbol_bits,
+                            self.plan.symbol_bits,
                             sym as u64,
                         );
                     }
@@ -503,58 +753,34 @@ impl<'i> UnitSession<'i> {
         }
         let delivery = net.exchange(traffic);
 
-        // ---- Decode at targets, one unit per (lane, message, target). ----
-        let mut units: Vec<(usize, usize, usize, usize)> = Vec::new(); // (lane, chunk, pos, x)
-        for (lane, &(stage, chunk)) in pack.iter().enumerate() {
-            for (pos, &mi) in self.stage_msgs[stage].iter().enumerate() {
-                let msg = &self.instance.messages[mi];
-                for &x in &msg.targets {
-                    if x != msg.src {
-                        units.push((lane, chunk, pos, x));
-                    }
-                }
-            }
-        }
-        let relay_ref = &relay;
-        let delivery_ref = &delivery;
-        type Decoded = ((usize, usize, usize, usize), Option<BitVec>, bool);
-        let decoded: Vec<Decoded> = map_units(self.parallel, units, |unit| {
-            let (lane, _chunk, pos, x) = unit;
-            let mut received = vec![0u16; params.l];
-            let mut erasures = vec![false; params.l];
-            for w in 0..params.l {
-                let val = if w == x {
-                    relay_ref.get(w, lane, pos)
-                } else {
-                    delivery_ref
-                        .received(x, w)
-                        .and_then(|f| lane_symbol(f, lane, params.slot, self.symbol_bits))
-                };
-                match val {
-                    Some(sym) => received[w] = sym,
-                    None => erasures[w] = true,
-                }
-            }
-            match params
-                .code
-                .decode_bits(&received, &erasures, params.cap_bits)
-            {
-                Ok(bits) => (unit, Some(bits), false),
-                Err(_) => (unit, None, true),
-            }
-        });
-        net.reclaim(delivery);
-        for ((lane, chunk, pos, x), bits, failed) in decoded {
-            let (stage, _) = pack[lane];
-            let mi = self.stage_msgs[stage][pos];
-            if failed {
-                self.decode_failures += 1;
-            }
-            let slot_entry = self
-                .chunk_store
-                .entry((x, mi))
-                .or_insert_with(|| vec![None; params.chunks]);
-            slot_entry[chunk] = Some(bits.unwrap_or_else(|| BitVec::zeros(params.cap_bits)));
+        if self.event.is_some() {
+            // ---- Event mode: the decode moves off-thread; its results fold
+            // in later (keyed writes — order-independent), its delivery is
+            // reclaimed at join time.
+            let instance = self.instance.shared();
+            let plan = self.plan.clone();
+            let parallel = self.parallel;
+            let job = exec::spawn(move || {
+                let decoded = decode_pack(&instance, &plan, parallel, &pack, &relay, &delivery);
+                (decoded, delivery)
+            });
+            self.event
+                .as_mut()
+                .expect("event mode")
+                .decodes
+                .push_back(job);
+            self.drain_decodes(net, DECODES_IN_FLIGHT);
+        } else {
+            let decoded = decode_pack(
+                &self.instance,
+                &self.plan,
+                self.parallel,
+                &pack,
+                &relay,
+                &delivery,
+            );
+            net.reclaim(delivery);
+            self.fold_decoded(decoded);
         }
         Ok(())
     }
@@ -566,7 +792,7 @@ impl<'i> UnitSession<'i> {
                 "routing session stepped after completion",
             ));
         }
-        if self.pack_start >= self.work.len() {
+        if self.pack_start >= self.plan.work.len() {
             return Ok(Some(self.finish(net)));
         }
         check_budget(net, self.e_allow, self.extra_error_slack)?;
@@ -578,9 +804,9 @@ impl<'i> UnitSession<'i> {
             }
             UnitPhase::RoundB { relay } => {
                 self.step_round_b(net, relay)?;
-                self.pack_start += self.params.lanes;
+                self.pack_start += self.plan.params.lanes;
                 self.phase = UnitPhase::RoundA;
-                if self.pack_start >= self.work.len() {
+                if self.pack_start >= self.plan.work.len() {
                     return Ok(Some(self.finish(net)));
                 }
                 Ok(None)
@@ -588,15 +814,17 @@ impl<'i> UnitSession<'i> {
         }
     }
 
-    /// Assembles the chunked payloads into the final output.
-    fn finish(&mut self, net: &Network) -> RoutingOutput {
+    /// Assembles the chunked payloads into the final output. Event mode
+    /// drains every outstanding decode job first.
+    fn finish(&mut self, net: &mut Network) -> RoutingOutput {
+        self.drain_decodes(net, 0);
         self.finished = true;
         let mut delivered = std::mem::take(&mut self.delivered);
         for ((x, mi), chunks) in std::mem::take(&mut self.chunk_store) {
             let msg = &self.instance.messages[mi];
             let mut full = BitVec::new();
             for c in chunks {
-                full.extend_bits(&c.unwrap_or_else(|| BitVec::zeros(self.params.cap_bits)));
+                full.extend_bits(&c.unwrap_or_else(|| BitVec::zeros(self.plan.params.cap_bits)));
             }
             full.truncate(msg.payload.len());
             delivered[x].insert((msg.src, msg.slot), full);
@@ -606,8 +834,8 @@ impl<'i> UnitSession<'i> {
             report: RoutingReport {
                 engine: EngineUsed::Unit,
                 rounds: net.rounds() - self.rounds_before,
-                stages: self.num_stages,
-                chunks: self.params.chunks,
+                stages: self.plan.num_stages,
+                chunks: self.plan.params.chunks,
                 decode_failures: self.decode_failures,
             },
         }
@@ -870,5 +1098,75 @@ mod tests {
             route_unit(&mut net, &inst, &RouterConfig::default()),
             Err(CoreError::Infeasible { .. })
         ));
+    }
+
+    /// The event-driven executor is bit-identical to the lockstep path on
+    /// the unit engine: same outputs, same rounds, same stats, same
+    /// corruption history — across single- and multi-pack, multi-chunk,
+    /// multi-target, and adversarial instances.
+    #[test]
+    fn event_driven_matches_lockstep() {
+        use bdclique_adversary::adaptive::GreedyLoad;
+        use bdclique_adversary::Payload;
+
+        let cases: Vec<(usize, usize, f64, RoutingInstance)> = vec![
+            (8, 9, 0.0, instance(8, 12, vec![(2, 0, vec![5, 6])])),
+            (8, 9, 0.0, instance(8, 100, vec![(0, 0, vec![7])])),
+            (
+                8,
+                18,
+                0.0,
+                instance(8, 8, vec![(0, 0, vec![1]), (0, 1, vec![2])]),
+            ),
+            (
+                16,
+                18,
+                1.2 / 16.0,
+                instance(
+                    16,
+                    40,
+                    (0..48)
+                        .map(|i| (i % 16, i / 16, vec![(i * 7 + 3) % 16]))
+                        .collect(),
+                ),
+            ),
+        ];
+        for (case, (n, bw, alpha, inst)) in cases.into_iter().enumerate() {
+            let run = |event: bool| {
+                let adversary = if alpha > 0.0 {
+                    Adversary::adaptive(GreedyLoad::new(Payload::Flip, 0xe0 + case as u64))
+                } else {
+                    Adversary::none()
+                };
+                let mut net = Network::new(n, bw, alpha, adversary);
+                let cfg = RouterConfig {
+                    mode: crate::routing::RoutingMode::Unit,
+                    event_driven: event,
+                    ..RouterConfig::default()
+                };
+                let out = route_unit(&mut net, &inst, &cfg).unwrap();
+                let corrupted: Vec<_> = net
+                    .history()
+                    .records()
+                    .iter()
+                    .map(|r| (r.round, r.corrupted.clone(), r.frames, r.bits))
+                    .collect();
+                let stats = *net.stats();
+                (out, stats, corrupted)
+            };
+            let (lock_out, lock_stats, lock_hist) = run(false);
+            let (ev_out, ev_stats, ev_hist) = run(true);
+            assert_eq!(lock_stats, ev_stats, "case {case}: stats");
+            assert_eq!(lock_hist, ev_hist, "case {case}: round history");
+            assert_eq!(lock_out.report, ev_out.report, "case {case}: report");
+            for (x, (a, b)) in lock_out
+                .delivered
+                .iter()
+                .zip(ev_out.delivered.iter())
+                .enumerate()
+            {
+                assert_eq!(a, b, "case {case}: delivered payloads at node {x}");
+            }
+        }
     }
 }

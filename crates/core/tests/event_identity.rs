@@ -1,0 +1,337 @@
+//! PR 7 satellite: the event-driven pack executor is **bit-identical** to
+//! the serial stepped driver, observed end to end through the public
+//! protocol surface.
+//!
+//! For every shipped protocol the only difference between the two runs is
+//! `RouterConfig::event_driven`; everything observable must match exactly —
+//! the output payloads (FNV-1a over every received message), the
+//! per-round [`RoundDelta`] trace the driver reconstructs from virtual
+//! timestamps, the cumulative network stats, and the adversary-facing
+//! per-round history (corrupted edges, frames, bits). The same identity
+//! must survive a [`RoundBudget`] abort mid-run (in-flight prefetch jobs
+//! are dropped, not drained) and a [`ScheduleSwitch`] adversary swap
+//! between rounds.
+
+use bdclique_adversary::adaptive::GreedyLoad;
+use bdclique_adversary::Payload;
+use bdclique_core::driver::{RoundBudget, RoundDelta, RoundObserver, RoundTrace, ScheduleSwitch};
+use bdclique_core::protocols::{
+    AdaptiveAllToAll, AdaptiveTakeOne, AllToAllProtocol, DetHypercube, DetSqrt, NaiveExchange,
+    NonAdaptiveAllToAll, RelayReplication,
+};
+use bdclique_core::routing::RouterConfig;
+use bdclique_core::{AllToAllInstance, Driver};
+use bdclique_netsim::{Adversary, Network};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const BANDWIDTH: usize = 18;
+
+/// All seven protocols, parameterized by the event flag. Baselines without
+/// a router run the same code on both settings — they pin the harness's
+/// "no difference" baseline and keep the matrix honest.
+const PROTOCOLS: &[&str] = &[
+    "naive",
+    "relay",
+    "nonadaptive",
+    "adaptive-take1",
+    "adaptive",
+    "det-hypercube",
+    "det-sqrt",
+];
+
+fn build(name: &str, event: bool, n: usize) -> Box<dyn AllToAllProtocol> {
+    let router = RouterConfig {
+        event_driven: event,
+        ..Default::default()
+    };
+    match name {
+        "naive" => Box::new(NaiveExchange),
+        "relay" => Box::new(RelayReplication { copies: 3 }),
+        "nonadaptive" => Box::new(NonAdaptiveAllToAll {
+            copies: 7,
+            seed: 0x5eed,
+            router,
+        }),
+        "adaptive-take1" => Box::new(AdaptiveTakeOne {
+            router,
+            ..Default::default()
+        }),
+        "adaptive" => Box::new(AdaptiveAllToAll {
+            router,
+            // The default line capacity of 2 needs a q = 8 RM plane and so
+            // n ≥ 64; at the debug-cheap n = 16 cell a q = 4 plane with one
+            // error slot per line is the feasible geometry.
+            line_capacity: if n < 64 { 1 } else { 2 },
+            ..Default::default()
+        }),
+        "det-hypercube" => Box::new(DetHypercube::new(router)),
+        "det-sqrt" => Box::new(DetSqrt::new(router)),
+        other => panic!("unknown protocol {other}"),
+    }
+}
+
+/// One adversary-visible round record: `(round, corrupted edges, frames,
+/// bits)`.
+type HistoryRecord = (u64, Vec<(usize, usize)>, u64, u64);
+
+/// What one run must pin: the result (payload hash or error), the driver's
+/// reconstructed per-round trace, the cumulative stats, and the adversary's
+/// per-round view.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    result: Result<u64, String>,
+    trace: Vec<RoundDelta>,
+    rounds: u64,
+    bits_sent: u64,
+    frames_sent: u64,
+    edges_corrupted: u64,
+    history: Vec<HistoryRecord>,
+}
+
+/// FNV-1a over every `(receiver, sender, received?)` cell of the output.
+fn payload_fnv(out: &bdclique_core::AllToAllOutput, n: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let feed = |byte: u8, h: &mut u64| {
+        *h ^= u64::from(byte);
+        *h = h.wrapping_mul(0x1000_0000_01b3);
+    };
+    for v in 0..n {
+        for u in 0..n {
+            match out.received(v, u) {
+                None => feed(0xff, &mut h),
+                Some(bits) => {
+                    feed(0x01, &mut h);
+                    for byte in bits.to_bytes() {
+                        feed(byte, &mut h);
+                    }
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Extra observers layered onto the tracing driver.
+#[derive(Clone, Copy)]
+enum Extra {
+    None,
+    /// Abort via [`RoundBudget`] after `cap` rounds.
+    Budget(u64),
+    /// Swap in a greedy adaptive adversary at round `at` via
+    /// [`ScheduleSwitch`].
+    Switch {
+        at: u64,
+        seed: u64,
+    },
+}
+
+fn run_one(
+    name: &str,
+    event: bool,
+    n: usize,
+    b: usize,
+    alpha: f64,
+    seed: u64,
+    extra: Extra,
+) -> Fingerprint {
+    let proto = build(name, event, n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let inst = AllToAllInstance::random(n, b, &mut rng);
+    let adversary = if alpha > 0.0 && matches!(extra, Extra::None | Extra::Budget(_)) {
+        Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed ^ 0xad))
+    } else {
+        Adversary::none()
+    };
+    let mut net = Network::new(n, BANDWIDTH, alpha, adversary);
+
+    let mut tracer = RoundTrace::new();
+    let mut budget;
+    let mut switch;
+    let result = {
+        let mut observers: Vec<&mut dyn RoundObserver> = vec![&mut tracer];
+        match extra {
+            Extra::None => {}
+            Extra::Budget(cap) => {
+                budget = RoundBudget::new(cap);
+                observers.push(&mut budget);
+            }
+            Extra::Switch { at, seed } => {
+                switch = ScheduleSwitch::new(vec![(
+                    at,
+                    Adversary::adaptive(GreedyLoad::new(Payload::Flip, seed)),
+                )]);
+                observers.push(&mut switch);
+            }
+        }
+        Driver::with_observers(&mut observers).run(proto.as_ref(), &mut net, &inst)
+    };
+    Fingerprint {
+        result: result
+            .map(|out| payload_fnv(&out, n))
+            .map_err(|e| format!("{e:?}")),
+        trace: tracer.frames,
+        rounds: net.rounds(),
+        bits_sent: net.stats().bits_sent,
+        frames_sent: net.stats().frames_sent,
+        edges_corrupted: net.stats().edges_corrupted,
+        history: net
+            .history()
+            .records()
+            .iter()
+            .map(|r| (r.round, r.corrupted.clone(), r.frames, r.bits))
+            .collect(),
+    }
+}
+
+/// Asserts event == lockstep for one configuration and returns the (shared)
+/// fingerprint for any further checks.
+fn assert_identical(
+    name: &str,
+    n: usize,
+    b: usize,
+    alpha: f64,
+    seed: u64,
+    extra: Extra,
+) -> Fingerprint {
+    let t0 = std::time::Instant::now();
+    let lockstep = run_one(name, false, n, b, alpha, seed, extra);
+    let t1 = std::time::Instant::now();
+    let event = run_one(name, true, n, b, alpha, seed, extra);
+    eprintln!(
+        "[event-identity] {name} n={n} alpha={alpha:.4}: lockstep {:.2}s event {:.2}s",
+        (t1 - t0).as_secs_f64(),
+        t1.elapsed().as_secs_f64()
+    );
+    assert_eq!(
+        lockstep, event,
+        "{name} n={n} alpha={alpha}: event executor diverged from the serial stepped driver"
+    );
+    event
+}
+
+/// All seven protocols, fault-free **and** under an adaptive budget-1
+/// adversary: identical payloads, traces, stats, and history. Six run at
+/// n = 64; the full adaptive compiler (Take II) runs at its n = 16 bench
+/// operating point here — a single Take II execution at n = 64 costs
+/// ~20s *in release* (dominated by its per-pair sketch/LDC decode loop),
+/// which the debug-mode tier-1 suite cannot afford; its n ∈ {64, 256}
+/// identity is pinned by [`adaptive_identical_large_n`] (release-gated
+/// in CI).
+#[test]
+fn seven_protocols_identical_n64() {
+    for (i, name) in PROTOCOLS.iter().enumerate() {
+        let n = if *name == "adaptive" { 16 } else { 64 };
+        let fp = assert_identical(name, n, 1, 0.0, 0x64 + i as u64, Extra::None);
+        assert!(
+            fp.result.is_ok(),
+            "{name} fault-free at n={n} must complete: {:?}",
+            fp.result
+        );
+        assert_eq!(
+            fp.trace.len() as u64,
+            fp.rounds,
+            "{name}: trace covers every round"
+        );
+        // vtime on a fresh network is the session-relative round index.
+        assert!(
+            fp.trace.iter().all(|d| d.vtime == d.round),
+            "{name}: vtime must equal round on a fresh network"
+        );
+        assert_identical(name, n, 1, 1.2 / n as f64, 0x640 + i as u64, Extra::None);
+    }
+}
+
+/// The fast protocols at n = 256, fault-free (the adversarial axis is
+/// covered at n = 64 — here the point is the larger stage counts and
+/// multi-pack pipelines the event executor actually overlaps). The two
+/// adaptive compilers move to [`adaptive_identical_large_n`]: Take II
+/// costs ~7 minutes *per run* at n = 256 in release, Take I ~2s release
+/// but tens of debug seconds.
+#[test]
+fn protocols_identical_n256() {
+    let n = 256;
+    for (i, name) in PROTOCOLS
+        .iter()
+        .filter(|p| !p.starts_with("adaptive"))
+        .enumerate()
+    {
+        let fp = assert_identical(name, n, 1, 0.0, 0x256 + i as u64, Extra::None);
+        assert!(
+            fp.result.is_ok(),
+            "{name} fault-free at n={n} must complete: {:?}",
+            fp.result
+        );
+    }
+}
+
+/// The adaptive compilers' heavy identity cells: Take I at n = 256,
+/// Take II at n ∈ {64, 256}. `#[ignore]`d because Take II costs ~40s
+/// (n = 64) / ~14 min (n = 256) per *pair* of runs in release — CI runs
+/// this explicitly (`cargo test --release -- --ignored`) alongside the
+/// other release-gated large-n smokes; the tier-1 debug suite covers the
+/// same protocols at their bench operating points above.
+#[test]
+#[ignore = "release-gated in CI: Take II costs minutes per run"]
+fn adaptive_identical_large_n() {
+    for (name, n) in [("adaptive-take1", 256), ("adaptive", 64), ("adaptive", 256)] {
+        let fp = assert_identical(name, n, 1, 0.0, 0x25664, Extra::None);
+        assert!(
+            fp.result.is_ok(),
+            "{name} fault-free at n={n} must complete: {:?}",
+            fp.result
+        );
+    }
+}
+
+/// A [`RoundBudget`] abort mid-run is identical too: the event path holds
+/// in-flight prefetch encodes and queued decodes when the driver aborts,
+/// and dropping them must leave exactly the lockstep network state, trace
+/// prefix, and error.
+#[test]
+fn round_budget_abort_identical() {
+    for name in ["det-sqrt", "det-hypercube", "nonadaptive"] {
+        for cap in [1u64, 3] {
+            let fp = assert_identical(name, 64, 1, 0.0, 0xb0d, Extra::Budget(cap));
+            assert!(
+                fp.result.is_err(),
+                "{name}: cap {cap} must abort before completion"
+            );
+            assert_eq!(
+                fp.trace.len() as u64,
+                cap,
+                "{name}: abort lands exactly at the budget"
+            );
+        }
+    }
+}
+
+/// A [`ScheduleSwitch`] swapping in an adaptive adversary between rounds
+/// sees the same per-virtual-round frame sets either way: corruptions land
+/// on the same edges in the same rounds.
+#[test]
+fn schedule_switch_identical() {
+    for name in ["det-sqrt", "det-hypercube"] {
+        let n = 64;
+        let fp = assert_identical(
+            name,
+            n,
+            1,
+            1.2 / n as f64,
+            0x5c4ed,
+            Extra::Switch { at: 2, seed: 0x11 },
+        );
+        assert!(
+            fp.history
+                .iter()
+                .all(|(round, corrupted, _, _)| *round >= 2 || corrupted.is_empty()),
+            "{name}: switched adversary must corrupt only from round 2 on"
+        );
+        assert!(
+            fp.history
+                .iter()
+                .any(|(round, corrupted, _, _)| *round >= 2 && !corrupted.is_empty()),
+            "{name}: the swapped-in adversary must actually corrupt"
+        );
+    }
+}

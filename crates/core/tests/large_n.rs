@@ -124,6 +124,54 @@ fn unit_engine_wave_n4096_completes() {
     }
 }
 
+/// The event-driven executor at full `n = 65536` network width: a k = 2
+/// unit wave with segment-local targets. A complete det-sqrt trial at this
+/// width would need ~4.3 × 10⁹ instance messages (the ROADMAP's open
+/// per-pack-checkpointing item), so the smoke pins what the executor
+/// itself must survive at this scale — plan construction, message-bus
+/// posting at virtual delivery times, the prefetch/decode pipeline, and
+/// arena traffic — on one routed wave. `#[ignore]`d even in release; CI
+/// runs it explicitly (`-- --ignored`) in the large-n smoke step.
+#[test]
+#[ignore = "release-gated in CI: minutes at n = 65536"]
+fn event_unit_wave_n65536_completes() {
+    use bdclique_core::routing::RoutingMode;
+    let n = 65536;
+    let k = 2;
+    let payload_bits = 64;
+    let instance = RoutingInstance {
+        n,
+        payload_bits,
+        messages: (0..n)
+            .flat_map(|u| (0..k).map(move |j| (u, j)))
+            .map(|(u, j)| SuperMessage {
+                src: u,
+                slot: j,
+                payload: BitVec::from_fn(payload_bits, |i| (u * 13 + j * 5 + i) % 7 < 3),
+                targets: vec![(u / k) * k + j],
+            })
+            .collect(),
+    };
+    let mut net = Network::new(n, 18, 0.0, Adversary::none());
+    let cfg = RouterConfig {
+        mode: RoutingMode::Unit,
+        event_driven: true,
+        ..Default::default()
+    };
+    let out = route(&mut net, &instance, &cfg).unwrap();
+    assert_eq!(out.report.engine, EngineUsed::Unit);
+    assert_eq!(out.report.decode_failures, 0);
+    for msg in &instance.messages {
+        assert_eq!(
+            out.delivered[msg.targets[0]].get(&(msg.src, msg.slot)),
+            Some(&msg.payload),
+            "message ({}, {}) lost",
+            msg.src,
+            msg.slot
+        );
+    }
+}
+
 /// A full resilient routed trial at n = 4096 — every node routes one
 /// super-message through the cover-free engine over the sparse substrate.
 /// Release-only (see module docs); the CI smoke step is its timing gate.

@@ -44,6 +44,7 @@
 //! ```
 
 mod adversary;
+mod bus;
 mod history;
 mod network;
 pub mod seed;
@@ -55,6 +56,7 @@ pub use adversary::{
     AdaptiveScope, AdaptiveStrategy, Adversary, AdversaryView, CorruptionScope, Corruptor,
     EdgePlan, EdgeSet,
 };
+pub use bus::MessageBus;
 pub use history::{History, HistoryMode, RoundRecord};
 pub use network::{Network, NetworkError, PublishedLog};
 pub use seed::SeedStream;

@@ -195,6 +195,17 @@ impl Network {
         self.round
     }
 
+    /// The network's **virtual clock**: the virtual time of the next
+    /// exchange. Identical to [`Network::rounds`] — each delivery advances
+    /// the clock by one — but named for event-driven executors, which tag
+    /// frame batches with the virtual time at which they must be exchanged
+    /// (see [`crate::MessageBus`]). Adversary budgets, history digests, and
+    /// observer round views are all anchored to this clock, never to the
+    /// wall-clock order in which batches were produced.
+    pub fn virtual_time(&self) -> u64 {
+        self.round
+    }
+
     /// Accounting snapshot.
     pub fn stats(&self) -> &NetStats {
         &self.stats
