@@ -91,10 +91,12 @@ impl TargetNode {
 
 impl AdaptiveStrategy for TargetNode {
     fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
-        let n = scope.n();
         let v = self.victim;
-        let mut others: Vec<(usize, usize)> = (0..n)
-            .filter(|&u| u != v)
+        // The victim's real neighborhood: ascending ids — on the clique
+        // that is exactly the historical `0..n` minus `v` sweep.
+        let mut others: Vec<(usize, usize)> = scope
+            .topology()
+            .neighbors(v)
             .map(|u| {
                 let load = scope.intended(u, v).map_or(0, |f| f.len())
                     + scope.intended(v, u).map_or(0, |f| f.len());
@@ -177,10 +179,12 @@ pub struct Eclipse {
 
 impl AdaptiveStrategy for Eclipse {
     fn corrupt(&mut self, _view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>) {
-        let n = scope.n();
         let v = self.victim;
-        for u in 0..n {
-            if u == v || scope.remaining_degree(v) == 0 {
+        // Walk the victim's real neighborhood (ascending — identical to
+        // the historical `0..n` sweep on the clique).
+        let neighbors: Vec<usize> = scope.topology().neighbors(v).collect();
+        for u in neighbors {
+            if scope.remaining_degree(v) == 0 {
                 continue;
             }
             let busy = scope.intended(u, v).is_some() || scope.intended(v, u).is_some();

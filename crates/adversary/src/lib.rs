@@ -7,7 +7,10 @@
 //!   [`plans::NoFaults`], [`plans::RandomMatchings`],
 //!   [`plans::RotatingMatching`] (the α = 1/n matching that defeats
 //!   tree-based aggregation — Section 3 of the paper),
-//!   [`plans::RotatingStar`], [`plans::FixedEdges`].
+//!   [`plans::RotatingStar`], [`plans::FixedEdges`], and the
+//!   topology-aware camps [`plans::EclipseCamp`] and
+//!   [`plans::PartitionCut`] — attacks that only fully close under the
+//!   per-node budgets `⌊α·(deg(v)+1)⌋` of sparse graphs.
 //! * **Corruptors** (payload rewriting on planned edges):
 //!   [`corruptors::PayloadCorruptor`] with a [`Payload`] policy.
 //! * **Adaptive strategies** ([`bdclique_netsim::AdaptiveStrategy`]):

@@ -1,7 +1,13 @@
 //! Non-adaptive edge plans: the per-round fault sets `F_i`, fixed before the
 //! protocol runs (a function of the round index and topology only).
+//!
+//! Plans that are meaningful off the clique ([`EclipseCamp`],
+//! [`PartitionCut`]) override [`EdgePlan::edges_on`] to walk real topology
+//! edges under the per-node budgets `⌊α·(deg(v)+1)⌋`; the schedule wrappers
+//! ([`RoundSelective`], [`Burst`], [`Alternate`]) forward `edges_on` so
+//! their gating composes with topology-aware inner plans.
 
-use bdclique_netsim::{EdgePlan, EdgeSet};
+use bdclique_netsim::{EdgePlan, EdgeSet, Topology};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -167,6 +173,118 @@ impl EdgePlan for RelayPathHunter {
     }
 }
 
+/// Camps on **all** of one node's incident edges for the first `rounds`
+/// rounds — the eclipse attack, and the first plan that is only fully
+/// realizable *off* the clique.
+///
+/// On the clique the target's degree is `n - 1` while the budget is
+/// `⌊αn⌋ < n - 1` for any `α < 1`, so an eclipse can never close; the plan
+/// camps the `budget` lowest-id spokes, exactly what the α-BD bound is
+/// designed to absorb. On a constant-degree graph the per-node budget
+/// `⌊α·(deg(v)+1)⌋` reaches `deg(v)` already at `α ≥ deg/(deg+1)` — e.g.
+/// `α = 0.9` on an 8-regular expander — and the target is *completely* cut
+/// off for the camped window.
+#[derive(Debug, Clone, Copy)]
+pub struct EclipseCamp {
+    /// The eclipsed node.
+    pub target: usize,
+    /// Camp duration: active on rounds `0..rounds`.
+    pub rounds: u64,
+}
+
+impl EdgePlan for EclipseCamp {
+    fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        if round >= self.rounds {
+            return es;
+        }
+        for v in (0..n).filter(|&v| v != self.target).take(budget) {
+            es.insert(self.target, v);
+        }
+        es
+    }
+
+    fn edges_on(&mut self, round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        let n = topo.n();
+        let mut es = EdgeSet::new(n);
+        if round >= self.rounds {
+            return es;
+        }
+        let target_budget = topo.budget_of(self.target, alpha);
+        for v in topo.neighbors(self.target) {
+            if es.degree(self.target) >= target_budget {
+                break;
+            }
+            // Each spoke costs the neighbor one unit of its own budget.
+            if topo.budget_of(v, alpha) >= 1 {
+                es.insert(self.target, v);
+            }
+        }
+        es
+    }
+}
+
+/// Camps on the crossing edges of a seeded random balanced bipartition,
+/// greedily within every node's budget — the partition attack. Like the
+/// eclipse it cannot close on the clique (the cut has `Θ(n²)` edges against
+/// an `O(n)` per-node budget), but on a constant-degree graph with `α`
+/// near `deg/(deg+1)` the entire cut fits inside the budgets and the two
+/// sides are fully disconnected every round the camp holds.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionCut {
+    /// Seed for the bipartition (fixed for the whole run — the adversary
+    /// *camps* the same cut every round).
+    pub cut_seed: u64,
+}
+
+impl PartitionCut {
+    /// The seeded balanced side assignment: `side[v]` is `true` for the
+    /// `⌈n/2⌉` nodes shuffled into the first half.
+    fn sides(&self, n: usize) -> Vec<bool> {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.cut_seed);
+        let mut nodes: Vec<usize> = (0..n).collect();
+        for i in (1..n).rev() {
+            nodes.swap(i, rng.gen_range(0..=i));
+        }
+        let mut side = vec![false; n];
+        for &v in &nodes[..n.div_ceil(2)] {
+            side[v] = true;
+        }
+        side
+    }
+
+    /// Greedily camps crossing edges from `candidates` while both endpoint
+    /// budgets admit another fault edge.
+    fn camp(
+        &self,
+        n: usize,
+        side: &[bool],
+        candidates: impl Iterator<Item = (usize, usize)>,
+        budget_of: impl Fn(usize) -> usize,
+    ) -> EdgeSet {
+        let mut es = EdgeSet::new(n);
+        for (u, v) in candidates {
+            if side[u] != side[v] && es.degree(u) < budget_of(u) && es.degree(v) < budget_of(v) {
+                es.insert(u, v);
+            }
+        }
+        es
+    }
+}
+
+impl EdgePlan for PartitionCut {
+    fn edges(&mut self, _round: u64, n: usize, budget: usize) -> EdgeSet {
+        let side = self.sides(n);
+        let pairs = (0..n).flat_map(|u| ((u + 1)..n).map(move |v| (u, v)));
+        self.camp(n, &side, pairs, |_| budget)
+    }
+
+    fn edges_on(&mut self, _round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        let side = self.sides(topo.n());
+        self.camp(topo.n(), &side, topo.edges(), |v| topo.budget_of(v, alpha))
+    }
+}
+
 /// Wraps any plan, activating it only on rounds `r` with
 /// `r % period ∈ phases` — for striking specific phases of a round-structured
 /// protocol while staying dormant otherwise.
@@ -199,6 +317,14 @@ impl<P: EdgePlan> EdgePlan for RoundSelective<P> {
             self.inner.edges(round, n, budget)
         } else {
             EdgeSet::new(n)
+        }
+    }
+
+    fn edges_on(&mut self, round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        if self.phases.contains(&(round % self.period)) {
+            self.inner.edges_on(round, topo, alpha)
+        } else {
+            EdgeSet::new(topo.n())
         }
     }
 }
@@ -236,6 +362,14 @@ impl<P: EdgePlan> EdgePlan for Burst<P> {
             self.inner.edges(round, n, budget)
         } else {
             EdgeSet::new(n)
+        }
+    }
+
+    fn edges_on(&mut self, round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        if round % self.period < self.burst {
+            self.inner.edges_on(round, topo, alpha)
+        } else {
+            EdgeSet::new(topo.n())
         }
     }
 }
@@ -277,6 +411,14 @@ impl<A: EdgePlan, B: EdgePlan> EdgePlan for Alternate<A, B> {
             self.a.edges(round, n, budget)
         } else {
             self.b.edges(round, n, budget)
+        }
+    }
+
+    fn edges_on(&mut self, round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        if round % self.period < self.a_rounds {
+            self.a.edges_on(round, topo, alpha)
+        } else {
+            self.b.edges_on(round, topo, alpha)
         }
     }
 }
@@ -423,6 +565,72 @@ mod tests {
     #[should_panic(expected = "burst cannot exceed the period")]
     fn burst_rejects_overlong_burst() {
         let _ = Burst::new(NoFaults, 2, 3);
+    }
+
+    #[test]
+    fn eclipse_camp_is_partial_on_the_clique_and_total_on_an_expander() {
+        let mut plan = EclipseCamp {
+            target: 3,
+            rounds: 4,
+        };
+        // Clique path: the budget caps the camp well below deg = n - 1.
+        let es = plan.edges(0, 16, 4);
+        assert_eq!(es.degree(3), 4);
+        assert!(plan.edges(4, 16, 4).is_empty(), "camp expires after rounds");
+        // Sparse path: α = 0.9 on an 8-regular graph gives every node a
+        // budget of ⌊0.9·9⌋ = 8 = deg, so the eclipse closes completely.
+        let topo = Topology::random_regular(16, 8, 11);
+        let es = plan.edges_on(0, &topo, 0.9);
+        assert_eq!(es.degree(3), 8, "every incident edge is camped");
+        for v in topo.neighbors(3) {
+            assert!(es.contains(3, v));
+        }
+        assert!(plan.edges_on(4, &topo, 0.9).is_empty());
+        // Tight budgets keep the camp partial and legal.
+        let es = plan.edges_on(0, &topo, 0.5); // ⌊0.5·9⌋ = 4
+        assert_eq!(es.degree(3), 4);
+    }
+
+    #[test]
+    fn partition_cut_disconnects_sides_on_an_expander() {
+        let mut plan = PartitionCut { cut_seed: 5 };
+        let topo = Topology::random_regular(16, 4, 9);
+        let es = plan.edges_on(0, &topo, 0.75); // budget ⌊0.75·5⌋ = 3 per node
+        assert!(!es.is_empty());
+        for v in 0..16 {
+            assert!(es.degree(v) <= 3, "node {v} over budget");
+        }
+        for (u, v) in es.iter() {
+            assert!(topo.contains(u, v), "camped edges must be real wires");
+        }
+        // Same seed, same cut, every round.
+        let again = plan.edges_on(7, &topo, 0.75);
+        assert_eq!(
+            es.iter().collect::<std::collections::BTreeSet<_>>(),
+            again.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+        // Clique path stays inside the uniform budget.
+        let es = plan.edges(0, 16, 2);
+        assert!(!es.is_empty());
+        assert!(es.max_degree() <= 2);
+    }
+
+    #[test]
+    fn wrappers_forward_edges_on_to_topology_aware_inner_plans() {
+        let topo = Topology::random_regular(16, 8, 11);
+        let inner = EclipseCamp {
+            target: 0,
+            rounds: u64::MAX,
+        };
+        let mut burst = Burst::new(inner, 4, 2);
+        assert!(!burst.edges_on(0, &topo, 0.9).is_empty());
+        assert!(burst.edges_on(2, &topo, 0.9).is_empty(), "dormant window");
+        let mut alt = Alternate::new(inner, NoFaults, 1, 2);
+        assert_eq!(alt.edges_on(0, &topo, 0.9).degree(0), 8);
+        assert!(alt.edges_on(1, &topo, 0.9).is_empty());
+        let mut sel = RoundSelective::new(inner, 3, vec![1]);
+        assert!(sel.edges_on(0, &topo, 0.9).is_empty());
+        assert!(!sel.edges_on(1, &topo, 0.9).is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use crate::scenario::{
     run, run_trials, Cell, CellCtx, CellKind, ProtocolFactory, RegistryEntry, Scenario, TrialJob,
     Value,
 };
-use crate::{AdversarySpec, Aggregate, Table};
+use crate::{AdversarySpec, Aggregate, Table, TopologySpec};
 use bdclique_bits::BitVec;
 use bdclique_codes::{ConcatenatedCode, Ldc, ReedSolomon, RepetitionCode, RmLdc, SymbolCode};
 use bdclique_core::cc::{MaxTwoPhase, SumAll, Transpose};
@@ -150,6 +150,11 @@ pub fn registry() -> Vec<RegistryEntry> {
             about: "bandwidth scaling B in {lambda, 2lambda, 4lambda} for Thm 1.2/1.5",
             build: bandwidth,
         },
+        RegistryEntry {
+            name: "topologies",
+            about: "beyond the clique: protocols on hypercube / random-regular graphs, eclipse + partition attacks",
+            build: topologies,
+        },
     ]
 }
 
@@ -193,6 +198,7 @@ pub fn t1r1(trials: usize) -> Scenario {
                     }),
                     protocol_key: "nonadaptive",
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 2,
                     bandwidth: BANDWIDTH,
@@ -287,6 +293,7 @@ pub fn t1r2(trials: usize) -> Scenario {
                     protocol: protocol.clone(),
                     protocol_key: variant,
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: BANDWIDTH,
@@ -341,6 +348,7 @@ pub fn t1r3(trials: usize) -> Scenario {
                 protocol: factory(|_seed| DetHypercube::default()),
                 protocol_key: "det-hypercube",
                 adversary: AdversarySpec::GreedyFlip,
+                topology: TopologySpec::Complete,
                 n,
                 b: 1,
                 bandwidth: BANDWIDTH,
@@ -390,6 +398,7 @@ pub fn t1r4(trials: usize) -> Scenario {
                     protocol: factory(|_seed| DetSqrt::default()),
                     protocol_key: "det-sqrt",
                     adversary: AdversarySpec::GreedyFlip,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: BANDWIDTH,
@@ -582,6 +591,7 @@ pub fn matching(trials: usize) -> Scenario {
                     protocol: protocol.clone(),
                     protocol_key: label,
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: BANDWIDTH,
@@ -670,6 +680,7 @@ pub fn frontier_scenario(trials: usize) -> Scenario {
                         protocol: protocol.clone(),
                         protocol_key: label,
                         adversary,
+                        topology: TopologySpec::Complete,
                         n,
                         b: 1,
                         bandwidth: BANDWIDTH,
@@ -1035,6 +1046,7 @@ pub fn querypath(trials: usize) -> Scenario {
                 }),
                 protocol_key: label,
                 adversary: AdversarySpec::GreedyFlip,
+                topology: TopologySpec::Complete,
                 n: 16,
                 b: 1,
                 bandwidth: BANDWIDTH,
@@ -1091,6 +1103,7 @@ pub fn largen(_trials: usize) -> Scenario {
             }),
             protocol_key: "det-sqrt",
             adversary: AdversarySpec::None,
+            topology: TopologySpec::Complete,
             n,
             b: 1,
             bandwidth: BANDWIDTH,
@@ -1160,6 +1173,7 @@ pub fn schedules(trials: usize) -> Scenario {
                     protocol: protocol.clone(),
                     protocol_key: label,
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: BANDWIDTH,
@@ -1258,6 +1272,7 @@ pub fn alpha_largen(_trials: usize) -> Scenario {
                     protocol: protocol.clone(),
                     protocol_key: label,
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: BANDWIDTH,
@@ -1326,6 +1341,7 @@ pub fn xlargen(_trials: usize) -> Scenario {
             }),
             protocol_key: "det-sqrt",
             adversary: AdversarySpec::None,
+            topology: TopologySpec::Complete,
             n,
             b: 1,
             bandwidth: BANDWIDTH,
@@ -1400,6 +1416,7 @@ pub fn bandwidth(trials: usize) -> Scenario {
                     protocol: protocol.clone(),
                     protocol_key: label,
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: factor * LAMBDA,
@@ -1423,6 +1440,142 @@ pub fn bandwidth(trials: usize) -> Scenario {
             "perfect",
             "errors",
             "bits/trial",
+        ],
+        cells,
+    }
+}
+
+/// `S.TOPO` — beyond the clique: the protocols that survive on sparse
+/// graphs, and the attacks that only exist there. On the hypercube the
+/// deterministic compiler runs in direct partner-exchange mode; on a random
+/// 8-regular expander the naive and relay baselines deliver every neighbor
+/// message fault-free — and then an [`AdversarySpec::Eclipse`] at
+/// `α = 0.9` closes the full per-node budget `⌊0.9·9⌋ = 8 = deg` and cuts
+/// the target off completely, something no `α < 1` achieves on `K_n`. A
+/// clique-only protocol (the nonadaptive router) rides along to show the
+/// `Infeasible` path, and a [`AdversarySpec::Partition`] cell camps a
+/// balanced cut.
+pub fn topologies(trials: usize) -> Scenario {
+    fn present(_job: &TrialJob, agg: &Aggregate) -> Vec<(&'static str, Value)> {
+        vec![
+            ("rounds", Value::opt_f1(agg.mean_rounds)),
+            ("perfect", Value::rate(agg.perfect, agg.completed)),
+            ("errors", Value::u(agg.total_errors)),
+            ("corrupted/trial", Value::opt_f1(agg.mean_corrupted)),
+            ("infeasible", Value::u(agg.infeasible)),
+        ]
+    }
+    let n = 32usize;
+    let expander = TopologySpec::RandomRegular { d: 8, seed: 21 };
+    // α = 0.9: per-node budget ⌊0.9·(8+1)⌋ = 8 on the expander — the whole
+    // degree, so the eclipse and partition camps fully close.
+    let alpha_camp = 0.9;
+    let eclipse = AdversarySpec::Eclipse {
+        target: 0,
+        rounds: 64,
+    };
+    let partition = AdversarySpec::Partition { cut_seed: 5 };
+    let configs: Vec<(
+        &'static str,
+        ProtocolFactory,
+        TopologySpec,
+        AdversarySpec,
+        f64,
+    )> = vec![
+        // Structured sparse graph: the hypercube compiler in direct mode.
+        (
+            "det-hypercube",
+            factory(|_| DetHypercube::default()),
+            TopologySpec::Hypercube,
+            AdversarySpec::None,
+            0.0,
+        ),
+        // Fault-free baselines on the expander.
+        (
+            "naive",
+            factory(|_| NaiveExchange),
+            expander,
+            AdversarySpec::None,
+            0.0,
+        ),
+        (
+            "relay(x3)",
+            factory(|_| RelayReplication { copies: 3 }),
+            expander,
+            AdversarySpec::None,
+            0.0,
+        ),
+        // The sparse-only attacks.
+        (
+            "naive",
+            factory(|_| NaiveExchange),
+            expander,
+            eclipse,
+            alpha_camp,
+        ),
+        (
+            "relay(x3)",
+            factory(|_| RelayReplication { copies: 3 }),
+            expander,
+            eclipse,
+            alpha_camp,
+        ),
+        (
+            "naive",
+            factory(|_| NaiveExchange),
+            expander,
+            partition,
+            alpha_camp,
+        ),
+        // Clique-only protocol: the super-message router needs every node
+        // as a relay, so it reports Infeasible (not an error) off K_n.
+        (
+            "nonadaptive",
+            factory(|seed| NonAdaptiveAllToAll {
+                copies: 7,
+                seed,
+                ..Default::default()
+            }),
+            expander,
+            AdversarySpec::None,
+            0.0,
+        ),
+    ];
+    let cells = configs
+        .into_iter()
+        .map(|(label, protocol, topology, adversary, alpha)| Cell {
+            coords: vec![
+                ("topology", Value::s(topology.key())),
+                ("protocol", Value::s(label)),
+                ("adversary", Value::s(adversary.name())),
+            ],
+            kind: CellKind::Trials(TrialJob {
+                protocol,
+                protocol_key: label,
+                adversary,
+                topology,
+                n,
+                b: 2,
+                bandwidth: BANDWIDTH,
+                alpha,
+                trials,
+                present,
+                trace: false,
+            }),
+        })
+        .collect();
+    Scenario {
+        name: "topologies",
+        title: "S.TOPO  beyond the clique: sparse graphs, degree-relative budgets, n = 32".into(),
+        headers: vec![
+            "topology",
+            "protocol",
+            "adversary",
+            "rounds",
+            "perfect",
+            "errors",
+            "corrupted/trial",
+            "infeasible",
         ],
         cells,
     }

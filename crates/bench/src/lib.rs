@@ -25,13 +25,14 @@ pub mod trajectory;
 use bdclique_adversary::adaptive::{GreedyLoad, RushingRandom, TargetNode};
 use bdclique_adversary::corruptors::PayloadCorruptor;
 use bdclique_adversary::plans::{
-    Alternate, Burst, RandomMatchings, RelayPathHunter, RotatingMatching, RotatingStar,
+    Alternate, Burst, EclipseCamp, PartitionCut, RandomMatchings, RelayPathHunter,
+    RotatingMatching, RotatingStar,
 };
 use bdclique_adversary::Payload;
 use bdclique_core::driver::{RoundDelta, RoundObserver, RoundTrace};
 use bdclique_core::protocols::AllToAllProtocol;
 use bdclique_core::{AllToAllInstance, CoreError, Driver};
-use bdclique_netsim::{Adversary, Network, SeedStream};
+use bdclique_netsim::{Adversary, Network, SeedStream, Topology};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
@@ -72,6 +73,25 @@ pub enum AdversarySpec {
     TargetNodeFlip(usize),
     /// Adaptive: random busy edges, rushing, random payloads.
     RushingRandom,
+    /// Non-adaptive, topology-aware: camps **all** of `target`'s incident
+    /// edges for the first `rounds` rounds ([`EclipseCamp`]). Only fully
+    /// realizable on sparse graphs, where the degree-relative budget
+    /// `⌊α·(deg(v)+1)⌋` can reach `deg(v)`; on the clique it degrades to
+    /// camping `⌊αn⌋` spokes.
+    Eclipse {
+        /// The eclipsed node.
+        target: usize,
+        /// Camp duration in rounds.
+        rounds: u64,
+    },
+    /// Non-adaptive, topology-aware: camps the crossing edges of a seeded
+    /// balanced bipartition ([`PartitionCut`]). Closes the whole cut only on
+    /// sparse graphs (`Θ(n²)` crossing edges on the clique vs. `O(n)`
+    /// budgets).
+    Partition {
+        /// Seed of the camped bipartition.
+        cut_seed: u64,
+    },
 }
 
 impl AdversarySpec {
@@ -87,6 +107,8 @@ impl AdversarySpec {
             AdversarySpec::GreedyFlip => "abd-greedy",
             AdversarySpec::TargetNodeFlip(_) => "abd-victim",
             AdversarySpec::RushingRandom => "abd-rushing",
+            AdversarySpec::Eclipse { .. } => "nbd-eclipse",
+            AdversarySpec::Partition { .. } => "nbd-partition",
         }
     }
 
@@ -104,6 +126,10 @@ impl AdversarySpec {
             AdversarySpec::PhasedFlip { period, split } => {
                 format!("nbd-phased({split}/{period})")
             }
+            AdversarySpec::Eclipse { target, rounds } => {
+                format!("nbd-eclipse({target},{rounds})")
+            }
+            AdversarySpec::Partition { cut_seed } => format!("nbd-partition({cut_seed})"),
             other => other.name().to_string(),
         }
     }
@@ -154,6 +180,67 @@ impl AdversarySpec {
             AdversarySpec::RushingRandom => {
                 Adversary::adaptive(RushingRandom::new(Payload::Random, plan_seed))
             }
+            AdversarySpec::Eclipse { target, rounds } => Adversary::non_adaptive(
+                EclipseCamp { target, rounds },
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
+            ),
+            AdversarySpec::Partition { cut_seed } => Adversary::non_adaptive(
+                PartitionCut { cut_seed },
+                PayloadCorruptor::new(Payload::Flip, payload_seed),
+            ),
+        }
+    }
+}
+
+/// Which communication graph a trial runs on.
+///
+/// [`TopologySpec::Complete`] is the historical default: trials build the
+/// network with [`Network::new`] and draw instances with
+/// [`AllToAllInstance::random`], keeping every pre-topology seed sequence
+/// and golden byte-identical. Sparse specs build the graph per trial,
+/// mask the instance to its edge set ([`AllToAllInstance::random_on`]),
+/// and open the network with [`Network::on_topology`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TopologySpec {
+    /// The complete graph `K_n` — the paper's model and the default.
+    #[default]
+    Complete,
+    /// The `log₂ n`-dimensional hypercube (`n` must be a power of two).
+    Hypercube,
+    /// A seeded random `d`-regular graph (constant-degree expander).
+    RandomRegular {
+        /// Degree.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Whether this is the clique (the zero-overhead legacy path).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, TopologySpec::Complete)
+    }
+
+    /// Canonical key for seed derivation and JSON coordinates. Only ever
+    /// hashed for non-complete specs — clique cells keep their historical
+    /// seed streams.
+    pub fn key(&self) -> String {
+        match self {
+            TopologySpec::Complete => "complete".to_string(),
+            TopologySpec::Hypercube => "hypercube".to_string(),
+            TopologySpec::RandomRegular { d, seed } => {
+                format!("random-regular(d={d},seed={seed})")
+            }
+        }
+    }
+
+    /// Materializes the graph on `n` nodes.
+    pub fn build(&self, n: usize) -> Topology {
+        match *self {
+            TopologySpec::Complete => Topology::complete(n),
+            TopologySpec::Hypercube => Topology::hypercube(n),
+            TopologySpec::RandomRegular { d, seed } => Topology::random_regular(n, d, seed),
         }
     }
 }
@@ -265,9 +352,52 @@ pub fn run_trial_seeded_traced(
     seeds: TrialSeeds,
     trace: bool,
 ) -> Result<(Trial, Option<Vec<RoundDelta>>), CoreError> {
+    run_trial_seeded_traced_on(
+        proto,
+        TopologySpec::Complete,
+        n,
+        b,
+        bandwidth,
+        alpha,
+        spec,
+        seeds,
+        trace,
+    )
+}
+
+/// [`run_trial_seeded_traced`] on an explicit topology. The clique path is
+/// byte-for-byte the historical one ([`AllToAllInstance::random`] +
+/// [`Network::new`]); sparse topologies mask the instance to the edge set
+/// and open the network with [`Network::on_topology`], under the
+/// degree-relative budget `⌊α·(deg(v)+1)⌋`.
+///
+/// # Errors
+///
+/// Propagates protocol parameter errors ([`CoreError`]), including
+/// `Infeasible` from clique-only protocols on sparse graphs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_trial_seeded_traced_on(
+    proto: &dyn AllToAllProtocol,
+    topology: TopologySpec,
+    n: usize,
+    b: usize,
+    bandwidth: usize,
+    alpha: f64,
+    spec: AdversarySpec,
+    seeds: TrialSeeds,
+    trace: bool,
+) -> Result<(Trial, Option<Vec<RoundDelta>>), CoreError> {
     let mut rng = ChaCha8Rng::seed_from_u64(seeds.instance);
-    let inst = AllToAllInstance::random(n, b, &mut rng);
-    let mut net = Network::new(n, bandwidth, alpha, spec.build(seeds.adversary));
+    let (inst, mut net) = if topology.is_complete() {
+        let inst = AllToAllInstance::random(n, b, &mut rng);
+        let net = Network::new(n, bandwidth, alpha, spec.build(seeds.adversary));
+        (inst, net)
+    } else {
+        let topo = topology.build(n);
+        let inst = AllToAllInstance::random_on(&topo, b, &mut rng);
+        let net = Network::on_topology(topo, bandwidth, alpha, spec.build(seeds.adversary));
+        (inst, net)
+    };
     let (out, frames) = if trace {
         let mut tracer = RoundTrace::new();
         let mut observers: [&mut dyn RoundObserver; 1] = [&mut tracer];
@@ -590,10 +720,102 @@ mod tests {
             AdversarySpec::GreedyFlip,
             AdversarySpec::TargetNodeFlip(2),
             AdversarySpec::RushingRandom,
+            AdversarySpec::Eclipse {
+                target: 1,
+                rounds: 4,
+            },
+            AdversarySpec::Partition { cut_seed: 9 },
         ] {
             let _ = spec.build(7);
             assert!(!spec.name().is_empty());
         }
+        assert_eq!(
+            AdversarySpec::Eclipse {
+                target: 1,
+                rounds: 4
+            }
+            .key(),
+            "nbd-eclipse(1,4)"
+        );
+        assert_eq!(
+            AdversarySpec::Partition { cut_seed: 9 }.key(),
+            "nbd-partition(9)"
+        );
+    }
+
+    /// Sparse trials run end to end: a fault-free naive exchange on a random
+    /// regular graph delivers every neighbor message (masked instances hold
+    /// zeros elsewhere), and an eclipse at `α = 0.9` on the same graph
+    /// corrupts — the budget `⌊0.9·9⌋ = 8` covers the full degree.
+    #[test]
+    fn sparse_trial_runs_on_random_regular() {
+        let topo = TopologySpec::RandomRegular { d: 8, seed: 21 };
+        let seeds = TrialSeeds::derive(3);
+        let (clean, _) = run_trial_seeded_traced_on(
+            &NaiveExchange,
+            topo,
+            32,
+            2,
+            18,
+            0.0,
+            AdversarySpec::None,
+            seeds,
+            false,
+        )
+        .unwrap();
+        assert_eq!(clean.errors, 0);
+        assert_eq!(clean.rounds, 1);
+        let (eclipsed, _) = run_trial_seeded_traced_on(
+            &NaiveExchange,
+            topo,
+            32,
+            2,
+            18,
+            0.9,
+            AdversarySpec::Eclipse {
+                target: 0,
+                rounds: 64,
+            },
+            seeds,
+            false,
+        )
+        .unwrap();
+        assert!(eclipsed.edges_corrupted > 0, "eclipse must close on d=8");
+        assert!(eclipsed.errors > 0);
+    }
+
+    /// Clique-only protocols report `Infeasible` (not an error) on sparse
+    /// topologies, so grid cells fold them into the `infeasible` column.
+    #[test]
+    fn clique_only_protocol_is_infeasible_on_sparse() {
+        use bdclique_core::protocols::DetSqrt;
+        let err = run_trial_seeded_traced_on(
+            &DetSqrt::default(),
+            TopologySpec::RandomRegular { d: 8, seed: 21 },
+            16,
+            1,
+            9,
+            0.0,
+            AdversarySpec::None,
+            TrialSeeds::derive(4),
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::Infeasible { .. }));
+    }
+
+    #[test]
+    fn topology_spec_keys_and_builds() {
+        assert!(TopologySpec::Complete.is_complete());
+        assert_eq!(TopologySpec::Complete.key(), "complete");
+        assert_eq!(TopologySpec::Hypercube.key(), "hypercube");
+        assert_eq!(
+            TopologySpec::RandomRegular { d: 8, seed: 7 }.key(),
+            "random-regular(d=8,seed=7)"
+        );
+        assert_eq!(TopologySpec::Hypercube.build(16).max_degree(), 4);
+        let rr = TopologySpec::RandomRegular { d: 4, seed: 7 }.build(16);
+        assert!((0..16).all(|v| rr.degree(v) == 4));
     }
 
     /// A burst adversary corrupts only inside its windows, and the trace

@@ -21,7 +21,10 @@
 //!   trajectory. The JSON schema is documented in the README
 //!   ("Scenario engine" section) and versioned via [`SCHEMA`].
 
-use crate::{fold_trials, run_trial_seeded_traced, AdversarySpec, Aggregate, Table, TrialSeeds};
+use crate::{
+    fold_trials, run_trial_seeded_traced_on, AdversarySpec, Aggregate, Table, TopologySpec,
+    TrialSeeds,
+};
 use bdclique_core::driver::RoundDelta;
 use bdclique_core::protocols::AllToAllProtocol;
 use bdclique_core::routing::{shared_codeword_cache, CodewordCache};
@@ -172,6 +175,9 @@ pub struct TrialJob {
     pub protocol_key: &'static str,
     /// Attached adversary.
     pub adversary: AdversarySpec,
+    /// Communication graph ([`TopologySpec::Complete`] is the historical
+    /// clique path and leaves the cell's seed stream untouched).
+    pub topology: TopologySpec,
     /// Nodes.
     pub n: usize,
     /// Message bits per ordered pair.
@@ -218,7 +224,7 @@ impl Cell {
             s = s.fork(&format!("{key}={}", value.canon()));
         }
         if let CellKind::Trials(job) = &self.kind {
-            s = s.fork(&format!(
+            let mut coord = format!(
                 "proto={};adv={};n={};b={};bw={};alpha={:016x}",
                 job.protocol_key,
                 job.adversary.key(),
@@ -226,7 +232,14 @@ impl Cell {
                 job.b,
                 job.bandwidth,
                 job.alpha.to_bits()
-            ));
+            );
+            // The topology key joins the coordinate tuple only off the
+            // clique: every pre-topology cell keeps its historical seed
+            // stream byte-identical.
+            if !job.topology.is_complete() {
+                coord.push_str(&format!(";topo={}", job.topology.key()));
+            }
+            s = s.fork(&coord);
         }
         s
     }
@@ -470,8 +483,9 @@ pub fn run_trials_traced(
         let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
         let mut proto = (job.protocol)(seeds.protocol);
         proto.attach_codeword_cache(cache.clone());
-        run_trial_seeded_traced(
+        run_trial_seeded_traced_on(
             proto.as_ref(),
+            job.topology,
             job.n,
             job.b,
             job.bandwidth,

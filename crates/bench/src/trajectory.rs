@@ -43,6 +43,13 @@ pub struct TrajCell {
     /// Mean rounds over completed trials (`None` for custom cells and
     /// cells where no trial completed).
     pub mean_rounds: Option<f64>,
+    /// Mean honest bits queued per completed trial. Recorded for context
+    /// (bandwidth-efficiency drift is visible in review diffs) but **not
+    /// gated** — the ±20% contract stays on `secs` and `mean_rounds`.
+    pub mean_bits: Option<f64>,
+    /// Mean corrupted (edge, round) slots per completed trial. Recorded,
+    /// not gated — adversarial pressure varies by design across cells.
+    pub corruptions: Option<f64>,
 }
 
 /// One appended run: provenance plus its cells.
@@ -70,6 +77,8 @@ pub fn entry_from_results(git: &str, runner: &str, results: &[ScenarioResult]) -
                 key: format!("{}/{}", scenario.name, coords.join(",")),
                 secs: cell.secs,
                 mean_rounds: cell.aggregate.as_ref().and_then(|a| a.mean_rounds),
+                mean_bits: cell.aggregate.as_ref().and_then(|a| a.mean_bits),
+                corruptions: cell.aggregate.as_ref().and_then(|a| a.mean_corrupted),
             });
         }
     }
@@ -179,18 +188,22 @@ pub fn render(entries: &[TrajEntry]) -> String {
             .cells
             .iter()
             .map(|c| {
-                let rounds = c
-                    .mean_rounds
-                    .filter(|v| v.is_finite())
-                    .map_or("null".to_string(), |v| format!("{v}"));
+                let opt = |v: Option<f64>| {
+                    v.filter(|v| v.is_finite())
+                        .map_or("null".to_string(), |v| format!("{v}"))
+                };
                 format!(
-                    "{{\"key\":{},\"secs\":{},\"mean_rounds\":{rounds}}}",
+                    "{{\"key\":{},\"secs\":{},\"mean_rounds\":{rounds},\
+                     \"mean_bits\":{bits},\"corruptions\":{corr}}}",
                     quote(&c.key),
                     if c.secs.is_finite() {
                         format!("{}", c.secs)
                     } else {
                         "null".to_string()
                     },
+                    rounds = opt(c.mean_rounds),
+                    bits = opt(c.mean_bits),
+                    corr = opt(c.corruptions),
                 )
             })
             .collect();
@@ -479,6 +492,10 @@ fn parse_trajectory(text: &str) -> Result<Vec<TrajEntry>, String> {
                             .and_then(Json::as_f64)
                             .ok_or_else(|| format!("entry {i} cell {j}: missing \"secs\""))?,
                         mean_rounds: cell.get("mean_rounds").and_then(Json::as_f64),
+                        // Absent in pre-topology ledgers: old entries load
+                        // with `None`, keeping the file append-compatible.
+                        mean_bits: cell.get("mean_bits").and_then(Json::as_f64),
+                        corruptions: cell.get("corruptions").and_then(Json::as_f64),
                     })
                 })
                 .collect::<Result<Vec<_>, String>>()?;
@@ -501,6 +518,8 @@ mod tests {
                     key: key.to_string(),
                     secs,
                     mean_rounds,
+                    mean_bits: None,
+                    corruptions: None,
                 })
                 .collect(),
         }
@@ -508,15 +527,31 @@ mod tests {
 
     #[test]
     fn render_parse_round_trips() {
-        let entries = vec![
+        let mut entries = vec![
             entry(
                 "v1-g0000000",
                 &[("s/a=1", 2.5, Some(8.0)), ("s/a=2", 0.1, None)],
             ),
             entry("v1-g1111111", &[("s/a=1", 2.6, Some(8.0))]),
         ];
+        entries[0].cells[0].mean_bits = Some(1024.0);
+        entries[0].cells[0].corruptions = Some(3.5);
         let parsed = parse_trajectory(&render(&entries)).unwrap();
         assert_eq!(parsed, entries);
+    }
+
+    /// Pre-topology ledger entries (no `mean_bits` / `corruptions` fields)
+    /// still load, with the new fields `None`.
+    #[test]
+    fn parses_legacy_cells_without_new_fields() {
+        let text = r#"[
+{"git":"v1","runner":"test","cells":[{"key":"s/a=1","secs":2.5,"mean_rounds":8}]}]
+"#;
+        let parsed = parse_trajectory(text).unwrap();
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].cells[0].mean_bits, None);
+        assert_eq!(parsed[0].cells[0].corruptions, None);
+        assert_eq!(parsed[0].cells[0].mean_rounds, Some(8.0));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! registry, and JSON well-formedness.
 
 use bdclique_bench::scenario::{self, Cell, CellKind, ProtocolFactory, Scenario, TrialJob, Value};
-use bdclique_bench::{AdversarySpec, Aggregate};
+use bdclique_bench::{AdversarySpec, Aggregate, TopologySpec};
 use bdclique_core::protocols::{DetSqrt, NaiveExchange};
 use std::sync::Arc;
 
@@ -26,6 +26,7 @@ fn base_cell() -> Cell {
             protocol: naive_factory(),
             protocol_key: "naive",
             adversary: AdversarySpec::None,
+            topology: TopologySpec::Complete,
             n: 8,
             b: 1,
             bandwidth: 9,
@@ -75,6 +76,14 @@ fn any_single_coordinate_change_changes_the_seed_stream() {
             with_job(|j| j.adversary = AdversarySpec::RelayHunter(0, 1)),
         ),
         ("protocol", with_job(|j| j.protocol_key = "other-proto")),
+        (
+            "topology",
+            with_job(|j| j.topology = TopologySpec::Hypercube),
+        ),
+        (
+            "topology params",
+            with_job(|j| j.topology = TopologySpec::RandomRegular { d: 4, seed: 1 }),
+        ),
     ];
     for (what, cell) in cases {
         assert_ne!(
@@ -92,6 +101,17 @@ fn any_single_coordinate_change_changes_the_seed_stream() {
     // The trial *count* is deliberately not a seed coordinate: more trials
     // extend the sequence instead of reshuffling completed ones.
     assert_eq!(base, with_job(|j| j.trials = 100).stream("s"));
+    // `Complete` is the implicit historical topology: setting it explicitly
+    // must NOT perturb any pre-topology cell's seed stream.
+    assert_eq!(
+        base,
+        with_job(|j| j.topology = TopologySpec::Complete).stream("s")
+    );
+    // Distinct sparse generators seed apart.
+    assert_ne!(
+        with_job(|j| j.topology = TopologySpec::RandomRegular { d: 4, seed: 1 }).stream("s"),
+        with_job(|j| j.topology = TopologySpec::RandomRegular { d: 4, seed: 2 }).stream("s"),
+    );
 }
 
 fn mini_grid(trials: usize) -> Scenario {
@@ -112,6 +132,7 @@ fn mini_grid(trials: usize) -> Scenario {
                     protocol: Arc::new(|_seed| Box::new(DetSqrt::default())),
                     protocol_key: "det-sqrt",
                     adversary,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: 18,
@@ -180,7 +201,7 @@ fn zero_trial_cell_renders_na() {
 #[test]
 fn registry_builds_unique_nonempty_scenarios() {
     let entries = bdclique_bench::experiments::registry();
-    assert_eq!(entries.len(), 19);
+    assert_eq!(entries.len(), 20);
     let mut names: Vec<&str> = entries.iter().map(|e| e.name).collect();
     names.sort_unstable();
     names.dedup();

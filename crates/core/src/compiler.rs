@@ -96,6 +96,16 @@ where
     A: CliqueAlgorithm + Sync,
     A::State: Send + Sync,
 {
+    // The simulation's correctness argument needs every round's full n × n
+    // message matrix delivered, which only the complete topology supports
+    // (a sparse graph cannot carry messages between non-adjacent pairs).
+    if !net.topology().is_complete() {
+        return Err(CoreError::infeasible(
+            "the round compiler requires the complete topology (K_n): each simulated \
+             round exchanges a full n x n message matrix"
+                .to_string(),
+        ));
+    }
     let n = net.n();
     let b = algo.message_bits();
     let rounds_before = net.rounds();
@@ -303,6 +313,23 @@ mod tests {
         check!(max);
         check!(transpose);
         check!(matmul);
+    }
+
+    /// The compiler simulates full n × n rounds, so sparse topologies are
+    /// refused up front.
+    #[test]
+    fn sparse_topology_is_infeasible_for_compilation() {
+        use bdclique_netsim::Topology;
+        let algo = SumAll {
+            inputs: (0..8u64).collect(),
+            width: 8,
+        };
+        let mut net = Network::on_topology(Topology::ring(8), 9, 0.0, Adversary::none());
+        assert!(matches!(
+            compile(&mut net, &algo, &NaiveExchange),
+            Err(CoreError::Infeasible { .. })
+        ));
+        assert_eq!(net.rounds(), 0);
     }
 
     /// The compiled clean path still recovers the fault-free reference (the

@@ -58,6 +58,28 @@ impl AllToAllInstance {
         Self { n, b, messages }
     }
 
+    /// A random instance masked to a topology: `m_{u,v}` is uniformly random
+    /// when `(u, v)` is an edge (or `u = v`), and all-zeros otherwise — the
+    /// natural all-to-all workload on a sparse graph, where non-adjacent
+    /// pairs have nothing to exchange and a receiver may assume the zero
+    /// message for them. On [`bdclique_netsim::Topology::complete`] this is
+    /// distributed exactly like [`AllToAllInstance::random`] (every pair is
+    /// an edge), though the draw order differs.
+    pub fn random_on(topo: &bdclique_netsim::Topology, b: usize, rng: &mut impl Rng) -> Self {
+        let n = topo.n();
+        let messages = (0..n * n)
+            .map(|i| {
+                let (u, v) = (i / n, i % n);
+                if u == v || topo.contains(u, v) {
+                    BitVec::from_fn(b, |_| rng.gen())
+                } else {
+                    BitVec::zeros(b)
+                }
+            })
+            .collect();
+        Self { n, b, messages }
+    }
+
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.n

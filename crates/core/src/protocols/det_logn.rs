@@ -5,7 +5,7 @@ use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use crate::routing::{
-    RouteSession, RouterConfig, RoutingInstance, SharedCodewordCache, SuperMessage,
+    RouteSession, RouterConfig, RoutingInstance, RoutingOutput, SharedCodewordCache, SuperMessage,
 };
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
@@ -77,8 +77,8 @@ fn message_ids(u: usize, i: usize, ell: usize) -> Vec<(usize, usize)> {
     ids
 }
 
-/// The hypercube protocol as a state machine: `ℓ` routed iterations, one
-/// step per routing round.
+/// The hypercube protocol as a state machine: `ℓ` iterations, one step per
+/// network round.
 struct HypercubeSession<'a> {
     router: &'a RouterConfig,
     /// Optional cross-run codeword cache; iteration payloads recur rarely,
@@ -91,7 +91,37 @@ struct HypercubeSession<'a> {
     i: usize,
     /// state[u]: payloads of M_i(u), aligned with message_ids(u, i, ell).
     state: Vec<Vec<BitVec>>,
-    route: RouteSession<'static>,
+    engine: HcEngine,
+}
+
+/// How one iteration's half exchange executes.
+// One engine lives per session, so the variant size gap costs nothing.
+#[allow(clippy::large_enum_variant)]
+enum HcEngine {
+    /// Complete topology: each iteration is a `k = 2` routed super-message
+    /// instance (the paper's construction, resilient to the α-BD adversary).
+    Routed(RouteSession<'static>),
+    /// Sparse topology containing every hypercube dimension edge: each
+    /// iteration sends the partner's half *directly* over the matching edge
+    /// `(u, Flip(u, i))`, sliced to the bandwidth — the classical (fault-
+    /// sensitive) hypercube exchange, since the routed compiler needs K_n.
+    Direct {
+        /// Network rounds this iteration needs.
+        rounds: usize,
+        /// Rounds already exchanged this iteration.
+        done: usize,
+        /// outbox[u]: the half payload `u` sends to its partner.
+        outbox: Vec<BitVec>,
+        /// received[v]: the partner's half, assembled slice by slice
+        /// (pre-zeroed; missing frames leave zeros).
+        received: Vec<BitVec>,
+    },
+}
+
+/// What an iteration's exchange produced, consumed by the shared rebuild.
+enum HcDone {
+    Routed(RoutingOutput),
+    Direct(Vec<BitVec>),
 }
 
 impl<'a> HypercubeSession<'a> {
@@ -122,16 +152,29 @@ impl<'a> HypercubeSession<'a> {
                     .collect()
             })
             .collect();
-        let route = Self::iteration_route(
-            net,
-            &proto.router,
-            proto.shared_cache.as_ref(),
-            &state,
-            n,
-            ell,
-            b,
-            1,
-        )?;
+        let engine = if net.topology().is_complete() {
+            HcEngine::Routed(Self::iteration_route(
+                net,
+                &proto.router,
+                proto.shared_cache.as_ref(),
+                &state,
+                n,
+                ell,
+                b,
+                1,
+            )?)
+        } else {
+            let topo = net.topology();
+            let has_dims = (0..n).all(|u| (0..ell).all(|j| topo.contains(u, u ^ (1 << j))));
+            if !has_dims {
+                return Err(CoreError::infeasible(
+                    "det-hypercube on a sparse topology needs every dimension edge \
+                     (u, u XOR 2^j); the given graph is missing some"
+                        .to_string(),
+                ));
+            }
+            Self::direct_engine(&state, net.bandwidth(), n, ell, b, 1)
+        };
         Ok(Self {
             router: &proto.router,
             cache: proto.shared_cache.clone(),
@@ -140,8 +183,41 @@ impl<'a> HypercubeSession<'a> {
             b,
             i: 1,
             state,
-            route,
+            engine,
         })
+    }
+
+    /// Opens iteration `i`'s direct partner exchange: precomputes each
+    /// node's outgoing half (the half its partner collects) and sizes the
+    /// round count to the bandwidth.
+    fn direct_engine(
+        state: &[Vec<BitVec>],
+        bandwidth: usize,
+        n: usize,
+        ell: usize,
+        b: usize,
+        i: usize,
+    ) -> HcEngine {
+        let bit_shift = ell - i;
+        let half = n / 2;
+        let outbox = (0..n)
+            .map(|u| {
+                // The partner's bit is the complement of u's: partners with
+                // bit 0 collect lower halves, bit 1 upper halves.
+                if (u >> bit_shift) & 1 == 1 {
+                    BitVec::concat(state[u][..half].iter())
+                } else {
+                    BitVec::concat(state[u][half..].iter())
+                }
+            })
+            .collect();
+        let total = half * b;
+        HcEngine::Direct {
+            rounds: total.div_ceil(bandwidth).max(1),
+            done: 0,
+            outbox,
+            received: vec![BitVec::zeros(total); n],
+        }
     }
 
     /// Builds iteration `i`'s `k = 2` routing instance and opens its
@@ -197,14 +273,60 @@ impl<'a> HypercubeSession<'a> {
 impl ProtocolSession for HypercubeSession<'_> {
     fn step(&mut self, net: &mut Network) -> Result<Step, CoreError> {
         let (n, ell, b) = (self.n, self.ell, self.b);
-        let Some(routed) = self.route.step(net)? else {
-            return Ok(Step::Running);
-        };
-        // Iteration i's routing finished: rebuild M_{i+1}(v) from the two
-        // received halves.
         let i = self.i;
+        if i > ell {
+            return Err(CoreError::invalid("stepping a completed session"));
+        }
         let bit_shift = ell - i;
         let half = n / 2;
+        let outcome = match &mut self.engine {
+            HcEngine::Routed(route) => match route.step(net)? {
+                None => return Ok(Step::Running),
+                Some(routed) => HcDone::Routed(routed),
+            },
+            HcEngine::Direct {
+                rounds,
+                done,
+                outbox,
+                received,
+            } => {
+                let bw = net.bandwidth();
+                let total = half * b;
+                let lo = *done * bw;
+                let hi = ((*done + 1) * bw).min(total);
+                let mut traffic = net.traffic();
+                for (u, out) in outbox.iter().enumerate() {
+                    if hi > lo {
+                        traffic.send(u, u ^ (1 << bit_shift), out.slice(lo, hi));
+                    }
+                }
+                let delivery = net.exchange(traffic);
+                for (v, dst) in received.iter_mut().enumerate() {
+                    let partner = v ^ (1 << bit_shift);
+                    for (u, piece) in delivery.inbox_of(v) {
+                        if u != partner {
+                            continue;
+                        }
+                        if piece.len() <= hi - lo {
+                            dst.write_bits(lo, piece);
+                        } else {
+                            // Overlong (adversarial) frame: clamp.
+                            for idx in 0..hi - lo {
+                                dst.set(lo + idx, piece.get(idx));
+                            }
+                        }
+                    }
+                }
+                net.reclaim(delivery);
+                *done += 1;
+                if *done < *rounds {
+                    return Ok(Step::Running);
+                }
+                HcDone::Direct(std::mem::take(received))
+            }
+        };
+        // Iteration i's exchange finished: rebuild M_{i+1}(v) from the two
+        // received halves.
         let mut next: Vec<Vec<BitVec>> = Vec::with_capacity(n);
         for v in 0..n {
             let my_bit = (v >> bit_shift) & 1;
@@ -213,10 +335,21 @@ impl ProtocolSession for HypercubeSession<'_> {
             let mut collected: std::collections::HashMap<(usize, usize), BitVec> =
                 std::collections::HashMap::with_capacity(expected_ids.len());
             for sender in [v, partner] {
-                let payload = routed.delivered[v]
-                    .get(&(sender, my_bit))
-                    .cloned()
-                    .unwrap_or_else(|| BitVec::zeros(half * b));
+                let payload = match &outcome {
+                    HcDone::Routed(routed) => routed.delivered[v]
+                        .get(&(sender, my_bit))
+                        .cloned()
+                        .unwrap_or_else(|| BitVec::zeros(half * b)),
+                    HcDone::Direct(_) if sender == v => {
+                        // The own half never leaves the node.
+                        if my_bit == 0 {
+                            BitVec::concat(self.state[v][..half].iter())
+                        } else {
+                            BitVec::concat(self.state[v][half..].iter())
+                        }
+                    }
+                    HcDone::Direct(received) => received[v].clone(),
+                };
                 // The sender's half ids: sender's iteration-i ids,
                 // lower or upper half by my_bit.
                 let sender_ids = message_ids(sender, i, ell);
@@ -239,16 +372,21 @@ impl ProtocolSession for HypercubeSession<'_> {
         self.state = next;
         self.i += 1;
         if self.i <= ell {
-            self.route = Self::iteration_route(
-                net,
-                self.router,
-                self.cache.as_ref(),
-                &self.state,
-                n,
-                ell,
-                b,
-                self.i,
-            )?;
+            self.engine = match &self.engine {
+                HcEngine::Routed(_) => HcEngine::Routed(Self::iteration_route(
+                    net,
+                    self.router,
+                    self.cache.as_ref(),
+                    &self.state,
+                    n,
+                    ell,
+                    b,
+                    self.i,
+                )?),
+                HcEngine::Direct { .. } => {
+                    Self::direct_engine(&self.state, net.bandwidth(), n, ell, b, self.i)
+                }
+            };
             return Ok(Step::Running);
         }
         // M_{ℓ+1}(v) = M(V, {v}), sorted by (target = v, source ascending).
@@ -328,6 +466,53 @@ mod tests {
         let mut net = Network::new(32, 9, 0.0, Adversary::none());
         let out = DetHypercube::default().run(&mut net, &inst).unwrap();
         assert_eq!(inst.count_errors(&out), 0);
+    }
+
+    #[test]
+    fn direct_mode_on_hypercube_topology() {
+        use bdclique_netsim::Topology;
+        for (n, b, bw) in [(8usize, 2usize, 9usize), (16, 3, 5)] {
+            let mut rng = ChaCha8Rng::seed_from_u64(4);
+            let topo = Topology::hypercube(n);
+            let inst = AllToAllInstance::random_on(&topo, b, &mut rng);
+            let mut net = Network::on_topology(topo, bw, 0.0, Adversary::none());
+            let out = DetHypercube::default().run(&mut net, &inst).unwrap();
+            assert_eq!(inst.count_errors(&out), 0, "n = {n}");
+            // ℓ iterations of ⌈(n/2)·b / B⌉ direct rounds each.
+            let ell = n.trailing_zeros() as u64;
+            let per = ((n / 2 * b).div_ceil(bw)) as u64;
+            assert_eq!(net.rounds(), ell * per, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn direct_mode_refuses_restepping_a_completed_session() {
+        use bdclique_netsim::Topology;
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let topo = Topology::hypercube(8);
+        let inst = AllToAllInstance::random_on(&topo, 2, &mut rng);
+        let mut net = Network::on_topology(topo, 9, 0.0, Adversary::none());
+        let proto = DetHypercube::default();
+        let mut session = proto.session(&net, &inst).unwrap();
+        loop {
+            if let Step::Done(_) = session.step(&mut net).unwrap() {
+                break;
+            }
+        }
+        assert!(session.step(&mut net).is_err());
+    }
+
+    #[test]
+    fn sparse_graph_without_dimension_edges_is_infeasible() {
+        use bdclique_netsim::Topology;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let topo = Topology::ring(8); // misses the higher-dimension edges
+        let inst = AllToAllInstance::random_on(&topo, 2, &mut rng);
+        let mut net = Network::on_topology(topo, 9, 0.0, Adversary::none());
+        assert!(matches!(
+            DetHypercube::default().run(&mut net, &inst),
+            Err(CoreError::Infeasible { .. })
+        ));
     }
 
     #[test]

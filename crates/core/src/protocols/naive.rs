@@ -70,10 +70,15 @@ impl ProtocolSession for NaiveSession<'_> {
         let (n, b) = (self.n, self.b);
         let lo = self.s * self.per;
         let hi = ((self.s + 1) * self.per).min(b);
+        // Walk the topology's neighborhoods (ascending) — on the clique this
+        // is exactly the historical `0..n` minus `u` sweep; on a sparse graph
+        // only real edges carry frames, and non-adjacent pairs keep their
+        // pre-zeroed assembly buffers (the zero message of masked instances).
+        let topo = net.topology_handle();
         let mut traffic = net.traffic();
         for u in 0..n {
-            for v in 0..n {
-                if u != v && hi > lo {
+            for v in topo.neighbors(u) {
+                if hi > lo {
                     traffic.send(u, v, self.inst.message(u, v).slice(lo, hi));
                 }
             }
@@ -129,6 +134,20 @@ mod tests {
         let inst = AllToAllInstance::random(8, 4, &mut rng);
         let mut net = Network::new(8, 8, 0.0, Adversary::none());
         let out = NaiveExchange.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+        assert_eq!(net.rounds(), 1);
+    }
+
+    #[test]
+    fn sparse_topology_delivers_neighbor_messages() {
+        use bdclique_netsim::Topology;
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let topo = Topology::ring(8);
+        let inst = AllToAllInstance::random_on(&topo, 4, &mut rng);
+        let mut net = Network::on_topology(topo, 8, 0.0, Adversary::none());
+        let out = NaiveExchange.run(&mut net, &inst).unwrap();
+        // Neighbor messages arrive on the wire; non-adjacent pairs keep the
+        // zero message the masked instance holds for them.
         assert_eq!(inst.count_errors(&out), 0);
         assert_eq!(net.rounds(), 1);
     }

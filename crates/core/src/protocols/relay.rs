@@ -13,8 +13,9 @@ use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_bits::BitVec;
-use bdclique_netsim::{Delivery, Network};
+use bdclique_netsim::{Delivery, Network, Topology};
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Replication over `R` two-hop relay paths, with per-message majority.
 ///
@@ -56,6 +57,11 @@ struct RelaySession<'a> {
     i: usize,
     phase: RelayPhase,
     votes: Vec<Vec<Vec<BitVec>>>,
+    /// `Some` on a sparse topology: the arithmetic relay bijection needs the
+    /// clique, so replication degrades to *time* replication — each copy is
+    /// one direct round over the graph's edges, and the majority is taken
+    /// over rounds instead of relay paths.
+    topo: Option<Arc<Topology>>,
 }
 
 impl<'a> RelaySession<'a> {
@@ -83,6 +89,7 @@ impl<'a> RelaySession<'a> {
             i: 0,
             phase: RelayPhase::Hop1,
             votes: vec![vec![Vec::new(); n]; n],
+            topo: (!net.topology().is_complete()).then(|| net.topology_handle()),
         })
     }
 
@@ -95,6 +102,14 @@ impl<'a> RelaySession<'a> {
                 if u == v {
                     out.set(v, u, self.inst.message(u, u).clone());
                     continue;
+                }
+                if let Some(topo) = &self.topo {
+                    if !topo.contains(u, v) {
+                        // Non-adjacent pair: the zero message by convention
+                        // (masked instances hold zeros off the edge set).
+                        out.set(v, u, BitVec::zeros(b));
+                        continue;
+                    }
                 }
                 let mut tally: Vec<(BitVec, usize)> = Vec::new();
                 for m in &self.votes[v][u] {
@@ -122,6 +137,26 @@ impl ProtocolSession for RelaySession<'_> {
             return Err(CoreError::invalid("session stepped after completion"));
         }
         let n = self.n;
+        if let Some(topo) = self.topo.clone() {
+            // Sparse mode: one direct round per copy over the real edges.
+            let mut traffic = net.traffic();
+            for u in 0..n {
+                for v in topo.neighbors(u) {
+                    traffic.send(u, v, self.inst.message(u, v).clone());
+                }
+            }
+            let d = net.exchange(traffic);
+            for (v, inbox) in d.into_inboxes().into_iter().enumerate() {
+                for (u, m) in inbox {
+                    self.votes[v][u as usize].push(m);
+                }
+            }
+            self.i += 1;
+            if self.i == self.copies {
+                return Ok(Step::Done(self.finish()));
+            }
+            return Ok(Step::Running);
+        }
         let h = 1 + self.i; // distinct deterministic shifts
         match std::mem::replace(&mut self.phase, RelayPhase::Hop1) {
             RelayPhase::Hop1 => {
@@ -223,6 +258,18 @@ mod tests {
         let out = RelayReplication { copies: 3 }.run(&mut net, &inst).unwrap();
         assert_eq!(inst.count_errors(&out), 0);
         assert_eq!(net.rounds(), 6);
+    }
+
+    #[test]
+    fn sparse_topology_uses_time_replication() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let topo = Topology::random_regular(16, 4, 3);
+        let inst = AllToAllInstance::random_on(&topo, 3, &mut rng);
+        let mut net = Network::on_topology(topo, 8, 0.0, Adversary::none());
+        let out = RelayReplication { copies: 3 }.run(&mut net, &inst).unwrap();
+        assert_eq!(inst.count_errors(&out), 0);
+        // One direct round per copy (no relay hops on a sparse graph).
+        assert_eq!(net.rounds(), 3);
     }
 
     #[test]

@@ -36,7 +36,7 @@ use crate::exec::{self, Job};
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
-use bdclique_netsim::{Delivery, MessageBus, Network, Traffic};
+use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -261,6 +261,9 @@ struct CfEventState {
     decodes: VecDeque<Job<CfDecodeBatch>>,
     n: usize,
     bandwidth: usize,
+    /// `Sync` free-list of frame buffers shared with the prefetch jobs (the
+    /// arena is not `Sync`); delivered frames recycle into later prefetches.
+    pool: Arc<FramePool>,
 }
 
 /// Encodes one chunk pack and materializes its round-1 traffic in ascending
@@ -504,6 +507,7 @@ impl<'i> CfSession<'i> {
                 decodes: VecDeque::new(),
                 n,
                 bandwidth: net.bandwidth(),
+                pool: Arc::new(FramePool::new()),
             }),
         })
     }
@@ -532,9 +536,13 @@ impl<'i> CfSession<'i> {
             let cache = self.cache.clone();
             let parallel = self.parallel;
             let (n, bandwidth) = (ev.n, ev.bandwidth);
+            let pool = ev.pool.clone();
             let job = exec::spawn(move || {
                 let end = (pack_start + plan.params.lanes).min(plan.chunk_ids.len());
                 let pack = &plan.chunk_ids[pack_start..end];
+                // Pooled zeroed frame buffers — indistinguishable from
+                // `BitVec::zeros`, batched through a taker.
+                let mut taker = pool.taker();
                 build_round1(
                     &instance,
                     &plan,
@@ -542,7 +550,7 @@ impl<'i> CfSession<'i> {
                     parallel,
                     pack,
                     Traffic::new(n, bandwidth),
-                    BitVec::zeros,
+                    |len| taker.take(len),
                 )
             });
             ev.encodes.push_back((pack_start, job));
@@ -577,7 +585,10 @@ impl<'i> CfSession<'i> {
                 .and_then(|ev| ev.decodes.pop_front())
                 .expect("checked non-empty");
             let (decoded, delivery) = job.join();
-            net.reclaim(delivery);
+            // Frames feed the `Sync` pool (for the next prefetch job), the
+            // sparse tables go back to the arena as usual.
+            let pool = self.event.as_ref().expect("event mode").pool.clone();
+            net.reclaim_split(delivery, &pool);
             self.fold_decoded(decoded);
         }
     }

@@ -308,6 +308,17 @@ impl<'i> RouteSession<'i> {
         if instance.n != net.n() {
             return Err(CoreError::invalid("instance size != network size"));
         }
+        // Both engines scatter codeword symbols through *every* node as a
+        // relay, so they are defined only on the complete topology; on a
+        // sparse graph the whole routed stack (and everything built on it)
+        // reports infeasibility instead of silently dropping frames.
+        if !net.topology().is_complete() {
+            return Err(CoreError::infeasible(
+                "super-message routing requires the complete topology (K_n): the \
+                 scatter/gather pattern uses every node as a relay"
+                    .to_string(),
+            ));
+        }
         let engine = match cfg.mode {
             RoutingMode::Unit => {
                 EngineSession::Unit(unit::UnitSession::new(net, instance, cfg)?.with_cache(cache))
@@ -906,6 +917,38 @@ mod tests {
             "second identical run must not encode anything anew"
         );
         assert_eq!(hits, misses_after_first, "every probe of run 2 hits");
+    }
+
+    /// Both routed engines address every node as a relay, so a sparse
+    /// topology is rejected as infeasible before any round runs.
+    #[test]
+    fn sparse_topology_is_infeasible_for_routing() {
+        use bdclique_netsim::Topology;
+        let instance = RoutingInstance {
+            n: 8,
+            payload_bits: 8,
+            messages: vec![SuperMessage {
+                src: 0,
+                slot: 0,
+                payload: BitVec::from_fn(8, |i| i % 2 == 0),
+                targets: vec![3],
+            }],
+        };
+        for mode in [RoutingMode::Auto, RoutingMode::Unit, RoutingMode::CoverFree] {
+            let mut net = Network::on_topology(Topology::ring(8), 9, 0.0, Adversary::none());
+            let cfg = RouterConfig {
+                mode,
+                ..RouterConfig::default()
+            };
+            assert!(
+                matches!(
+                    route(&mut net, &instance, &cfg),
+                    Err(CoreError::Infeasible { .. })
+                ),
+                "{mode:?} must refuse a sparse topology"
+            );
+            assert_eq!(net.rounds(), 0, "no round may run on the error path");
+        }
     }
 
     /// The cover-free engine's lazy per-pack encode path with a shared cache

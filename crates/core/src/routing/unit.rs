@@ -67,7 +67,7 @@ use crate::error::CoreError;
 use crate::exec::{self, Job};
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
-use bdclique_netsim::{Delivery, MessageBus, Network, Traffic};
+use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -264,6 +264,11 @@ struct EventState {
     /// Network shape for building arena-free traffic off-thread.
     n: usize,
     bandwidth: usize,
+    /// `Sync` free-list of frame buffers shared with the prefetch jobs: the
+    /// network's `FrameArena` is not `Sync`, so off-thread round-A assembly
+    /// used to allocate every frame fresh — the pool recycles the session's
+    /// own delivered frames into the next prefetch instead.
+    pool: Arc<FramePool>,
 }
 
 /// The unit engine as a resumable session: every [`UnitSession::step`]
@@ -557,6 +562,7 @@ impl<'i> UnitSession<'i> {
                 decodes: VecDeque::new(),
                 n,
                 bandwidth: net.bandwidth(),
+                pool: Arc::new(FramePool::new()),
             }),
         })
     }
@@ -587,9 +593,14 @@ impl<'i> UnitSession<'i> {
             let cache = self.cache.clone();
             let parallel = self.parallel;
             let (n, bandwidth) = (ev.n, ev.bandwidth);
+            let pool = ev.pool.clone();
             let job = exec::spawn(move || {
                 let end = (pack_start + plan.params.lanes).min(plan.work.len());
                 let pack = &plan.work[pack_start..end];
+                // Frame buffers come from the shared pool (zeroed, so
+                // indistinguishable from `BitVec::zeros`), batched through a
+                // taker to keep lock traffic off the per-frame path.
+                let mut taker = pool.taker();
                 build_round_a(
                     &instance,
                     &plan,
@@ -597,7 +608,7 @@ impl<'i> UnitSession<'i> {
                     parallel,
                     pack,
                     Traffic::new(n, bandwidth),
-                    BitVec::zeros,
+                    |len| taker.take(len),
                 )
             });
             ev.encodes.push_back((pack_start, job));
@@ -634,7 +645,10 @@ impl<'i> UnitSession<'i> {
                 .and_then(|ev| ev.decodes.pop_front())
                 .expect("checked non-empty");
             let (decoded, delivery) = job.join();
-            net.reclaim(delivery);
+            // Frames feed the `Sync` pool (for the next prefetch job), the
+            // sparse tables go back to the arena as usual.
+            let pool = self.event.as_ref().expect("event mode").pool.clone();
+            net.reclaim_split(delivery, &pool);
             self.fold_decoded(decoded);
         }
     }

@@ -1,0 +1,118 @@
+//! The topology refactor's bit-compatibility pin: a network opened on an
+//! explicit `Topology::complete(n)` is **bit-identical** to the historical
+//! `Network::new(n, …)` clique for every protocol in the suite — same
+//! outputs, same rounds, same stats transcript, under the same adversary.
+//!
+//! This is the contract that let the topology layer land without touching a
+//! single golden: `complete(n).neighbors(u)` walks `0..n` minus `u` in
+//! ascending order (the historical sweep), and the degree-relative budget
+//! `⌊α·(deg(v)+1)⌋` collapses to the paper's `⌊αn⌋` when `deg(v) = n - 1`.
+
+use bdclique_adversary::adaptive::GreedyLoad;
+use bdclique_adversary::corruptors::PayloadCorruptor;
+use bdclique_adversary::plans::RandomMatchings;
+use bdclique_adversary::Payload;
+use bdclique_core::protocols::{
+    AdaptiveAllToAll, AdaptiveTakeOne, AllToAllProtocol, DetHypercube, DetSqrt, NaiveExchange,
+    NonAdaptiveAllToAll, RelayReplication,
+};
+use bdclique_core::AllToAllInstance;
+use bdclique_netsim::{Adversary, Network, Topology};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+const N: usize = 16;
+const B: usize = 18;
+const ALPHA: f64 = 0.07; // budget ⌊0.07·16⌋ = 1 on both construction paths
+
+fn greedy() -> Adversary {
+    Adversary::adaptive(GreedyLoad::new(Payload::Flip, 11))
+}
+
+fn matchings() -> Adversary {
+    Adversary::non_adaptive(
+        RandomMatchings::new(5),
+        PayloadCorruptor::new(Payload::Flip, 6),
+    )
+}
+
+/// Runs `proto` on the legacy clique constructor and on an explicit
+/// `Topology::complete(N)`, with identically-seeded adversaries, and
+/// asserts the full observable transcript matches bit for bit.
+fn assert_equivalent(proto: &dyn AllToAllProtocol, adversary: fn() -> Adversary) {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let inst = AllToAllInstance::random(N, 1, &mut rng);
+
+    let mut legacy = Network::new(N, B, ALPHA, adversary());
+    let out_legacy = proto.run(&mut legacy, &inst).unwrap();
+
+    let mut topo = Network::on_topology(Topology::complete(N), B, ALPHA, adversary());
+    let out_topo = proto.run(&mut topo, &inst).unwrap();
+
+    let name = proto.name();
+    assert_eq!(out_legacy, out_topo, "{name}: outputs diverged");
+    assert_eq!(legacy.rounds(), topo.rounds(), "{name}: rounds diverged");
+    assert_eq!(
+        legacy.stats(),
+        topo.stats(),
+        "{name}: stats transcript diverged"
+    );
+    assert_eq!(
+        inst.count_errors(&out_legacy),
+        inst.count_errors(&out_topo),
+        "{name}: error counts diverged"
+    );
+}
+
+#[test]
+fn naive_is_bit_identical_on_explicit_clique() {
+    assert_equivalent(&NaiveExchange, greedy);
+}
+
+#[test]
+fn relay_is_bit_identical_on_explicit_clique() {
+    assert_equivalent(&RelayReplication { copies: 3 }, greedy);
+}
+
+#[test]
+fn nonadaptive_is_bit_identical_on_explicit_clique() {
+    let proto = NonAdaptiveAllToAll {
+        copies: 7,
+        seed: 9,
+        ..Default::default()
+    };
+    assert_equivalent(&proto, matchings);
+}
+
+#[test]
+fn take_one_is_bit_identical_on_explicit_clique() {
+    let proto = AdaptiveTakeOne {
+        lines: 5,
+        line_capacity: 1,
+        ..Default::default()
+    };
+    assert_equivalent(&proto, greedy);
+}
+
+#[test]
+fn take_two_is_bit_identical_on_explicit_clique() {
+    let proto = AdaptiveAllToAll {
+        line_capacity: 1,
+        seed: 9,
+        ..Default::default()
+    };
+    assert_equivalent(&proto, greedy);
+}
+
+#[test]
+fn det_hypercube_is_bit_identical_on_explicit_clique() {
+    // On the *complete* graph the hypercube compiler takes its routed path
+    // (iteration routing), not the sparse direct-exchange mode — this pins
+    // that the mode switch keys on the topology, not on n being 2^l.
+    assert_equivalent(&DetHypercube::default(), greedy);
+}
+
+#[test]
+fn det_sqrt_is_bit_identical_on_explicit_clique() {
+    assert_equivalent(&DetSqrt::default(), greedy);
+}

@@ -14,6 +14,7 @@
 
 use crate::history::History;
 use crate::network::PublishedLog;
+use crate::topology::Topology;
 use crate::traffic::Traffic;
 use bdclique_bits::BitVec;
 use std::collections::HashMap;
@@ -199,6 +200,21 @@ impl IntendedOverlay {
 pub trait EdgePlan {
     /// The fault set for round `round`; must have `max_degree() ≤ budget`.
     fn edges(&mut self, round: u64, n: usize, budget: usize) -> EdgeSet;
+
+    /// Topology-aware variant, consulted on *sparse* graphs (the clique
+    /// keeps the legacy [`EdgePlan::edges`] path verbatim). The returned
+    /// set must lie inside the topology's edge set and respect every
+    /// node's budget `⌊α·(deg(v)+1)⌋`; the simulator validates both.
+    ///
+    /// The default falls back to [`EdgePlan::edges`] with the
+    /// clique-equivalent advisory budget `⌊αn⌋`, so clique-oriented plans
+    /// fail sparse validation loudly ([`crate::NetworkError`]) instead of
+    /// silently camping on wires that do not exist. Plans that are
+    /// meaningful off the clique (eclipse, partition) override this.
+    fn edges_on(&mut self, round: u64, topo: &Topology, alpha: f64) -> EdgeSet {
+        let advisory = (alpha * topo.n() as f64).floor() as usize;
+        self.edges(round, topo.n(), advisory)
+    }
 }
 
 impl<F: FnMut(u64, usize, usize) -> EdgeSet> EdgePlan for F {
@@ -292,18 +308,20 @@ pub trait AdaptiveStrategy {
 pub struct AdaptiveScope<'a> {
     traffic: &'a mut Traffic,
     edges: EdgeSet,
-    budget: usize,
+    topo: &'a Topology,
+    alpha: f64,
     overlay: IntendedOverlay,
     frames_touched: u64,
 }
 
 impl<'a> AdaptiveScope<'a> {
-    fn new(traffic: &'a mut Traffic, budget: usize) -> Self {
+    fn new(traffic: &'a mut Traffic, topo: &'a Topology, alpha: f64) -> Self {
         let n = traffic.n();
         Self {
             traffic,
             edges: EdgeSet::new(n),
-            budget,
+            topo,
+            alpha,
             overlay: IntendedOverlay::default(),
             frames_touched: 0,
         }
@@ -326,11 +344,19 @@ impl<'a> AdaptiveScope<'a> {
     }
 
     /// Tries to take control of edge `{from, to}` without touching traffic.
+    /// Refused when the pair is not a topology edge, or when the
+    /// acquisition would push either endpoint past its per-node budget
+    /// `⌊α·(deg(v)+1)⌋` (on the clique: the uniform `⌊αn⌋`).
     pub fn try_acquire(&mut self, from: usize, to: usize) -> bool {
         if self.edges.contains(from, to) {
             return true;
         }
-        if self.edges.degree(from) + 1 > self.budget || self.edges.degree(to) + 1 > self.budget {
+        if !self.topo.contains(from, to) {
+            return false;
+        }
+        if self.edges.degree(from) + 1 > self.budget_of(from)
+            || self.edges.degree(to) + 1 > self.budget_of(to)
+        {
             return false;
         }
         self.edges.insert(from, to);
@@ -339,12 +365,25 @@ impl<'a> AdaptiveScope<'a> {
 
     /// How many more fault edges may touch `node` this round.
     pub fn remaining_degree(&self, node: usize) -> usize {
-        self.budget.saturating_sub(self.edges.degree(node))
+        self.budget_of(node).saturating_sub(self.edges.degree(node))
     }
 
-    /// The per-round degree budget `⌊αn⌋`.
+    /// The clique-global per-round degree budget `⌊αn⌋`. On sparse
+    /// topologies the binding constraint is the per-node
+    /// [`AdaptiveScope::budget_of`]; on the clique the two coincide.
     pub fn budget(&self) -> usize {
-        self.budget
+        (self.alpha * self.traffic.n() as f64).floor() as usize
+    }
+
+    /// The per-node budget `⌊α·(deg(node)+1)⌋` — `⌊αn⌋` on the clique.
+    pub fn budget_of(&self, node: usize) -> usize {
+        self.topo.budget_of(node, self.alpha)
+    }
+
+    /// The communication graph — strategies walk real neighborhoods
+    /// through this instead of probing all `n²` pairs.
+    pub fn topology(&self) -> &Topology {
+        self.topo
     }
 
     /// The frame the honest sender *intended* on `from → to` this round —
@@ -430,13 +469,20 @@ impl Adversary {
     }
 
     /// Runs one round of corruption; returns `(edge set used, frames touched)`.
+    ///
+    /// On the clique, non-adaptive plans go through the legacy
+    /// [`EdgePlan::edges`] path with the uniform `⌊αn⌋` check — bit-for-bit
+    /// the pre-topology pipeline. On sparse graphs, plans go through
+    /// [`EdgePlan::edges_on`] and the returned set is validated for
+    /// topology membership and per-node budgets `⌊α·(deg(v)+1)⌋`.
     pub(crate) fn act(
         &mut self,
         round: u64,
         traffic: &mut Traffic,
         published: &PublishedLog,
         history: &History,
-        budget: usize,
+        topo: &Topology,
+        alpha: f64,
     ) -> Result<(EdgeSet, u64), crate::network::NetworkError> {
         let n = traffic.n();
         let empty_history = History::default();
@@ -444,14 +490,43 @@ impl Adversary {
         match &mut self.kind {
             Kind::None => Ok((EdgeSet::new(n), 0)),
             Kind::NonAdaptive { plan, corruptor } => {
-                let edges = plan.edges(round, n, budget);
-                if edges.max_degree() > budget {
-                    return Err(crate::network::NetworkError::BudgetExceeded {
-                        round,
-                        degree: edges.max_degree(),
-                        budget,
-                    });
-                }
+                let edges = if topo.is_complete() {
+                    let budget = (alpha * n as f64).floor() as usize;
+                    let edges = plan.edges(round, n, budget);
+                    if edges.max_degree() > budget {
+                        return Err(crate::network::NetworkError::BudgetExceeded {
+                            round,
+                            degree: edges.max_degree(),
+                            budget,
+                        });
+                    }
+                    edges
+                } else {
+                    let edges = plan.edges_on(round, topo, alpha);
+                    let mut claimed: Vec<(usize, usize)> = edges.iter().collect();
+                    claimed.sort_unstable();
+                    for (u, v) in claimed {
+                        if !topo.contains(u, v) {
+                            return Err(crate::network::NetworkError::EdgeOffTopology {
+                                round,
+                                from: u,
+                                to: v,
+                            });
+                        }
+                    }
+                    for v in 0..n {
+                        let budget = topo.budget_of(v, alpha);
+                        if edges.degree(v) > budget {
+                            return Err(crate::network::NetworkError::NodeBudgetExceeded {
+                                round,
+                                node: v,
+                                degree: edges.degree(v),
+                                budget,
+                            });
+                        }
+                    }
+                    edges
+                };
                 let view = AdversaryView {
                     round,
                     // Non-adaptive adversaries never see randomness.
@@ -469,11 +544,11 @@ impl Adversary {
                     published,
                     history,
                 };
-                let mut scope = AdaptiveScope::new(traffic, budget);
+                let mut scope = AdaptiveScope::new(traffic, topo, alpha);
                 strategy.corrupt(&view, &mut scope);
                 let touched = scope.frames_touched;
                 let edges = scope.edges;
-                debug_assert!(edges.max_degree() <= budget);
+                debug_assert!((0..n).all(|v| edges.degree(v) <= topo.budget_of(v, alpha)));
                 Ok((edges, touched))
             }
         }
@@ -507,13 +582,33 @@ mod tests {
     fn adaptive_scope_enforces_budget() {
         let mut traffic = Traffic::new(4, 4);
         traffic.send(0, 1, BitVec::from_bools(&[true]));
-        let mut scope = AdaptiveScope::new(&mut traffic, 1);
+        let topo = Topology::complete(4);
+        // ⌊0.25·4⌋ = 1 fault edge per node.
+        let mut scope = AdaptiveScope::new(&mut traffic, &topo, 0.25);
         assert!(scope.try_corrupt(0, 1, None));
         // Node 0 is at budget: a second edge at node 0 must be refused.
         assert!(!scope.try_corrupt(0, 2, None));
         // Re-touching the same edge is fine.
         assert!(scope.try_corrupt(1, 0, Some(BitVec::from_bools(&[false]))));
         assert_eq!(scope.remaining_degree(0), 0);
+        assert_eq!(scope.remaining_degree(3), 1);
+    }
+
+    #[test]
+    fn adaptive_scope_respects_sparse_topology() {
+        let mut traffic = Traffic::new(4, 4);
+        traffic.send(0, 1, BitVec::from_bools(&[true]));
+        // Star at node 0. α = 0.5: the hub (deg 3) gets ⌊0.5·4⌋ = 2 fault
+        // edges, the leaves (deg 1) get ⌊0.5·2⌋ = 1.
+        let topo = Topology::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let mut scope = AdaptiveScope::new(&mut traffic, &topo, 0.5);
+        assert_eq!(scope.budget_of(0), 2);
+        assert_eq!(scope.budget_of(1), 1);
+        assert!(!scope.try_acquire(1, 2), "non-edges can never be acquired");
+        assert!(scope.try_corrupt(0, 1, None));
+        assert!(scope.try_acquire(0, 2));
+        assert!(!scope.try_acquire(0, 3), "hub is at its per-node budget");
+        assert_eq!(scope.remaining_degree(1), 0);
         assert_eq!(scope.remaining_degree(3), 1);
     }
 
@@ -541,7 +636,9 @@ mod tests {
         let mut traffic = Traffic::new(3, 4);
         traffic.send(0, 1, original.clone());
         traffic.send(1, 0, BitVec::from_bools(&[false]));
-        let mut scope = AdaptiveScope::new(&mut traffic, 2);
+        let topo = Topology::complete(3);
+        // ⌊0.7·3⌋ = 2 fault edges per node.
+        let mut scope = AdaptiveScope::new(&mut traffic, &topo, 0.7);
 
         // Before any rewrite, intended == current == the live frame.
         assert_eq!(scope.intended(0, 1), Some(&original));
@@ -575,7 +672,9 @@ mod tests {
         let mut traffic = Traffic::new(4, 4);
         traffic.send(2, 3, BitVec::from_bools(&[false]));
         traffic.send(0, 1, BitVec::from_bools(&[true, true]));
-        let mut scope = AdaptiveScope::new(&mut traffic, 2);
+        let topo = Topology::complete(4);
+        // ⌊0.5·4⌋ = 2 fault edges per node.
+        let mut scope = AdaptiveScope::new(&mut traffic, &topo, 0.5);
         assert_eq!(scope.intended_frames(), vec![(0, 1, 2), (2, 3, 1)]);
         // Suppress one slot, inject on an intended-empty one: the intended
         // view is unchanged.

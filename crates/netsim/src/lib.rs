@@ -3,13 +3,19 @@
 //!
 //! # Model
 //!
-//! * `n` fully connected nodes with ids `0..n` (KT1: everyone knows all ids).
+//! * `n` nodes with ids `0..n` (KT1: everyone knows all ids), connected by
+//!   a [`Topology`] — the paper's complete graph `K_n` by default
+//!   ([`Network::new`]), or any generated graph via
+//!   [`Network::on_topology`].
 //! * Communication proceeds in synchronous rounds; in each round every
-//!   ordered pair `(u, v)` may carry up to `B` bits ([`Traffic`]).
-//! * A mobile **α-BD adversary** controls a per-round edge set `F_i` with
-//!   `deg(F_i) ≤ ⌊αn⌋` and may replace the messages crossing controlled
-//!   edges (both directions) arbitrarily. The simulator *enforces* the
-//!   degree constraint: a strategy that oversteps its budget is rejected.
+//!   ordered pair `(u, v)` **that shares a topology edge** may carry up to
+//!   `B` bits ([`Traffic`]); frames queued on non-edges are rejected.
+//! * A mobile **α-BD adversary** controls a per-round edge set `F_i` whose
+//!   faulty degree at every node `v` is at most `⌊α·(deg(v)+1)⌋` — on the
+//!   clique this is exactly the paper's `⌊αn⌋` — and may replace the
+//!   messages crossing controlled edges (both directions) arbitrarily. The
+//!   simulator *enforces* the degree constraint (and topology membership):
+//!   a strategy that oversteps its budget is rejected.
 //! * **Non-adaptive** ([`Adversary::non_adaptive`]): the edge sets are a
 //!   function of the round index only — chosen before any traffic flows —
 //!   while corrupted *contents* may depend on the current intended traffic
@@ -47,9 +53,11 @@ mod adversary;
 mod bus;
 mod history;
 mod network;
+mod pool;
 pub mod seed;
 mod stats;
 mod store;
+mod topology;
 mod traffic;
 
 pub use adversary::{
@@ -59,7 +67,9 @@ pub use adversary::{
 pub use bus::MessageBus;
 pub use history::{History, HistoryMode, RoundRecord};
 pub use network::{Network, NetworkError, PublishedLog};
+pub use pool::{FramePool, PoolTaker};
 pub use seed::SeedStream;
 pub use stats::NetStats;
 pub use store::Backend;
+pub use topology::Topology;
 pub use traffic::{Delivery, Inbox, Traffic};

@@ -2,13 +2,16 @@
 
 use crate::adversary::Adversary;
 use crate::history::{History, HistoryMode};
+use crate::pool::FramePool;
 use crate::stats::NetStats;
 use crate::store::FrameArena;
+use crate::topology::Topology;
 use crate::traffic::{Delivery, Traffic};
 use bdclique_bits::BitVec;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// Everything the protocol has published to *adaptive* adversaries, indexed
 /// by label.
@@ -67,6 +70,29 @@ pub enum NetworkError {
         /// Allowed budget `⌊αn⌋`.
         budget: usize,
     },
+    /// On a sparse topology, a non-adaptive plan claimed an edge the graph
+    /// does not have — the mobile adversary camps on *wires*, so a pair
+    /// without a wire cannot be corrupted.
+    EdgeOffTopology {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// Offending pair, normalized `from < to`.
+        from: usize,
+        /// Offending pair, normalized `from < to`.
+        to: usize,
+    },
+    /// On a sparse topology, a non-adaptive plan exceeded some node's
+    /// topology-relative budget `⌊α·(deg(v)+1)⌋`.
+    NodeBudgetExceeded {
+        /// Round in which the violation occurred.
+        round: u64,
+        /// The node whose budget was exceeded.
+        node: usize,
+        /// Offending faulty degree at that node.
+        degree: usize,
+        /// Allowed budget `⌊α·(deg(node)+1)⌋`.
+        budget: usize,
+    },
 }
 
 impl fmt::Display for NetworkError {
@@ -79,6 +105,21 @@ impl fmt::Display for NetworkError {
             } => write!(
                 f,
                 "adversary exceeded degree budget in round {round}: {degree} > {budget}"
+            ),
+            NetworkError::EdgeOffTopology { round, from, to } => write!(
+                f,
+                "adversary claimed edge {{{from},{to}}} in round {round}, \
+                 but the topology has no such edge"
+            ),
+            NetworkError::NodeBudgetExceeded {
+                round,
+                node,
+                degree,
+                budget,
+            } => write!(
+                f,
+                "adversary exceeded node {node}'s degree budget in round \
+                 {round}: {degree} > {budget}"
             ),
         }
     }
@@ -96,6 +137,7 @@ pub struct Network {
     bandwidth: usize,
     alpha: f64,
     adversary: Adversary,
+    topology: Arc<Topology>,
     round: u64,
     stats: NetStats,
     published: PublishedLog,
@@ -104,21 +146,41 @@ pub struct Network {
 }
 
 impl Network {
-    /// Creates a network of `n` nodes with `bandwidth` bits per ordered pair
-    /// per round and fault fraction `alpha` (degree budget `⌊αn⌋`).
+    /// Creates a *complete* network of `n` nodes with `bandwidth` bits per
+    /// ordered pair per round and fault fraction `alpha` (degree budget
+    /// `⌊αn⌋`) — shorthand for [`Network::on_topology`] with
+    /// [`Topology::complete`], and the paper's model.
     ///
     /// # Panics
     ///
     /// Panics if `n < 2`, `bandwidth == 0`, or `alpha ∉ [0, 1)`.
     pub fn new(n: usize, bandwidth: usize, alpha: f64, adversary: Adversary) -> Self {
         assert!(n >= 2, "a clique needs at least two nodes");
+        Self::on_topology(Topology::complete(n), bandwidth, alpha, adversary)
+    }
+
+    /// Creates a network over an arbitrary communication graph. Only pairs
+    /// that share a topology edge may exchange frames, and the adversary's
+    /// per-round budget is `⌊α·(deg(v)+1)⌋` faulty edges at each node `v`
+    /// (which reduces to `⌊αn⌋` on the clique).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth == 0` or `alpha ∉ [0, 1)`.
+    pub fn on_topology(
+        topology: Topology,
+        bandwidth: usize,
+        alpha: f64,
+        adversary: Adversary,
+    ) -> Self {
         assert!(bandwidth > 0, "bandwidth must be positive");
         assert!((0.0..1.0).contains(&alpha), "alpha must be in [0, 1)");
         Self {
-            n,
+            n: topology.n(),
             bandwidth,
             alpha,
             adversary,
+            topology: Arc::new(topology),
             round: 0,
             stats: NetStats::default(),
             published: PublishedLog::default(),
@@ -185,9 +247,28 @@ impl Network {
         self.alpha = alpha;
     }
 
-    /// Per-round faulty-degree budget `⌊αn⌋`.
+    /// The communication graph.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// A shared handle to the communication graph (for sessions and
+    /// executors that outlive a borrow of the network).
+    pub fn topology_handle(&self) -> Arc<Topology> {
+        Arc::clone(&self.topology)
+    }
+
+    /// The clique-global per-round faulty-degree budget `⌊αn⌋`. On sparse
+    /// topologies the binding constraint is the per-node
+    /// [`Network::fault_budget_of`]; on the clique the two coincide.
     pub fn fault_budget(&self) -> usize {
         (self.alpha * self.n as f64).floor() as usize
+    }
+
+    /// The topology-relative per-round budget at node `v`:
+    /// `⌊α·(deg(v)+1)⌋`, which is `⌊αn⌋` on the clique.
+    pub fn fault_budget_of(&self, v: usize) -> usize {
+        self.topology.budget_of(v, self.alpha)
     }
 
     /// Rounds executed so far.
@@ -215,7 +296,7 @@ impl Network {
     /// network's frame arena: its sparse row tables are recycled from
     /// earlier rounds rather than allocated fresh.
     pub fn traffic(&mut self) -> Traffic {
-        Traffic::new_in(self.n, self.bandwidth, &mut self.arena)
+        Traffic::new_in(self.n, self.bandwidth, &mut self.arena, &self.topology)
     }
 
     /// A zeroed frame buffer of `len` bits drawn from the network's frame
@@ -232,6 +313,15 @@ impl Network {
     /// their allocator traffic substantially by reclaiming.
     pub fn reclaim(&mut self, delivery: Delivery) {
         delivery.recycle_into(&mut self.arena);
+    }
+
+    /// Like [`Network::reclaim`], but frame buffers go to `pool` — a `Sync`
+    /// free-list reachable from executor worker threads — while the tables
+    /// still return to the network arena. This is how event-driven
+    /// executors recirculate buffers into prefetch jobs that build rounds
+    /// off the protocol thread (where the arena is unreachable).
+    pub fn reclaim_split(&mut self, delivery: Delivery, pool: &FramePool) {
+        delivery.recycle_split(&mut self.arena, pool);
     }
 
     /// Publishes protocol-internal randomness to *adaptive* adversaries
@@ -271,12 +361,16 @@ impl Network {
     pub fn try_exchange(&mut self, mut traffic: Traffic) -> Result<Delivery, NetworkError> {
         assert_eq!(traffic.n(), self.n, "traffic shape mismatch");
         assert_eq!(traffic.bandwidth(), self.bandwidth, "bandwidth mismatch");
+        if !self.topology.is_complete() && !traffic.has_topology() {
+            // Traffic built without a topology handle (Traffic::new) was
+            // not validated frame-by-frame; re-check before delivering.
+            traffic.assert_on_topology(&self.topology);
+        }
         let frames_before = traffic.frame_count();
         let bits_before = traffic.total_bits();
         self.stats.bits_sent += bits_before;
         self.stats.frames_sent += frames_before;
 
-        let budget = self.fault_budget();
         let intended_snapshot = if self.history.wants_intended() {
             self.stats.intended_snapshots += 1;
             Some(traffic.clone())
@@ -288,7 +382,8 @@ impl Network {
             &mut traffic,
             &self.published,
             &self.history,
-            budget,
+            &self.topology,
+            self.alpha,
         )?;
         self.stats.edges_corrupted += edges.len() as u64;
         self.stats.frames_corrupted += frames_touched;
@@ -570,6 +665,114 @@ mod tests {
                 "round {round}: reclaimed matrix must be pooled"
             );
         }
+    }
+
+    #[test]
+    fn sparse_topology_delivers_on_edges_only() {
+        let topo = Topology::ring(4);
+        let mut net = Network::on_topology(topo, 4, 0.0, Adversary::none());
+        assert!(!net.topology().is_complete());
+        assert_eq!(net.fault_budget_of(0), 0);
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true]));
+        t.send(3, 0, BitVec::from_bools(&[false, true]));
+        let d = net.exchange(t);
+        assert_eq!(d.received(1, 0), Some(&BitVec::from_bools(&[true])));
+        assert_eq!(d.received(0, 3), Some(&BitVec::from_bools(&[false, true])));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a topology edge")]
+    fn sparse_topology_rejects_non_edge_sends() {
+        let mut net = Network::on_topology(Topology::ring(4), 4, 0.0, Adversary::none());
+        let mut t = net.traffic();
+        t.send(0, 2, BitVec::from_bools(&[true])); // a chord, not a ring edge
+    }
+
+    #[test]
+    #[should_panic(expected = "not a topology edge")]
+    fn handleless_traffic_is_validated_at_exchange() {
+        let mut net = Network::on_topology(Topology::ring(4), 4, 0.0, Adversary::none());
+        // Traffic::new has no topology handle; try_exchange re-checks.
+        let mut t = Traffic::new(4, 4);
+        t.send(0, 2, BitVec::from_bools(&[true]));
+        let _ = net.try_exchange(t);
+    }
+
+    #[test]
+    fn sparse_plan_violations_are_errors() {
+        struct Noop;
+        impl crate::adversary::Corruptor for Noop {
+            fn corrupt(&mut self, _: &AdversaryView<'_>, _: &EdgeSet, _: &mut CorruptionScope<'_>) {
+            }
+        }
+        // An off-topology claim: the chord {0, 2} on a 4-ring.
+        let chord = |_round: u64, n: usize, _budget: usize| {
+            let mut es = EdgeSet::new(n);
+            es.insert(0, 2);
+            es
+        };
+        let mut net = Network::on_topology(
+            Topology::ring(4),
+            2,
+            0.9,
+            Adversary::non_adaptive(chord, Noop),
+        );
+        let t = net.traffic();
+        assert_eq!(
+            net.try_exchange(t),
+            Err(NetworkError::EdgeOffTopology {
+                round: 0,
+                from: 0,
+                to: 2
+            })
+        );
+
+        // A per-node budget violation: both ring edges at node 0 while
+        // α = 0.4 allows only ⌊0.4·3⌋ = 1 per node.
+        let greedy = |_round: u64, n: usize, _budget: usize| {
+            let mut es = EdgeSet::new(n);
+            es.insert(0, 1);
+            es.insert(3, 0);
+            es
+        };
+        let mut net = Network::on_topology(
+            Topology::ring(4),
+            2,
+            0.4,
+            Adversary::non_adaptive(greedy, Noop),
+        );
+        let t = net.traffic();
+        assert_eq!(
+            net.try_exchange(t),
+            Err(NetworkError::NodeBudgetExceeded {
+                round: 0,
+                node: 0,
+                degree: 2,
+                budget: 1
+            })
+        );
+    }
+
+    #[test]
+    fn sparse_nonadaptive_corruption_flows_through_edges_on() {
+        // A topology-aware plan camping one real ring edge: corruption
+        // proceeds and the stats count it.
+        let plan = single_edge_plan(0, 1);
+        let mut net = Network::on_topology(
+            Topology::ring(4),
+            4,
+            0.9, // ⌊0.9·3⌋ = 2 per node: one edge is comfortably legal
+            Adversary::non_adaptive(plan, FlipEverything),
+        );
+        let mut t = net.traffic();
+        t.send(0, 1, BitVec::from_bools(&[true, true]));
+        t.send(1, 2, BitVec::from_bools(&[false]));
+        let d = net.exchange(t);
+        assert_eq!(d.received(1, 0), Some(&BitVec::from_bools(&[false, false])));
+        assert_eq!(d.received(2, 1), Some(&BitVec::from_bools(&[false])));
+        assert_eq!(net.stats().edges_corrupted, 1);
+        assert_eq!(net.stats().frames_corrupted, 1);
     }
 
     #[test]

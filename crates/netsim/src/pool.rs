@@ -1,0 +1,191 @@
+//! A `Sync` free-list of frame buffers for event-driven executors.
+//!
+//! The network's `FrameArena` is deliberately single-threaded: it lives on
+//! the [`Network`](crate::Network) and is fed on the protocol thread. The
+//! event-driven pack executors, however, *build* their prefetched rounds on
+//! worker threads where the arena is unreachable, so those frame buffers
+//! were allocated fresh every pack. [`FramePool`] closes the loop: the
+//! protocol thread pushes a consumed delivery's frame buffers here
+//! ([`Network::reclaim_split`](crate::Network::reclaim_split)) while the
+//! tables still return to the arena, and worker threads draw zeroed buffers
+//! back out — batched through a [`PoolTaker`] so hot send loops touch the
+//! lock once per batch, not once per frame.
+
+use bdclique_bits::BitVec;
+use std::sync::Mutex;
+
+/// Upper bound on pooled buffers — matches the arena's frame cap (sized for
+/// a unit-router scatter round at `n = 4096`); the pool only ever holds
+/// what in-flight rounds actually allocated.
+const MAX_POOLED: usize = 1 << 22;
+
+/// A shared, thread-safe pool of spent frame buffers.
+///
+/// Buffers handed out by [`FramePool::take`] are zeroed — indistinguishable
+/// from `BitVec::zeros(len)` — so pooling is invisible to consumers, exactly
+/// like the arena's recycling guarantee.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    free: Mutex<Vec<BitVec>>,
+}
+
+impl FramePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A zeroed buffer of `len` bits, recycled when the pool has one.
+    #[must_use]
+    pub fn take(&self, len: usize) -> BitVec {
+        match self.free.lock().unwrap().pop() {
+            Some(mut buf) => {
+                buf.reset_zeros(len);
+                buf
+            }
+            None => BitVec::zeros(len),
+        }
+    }
+
+    /// Returns one spent buffer to the pool.
+    pub fn put(&self, frame: BitVec) {
+        let mut free = self.free.lock().unwrap();
+        if free.len() < MAX_POOLED {
+            free.push(frame);
+        }
+    }
+
+    /// Returns many spent buffers under a single lock acquisition.
+    pub fn put_all(&self, frames: impl IntoIterator<Item = BitVec>) {
+        let mut free = self.free.lock().unwrap();
+        for frame in frames {
+            if free.len() >= MAX_POOLED {
+                break;
+            }
+            free.push(frame);
+        }
+    }
+
+    /// Moves up to `max` pooled buffers into `out` in one lock acquisition.
+    pub fn drain_into(&self, out: &mut Vec<BitVec>, max: usize) {
+        let mut free = self.free.lock().unwrap();
+        let start = free.len().saturating_sub(max);
+        out.extend(free.drain(start..));
+    }
+
+    /// A batching handle for one worker's send loop: draws buffers from the
+    /// pool in chunks and returns unused ones when dropped.
+    #[must_use]
+    pub fn taker(&self) -> PoolTaker<'_> {
+        PoolTaker {
+            pool: self,
+            stash: Vec::new(),
+        }
+    }
+
+    /// Current pool occupancy (test observable).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.free.lock().unwrap().len()
+    }
+
+    /// Whether the pool is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// See [`FramePool::taker`]. One lock acquisition refills a local stash of
+/// up to [`PoolTaker::BATCH`] buffers; leftovers flow back on drop.
+#[derive(Debug)]
+pub struct PoolTaker<'a> {
+    pool: &'a FramePool,
+    stash: Vec<BitVec>,
+}
+
+impl PoolTaker<'_> {
+    /// Buffers moved per lock acquisition.
+    pub const BATCH: usize = 1024;
+
+    /// A zeroed buffer of `len` bits — from the stash, the pool, or (when
+    /// both are dry) a fresh allocation.
+    #[must_use]
+    pub fn take(&mut self, len: usize) -> BitVec {
+        if self.stash.is_empty() {
+            self.pool.drain_into(&mut self.stash, Self::BATCH);
+        }
+        match self.stash.pop() {
+            Some(mut buf) => {
+                buf.reset_zeros(len);
+                buf
+            }
+            None => BitVec::zeros(len),
+        }
+    }
+}
+
+impl Drop for PoolTaker<'_> {
+    fn drop(&mut self) {
+        self.pool.put_all(self.stash.drain(..));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers() {
+        let pool = FramePool::new();
+        pool.put(BitVec::from_bools(&[true, true, true]));
+        assert_eq!(pool.len(), 1);
+        let buf = pool.take(2);
+        assert_eq!(
+            buf,
+            BitVec::zeros(2),
+            "pooled buffers must come back zeroed"
+        );
+        assert!(pool.is_empty());
+        // Dry pool falls back to a fresh allocation.
+        assert_eq!(pool.take(5), BitVec::zeros(5));
+    }
+
+    #[test]
+    fn taker_batches_and_returns_leftovers() {
+        let pool = FramePool::new();
+        pool.put_all((0..10).map(|_| BitVec::from_bools(&[true])));
+        {
+            let mut taker = pool.taker();
+            let a = taker.take(3);
+            assert_eq!(a, BitVec::zeros(3));
+            // The whole pool moved into the stash in one drain.
+            assert!(pool.is_empty());
+        }
+        // Dropping the taker returns the 9 unused buffers.
+        assert_eq!(pool.len(), 9);
+    }
+
+    #[test]
+    fn pool_is_sync_across_threads() {
+        let pool = std::sync::Arc::new(FramePool::new());
+        pool.put_all((0..64).map(|_| BitVec::zeros(8)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let pool = std::sync::Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    let mut taker = pool.taker();
+                    for _ in 0..32 {
+                        let buf = taker.take(4);
+                        assert_eq!(buf, BitVec::zeros(4));
+                        pool.put(buf);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! The communication graph: which node pairs share a link.
+//!
+//! The paper's model is the complete network `K_n`, and every layer of the
+//! simulator historically assumed all-pairs connectivity. [`Topology`] makes
+//! the graph explicit: a [`Network`](crate::Network) owns one, honest
+//! traffic is validated against its edge set, and the adversary's degree
+//! budget becomes *topology-relative* — `⌊α·(deg(v)+1)⌋` faulty edges per
+//! node per round, which on the clique (`deg(v)+1 = n`) is exactly the
+//! paper's `⌊αn⌋`.
+//!
+//! # Representations
+//!
+//! The clique is stored as a marker (`O(1)` memory at any `n`, and the
+//! `K_n` fast paths throughout the simulator key off
+//! [`Topology::is_complete`]); every other graph stores sorted adjacency
+//! rows (`O(edges)` memory, ascending deterministic iteration — the same
+//! discipline as the sparse [`Traffic`](crate::Traffic) backend). Sparse
+//! topologies may additionally cap individual edges below the network-wide
+//! bandwidth `B` ([`Topology::with_edge_cap`]).
+//!
+//! # Generators
+//!
+//! All generators are pure functions of their parameters (and, for the
+//! randomized ones, a `u64` seed threaded through [`SeedStream`] forks), so
+//! a topology is reproducible from its cell coordinates exactly like every
+//! other random component of a trial. The randomized generators retry
+//! (deterministically) until the sampled graph is simple and connected.
+
+use crate::seed::SeedStream;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// An undirected communication graph on `n` nodes.
+///
+/// Cheap to share: `Network` and `Traffic` hold it behind an [`Arc`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Repr {
+    /// `K_n`: every pair is an edge. No adjacency storage.
+    Complete,
+    /// Anything else: sorted ascending adjacency rows.
+    Sparse {
+        adj: Vec<Vec<u32>>,
+        edge_count: usize,
+        max_degree: usize,
+        /// Per-edge bandwidth caps (bits per round, normalized keys
+        /// `u < v`); edges absent here carry the network-wide `B`.
+        caps: BTreeMap<(u32, u32), u32>,
+    },
+}
+
+impl Topology {
+    /// The complete graph `K_n` — the paper's model and the default for
+    /// [`Network::new`](crate::Network::new).
+    #[must_use]
+    pub fn complete(n: usize) -> Self {
+        assert!(n >= 2, "topology needs at least 2 nodes");
+        Self {
+            n,
+            repr: Repr::Complete,
+        }
+    }
+
+    /// Builds a sparse topology from an explicit edge list. Self-loops are
+    /// rejected; duplicate and reversed pairs collapse to one undirected
+    /// edge.
+    #[must_use]
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        assert!(n >= 2, "topology needs at least 2 nodes");
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for n = {n}");
+            assert_ne!(a, b, "self-loop ({a}, {a}) rejected");
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut edge_count = 0;
+        let mut max_degree = 0;
+        for row in &mut adj {
+            row.sort_unstable();
+            row.dedup();
+            edge_count += row.len();
+            max_degree = max_degree.max(row.len());
+        }
+        Self {
+            n,
+            repr: Repr::Sparse {
+                adj,
+                edge_count: edge_count / 2,
+                max_degree,
+                caps: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// Caps one edge's bandwidth below the network-wide `B` (bits per
+    /// round). Only meaningful on sparse topologies; the edge must exist.
+    #[must_use]
+    pub fn with_edge_cap(mut self, u: usize, v: usize, bits: usize) -> Self {
+        assert!(self.contains(u, v), "({u}, {v}) is not an edge");
+        assert!(bits > 0, "edge cap must be positive");
+        match &mut self.repr {
+            Repr::Complete => panic!("per-edge caps require a sparse topology"),
+            Repr::Sparse { caps, .. } => {
+                let key = (u.min(v) as u32, u.max(v) as u32);
+                caps.insert(key, bits as u32);
+            }
+        }
+        self
+    }
+
+    /// The edge's bandwidth cap in bits per round, if one was set with
+    /// [`Topology::with_edge_cap`].
+    #[must_use]
+    pub fn edge_cap(&self, u: usize, v: usize) -> Option<usize> {
+        match &self.repr {
+            Repr::Complete => None,
+            Repr::Sparse { caps, .. } => {
+                if caps.is_empty() {
+                    return None; // common case: no per-edge caps at all
+                }
+                let key = (u.min(v) as u32, u.max(v) as u32);
+                caps.get(&key).map(|&bits| bits as usize)
+            }
+        }
+    }
+
+    // ---- generators ----
+
+    /// The `log2(n)`-dimensional hypercube: `n` must be a power of two,
+    /// `u ~ u ^ 2^i` for every bit `i`. Degree `log2 n`; the native graph
+    /// of the Theorem 1.4 protocol's iteration structure.
+    #[must_use]
+    pub fn hypercube(n: usize) -> Self {
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "hypercube needs n = 2^l >= 2"
+        );
+        let ell = n.trailing_zeros() as usize;
+        Self::from_edges(
+            n,
+            (0..n).flat_map(move |u| (0..ell).map(move |i| (u, u ^ (1 << i)))),
+        )
+    }
+
+    /// The cycle `C_n`: `u ~ u ± 1 (mod n)`. Degree 2.
+    #[must_use]
+    pub fn ring(n: usize) -> Self {
+        assert!(n >= 3, "a ring needs at least 3 nodes");
+        Self::from_edges(n, (0..n).map(|u| (u, (u + 1) % n)))
+    }
+
+    /// The 2D torus (`rows × cols` grid with wraparound). Degree ≤ 4
+    /// (duplicate wrap edges on 2-wide dimensions collapse).
+    #[must_use]
+    pub fn torus2d(rows: usize, cols: usize) -> Self {
+        assert!(rows >= 2 && cols >= 2, "torus needs both dimensions >= 2");
+        let at = move |r: usize, c: usize| r * cols + c;
+        Self::from_edges(
+            rows * cols,
+            (0..rows).flat_map(move |r| {
+                (0..cols).flat_map(move |c| {
+                    [
+                        (at(r, c), at((r + 1) % rows, c)),
+                        (at(r, c), at(r, (c + 1) % cols)),
+                    ]
+                })
+            }),
+        )
+    }
+
+    /// A random simple connected `d`-regular graph — the constant-degree
+    /// expander ensemble. Built by randomizing a deterministic `d`-regular
+    /// circulant lattice with uniform double-edge swaps (each swap
+    /// preserves regularity and simplicity, so the sampler always
+    /// terminates, unlike naive configuration-model rejection), retrying
+    /// deterministically in `seed` until the result is connected.
+    /// Requires `n·d` even and `d < n`.
+    #[must_use]
+    pub fn random_regular(n: usize, d: usize, seed: u64) -> Self {
+        assert!(d >= 1 && d < n, "degree must be in 1..n");
+        assert!((n * d).is_multiple_of(2), "n * d must be even");
+        let stream = SeedStream::new(seed).fork("random-regular");
+        // The starting lattice: rings at strides 1..=d/2, plus the
+        // antipodal matching for odd d (n·d even forces n even there).
+        let mut base: Vec<(usize, usize)> = Vec::with_capacity(n * d / 2);
+        for j in 1..=d / 2 {
+            for u in 0..n {
+                base.push((u, (u + j) % n));
+            }
+        }
+        if d % 2 == 1 {
+            for u in 0..n / 2 {
+                base.push((u, u + n / 2));
+            }
+        }
+        for attempt in 0..10_000u64 {
+            let mut rng = Rng64::new(stream.fork_u64(attempt).seed());
+            let mut edges = base.clone();
+            let mut present: std::collections::HashSet<(usize, usize)> =
+                edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+            let m = edges.len();
+            let (mut swaps, mut tries) = (0usize, 0usize);
+            while swaps < 10 * m && tries < 100 * m {
+                tries += 1;
+                let (i, j) = (rng.below(m), rng.below(m));
+                if i == j {
+                    continue;
+                }
+                let (a, b) = edges[i];
+                let (c, e) = edges[j];
+                // Uniformly orient the rewiring of {a,b} + {c,e}.
+                let ((p, q), (r, s)) = if rng.below(2) == 0 {
+                    ((a, c), (b, e))
+                } else {
+                    ((a, e), (b, c))
+                };
+                if p == q || r == s {
+                    continue;
+                }
+                let k1 = (p.min(q), p.max(q));
+                let k2 = (r.min(s), r.max(s));
+                if k1 == k2 || present.contains(&k1) || present.contains(&k2) {
+                    continue;
+                }
+                present.remove(&(a.min(b), a.max(b)));
+                present.remove(&(c.min(e), c.max(e)));
+                present.insert(k1);
+                present.insert(k2);
+                edges[i] = (p, q);
+                edges[j] = (r, s);
+                swaps += 1;
+            }
+            let topo = Self::from_edges(n, edges);
+            if topo.is_connected() {
+                return topo;
+            }
+        }
+        panic!("random_regular(n = {n}, d = {d}) failed to sample a connected graph");
+    }
+
+    /// A Watts–Strogatz small world: a ring lattice where every node links
+    /// its `k` nearest neighbours on each side, with each edge rewired to a
+    /// uniform endpoint with probability 10% — resampled (deterministically
+    /// in `seed`) until connected. Requires `1 ≤ k` and `2k + 1 ≤ n`.
+    #[must_use]
+    pub fn small_world(n: usize, k: usize, seed: u64) -> Self {
+        assert!(k >= 1 && 2 * k < n, "small world needs 1 <= k and 2k < n");
+        let stream = SeedStream::new(seed).fork("small-world");
+        for attempt in 0..10_000u64 {
+            let mut rng = Rng64::new(stream.fork_u64(attempt).seed());
+            let mut edges: Vec<(usize, usize)> = (0..n)
+                .flat_map(|u| (1..=k).map(move |j| (u, (u + j) % n)))
+                .collect();
+            let mut present: std::collections::HashSet<(usize, usize)> =
+                edges.iter().map(|&(a, b)| (a.min(b), a.max(b))).collect();
+            for edge in edges.iter_mut() {
+                if rng.below(10) != 0 {
+                    continue; // keep with probability 90%
+                }
+                let (u, old) = *edge;
+                let mut w = rng.below(n);
+                let mut tries = 0;
+                while (w == u || present.contains(&(u.min(w), u.max(w)))) && tries < 4 * n {
+                    w = rng.below(n);
+                    tries += 1;
+                }
+                if w == u || present.contains(&(u.min(w), u.max(w))) {
+                    continue; // node saturated: keep the lattice edge
+                }
+                present.remove(&(u.min(old), u.max(old)));
+                present.insert((u.min(w), u.max(w)));
+                *edge = (u, w);
+            }
+            let topo = Self::from_edges(n, edges);
+            if topo.is_connected() {
+                return topo;
+            }
+        }
+        panic!("small_world(n = {n}, k = {k}) failed to sample a connected graph");
+    }
+
+    // ---- accessors ----
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// `true` exactly for [`Topology::complete`] — the `K_n` fast paths
+    /// (and every bit-compatibility guarantee with the pre-topology
+    /// simulator) key off this.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self.repr, Repr::Complete)
+    }
+
+    /// Whether `(u, v)` is an edge. Self-pairs are never edges.
+    #[must_use]
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        if u == v || u >= self.n || v >= self.n {
+            return false;
+        }
+        match &self.repr {
+            Repr::Complete => true,
+            Repr::Sparse { adj, .. } => adj[u].binary_search(&(v as u32)).is_ok(),
+        }
+    }
+
+    /// Degree of `v`.
+    #[must_use]
+    pub fn degree(&self, v: usize) -> usize {
+        assert!(v < self.n, "node {v} out of range");
+        match &self.repr {
+            Repr::Complete => self.n - 1,
+            Repr::Sparse { adj, .. } => adj[v].len(),
+        }
+    }
+
+    /// Maximum degree over all nodes.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        match &self.repr {
+            Repr::Complete => self.n - 1,
+            Repr::Sparse { max_degree, .. } => *max_degree,
+        }
+    }
+
+    /// Number of undirected edges.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        match &self.repr {
+            Repr::Complete => self.n * (self.n - 1) / 2,
+            Repr::Sparse { edge_count, .. } => *edge_count,
+        }
+    }
+
+    /// The neighbours of `u`, ascending. On the clique this is
+    /// `0..n` minus `u` — the exact iteration order of the historical
+    /// all-pairs loops, which is what keeps protocols that switched to
+    /// neighbourhood iteration bit-identical on `K_n`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        assert!(u < self.n, "node {u} out of range");
+        let (complete_range, sparse_row): (Option<std::ops::Range<usize>>, &[u32]) =
+            match &self.repr {
+                Repr::Complete => (Some(0..self.n), &[]),
+                Repr::Sparse { adj, .. } => (None, &adj[u]),
+            };
+        complete_range
+            .into_iter()
+            .flatten()
+            .filter(move |&v| v != u)
+            .chain(sparse_row.iter().map(|&v| v as usize))
+    }
+
+    /// All undirected edges, normalized `u < v`, in ascending order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// The mobile adversary's per-round faulty-degree budget at `v`:
+    /// `⌊α·(deg(v)+1)⌋`. On the clique `deg(v)+1 = n`, so this is exactly
+    /// the paper's `⌊αn⌋` for every node.
+    #[must_use]
+    pub fn budget_of(&self, v: usize, alpha: f64) -> usize {
+        (alpha * (self.degree(v) + 1) as f64).floor() as usize
+    }
+
+    /// Whether the graph is connected (BFS from node 0).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.is_complete() {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut queue = std::collections::VecDeque::from([0usize]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == self.n
+    }
+
+    /// Shared handle, for threading one topology through `Network`,
+    /// `Traffic`, and adversary scopes without copies.
+    #[must_use]
+    pub fn into_shared(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+}
+
+/// A tiny splitmix64-counter RNG for the graph generators — netsim has no
+/// RNG dependency, and the generators only need uniform indices.
+struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        crate::seed::splitmix64(self.state)
+    }
+
+    /// Uniform in `0..n` (modulo bias is irrelevant at simulation scales).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complete_is_all_pairs() {
+        let t = Topology::complete(5);
+        assert!(t.is_complete());
+        assert_eq!(t.edge_count(), 10);
+        assert_eq!(t.degree(3), 4);
+        assert!(t.contains(0, 4) && !t.contains(2, 2));
+        let nb: Vec<usize> = t.neighbors(2).collect();
+        assert_eq!(nb, vec![0, 1, 3, 4]);
+        assert_eq!(t.budget_of(0, 0.25), 1); // ⌊0.25·5⌋ = ⌊αn⌋
+    }
+
+    #[test]
+    fn from_edges_normalizes() {
+        let t = Topology::from_edges(4, [(0, 1), (1, 0), (2, 3), (0, 1)]);
+        assert!(!t.is_complete());
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.degree(1), 1);
+        assert!(t.contains(1, 0));
+        assert!(!t.contains(0, 2));
+        assert!(!t.is_connected());
+        let edges: Vec<_> = t.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let t = Topology::hypercube(8);
+        assert_eq!(t.edge_count(), 12);
+        for v in 0..8 {
+            assert_eq!(t.degree(v), 3);
+        }
+        assert!(t.contains(0b000, 0b100) && !t.contains(0b000, 0b011));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn ring_and_torus_shape() {
+        let r = Topology::ring(6);
+        assert_eq!(r.edge_count(), 6);
+        assert!(r.contains(5, 0) && !r.contains(0, 2));
+        let t = Topology::torus2d(3, 4);
+        assert_eq!(t.n(), 12);
+        for v in 0..12 {
+            assert_eq!(t.degree(v), 4);
+        }
+        assert!(t.is_connected());
+        // 2-wide dimension: wrap edges collapse, degree drops to 3.
+        let narrow = Topology::torus2d(2, 4);
+        assert_eq!(narrow.degree(0), 3);
+    }
+
+    #[test]
+    fn random_regular_is_regular_connected_and_seeded() {
+        let a = Topology::random_regular(16, 4, 7);
+        let b = Topology::random_regular(16, 4, 7);
+        assert_eq!(a, b, "same seed must reproduce the same graph");
+        for v in 0..16 {
+            assert_eq!(a.degree(v), 4);
+        }
+        assert!(a.is_connected());
+        assert_ne!(a, Topology::random_regular(16, 4, 8));
+    }
+
+    #[test]
+    fn small_world_is_connected_and_seeded() {
+        let a = Topology::small_world(24, 2, 3);
+        assert_eq!(a, Topology::small_world(24, 2, 3));
+        assert!(a.is_connected());
+        // Degrees stay near 2k; total degree is exactly preserved by
+        // rewiring (each rewire moves one endpoint).
+        let total: usize = (0..24).map(|v| a.degree(v)).sum();
+        assert_eq!(total, 2 * a.edge_count());
+    }
+
+    #[test]
+    fn edge_caps() {
+        let t = Topology::from_edges(4, [(0, 1), (1, 2)]).with_edge_cap(0, 1, 5);
+        assert_eq!(t.edge_cap(1, 0), Some(5));
+        assert_eq!(t.edge_cap(1, 2), None);
+    }
+
+    #[test]
+    fn degree_relative_budget() {
+        let t = Topology::from_edges(4, [(0, 1), (0, 2), (0, 3)]); // star
+        assert_eq!(t.budget_of(0, 0.5), 2); // ⌊0.5·4⌋
+        assert_eq!(t.budget_of(1, 0.5), 1); // ⌊0.5·2⌋
+        assert_eq!(t.budget_of(1, 0.4), 0);
+    }
+}

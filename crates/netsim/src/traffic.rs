@@ -1,7 +1,10 @@
 //! Per-round message matrices: what nodes intend to send, and what arrives.
 
+use crate::pool::FramePool;
 use crate::store::{Backend, FrameArena, FrameStore, DENSE_SWITCH_DIVISOR};
+use crate::topology::Topology;
 use bdclique_bits::BitVec;
+use std::sync::Arc;
 
 /// The messages all nodes intend to send in one round.
 ///
@@ -26,6 +29,10 @@ pub struct Traffic {
     frame_count: u64,
     /// Auto-densify enabled (off when a backend was pinned explicitly).
     auto: bool,
+    /// Sparse communication graph to validate sends against; `None` on the
+    /// clique (and for handle-less [`Traffic::new`] traffic), where every
+    /// pair is an edge and per-frame checks would be pure overhead.
+    topology: Option<Arc<Topology>>,
     /// Round-local recycling: tables spent by densification and frames
     /// displaced by `clear` pool here, and rejoin the network-wide arena
     /// when the round is exchanged.
@@ -43,6 +50,7 @@ impl Clone for Traffic {
             total_bits: self.total_bits,
             frame_count: self.frame_count,
             auto: self.auto,
+            topology: self.topology.clone(),
             arena: FrameArena::default(),
         }
     }
@@ -80,9 +88,17 @@ impl Traffic {
     /// dense matrix buffer rides along so an auto-densify inside the round
     /// reuses it instead of allocating `n²` fresh slots (unused, it rejoins
     /// the network arena at exchange time).
-    pub(crate) fn new_in(n: usize, bandwidth: usize, arena: &mut FrameArena) -> Self {
+    pub(crate) fn new_in(
+        n: usize,
+        bandwidth: usize,
+        arena: &mut FrameArena,
+        topology: &Arc<Topology>,
+    ) -> Self {
         let store = FrameStore::new_sparse_in(n, arena);
         let mut traffic = Self::build(n, bandwidth, store, true);
+        if !topology.is_complete() {
+            traffic.topology = Some(Arc::clone(topology));
+        }
         arena.lend_matrix(&mut traffic.arena);
         traffic
     }
@@ -98,8 +114,33 @@ impl Traffic {
             total_bits: 0,
             frame_count: 0,
             auto,
+            topology: None,
             arena: FrameArena::default(),
         }
+    }
+
+    /// Whether this traffic validates sends against a sparse topology.
+    pub(crate) fn has_topology(&self) -> bool {
+        self.topology.is_some()
+    }
+
+    /// Asserts that every queued frame rides a topology edge and respects
+    /// any per-edge bandwidth cap — the exchange-time re-check for traffic
+    /// built without a handle. `O(frames)`.
+    pub(crate) fn assert_on_topology(&self, topo: &Topology) {
+        self.for_each_frame(|from, to, bits| {
+            assert!(
+                topo.contains(from, to),
+                "frame queued on ({from}, {to}), which is not a topology edge"
+            );
+            if let Some(cap) = topo.edge_cap(from, to) {
+                assert!(
+                    bits.len() <= cap,
+                    "frame of {} bits exceeds the {cap}-bit cap on edge ({from}, {to})",
+                    bits.len()
+                );
+            }
+        });
     }
 
     /// Number of nodes.
@@ -176,6 +217,19 @@ impl Traffic {
         bits: Option<BitVec>,
     ) -> Option<BitVec> {
         self.check_slot(from, to);
+        if let (Some(topo), Some(new)) = (&self.topology, &bits) {
+            assert!(
+                topo.contains(from, to),
+                "({from}, {to}) is not a topology edge"
+            );
+            if let Some(cap) = topo.edge_cap(from, to) {
+                assert!(
+                    new.len() <= cap,
+                    "frame of {} bits exceeds the {cap}-bit cap on edge ({from}, {to})",
+                    new.len()
+                );
+            }
+        }
         if let Some(new) = &bits {
             self.total_bits += new.len() as u64;
             self.frame_count += 1;
@@ -342,6 +396,25 @@ impl Delivery {
             DeliveryRepr::Dense(frames) => arena.put_matrix(frames),
             DeliveryRepr::Sparse(cols) => {
                 for col in cols {
+                    arena.put_table(col);
+                }
+            }
+        }
+    }
+
+    /// Splits the reclamation: frame buffers go to the `Sync` `pool`
+    /// (reachable from executor worker threads), tables to the
+    /// single-threaded `arena` — the
+    /// [`crate::Network::reclaim_split`] implementation.
+    pub(crate) fn recycle_split(self, arena: &mut FrameArena, pool: &FramePool) {
+        match self.repr {
+            DeliveryRepr::Dense(mut frames) => {
+                pool.put_all(frames.iter_mut().filter_map(Option::take));
+                arena.put_matrix(frames);
+            }
+            DeliveryRepr::Sparse(cols) => {
+                for mut col in cols {
+                    pool.put_all(col.drain(..).map(|(_, bits)| bits));
                     arena.put_table(col);
                 }
             }

@@ -12,7 +12,7 @@
 //! independent instance / adversary / protocol streams.
 
 use bdclique_bench::scenario::{self, Cell, CellKind, Scenario, TrialJob, Value};
-use bdclique_bench::{AdversarySpec, Aggregate};
+use bdclique_bench::{AdversarySpec, Aggregate, TopologySpec};
 use bdclique_core::protocols::{DetHypercube, DetSqrt};
 use std::sync::Arc;
 
@@ -52,6 +52,7 @@ fn main() {
                     protocol: protocol.clone(),
                     protocol_key: label,
                     adversary: AdversarySpec::GreedyFlip,
+                    topology: TopologySpec::Complete,
                     n,
                     b: 1,
                     bandwidth: 18,
