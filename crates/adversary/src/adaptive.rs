@@ -2,7 +2,9 @@
 //! intended traffic and any published protocol randomness.
 
 use crate::corruptors::Payload;
+use crate::rng_state;
 use bdclique_netsim::{AdaptiveScope, AdaptiveStrategy, AdversaryView};
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -64,6 +66,15 @@ impl AdaptiveStrategy for GreedyLoad {
             }
         }
     }
+
+    fn save_state(&self, enc: &mut Enc) {
+        rng_state::save(enc, &self.rng);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.rng = rng_state::load(dec)?;
+        Ok(())
+    }
 }
 
 /// Concentrates the entire budget on edges incident to one victim node,
@@ -119,6 +130,15 @@ impl AdaptiveStrategy for TargetNode {
             }
         }
     }
+
+    fn save_state(&self, enc: &mut Enc) {
+        rng_state::save(enc, &self.rng);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.rng = rng_state::load(dec)?;
+        Ok(())
+    }
 }
 
 /// Random busy edges, chosen *after* seeing the round's traffic (rushing):
@@ -164,6 +184,15 @@ impl AdaptiveStrategy for RushingRandom {
                 }
             }
         }
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        rng_state::save(enc, &self.rng);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.rng = rng_state::load(dec)?;
+        Ok(())
     }
 }
 
@@ -250,6 +279,30 @@ impl AdaptiveStrategy for HistoryCamper {
                 }
             }
         }
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        rng_state::save(enc, &self.rng);
+        let mut entries: Vec<((usize, usize), u64)> =
+            self.load.iter().map(|(&e, &l)| (e, l)).collect();
+        entries.sort_unstable();
+        enc.put_seq(&entries, |e, &((u, v), load)| {
+            e.put_u32(u as u32);
+            e.put_u32(v as u32);
+            e.put_u64(load);
+        });
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.rng = rng_state::load(dec)?;
+        let entries = dec.get_seq(16, |d| {
+            let u = d.get_u32()? as usize;
+            let v = d.get_u32()? as usize;
+            let load = d.get_u64()?;
+            Ok(((u, v), load))
+        })?;
+        self.load = entries.into_iter().collect();
+        Ok(())
     }
 }
 

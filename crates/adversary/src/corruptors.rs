@@ -1,7 +1,9 @@
 //! Payload rewriting policies shared by all strategies.
 
+use crate::rng_state;
 use bdclique_bits::BitVec;
 use bdclique_netsim::{AdversaryView, CorruptionScope, Corruptor, EdgeSet};
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
@@ -74,6 +76,15 @@ impl Corruptor for PayloadCorruptor {
                 }
             }
         }
+    }
+
+    fn save_state(&self, enc: &mut Enc) {
+        rng_state::save(enc, &self.rng);
+    }
+
+    fn load_state(&mut self, dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        self.rng = rng_state::load(dec)?;
+        Ok(())
     }
 }
 

@@ -23,3 +23,32 @@ pub mod corruptors;
 pub mod plans;
 
 pub use corruptors::Payload;
+
+/// Codec for a [`rand_chacha::ChaCha8Rng`] stream position, shared by every
+/// stateful strategy's `save_state`/`load_state` hooks.
+pub(crate) mod rng_state {
+    use bdclique_snapshot::{Dec, Enc, SnapError};
+    use rand_chacha::ChaCha8Rng;
+
+    pub(crate) fn save(enc: &mut Enc, rng: &ChaCha8Rng) {
+        let (key, counter, idx) = rng.position();
+        for word in key {
+            enc.put_u32(word);
+        }
+        enc.put_u64(counter);
+        enc.put_usize(idx);
+    }
+
+    pub(crate) fn load(dec: &mut Dec<'_>) -> Result<ChaCha8Rng, SnapError> {
+        let mut key = [0u32; 8];
+        for word in &mut key {
+            *word = dec.get_u32()?;
+        }
+        let counter = dec.get_u64()?;
+        let idx = dec.get_usize()?;
+        if idx > 16 {
+            return Err(SnapError::corrupt(format!("rng buffer index {idx}")));
+        }
+        Ok(ChaCha8Rng::from_position(key, counter, idx))
+    }
+}

@@ -18,7 +18,9 @@
 //! instance RNG and the adversary and reused seeds `1000 + t` across every
 //! cell; the scenario engine fixes that at the architecture level.
 
+pub mod checkpoint;
 pub mod experiments;
+pub mod merge;
 pub mod scenario;
 pub mod trajectory;
 

@@ -21,6 +21,7 @@
 //!   trajectory. The JSON schema is documented in the README
 //!   ("Scenario engine" section) and versioned via [`SCHEMA`].
 
+use crate::checkpoint::{run_trial_checkpointed, CheckpointConfig};
 use crate::{
     fold_trials, run_trial_seeded_traced_on, AdversarySpec, Aggregate, Table, TopologySpec,
     TrialSeeds,
@@ -390,30 +391,69 @@ impl ScenarioResult {
     }
 }
 
+/// How to execute a scenario beyond the default parallel full-grid run.
+#[derive(Debug, Clone, Default)]
+pub struct RunConfig {
+    /// Run cells (and trials within them) serially — the determinism
+    /// oracle. `false` here is what [`run_serial`] passes.
+    pub serial: bool,
+    /// `(index, modulus)`: run only the cells whose seed-stream state
+    /// satisfies `seed % modulus == index`. Complementary shards partition
+    /// the grid exactly (every cell lands in one shard), and the sharded
+    /// JSON documents fold back together with
+    /// [`crate::merge::merge_documents`]. Sharding never changes a cell's
+    /// seed stream — a cell computes identical results in whichever shard
+    /// runs it.
+    pub shard: Option<(usize, usize)>,
+    /// Checkpoint trial cells mid-trial and resume them from existing
+    /// checkpoint files (see [`crate::checkpoint`]). Checkpointed cells
+    /// skip per-round tracing; their `secs` include the wall-clock of
+    /// resumed prior segments.
+    pub checkpoint: Option<CheckpointConfig>,
+}
+
 /// Runs a scenario: cells fan out across cores, and each trial cell's
 /// trials fan out again. Deterministic up to wall-clock fields — the seeds,
 /// metrics, and aggregates are bit-identical to [`run_serial`].
 pub fn run(spec: &Scenario) -> ScenarioResult {
-    run_with(spec, true)
+    run_configured(spec, &RunConfig::default())
 }
 
 /// Single-threaded reference implementation of [`run`]: same seeds, same
 /// fold, one thread. Kept public as the determinism oracle.
 pub fn run_serial(spec: &Scenario) -> ScenarioResult {
-    run_with(spec, false)
+    run_configured(
+        spec,
+        &RunConfig {
+            serial: true,
+            ..RunConfig::default()
+        },
+    )
 }
 
-fn run_with(spec: &Scenario, parallel: bool) -> ScenarioResult {
+/// [`run`] with explicit execution options (serial oracle mode, shard
+/// selection, mid-trial checkpointing).
+pub fn run_configured(spec: &Scenario, cfg: &RunConfig) -> ScenarioResult {
     let start = Instant::now();
-    let cells: Vec<CellResult> = if parallel {
-        (0..spec.cells.len())
-            .into_par_iter()
-            .map(|i| run_cell(spec.name, &spec.cells[i], true))
+    let selected: Vec<&Cell> = spec
+        .cells
+        .iter()
+        .filter(|cell| match cfg.shard {
+            None => true,
+            Some((index, modulus)) => {
+                cell.stream(spec.name).seed() % modulus as u64 == index as u64
+            }
+        })
+        .collect();
+    let cells: Vec<CellResult> = if cfg.serial {
+        selected
+            .iter()
+            .map(|cell| run_cell(spec.name, cell, cfg))
             .collect()
     } else {
-        spec.cells
-            .iter()
-            .map(|cell| run_cell(spec.name, cell, false))
+        (0..selected.len())
+            .into_par_iter()
+            .map(|i| run_cell(spec.name, selected[i], cfg))
             .collect()
     };
     ScenarioResult {
@@ -425,12 +465,23 @@ fn run_with(spec: &Scenario, parallel: bool) -> ScenarioResult {
     }
 }
 
-fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
+fn run_cell(scenario: &str, cell: &Cell, cfg: &RunConfig) -> CellResult {
     let stream = cell.stream(scenario);
+    let parallel = !cfg.serial;
     let start = Instant::now();
+    let mut prior_secs = 0.0;
     let (metrics, aggregate, round_trace) = match &cell.kind {
         CellKind::Trials(job) => {
-            let (agg, trace, (hits, misses)) = run_trials_traced(job, &stream, parallel);
+            let (agg, trace, (hits, misses)) = match &cfg.checkpoint {
+                None => run_trials_traced(job, &stream, parallel),
+                Some(ckpt) => {
+                    let key = format!("{scenario}-{:016x}", stream.seed());
+                    let (agg, prior, cache) =
+                        run_trials_checkpointed(job, &stream, parallel, ckpt, &key);
+                    prior_secs = prior;
+                    (agg, None, cache)
+                }
+            };
             let mut metrics = (job.present)(job, &agg);
             // Cross-trial codeword-cache effectiveness; counters only
             // (content is correctness-neutral), and excluded from
@@ -447,8 +498,61 @@ fn run_cell(scenario: &str, cell: &Cell, parallel: bool) -> CellResult {
         aggregate,
         round_trace,
         seed: stream.seed(),
-        secs: start.elapsed().as_secs_f64(),
+        // A resumed cell reports the sum of its wall-clock segments: what
+        // the computation cost across interruptions, which is what the
+        // trajectory ledger should gate on.
+        secs: start.elapsed().as_secs_f64() + prior_secs,
     }
+}
+
+/// The checkpointing counterpart of [`run_trials_traced`]: every trial runs
+/// through [`run_trial_checkpointed`] under its own deterministic file key
+/// (`<cell key>-t<trial>`), resuming from leftover checkpoints of an
+/// interrupted earlier run. Returns the fold, the summed prior-segment
+/// seconds across resumed trials, and the cell's codeword-cache counters.
+/// Per-round tracing is not supported here — a resumed trial has no round 0
+/// to trace.
+fn run_trials_checkpointed(
+    job: &TrialJob,
+    stream: &SeedStream,
+    parallel: bool,
+    ckpt: &CheckpointConfig,
+    cell_key: &str,
+) -> (Aggregate, f64, (u64, u64)) {
+    let cache = shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS);
+    let one = |t: usize| {
+        let seeds = TrialSeeds::derive(stream.fork_u64(t as u64).seed());
+        let mut proto = (job.protocol)(seeds.protocol);
+        proto.attach_codeword_cache(cache.clone());
+        run_trial_checkpointed(
+            proto.as_ref(),
+            job.topology,
+            job.n,
+            job.b,
+            job.bandwidth,
+            job.alpha,
+            job.adversary,
+            seeds,
+            ckpt,
+            &format!("{cell_key}-t{t}"),
+        )
+    };
+    let results: Vec<Result<(crate::Trial, f64), CoreError>> = if parallel {
+        (0..job.trials).into_par_iter().map(one).collect()
+    } else {
+        (0..job.trials).map(one).collect()
+    };
+    let prior_secs: f64 = results
+        .iter()
+        .filter_map(|r| r.as_ref().ok())
+        .map(|(_, prior)| *prior)
+        .sum();
+    let agg = fold_trials(
+        job.trials,
+        results.into_iter().map(|r| r.map(|(t, _)| t)).collect(),
+    );
+    let cache_stats = cache.lock().expect("codeword cache poisoned").stats();
+    (agg, prior_secs, cache_stats)
 }
 
 /// Runs one trial cell's trials (parallel or serial) and folds in trial

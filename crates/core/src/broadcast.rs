@@ -5,6 +5,7 @@ use crate::error::CoreError;
 use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc};
 
 /// A broadcast in flight: a [`RouteSession`] over the single multi-target
 /// super-message of Corollary 4.8, steppable one `exchange` at a time.
@@ -69,6 +70,39 @@ impl BroadcastSession {
             result.push(got);
         }
         Ok(Some(result))
+    }
+
+    /// Serializes the broadcast state. The inner [`RouteSession`] is
+    /// quiesced to a pack boundary first, so snapshots taken mid-pack in
+    /// event-driven mode remain valid.
+    pub(crate) fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        enc.put_usize(self.src);
+        enc.put_usize(self.payload_len);
+        enc.put_usize(self.n);
+        self.route.snapshot(net, enc)
+    }
+
+    /// Rebuilds a broadcast session from a snapshot. Bypasses
+    /// [`BroadcastSession::new`]: the payload lives inside the serialized
+    /// routing instance, so the struct is assembled directly.
+    pub(crate) fn restore(
+        net: &Network,
+        cfg: &RouterConfig,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let src = dec.get_usize().map_err(CoreError::from)?;
+        let payload_len = dec.get_usize().map_err(CoreError::from)?;
+        let n = dec.get_usize().map_err(CoreError::from)?;
+        if src >= n || n != net.n() {
+            return Err(CoreError::invalid("broadcast snapshot shape mismatch"));
+        }
+        let route = RouteSession::restore(net, cfg, None, dec)?;
+        Ok(Self {
+            src,
+            payload_len,
+            n,
+            route,
+        })
     }
 }
 

@@ -50,6 +50,12 @@ impl CoreError {
     }
 }
 
+impl From<bdclique_snapshot::SnapError> for CoreError {
+    fn from(e: bdclique_snapshot::SnapError) -> Self {
+        CoreError::invalid(format!("snapshot: {e}"))
+    }
+}
+
 impl fmt::Display for CoreError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -30,3 +30,4 @@ pub mod routing;
 pub use driver::{Driver, RoundBudget, RoundDelta, RoundObserver, RoundTrace, ScheduleSwitch};
 pub use error::CoreError;
 pub use problem::{AllToAllInstance, AllToAllOutput};
+pub use protocols::{restore_run, snapshot_run};

@@ -1,6 +1,7 @@
 //! The `AllToAllComm` problem (Definition 1 of the paper).
 
 use bdclique_bits::BitVec;
+use bdclique_snapshot::{Dec, Enc, Restore, SnapError, Snapshot};
 use rand::Rng;
 
 /// An instance of `AllToAllComm`: node `u` holds a `B`-bit message `m_{u,v}`
@@ -155,6 +156,35 @@ impl AllToAllOutput {
     /// Number of nodes.
     pub fn n(&self) -> usize {
         self.n
+    }
+}
+
+impl Snapshot for AllToAllOutput {
+    fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.n);
+        for slot in &self.received {
+            enc.put_opt(slot.as_ref(), |e, bits| e.put_bits(bits));
+        }
+    }
+}
+
+impl Restore for AllToAllOutput {
+    fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let n = dec.get_usize()?;
+        let cells = n
+            .checked_mul(n)
+            .ok_or_else(|| SnapError::corrupt(format!("output size {n} overflows")))?;
+        if cells > dec.remaining() {
+            return Err(SnapError::Truncated {
+                needed: cells,
+                remaining: dec.remaining(),
+            });
+        }
+        let mut received = Vec::with_capacity(cells);
+        for _ in 0..cells {
+            received.push(dec.get_opt(Dec::get_bits)?);
+        }
+        Ok(Self { n, received })
     }
 }
 

@@ -32,10 +32,104 @@ use bdclique_codes::{Ldc, RmLdc};
 use bdclique_hash::{KWiseHashFamily, SharedRandomness};
 use bdclique_netsim::Network;
 use bdclique_sketch::{RecoverySketch, SketchShape};
+use bdclique_snapshot::{Dec, Enc, Restore, SnapError, Snapshot};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::borrow::Cow;
 use std::collections::HashMap;
+
+/// Serializes a ChaCha8 generator mid-stream (key + block counter + intra-
+/// block cursor), so a restored session continues the exact draw sequence.
+fn snapshot_rng(rng: &ChaCha8Rng, enc: &mut Enc) {
+    let (key, counter, idx) = rng.position();
+    for w in key {
+        enc.put_u32(w);
+    }
+    enc.put_u64(counter);
+    enc.put_usize(idx);
+}
+
+fn restore_rng(dec: &mut Dec<'_>) -> Result<ChaCha8Rng, SnapError> {
+    let mut key = [0u32; 8];
+    for w in &mut key {
+        *w = dec.get_u32()?;
+    }
+    let counter = dec.get_u64()?;
+    let idx = dec.get_usize()?;
+    if idx > 16 {
+        return Err(SnapError::corrupt("rng block cursor out of range"));
+    }
+    Ok(ChaCha8Rng::from_position(key, counter, idx))
+}
+
+/// Serializes an `n`-row table of per-node bit strings (broadcast outputs).
+fn snapshot_bits_table(rows: &[BitVec], enc: &mut Enc) {
+    enc.put_seq(rows, Enc::put_bits);
+}
+
+fn restore_bits_table(n: usize, dec: &mut Dec<'_>) -> Result<Vec<BitVec>, CoreError> {
+    let rows = dec.get_seq(1, Dec::get_bits).map_err(CoreError::from)?;
+    if rows.len() != n {
+        return Err(CoreError::invalid("snapshot bit table size mismatch"));
+    }
+    Ok(rows)
+}
+
+/// Serializes scattered symbols (`[receiver][holder][chunk]`, rectangular)
+/// flat; the dimensions are re-derived from the plan at restore and only
+/// checked here.
+fn snapshot_symbols(symbols: &[Vec<Vec<u16>>], enc: &mut Enc) {
+    enc.put_usize(symbols.len());
+    enc.put_usize(symbols.first().and_then(|r| r.first()).map_or(0, Vec::len));
+    for row in symbols {
+        for per_holder in row {
+            for &sym in per_holder {
+                enc.put_u16(sym);
+            }
+        }
+    }
+}
+
+fn restore_symbols(
+    n: usize,
+    chunks: usize,
+    dec: &mut Dec<'_>,
+) -> Result<Vec<Vec<Vec<u16>>>, CoreError> {
+    let stored_n = dec.get_usize().map_err(CoreError::from)?;
+    let stored_chunks = dec.get_usize().map_err(CoreError::from)?;
+    if stored_n != n || stored_chunks != chunks {
+        return Err(CoreError::invalid("snapshot symbol table shape mismatch"));
+    }
+    let mut symbols = vec![vec![vec![0u16; chunks]; n]; n];
+    for row in &mut symbols {
+        for per_holder in row.iter_mut() {
+            for sym in per_holder.iter_mut() {
+                *sym = dec.get_u16().map_err(CoreError::from)?;
+            }
+        }
+    }
+    Ok(symbols)
+}
+
+/// Serializes the per-node query sets (`wanted[v]` = `(chunk, position)`
+/// pairs).
+fn snapshot_wanted(wanted: &[Vec<(usize, usize)>], enc: &mut Enc) {
+    for pairs in wanted {
+        enc.put_seq(pairs, |e, &(c, r)| {
+            e.put_usize(c);
+            e.put_usize(r);
+        });
+    }
+}
+
+fn restore_wanted(n: usize, dec: &mut Dec<'_>) -> Result<Vec<Vec<(usize, usize)>>, CoreError> {
+    (0..n)
+        .map(|_| {
+            dec.get_seq(2, |d| Ok((d.get_usize()?, d.get_usize()?)))
+                .map_err(CoreError::from)
+        })
+        .collect()
+}
 
 /// Per-node fetched query answers: `(chunk, position) → holder-indexed
 /// symbol bundle`.
@@ -141,6 +235,76 @@ impl ScatterSession {
             codewords,
             symbols: vec![vec![vec![0u16; chunks]; n]; n],
             chunk_start: 0,
+        })
+    }
+
+    /// Serializes the scatter mid-flight. Codewords are written out rather
+    /// than re-encoded at restore: Take II's payloads derive from wave-A
+    /// deliveries that no longer exist by the time a restore runs.
+    fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.chunks);
+        enc.put_usize(self.chunk_start);
+        for per_chunk in &self.codewords {
+            for cw in per_chunk {
+                for &sym in cw {
+                    enc.put_u16(sym);
+                }
+            }
+        }
+        for row in &self.symbols {
+            for per_holder in row {
+                for &sym in per_holder {
+                    enc.put_u16(sym);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a scatter serialized by [`ScatterSession::snapshot`].
+    /// Geometry (`mf`, `positions`, `lanes`) is re-derived from the network
+    /// and plan; `expected_chunks` pins the chunk count the caller derives
+    /// from its payload width.
+    fn restore(
+        net: &Network,
+        plan: &LdcPlan,
+        expected_chunks: usize,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let n = net.n();
+        let positions = plan.ldc.codeword_len();
+        let chunks = dec.get_usize().map_err(CoreError::from)?;
+        if chunks != expected_chunks {
+            return Err(CoreError::invalid("scatter snapshot chunk count mismatch"));
+        }
+        let chunk_start = dec.get_usize().map_err(CoreError::from)?;
+        if chunk_start >= chunks {
+            return Err(CoreError::invalid("scatter snapshot cursor out of range"));
+        }
+        let mut codewords = vec![vec![vec![0u16; positions]; chunks]; n];
+        for per_chunk in &mut codewords {
+            for cw in per_chunk.iter_mut() {
+                for sym in cw.iter_mut() {
+                    *sym = dec.get_u16().map_err(CoreError::from)?;
+                }
+            }
+        }
+        let mut symbols = vec![vec![vec![0u16; chunks]; n]; n];
+        for row in &mut symbols {
+            for per_holder in row.iter_mut() {
+                for sym in per_holder.iter_mut() {
+                    *sym = dec.get_u16().map_err(CoreError::from)?;
+                }
+            }
+        }
+        Ok(Self {
+            mf: plan.mf,
+            positions,
+            lanes: (net.bandwidth() / plan.mf as usize).max(1),
+            chunks,
+            n,
+            codewords,
+            symbols,
+            chunk_start,
         })
     }
 
@@ -372,6 +536,48 @@ impl<'a> Take1Session<'a> {
         })
     }
 
+    /// Rebuilds a session from a snapshot. Bypasses `new` so restores of
+    /// post-scatter phases skip the (expensive, discarded) row re-encoding;
+    /// the LDC plan itself is deterministic and re-derived.
+    fn restore(
+        proto: &'a AdaptiveTakeOne,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let b = inst.b();
+        let plan = LdcPlan::for_network(n, proto.lines, proto.line_capacity)?;
+        if net.bandwidth() < plan.mf as usize {
+            return Err(CoreError::infeasible("bandwidth below LDC symbol width"));
+        }
+        let chunks = (n * b).div_ceil(plan.cap_bits).max(1);
+        let phase = match dec.get_u8().map_err(CoreError::from)? {
+            0 => Take1Phase::Scatter(ScatterSession::restore(net, &plan, chunks, dec)?),
+            1 => Take1Phase::BroadcastR3 {
+                symbols: restore_symbols(n, chunks, dec)?,
+                bcast: BroadcastSession::restore(net, &proto.router, dec)?,
+            },
+            2 => Take1Phase::Fetch {
+                r3_received: restore_bits_table(n, dec)?,
+                wanted: restore_wanted(n, dec)?,
+                route: RouteSession::restore(net, &proto.router, None, dec)?,
+            },
+            _ => return Err(CoreError::invalid("unknown take1 phase tag")),
+        };
+        Ok(Self {
+            proto,
+            inst,
+            n,
+            b,
+            plan,
+            phase,
+        })
+    }
+
     /// ---- Local decoding. ----
     fn finish(&self, r3_received: &[BitVec], answers: &[QueryAnswers]) -> AllToAllOutput {
         let (n, b) = (self.n, self.b);
@@ -471,6 +677,31 @@ impl ProtocolSession for Take1Session<'_> {
             }
         }
     }
+
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        match &mut self.phase {
+            Take1Phase::Scatter(scatter) => {
+                enc.put_u8(0);
+                scatter.snapshot(enc);
+                Ok(())
+            }
+            Take1Phase::BroadcastR3 { symbols, bcast } => {
+                enc.put_u8(1);
+                snapshot_symbols(symbols, enc);
+                bcast.snapshot(net, enc)
+            }
+            Take1Phase::Fetch {
+                r3_received,
+                wanted,
+                route,
+            } => {
+                enc.put_u8(2);
+                snapshot_bits_table(r3_received, enc);
+                snapshot_wanted(wanted, enc);
+                route.snapshot(net, enc)
+            }
+        }
+    }
 }
 
 impl AllToAllProtocol for AdaptiveTakeOne {
@@ -487,6 +718,15 @@ impl AllToAllProtocol for AdaptiveTakeOne {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(Take1Session::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(Take1Session::restore(self, net, inst, dec)?))
     }
 }
 
@@ -566,6 +806,56 @@ struct Take2Common {
     r2_received: Vec<BitVec>,
     /// The random partition `P` (Lemma 5.6).
     parts: Vec<Vec<usize>>,
+}
+
+/// Serializes the random partition `P`.
+fn snapshot_parts(parts: &[Vec<usize>], enc: &mut Enc) {
+    enc.put_seq(parts, |e, part| e.put_seq(part, |e, &u| e.put_usize(u)));
+}
+
+/// Restores `P`, enforcing its invariant: `n / p_size` parts of `p_size`
+/// ascending node ids that together cover `0..n` exactly once.
+fn restore_parts(n: usize, p_size: usize, dec: &mut Dec<'_>) -> Result<Vec<Vec<usize>>, CoreError> {
+    let parts = dec
+        .get_seq(1, |d| d.get_seq(1, Dec::get_usize))
+        .map_err(CoreError::from)?;
+    let mut seen = vec![false; n];
+    if parts.len() != n / p_size {
+        return Err(CoreError::invalid("snapshot partition count mismatch"));
+    }
+    for part in &parts {
+        if part.len() != p_size {
+            return Err(CoreError::invalid("snapshot partition part size mismatch"));
+        }
+        for &u in part {
+            if u >= n || std::mem::replace(&mut seen[u], true) {
+                return Err(CoreError::invalid(
+                    "snapshot partition is not a partition of V",
+                ));
+            }
+        }
+    }
+    Ok(parts)
+}
+
+impl Take2Common {
+    fn snapshot(&self, enc: &mut Enc) {
+        self.received.snapshot(enc);
+        snapshot_bits_table(&self.r2_received, enc);
+        snapshot_parts(&self.parts, enc);
+    }
+
+    fn restore(n: usize, p_size: usize, dec: &mut Dec<'_>) -> Result<Self, CoreError> {
+        let received = AllToAllOutput::restore(dec).map_err(CoreError::from)?;
+        if received.n() != n {
+            return Err(CoreError::invalid("snapshot received-table size mismatch"));
+        }
+        Ok(Self {
+            received,
+            r2_received: restore_bits_table(n, dec)?,
+            parts: restore_parts(n, p_size, dec)?,
+        })
+    }
 }
 
 /// Execution phases of Take II.
@@ -684,6 +974,97 @@ impl<'a> Take2Session<'a> {
 
     fn seg(&self, i: usize) -> std::ops::Range<usize> {
         (i * self.w)..((i + 1) * self.w)
+    }
+
+    /// Chunk count of the Step III scatter (paper path).
+    fn ldc_chunks(&self, plan: &LdcPlan) -> usize {
+        (self.w * self.t).div_ceil(plan.cap_bits).max(1)
+    }
+
+    /// Rebuilds a session from a snapshot: geometry re-derives through
+    /// `new`, then the persisted generator position and phase overlay the
+    /// fresh state.
+    fn restore(
+        proto: &'a AdaptiveAllToAll,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new(proto, net, inst)?;
+        let n = s.n;
+        s.v1_rng = restore_rng(dec).map_err(CoreError::from)?;
+        let plan_for = || LdcPlan::for_network(n, proto.lines, proto.line_capacity);
+        s.phase = match dec.get_u8().map_err(CoreError::from)? {
+            0 => Take2Phase::Naive(NaiveSession::restore(net, inst, dec)?),
+            1 => {
+                let received = AllToAllOutput::restore(dec).map_err(CoreError::from)?;
+                if received.n() != n {
+                    return Err(CoreError::invalid("snapshot received-table size mismatch"));
+                }
+                Take2Phase::BroadcastR1 {
+                    received,
+                    r2_bits: dec.get_bits().map_err(CoreError::from)?,
+                    bcast: BroadcastSession::restore(net, &proto.router, dec)?,
+                }
+            }
+            2 => {
+                let received = AllToAllOutput::restore(dec).map_err(CoreError::from)?;
+                if received.n() != n {
+                    return Err(CoreError::invalid("snapshot received-table size mismatch"));
+                }
+                Take2Phase::BroadcastR2 {
+                    received,
+                    r1_first: dec.get_bits().map_err(CoreError::from)?,
+                    bcast: BroadcastSession::restore(net, &proto.router, dec)?,
+                }
+            }
+            3 => {
+                let received = AllToAllOutput::restore(dec).map_err(CoreError::from)?;
+                if received.n() != n {
+                    return Err(CoreError::invalid("snapshot received-table size mismatch"));
+                }
+                Take2Phase::WaveA {
+                    received,
+                    r2_received: restore_bits_table(n, dec)?,
+                    parts: restore_parts(n, proto.p_size, dec)?,
+                    route: RouteSession::restore(net, &proto.router, None, dec)?,
+                }
+            }
+            4 => {
+                let common = Take2Common::restore(n, proto.p_size, dec)?;
+                let plan = plan_for()?;
+                let chunks = s.ldc_chunks(&plan);
+                Take2Phase::Scatter {
+                    common,
+                    scatter: ScatterSession::restore(net, &plan, chunks, dec)?,
+                    plan,
+                }
+            }
+            5 => {
+                let common = Take2Common::restore(n, proto.p_size, dec)?;
+                let plan = plan_for()?;
+                let chunks = s.ldc_chunks(&plan);
+                Take2Phase::BroadcastR3 {
+                    common,
+                    symbols: restore_symbols(n, chunks, dec)?,
+                    bcast: BroadcastSession::restore(net, &proto.router, dec)?,
+                    plan,
+                }
+            }
+            6 => Take2Phase::Fetch {
+                common: Take2Common::restore(n, proto.p_size, dec)?,
+                plan: plan_for()?,
+                r3_received: restore_bits_table(n, dec)?,
+                wanted: restore_wanted(n, dec)?,
+                route: RouteSession::restore(net, &proto.router, None, dec)?,
+            },
+            7 => Take2Phase::Pull {
+                common: Take2Common::restore(n, proto.p_size, dec)?,
+                route: RouteSession::restore(net, &proto.router, None, dec)?,
+            },
+            _ => return Err(CoreError::invalid("unknown take2 phase tag")),
+        };
+        Ok(s)
     }
 
     /// ---- Step II(b): build sketches Sk(P_j, {x}) at P_j[i]. ----
@@ -1104,6 +1485,88 @@ impl ProtocolSession for Take2Session<'_> {
             }
         }
     }
+
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        snapshot_rng(&self.v1_rng, enc);
+        match &mut self.phase {
+            Take2Phase::Poisoned => Err(CoreError::invalid(
+                "cannot snapshot a failed or consumed session",
+            )),
+            Take2Phase::Naive(naive) => {
+                enc.put_u8(0);
+                ProtocolSession::snapshot(naive, net, enc)
+            }
+            Take2Phase::BroadcastR1 {
+                received,
+                r2_bits,
+                bcast,
+            } => {
+                enc.put_u8(1);
+                received.snapshot(enc);
+                enc.put_bits(r2_bits);
+                bcast.snapshot(net, enc)
+            }
+            Take2Phase::BroadcastR2 {
+                received,
+                r1_first,
+                bcast,
+            } => {
+                enc.put_u8(2);
+                received.snapshot(enc);
+                enc.put_bits(r1_first);
+                bcast.snapshot(net, enc)
+            }
+            Take2Phase::WaveA {
+                received,
+                r2_received,
+                parts,
+                route,
+            } => {
+                enc.put_u8(3);
+                received.snapshot(enc);
+                snapshot_bits_table(r2_received, enc);
+                snapshot_parts(parts, enc);
+                route.snapshot(net, enc)
+            }
+            Take2Phase::Scatter {
+                common, scatter, ..
+            } => {
+                enc.put_u8(4);
+                common.snapshot(enc);
+                scatter.snapshot(enc);
+                Ok(())
+            }
+            Take2Phase::BroadcastR3 {
+                common,
+                symbols,
+                bcast,
+                ..
+            } => {
+                enc.put_u8(5);
+                common.snapshot(enc);
+                snapshot_symbols(symbols, enc);
+                bcast.snapshot(net, enc)
+            }
+            Take2Phase::Fetch {
+                common,
+                r3_received,
+                wanted,
+                route,
+                ..
+            } => {
+                enc.put_u8(6);
+                common.snapshot(enc);
+                snapshot_bits_table(r3_received, enc);
+                snapshot_wanted(wanted, enc);
+                route.snapshot(net, enc)
+            }
+            Take2Phase::Pull { common, route } => {
+                enc.put_u8(7);
+                common.snapshot(enc);
+                route.snapshot(net, enc)
+            }
+        }
+    }
 }
 
 impl AllToAllProtocol for AdaptiveAllToAll {
@@ -1121,6 +1584,15 @@ impl AllToAllProtocol for AdaptiveAllToAll {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(Take2Session::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(Take2Session::restore(self, net, inst, dec)?))
     }
 }
 

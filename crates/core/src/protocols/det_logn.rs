@@ -9,6 +9,7 @@ use crate::routing::{
 };
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 
 /// The hypercube protocol (Figure 2 of the paper).
@@ -268,6 +269,86 @@ impl<'a> HypercubeSession<'a> {
             None => RouteSession::new(net, instance, router),
         }
     }
+
+    /// Rebuilds a session from a snapshot. The routed engine carries its
+    /// iteration instance in the serialized [`RouteSession`]; the direct
+    /// engine re-derives its outbox and round count from the restored
+    /// `state` and only overlays the exchange cursor and assembly buffers.
+    fn restore(
+        proto: &'a DetHypercube,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        if !n.is_power_of_two() || n < 2 {
+            return Err(CoreError::invalid(
+                "DetHypercube requires n to be a power of two",
+            ));
+        }
+        let ell = n.trailing_zeros() as usize;
+        let b = inst.b();
+        let i = dec.get_usize().map_err(CoreError::from)?;
+        if i < 1 || i > ell {
+            return Err(CoreError::invalid(
+                "hypercube snapshot iteration out of range",
+            ));
+        }
+        let mut state: Vec<Vec<BitVec>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let row = dec.get_seq(1, Dec::get_bits).map_err(CoreError::from)?;
+            if row.len() != n {
+                return Err(CoreError::invalid(
+                    "hypercube snapshot state row size mismatch",
+                ));
+            }
+            state.push(row);
+        }
+        let engine = match dec.get_u8().map_err(CoreError::from)? {
+            0 => HcEngine::Routed(RouteSession::restore(
+                net,
+                &proto.router,
+                proto.shared_cache.clone(),
+                dec,
+            )?),
+            1 => {
+                let mut engine = Self::direct_engine(&state, net.bandwidth(), n, ell, b, i);
+                let HcEngine::Direct {
+                    rounds,
+                    done,
+                    received,
+                    ..
+                } = &mut engine
+                else {
+                    unreachable!("direct_engine builds a Direct engine");
+                };
+                *done = dec.get_usize().map_err(CoreError::from)?;
+                if *done >= *rounds {
+                    return Err(CoreError::invalid(
+                        "hypercube snapshot round cursor out of range",
+                    ));
+                }
+                for dst in received.iter_mut() {
+                    *dst = dec.get_bits().map_err(CoreError::from)?;
+                }
+                engine
+            }
+            _ => return Err(CoreError::invalid("unknown hypercube engine tag")),
+        };
+        Ok(Self {
+            router: &proto.router,
+            cache: proto.shared_cache.clone(),
+            n,
+            ell,
+            b,
+            i,
+            state,
+            engine,
+        })
+    }
 }
 
 impl ProtocolSession for HypercubeSession<'_> {
@@ -400,6 +481,27 @@ impl ProtocolSession for HypercubeSession<'_> {
         }
         Ok(Step::Done(output))
     }
+
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        enc.put_usize(self.i);
+        for row in &self.state {
+            enc.put_seq(row, Enc::put_bits);
+        }
+        match &mut self.engine {
+            HcEngine::Routed(route) => {
+                enc.put_u8(0);
+                route.snapshot(net, enc)?;
+            }
+            HcEngine::Direct { done, received, .. } => {
+                enc.put_u8(1);
+                enc.put_usize(*done);
+                for dst in received.iter() {
+                    enc.put_bits(dst);
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 impl AllToAllProtocol for DetHypercube {
@@ -417,6 +519,15 @@ impl AllToAllProtocol for DetHypercube {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(HypercubeSession::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(HypercubeSession::restore(self, net, inst, dec)?))
     }
 }
 

@@ -11,6 +11,7 @@ use crate::routing::{
 };
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 
 /// The √n-segment protocol (Figure 3 of the paper).
@@ -126,6 +127,47 @@ impl<'a> SqrtSession<'a> {
             cache,
         })
     }
+
+    /// Rebuilds a session from a snapshot. Both waves embed their routing
+    /// instance in the serialized [`RouteSession`] (wave 2's instance is
+    /// built from wave 1's deliveries and cannot be re-derived), so no
+    /// instance reconstruction happens here.
+    fn restore(
+        proto: &'a DetSqrt,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let n = inst.n();
+        if n != net.n() {
+            return Err(CoreError::invalid("instance size != network size"));
+        }
+        let s = (n as f64).sqrt().round() as usize;
+        if s * s != n {
+            return Err(CoreError::invalid(
+                "DetSqrt requires n to be a perfect square",
+            ));
+        }
+        let cache = proto
+            .shared_cache
+            .clone()
+            .unwrap_or_else(|| shared_codeword_cache(CodewordCache::DEFAULT_MAX_SYMBOLS));
+        let tag = dec.get_u8().map_err(CoreError::from)?;
+        let route = RouteSession::restore(net, &proto.router, Some(cache.clone()), dec)?;
+        let phase = match tag {
+            0 => SqrtPhase::Wave1(route),
+            1 => SqrtPhase::Wave2(route),
+            _ => return Err(CoreError::invalid("unknown det-sqrt wave tag")),
+        };
+        Ok(Self {
+            router: &proto.router,
+            n,
+            s,
+            b: inst.b(),
+            cache,
+            phase,
+        })
+    }
 }
 
 impl ProtocolSession for SqrtSession<'_> {
@@ -220,6 +262,19 @@ impl ProtocolSession for SqrtSession<'_> {
             }
         }
     }
+
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        match &mut self.phase {
+            SqrtPhase::Wave1(route) => {
+                enc.put_u8(0);
+                route.snapshot(net, enc)
+            }
+            SqrtPhase::Wave2(route) => {
+                enc.put_u8(1);
+                route.snapshot(net, enc)
+            }
+        }
+    }
 }
 
 impl AllToAllProtocol for DetSqrt {
@@ -237,6 +292,15 @@ impl AllToAllProtocol for DetSqrt {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(SqrtSession::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(SqrtSession::restore(self, net, inst, dec)?))
     }
 }
 

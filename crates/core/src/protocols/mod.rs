@@ -30,7 +30,8 @@ use crate::driver::RoundObserver;
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use crate::routing::SharedCodewordCache;
-use bdclique_netsim::Network;
+use bdclique_netsim::{Adversary, Network};
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 
 /// What one [`ProtocolSession::step`] produced.
@@ -75,6 +76,34 @@ pub trait ProtocolSession {
     /// with exchange-free steps, e.g. a zero-round degenerate instance.
     fn next_step_exchanges(&self) -> bool {
         true
+    }
+
+    /// Appends the session's dynamic state to `enc` so the run can later be
+    /// resumed via [`AllToAllProtocol::restore_session`].
+    ///
+    /// Sessions with in-flight event-path work (prefetched encodes,
+    /// background decodes) must **quiesce** to a step boundary first — join
+    /// or discard speculative jobs so the serialized state describes a
+    /// session exactly between two `step` calls — which is why this takes
+    /// `&mut self` and `&mut Network` (draining decode jobs reclaims their
+    /// deliveries into the network arena). A snapshot must leave the session
+    /// in a valid state: continuing to step it afterwards is bit-identical
+    /// to never having snapshotted (speculative work re-runs, and it is
+    /// pure).
+    ///
+    /// Only state that cannot be re-derived from the protocol's
+    /// configuration belongs in the snapshot; plans, schedules, and codes
+    /// are rebuilt at restore (see `bdclique-snapshot`'s crate docs).
+    ///
+    /// # Errors
+    ///
+    /// The default declines with [`CoreError::InvalidInput`] — sessions opt
+    /// in explicitly.
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        let _ = (net, enc);
+        Err(CoreError::invalid(
+            "this protocol session does not support snapshots",
+        ))
     }
 }
 
@@ -133,6 +162,30 @@ pub trait AllToAllProtocol: Send + Sync {
         let _ = cache;
     }
 
+    /// Reopens a session from state serialized by
+    /// [`ProtocolSession::snapshot`]. The protocol and instance are the
+    /// caller's responsibility (rebuilt from their specs — seeds,
+    /// parameters); this method rebuilds the session's derived structure
+    /// exactly as [`AllToAllProtocol::session`] would and overlays the
+    /// decoded dynamic state, so stepping the restored session is
+    /// bit-identical to stepping the original.
+    ///
+    /// # Errors
+    ///
+    /// The default declines with [`CoreError::InvalidInput`]; implementors
+    /// surface [`CoreError`] on corrupt or mismatched state.
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        let _ = (net, inst, dec);
+        Err(CoreError::invalid(
+            "this protocol does not support session restore",
+        ))
+    }
+
     /// Runs the protocol to completion by looping [`ProtocolSession::step`].
     ///
     /// # Errors
@@ -148,6 +201,66 @@ pub trait AllToAllProtocol: Send + Sync {
             }
         }
     }
+}
+
+/// Captures a mid-run checkpoint of a protocol execution: the network's
+/// full dynamic state followed by the session's, as one versioned snapshot
+/// document.
+///
+/// The session is quiesced first (its [`ProtocolSession::snapshot`] joins
+/// or discards in-flight event-path work), so the document describes the
+/// run exactly between two steps; the session remains valid and continuing
+/// to step it is bit-identical to never having snapshotted.
+///
+/// The instance, the protocol, and the adversary are *not* serialized —
+/// they are rebuilt from their specs at [`restore_run`] (the hybrid rule:
+/// behavioral objects are reconstructed, state is overlaid).
+///
+/// # Errors
+///
+/// [`CoreError::InvalidInput`] when the session does not support snapshots.
+pub fn snapshot_run(
+    net: &mut Network,
+    session: &mut (dyn ProtocolSession + '_),
+) -> Result<Vec<u8>, CoreError> {
+    // Session first: quiescing may reclaim frames into the network arena,
+    // so it must precede the network capture even though the document
+    // stores the network section first (restore needs the network before
+    // the session can be rebuilt against it).
+    let mut session_enc = Enc::new();
+    session.snapshot(net, &mut session_enc)?;
+    let mut enc = Enc::with_header();
+    net.snapshot(&mut enc);
+    enc.put_bytes(session_enc.bytes());
+    Ok(enc.into_bytes())
+}
+
+/// Reopens a checkpoint written by [`snapshot_run`]: restores the network
+/// (overlaying the serialized dynamic state onto `adversary`, which the
+/// caller rebuilt from its spec) and the protocol session, positioned to
+/// continue bit-identically with the uninterrupted run.
+///
+/// `protocol` and `inst` must be the same configuration the snapshotted run
+/// used — typically re-derived from the same seeds.
+///
+/// # Errors
+///
+/// [`CoreError`] on corrupt documents, adversary-kind mismatches, or
+/// protocols without restore support.
+pub fn restore_run<'a>(
+    bytes: &[u8],
+    adversary: Adversary,
+    protocol: &'a dyn AllToAllProtocol,
+    inst: &'a AllToAllInstance,
+) -> Result<(Network, Box<dyn ProtocolSession + 'a>), CoreError> {
+    let mut dec = Dec::with_header(bytes).map_err(CoreError::from)?;
+    let net = Network::restore(&mut dec, adversary)?;
+    let session_bytes = dec.get_bytes()?;
+    dec.finish()?;
+    let mut session_dec = Dec::new(session_bytes);
+    let session = protocol.restore_session(&net, inst, &mut session_dec)?;
+    session_dec.finish()?;
+    Ok((net, session))
 }
 
 /// Outcome of running a protocol against an instance on a network.

@@ -4,6 +4,7 @@ use super::{AllToAllProtocol, ProtocolSession, Step};
 use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 
 /// Direct exchange: `u` sends `m_{u,v}` straight to `v`. The fault-free
@@ -45,6 +46,27 @@ impl<'a> NaiveSession<'a> {
             s: 0,
             partial: vec![vec![bdclique_bits::BitVec::zeros(b); n]; n],
         })
+    }
+
+    /// Rebuilds a session serialized by its `ProtocolSession::snapshot`.
+    /// Derived geometry (`slices`, `per`) comes back from `new`; only the
+    /// cursor and the assembly buffers are overlaid.
+    pub(crate) fn restore(
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new(net, inst)?;
+        s.s = dec.get_usize().map_err(CoreError::from)?;
+        if s.s >= s.slices {
+            return Err(CoreError::invalid("naive snapshot cursor out of range"));
+        }
+        for row in &mut s.partial {
+            for cell in row {
+                *cell = dec.get_bits().map_err(CoreError::from)?;
+            }
+        }
+        Ok(s)
     }
 
     fn finish(&mut self) -> AllToAllOutput {
@@ -105,6 +127,16 @@ impl ProtocolSession for NaiveSession<'_> {
         }
         Ok(Step::Running)
     }
+
+    fn snapshot(&mut self, _net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        enc.put_usize(self.s);
+        for row in &self.partial {
+            for cell in row {
+                enc.put_bits(cell);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl AllToAllProtocol for NaiveExchange {
@@ -118,6 +150,15 @@ impl AllToAllProtocol for NaiveExchange {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(NaiveSession::new(net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(NaiveSession::restore(net, inst, dec)?))
     }
 }
 

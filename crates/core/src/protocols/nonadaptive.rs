@@ -23,6 +23,7 @@ use crate::problem::{AllToAllInstance, AllToAllOutput};
 use crate::routing::{RouteSession, RouterConfig, RoutingInstance, SuperMessage};
 use bdclique_bits::BitVec;
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use std::borrow::Cow;
@@ -121,6 +122,60 @@ impl<'a> NaSession<'a> {
             shift_bits,
             phase: NaPhase::Publish,
         })
+    }
+
+    /// Rebuilds a session from a snapshot. The shifts are re-derived from
+    /// `proto.seed` by `new` (node `v1`'s sampling is deterministic); only
+    /// the phase and its buffers are overlaid.
+    fn restore(
+        proto: &'a NonAdaptiveAllToAll,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new(proto, net, inst)?;
+        let (n, r) = (s.n, s.r);
+        let get_shifts = |dec: &mut Dec<'_>| -> Result<Vec<BitVec>, CoreError> {
+            let shifts = dec.get_seq(1, Dec::get_bits).map_err(CoreError::from)?;
+            if shifts.len() != n {
+                return Err(CoreError::invalid(
+                    "nonadaptive snapshot shift table size mismatch",
+                ));
+            }
+            Ok(shifts)
+        };
+        s.phase = match dec.get_u8().map_err(CoreError::from)? {
+            0 => NaPhase::Publish,
+            1 => NaPhase::Broadcast(BroadcastSession::restore(net, &proto.router, dec)?),
+            2 => {
+                let received_shifts = get_shifts(dec)?;
+                let copy_group_start = dec.get_usize().map_err(CoreError::from)?;
+                if copy_group_start >= r {
+                    return Err(CoreError::invalid(
+                        "nonadaptive snapshot copy cursor out of range",
+                    ));
+                }
+                let mut copy_store = vec![vec![vec![None; n]; r]; n];
+                for relay in copy_store.iter_mut() {
+                    for copy in relay.iter_mut() {
+                        for slot in copy.iter_mut() {
+                            *slot = dec.get_opt(Dec::get_bits).map_err(CoreError::from)?;
+                        }
+                    }
+                }
+                NaPhase::CopyWave {
+                    received_shifts,
+                    copy_store,
+                    copy_group_start,
+                }
+            }
+            3 => NaPhase::Route {
+                received_shifts: get_shifts(dec)?,
+                route: RouteSession::restore(net, &proto.router, None, dec)?,
+            },
+            _ => return Err(CoreError::invalid("unknown nonadaptive phase tag")),
+        };
+        Ok(s)
     }
 
     /// ---- Majority vote per message. ----
@@ -302,6 +357,44 @@ impl ProtocolSession for NaSession<'_> {
             }
         }
     }
+
+    fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        match &mut self.phase {
+            NaPhase::Publish => {
+                enc.put_u8(0);
+                Ok(())
+            }
+            NaPhase::Broadcast(bcast) => {
+                enc.put_u8(1);
+                bcast.snapshot(net, enc)
+            }
+            NaPhase::CopyWave {
+                received_shifts,
+                copy_store,
+                copy_group_start,
+            } => {
+                enc.put_u8(2);
+                enc.put_seq(received_shifts, Enc::put_bits);
+                enc.put_usize(*copy_group_start);
+                for relay in copy_store.iter() {
+                    for copy in relay.iter() {
+                        for slot in copy.iter() {
+                            enc.put_opt(slot.as_ref(), Enc::put_bits);
+                        }
+                    }
+                }
+                Ok(())
+            }
+            NaPhase::Route {
+                received_shifts,
+                route,
+            } => {
+                enc.put_u8(3);
+                enc.put_seq(received_shifts, Enc::put_bits);
+                route.snapshot(net, enc)
+            }
+        }
+    }
 }
 
 impl AllToAllProtocol for NonAdaptiveAllToAll {
@@ -315,6 +408,15 @@ impl AllToAllProtocol for NonAdaptiveAllToAll {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(NaSession::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(NaSession::restore(self, net, inst, dec)?))
     }
 }
 

@@ -14,6 +14,7 @@ use crate::error::CoreError;
 use crate::problem::{AllToAllInstance, AllToAllOutput};
 use bdclique_bits::BitVec;
 use bdclique_netsim::{Delivery, Network, Topology};
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 use std::sync::Arc;
 
@@ -91,6 +92,47 @@ impl<'a> RelaySession<'a> {
             votes: vec![vec![Vec::new(); n]; n],
             topo: (!net.topology().is_complete()).then(|| net.topology_handle()),
         })
+    }
+
+    /// Rebuilds a session serialized by its `ProtocolSession::snapshot`:
+    /// the structural fields come back from `new`, then the copy cursor,
+    /// mid-copy phase, and vote tallies are overlaid.
+    fn restore(
+        proto: &RelayReplication,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Self, CoreError> {
+        let mut s = Self::new(proto, net, inst)?;
+        s.i = dec.get_usize().map_err(CoreError::from)?;
+        if s.i >= s.copies {
+            return Err(CoreError::invalid("relay snapshot cursor out of range"));
+        }
+        s.phase = match dec.get_u8().map_err(CoreError::from)? {
+            0 => RelayPhase::Hop1,
+            1 => {
+                let d1 = Delivery::restore(dec).map_err(CoreError::from)?;
+                if d1.n() != s.n {
+                    return Err(CoreError::invalid("relay snapshot delivery size mismatch"));
+                }
+                let local = dec
+                    .get_seq(1, |d| d.get_opt(|d| Ok((d.get_usize()?, d.get_bits()?))))
+                    .map_err(CoreError::from)?;
+                if local.len() != s.n {
+                    return Err(CoreError::invalid(
+                        "relay snapshot local table size mismatch",
+                    ));
+                }
+                RelayPhase::Hop2 { d1, local }
+            }
+            _ => return Err(CoreError::invalid("unknown relay phase tag")),
+        };
+        for row in &mut s.votes {
+            for cell in row.iter_mut() {
+                *cell = dec.get_seq(1, Dec::get_bits).map_err(CoreError::from)?;
+            }
+        }
+        Ok(s)
     }
 
     /// Majority per message.
@@ -227,6 +269,29 @@ impl ProtocolSession for RelaySession<'_> {
             }
         }
     }
+
+    fn snapshot(&mut self, _net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        enc.put_usize(self.i);
+        match &self.phase {
+            RelayPhase::Hop1 => enc.put_u8(0),
+            RelayPhase::Hop2 { d1, local } => {
+                enc.put_u8(1);
+                d1.snapshot(enc);
+                enc.put_seq(local, |e, slot| {
+                    e.put_opt(slot.as_ref(), |e, (v, m)| {
+                        e.put_usize(*v);
+                        e.put_bits(m);
+                    });
+                });
+            }
+        }
+        for row in &self.votes {
+            for cell in row {
+                enc.put_seq(cell, Enc::put_bits);
+            }
+        }
+        Ok(())
+    }
 }
 
 impl AllToAllProtocol for RelayReplication {
@@ -240,6 +305,15 @@ impl AllToAllProtocol for RelayReplication {
         inst: &'a AllToAllInstance,
     ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
         Ok(Box::new(RelaySession::new(self, net, inst)?))
+    }
+
+    fn restore_session<'a>(
+        &'a self,
+        net: &Network,
+        inst: &'a AllToAllInstance,
+        dec: &mut Dec<'_>,
+    ) -> Result<Box<dyn ProtocolSession + 'a>, CoreError> {
+        Ok(Box::new(RelaySession::restore(self, net, inst, dec)?))
     }
 }
 

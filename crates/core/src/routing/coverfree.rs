@@ -37,6 +37,7 @@ use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
 use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -766,6 +767,122 @@ impl<'i> CfSession<'i> {
                 Ok(None)
             }
         }
+    }
+
+    /// The engine's instance, for [`super::RouteSession::snapshot`].
+    pub(crate) fn instance_ref(&self) -> &RoutingInstance {
+        &self.instance
+    }
+
+    /// The dispatch frontier the event executor must sit at when the
+    /// session is exactly between two steps in the current phase.
+    fn quiesced_dispatch(&self) -> usize {
+        self.pack_start
+            + match self.phase {
+                CfPhase::Round1 => 0,
+                CfPhase::Round2 { .. } => self.plan.params.lanes,
+            }
+    }
+
+    /// Quiesces event-path work to the current step boundary (see the unit
+    /// engine's `quiesce`): decodes fold early (order-independent),
+    /// prefetched encodes are discarded (pure) and re-dispatched on resume.
+    fn quiesce(&mut self, net: &mut Network) {
+        if self.event.is_none() {
+            return;
+        }
+        self.drain_decodes(net, 0);
+        let next = self.quiesced_dispatch();
+        let ev = self.event.as_mut().expect("event mode");
+        ev.encodes.clear();
+        ev.next_dispatch = next;
+    }
+
+    /// Serializes the session's dynamic state, quiescing first; see
+    /// [`super::RouteSession::snapshot`].
+    pub(crate) fn snapshot_state(&mut self, net: &mut Network, enc: &mut Enc) {
+        self.quiesce(net);
+        enc.put_usize(self.e_allow);
+        enc.put_usize(self.pack_start);
+        match &self.phase {
+            CfPhase::Round1 => enc.put_u8(0),
+            CfPhase::Round2 { relay } => {
+                enc.put_u8(1);
+                relay.snapshot(enc);
+            }
+        }
+        let entries: Vec<(&(usize, usize), &Vec<BitVec>)> = self.chunk_store.iter().collect();
+        enc.put_seq(&entries, |e, ((v, idx), chunks)| {
+            e.put_usize(*v);
+            e.put_usize(*idx);
+            e.put_seq(chunks, |e, b| e.put_bits(b));
+        });
+        super::snapshot_delivered(&self.delivered, enc);
+        enc.put_usize(self.decode_failures);
+        enc.put_u64(self.rounds_before);
+        enc.put_bool(self.finished);
+    }
+
+    /// Rebuilds a session from `new` (the family, load maps, and code are
+    /// deterministic functions of the instance and config) and overlays the
+    /// dynamic state written by [`CfSession::snapshot_state`].
+    pub(crate) fn restore(
+        net: &Network,
+        instance: RoutingInstance,
+        cfg: &RouterConfig,
+        cache: Option<SharedCodewordCache>,
+        dec: &mut Dec<'_>,
+    ) -> Result<CfSession<'static>, CoreError> {
+        let mut s = CfSession::new(net, Cow::Owned(instance), cfg)?.with_cache(cache);
+        let e_allow = dec.get_usize()?;
+        if e_allow != s.e_allow {
+            return Err(CoreError::invalid(format!(
+                "snapshot: absorbed error budget drifted across restore \
+                 (saved {e_allow}, rebuilt {})",
+                s.e_allow
+            )));
+        }
+        s.pack_start = dec.get_usize()?;
+        s.phase = match dec.get_u8()? {
+            0 => CfPhase::Round1,
+            1 => CfPhase::Round2 {
+                relay: RelayGrid::restore(dec)?,
+            },
+            t => {
+                return Err(CoreError::invalid(format!(
+                    "snapshot: cover-free phase tag {t}"
+                )))
+            }
+        };
+        let entries = dec.get_seq(24, |d| {
+            let v = d.get_usize()?;
+            let idx = d.get_usize()?;
+            let chunks = d.get_seq(8, Dec::get_bits)?;
+            Ok(((v, idx), chunks))
+        })?;
+        let mut last = None;
+        s.chunk_store = BTreeMap::new();
+        for ((v, idx), chunks) in entries {
+            if last.is_some_and(|p| p >= (v, idx)) {
+                return Err(CoreError::invalid("snapshot: chunk store out of order"));
+            }
+            last = Some((v, idx));
+            s.chunk_store.insert((v, idx), chunks);
+        }
+        s.delivered = super::restore_delivered(dec)?;
+        if s.delivered.len() != s.instance.n {
+            return Err(CoreError::invalid(
+                "snapshot: delivered table size mismatch",
+            ));
+        }
+        s.decode_failures = dec.get_usize()?;
+        s.rounds_before = dec.get_u64()?;
+        s.finished = dec.get_bool()?;
+        let next = s.quiesced_dispatch();
+        if let Some(ev) = &mut s.event {
+            ev.next_dispatch = next;
+        }
+        Ok(s)
     }
 
     /// Assembles the chunked payloads into the final output. Event mode

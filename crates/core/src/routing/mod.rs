@@ -30,6 +30,7 @@ use crate::error::CoreError;
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon, SymbolCode};
 use bdclique_netsim::Network;
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::borrow::Cow;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -109,6 +110,43 @@ impl RoutingInstance {
             counts[m.src] += 1;
         }
         counts.into_iter().max().unwrap_or(0)
+    }
+
+    /// Serializes the instance for checkpointing. Protocol sessions whose
+    /// in-flight waves are built from *received* data (not re-derivable
+    /// from the problem instance) store the whole wave this way.
+    pub(crate) fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.n);
+        enc.put_usize(self.payload_bits);
+        enc.put_seq(&self.messages, |e, m| {
+            e.put_usize(m.src);
+            e.put_usize(m.slot);
+            e.put_bits(&m.payload);
+            e.put_seq(&m.targets, |e, &t| e.put_usize(t));
+        });
+    }
+
+    /// Decodes an instance written by [`RoutingInstance::snapshot`].
+    pub(crate) fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let n = dec.get_usize()?;
+        let payload_bits = dec.get_usize()?;
+        let messages = dec.get_seq(25, |d| {
+            let src = d.get_usize()?;
+            let slot = d.get_usize()?;
+            let payload = d.get_bits()?;
+            let targets = d.get_seq(8, Dec::get_usize)?;
+            Ok(SuperMessage {
+                src,
+                slot,
+                payload,
+                targets,
+            })
+        })?;
+        Ok(Self {
+            n,
+            payload_bits,
+            messages,
+        })
     }
 
     /// Maximum number of messages targeting any single node.
@@ -356,6 +394,71 @@ impl<'i> RouteSession<'i> {
             EngineSession::Unit(s) => s.step(net),
             EngineSession::CoverFree(s) => s.step(net),
         }
+    }
+
+    /// Serializes the session's dynamic state (engine discriminant, the
+    /// instance, the cursor into the work list, relay holdings, and decoded
+    /// chunks), quiescing any in-flight event-path work to the current step
+    /// boundary first. The session remains valid; continuing to step it is
+    /// bit-identical to never having snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible, but returns `Result` so future engines with
+    /// non-quiesceable state can decline.
+    pub(crate) fn snapshot(&mut self, net: &mut Network, enc: &mut Enc) -> Result<(), CoreError> {
+        match &mut self.engine {
+            EngineSession::Unit(s) => {
+                enc.put_u8(0);
+                s.instance_ref().snapshot(enc);
+                s.snapshot_state(net, enc);
+            }
+            EngineSession::CoverFree(s) => {
+                enc.put_u8(1);
+                s.instance_ref().snapshot(enc);
+                s.snapshot_state(net, enc);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reopens a session from state written by [`RouteSession::snapshot`].
+    /// The engine recorded in the snapshot is rebuilt directly (no Auto
+    /// re-probe, so a borderline margin cannot flip engines across a
+    /// restore), its derived plan re-computed from `cfg` and the decoded
+    /// instance, and the dynamic state overlaid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError`] on corrupt state or when the network's parameters no
+    /// longer match the snapshotted session's (e.g. a mid-run α change).
+    pub(crate) fn restore(
+        net: &Network,
+        cfg: &RouterConfig,
+        cache: Option<SharedCodewordCache>,
+        dec: &mut Dec<'_>,
+    ) -> Result<RouteSession<'static>, CoreError> {
+        let tag = dec.get_u8()?;
+        let instance = RoutingInstance::restore(dec)?;
+        instance.validate()?;
+        if instance.n != net.n() {
+            return Err(CoreError::invalid(
+                "snapshot: instance size != network size",
+            ));
+        }
+        if !net.topology().is_complete() {
+            return Err(CoreError::infeasible(
+                "super-message routing requires the complete topology (K_n)".to_string(),
+            ));
+        }
+        let engine = match tag {
+            0 => EngineSession::Unit(unit::UnitSession::restore(net, instance, cfg, cache, dec)?),
+            1 => EngineSession::CoverFree(coverfree::CfSession::restore(
+                net, instance, cfg, cache, dec,
+            )?),
+            t => return Err(CoreError::invalid(format!("snapshot: engine tag {t}"))),
+        };
+        Ok(RouteSession { engine })
     }
 }
 
@@ -749,6 +852,78 @@ impl RelayGrid {
         let s = self.syms[block * self.stride() + self.row_offsets[row] + pos];
         (s != Self::ABSENT).then_some(s)
     }
+
+    /// Serializes the grid (a mid-pack snapshot holds one between round A
+    /// and round B).
+    pub(crate) fn snapshot(&self, enc: &mut Enc) {
+        enc.put_seq(&self.row_offsets, |e, &o| e.put_usize(o));
+        enc.put_seq(&self.syms, |e, &s| e.put_u16(s));
+    }
+
+    /// Decodes a grid written by [`RelayGrid::snapshot`].
+    pub(crate) fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let row_offsets = dec.get_seq(8, Dec::get_usize)?;
+        let monotonic_from_zero = row_offsets.first().is_none_or(|&o| o == 0)
+            && row_offsets.windows(2).all(|w| w[0] <= w[1]);
+        if !monotonic_from_zero {
+            return Err(SnapError::corrupt(
+                "relay grid offsets not monotonic from 0",
+            ));
+        }
+        let syms = dec.get_seq(2, Dec::get_u16)?;
+        let stride = row_offsets.last().copied().unwrap_or(0);
+        if stride > 0 && !syms.len().is_multiple_of(stride) {
+            return Err(SnapError::corrupt(format!(
+                "relay grid of {} symbols not a multiple of stride {stride}",
+                syms.len()
+            )));
+        }
+        Ok(Self { syms, row_offsets })
+    }
+}
+
+/// Per-node delivered payloads: `delivered[v]` maps `(src, slot)` to bits.
+pub(crate) type DeliveredMaps = Vec<HashMap<(usize, usize), BitVec>>;
+
+/// Serializes per-node delivered payloads in ascending key order — the
+/// deterministic encoding both engines' snapshots share.
+pub(crate) fn snapshot_delivered(delivered: &[HashMap<(usize, usize), BitVec>], enc: &mut Enc) {
+    enc.put_usize(delivered.len());
+    for map in delivered {
+        let mut entries: Vec<(&(usize, usize), &BitVec)> = map.iter().collect();
+        entries.sort_unstable_by_key(|(k, _)| **k);
+        enc.put_seq(&entries, |e, ((src, slot), bits)| {
+            e.put_usize(*src);
+            e.put_usize(*slot);
+            e.put_bits(bits);
+        });
+    }
+}
+
+/// Decodes what [`snapshot_delivered`] wrote, rejecting out-of-order keys
+/// (which would break byte-identical re-encoding).
+pub(crate) fn restore_delivered(dec: &mut Dec<'_>) -> Result<DeliveredMaps, SnapError> {
+    let n = dec.get_len(8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut last: Option<(usize, usize)> = None;
+        let entries = dec.get_seq(24, |d| {
+            let src = d.get_usize()?;
+            let slot = d.get_usize()?;
+            let bits = d.get_bits()?;
+            Ok(((src, slot), bits))
+        })?;
+        let mut map = HashMap::with_capacity(entries.len());
+        for ((src, slot), bits) in entries {
+            if last.is_some_and(|p| p >= (src, slot)) {
+                return Err(SnapError::corrupt("delivered entries out of order"));
+            }
+            last = Some((src, slot));
+            map.insert((src, slot), bits);
+        }
+        out.push(map);
+    }
+    Ok(out)
 }
 
 /// The placeholder code for a zero-message session (nothing is encoded or

@@ -68,6 +68,7 @@ use crate::exec::{self, Job};
 use bdclique_bits::BitVec;
 use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
+use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
@@ -826,6 +827,121 @@ impl<'i> UnitSession<'i> {
                 Ok(None)
             }
         }
+    }
+
+    /// The engine's instance, for [`super::RouteSession::snapshot`].
+    pub(crate) fn instance_ref(&self) -> &RoutingInstance {
+        &self.instance
+    }
+
+    /// The dispatch frontier the event executor must sit at when the
+    /// session is exactly between two steps in the current phase.
+    fn quiesced_dispatch(&self) -> usize {
+        self.pack_start
+            + match self.phase {
+                UnitPhase::RoundA => 0,
+                UnitPhase::RoundB { .. } => self.plan.params.lanes,
+            }
+    }
+
+    /// Quiesces event-path work to the current step boundary: joins every
+    /// background decode (the fold is order-independent, so folding early
+    /// is invisible), discards prefetched round-A encodes (encoding is
+    /// pure — re-running it is bit-identical), and rewinds the dispatch
+    /// frontier so stepping on re-dispatches them.
+    fn quiesce(&mut self, net: &mut Network) {
+        if self.event.is_none() {
+            return;
+        }
+        self.drain_decodes(net, 0);
+        let next = self.quiesced_dispatch();
+        let ev = self.event.as_mut().expect("event mode");
+        ev.encodes.clear();
+        ev.next_dispatch = next;
+    }
+
+    /// Serializes the session's dynamic state (everything `new` cannot
+    /// re-derive), quiescing first; see [`super::RouteSession::snapshot`].
+    pub(crate) fn snapshot_state(&mut self, net: &mut Network, enc: &mut Enc) {
+        self.quiesce(net);
+        enc.put_usize(self.e_allow);
+        enc.put_usize(self.pack_start);
+        match &self.phase {
+            UnitPhase::RoundA => enc.put_u8(0),
+            UnitPhase::RoundB { relay } => {
+                enc.put_u8(1);
+                relay.snapshot(enc);
+            }
+        }
+        type ChunkEntries<'a> = Vec<(&'a (usize, usize), &'a Vec<Option<BitVec>>)>;
+        let entries: ChunkEntries<'_> = self.chunk_store.iter().collect();
+        enc.put_seq(&entries, |e, ((x, mi), chunks)| {
+            e.put_usize(*x);
+            e.put_usize(*mi);
+            e.put_seq(chunks, |e, c| e.put_opt(c.as_ref(), |e, b| e.put_bits(b)));
+        });
+        super::snapshot_delivered(&self.delivered, enc);
+        enc.put_usize(self.decode_failures);
+        enc.put_u64(self.rounds_before);
+        enc.put_bool(self.finished);
+    }
+
+    /// Rebuilds a session from `new` (same plan, schedule, and code — all
+    /// deterministic functions of the instance and config) and overlays the
+    /// dynamic state written by [`UnitSession::snapshot_state`].
+    pub(crate) fn restore(
+        net: &Network,
+        instance: RoutingInstance,
+        cfg: &RouterConfig,
+        cache: Option<SharedCodewordCache>,
+        dec: &mut Dec<'_>,
+    ) -> Result<UnitSession<'static>, CoreError> {
+        let mut s = UnitSession::new(net, Cow::Owned(instance), cfg)?.with_cache(cache);
+        let e_allow = dec.get_usize()?;
+        if e_allow != s.e_allow {
+            return Err(CoreError::invalid(format!(
+                "snapshot: absorbed error budget drifted across restore \
+                 (saved {e_allow}, rebuilt {})",
+                s.e_allow
+            )));
+        }
+        s.pack_start = dec.get_usize()?;
+        s.phase = match dec.get_u8()? {
+            0 => UnitPhase::RoundA,
+            1 => UnitPhase::RoundB {
+                relay: RelayGrid::restore(dec)?,
+            },
+            t => return Err(CoreError::invalid(format!("snapshot: unit phase tag {t}"))),
+        };
+        let entries = dec.get_seq(17, |d| {
+            let x = d.get_usize()?;
+            let mi = d.get_usize()?;
+            let chunks = d.get_seq(1, |d| d.get_opt(Dec::get_bits))?;
+            Ok(((x, mi), chunks))
+        })?;
+        let mut last = None;
+        s.chunk_store = Default::default();
+        for ((x, mi), chunks) in entries {
+            if last.is_some_and(|p| p >= (x, mi)) {
+                return Err(CoreError::invalid("snapshot: chunk store out of order"));
+            }
+            last = Some((x, mi));
+            s.chunk_store.insert((x, mi), chunks);
+        }
+        s.delivered = super::restore_delivered(dec)?;
+        if s.delivered.len() != s.instance.n {
+            return Err(CoreError::invalid(
+                "snapshot: delivered table size mismatch",
+            ));
+        }
+        s.decode_failures = dec.get_usize()?;
+        s.rounds_before = dec.get_u64()?;
+        s.finished = dec.get_bool()?;
+        let next = s.quiesced_dispatch();
+        if let Some(ev) = &mut s.event {
+            ev.next_dispatch = next;
+        }
+        Ok(s)
     }
 
     /// Assembles the chunked payloads into the final output. Event mode

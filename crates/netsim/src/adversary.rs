@@ -17,6 +17,7 @@ use crate::network::PublishedLog;
 use crate::topology::Topology;
 use crate::traffic::Traffic;
 use bdclique_bits::BitVec;
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::collections::HashMap;
 use std::collections::HashSet;
 
@@ -215,6 +216,20 @@ pub trait EdgePlan {
         let advisory = (alpha * topo.n() as f64).floor() as usize;
         self.edges(round, topo.n(), advisory)
     }
+
+    /// Serializes any round-to-round mutable state (RNG positions, learned
+    /// load tables). Plans that are pure functions of the round index — the
+    /// common case — keep the empty default.
+    fn save_state(&self, _enc: &mut Enc) {}
+
+    /// Restores state written by [`EdgePlan::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    fn load_state(&mut self, _dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 impl<F: FnMut(u64, usize, usize) -> EdgeSet> EdgePlan for F {
@@ -234,6 +249,19 @@ pub trait Corruptor {
         edges: &EdgeSet,
         scope: &mut CorruptionScope<'_>,
     );
+
+    /// Serializes any round-to-round mutable state (typically an RNG
+    /// position). Stateless corruptors keep the empty default.
+    fn save_state(&self, _enc: &mut Enc) {}
+
+    /// Restores state written by [`Corruptor::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    fn load_state(&mut self, _dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Mutation handle restricted to a fixed edge set.
@@ -300,6 +328,19 @@ impl<'a> CorruptionScope<'a> {
 pub trait AdaptiveStrategy {
     /// Acts on the current round.
     fn corrupt(&mut self, view: &AdversaryView<'_>, scope: &mut AdaptiveScope<'_>);
+
+    /// Serializes any round-to-round mutable state (RNG positions, learned
+    /// load tables). Stateless strategies keep the empty default.
+    fn save_state(&self, _enc: &mut Enc) {}
+
+    /// Restores state written by [`AdaptiveStrategy::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    fn load_state(&mut self, _dec: &mut Dec<'_>) -> Result<(), SnapError> {
+        Ok(())
+    }
 }
 
 /// Mutation handle that *acquires* edges on first touch, refusing any
@@ -466,6 +507,59 @@ impl Adversary {
     /// Whether this adversary is adaptive (sees published randomness).
     pub fn is_adaptive(&self) -> bool {
         matches!(self.kind, Kind::Adaptive(_))
+    }
+
+    fn kind_tag(&self) -> u8 {
+        match self.kind {
+            Kind::None => 0,
+            Kind::NonAdaptive { .. } => 1,
+            Kind::Adaptive(_) => 2,
+        }
+    }
+
+    /// Serializes the adversary's mutable state (RNG positions, learned
+    /// tables). Boxed plans and strategies cannot be *materialized* from
+    /// bytes — the caller rebuilds the adversary from its spec at restore
+    /// and overlays this state via [`Adversary::load_state`].
+    pub fn save_state(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_u8(self.kind_tag());
+        match &self.kind {
+            Kind::None => {}
+            Kind::NonAdaptive { plan, corruptor } => {
+                plan.save_state(&mut enc);
+                corruptor.save_state(&mut enc);
+            }
+            Kind::Adaptive(strategy) => strategy.save_state(&mut enc),
+        }
+        enc.into_bytes()
+    }
+
+    /// Overlays state written by [`Adversary::save_state`] onto a freshly
+    /// rebuilt adversary of the *same kind*.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] if the saved kind differs from this adversary's, or on
+    /// truncated/corrupt input.
+    pub fn load_state(&mut self, bytes: &[u8]) -> Result<(), SnapError> {
+        let mut dec = Dec::new(bytes);
+        let saved = dec.get_u8()?;
+        if saved != self.kind_tag() {
+            return Err(SnapError::corrupt(format!(
+                "adversary kind mismatch: saved {saved}, rebuilt {}",
+                self.kind_tag()
+            )));
+        }
+        match &mut self.kind {
+            Kind::None => {}
+            Kind::NonAdaptive { plan, corruptor } => {
+                plan.load_state(&mut dec)?;
+                corruptor.load_state(&mut dec)?;
+            }
+            Kind::Adaptive(strategy) => strategy.load_state(&mut dec)?,
+        }
+        dec.finish()
     }
 
     /// Runs one round of corruption; returns `(edge set used, frames touched)`.

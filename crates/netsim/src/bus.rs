@@ -22,8 +22,11 @@
 //! network's [`crate::Network::reclaim`] arena after the exchange like any
 //! other round's, so arena lending composes with overlapping production.
 
+use crate::topology::Topology;
 use crate::traffic::Traffic;
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Frame batches staged by virtual delivery time (see the module docs).
 ///
@@ -94,6 +97,37 @@ impl MessageBus {
     /// Drops every staged batch (e.g. after an aborted run).
     pub fn clear(&mut self) {
         self.staged.clear();
+    }
+
+    /// Serializes the staged batches in ascending virtual-time order.
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.staged.len());
+        for (vtime, batch) in &self.staged {
+            enc.put_u64(*vtime);
+            batch.snapshot(enc);
+        }
+    }
+
+    /// Rebuilds a bus serialized by [`MessageBus::snapshot`]. `topology`
+    /// reattaches the validation handle of topology-validated batches.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input (including duplicate or
+    /// out-of-order virtual times).
+    pub fn restore(dec: &mut Dec<'_>, topology: Option<&Arc<Topology>>) -> Result<Self, SnapError> {
+        let count = dec.get_len(9)?;
+        let mut staged = BTreeMap::new();
+        let mut last: Option<u64> = None;
+        for _ in 0..count {
+            let vtime = dec.get_u64()?;
+            if last.is_some_and(|prev| prev >= vtime) {
+                return Err(SnapError::corrupt("bus batches out of order"));
+            }
+            last = Some(vtime);
+            staged.insert(vtime, Traffic::restore(dec, topology)?);
+        }
+        Ok(Self { staged })
     }
 }
 

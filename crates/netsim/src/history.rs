@@ -7,7 +7,10 @@
 //! adaptive strategies, and full intended-traffic transcripts can be turned
 //! on per network.
 
+use crate::topology::Topology;
 use crate::traffic::Traffic;
+use bdclique_snapshot::{Dec, Enc, SnapError};
+use std::sync::Arc;
 
 /// How much the network records per round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -117,6 +120,61 @@ impl History {
     /// Total corrupted (edge, round) slots recorded.
     pub fn total_corrupted(&self) -> usize {
         self.records.iter().map(|r| r.corrupted.len()).sum()
+    }
+
+    /// Serializes the mode and every recorded round (including `Full`-mode
+    /// traffic snapshots — the adaptive adversary's memory is part of the
+    /// resumable state).
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_u8(match self.mode {
+            HistoryMode::Digest => 0,
+            HistoryMode::Full => 1,
+            HistoryMode::None => 2,
+        });
+        enc.put_seq(&self.records, |e, rec| {
+            e.put_u64(rec.round);
+            e.put_seq(&rec.corrupted, |e, &(u, v)| {
+                e.put_u32(u as u32);
+                e.put_u32(v as u32);
+            });
+            e.put_u64(rec.frames);
+            e.put_u64(rec.bits);
+            e.put_opt(rec.intended.as_ref(), |e, t| t.snapshot(e));
+        });
+    }
+
+    /// Rebuilds a history serialized by [`History::snapshot`]. `topology`
+    /// reattaches the validation handle of `Full`-mode traffic snapshots.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    pub fn restore(dec: &mut Dec<'_>, topology: Option<&Arc<Topology>>) -> Result<Self, SnapError> {
+        let mode = match dec.get_u8()? {
+            0 => HistoryMode::Digest,
+            1 => HistoryMode::Full,
+            2 => HistoryMode::None,
+            t => return Err(SnapError::corrupt(format!("history mode {t}"))),
+        };
+        let records = dec.get_seq(25, |d| {
+            let round = d.get_u64()?;
+            let corrupted = d.get_seq(8, |d| {
+                let u = d.get_u32()? as usize;
+                let v = d.get_u32()? as usize;
+                Ok((u, v))
+            })?;
+            let frames = d.get_u64()?;
+            let bits = d.get_u64()?;
+            let intended = d.get_opt(|d| Traffic::restore(d, topology))?;
+            Ok(RoundRecord {
+                round,
+                corrupted,
+                frames,
+                bits,
+                intended,
+            })
+        })?;
+        Ok(Self { mode, records })
     }
 }
 

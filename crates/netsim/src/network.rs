@@ -8,6 +8,7 @@ use crate::store::FrameArena;
 use crate::topology::Topology;
 use crate::traffic::{Delivery, Traffic};
 use bdclique_bits::BitVec;
+use bdclique_snapshot::{Dec, Enc, Restore, SnapError, Snapshot};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -54,6 +55,33 @@ impl PublishedLog {
     /// Whether nothing has been published.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Serializes the append-only publication list (the label index is
+    /// rebuilt at restore).
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_seq(&self.entries, |e, (label, bits)| {
+            e.put_str(label);
+            e.put_bits(bits);
+        });
+    }
+
+    /// Rebuilds a log serialized by [`PublishedLog::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    pub fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let entries = dec.get_seq(16, |d| {
+            let label = d.get_str()?;
+            let bits = d.get_bits()?;
+            Ok((label, bits))
+        })?;
+        let mut log = Self::default();
+        for (label, bits) in entries {
+            log.push(label, bits);
+        }
+        Ok(log)
     }
 }
 
@@ -401,6 +429,72 @@ impl Network {
         self.round += 1;
         self.stats.rounds = self.round;
         Ok(traffic.into_delivery(&mut self.arena))
+    }
+
+    /// Serializes the network's resumable state: topology, shape, virtual
+    /// clock, stats, published log, history transcript, and the attached
+    /// adversary's *dynamic* state (RNG cursors, accumulated maps — via
+    /// [`Adversary::save_state`]). The frame arena is allocator bookkeeping
+    /// and is never serialized. The snapshot must be taken **between**
+    /// rounds (the only time protocol code can observe the network anyway).
+    pub fn snapshot(&self, enc: &mut Enc) {
+        self.topology.snapshot(enc);
+        enc.put_usize(self.bandwidth);
+        enc.put_f64(self.alpha);
+        enc.put_u64(self.round);
+        self.stats.snapshot(enc);
+        self.published.snapshot(enc);
+        self.history.snapshot(enc);
+        enc.put_bytes(&self.adversary.save_state());
+    }
+
+    /// Rebuilds a network serialized by [`Network::snapshot`].
+    ///
+    /// Boxed adversary behavior cannot be materialized from bytes without a
+    /// type registry, so the caller reconstructs the adversary from its
+    /// spec (exactly as at original construction — same seeds, same
+    /// parameters) and this method overlays the serialized dynamic state
+    /// onto it via [`Adversary::load_state`]. Supplying an adversary of a
+    /// different shape than the snapshotted one is an error.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input, or on an adversary
+    /// state mismatch.
+    pub fn restore(dec: &mut Dec<'_>, mut adversary: Adversary) -> Result<Self, SnapError> {
+        let topology = Topology::restore(dec)?;
+        let bandwidth = dec.get_usize()?;
+        if bandwidth == 0 {
+            return Err(SnapError::corrupt("network with zero bandwidth"));
+        }
+        let alpha = dec.get_f64()?;
+        if !(0.0..1.0).contains(&alpha) {
+            return Err(SnapError::corrupt(format!("alpha {alpha} out of [0, 1)")));
+        }
+        let round = dec.get_u64()?;
+        let stats = NetStats::restore(dec)?;
+        let published = PublishedLog::restore(dec)?;
+        let topology = Arc::new(topology);
+        let topo_opt = if topology.is_complete() {
+            None
+        } else {
+            Some(&topology)
+        };
+        let history = History::restore(dec, topo_opt)?;
+        let adv_state = dec.get_bytes()?.to_vec();
+        adversary.load_state(&adv_state)?;
+        Ok(Self {
+            n: topology.n(),
+            bandwidth,
+            alpha,
+            adversary,
+            topology,
+            round,
+            stats,
+            published,
+            history,
+            arena: FrameArena::default(),
+        })
     }
 }
 

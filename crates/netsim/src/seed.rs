@@ -93,6 +93,15 @@ impl SeedStream {
     pub fn seed(&self) -> u64 {
         self.state
     }
+
+    /// Rebuilds a stream from a raw state previously read with
+    /// [`SeedStream::seed`] — the checkpoint/resume constructor. Unlike
+    /// [`SeedStream::new`], no mixing is applied: `from_state(s.seed())`
+    /// is exactly `s`, so serialized fork cursors round-trip.
+    #[must_use]
+    pub fn from_state(state: u64) -> Self {
+        Self { state }
+    }
 }
 
 #[cfg(test)]
@@ -125,6 +134,15 @@ mod tests {
             .map(|r| SeedStream::new(r).fork("x").seed())
             .collect();
         assert_eq!(seeds.len(), 1_000);
+    }
+
+    #[test]
+    fn from_state_round_trips_without_remixing() {
+        let s = SeedStream::new(7).fork("cell").fork_u64(3);
+        assert_eq!(SeedStream::from_state(s.seed()), s);
+        assert_eq!(SeedStream::from_state(s.seed()).fork("x"), s.fork("x"));
+        // `new` mixes; `from_state` must not.
+        assert_ne!(SeedStream::new(s.seed()), s);
     }
 
     #[test]

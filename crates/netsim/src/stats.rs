@@ -1,5 +1,7 @@
 //! Round and bit accounting — the quantities the benchmark harness reports.
 
+use bdclique_snapshot::{Dec, Enc, Restore, SnapError, Snapshot};
+
 /// Cumulative statistics of a [`crate::Network`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NetStats {
@@ -48,6 +50,32 @@ impl NetStats {
             peak_fault_degree: self.peak_fault_degree,
             intended_snapshots: self.intended_snapshots - earlier.intended_snapshots,
         }
+    }
+}
+
+impl Snapshot for NetStats {
+    fn snapshot(&self, enc: &mut Enc) {
+        enc.put_u64(self.rounds);
+        enc.put_u64(self.bits_sent);
+        enc.put_u64(self.frames_sent);
+        enc.put_u64(self.edges_corrupted);
+        enc.put_u64(self.frames_corrupted);
+        enc.put_usize(self.peak_fault_degree);
+        enc.put_u64(self.intended_snapshots);
+    }
+}
+
+impl Restore for NetStats {
+    fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        Ok(NetStats {
+            rounds: dec.get_u64()?,
+            bits_sent: dec.get_u64()?,
+            frames_sent: dec.get_u64()?,
+            edges_corrupted: dec.get_u64()?,
+            frames_corrupted: dec.get_u64()?,
+            peak_fault_degree: dec.get_usize()?,
+            intended_snapshots: dec.get_u64()?,
+        })
     }
 }
 

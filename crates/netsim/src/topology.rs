@@ -27,6 +27,7 @@
 //! (deterministically) until the sampled graph is simple and connected.
 
 use crate::seed::SeedStream;
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -285,6 +286,57 @@ impl Topology {
         panic!("small_world(n = {n}, k = {k}) failed to sample a connected graph");
     }
 
+    /// A scale-free graph via seeded preferential attachment
+    /// (Barabási–Albert): nodes join one at a time and attach `m` edges to
+    /// existing nodes sampled proportionally to their current degree, so
+    /// early nodes become hubs and the degree distribution is heavy-tailed.
+    /// Resampled (deterministically in `seed`) until simple and connected,
+    /// like [`Topology::random_regular`]. Requires `1 ≤ m < n`.
+    #[must_use]
+    pub fn scale_free(n: usize, m: usize, seed: u64) -> Self {
+        assert!(m >= 1 && m < n, "attachment degree must be in 1..n");
+        let stream = SeedStream::new(seed).fork("scale-free");
+        for attempt in 0..10_000u64 {
+            let mut rng = Rng64::new(stream.fork_u64(attempt).seed());
+            // Seed core: a clique on the first m + 1 nodes, so every
+            // arrival has m distinct attachment targets available.
+            let mut edges: Vec<(usize, usize)> = (0..=m)
+                .flat_map(|u| (u + 1..=m).map(move |v| (u, v)))
+                .collect();
+            // Degree-proportional sampling by drawing a uniform edge
+            // endpoint: each node appears in `targets` once per incident
+            // edge, the classic O(1)-per-draw preferential attachment.
+            let mut targets: Vec<usize> = edges.iter().flat_map(|&(u, v)| [u, v]).collect();
+            for u in m + 1..n {
+                let mut chosen = Vec::with_capacity(m);
+                let mut tries = 0;
+                while chosen.len() < m && tries < 100 * (m + 1) {
+                    tries += 1;
+                    let v = targets[rng.below(targets.len())];
+                    if !chosen.contains(&v) {
+                        chosen.push(v);
+                    }
+                }
+                if chosen.len() < m {
+                    break; // resample the whole graph on the next attempt
+                }
+                for &v in &chosen {
+                    edges.push((u, v));
+                    targets.push(u);
+                    targets.push(v);
+                }
+            }
+            if edges.len() < m * (m + 1) / 2 + (n - m - 1) * m {
+                continue;
+            }
+            let topo = Self::from_edges(n, edges);
+            if topo.is_connected() {
+                return topo;
+            }
+        }
+        panic!("scale_free(n = {n}, m = {m}) failed to sample a connected graph");
+    }
+
     // ---- accessors ----
 
     /// Number of nodes.
@@ -403,6 +455,71 @@ impl Topology {
     #[must_use]
     pub fn into_shared(self) -> Arc<Self> {
         Arc::new(self)
+    }
+
+    /// Serializes the graph: the clique as its `O(1)` marker, sparse graphs
+    /// as the ascending normalized edge list plus per-edge caps.
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.n);
+        match &self.repr {
+            Repr::Complete => enc.put_u8(0),
+            Repr::Sparse { caps, .. } => {
+                enc.put_u8(1);
+                enc.put_usize(self.edge_count());
+                for (u, v) in self.edges() {
+                    enc.put_u32(u as u32);
+                    enc.put_u32(v as u32);
+                }
+                enc.put_usize(caps.len());
+                for (&(u, v), &bits) in caps {
+                    enc.put_u32(u);
+                    enc.put_u32(v);
+                    enc.put_u32(bits);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a topology serialized by [`Topology::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    pub fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let n = dec.get_usize()?;
+        if n < 2 {
+            return Err(SnapError::corrupt("topology with n < 2"));
+        }
+        match dec.get_u8()? {
+            0 => Ok(Self::complete(n)),
+            1 => {
+                let edge_count = dec.get_len(8)?;
+                let mut edges = Vec::with_capacity(edge_count);
+                for _ in 0..edge_count {
+                    let u = dec.get_u32()? as usize;
+                    let v = dec.get_u32()? as usize;
+                    if u >= v || v >= n {
+                        return Err(SnapError::corrupt(format!(
+                            "topology edge ({u}, {v}) not normalized for n = {n}"
+                        )));
+                    }
+                    edges.push((u, v));
+                }
+                let mut topo = Self::from_edges(n, edges);
+                let cap_count = dec.get_len(12)?;
+                for _ in 0..cap_count {
+                    let u = dec.get_u32()? as usize;
+                    let v = dec.get_u32()? as usize;
+                    let bits = dec.get_u32()? as usize;
+                    if !topo.contains(u, v) || bits == 0 {
+                        return Err(SnapError::corrupt("topology edge cap invalid"));
+                    }
+                    topo = topo.with_edge_cap(u, v, bits);
+                }
+                Ok(topo)
+            }
+            t => Err(SnapError::corrupt(format!("topology tag {t}"))),
+        }
     }
 }
 

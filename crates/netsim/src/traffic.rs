@@ -4,6 +4,7 @@ use crate::pool::FramePool;
 use crate::store::{Backend, FrameArena, FrameStore, DENSE_SWITCH_DIVISOR};
 use crate::topology::Topology;
 use bdclique_bits::BitVec;
+use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::sync::Arc;
 
 /// The messages all nodes intend to send in one round.
@@ -258,6 +259,69 @@ impl Traffic {
         self.frame_count
     }
 
+    /// Serializes the round's logical matrix plus its backend/auto flags
+    /// (so a restored round keeps the exact representation and switching
+    /// behavior). The round-local arena is allocator bookkeeping and is
+    /// not serialized; volume counters are recomputed at restore.
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.bandwidth);
+        enc.put_bool(self.auto);
+        enc.put_bool(self.topology.is_some());
+        self.store.snapshot(self.n, enc);
+    }
+
+    /// Rebuilds traffic serialized by [`Traffic::snapshot`]. `topology`
+    /// reattaches the validation handle for traffic that carried one
+    /// (required then; ignored otherwise) — handles are shared state, not
+    /// snapshot payload.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input, including a missing
+    /// `topology` for traffic that was topology-validated.
+    pub fn restore(dec: &mut Dec<'_>, topology: Option<&Arc<Topology>>) -> Result<Self, SnapError> {
+        let bandwidth = dec.get_usize()?;
+        if bandwidth == 0 {
+            return Err(SnapError::corrupt("traffic with zero bandwidth"));
+        }
+        let auto = dec.get_bool()?;
+        let had_topology = dec.get_bool()?;
+        let (store, n) = FrameStore::restore(dec)?;
+        if n < 2 {
+            return Err(SnapError::corrupt("traffic with n < 2"));
+        }
+        let mut total_bits = 0u64;
+        let mut frame_count = 0u64;
+        store.for_each(n, |_, _, bits| {
+            if bits.len() > bandwidth {
+                total_bits = u64::MAX; // flagged below
+            } else {
+                total_bits += bits.len() as u64;
+            }
+            frame_count += 1;
+        });
+        if total_bits == u64::MAX {
+            return Err(SnapError::corrupt("frame exceeds traffic bandwidth"));
+        }
+        let topology = if had_topology {
+            Some(Arc::clone(topology.ok_or_else(|| {
+                SnapError::corrupt("traffic was topology-validated but no handle was supplied")
+            })?))
+        } else {
+            None
+        };
+        Ok(Self {
+            n,
+            bandwidth,
+            store,
+            total_bits,
+            frame_count,
+            auto,
+            topology,
+            arena: FrameArena::default(),
+        })
+    }
+
     /// Converts queued traffic into its delivered form. Sparse rounds
     /// transpose sender rows into per-receiver inboxes **by move**
     /// (`O(frames)`, no clone); the spent row tables return to `arena`.
@@ -387,6 +451,88 @@ impl Delivery {
                 cols
             }
         }
+    }
+
+    /// Serializes the delivery, representation-exact (a dense delivery
+    /// restores dense), so re-encoding the restored value is
+    /// byte-identical.
+    pub fn snapshot(&self, enc: &mut Enc) {
+        enc.put_usize(self.n);
+        match &self.repr {
+            DeliveryRepr::Dense(frames) => {
+                enc.put_u8(0);
+                let count = frames.iter().flatten().count();
+                enc.put_usize(count);
+                for (i, slot) in frames.iter().enumerate() {
+                    if let Some(bits) = slot {
+                        enc.put_u64(i as u64);
+                        enc.put_bits(bits);
+                    }
+                }
+            }
+            DeliveryRepr::Sparse(cols) => {
+                enc.put_u8(1);
+                for col in cols {
+                    enc.put_seq(col, |e, (from, bits)| {
+                        e.put_u32(*from);
+                        e.put_bits(bits);
+                    });
+                }
+            }
+        }
+    }
+
+    /// Rebuilds a delivery serialized by [`Delivery::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapError`] on truncated or corrupt input.
+    pub fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        let n = dec.get_usize()?;
+        if n < 2 {
+            return Err(SnapError::corrupt("delivery with n < 2"));
+        }
+        let repr = match dec.get_u8()? {
+            0 => {
+                let count = dec.get_len(9)?;
+                if n.checked_mul(n).is_none() {
+                    return Err(SnapError::corrupt("delivery n overflow"));
+                }
+                let mut frames: Vec<Option<BitVec>> = vec![None; n * n];
+                let mut last: Option<u64> = None;
+                for _ in 0..count {
+                    let i = dec.get_u64()?;
+                    if i as usize >= frames.len() {
+                        return Err(SnapError::corrupt("delivery slot out of range"));
+                    }
+                    if last.is_some_and(|prev| prev >= i) {
+                        return Err(SnapError::corrupt("delivery slots out of order"));
+                    }
+                    last = Some(i);
+                    frames[i as usize] = Some(dec.get_bits()?);
+                }
+                DeliveryRepr::Dense(frames)
+            }
+            1 => {
+                let mut cols = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let col = dec.get_seq(5, |d| {
+                        let from = d.get_u32()?;
+                        if from as usize >= n {
+                            return Err(SnapError::corrupt("delivery sender out of range"));
+                        }
+                        Ok((from, d.get_bits()?))
+                    })?;
+                    if col.windows(2).any(|w| w[0].0 >= w[1].0) {
+                        return Err(SnapError::corrupt("delivery inbox out of order"));
+                    }
+                    cols.push(col);
+                }
+                DeliveryRepr::Sparse(cols)
+            }
+            t => return Err(SnapError::corrupt(format!("delivery tag {t}"))),
+        };
+        Ok(Self { n, repr })
     }
 
     /// Hands the delivery's tables and frame buffers to `arena` — the

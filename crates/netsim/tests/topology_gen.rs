@@ -109,6 +109,52 @@ proptest! {
             prop_assert_eq!(topo.degree(v), expect);
         }
     }
+
+    /// `scale_free` (Barabási–Albert preferential attachment) carries its
+    /// structural invariants for every `(n, m, seed)`: exact edge count
+    /// (the `m+1`-clique core plus `m` edges per arrival), minimum degree
+    /// `m`, simple, connected, and bit-deterministic in its seed.
+    #[test]
+    fn scale_free_invariants(
+        n in 8usize..96,
+        m in 1usize..5,
+        seed in 0u64..500,
+    ) {
+        prop_assume!(m < n);
+        let topo = Topology::scale_free(n, m, seed);
+        prop_assert_eq!(topo.n(), n);
+        prop_assert!(topo.is_connected());
+        assert_simple(&topo);
+        prop_assert_eq!(
+            topo.edge_count(),
+            m * (m + 1) / 2 + (n - m - 1) * m,
+            "clique core + m edges per arrival"
+        );
+        // Every node keeps at least its attachment degree; arrivals have
+        // exactly m out-edges but can gain more as later targets.
+        for v in 0..n {
+            prop_assert!(topo.degree(v) >= m, "node {} degree {} < m = {}", v, topo.degree(v), m);
+        }
+        let again = Topology::scale_free(n, m, seed);
+        prop_assert_eq!(edge_set(&topo), edge_set(&again));
+    }
+
+    /// Preferential attachment concentrates degree: at any nontrivial size
+    /// the maximum degree strictly exceeds the attachment parameter (a hub
+    /// exists), and the degree distribution is not regular — the defining
+    /// contrast with `random_regular`.
+    #[test]
+    fn scale_free_grows_hubs(n in 24usize..96, seed in 0u64..200) {
+        let m = 2;
+        let topo = Topology::scale_free(n, m, seed);
+        let max_degree = (0..n).map(|v| topo.degree(v)).max().unwrap();
+        let min_degree = (0..n).map(|v| topo.degree(v)).min().unwrap();
+        prop_assert!(max_degree > m, "no hub: max degree {} at m = {}", max_degree, m);
+        prop_assert!(
+            max_degree > min_degree,
+            "degree distribution collapsed to regular"
+        );
+    }
 }
 
 /// The structured generators are pinned structurally (they take no seed).
@@ -139,5 +185,14 @@ fn structured_generators_are_as_documented() {
 fn random_regular_seeds_decorrelate() {
     let a = Topology::random_regular(32, 6, 1);
     let b = Topology::random_regular(32, 6, 2);
+    assert_ne!(edge_set(&a), edge_set(&b));
+}
+
+/// Different seeds produce different scale-free graphs (pinned seeds, same
+/// rationale as above).
+#[test]
+fn scale_free_seeds_decorrelate() {
+    let a = Topology::scale_free(48, 2, 1);
+    let b = Topology::scale_free(48, 2, 2);
     assert_ne!(edge_set(&a), edge_set(&b));
 }
