@@ -237,7 +237,9 @@ impl AdaptiveStrategy for Eclipse {
 pub struct HistoryCamper {
     payload: Payload,
     rng: ChaCha8Rng,
-    load: std::collections::HashMap<(usize, usize), u64>,
+    // BTreeMap so ranking and snapshots iterate in a fixed order on every
+    // process (enforced by bdclique-lint's no-hashmap-iteration rule).
+    load: std::collections::BTreeMap<(usize, usize), u64>,
 }
 
 impl HistoryCamper {
@@ -246,7 +248,7 @@ impl HistoryCamper {
         Self {
             payload,
             rng: ChaCha8Rng::seed_from_u64(seed),
-            load: std::collections::HashMap::new(),
+            load: std::collections::BTreeMap::new(),
         }
     }
 }
@@ -283,9 +285,9 @@ impl AdaptiveStrategy for HistoryCamper {
 
     fn save_state(&self, enc: &mut Enc) {
         rng_state::save(enc, &self.rng);
-        let mut entries: Vec<((usize, usize), u64)> =
-            self.load.iter().map(|(&e, &l)| (e, l)).collect();
-        entries.sort_unstable();
+        // BTreeMap iteration is already ascending by key — byte-identical
+        // to the sorted HashMap encoding this replaces.
+        let entries: Vec<((usize, usize), u64)> = self.load.iter().map(|(&e, &l)| (e, l)).collect();
         enc.put_seq(&entries, |e, &((u, v), load)| {
             e.put_u32(u as u32);
             e.put_u32(v as u32);

@@ -545,7 +545,7 @@ fn routing_instance(n: usize, payload_bits: usize, k: usize) -> RoutingInstance 
 
 fn count_routing_errors(
     instance: &RoutingInstance,
-    delivered: &[std::collections::HashMap<(usize, usize), BitVec>],
+    delivered: &[std::collections::BTreeMap<(usize, usize), BitVec>],
 ) -> usize {
     let mut errors = 0;
     for msg in &instance.messages {

@@ -361,8 +361,9 @@ impl ScatterSession {
 /// pre-session code collected them by iterating a `HashMap`, whose
 /// per-process random iteration order leaked into the unit engine's greedy
 /// stage coloring — making the LDC-fetch protocols' round counts vary
-/// *across processes* for identical seeds. The sort pins the canonical
-/// order (and with it cross-process reproducibility).
+/// *across processes* for identical seeds. The `BTreeMap` pins the
+/// canonical order (and with it cross-process reproducibility); the
+/// no-hashmap-iteration lint keeps it that way.
 fn fetch_instance(
     n: usize,
     plan: &LdcPlan,
@@ -371,16 +372,15 @@ fn fetch_instance(
 ) -> RoutingInstance {
     let mf = plan.mf as usize;
     // targets_of[(position r, chunk c)] -> target nodes.
-    let mut targets_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    let mut targets_of: std::collections::BTreeMap<(usize, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (v, pairs) in wanted.iter().enumerate() {
         for &(c, r) in pairs {
             targets_of.entry((r, c)).or_default().push(v);
         }
     }
-    let mut keyed: Vec<((usize, usize), Vec<usize>)> = targets_of.into_iter().collect();
-    keyed.sort_unstable_by_key(|&(key, _)| key);
-    let mut messages = Vec::with_capacity(keyed.len());
-    for ((r, c), mut targets) in keyed {
+    let mut messages = Vec::with_capacity(targets_of.len());
+    for ((r, c), mut targets) in targets_of {
         targets.sort_unstable();
         targets.dedup();
         let mut payload = BitVec::zeros(n * mf);

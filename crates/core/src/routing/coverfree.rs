@@ -39,7 +39,7 @@ use bdclique_coverfree::{CoverFreeFamily, CoverFreeParams};
 use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
 use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 pub(crate) struct CfParams {
@@ -406,7 +406,7 @@ pub(crate) struct CfSession<'i> {
     phase: CfPhase,
     /// Ordered so output assembly never iterates a hash map.
     chunk_store: BTreeMap<(usize, usize), Vec<BitVec>>,
-    delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    delivered: Vec<BTreeMap<(usize, usize), BitVec>>,
     decode_failures: usize,
     rounds_before: u64,
     /// Set once the output has been assembled; stepping again is an error.
@@ -463,7 +463,7 @@ impl<'i> CfSession<'i> {
             })
             .collect();
 
-        let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
+        let mut delivered: Vec<BTreeMap<(usize, usize), BitVec>> = vec![BTreeMap::new(); n];
         for msg in &instance.messages {
             if msg.targets.contains(&msg.src) {
                 delivered[msg.src].insert((msg.src, msg.slot), msg.payload.clone());

@@ -32,7 +32,7 @@ use bdclique_codes::{BitCode, ReedSolomon, SymbolCode};
 use bdclique_netsim::Network;
 use bdclique_snapshot::{Dec, Enc, SnapError};
 use std::borrow::Cow;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::{Arc, Mutex};
 
 /// One super-message: `slot` disambiguates multiple messages from the same
@@ -258,11 +258,12 @@ pub struct RoutingReport {
 }
 
 /// Routing results: `delivered[v]` maps `(src, slot)` to the payload `v`
-/// decoded.
+/// decoded. `BTreeMap` so iteration order is identical on every process —
+/// the determinism invariant the no-hashmap-iteration lint enforces.
 #[derive(Debug, Clone)]
 pub struct RoutingOutput {
     /// Per-node delivered payloads.
-    pub delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    pub delivered: Vec<BTreeMap<(usize, usize), BitVec>>,
     /// Execution report.
     pub report: RoutingReport,
 }
@@ -883,15 +884,16 @@ impl RelayGrid {
 }
 
 /// Per-node delivered payloads: `delivered[v]` maps `(src, slot)` to bits.
-pub(crate) type DeliveredMaps = Vec<HashMap<(usize, usize), BitVec>>;
+pub(crate) type DeliveredMaps = Vec<BTreeMap<(usize, usize), BitVec>>;
 
 /// Serializes per-node delivered payloads in ascending key order — the
-/// deterministic encoding both engines' snapshots share.
-pub(crate) fn snapshot_delivered(delivered: &[HashMap<(usize, usize), BitVec>], enc: &mut Enc) {
+/// deterministic encoding both engines' snapshots share. `BTreeMap`
+/// iteration is already ascending by key, so the encoding is byte-identical
+/// to the sorted `HashMap` encoding it replaces.
+pub(crate) fn snapshot_delivered(delivered: &[BTreeMap<(usize, usize), BitVec>], enc: &mut Enc) {
     enc.put_usize(delivered.len());
-    for map in delivered {
-        let mut entries: Vec<(&(usize, usize), &BitVec)> = map.iter().collect();
-        entries.sort_unstable_by_key(|(k, _)| **k);
+    for per_node in delivered {
+        let entries: Vec<(&(usize, usize), &BitVec)> = per_node.iter().collect();
         enc.put_seq(&entries, |e, ((src, slot), bits)| {
             e.put_usize(*src);
             e.put_usize(*slot);
@@ -913,7 +915,7 @@ pub(crate) fn restore_delivered(dec: &mut Dec<'_>) -> Result<DeliveredMaps, Snap
             let bits = d.get_bits()?;
             Ok(((src, slot), bits))
         })?;
-        let mut map = HashMap::with_capacity(entries.len());
+        let mut map = BTreeMap::new();
         for ((src, slot), bits) in entries {
             if last.is_some_and(|p| p >= (src, slot)) {
                 return Err(SnapError::corrupt("delivered entries out of order"));

@@ -70,7 +70,7 @@ use bdclique_codes::{BitCode, ReedSolomon};
 use bdclique_netsim::{Delivery, FramePool, MessageBus, Network, Traffic};
 use bdclique_snapshot::{Dec, Enc};
 use std::borrow::Cow;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// First-fit stage coloring: same-source or shared-target messages never
@@ -301,7 +301,7 @@ pub(crate) struct UnitSession<'i> {
     /// Accumulated decoded chunks per (target, msg_idx); ordered so output
     /// assembly never iterates a hash map.
     chunk_store: std::collections::BTreeMap<(usize, usize), Vec<Option<BitVec>>>,
-    delivered: Vec<HashMap<(usize, usize), BitVec>>,
+    delivered: Vec<BTreeMap<(usize, usize), BitVec>>,
     decode_failures: usize,
     rounds_before: u64,
     /// Set once the output has been assembled; stepping again is an error
@@ -491,7 +491,7 @@ impl<'i> UnitSession<'i> {
                 pack_start: 0,
                 phase: UnitPhase::RoundA,
                 chunk_store: Default::default(),
-                delivered: vec![HashMap::new(); n],
+                delivered: vec![BTreeMap::new(); n],
                 decode_failures: 0,
                 rounds_before: net.rounds(),
                 finished: false,
@@ -503,7 +503,7 @@ impl<'i> UnitSession<'i> {
         let stage_of = schedule_stages(&instance);
         let num_stages = stage_of.iter().map(|&s| s + 1).max().unwrap_or(0);
 
-        let mut delivered: Vec<HashMap<(usize, usize), BitVec>> = vec![HashMap::new(); n];
+        let mut delivered: Vec<BTreeMap<(usize, usize), BitVec>> = vec![BTreeMap::new(); n];
         // Local deliveries (target == src) never touch the network.
         for msg in &instance.messages {
             if msg.targets.contains(&msg.src) {

@@ -1,0 +1,27 @@
+// lint-fixture-as: crates/core/src/protocols/fixture.rs
+//! Replica of the PR 4 LDC-fetch bug: the pre-session code built a routing
+//! instance by iterating a `HashMap`, whose per-process random order leaked
+//! into the unit engine's greedy stage coloring — round counts varied
+//! *across processes* for identical seeds. This exact shape must fire.
+
+use std::collections::HashMap;
+
+fn fetch_instance(wanted: &[Vec<(usize, usize)>]) -> Vec<SuperMessage> {
+    let mut targets_of: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+    for (v, pairs) in wanted.iter().enumerate() {
+        for &(c, r) in pairs {
+            targets_of.entry((r, c)).or_default().push(v);
+        }
+    }
+    let mut messages = Vec::new();
+    // The bug: iteration order decides message order, which decides the
+    // greedy coloring, which decides the round count.
+    for ((r, c), targets) in targets_of.iter() {
+        messages.push(SuperMessage {
+            src: *r,
+            slot: *c,
+            targets: targets.clone(),
+        });
+    }
+    messages
+}

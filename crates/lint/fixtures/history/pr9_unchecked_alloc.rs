@@ -1,0 +1,20 @@
+// lint-fixture-as: crates/netsim/src/fixture.rs
+//! Replica of the bug PR 9's corruption proptest caught: a snapshot decoder
+//! allocated an `n·n` slot table from an unvalidated varint — a corrupt
+//! snapshot could request a huge allocation and abort the process before
+//! any bounds error was reported. An overflow check alone (`checked_mul`)
+//! does not bound the magnitude. This exact shape must fire.
+
+fn restore(dec: &mut Dec<'_>) -> Result<FrameStore, SnapError> {
+    let n = dec.get_usize()?;
+    if n < 2 {
+        return Err(SnapError::corrupt("store with n < 2"));
+    }
+    if n.checked_mul(n).is_none() {
+        return Err(SnapError::corrupt("store n overflow"));
+    }
+    // The bug: nothing above bounds n itself, so n = 2^30 sails through
+    // and this tries to allocate 2^60 slots.
+    let frames: Vec<Option<BitVec>> = vec![None; n * n];
+    Ok(FrameStore::Dense(frames))
+}

@@ -1,0 +1,24 @@
+// lint-fixture-as: crates/core/src/protocols/fixture.rs
+//! Known-bad: iterating a HashMap in schedule-computing code.
+
+use std::collections::{HashMap, HashSet};
+
+fn order_leaks(map: HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (k, v) in map.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+fn keys_leak(seen: HashSet<u32>) -> Vec<u32> {
+    seen.iter().copied().collect()
+}
+
+fn for_in_leaks(seen: HashSet<u32>) -> u32 {
+    let mut acc = 0;
+    for v in &seen {
+        acc ^= v;
+    }
+    acc
+}

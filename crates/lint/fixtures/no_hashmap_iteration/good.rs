@@ -1,0 +1,21 @@
+// lint-fixture-as: crates/core/src/protocols/fixture.rs
+//! The fixed shape: BTree containers iterate in key order on every process,
+//! and keyed lookups on a HashMap are fine.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+fn order_pinned(map: BTreeMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (k, v) in map.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+fn keys_pinned(seen: BTreeSet<u32>) -> Vec<u32> {
+    seen.iter().copied().collect()
+}
+
+fn keyed_lookup_is_fine(index: HashMap<u32, u32>, k: u32) -> Option<u32> {
+    index.get(&k).copied()
+}

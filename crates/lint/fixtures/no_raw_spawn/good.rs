@@ -1,0 +1,9 @@
+// lint-fixture-as: crates/core/src/exec.rs
+//! The sanctioned home: core::exec owns the worker pool.
+
+use std::thread;
+
+fn pool_worker() {
+    let handle = thread::spawn(|| {});
+    handle.join().ok();
+}

@@ -1,0 +1,15 @@
+// lint-fixture-as: crates/netsim/src/fixture.rs
+//! Known-bad: wall-clock and OS-entropy inputs in schedule-computing code.
+
+use std::time::{Instant, SystemTime};
+
+fn clock_leaks() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn entropy_leaks() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

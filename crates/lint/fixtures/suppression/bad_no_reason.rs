@@ -1,0 +1,10 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! Known-bad: a suppression with no reason is itself a finding, and it
+//! does NOT suppress — the underlying violation still fires.
+
+use std::collections::HashMap;
+
+fn commutative_sum(map: HashMap<u32, u64>) -> u64 {
+    // bdclique-lint: allow(no-hashmap-iteration)
+    map.values().sum()
+}

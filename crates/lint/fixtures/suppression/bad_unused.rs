@@ -1,0 +1,7 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! Known-bad: a suppression that suppresses nothing must be removed.
+
+fn plain() -> u64 {
+    // bdclique-lint: allow(no-raw-spawn) — stale comment from a refactor.
+    7
+}

@@ -1,0 +1,10 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! A well-formed suppression: names a known rule and carries a reason.
+
+use std::collections::HashMap;
+
+fn commutative_sum(map: HashMap<u32, u64>) -> u64 {
+    // bdclique-lint: allow(no-hashmap-iteration) — addition is commutative,
+    // so the fold result is order-independent.
+    map.values().sum()
+}

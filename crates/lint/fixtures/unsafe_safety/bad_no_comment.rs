@@ -1,0 +1,6 @@
+// lint-fixture-as: crates/shims/rayon/src/fixture.rs
+//! Known-bad: `unsafe` inside the shims without an adjacent SAFETY comment.
+
+fn transmute_len(bytes: &[u8]) -> u32 {
+    unsafe { *(bytes.as_ptr() as *const u32) }
+}

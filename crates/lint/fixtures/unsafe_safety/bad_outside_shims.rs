@@ -1,0 +1,7 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! Known-bad: `unsafe` outside crates/shims is denied outright.
+
+fn sneaky(bytes: &[u8]) -> u32 {
+    // SAFETY: a comment does not help — unsafe is banned here entirely.
+    unsafe { *(bytes.as_ptr() as *const u32) }
+}

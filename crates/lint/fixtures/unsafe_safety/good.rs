@@ -1,0 +1,9 @@
+// lint-fixture-as: crates/shims/rayon/src/fixture.rs
+//! The fixed shape: shims may use `unsafe` with the invariant stated.
+
+fn read_len(bytes: &[u8]) -> u32 {
+    assert!(bytes.len() >= 4);
+    // SAFETY: the assert above guarantees at least 4 readable bytes, and
+    // u32 has no alignment requirement under read_unaligned.
+    unsafe { (bytes.as_ptr() as *const u32).read_unaligned() }
+}

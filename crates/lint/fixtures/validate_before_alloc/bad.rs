@@ -1,0 +1,16 @@
+// lint-fixture-as: crates/netsim/src/fixture.rs
+//! Known-bad: allocation sized by a decoder read with no range check.
+
+fn restore(dec: &mut Dec<'_>) -> Result<Vec<u8>, SnapError> {
+    let n = dec.get_usize()?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_u8()?);
+    }
+    Ok(out)
+}
+
+fn restore_table(dec: &mut Dec<'_>) -> Result<Vec<u64>, SnapError> {
+    let count = dec.get_u64()? as usize;
+    Ok(vec![0u64; count])
+}

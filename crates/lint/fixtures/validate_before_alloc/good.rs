@@ -1,0 +1,30 @@
+// lint-fixture-as: crates/netsim/src/fixture.rs
+//! The fixed shapes: an explicit upper bound before the allocation, or a
+//! `get_len` read that validates against the remaining input.
+
+fn restore(dec: &mut Dec<'_>) -> Result<Vec<u8>, SnapError> {
+    const MAX: usize = 1 << 20;
+    let n = dec.get_usize()?;
+    if n > MAX {
+        return Err(SnapError::corrupt("n out of range"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(dec.get_u8()?);
+    }
+    Ok(out)
+}
+
+fn restore_table(dec: &mut Dec<'_>) -> Result<Vec<u64>, SnapError> {
+    let count = dec.get_len(8)?;
+    Ok(vec![0u64; count])
+}
+
+fn restore_range_checked(dec: &mut Dec<'_>) -> Result<Vec<u8>, SnapError> {
+    const MAX: usize = 1 << 17;
+    let n = dec.get_usize()?;
+    if !(2..=MAX).contains(&n) {
+        return Err(SnapError::corrupt("n out of range"));
+    }
+    Ok(vec![0u8; n])
+}

@@ -18,8 +18,8 @@ use crate::topology::Topology;
 use crate::traffic::Traffic;
 use bdclique_bits::BitVec;
 use bdclique_snapshot::{Dec, Enc, SnapError};
-use std::collections::HashMap;
-use std::collections::HashSet;
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// A set of undirected clique edges with per-node degree tracking.
 ///
@@ -27,7 +27,10 @@ use std::collections::HashSet;
 /// whose degree exceeds the adversary's budget `⌊αn⌋`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EdgeSet {
-    edges: HashSet<(usize, usize)>,
+    // BTreeSet so `iter()` yields ascending edges on every process — the
+    // adversary's claim order feeds corruption decisions, and those must
+    // be identical across processes (no-hashmap-iteration invariant).
+    edges: BTreeSet<(usize, usize)>,
     degrees: Vec<usize>,
 }
 
@@ -35,7 +38,7 @@ impl EdgeSet {
     /// An empty edge set over `n` nodes.
     pub fn new(n: usize) -> Self {
         Self {
-            edges: HashSet::new(),
+            edges: BTreeSet::new(),
             degrees: vec![0; n],
         }
     }
@@ -94,7 +97,7 @@ impl EdgeSet {
         self.degrees[u]
     }
 
-    /// Iterates over the (normalized) edges.
+    /// Iterates over the (normalized) edges in ascending order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
         self.edges.iter().copied()
     }
@@ -127,7 +130,9 @@ pub struct AdversaryView<'a> {
 /// once, on its first rewrite, by *moving* the displaced frame in (no clone).
 #[derive(Debug, Default)]
 struct IntendedOverlay {
-    originals: HashMap<(usize, usize), Option<BitVec>>,
+    // BTreeMap: `intended_frames` iterates this, and its order reaches
+    // adaptive strategies' corruption choices.
+    originals: BTreeMap<(usize, usize), Option<BitVec>>,
 }
 
 impl IntendedOverlay {

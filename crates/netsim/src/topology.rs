@@ -486,9 +486,14 @@ impl Topology {
     ///
     /// [`SnapError`] on truncated or corrupt input.
     pub fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        // Same node ceiling as the frame-store decoders: `complete(n)` and
+        // `from_edges` allocate n-sized tables, so n must be bounded before
+        // either runs — a corrupt varint must not turn into a huge
+        // allocation.
+        const MAX_NODES: usize = 1 << 17;
         let n = dec.get_usize()?;
-        if n < 2 {
-            return Err(SnapError::corrupt("topology with n < 2"));
+        if !(2..=MAX_NODES).contains(&n) {
+            return Err(SnapError::corrupt(format!("topology n = {n} out of range")));
         }
         match dec.get_u8()? {
             0 => Ok(Self::complete(n)),

@@ -488,17 +488,27 @@ impl Delivery {
     ///
     /// [`SnapError`] on truncated or corrupt input.
     pub fn restore(dec: &mut Dec<'_>) -> Result<Self, SnapError> {
+        // Same ceilings as `FrameStore::restore`: `n` must be bounded
+        // *before* the slot table is allocated, or a corrupt snapshot can
+        // request a multi-gigabyte allocation and abort (the overflow
+        // check alone does not bound the magnitude — caught by the
+        // validate-before-alloc lint).
+        const MAX_NODES: usize = 1 << 17;
+        const MAX_DENSE_SLOTS: usize = 1 << 28;
         let n = dec.get_usize()?;
-        if n < 2 {
-            return Err(SnapError::corrupt("delivery with n < 2"));
+        if !(2..=MAX_NODES).contains(&n) {
+            return Err(SnapError::corrupt(format!("delivery n = {n} out of range")));
         }
         let repr = match dec.get_u8()? {
             0 => {
                 let count = dec.get_len(9)?;
-                if n.checked_mul(n).is_none() {
-                    return Err(SnapError::corrupt("delivery n overflow"));
-                }
-                let mut frames: Vec<Option<BitVec>> = vec![None; n * n];
+                let slots = n
+                    .checked_mul(n)
+                    .filter(|&s| s <= MAX_DENSE_SLOTS)
+                    .ok_or_else(|| {
+                        SnapError::corrupt(format!("dense delivery n = {n} too large"))
+                    })?;
+                let mut frames: Vec<Option<BitVec>> = vec![None; slots];
                 let mut last: Option<u64> = None;
                 for _ in 0..count {
                     let i = dec.get_u64()?;

@@ -25,6 +25,11 @@
 //!   is bounds-checked and every length prefix is validated against the
 //!   remaining input before allocation.
 
+// Decode must never panic on corrupt input; these promote the two easiest
+// panic vectors (unwrap, slice indexing) to warnings, and CI's
+// `clippy -D warnings` makes them blocking.
+#![warn(clippy::unwrap_used, clippy::indexing_slicing)]
+
 use bdclique_bits::BitVec;
 use std::fmt;
 
@@ -272,14 +277,13 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
-        if self.remaining() < n {
-            return Err(SnapError::Truncated {
-                needed: n,
-                remaining: self.remaining(),
-            });
-        }
-        let out = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let truncated = || SnapError::Truncated {
+            needed: n,
+            remaining: self.buf.len().saturating_sub(self.pos),
+        };
+        let end = self.pos.checked_add(n).ok_or_else(truncated)?;
+        let out = self.buf.get(self.pos..end).ok_or_else(truncated)?;
+        self.pos = end;
         Ok(out)
     }
 
@@ -289,7 +293,11 @@ impl<'a> Dec<'a> {
     ///
     /// [`SnapError::Truncated`].
     pub fn get_u8(&mut self) -> Result<u8, SnapError> {
-        Ok(self.take(1)?[0])
+        let b = self.take(1)?;
+        b.first().copied().ok_or(SnapError::Truncated {
+            needed: 1,
+            remaining: 0,
+        })
     }
 
     /// Reads a `u16`.
@@ -298,7 +306,11 @@ impl<'a> Dec<'a> {
     ///
     /// [`SnapError::Truncated`].
     pub fn get_u16(&mut self) -> Result<u16, SnapError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        let b: [u8; 2] = self.take(2)?.try_into().map_err(|_| SnapError::Truncated {
+            needed: 2,
+            remaining: 0,
+        })?;
+        Ok(u16::from_le_bytes(b))
     }
 
     /// Reads a `u32`.
@@ -307,7 +319,11 @@ impl<'a> Dec<'a> {
     ///
     /// [`SnapError::Truncated`].
     pub fn get_u32(&mut self) -> Result<u32, SnapError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b: [u8; 4] = self.take(4)?.try_into().map_err(|_| SnapError::Truncated {
+            needed: 4,
+            remaining: 0,
+        })?;
+        Ok(u32::from_le_bytes(b))
     }
 
     /// Reads a `u64`.
@@ -316,7 +332,11 @@ impl<'a> Dec<'a> {
     ///
     /// [`SnapError::Truncated`].
     pub fn get_u64(&mut self) -> Result<u64, SnapError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b: [u8; 8] = self.take(8)?.try_into().map_err(|_| SnapError::Truncated {
+            needed: 8,
+            remaining: 0,
+        })?;
+        Ok(u64::from_le_bytes(b))
     }
 
     /// Reads a `usize` (stored as `u64`; rejects values beyond the
@@ -514,6 +534,8 @@ impl Restore for BitVec {
 }
 
 #[cfg(test)]
+// Tests assert on decode results; unwrap-on-corrupt is the point there.
+#[allow(clippy::unwrap_used, clippy::indexing_slicing)]
 mod tests {
     use super::*;
 
